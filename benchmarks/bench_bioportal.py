@@ -1,0 +1,31 @@
+"""E2 — the BioPortal corpus study (Section 1/8).
+
+Paper: 411 ontologies; 405 fall in ALCHIF depth <= 2 and 385 in ALCHIQ
+depth 1 (dichotomy fragments).  The benchmark regenerates the numbers over
+the seeded synthetic corpus and times the analysis pipeline.
+"""
+
+from repro.bioportal import analyze_corpus, generate_corpus
+
+PAPER_NUMBERS = {
+    "ontologies analyzed": 411,
+    "ALCHIF view has depth <= 2 (dichotomy)": 405,
+    "ALCHIQ view has depth 1 (dichotomy)": 385,
+}
+
+
+def test_corpus_analysis(benchmark):
+    corpus = generate_corpus()
+    report = benchmark(analyze_corpus, corpus)
+    print("\nE2 / BioPortal study — paper vs measured:")
+    print(f"  {'statistic':<45} {'paper':>6} {'measured':>9}")
+    for description, count, total in report.rows():
+        paper = PAPER_NUMBERS.get(description, "-")
+        print(f"  {description:<45} {paper!s:>6} {count:>6}/{total}")
+    assert report.alchif_depth2 == 405
+    assert report.alchiq_depth1 == 385
+
+
+def test_corpus_generation(benchmark):
+    corpus = benchmark(generate_corpus)
+    assert len(corpus) == 411

@@ -1,0 +1,80 @@
+"""E7 — Theorem 13: deciding PTIME query evaluation for ALCHIQ depth 1.
+
+The bouquet-based procedure is run on a suite of depth-1 TBoxes (both
+PTIME and coNP-hard); the benchmark reports the decision and the number of
+bouquets checked, and measures how the bouquet space grows with the
+outdegree cap (the procedure's EXPTIME driver).
+"""
+
+import pytest
+
+from repro.decision import count_bouquets, decide_ptime_ontology
+from repro.dl import dl_to_ontology, parse_dl_ontology
+
+SUITE = [
+    ("existential (PTIME)", "Hand sub some hasFinger Thumb", 1, True),
+    ("universal (PTIME)", "A sub only R B", 1, True),
+    ("exactly-2 + thumb (coNP)",
+     "Hand sub == 2 hasFinger top\nHand sub some hasFinger Thumb", 2, False),
+]
+
+
+@pytest.mark.parametrize("name,text,cap,expected",
+                         SUITE, ids=[s[0] for s in SUITE])
+def test_decide_ptime(benchmark, name, text, cap, expected):
+    onto = dl_to_ontology(parse_dl_ontology(text))
+
+    def decide():
+        return decide_ptime_ontology(onto, max_outdegree=cap)
+
+    decision = benchmark.pedantic(decide, rounds=1, iterations=1)
+    assert decision.ptime == expected
+
+
+def test_bouquet_space_scaling(benchmark):
+    sig = {"A": 1, "R": 2}
+
+    def count_all():
+        return [count_bouquets(sig, k) for k in (0, 1, 2, 3)]
+
+    counts = benchmark(count_all)
+    print("\nE7 / Theorem 13 — bouquet space vs outdegree cap "
+          "(the EXPTIME driver):")
+    for k, count in enumerate(counts):
+        print(f"  outdegree <= {k}: {count} bouquets")
+    assert counts == sorted(counts)
+
+
+def test_decision_summary():
+    print("\nE7 — decisions (paper: EXPTIME-complete; PTIME <=> Datalog≠):")
+    for name, text, cap, expected in SUITE:
+        onto = dl_to_ontology(parse_dl_ontology(text))
+        decision = decide_ptime_ontology(onto, max_outdegree=cap)
+        verdict = "PTIME" if decision.ptime else "coNP-hard"
+        print(f"  {name:<28} -> {verdict:<10} "
+              f"({decision.bouquets_checked} bouquets)")
+        assert decision.ptime == expected
+
+
+def test_example7_needs_ugc2_procedure(benchmark):
+    """Example 7: 1-materializations exist for every bouquet but the
+    ontology is coNP-hard; only the uGC−2 procedure (reflexive bouquets,
+    full materializability) detects it — why the paper needs mosaics."""
+    from repro.decision.ugc2 import decide_ptime_ugc2
+    from repro.logic.ontology import ontology
+
+    example7 = ontology(
+        "forall x (x = x -> (S(x,x) -> (R(x,x) -> "
+        "(exists y (R(x,y) & x != y) | exists y (S(x,y) & x != y)))))\n"
+        "forall x (x = x -> (exists y (R(y,x) & x != y) -> exists y (RP(x,y))))\n"
+        "forall x (x = x -> (exists y (S(y,x) & x != y) -> exists y (SP(x,y))))",
+        name="Example7")
+
+    def decide():
+        return decide_ptime_ugc2(example7, max_outdegree=0,
+                                 relevant_relations=["R", "S"])
+
+    decision = benchmark.pedantic(decide, rounds=1, iterations=1)
+    assert not decision.ptime
+    print("\nE7 / Example 7 — detected coNP-hard via the reflexive-bouquet "
+          f"search ({decision.bouquets_checked} bouquets checked)")

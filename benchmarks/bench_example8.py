@@ -1,0 +1,69 @@
+"""E9 — Example 8: the exponential materializability horizon.
+
+O_n (ALC depth 2) is materializable for trees of depth < 2^n but not in
+general: the counter chain of length 2^n - 1 releases the hidden marker and
+triggers the B1/B2 disjunction.  The benchmark measures the witness check
+as n grows and confirms that short chains do NOT trigger it.
+"""
+
+import pytest
+
+from repro.core.materializability import certain_disjunction
+from repro.decision import counter_chain, example8_ontology
+from repro.dl import dl_to_ontology
+from repro.logic.syntax import Const
+from repro.queries.cq import parse_cq
+from repro.semantics.certain import CertainEngine
+from repro.semantics.modelsearch import query_formula
+
+Q1 = parse_cq("q(x) <- B1(x)")
+Q2 = parse_cq("q(x) <- B2(x)")
+
+
+def witness_triggered(n: int, chain) -> bool:
+    onto = dl_to_ontology(example8_ontology(n))
+    engine = CertainEngine(onto, backend="sat", sat_extra=2)
+    target = Const("c0")
+    disj = [query_formula(Q1, (target,)), query_formula(Q2, (target,))]
+    neither = (not engine.entails(chain, Q1, (target,))
+               and not engine.entails(chain, Q2, (target,)))
+    return neither and certain_disjunction(
+        onto, chain, disj, engine, sat_extra=2)
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_full_chain_triggers_disjunction(benchmark, n):
+    chain = counter_chain(n)
+
+    def check():
+        return witness_triggered(n, chain)
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_short_chain_does_not_trigger():
+    """A chain shorter than 2^n cannot complete the counter."""
+    from repro.logic.syntax import Atom
+
+    n = 2
+    chain = counter_chain(n)
+    # cut the last link: the counter never reaches its full value upstream
+    chain.discard(Atom("R", (Const("c2"), Const("c3"))))
+    onto = dl_to_ontology(example8_ontology(n))
+    engine = CertainEngine(onto, backend="sat", sat_extra=2)
+    target = Const("c0")
+    disj = [query_formula(Q1, (target,)), query_formula(Q2, (target,))]
+    assert not certain_disjunction(onto, chain, disj, engine, sat_extra=2)
+
+
+def test_horizon_summary():
+    print("\nE9 / Example 8 — exponential horizon "
+          "(paper: witness needs an R-chain of length 2^n):")
+    for n in (1, 2):
+        chain = counter_chain(n)
+        triggered = witness_triggered(n, chain)
+        print(f"  n={n}: chain length {2**n - 1:>2} "
+              f"-> disjunction witness: {triggered}")
+        assert triggered
+    print("  => deciding PTIME evaluation for ALC depth 2 is NEXPTIME-hard")
+    print("     (Theorem 14); witnesses are exponentially deep.")

@@ -1,0 +1,74 @@
+"""E1 — Figure 1: the classification lattice, recomputed.
+
+For each named fragment of Figure 1 a representative ontology is classified
+by the library; the benchmark regenerates the figure's three bands and
+times the syntactic classification.
+"""
+
+import pytest
+
+from repro.core.dichotomy import Status, classify_dl, classify_profile
+from repro.dl import dl_to_ontology, parse_dl_ontology
+from repro.guarded.fragments import profile_ontology
+from repro.logic.ontology import Ontology, ontology
+
+REPRESENTATIVES = [
+    # (expected fragment, expected band, ontology)
+    ("uGF(1)", Status.DICHOTOMY,
+     ontology("forall x,y,z (T(x,y,z) -> (A(x) | exists u (S(z,u) & B(u))))")),
+    ("uGF-(1,=)", Status.DICHOTOMY,
+     ontology("forall x (x = x -> (A(x) -> exists y (R(x,y) & x != y)))")),
+    ("uGF2-(2)", Status.DICHOTOMY,
+     ontology("forall x (x = x -> (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x)))))")),
+    ("uGC2-(1,=)", Status.DICHOTOMY,
+     ontology("forall x (x = x -> (H(x) -> exists>=5 y (F(x,y))))")),
+    ("uGF2(1,=)", Status.CSP_HARD,
+     ontology("forall x,y (R(x,y) -> exists x (S(y,x) & x = y))")),
+    ("uGF2(2)", Status.CSP_HARD,
+     ontology("forall x,y (R(x,y) -> exists x (S(y,x) & exists y (R(x,y) & A(y))))")),
+    ("uGF2(1,f)", Status.CSP_HARD,
+     Ontology(ontology("forall x,y (R(x,y) -> exists x (S(y,x) & A(x)))").sentences,
+              functional=["F"])),
+    ("uGF2-(2,f)", Status.NO_DICHOTOMY,
+     Ontology(ontology(
+         "forall x (x = x -> (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x)))))"
+     ).sentences, functional=["R"])),
+]
+
+DL_REPRESENTATIVES = [
+    ("ALCHIQ depth 1", Status.DICHOTOMY,
+     parse_dl_ontology("Hand sub == 5 hasFinger top\nhasFinger subr hasPart")),
+    ("ALCHIF depth 2", Status.DICHOTOMY,
+     parse_dl_ontology("A sub some R (B and only S C)\nfunc(R)")),
+    ("ALCF_l depth 2", Status.CSP_HARD,
+     parse_dl_ontology("A sub some R (<= 1 S top)")),
+    ("ALCIF_l depth 2", Status.NO_DICHOTOMY,
+     parse_dl_ontology("A sub some R- (<= 1 S top)")),
+]
+
+
+def classify_all():
+    rows = []
+    for expected_name, expected_band, onto in REPRESENTATIVES:
+        profile = profile_ontology(onto)
+        entry, band = classify_profile(profile)
+        rows.append((expected_name, entry.name if entry else "-",
+                     band, expected_band))
+    for expected_name, expected_band, tbox in DL_REPRESENTATIVES:
+        entry, band = classify_dl(tbox.dl_name(), tbox.depth())
+        rows.append((expected_name, entry.name if entry else "-",
+                     band, expected_band))
+    return rows
+
+
+def test_figure1_lattice(benchmark):
+    rows = benchmark(classify_all)
+    print("\nE1 / Figure 1 — classification lattice (paper vs recomputed):")
+    print(f"  {'fragment':<18} {'resolved as':<18} {'band':<14} expected")
+    mismatches = 0
+    for name, resolved, band, expected in rows:
+        ok = band is expected
+        mismatches += 0 if ok else 1
+        print(f"  {name:<18} {resolved:<18} {band.name:<14} "
+              f"{expected.name}{'' if ok else '  <-- MISMATCH'}")
+    assert mismatches == 0

@@ -1,0 +1,104 @@
+"""E8 — Theorem 12: the run fitting problem RF(M).
+
+RF(M) is the NP problem underlying the non-dichotomy proof.  The benchmark
+sweeps tape width and the wildcard density of the partial run: loosely
+constrained runs are found quickly, dense wrong constraints force full
+backtracking — the solve/verify asymmetry that makes RF(M) a good
+NP-intermediate candidate.
+"""
+
+import pytest
+
+from repro.tm import (
+    BLANK, PartialRun, TM, Transition, blank_partial_run, fits,
+    verify_certificate,
+)
+
+
+def flip_machine() -> TM:
+    return TM(
+        states={"S", "A"},
+        alphabet={"0", "1"},
+        transitions=[
+            Transition("S", "0", "S", "1", "R"),
+            Transition("S", "1", "S", "0", "R"),
+            Transition("S", BLANK, "A", BLANK, "R"),
+        ],
+        start="S",
+        accept="A",
+    )
+
+
+def guessing_machine() -> TM:
+    return TM(
+        states={"S", "A"},
+        alphabet={"0", "1"},
+        transitions=[
+            Transition("S", "0", "S", "0", "R"),
+            Transition("S", "0", "S", "1", "R"),
+            Transition("S", "1", "S", "0", "R"),
+            Transition("S", "1", "S", "1", "R"),
+            Transition("S", BLANK, "A", BLANK, "R"),
+        ],
+        start="S",
+        accept="A",
+    )
+
+
+@pytest.mark.parametrize("width", [5, 7, 9])
+def test_blank_fitting_scales_with_width(benchmark, width):
+    tm = flip_machine()
+    partial = blank_partial_run(width=width, steps=width - 2)
+    run = benchmark(fits, tm, partial)
+    assert run is not None
+
+
+@pytest.mark.parametrize("width", [5, 7])
+def test_nondeterministic_fitting(benchmark, width):
+    tm = guessing_machine()
+    # constrain the final tape to all-1s: the machine must guess correctly.
+    # The machine scans width-3 cells, then accepts on the first blank with
+    # the head ending between the two trailing blanks.
+    final = ("1",) * (width - 3) + (BLANK, "A", BLANK)
+    rows = [("?",) * width] * (width - 2) + [final]
+    partial = PartialRun(rows)
+    run = benchmark(fits, tm, partial)
+    assert run is not None
+    assert verify_certificate(tm, partial, run)
+
+
+def test_unfittable_dense_constraints(benchmark):
+    tm = flip_machine()
+    # contradictory: demands an unflipped symbol
+    partial = PartialRun.from_strings(["S1___", "1S___", "?????", "?????"])
+    result = benchmark(fits, tm, partial)
+    assert result is None
+
+
+def test_verification_is_fast(benchmark):
+    """The NP certificate check is polynomial (contrast with solving)."""
+    tm = guessing_machine()
+    partial = blank_partial_run(width=9, steps=7)
+    run = fits(tm, partial)
+    assert run is not None
+    assert benchmark(verify_certificate, tm, partial, run)
+
+
+def test_density_sweep_summary():
+    tm = guessing_machine()
+    print("\nE8 / Theorem 12 — RF(M) difficulty vs wildcard density:")
+    width, steps = 6, 4
+    free = blank_partial_run(width=width, steps=steps)
+    constrained = PartialRun(
+        [("?",) * width] * steps + [("1", "1", "1", "1", "A", BLANK)])
+    impossible = PartialRun(
+        [("S", "0", "0", "0", BLANK, BLANK)]
+        + [("?",) * width] * (steps - 1)
+        + [("1", "1", "1", "1", "A", "1")])  # blank cell demanded to be 1
+    for name, partial in (("free", free), ("goal-constrained", constrained),
+                          ("impossible", impossible)):
+        run = fits(tm, partial)
+        print(f"  {name:<18} wildcards={partial.wildcard_fraction():.2f} "
+              f"fits={run is not None}")
+    print("  paper: RF(M) in NP; for the diagonal machine M_H it is neither")
+    print("  in PTIME nor NP-complete unless PTIME = NP.")

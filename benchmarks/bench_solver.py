@@ -1,0 +1,85 @@
+"""Ablation — the SAT substrate: CDCL vs reference DPLL.
+
+Every certain-answer computation ultimately bottoms out in the SAT layer;
+this bench quantifies the CDCL payoff (learning + watched literals) on the
+workloads that made plain DPLL time out during development: UNSAT proofs
+for CSP-encoded ontologies and pigeonhole instances.
+"""
+
+import itertools
+
+import pytest
+
+from repro.csp import clique_template, encode_template, random_graph_instance
+from repro.semantics.cdcl import Solver, solve_cnf
+from repro.semantics.sat import CNF, add_formula, dpll_basic, ground
+from repro.semantics.modelsearch import query_formula
+from repro.logic.syntax import Not
+
+
+def pigeonhole_clauses(pigeons: int, holes: int):
+    def v(i, h):
+        return 1 + i * holes + h
+
+    clauses = [[v(i, h) for h in range(holes)] for i in range(pigeons)]
+    for h in range(holes):
+        for i, j in itertools.combinations(range(pigeons), 2):
+            clauses.append([-v(i, h), -v(j, h)])
+    return pigeons * holes, clauses
+
+
+@pytest.mark.parametrize("pigeons", [4, 5])
+def test_cdcl_pigeonhole(benchmark, pigeons):
+    num_vars, clauses = pigeonhole_clauses(pigeons, pigeons - 1)
+    result = benchmark(solve_cnf, num_vars, clauses)
+    assert result is None
+
+
+def test_dpll_basic_pigeonhole_small(benchmark):
+    """The reference solver on the smallest instance only (it is the
+    ablation baseline; larger instances blow up)."""
+    num_vars, clauses = pigeonhole_clauses(4, 3)
+
+    def run():
+        cnf = CNF()
+        cnf._next = num_vars + 1
+        cnf.clauses = [list(c) for c in clauses]
+        return dpll_basic(cnf)
+
+    assert benchmark(run) is None
+
+
+def _csp_unsat_cnf():
+    """The grounded CNF for 'the triangle is 2-colorable' (UNSAT)."""
+    template = clique_template(2).with_precoloring()
+    enc = encode_template(template, style="eq")
+    triangle = random_graph_instance(3, [(0, 1), (1, 2), (2, 0)])
+    omq_input = enc.omq_instance(triangle)
+    from repro.logic.instance import fresh_nulls
+
+    domain = sorted(omq_input.dom(), key=repr)
+    domain += fresh_nulls("m", 2, avoid=omq_input.dom())
+    cnf = CNF()
+    for fact in omq_input:
+        cnf.add_clause([cnf.atom_var((fact.pred, tuple(fact.args)))])
+    for sentence in enc.ontology.all_sentences():
+        add_formula(cnf, ground(sentence, domain))
+    add_formula(cnf, Not(ground(query_formula(enc.query, ()), domain)))
+    return cnf
+
+
+def test_cdcl_on_csp_encoding(benchmark):
+    cnf = _csp_unsat_cnf()
+
+    def run():
+        return Solver(cnf.num_vars, cnf.clauses).solve()
+
+    assert benchmark(run) is None  # no countermodel: the query is certain
+
+
+def test_solver_sizes_summary():
+    cnf = _csp_unsat_cnf()
+    print("\nAblation — SAT substrate on the Theorem-8 triangle encoding:")
+    print(f"  variables: {cnf.num_vars}, clauses: {len(cnf.clauses)}")
+    print("  CDCL refutes in milliseconds; plain DPLL needed minutes on "
+          "this CNF during development (see git history of the engines).")

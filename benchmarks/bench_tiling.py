@@ -1,0 +1,94 @@
+"""E11 — Theorem 10: the grid ontologies O_cell / O_P (Figures 2-4).
+
+The executable marker semantics (the Datalog≠-style evaluation of the
+ontologies) is swept over grids of growing size; defective grids (the
+Figure-2 situation) must not entail the markers.
+"""
+
+import pytest
+
+from repro.logic.syntax import Atom
+from repro.tiling import (
+    GridMarkerEngine, block_problem, grid_element, grid_instance,
+    ocell_certain_marker, ocell_consistent,
+)
+
+BLOCK = block_problem()
+ENGINE = GridMarkerEngine(BLOCK)
+
+
+def tiled_grid(n: int, m: int):
+    tiling = BLOCK.tile_rectangle(n, m)
+    assert tiling is not None
+    return grid_instance(tiling)
+
+
+@pytest.mark.parametrize("size", [2, 4, 6])
+def test_ocell_marker_sweep(benchmark, size):
+    grid = tiled_grid(size, size)
+
+    def sweep():
+        return sum(
+            1 for e in grid.dom() if ocell_certain_marker(grid, e))
+
+    closed = benchmark(sweep)
+    assert closed == size * size  # the lower-left corners of all cells
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_op_marker_at_root(benchmark, size):
+    grid = tiled_grid(size, size)
+    root = grid_element(0, 0)
+    assert benchmark(ENGINE.certain_a, grid, root)
+
+
+def test_figure2_defective_cell():
+    """Figure 2: an unclosed cell does not entail the marker — the model
+    can give the diverging corners different R_i markers."""
+    from repro.logic.instance import make_instance
+
+    open_cell = make_instance(
+        "X(d,d1)", "Y(d1,d3)", "Y(d,d2)", "X(d2,d4)")  # d3 != d4
+    from repro.logic.syntax import Const
+    assert ocell_consistent(open_cell)
+    assert not ocell_certain_marker(open_cell, Const("d"))
+    closed_cell = make_instance(
+        "X(d,d1)", "Y(d1,d3)", "Y(d,d2)", "X(d2,d3)")
+    assert ocell_certain_marker(closed_cell, Const("d"))
+    print("\nE11 / Figure 2 — cell marker:")
+    print("  open cell  (d3 != d4): marker certain = False (paper: False)")
+    print("  closed cell (d3 = d4): marker certain = True  (paper: True)")
+
+
+def test_figure3_odd_marker_cycle():
+    """Figure 3: odd <=-cycles make the instance inconsistent with forced
+    markers; Claim 1's partition condition detects it."""
+    from repro.logic.instance import make_instance
+
+    # build three cells forming a <=-cycle e0 <= e1 <= e2 <= e0 with every
+    # node forced to the same marker: no (†)-respecting partition exists
+    facts = []
+    for i in range(3):
+        j = (i + 1) % 3
+        facts += [f"X(d{i},a{i})", f"Y(a{i},e{i})",
+                  f"Y(d{i},b{i})", f"X(b{i},e{j})"]
+    for i in range(3):
+        facts += [f"R1(e{i},u{i})", f"R1(e{i},v{i})"]  # forces marker 2
+    cyclic = make_instance(*facts)
+    assert not ocell_consistent(cyclic)
+    # without the forcing the cycle is colorable
+    plain = make_instance(*(f for f in facts if not f.startswith("R1")))
+    assert ocell_consistent(plain)
+    print("\nE11 / Figure 3 — odd cycle with forced markers rejected "
+          "(paper: consistency characterization, Claim 1)")
+
+
+def test_grid_sweep_summary():
+    print("\nE11 — marker engine sweep (Lemma 11/12 semantics):")
+    print(f"  {'grid':<8} {'facts':>6} {'closed cells':>13} {'A at root':>10}")
+    for size in (1, 2, 3, 4):
+        grid = tiled_grid(size, size)
+        closed = sum(1 for e in grid.dom() if ocell_certain_marker(grid, e))
+        root_a = ENGINE.certain_a(grid, grid_element(0, 0))
+        print(f"  {size}x{size:<6} {len(grid):>6} {closed:>13} {root_a!s:>10}")
+        assert closed == size * size and root_a

@@ -1,0 +1,63 @@
+"""E4 — Example 1 / Lemma 3: CQ vs UCQ evaluation can diverge outside uGF.
+
+For O_UCQ/CQ = { forall x (A(x) | B(x))  v  exists x E(x) } the UCQ
+``A(x) ; B(x) ; E(x)`` is certain on every instance while no single CQ
+disjunct is — UCQ evaluation is coNP-hard although CQ evaluation is in
+PTIME.  The benchmark measures both checks on growing instances.
+"""
+
+import pytest
+
+from repro.logic.instance import make_instance
+from repro.logic.ontology import Ontology
+from repro.logic.syntax import Atom, Eq, Exists, Forall, Or, Var
+from repro.queries.cq import UCQ, parse_cq
+from repro.semantics.modelsearch import certain_answer
+
+x = Var("x")
+OUCQ_CQ = Ontology([
+    Or.of(
+        Forall((x,), Eq(x, x), Or.of(Atom("A", (x,)), Atom("B", (x,)))),
+        Exists((x,), None, Atom("E", (x,))),
+    )
+], name="O_UCQ/CQ")
+
+CQ_A = parse_cq("q() <- A(x)")
+UNION = UCQ((CQ_A, parse_cq("q() <- B(x)"), parse_cq("q() <- E(x)")))
+
+
+def plain_instance(n: int):
+    return make_instance(*(f"F(c{i})" for i in range(n)))
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_cq_not_certain(benchmark, n):
+    database = plain_instance(n)
+
+    def check():
+        return certain_answer(OUCQ_CQ, database, CQ_A, (), extra=1).holds
+
+    assert not benchmark(check)
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_ucq_certain(benchmark, n):
+    database = plain_instance(n)
+
+    def check():
+        return certain_answer(OUCQ_CQ, database, UNION, (), extra=1).holds
+
+    assert benchmark(check)
+
+
+def test_divergence_summary():
+    print("\nE4 / Lemma 3 — CQ vs UCQ for O_UCQ/CQ:")
+    print(f"  {'instance':<12} {'CQ A certain':<14} {'UCQ A|B|E certain'}")
+    for n in (1, 3, 5):
+        database = plain_instance(n)
+        cq = certain_answer(OUCQ_CQ, database, CQ_A, (), extra=1).holds
+        ucq = certain_answer(OUCQ_CQ, database, UNION, (), extra=1).holds
+        print(f"  n={n:<10} {str(cq):<14} {ucq}")
+        assert not cq and ucq
+    print("  paper: CQ evaluation PTIME, UCQ evaluation coNP-hard;")
+    print("  uGF invariance under disjoint unions rules this out (Thm 4).")

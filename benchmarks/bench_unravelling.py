@@ -1,0 +1,81 @@
+"""E10 — Section 4: unravellings and unravelling tolerance.
+
+Reproduces Example 5 (the triangle unravels into chains; the depth-1 tree
+fans out), the uGF/uGC2 flavour difference on successor counts, and the
+Example-6 non-tolerance detection; measures unravelling construction cost
+per depth.
+"""
+
+import pytest
+
+from repro.core.tolerance import check_unravelling_tolerance
+from repro.guarded.unravel import successor_counts_preserved, unravel
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+
+TRIANGLE = make_instance("R(a,b)", "R(b,c)", "R(c,a)")
+TREE = make_instance("R(a,b)", "R(a,c)", "R(a,d)")
+
+EXAMPLE6 = ontology(
+    "forall x (x = x -> (A(x) -> (exists y (R(x,y) & A(y)) -> E(x))))\n"
+    "forall x (x = x -> (~A(x) -> (exists y (R(x,y) & ~A(y)) -> E(x))))\n"
+    "forall x,y (R(x,y) -> (E(x) -> E(y)))\n"
+    "forall x,y (R(x,y) -> (E(y) -> E(x)))",
+    name="Example6")
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_unravelling_construction(benchmark, depth):
+    unravelling = benchmark(unravel, TRIANGLE, depth)
+    # Example 5(1): three chains
+    assert len(unravelling.interpretation.connected_components()) == 3
+
+
+def test_example5_shapes():
+    print("\nE10 / Example 5 — unravelling shapes:")
+    tri = unravel(TRIANGLE, depth=4)
+    print(f"  triangle depth 4: {len(tri.bags)} bags, "
+          f"{len(tri.interpretation.connected_components())} chains "
+          "(paper: three isomorphic chains)")
+    for depth in (1, 2, 3):
+        tree = unravel(TREE, depth=depth)
+        print(f"  depth-1 tree at depth {depth}: "
+              f"{len(tree.interpretation.dom())} elements "
+              "(paper: outdegree grows without bound)")
+    assert len(tri.interpretation.connected_components()) == 3
+
+
+def test_flavour_difference():
+    print("\nE10 — uGF vs uGC2 unravelling on the fan (Section 4):")
+    ugf = unravel(TREE, depth=3, flavour="uGF")
+    ugc = unravel(TREE, depth=3, flavour="uGC2")
+    ugf_ok = successor_counts_preserved(TREE, ugf, "R")
+    ugc_ok = successor_counts_preserved(TREE, ugc, "R")
+    print(f"  uGF  : successor counts preserved = {ugf_ok} (paper: no)")
+    print(f"  uGC2 : successor counts preserved = {ugc_ok} (paper: yes)")
+    assert not ugf_ok and ugc_ok
+
+
+def test_example6_tolerance_violation(benchmark):
+    def detect():
+        return check_unravelling_tolerance(
+            EXAMPLE6, [TRIANGLE], unravel_depth=3, confirm_depth=5)
+
+    tolerant, violations = benchmark.pedantic(detect, rounds=1, iterations=1)
+    assert not tolerant
+    print("\nE10 / Example 6 — the odd-cycle ontology is not unravelling "
+          "tolerant:")
+    for violation in violations[:2]:
+        print(f"  {violation}")
+
+
+def test_horn_tolerant(benchmark):
+    propagation = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))")
+    marked = make_instance("R(a,b)", "R(b,c)", "R(c,a)", "A(a)")
+
+    def check():
+        return check_unravelling_tolerance(
+            propagation, [marked], unravel_depth=3)
+
+    tolerant, violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert tolerant and not violations

@@ -1,0 +1,78 @@
+"""From PTIME ontologies to executable Datalog (Theorems 5 and 7).
+
+For materializable ontologies in a dichotomy fragment, PTIME query
+evaluation coincides with Datalog(≠)-rewritability.  This example builds
+the Theorem-5 type-based rewriting for two ontologies, emits an explicit
+Datalog program, and compares all three evaluation routes — certain-answer
+engine, type fixpoint, emitted program — on growing databases.
+
+Run:  python examples/datalog_rewriting.py
+"""
+
+import time
+
+from repro.core.rewriting import TypeRewriting
+from repro.datalog import goal_answers
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.queries.cq import parse_cq
+from repro.semantics.certain import CertainEngine
+
+PROP = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))",
+                name="A-propagation")
+PROP_QUERY = parse_cq("q(x) <- A(x)")
+
+HAND = ontology(
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))",
+    name="hand/thumb")
+HAND_QUERY = parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)")
+
+
+def chain_instance(n: int):
+    return make_instance("A(n0)", *(f"R(n{i},n{i+1})" for i in range(n)))
+
+
+def main() -> None:
+    for onto, query in ((PROP, PROP_QUERY), (HAND, HAND_QUERY)):
+        print(f"\n=== {onto.name}:  {query} ===")
+        rewriting = TypeRewriting(onto, query)
+        print(f"  types: {len(rewriting.elem_types)} element, "
+              f"{len(rewriting.pair_types)} pair")
+        program = rewriting.to_datalog_program()
+        print(f"  emitted Datalog program: {len(program.rules)} rules "
+              f"(pure Datalog: {program.is_pure_datalog()})")
+        for rule in program.rules[:4]:
+            print(f"    {rule}")
+        if len(program.rules) > 4:
+            print(f"    ... {len(program.rules) - 4} more")
+
+        engine = CertainEngine(onto)
+        D = make_instance("A(a)", "R(a,b)", "R(b,c)",
+                          "Hand(a)", "hasFinger(c,f)")
+        via_engine = {t[0] for t in engine.certain_answers(D, query)}
+        via_fixpoint = rewriting.answers(D)
+        via_program = {t[0] for t in goal_answers(program, D)}
+        print(f"  engine   : {sorted(map(repr, via_engine))}")
+        print(f"  fixpoint : {sorted(map(repr, via_fixpoint))}")
+        print(f"  program  : {sorted(map(repr, via_program))}")
+        assert via_engine == via_fixpoint == via_program
+
+    # scaling: the rewriting is data-independent, so evaluation is a pure
+    # Datalog run — compare against chase-based certain answers.
+    print("\nscaling on R-chains (A-propagation):")
+    rewriting = TypeRewriting(PROP, PROP_QUERY)
+    program = rewriting.to_datalog_program()
+    print(f"  {'n':>5} {'fixpoint(s)':>12} {'datalog(s)':>12}")
+    for n in (20, 60, 120):
+        D = chain_instance(n)
+        t0 = time.perf_counter()
+        ans1 = rewriting.answers(D)
+        t1 = time.perf_counter()
+        ans2 = {t[0] for t in goal_answers(program, D)}
+        t2 = time.perf_counter()
+        assert ans1 == ans2 and len(ans1) == n + 1
+        print(f"  {n:>5} {t1 - t0:>12.4f} {t2 - t1:>12.4f}")
+
+
+if __name__ == "__main__":
+    main()

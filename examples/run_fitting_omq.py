@@ -1,0 +1,86 @@
+"""Run fitting as ontology-mediated querying (Theorem 12 + Lemma 4).
+
+The non-dichotomy proof simulates Turing machines on the Theorem-10 grid:
+partial runs become grid instances whose state/symbol markers are
+positively preset, and one Boolean OMQ is certain exactly when no accepting
+run matches.  This example shows both halves at toy scale: the run fitting
+problem itself, and the Ladner-style H-function whose padding makes the
+problem NP-intermediate.
+
+Run:  python examples/run_fitting_omq.py
+"""
+
+from repro.tiling import RunFittingOMQ, encode_partial_run, lemma4_dl
+from repro.tm import (
+    BLANK, HFunction, PartialRun, TM, Transition, blank_partial_run, fits,
+    trivial_deciders, verify_certificate,
+)
+
+
+def guessing_machine() -> TM:
+    """Rewrites each 0 nondeterministically to 0 or 1 (S = start, A = accept)."""
+    return TM(
+        states={"S", "A"},
+        alphabet={"0", "1"},
+        transitions=[
+            Transition("S", "0", "S", "0", "R"),
+            Transition("S", "0", "S", "1", "R"),
+            Transition("S", "1", "S", "1", "R"),
+            Transition("S", BLANK, "A", BLANK, "R"),
+        ],
+        start="S",
+        accept="A",
+    )
+
+
+def show(partial: PartialRun) -> None:
+    for row in partial.rows:
+        print("    " + " ".join(row))
+
+
+def main() -> None:
+    tm = guessing_machine()
+    omq = RunFittingOMQ(tm)
+
+    print("machine: nondeterministic 0->0/1 rewriter; states S (start), A")
+
+    loose = blank_partial_run(width=5, steps=3)
+    print("\npartial run (all wildcards):")
+    show(loose)
+    run = fits(tm, loose)
+    print(f"  fits an accepting run: {run is not None}")
+    print(f"  certificate verifies : {verify_certificate(tm, loose, run)}")
+    print(f"  OMQ certain (coRF)   : {omq.certain_n(loose)}")
+
+    forced = PartialRun.from_strings(["S00__", "1S0__", "?????", "?????"])
+    print("\npartial run forcing the guess '1' on the first cell:")
+    show(forced)
+    print(f"  fits: {fits(tm, forced) is not None}   "
+          f"OMQ certain: {omq.certain_n(forced)}")
+
+    impossible = PartialRun.from_strings(["S01__", "?S0__", "?????", "?????"])
+    print("\npartial run demanding 1 -> 0 (no such transition):")
+    show(impossible)
+    print(f"  fits: {fits(tm, impossible) is not None}   "
+          f"OMQ certain: {omq.certain_n(impossible)}")
+
+    tbox = lemma4_dl(tm)
+    grid = encode_partial_run(forced)
+    print(f"\nthe Lemma-4 ontology: {tbox!r} ({tbox.dl_name()} depth "
+          f"{tbox.depth()}, the no-dichotomy band)")
+    print(f"the encoded grid instance: {len(grid)} facts, "
+          f"{len(grid.dom())} elements (markers preset with 2 successors)")
+
+    # the Ladner side: H(n) under a finite decider enumeration
+    diagonal = lambda w: w.startswith("10")  # none of the deciders computes it
+    h = HFunction(diagonal=diagonal, deciders=trivial_deciders())
+    print("\nLadner H-function (finite enumeration model):")
+    for n in (2 ** 4, 2 ** 8, 2 ** 16):
+        print(f"  H({n}) = {h(n)}   (cap = log log n = {h.cap(n)})")
+    easy = HFunction(diagonal=lambda w: False, deciders=trivial_deciders())
+    print(f"  ...with a decidable diagonal instead: H(2^16) = {easy(2 ** 16)}"
+          " (bounded, the padding collapses)")
+
+
+if __name__ == "__main__":
+    main()

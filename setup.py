@@ -1,0 +1,15 @@
+"""Setup shim for offline editable installs (`pip install -e . --no-use-pep517`)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Dichotomies in Ontology-Mediated Querying with "
+        "the Guarded Fragment' (PODS 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,30 @@
+"""repro — a reproduction of *Dichotomies in Ontology-Mediated Querying with
+the Guarded Fragment* (Hernich, Lutz, Papacchini, Wolter; PODS 2017).
+
+The package implements the paper's framework end to end:
+
+* :mod:`repro.logic` — first-order syntax, instances/interpretations with
+  labelled nulls, model checking, homomorphisms.
+* :mod:`repro.queries` — CQs, UCQs, rooted acyclic queries.
+* :mod:`repro.guarded` — GF/uGF/uGC2 fragment analysis, guarded tree
+  decompositions, uGF- and uGC2-unravellings, bouquets.
+* :mod:`repro.dl` — the description logics ALC(H)(I)(Q)(F)(F_l) and their
+  translation into guarded fragments.
+* :mod:`repro.semantics` — disjunctive chase, bounded countermodel search,
+  certain-answer computation.
+* :mod:`repro.datalog` — Datalog(≠) programs and a semi-naive engine.
+* :mod:`repro.core` — OMQs, materializability, unravelling tolerance, the
+  Theorem-5 Datalog≠ rewriter, the Figure-1 dichotomy map and the
+  per-ontology complexity classifier.
+* :mod:`repro.csp` — CSP templates, a solver, and the Theorem-8 encodings.
+* :mod:`repro.tm` — Turing machines, the run fitting problem, the Ladner
+  variation (Theorem 12), and the 2+2-SAT machinery behind Theorem 3.
+* :mod:`repro.tiling` — rectangle tiling and the grid ontologies of
+  Theorem 10.
+* :mod:`repro.bioportal` — a synthetic BioPortal-like corpus and the
+  depth/constructor analysis of Section 1/8.
+* :mod:`repro.decision` — the bouquet-based decision procedure for PTIME
+  query evaluation of ALCHIQ depth-1 ontologies (Theorem 13).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,13 @@
+"""Synthetic BioPortal-like corpus and the Section-1/8 analysis."""
+
+from .corpus import (
+    RAW_CONSTRUCTORS, CorpusOntology, CorpusSpec, generate_corpus,
+    load_corpus, save_corpus,
+)
+from .analyze import CorpusReport, alchif_view, alchiq_view, analyze_corpus
+
+__all__ = [
+    "RAW_CONSTRUCTORS", "CorpusOntology", "CorpusSpec", "generate_corpus",
+    "load_corpus", "save_corpus",
+    "CorpusReport", "alchif_view", "alchiq_view", "analyze_corpus",
+]

@@ -1,0 +1,99 @@
+"""The Section-1/8 corpus analysis: constructor stripping and depth counts.
+
+Reproduces the paper's BioPortal study on a corpus of
+:class:`~repro.bioportal.corpus.CorpusOntology` entries:
+
+* the **ALCHIF view** removes every constructor outside ALCHIF (qualified
+  number restrictions beyond global functionality, raw constructors);
+  the paper found 405/411 ontologies of depth <= 2 in this view;
+* the **ALCHIQ view** keeps number restrictions and strips only the raw
+  constructors; the paper found 385/411 of depth 1.
+
+Both views drop axioms (not whole ontologies) containing unsupported
+constructors, then measure the resulting TBox depth and Figure-1 band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dichotomy import Status, classify_dl
+from ..dl.concepts import (
+    AtLeastC, AtMostC, Axiom, ConceptInclusion, DLOntology, ExactlyC,
+    Functionality, RoleInclusion, iter_subconcepts,
+)
+from .corpus import CorpusOntology
+
+
+def _axiom_uses_q(axiom: Axiom) -> bool:
+    """Does the axiom use a counting constructor beyond ALCHIF?"""
+    if not isinstance(axiom, ConceptInclusion):
+        return False
+    for concept in (axiom.lhs, axiom.rhs):
+        for sub in iter_subconcepts(concept):
+            if isinstance(sub, (AtLeastC, ExactlyC)):
+                return True
+            if isinstance(sub, AtMostC) and sub.n > 1:
+                return True
+    return False
+
+
+def alchif_view(entry: CorpusOntology) -> DLOntology:
+    """Strip constructors outside ALCHIF (drop Q axioms; raw already gone
+    since raw constructors never enter the DL AST)."""
+    axioms = [a for a in entry.tbox.axioms if not _axiom_uses_q(a)]
+    return DLOntology(axioms, name=f"{entry.name}@ALCHIF")
+
+
+def alchiq_view(entry: CorpusOntology) -> DLOntology:
+    """The ALCHIQ view keeps counting; only raw constructors are stripped
+    (which the corpus models as metadata outside the TBox)."""
+    return entry.tbox
+
+
+@dataclass(frozen=True)
+class CorpusReport:
+    """The headline numbers of the BioPortal study."""
+
+    total: int
+    alchif_depth2: int          # ALCHIF view of depth <= 2
+    alchiq_depth1: int          # ALCHIQ view of depth <= 1
+    dichotomy_band: int         # classified into a dichotomy fragment
+    uses_raw: int
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        """(description, count, total) rows in the paper's order."""
+        return [
+            ("ontologies analyzed", self.total, self.total),
+            ("ALCHIF view has depth <= 2 (dichotomy)", self.alchif_depth2, self.total),
+            ("ALCHIQ view has depth 1 (dichotomy)", self.alchiq_depth1, self.total),
+            ("classified into a Figure-1 dichotomy band", self.dichotomy_band, self.total),
+            ("use constructors outside ALCHIQ", self.uses_raw, self.total),
+        ]
+
+
+def analyze_corpus(corpus: list[CorpusOntology]) -> CorpusReport:
+    alchif_d2 = 0
+    alchiq_d1 = 0
+    dichotomy = 0
+    raw = 0
+    for entry in corpus:
+        if entry.raw_constructors:
+            raw += 1
+        fif = alchif_view(entry)
+        if fif.depth() <= 2:
+            alchif_d2 += 1
+        fiq = alchiq_view(entry)
+        if fiq.depth() <= 1:
+            alchiq_d1 += 1
+        band = classify_dl(fif.dl_name(), fif.depth())[1]
+        band_q = classify_dl(fiq.dl_name(), fiq.depth())[1]
+        if Status.DICHOTOMY in (band, band_q):
+            dichotomy += 1
+    return CorpusReport(
+        total=len(corpus),
+        alchif_depth2=alchif_d2,
+        alchiq_depth1=alchiq_d1,
+        dichotomy_band=dichotomy,
+        uses_raw=raw,
+    )

@@ -1,0 +1,164 @@
+"""A synthetic BioPortal-like ontology corpus.
+
+The paper analyzes 411 ontologies from the BioPortal repository: after
+removing constructors outside ALCHIF, 405 have depth <= 2 (a dichotomy
+fragment), and 385 are ALCHIQ of depth 1.  BioPortal is a web service and
+is unavailable offline, so this module generates a *seeded synthetic
+corpus* whose constructor and depth distributions are calibrated to those
+findings; the analysis pipeline (:mod:`repro.bioportal.analyze`) is the
+same pipeline one would run on the real corpus.
+
+Each corpus entry is a DL TBox plus a set of "raw constructor" markers for
+features outside our DL AST (transitive roles, nominals, datatypes), which
+the ALCHIF/ALCHIQ views strip.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..dl.concepts import (
+    AndC, AtLeastC, AtMostC, AtomicC, Concept, ConceptInclusion, DLOntology,
+    ExistsC, ForallC, Functionality, NotC, OrC, Role, RoleInclusion, TopC,
+)
+
+RAW_CONSTRUCTORS = ("transitive-roles", "nominals", "datatypes", "role-chains")
+
+
+@dataclass(frozen=True)
+class CorpusOntology:
+    """One synthetic repository entry."""
+
+    name: str
+    tbox: DLOntology
+    raw_constructors: frozenset[str]
+
+    def __repr__(self) -> str:
+        raw = ",".join(sorted(self.raw_constructors)) or "-"
+        return f"<{self.name}: {self.tbox.dl_name()} depth {self.tbox.depth()} raw[{raw}]>"
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Calibration knobs; defaults reproduce the paper's headline numbers."""
+
+    total: int = 411
+    alchiq_depth1: int = 385          # ALCHIQ view has depth 1
+    alchif_depth2_extra: int = 20     # + depth exactly 2 in the ALCHIF view
+    deep: int = 6                     # depth >= 3: outside the fragments
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if self.alchiq_depth1 + self.alchif_depth2_extra + self.deep != self.total:
+            raise ValueError("corpus segments must sum to the total")
+
+
+def _random_concept(rng: random.Random, concepts: list[str],
+                    roles: list[str], depth: int,
+                    allow_q: bool) -> Concept:
+    """A random concept of exactly the requested restriction depth."""
+    if depth == 0:
+        choice = rng.random()
+        base: Concept = AtomicC(rng.choice(concepts))
+        if choice < 0.15:
+            return NotC(base)
+        if choice < 0.3:
+            return AndC((base, AtomicC(rng.choice(concepts))))
+        if choice < 0.4:
+            return OrC((base, AtomicC(rng.choice(concepts))))
+        return base
+    filler = _random_concept(rng, concepts, roles, depth - 1, allow_q)
+    role = Role(rng.choice(roles), inverse=rng.random() < 0.2)
+    choice = rng.random()
+    if allow_q and choice < 0.2:
+        n = rng.randint(1, 3)
+        return AtLeastC(n, role, filler) if rng.random() < 0.5 \
+            else AtMostC(n, role, filler)
+    if choice < 0.65:
+        return ExistsC(role, filler)
+    return ForallC(role, filler)
+
+
+def _generate_tbox(rng: random.Random, name: str, depth: int,
+                   allow_q: bool, num_axioms: int) -> DLOntology:
+    concepts = [f"C{i}" for i in range(rng.randint(4, 12))]
+    roles = [f"r{i}" for i in range(rng.randint(2, 5))]
+    axioms = []
+    # guarantee at least one axiom of the exact target depth
+    lhs = AtomicC(rng.choice(concepts))
+    axioms.append(ConceptInclusion(
+        lhs, _random_concept(rng, concepts, roles, depth, allow_q)))
+    for _ in range(num_axioms - 1):
+        d = rng.randint(0, depth)
+        left = _random_concept(rng, concepts, roles, min(d, 1), allow_q)
+        right = _random_concept(rng, concepts, roles, d, allow_q)
+        axioms.append(ConceptInclusion(left, right))
+    if rng.random() < 0.5:
+        axioms.append(RoleInclusion(Role(roles[0]), Role(roles[-1])))
+    if rng.random() < 0.3:
+        axioms.append(Functionality(Role(rng.choice(roles))))
+    return DLOntology(axioms, name=name)
+
+
+def generate_corpus(spec: CorpusSpec = CorpusSpec()) -> list[CorpusOntology]:
+    """Generate the seeded corpus according to the calibration spec."""
+    rng = random.Random(spec.seed)
+    out: list[CorpusOntology] = []
+    segments = (
+        [("q1", 1, True)] * spec.alchiq_depth1
+        + [("f2", 2, False)] * spec.alchif_depth2_extra
+        + [("deep", rng.randint(3, 4), False) for _ in range(spec.deep)]
+    )
+    for idx, (kind, depth, allow_q) in enumerate(segments):
+        name = f"bio{idx:03d}"
+        tbox = _generate_tbox(rng, name, depth, allow_q,
+                              num_axioms=rng.randint(8, 40))
+        raw: set[str] = set()
+        # a third of real ontologies use constructors outside ALCHIF/ALCHIQ
+        if rng.random() < 0.33:
+            raw.add(rng.choice(RAW_CONSTRUCTORS))
+        out.append(CorpusOntology(name, tbox, frozenset(raw)))
+    rng.shuffle(out)
+    return out
+
+
+def save_corpus(corpus: list[CorpusOntology], directory) -> int:
+    """Serialize each entry as ``<name>.dl`` (parser-compatible syntax).
+
+    Raw-constructor markers are stored as ``#!raw:`` comment headers.
+    Returns the number of files written.
+    """
+    from pathlib import Path
+
+    from ..dl.render import render_ontology
+
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for entry in corpus:
+        header = ""
+        if entry.raw_constructors:
+            header = "#!raw: " + ",".join(sorted(entry.raw_constructors)) + "\n"
+        (path / f"{entry.name}.dl").write_text(
+            header + render_ontology(entry.tbox))
+    return len(corpus)
+
+
+def load_corpus(directory) -> list[CorpusOntology]:
+    """Load a corpus saved by :func:`save_corpus`."""
+    from pathlib import Path
+
+    from ..dl.parser import parse_dl_ontology
+
+    out: list[CorpusOntology] = []
+    for file in sorted(Path(directory).glob("*.dl")):
+        text = file.read_text()
+        raw: frozenset[str] = frozenset()
+        for line in text.splitlines():
+            if line.startswith("#!raw:"):
+                raw = frozenset(
+                    part.strip()
+                    for part in line.split(":", 1)[1].split(",") if part.strip())
+        tbox = parse_dl_ontology(text, name=file.stem)
+        out.append(CorpusOntology(file.stem, tbox, raw))
+    return out

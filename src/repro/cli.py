@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``classify <ontology-file>`` — fragment, Figure-1 band and complexity
+  verdict for an ontology (FO syntax, or DL with ``--dl``).
+* ``evaluate <ontology-file> <data-file> <query>`` — certain answers of a
+  CQ/UCQ over a database given the ontology.
+* ``consistent <ontology-file> <data-file>`` — consistency check.
+* ``figure1`` — print the Figure-1 classification map.
+* ``bioportal`` — regenerate the corpus analysis.
+
+Data files contain one fact per line (``R(a,b)``); ontology files one
+sentence per line (``forall x,y (R(x,y) -> A(x))``), or DL axioms with
+``--dl`` (``A sub some R B``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.classify import classify_dl_ontology, classify_ontology
+from .core.dichotomy import FIGURE_1
+from .dl.parser import parse_dl_ontology
+from .dl.translate import dl_to_ontology
+from .logic.instance import make_instance
+from .logic.ontology import Ontology, ontology
+from .queries.cq import parse_cq, parse_ucq
+from .semantics.certain import CertainEngine
+
+
+def _load_ontology(path: str, dl: bool) -> Ontology:
+    text = Path(path).read_text()
+    if dl:
+        return dl_to_ontology(parse_dl_ontology(text, name=Path(path).stem))
+    return ontology(text, name=Path(path).stem)
+
+
+def _load_instance(path: str):
+    lines = [
+        line.split("#", 1)[0].strip()
+        for line in Path(path).read_text().splitlines()
+    ]
+    return make_instance(*(line for line in lines if line))
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    if args.dl:
+        tbox = parse_dl_ontology(Path(args.ontology).read_text(),
+                                 name=Path(args.ontology).stem)
+        result = classify_dl_ontology(tbox, check_mat=not args.no_mat)
+    else:
+        onto = _load_ontology(args.ontology, dl=False)
+        result = classify_ontology(onto, check_mat=not args.no_mat)
+    print(result.summary())
+    if result.materializability and result.materializability.witness:
+        print(f"witness  : {result.materializability.witness}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    onto = _load_ontology(args.ontology, args.dl)
+    data = _load_instance(args.data)
+    query = parse_ucq(args.query) if ";" in args.query else parse_cq(args.query)
+    engine = CertainEngine(onto, backend=args.backend)
+    answers = sorted(
+        engine.certain_answers(data, query), key=repr)
+    if query.arity == 0:
+        holds = engine.entails(data, query, ())
+        print(f"certain: {holds}")
+    else:
+        print(f"{len(answers)} certain answer(s):")
+        for answer in answers:
+            print("  " + ", ".join(repr(e) for e in answer))
+    return 0
+
+
+def cmd_consistent(args: argparse.Namespace) -> int:
+    onto = _load_ontology(args.ontology, args.dl)
+    data = _load_instance(args.data)
+    engine = CertainEngine(onto, backend=args.backend)
+    consistent = engine.is_consistent(data)
+    print(f"consistent: {consistent}")
+    return 0 if consistent else 1
+
+
+def cmd_figure1(_args: argparse.Namespace) -> int:
+    print(f"{'fragment':<18} {'band':<14} {'source':<22} note")
+    for entry in FIGURE_1:
+        print(f"{entry.name:<18} {entry.status.name:<14} "
+              f"{entry.theorem:<22} {entry.note}")
+    return 0
+
+
+def cmd_bioportal(args: argparse.Namespace) -> int:
+    from .bioportal import analyze_corpus, generate_corpus
+
+    corpus = generate_corpus()
+    report = analyze_corpus(corpus)
+    for description, count, total in report.rows():
+        print(f"{description:<45} {count:>3}/{total}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ontology-mediated querying with the guarded fragment "
+                    "(PODS 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser("classify", help="classify an ontology")
+    p_classify.add_argument("ontology")
+    p_classify.add_argument("--dl", action="store_true",
+                            help="parse the file as DL axioms")
+    p_classify.add_argument("--no-mat", action="store_true",
+                            help="skip the materializability search")
+    p_classify.set_defaults(func=cmd_classify)
+
+    p_eval = sub.add_parser("evaluate", help="compute certain answers")
+    p_eval.add_argument("ontology")
+    p_eval.add_argument("data")
+    p_eval.add_argument("query",
+                        help='e.g. "q(x) <- R(x,y) & A(y)" '
+                             '(";"-separated disjuncts for a UCQ)')
+    p_eval.add_argument("--dl", action="store_true")
+    p_eval.add_argument("--backend", choices=["auto", "chase", "sat"],
+                        default="auto")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_cons = sub.add_parser("consistent", help="check consistency")
+    p_cons.add_argument("ontology")
+    p_cons.add_argument("data")
+    p_cons.add_argument("--dl", action="store_true")
+    p_cons.add_argument("--backend", choices=["auto", "chase", "sat"],
+                        default="auto")
+    p_cons.set_defaults(func=cmd_consistent)
+
+    p_fig = sub.add_parser("figure1", help="print the Figure-1 map")
+    p_fig.set_defaults(func=cmd_figure1)
+
+    p_bio = sub.add_parser("bioportal", help="run the corpus analysis")
+    p_bio.set_defaults(func=cmd_bioportal)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

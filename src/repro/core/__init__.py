@@ -1,0 +1,32 @@
+"""OMQ core: evaluation, materializability, tolerance, classification."""
+
+from .omq import OMQ
+from .dichotomy import FIGURE_1, FragmentEntry, Status, classify_dl, classify_profile, entry_for
+from .materializability import (
+    DisjunctionWitness, MaterializabilityReport, MatStatus,
+    candidate_instances, candidate_queries, certain_disjunction,
+    check_materializability, is_horn,
+)
+from .tolerance import (
+    ToleranceViolation, candidate_raqs, check_unravelling_reflection,
+    check_unravelling_tolerance, default_flavour,
+)
+from .universal import (
+    find_hom_universal_model, is_hom_universal,
+    materialization_equals_universality, model_query,
+)
+from .classify import Classification, Verdict, classify_dl_ontology, classify_ontology
+from .rewriting import ElemType, PairType, TypeRewriting
+
+__all__ = [
+    "OMQ", "FIGURE_1", "FragmentEntry", "Status", "classify_dl",
+    "classify_profile", "entry_for", "DisjunctionWitness",
+    "MaterializabilityReport", "MatStatus", "candidate_instances",
+    "candidate_queries", "certain_disjunction", "check_materializability",
+    "is_horn", "ToleranceViolation", "candidate_raqs",
+    "check_unravelling_reflection", "check_unravelling_tolerance",
+    "default_flavour", "find_hom_universal_model", "is_hom_universal",
+    "materialization_equals_universality", "model_query", "Classification",
+    "Verdict", "classify_dl_ontology", "classify_ontology", "ElemType",
+    "PairType", "TypeRewriting",
+]

@@ -1,0 +1,111 @@
+"""The per-ontology complexity classifier.
+
+Combines the syntactic Figure-1 band (``repro.core.dichotomy``) with the
+semantic materializability test (``repro.core.materializability``):
+
+* in a DICHOTOMY fragment, Theorem 7 turns the materializability verdict
+  into a complexity verdict — materializable => PTIME query evaluation and
+  Datalog≠-rewritability; not materializable => coNP-hard;
+* in CSP_HARD / NO_DICHOTOMY / OPEN bands only the band (and, where found,
+  a non-materializability witness, which still implies coNP-hardness by
+  Theorem 3) is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..dl.concepts import DLOntology
+from ..dl.translate import dl_to_ontology
+from ..guarded.fragments import profile_ontology
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from .dichotomy import FragmentEntry, Status, classify_dl, classify_profile
+from .materializability import (
+    MaterializabilityReport, MatStatus, check_materializability,
+)
+
+
+class Verdict(Enum):
+    PTIME = "PTIME (and Datalog≠-rewritable)"
+    CONP_HARD = "coNP-hard"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The result of classifying an ontology."""
+
+    fragment: FragmentEntry | None
+    band: Status
+    verdict: Verdict
+    materializability: MaterializabilityReport | None
+
+    def summary(self) -> str:
+        frag = self.fragment.name if self.fragment else "(outside Figure 1)"
+        lines = [
+            f"fragment : {frag}",
+            f"band     : {self.band.name} — {self.band.value}",
+            f"verdict  : {self.verdict.value}",
+        ]
+        if self.materializability is not None:
+            lines.append(f"mat.     : {self.materializability.status.value}")
+        return "\n".join(lines)
+
+
+def classify_ontology(
+    onto: Ontology,
+    dl_source: DLOntology | None = None,
+    check_mat: bool = True,
+    mat_kwargs: dict | None = None,
+    extra_instances: list[Interpretation] | None = None,
+) -> Classification:
+    """Classify an ontology per Figure 1 and Theorem 7.
+
+    ``dl_source`` (the DL TBox the ontology was translated from, if any)
+    enables the finer DL-level band resolution — e.g. ALCHIF depth 2 is a
+    dichotomy fragment even though its uGF profile looks like uGF−2(2,f).
+    """
+    profile = profile_ontology(onto)
+    fragment, band = classify_profile(profile)
+    if dl_source is not None:
+        dl_fragment, dl_band = classify_dl(dl_source.dl_name(), dl_source.depth())
+        if _band_rank(dl_band) < _band_rank(band):
+            fragment, band = dl_fragment, dl_band
+
+    report: MaterializabilityReport | None = None
+    verdict = Verdict.UNKNOWN
+    if check_mat:
+        kwargs = dict(mat_kwargs or {})
+        if extra_instances:
+            kwargs["extra_instances"] = extra_instances
+        report = check_materializability(onto, **kwargs)
+        if report.status is MatStatus.NOT_MATERIALIZABLE:
+            # Theorem 3: coNP-hard in any disjoint-union-invariant language.
+            verdict = Verdict.CONP_HARD
+        elif band is Status.DICHOTOMY:
+            if report.status is MatStatus.MATERIALIZABLE:
+                verdict = Verdict.PTIME
+            elif report.status is MatStatus.MATERIALIZABLE_UP_TO_BOUND:
+                # In a dichotomy fragment materializability is the decisive
+                # property; a bounded search cannot settle it definitively,
+                # but the Horn check already caught the common PTIME cases.
+                verdict = Verdict.UNKNOWN
+    return Classification(fragment, band, verdict, report)
+
+
+def classify_dl_ontology(
+    tbox: DLOntology,
+    check_mat: bool = True,
+    mat_kwargs: dict | None = None,
+) -> Classification:
+    """Classify a DL TBox (translating it to FO first)."""
+    return classify_ontology(
+        dl_to_ontology(tbox), dl_source=tbox, check_mat=check_mat,
+        mat_kwargs=mat_kwargs)
+
+
+def _band_rank(status: Status) -> int:
+    order = [Status.DICHOTOMY, Status.CSP_HARD, Status.NO_DICHOTOMY, Status.OPEN]
+    return order.index(status)

@@ -1,0 +1,158 @@
+"""The Figure-1 classification map.
+
+Figure 1 of the paper sorts ontology languages into three bands:
+
+* **DICHOTOMY** — PTIME/coNP dichotomy holds, and PTIME query evaluation
+  coincides with Datalog≠-rewritability (Theorem 7): uGF(1), uGF−(1,=),
+  uGF−2(2), uGC−2(1,=), and ALCHIF ontologies of depth 2
+  (which includes ALCHIQ of depth 1 via Lemma 7).
+* **CSP_HARD** — a dichotomy would imply the Feder-Vardi conjecture
+  (Theorem 8): uGF2(1,=), uGF2(2), uGF2(1,f), ALCF_l depth 2
+  (and ALC depth 3 from [Lutz-Wolter 2012]).  In these fragments PTIME
+  evaluation and Datalog≠-rewritability provably differ (Theorem 9).
+* **NO_DICHOTOMY** — provably no dichotomy unless PTIME = NP
+  (Theorem 11): uGF−2(2,f), ALCIF_l depth 2 (and ALCF depth 3).
+
+:func:`classify_profile` maps the syntactic profile of an ontology to the
+most specific band, mirroring the figure.  A profile that fits none of the
+named fragments is classified OPEN (full GF: proving a dichotomy implies
+Feder-Vardi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..guarded.fragments import FragmentProfile
+
+
+class Status(Enum):
+    """The three bands of Figure 1 plus the catch-all."""
+
+    DICHOTOMY = "dichotomy (PTIME/coNP; PTIME = Datalog≠-rewritable)"
+    CSP_HARD = "CSP-hard (dichotomy would imply Feder-Vardi; Datalog≠ ≠ PTIME)"
+    NO_DICHOTOMY = "no dichotomy (unless PTIME = NP)"
+    OPEN = "open / beyond the named fragments"
+
+
+@dataclass(frozen=True)
+class FragmentEntry:
+    """One box of Figure 1."""
+
+    name: str
+    status: Status
+    theorem: str
+    note: str = ""
+
+
+FIGURE_1: tuple[FragmentEntry, ...] = (
+    # bottom band: dichotomy
+    FragmentEntry("uGF(1)", Status.DICHOTOMY, "Theorem 7"),
+    FragmentEntry("uGF-(1,=)", Status.DICHOTOMY, "Theorem 7"),
+    FragmentEntry("uGF2-(2)", Status.DICHOTOMY, "Theorem 7"),
+    FragmentEntry("uGC2-(1,=)", Status.DICHOTOMY, "Theorem 7",
+                  "includes ALCHIQ depth 1 (Lemma 7)"),
+    FragmentEntry("ALCHIF depth 2", Status.DICHOTOMY, "Theorem 7"),
+    FragmentEntry("ALCHIQ depth 1", Status.DICHOTOMY, "Theorem 7 + Lemma 7",
+                  "meta-decision EXPTIME-complete (Theorem 13)"),
+    # middle band: CSP-hard
+    FragmentEntry("uGF2(1,=)", Status.CSP_HARD, "Theorem 8"),
+    FragmentEntry("uGF2(2)", Status.CSP_HARD, "Theorem 8",
+                  "via ALC depth 3 [Lutz-Wolter 2012]"),
+    FragmentEntry("uGF2(1,f)", Status.CSP_HARD, "Theorem 8"),
+    FragmentEntry("ALCF_l depth 2", Status.CSP_HARD, "Theorem 8"),
+    FragmentEntry("ALC depth 3", Status.CSP_HARD, "[42]"),
+    # top band: no dichotomy
+    FragmentEntry("uGF2-(2,f)", Status.NO_DICHOTOMY, "Theorem 11",
+                  "meta problems undecidable (Theorem 10)"),
+    FragmentEntry("ALCIF_l depth 2", Status.NO_DICHOTOMY, "Theorem 11",
+                  "meta problems undecidable (Theorem 10)"),
+    FragmentEntry("ALCF depth 3", Status.NO_DICHOTOMY, "[42]"),
+)
+
+
+def entry_for(name: str) -> FragmentEntry:
+    for entry in FIGURE_1:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)
+
+
+def _counting_profile(profile: FragmentProfile) -> FragmentProfile:
+    """View declared functions as depth-1 counting sentences.
+
+    A functionality axiom ``forall x (<=1 R)`` is a uGC−2(1) sentence, so
+    for counting fragments a profile with functions embeds by trading the
+    ``f`` feature for counting (equality is needed for the encoding).
+    """
+    if not profile.functions:
+        return profile
+    return FragmentProfile(
+        is_ugf=profile.is_ugf,
+        depth=max(profile.depth, 1),
+        two_variable=profile.two_variable,
+        outer_equality_only=profile.outer_equality_only,
+        equality=True,
+        counting=True,
+        functions=False,
+        max_arity=profile.max_arity,
+    )
+
+
+def classify_profile(profile: FragmentProfile) -> tuple[FragmentEntry | None, Status]:
+    """Resolve a profile to the most favourable Figure-1 fragment.
+
+    Bands are checked bottom-up: a profile in a dichotomy fragment is
+    classified DICHOTOMY even if it also embeds into a harder language
+    above it.
+    """
+    if not profile.is_ugf:
+        return None, Status.OPEN
+    p = profile
+    # --- dichotomy band ---
+    if (p.depth <= 1 and not p.counting and not p.functions and not p.equality):
+        return entry_for("uGF(1)"), Status.DICHOTOMY
+    if (p.depth <= 1 and p.outer_equality_only and not p.counting
+            and not p.functions):
+        return entry_for("uGF-(1,=)"), Status.DICHOTOMY
+    if (p.two_variable and p.depth <= 2 and p.outer_equality_only
+            and not p.counting and not p.functions and not p.equality):
+        return entry_for("uGF2-(2)"), Status.DICHOTOMY
+    pc = _counting_profile(p)
+    if pc.two_variable and pc.depth <= 1 and pc.outer_equality_only:
+        return entry_for("uGC2-(1,=)"), Status.DICHOTOMY
+    # --- CSP-hard band ---
+    if (p.two_variable and p.depth <= 1 and not p.counting and not p.functions):
+        # equality but guards not restricted to the outermost position
+        return entry_for("uGF2(1,=)"), Status.CSP_HARD
+    if (p.two_variable and p.depth <= 2 and not p.counting and not p.functions
+            and not p.equality):
+        return entry_for("uGF2(2)"), Status.CSP_HARD
+    if (p.two_variable and p.depth <= 1 and p.functions and not p.counting
+            and not p.equality):
+        return entry_for("uGF2(1,f)"), Status.CSP_HARD
+    # --- no-dichotomy band ---
+    if (p.two_variable and p.depth <= 2 and p.outer_equality_only
+            and p.functions and not p.counting):
+        return entry_for("uGF2-(2,f)"), Status.NO_DICHOTOMY
+    return None, Status.OPEN
+
+
+def classify_dl(dl_name: str, depth: int) -> tuple[FragmentEntry | None, Status]:
+    """Classification of a DL TBox by name letters and depth (Figure 1)."""
+    feats = set(dl_name.replace("ALC", "").replace("F_l", "L"))
+    # L stands for F_l after the substitution above
+    if depth <= 1 and feats <= {"H", "I", "Q", "F", "L"}:
+        return entry_for("ALCHIQ depth 1"), Status.DICHOTOMY
+    if depth <= 2 and feats <= {"H", "I", "F"}:
+        return entry_for("ALCHIF depth 2"), Status.DICHOTOMY
+    if depth <= 2 and feats <= {"L"}:
+        return entry_for("ALCF_l depth 2"), Status.CSP_HARD
+    if depth <= 2 and feats <= {"I", "L"}:
+        return entry_for("ALCIF_l depth 2"), Status.NO_DICHOTOMY
+    if depth <= 3 and not feats:
+        return entry_for("ALC depth 3"), Status.CSP_HARD
+    if depth <= 3 and feats <= {"F"}:
+        return entry_for("ALCF depth 3"), Status.NO_DICHOTOMY
+    return None, Status.OPEN

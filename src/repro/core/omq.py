@@ -1,0 +1,52 @@
+"""Ontology-mediated queries (Section 2).
+
+An OMQ is a pair ``(O, q)`` of an ontology and a UCQ.  Evaluation is
+delegated to :class:`~repro.semantics.certain.CertainEngine`; the engine is
+created lazily and cached on the OMQ so repeated evaluations share the rule
+conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..logic.syntax import Element
+from ..queries.cq import CQ, UCQ
+from ..semantics.certain import Backend, CertainEngine
+
+
+@dataclass
+class OMQ:
+    """An ontology-mediated query ``(O, q)``."""
+
+    ontology: Ontology
+    query: CQ | UCQ
+    backend: Backend = "auto"
+    chase_depth: int = 6
+    sat_extra: int = 3
+    _engine: CertainEngine | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def arity(self) -> int:
+        return self.query.arity
+
+    def engine(self) -> CertainEngine:
+        if self._engine is None:
+            self._engine = CertainEngine(
+                self.ontology, backend=self.backend,
+                chase_depth=self.chase_depth, sat_extra=self.sat_extra)
+        return self._engine
+
+    def evaluate(self, instance: Interpretation,
+                 answer: Sequence[Element] = ()) -> bool:
+        """The query evaluation problem: decide ``O, D |= q(answer)``."""
+        return self.engine().entails(instance, self.query, answer)
+
+    def certain_answers(self, instance: Interpretation) -> set[tuple[Element, ...]]:
+        return self.engine().certain_answers(instance, self.query)
+
+    def __repr__(self) -> str:
+        return f"OMQ({self.ontology!r}, {self.query!r})"

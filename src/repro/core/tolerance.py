@@ -1,0 +1,170 @@
+"""Unravelling tolerance (Definition 3, Section 4).
+
+An ontology O is unravelling tolerant if for every instance D, rAQ q and
+tuple ~a whose element set G is maximally guarded in D:
+
+    O, D |= q(~a)   iff   O, D^u |= q(~b)
+
+where ~b is the copy of ~a in the root bag of G in the unravelling D^u.
+The (2) => (1) direction always holds (for the appropriate unravelling
+flavour); this module tests the (1) => (2) direction on supplied instances
+and depth-bounded unravellings.
+
+Because certain answers are monotone under adding facts, an entailment that
+holds on the truncated unravelling also holds on the full one, so *tolerant*
+verdicts are only "up to the bound", while each reported violation is
+re-checked at increasing depth to weed out truncation artifacts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..guarded.fragments import profile_ontology
+from ..guarded.unravel import Flavour, unravel
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..logic.syntax import Atom, Element, Var
+from ..queries.cq import CQ
+from ..semantics.certain import CertainEngine
+
+
+@dataclass(frozen=True)
+class ToleranceViolation:
+    """A Def.-3 failure: certain on D, not certain on the unravelling."""
+
+    instance: Interpretation
+    query: CQ
+    answer: tuple[Element, ...]
+    unravel_depth: int
+
+    def __repr__(self) -> str:
+        return (f"ToleranceViolation({self.query!r} @ {self.answer} on "
+                f"{self.instance!r}, depth {self.unravel_depth})")
+
+
+def default_flavour(onto: Ontology) -> Flavour:
+    """uGC2-unravelling for counting/functional ontologies, else uGF."""
+    profile = profile_ontology(onto)
+    if profile.counting or profile.functions:
+        return "uGC2"
+    return "uGF"
+
+
+def candidate_raqs(sig: dict[str, int]) -> list[CQ]:
+    """rAQs whose answer variables fill a binary guard (plus unary ones)."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    out: list[CQ] = []
+    unaries = sorted(p for p, k in sig.items() if k == 1)
+    binaries = sorted(p for p, k in sig.items() if k == 2)
+    for p in unaries:
+        out.append(CQ((x,), [Atom(p, (x,))]))
+    for r in binaries:
+        out.append(CQ((x,), [Atom(r, (x, y))]))
+        for p in unaries:
+            out.append(CQ((x, y), [Atom(r, (x, y)), Atom(p, (x,))]))
+            out.append(CQ((x, y), [Atom(r, (x, y)), Atom(p, (y,))]))
+        for s in binaries:
+            out.append(CQ((x, y), [Atom(r, (x, y)), Atom(s, (y, z))]))
+    return out
+
+
+def check_unravelling_reflection(
+    onto: Ontology,
+    instances: list[Interpretation],
+    queries: list[CQ] | None = None,
+    unravel_depth: int = 3,
+    flavour: Flavour | None = None,
+    sat_extra: int = 3,
+) -> tuple[bool, list[ToleranceViolation]]:
+    """Test the (2) => (1) direction of Definition 3.
+
+    For uGF(=) ontologies this direction always holds for the
+    uGF-unravelling, and for uGC2(=) ontologies for the uGC2-unravelling —
+    but NOT for counting ontologies under the uGF-unravelling (the
+    ``∃≥4 R`` example of Section 4): revisited guarded sets inflate
+    successor counts, making more answers certain on D^u than on D.
+    Violations returned are pairs certain on the unravelling prefix but
+    not on the original instance.
+    """
+    if flavour is None:
+        flavour = default_flavour(onto)
+    if queries is None:
+        queries = candidate_raqs(onto.sig())
+    engine = CertainEngine(onto, sat_extra=sat_extra)
+    violations: list[ToleranceViolation] = []
+    for instance in instances:
+        if not engine.is_consistent(instance):
+            continue
+        for guarded_set in sorted(instance.maximal_guarded_sets(), key=repr):
+            # one tree at a time: certain answers at copies in the tree of G
+            # only depend on that tree (invariance under disjoint unions)
+            unr = unravel(instance, depth=unravel_depth, flavour=flavour,
+                          roots=[guarded_set])
+            elems = tuple(sorted(guarded_set, key=repr))
+            for query in queries:
+                if query.arity > len(elems):
+                    continue
+                # the (2) => (1) implication is stated for arbitrary tuples,
+                # so subsets of the guarded set are checked too
+                for answer in itertools.permutations(elems, query.arity):
+                    copy = unr.copy_of(answer, guarded_set)
+                    if not engine.entails(unr.interpretation, query, copy):
+                        continue
+                    if engine.entails(instance, query, answer):
+                        continue
+                    violations.append(ToleranceViolation(
+                        instance, query, answer, unravel_depth))
+    return not violations, violations
+
+
+def check_unravelling_tolerance(
+    onto: Ontology,
+    instances: list[Interpretation],
+    queries: list[CQ] | None = None,
+    unravel_depth: int = 3,
+    confirm_depth: int = 5,
+    flavour: Flavour | None = None,
+    sat_extra: int = 3,
+) -> tuple[bool, list[ToleranceViolation]]:
+    """Test Definition 3 on the given instances.
+
+    Returns ``(tolerant_up_to_bound, violations)``.  Each candidate
+    violation found at ``unravel_depth`` is re-checked at ``confirm_depth``
+    before being reported.
+    """
+    if flavour is None:
+        flavour = default_flavour(onto)
+    if queries is None:
+        queries = candidate_raqs(onto.sig())
+    engine = CertainEngine(onto, sat_extra=sat_extra)
+    violations: list[ToleranceViolation] = []
+
+    for instance in instances:
+        if not engine.is_consistent(instance):
+            continue
+        unr = unravel(instance, depth=unravel_depth, flavour=flavour)
+        deep = None  # lazily computed confirmation unravelling
+        for guarded_set in sorted(instance.maximal_guarded_sets(), key=repr):
+            elems = tuple(sorted(guarded_set, key=repr))
+            for query in queries:
+                if query.arity > len(elems):
+                    continue
+                for answer in itertools.permutations(elems, query.arity):
+                    if set(answer) != set(elems):
+                        continue  # the answer's element set must be G
+                    if not engine.entails(instance, query, answer):
+                        continue
+                    copy = unr.copy_of(answer, guarded_set)
+                    if engine.entails(unr.interpretation, query, copy):
+                        continue
+                    if deep is None:
+                        deep = unravel(instance, depth=confirm_depth,
+                                       flavour=flavour)
+                    deep_copy = deep.copy_of(answer, guarded_set)
+                    if engine.entails(deep.interpretation, query, deep_copy):
+                        continue  # truncation artifact
+                    violations.append(ToleranceViolation(
+                        instance, query, answer, confirm_depth))
+    return not violations, violations

@@ -1,0 +1,131 @@
+"""Hom-universal models and materializations (Section 3, Lemma 2).
+
+A model U of D and O is *hom-universal* if it maps homomorphically into
+every model of D and O preserving dom(D).  Lemma 2: for uGC2(=) ontologies,
+materializability coincides with admitting hom-universal models — but the
+two notions differ for uGF(2) with three variables, and a concrete
+hom-universal model need not be a materialization (and vice versa).
+
+The homomorphism condition is a certain-answer statement: turning U's
+labelled nulls into existential variables yields a CQ q_U over the answer
+tuple dom(D), and U is hom-universal iff ``O, D |= q_U(dom(D))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..logic.syntax import Atom, Element, Null, Var
+from ..queries.cq import CQ
+from ..semantics.certain import CertainEngine
+from ..semantics.chase import ChaseError, chase
+from ..semantics.rules import convert_ontology
+
+
+def model_query(
+    model: Interpretation,
+    preserve: Sequence[Element],
+) -> tuple[CQ, tuple[Element, ...]]:
+    """The CQ q_U of a candidate universal model.
+
+    Preserved elements (dom(D)) become answer variables; labelled nulls
+    become existential variables.
+    """
+    mapping: dict[Element, Var] = {}
+    answer_vars: list[Var] = []
+    ordered = sorted(model.dom(), key=repr)
+    preserve_set = set(preserve)
+    for idx, elem in enumerate(ordered):
+        if elem in preserve_set:
+            var = Var(f"x{idx}")
+            answer_vars.append(var)
+        else:
+            var = Var(f"v{idx}")
+        mapping[elem] = var
+    atoms = [Atom(f.pred, tuple(mapping[x] for x in f.args)) for f in model]
+    answer = tuple(e for e in ordered if e in preserve_set)
+    return CQ(tuple(answer_vars), atoms), answer
+
+
+def is_hom_universal(
+    onto: Ontology,
+    instance: Interpretation,
+    model: Interpretation,
+    engine: CertainEngine | None = None,
+) -> bool:
+    """Is *model* a hom-universal model of *instance* and *onto*?
+
+    Checks (i) the model contains the instance and satisfies the ontology
+    and (ii) the certain-answer condition for q_U.
+    """
+    from ..logic.model_check import satisfies_all
+
+    for fact in instance:
+        if fact not in model:
+            return False
+    if not satisfies_all(model, onto.all_sentences()):
+        return False
+    if engine is None:
+        engine = CertainEngine(onto)
+    query, answer = model_query(model, sorted(instance.dom(), key=repr))
+    return engine.entails(instance, query, answer)
+
+
+@dataclass(frozen=True)
+class UniversalModelReport:
+    model: Interpretation | None
+    complete: bool  # False when the chase was truncated
+
+    def __bool__(self) -> bool:
+        return self.model is not None
+
+
+def find_hom_universal_model(
+    onto: Ontology,
+    instance: Interpretation,
+    max_depth: int = 6,
+) -> UniversalModelReport:
+    """Construct a hom-universal model via the chase (Horn ontologies).
+
+    For Horn rule-convertible ontologies the chase result is a universal
+    model of D and O; for disjunctive ontologies no single branch is
+    universal in general and ``model=None`` is returned.
+    """
+    rules = convert_ontology(onto)
+    if rules is None or any(rule.is_disjunctive() for rule in rules):
+        return UniversalModelReport(None, True)
+    try:
+        result = chase(onto, instance, rules=rules, max_depth=max_depth)
+    except ChaseError:
+        return UniversalModelReport(None, False)
+    consistent = result.consistent_branches()
+    if not consistent:
+        return UniversalModelReport(None, result.fully_chased)
+    branch = consistent[0]
+    return UniversalModelReport(branch.interp, branch.complete)
+
+
+def materialization_equals_universality(
+    onto: Ontology,
+    instances: Sequence[Interpretation],
+    engine: CertainEngine | None = None,
+    max_depth: int = 6,
+) -> bool:
+    """Check Lemma 2's equivalence on concrete instances.
+
+    For every given instance with a chase-constructible universal model,
+    verify it is hom-universal (the materializability side is covered by
+    the Horn argument).
+    """
+    if engine is None:
+        engine = CertainEngine(onto)
+    for instance in instances:
+        report = find_hom_universal_model(onto, instance, max_depth)
+        if report.model is None:
+            continue
+        if not is_hom_universal(onto, instance, report.model, engine):
+            return False
+    return True

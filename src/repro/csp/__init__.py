@@ -1,0 +1,11 @@
+"""CSP substrate: templates, a solver, and the Theorem-8 encodings."""
+
+from .template import Template, clique_template, path_template
+from .solver import is_homomorphic, random_graph_instance, solve
+from .encoding import CSPEncoding, Style, encode_template, marker_relation
+
+__all__ = [
+    "Template", "clique_template", "path_template", "is_homomorphic",
+    "random_graph_instance", "solve", "CSPEncoding", "Style",
+    "encode_template", "marker_relation",
+]

@@ -1,0 +1,212 @@
+"""The Theorem-8 encodings: from CSP templates to ontologies.
+
+For a template A (admitting precoloring) the construction produces an
+ontology O_A such that evaluating the OMQ ``(O_A, q <- N(x))`` is
+polynomially equivalent to coCSP(A).  Three styles realize the marker
+formulas phi_a in the three CSP-hard languages of Figure 1's middle band:
+
+* ``eq``          (uGF2(1,=)):   phi≠_a(x) = ∃y(Ra(x,y) ∧ x≠y),
+                                 phi=_a(x) = ∃y(Ra(x,y) ∧ x=y)
+* ``counting``    (ALCF_l d. 2): phi≠_a(x) = ∃≥2 y Ra(x,y),
+                                 phi=_a(x) = ∃y Ra(x,y)
+* ``functional``  (uGF2(1,f)):   phi≠_a(x) = ∃y(Ra(x,y) ∧ ¬F(x,y)) with F a
+                                 function satisfying ∀x F(x,x)
+
+phi≠_a(x) being true means "x is mapped to template element a"; the
+sentences force exactly one marker per element and homomorphism
+compatibility, while ∀x phi=_a(x) makes the marker choice invisible to
+(equality-free) conjunctive queries.
+
+The module also implements both reduction directions used in the proof:
+``omq_instance`` (coCSP -> OMQ evaluation) and ``consistency_reduct``
+(OMQ consistency -> CSP).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Literal
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..logic.syntax import (
+    And, Atom, Const, CountExists, Element, Eq, Exists, Forall, Formula,
+    Implies, Not, Or, Top, Var,
+)
+from ..queries.cq import CQ
+from .template import Template
+
+Style = Literal["eq", "counting", "functional"]
+
+_X, _Y = Var("x"), Var("y")
+
+
+def marker_relation(elem: Element) -> str:
+    return f"R_{getattr(elem, 'name', elem)}"
+
+
+@dataclass(frozen=True)
+class CSPEncoding:
+    """The ontology O_A of Theorem 8 together with its reductions."""
+
+    template: Template
+    ontology: Ontology
+    query: CQ
+    style: Style
+
+    # -- reduction 1: coCSP(A) -> OMQ evaluation -----------------------------
+
+    def omq_instance(self, instance: Interpretation) -> Interpretation:
+        """D' = D plus marker successors realizing the precoloring.
+
+        For each precolored element (P_a(d) in D) fresh successors are
+        added so that phi≠_a(d) is forced in every model.
+        """
+        out = instance.copy()
+        fresh = 0
+        for elem in sorted(self.template.dom(), key=repr):
+            pred = self.template.precolor_pred(elem)
+            rel = marker_relation(elem)
+            witnesses = 2 if self.style == "counting" else 1
+            for (d,) in sorted(instance.tuples(pred), key=repr):
+                for _ in range(witnesses):
+                    succ = Const(f"pre{fresh}")
+                    fresh += 1
+                    out.add(Atom(rel, (d, succ)))
+        return out
+
+    # -- reduction 2: OMQ consistency -> CSP(A) ------------------------------
+
+    def consistency_reduct(self, instance: Interpretation) -> Interpretation:
+        """D• : the sig(A)-reduct extended with precolors read off markers."""
+        out = instance.restrict_signature(self.template.sig())
+        for elem in sorted(self.template.dom(), key=repr):
+            rel = marker_relation(elem)
+            pred = self.template.precolor_pred(elem)
+            if self.style == "counting":
+                successors: dict[Element, set[Element]] = {}
+                for d, d2 in instance.tuples(rel):
+                    successors.setdefault(d, set()).add(d2)
+                for d, succ in successors.items():
+                    if len(succ) >= 2:
+                        out.add(Atom(pred, (d,)))
+            else:
+                for d, d2 in instance.tuples(rel):
+                    if d != d2:
+                        out.add(Atom(pred, (d,)))
+        return out
+
+
+def _markers(template: Template, style: Style) -> dict[Element, tuple[Formula, Formula]]:
+    """(phi≠_a(x), phi=_a(x)) per template element."""
+    out: dict[Element, tuple[Formula, Formula]] = {}
+    for a in sorted(template.dom(), key=repr):
+        rel = marker_relation(a)
+        guard = Atom(rel, (_X, _Y))
+        if style == "eq":
+            neq = Exists((_Y,), guard, Not(Eq(_X, _Y)))
+            eq = Exists((_Y,), guard, Eq(_X, _Y))
+        elif style == "counting":
+            neq = CountExists(2, _Y, guard, Top())
+            eq = Exists((_Y,), guard, Top())
+        else:  # functional
+            neq = Exists((_Y,), guard, Not(Atom("F", (_X, _Y))))
+            eq = Exists((_Y,), guard, Atom("F", (_X, _Y)))
+        out[a] = (neq, eq)
+    return out
+
+
+def encode_template(template: Template, style: Style = "eq") -> CSPEncoding:
+    """Build the Theorem-8 ontology for a (precoloring-closed) template."""
+    template = template.with_precoloring()
+    markers = _markers(template, style)
+    elems = sorted(template.dom(), key=repr)
+    sentences: list[Formula] = []
+
+    # 1. every node carries exactly one marker
+    exclusivity = And.of(*(
+        Not(And.of(markers[a][0], markers[b][0]))
+        for a, b in itertools.combinations(elems, 2)
+    ))
+    coverage = Or.of(*(markers[a][0] for a in elems))
+    sentences.append(Forall((_X,), Eq(_X, _X), And.of(exclusivity, coverage)))
+
+    # 2. unary compatibility: A(x) -> ¬phi≠_a(x) whenever A(a) ∉ template
+    for pred, arity in sorted(template.sig().items()):
+        if arity != 1:
+            continue
+        holds_at = {t[0] for t in template.interp.tuples(pred)}
+        for a in elems:
+            if a not in holds_at:
+                sentences.append(
+                    Forall((_X,), Atom(pred, (_X,)), Not(markers[a][0])))
+
+    # 3. binary compatibility: R(x,y) -> ¬(phi≠_a(x) ∧ phi≠_a'(y))
+    #    whenever R(a,a') ∉ template
+    for pred, arity in sorted(template.sig().items()):
+        if arity != 2:
+            continue
+        pairs = template.interp.tuples(pred)
+        for a in elems:
+            for b in elems:
+                if (a, b) not in pairs:
+                    phi_b = _rename_to_y(markers[b][0])
+                    sentences.append(Forall(
+                        (_X, _Y), Atom(pred, (_X, _Y)),
+                        Not(And.of(markers[a][0], phi_b))))
+
+    # 4. marker invisibility: ∀x phi=_a(x)
+    for a in elems:
+        sentences.append(Forall((_X,), Eq(_X, _X), markers[a][1]))
+
+    functional: list[str] = []
+    if style == "functional":
+        functional = ["F"]
+        sentences.append(Forall((_X,), Eq(_X, _X), Atom("F", (_X, _X))))
+
+    onto = Ontology(sentences, functional=functional,
+                    name=f"O[{template.name or 'A'}:{style}]")
+    query = CQ((), [Atom("N", (Var("z"),))])
+    return CSPEncoding(template, onto, query, style)
+
+
+def _rename_to_y(phi: Formula) -> Formula:
+    """Rename the free variable x to y in a marker formula.
+
+    Marker formulas have exactly one free variable x and one bound
+    variable y; swapping the two stays inside the two-variable fragment.
+    """
+    return _swap_xy(phi)
+
+
+def _swap_xy(phi: Formula) -> Formula:
+    swap = {_X: _Y, _Y: _X}
+
+    def sub_term(t):
+        return swap.get(t, t)
+
+    if isinstance(phi, Atom):
+        return Atom(phi.pred, tuple(sub_term(a) for a in phi.args))
+    if isinstance(phi, Eq):
+        return Eq(sub_term(phi.left), sub_term(phi.right))
+    if isinstance(phi, Not):
+        return Not(_swap_xy(phi.sub))
+    if isinstance(phi, And):
+        return And.of(*(_swap_xy(c) for c in phi.conjuncts))
+    if isinstance(phi, Or):
+        return Or.of(*(_swap_xy(d) for d in phi.disjuncts))
+    if isinstance(phi, Implies):
+        return Implies(_swap_xy(phi.antecedent), _swap_xy(phi.consequent))
+    if isinstance(phi, Exists):
+        guard = None if phi.guard is None else _swap_xy(phi.guard)
+        return Exists(tuple(swap.get(v, v) for v in phi.vars), guard, _swap_xy(phi.body))
+    if isinstance(phi, Forall):
+        guard = None if phi.guard is None else _swap_xy(phi.guard)
+        return Forall(tuple(swap.get(v, v) for v in phi.vars), guard, _swap_xy(phi.body))
+    if isinstance(phi, CountExists):
+        return CountExists(phi.n, swap.get(phi.var, phi.var),
+                           _swap_xy(phi.guard), _swap_xy(phi.body))
+    if isinstance(phi, (Top,)):
+        return phi
+    return phi

@@ -1,0 +1,163 @@
+"""A CSP / homomorphism solver: AC-3 arc consistency plus MRV backtracking.
+
+``solve(instance, template)`` decides ``D -> A`` and returns a homomorphism
+or None.  Unary relations prune domains directly; binary relations induce
+the arcs.  The solver is deliberately independent from
+:mod:`repro.logic.homomorphism` so that the Theorem-8 benchmarks can compare
+the OMQ route against a native CSP route.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from ..logic.instance import Interpretation
+from ..logic.syntax import Element
+from .template import Template
+
+
+class NoHomomorphism(Exception):
+    pass
+
+
+def _initial_domains(
+    instance: Interpretation,
+    template: Template,
+) -> dict[Element, set[Element]] | None:
+    """Domains after unary pruning; None if some domain is already empty."""
+    universe = set(template.dom())
+    domains: dict[Element, set[Element]] = {
+        d: set(universe) for d in instance.dom()
+    }
+    for pred, arity in instance.sig().items():
+        if arity != 1:
+            continue
+        allowed = {t[0] for t in template.interp.tuples(pred)}
+        for (d,) in instance.tuples(pred):
+            domains[d] &= allowed
+            if not domains[d]:
+                return None
+    return domains
+
+
+def _binary_constraints(
+    instance: Interpretation,
+    template: Template,
+) -> list[tuple[Element, Element, frozenset[tuple[Element, Element]]]]:
+    """(d, d', allowed-pairs) for every binary fact R(d, d')."""
+    out = []
+    for pred, arity in instance.sig().items():
+        if arity != 2:
+            continue
+        allowed = frozenset(template.interp.tuples(pred))
+        for d, d2 in instance.tuples(pred):
+            out.append((d, d2, allowed))
+    return out
+
+
+def ac3(
+    domains: dict[Element, set[Element]],
+    constraints: list[tuple[Element, Element, frozenset]],
+) -> bool:
+    """Run AC-3 to arc consistency; False if a domain empties."""
+    # arcs in both directions for each constraint
+    queue = list(range(len(constraints))) + [-i - 1 for i in range(len(constraints))]
+    while queue:
+        idx = queue.pop()
+        if idx >= 0:
+            x, y, allowed = constraints[idx]
+            pairs = allowed
+        else:
+            y, x, allowed = constraints[-idx - 1]
+            pairs = frozenset((b, a) for (a, b) in allowed)
+        # revise dom(x) against dom(y) w.r.t. pairs (x-position first)
+        removed = False
+        for vx in list(domains[x]):
+            if not any((vx, vy) in pairs for vy in domains[y]):
+                domains[x].discard(vx)
+                removed = True
+        if not domains[x]:
+            return False
+        if removed:
+            for jdx, (a, b, _) in enumerate(constraints):
+                if b == x:
+                    queue.append(jdx)
+                if a == x:
+                    queue.append(-jdx - 1)
+    return True
+
+
+def solve(
+    instance: Interpretation,
+    template: Template,
+    use_ac3: bool = True,
+) -> dict[Element, Element] | None:
+    """Find a homomorphism from *instance* to the template, or None."""
+    for pred, arity in instance.sig().items():
+        if pred not in template.sig() and instance.tuples(pred):
+            return None  # a relation absent from the template cannot map
+    domains = _initial_domains(instance, template)
+    if domains is None:
+        return None
+    constraints = _binary_constraints(instance, template)
+    if use_ac3 and not ac3(domains, constraints):
+        return None
+
+    # index constraints per element for the backtracking phase
+    by_elem: dict[Element, list[tuple[Element, Element, frozenset]]] = {}
+    for con in constraints:
+        by_elem.setdefault(con[0], []).append(con)
+        by_elem.setdefault(con[1], []).append(con)
+
+    assignment: dict[Element, Element] = {}
+    order = sorted(domains, key=lambda d: (len(domains[d]), repr(d)))
+
+    def consistent(elem: Element, value: Element) -> bool:
+        for (a, b, allowed) in by_elem.get(elem, ()):
+            va = value if a == elem else assignment.get(a)
+            vb = value if b == elem else assignment.get(b)
+            if a == b:
+                va = vb = value
+            if va is not None and vb is not None and (va, vb) not in allowed:
+                return False
+        return True
+
+    def backtrack(idx: int) -> bool:
+        if idx == len(order):
+            return True
+        elem = order[idx]
+        for value in sorted(domains[elem], key=repr):
+            if consistent(elem, value):
+                assignment[elem] = value
+                if backtrack(idx + 1):
+                    return True
+                del assignment[elem]
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def is_homomorphic(instance: Interpretation, template: Template) -> bool:
+    """Decide D -> A."""
+    return solve(instance, template) is not None
+
+
+def random_graph_instance(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    edge: str = "E",
+    symmetric: bool = True,
+) -> Interpretation:
+    """Helper to build graph instances for CSP experiments."""
+    from ..logic.syntax import Atom, Const
+
+    interp = Interpretation()
+    names = [Const(f"v{i}") for i in range(n)]
+    for i, j in edges:
+        interp.add(Atom(edge, (names[i], names[j])))
+        if symmetric:
+            interp.add(Atom(edge, (names[j], names[i])))
+    return interp

@@ -1,0 +1,84 @@
+"""CSP templates (Section 6).
+
+A template is a finite interpretation A; CSP(A) asks whether an input
+instance maps homomorphically to A.  Following the paper we assume relations
+of arity at most two and work with templates that *admit precoloring*: for
+each element a there is a unary relation P_a holding exactly at a.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..logic.instance import Interpretation
+from ..logic.syntax import Atom, Const, Element
+
+
+@dataclass(frozen=True)
+class Template:
+    """A CSP template with named elements."""
+
+    interp: Interpretation
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for pred, arity in self.interp.sig().items():
+            if arity > 2:
+                raise ValueError(
+                    f"template relation {pred} has arity {arity} > 2")
+
+    def dom(self) -> frozenset[Element]:
+        return self.interp.dom()
+
+    def sig(self) -> dict[str, int]:
+        return self.interp.sig()
+
+    def precolor_pred(self, elem: Element) -> str:
+        return f"P_{getattr(elem, 'name', elem)}"
+
+    def admits_precoloring(self) -> bool:
+        """Does each element a carry a unary P_a true exactly at a?"""
+        for elem in self.dom():
+            pred = self.precolor_pred(elem)
+            if self.interp.tuples(pred) != {(elem,)}:
+                return False
+        return True
+
+    def with_precoloring(self) -> "Template":
+        """Extend the template with precoloring predicates P_a.
+
+        By [Larose-Tesson] the extended CSP is polynomially equivalent to
+        the original, so w.l.o.g. templates admit precoloring.
+        """
+        if self.admits_precoloring():
+            return self
+        extended = self.interp.copy()
+        for elem in self.dom():
+            extended.add(Atom(self.precolor_pred(elem), (elem,)))
+        return Template(extended, name=f"{self.name}+pre")
+
+    def __repr__(self) -> str:
+        label = self.name or "Template"
+        return f"<{label}: |dom|={len(self.dom())}, sig={sorted(self.sig())}>"
+
+
+def clique_template(n: int, edge: str = "E") -> Template:
+    """K_n with a symmetric edge relation: CSP(K_n) is n-colorability."""
+    interp = Interpretation()
+    elems = [Const(f"k{i}") for i in range(n)]
+    for a, b in itertools.permutations(elems, 2):
+        interp.add(Atom(edge, (a, b)))
+    if n == 1:
+        interp.add(Atom("V", (elems[0],)))
+    return Template(interp, name=f"K{n}")
+
+
+def path_template(n: int, edge: str = "E") -> Template:
+    """A reflexivity-free path template (used as a tractable example)."""
+    interp = Interpretation()
+    elems = [Const(f"p{i}") for i in range(n)]
+    for i in range(n - 1):
+        interp.add(Atom(edge, (elems[i], elems[i + 1])))
+        interp.add(Atom(edge, (elems[i + 1], elems[i])))
+    return Template(interp, name=f"P{n}")

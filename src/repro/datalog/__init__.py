@@ -1,0 +1,9 @@
+"""Datalog(≠) programs and bottom-up evaluation."""
+
+from .program import Neq, Program, Rule, parse_program, parse_rule
+from .engine import entails_goal, evaluate, goal_answers
+
+__all__ = [
+    "Neq", "Program", "Rule", "parse_program", "parse_rule",
+    "entails_goal", "evaluate", "goal_answers",
+]

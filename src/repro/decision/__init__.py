@@ -1,0 +1,21 @@
+"""Meta-decision procedures (Theorem 13) and the Example-8 family."""
+
+from .bouquets import (
+    NeighbourType, build_bouquet, count_bouquets, enumerate_bouquets,
+    neighbour_types,
+)
+from .alchiq import (
+    OneMatReport, PTimeDecision, bouquet_query, decide_ptime_alchiq,
+    decide_ptime_ontology, find_one_materialization, minimize_model,
+)
+from .example8 import counter_chain, example8_ontology, r_chain
+from .ugc2 import UGC2Decision, decide_ptime_ugc2, reflexive_bouquets
+
+__all__ = [
+    "UGC2Decision", "decide_ptime_ugc2", "reflexive_bouquets",
+    "NeighbourType", "build_bouquet", "count_bouquets", "enumerate_bouquets",
+    "neighbour_types", "OneMatReport", "PTimeDecision", "bouquet_query",
+    "decide_ptime_alchiq", "decide_ptime_ontology",
+    "find_one_materialization", "minimize_model", "counter_chain",
+    "example8_ontology", "r_chain",
+]

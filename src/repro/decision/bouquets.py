@@ -1,0 +1,103 @@
+"""Bouquet enumeration for the Theorem-13 decision procedures.
+
+A *bouquet* with root a is an interpretation equal to the 1-neighbourhood
+of a (Section 8).  Lemma 5 shows that an ALCHIQ depth-1 ontology is
+materializable iff it is materializable for the class of irreflexive
+bouquets of outdegree <= |O| over sig(O); this module enumerates that class
+(with a configurable outdegree cap, since |O| is usually far larger than
+necessary in practice).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..logic.instance import Interpretation
+from ..logic.syntax import Atom, Const, Element
+
+
+ROOT = Const("root")
+
+
+@dataclass(frozen=True)
+class NeighbourType:
+    """One petal: directed edges to/from the root plus unary labels."""
+
+    out_edges: frozenset[str]   # R(root, n)
+    in_edges: frozenset[str]    # R(n, root)
+    labels: frozenset[str]      # A(n)
+
+    def is_connected(self) -> bool:
+        return bool(self.out_edges or self.in_edges)
+
+
+def neighbour_types(sig: dict[str, int]) -> list[NeighbourType]:
+    """All neighbour types over a signature (each petal needs an edge)."""
+    unaries = sorted(p for p, k in sig.items() if k == 1)
+    binaries = sorted(p for p, k in sig.items() if k == 2)
+    out: list[NeighbourType] = []
+    for out_set in _subsets(binaries):
+        for in_set in _subsets(binaries):
+            if not out_set and not in_set:
+                continue
+            for labels in _subsets(unaries):
+                out.append(NeighbourType(
+                    frozenset(out_set), frozenset(in_set), frozenset(labels)))
+    return out
+
+
+def _subsets(items: list[str]) -> Iterator[tuple[str, ...]]:
+    for r in range(len(items) + 1):
+        yield from itertools.combinations(items, r)
+
+
+def build_bouquet(
+    root_labels: frozenset[str],
+    petals: tuple[NeighbourType, ...],
+) -> Interpretation:
+    """Materialize a bouquet with the given root labels and petals."""
+    out = Interpretation()
+    for label in sorted(root_labels):
+        out.add(Atom(label, (ROOT,)))
+    for idx, petal in enumerate(petals):
+        n = Const(f"n{idx}")
+        for rel in sorted(petal.out_edges):
+            out.add(Atom(rel, (ROOT, n)))
+        for rel in sorted(petal.in_edges):
+            out.add(Atom(rel, (n, ROOT)))
+        for label in sorted(petal.labels):
+            out.add(Atom(label, (n,)))
+    if not petals and not root_labels:
+        # an isolated unlabelled root is not an instance; skip via caller
+        pass
+    return out
+
+
+def enumerate_bouquets(
+    sig: dict[str, int],
+    max_outdegree: int,
+    max_label_sets: int | None = None,
+) -> Iterator[tuple[Interpretation, Element]]:
+    """Yield (bouquet, root) pairs, irreflexive, outdegree <= cap.
+
+    Petal multisets are enumerated up to reordering.  ``max_label_sets``
+    caps the number of root label sets considered (None = all).
+    """
+    unaries = sorted(p for p, k in sig.items() if k == 1)
+    types = neighbour_types(sig)
+    root_label_sets = [frozenset(s) for s in _subsets(unaries)]
+    if max_label_sets is not None:
+        root_label_sets = root_label_sets[:max_label_sets]
+    for root_labels in root_label_sets:
+        for degree in range(max_outdegree + 1):
+            for petals in itertools.combinations_with_replacement(types, degree):
+                if degree == 0 and not root_labels:
+                    continue  # empty instance
+                yield build_bouquet(root_labels, tuple(petals)), ROOT
+
+
+def count_bouquets(sig: dict[str, int], max_outdegree: int) -> int:
+    """The size of the enumeration (for the benchmark's scaling report)."""
+    return sum(1 for _ in enumerate_bouquets(sig, max_outdegree))

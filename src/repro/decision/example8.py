@@ -1,0 +1,107 @@
+"""The Example-8 family: ALC depth-2 ontologies O_n with an exponential
+materializability horizon.
+
+O_n is materializable for tree instances of depth < 2^n but not
+materializable in general: an R-chain of length 2^n drives a binary counter
+(X_1..X_n / their complements) upwards, and a completed count releases a
+hidden marker H_V that finally triggers the disjunction B1 ⊔ B2 — exactly
+the mechanism behind the NEXPTIME-hardness of deciding PTIME evaluation for
+ALC depth 2 (Theorem 14).
+
+Hidden markers: for each unary P, ``H_P(x) = forall y (S(x,y) -> P(y))``
+with the axiom ``top sub some S P`` making H_P invisible to queries.
+"""
+
+from __future__ import annotations
+
+from ..dl.concepts import (
+    AndC, AtomicC, BottomC, Concept, ConceptInclusion, DLOntology, ExistsC,
+    ForallC, NotC, OrC, Role, TopC,
+)
+from ..logic.instance import Interpretation
+from ..logic.syntax import Atom, Const
+
+R, S = Role("R"), Role("S")
+
+
+def _h(pred: str) -> Concept:
+    """H_P(x) = forall y (S(x,y) -> P(y))."""
+    return ForallC(S, AtomicC(pred))
+
+
+def example8_ontology(n: int) -> DLOntology:
+    """The ontology O_n of Example 8 (binary counter of width n)."""
+    axioms: list[ConceptInclusion] = []
+    x = [AtomicC(f"X{i}") for i in range(1, n + 1)]
+    xbar = [AtomicC(f"Xb{i}") for i in range(1, n + 1)]
+    hidden_preds = ["V"] + [f"ok{i}" for i in range(1, n + 1)]
+    # hidden markers must be realizable invisibly: top sub some S P
+    for pred in hidden_preds:
+        axioms.append(ConceptInclusion(TopC(), ExistsC(S, AtomicC(pred))))
+    all_x = AndC(tuple(x)) if n > 1 else x[0]
+    # full counter releases the hidden V marker
+    axioms.append(ConceptInclusion(all_x, _h("V")))
+    # counter incrementation along R (lines 2-5 of Example 8): the
+    # R-successor carries value + 1, so bit i flips iff bits 1..i-1 are
+    # all set, and stays otherwise.  Each verified case grants the hidden
+    # marker H_ok_i.
+    for i in range(1, n + 1):
+        xi, xbi = x[i - 1], xbar[i - 1]
+        hoki = _h(f"ok{i}")
+        lower_ones = tuple(x[:i - 1])
+        # flip: all lower bits 1
+        axioms.append(ConceptInclusion(
+            AndC((xi,) + lower_ones + (ExistsC(R, xbi),)), hoki))
+        axioms.append(ConceptInclusion(
+            AndC((xbi,) + lower_ones + (ExistsC(R, xi),)), hoki))
+        # stay: some lower bit 0
+        for j in range(1, i):
+            axioms.append(ConceptInclusion(
+                AndC((xi, xbar[j - 1], ExistsC(R, xi))), hoki))
+            axioms.append(ConceptInclusion(
+                AndC((xbi, xbar[j - 1], ExistsC(R, xbi))), hoki))
+        # exclusivity of successors seeing both X_i and Xb_i
+        axioms.append(ConceptInclusion(
+            AndC((ExistsC(R, xi), ExistsC(R, xbi))), BottomC()))
+        # a position is 0 or 1
+        axioms.append(ConceptInclusion(TopC(), OrC((xi, xbi))))
+        axioms.append(ConceptInclusion(AndC((xi, xbi)), BottomC()))
+    # V propagates down the chain through verified increments
+    all_ok = AndC(tuple(_h(f"ok{i}") for i in range(1, n + 1)))
+    axioms.append(ConceptInclusion(
+        AndC((all_ok, ExistsC(R, _h("V")))), _h("V")))
+    # the released marker at a full counter triggers the disjunction
+    start = AndC(tuple(xbar)) if n > 1 else xbar[0]
+    axioms.append(ConceptInclusion(
+        AndC((start, _h("V"))), OrC((AtomicC("B1"), AtomicC("B2")))))
+    return DLOntology(axioms, name=f"O{n}(Example 8)")
+
+
+def r_chain(length: int) -> Interpretation:
+    """An R-chain c0 -R-> c1 -R-> ... of the given length."""
+    out = Interpretation()
+    for i in range(length):
+        out.add(Atom("R", (Const(f"c{i}"), Const(f"c{i+1}"))))
+    if length == 0:
+        out.add(Atom("Node", (Const("c0"),)))
+    return out
+
+
+def counter_chain(n: int) -> Interpretation:
+    """The R-chain through all 2^n counter values, preset on the elements.
+
+    Element c_k carries counter value k (X_i iff bit i-1 of k is set); the
+    chain runs from the zero counter c_0 up to the full counter
+    c_{2^n - 1}, so the hidden V marker released at the full counter
+    propagates back down to c_0, where the disjunction triggers.
+    """
+    length = 2 ** n
+    out = Interpretation()
+    for k in range(length):
+        elem = Const(f"c{k}")
+        for i in range(1, n + 1):
+            bit = (k >> (i - 1)) & 1
+            out.add(Atom(f"X{i}" if bit else f"Xb{i}", (elem,)))
+        if k < length - 1:
+            out.add(Atom("R", (elem, Const(f"c{k+1}"))))
+    return out

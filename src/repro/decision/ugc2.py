@@ -1,0 +1,91 @@
+"""Deciding PTIME evaluation for uGC−2(1,=) ontologies (Theorem 13, part 2).
+
+Example 7 shows that for uGC−2(1,=) the existence of 1-materializations for
+all bouquets does NOT imply materializability: reflexive loops let an
+entailed disjunction hide among labelled nulls.  The paper's NEXPTIME
+procedure therefore checks *unrestricted* materializability of bouquets via
+mosaics; this module implements the bounded analogue:
+
+* bouquets are enumerated as for ALCHIQ, but **including reflexive loops**
+  (the feature Example 7 exploits),
+* each bouquet undergoes the full disjunction-property search of
+  Theorem 17 (with Boolean test queries), rather than the cheaper
+  1-materialization check.
+
+The procedure is complete relative to the enumeration bounds and is
+exercised on Example 7 in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..logic.syntax import Atom, Element
+from ..core.materializability import MatStatus, check_materializability
+from .bouquets import ROOT, enumerate_bouquets
+
+
+def reflexive_bouquets(sig: dict[str, int]) -> Iterator[tuple[Interpretation, Element]]:
+    """Bouquets consisting of loops at the root (Example 7's shape)."""
+    binaries = sorted(p for p, k in sig.items() if k == 2)
+    unaries = sorted(p for p, k in sig.items() if k == 1)
+    for r in range(1, len(binaries) + 1):
+        for loops in itertools.combinations(binaries, r):
+            for u in range(len(unaries) + 1):
+                for labels in itertools.combinations(unaries, u):
+                    bouquet = Interpretation()
+                    for rel in loops:
+                        bouquet.add(Atom(rel, (ROOT, ROOT)))
+                    for label in labels:
+                        bouquet.add(Atom(label, (ROOT,)))
+                    yield bouquet, ROOT
+
+
+@dataclass(frozen=True)
+class UGC2Decision:
+    ptime: bool
+    failing_bouquet: Interpretation | None
+    bouquets_checked: int
+
+    def __bool__(self) -> bool:
+        return self.ptime
+
+
+def decide_ptime_ugc2(
+    onto: Ontology,
+    max_outdegree: int = 1,
+    max_disjuncts: int = 2,
+    sat_extra: int = 3,
+    relevant_relations: list[str] | None = None,
+) -> UGC2Decision:
+    """Bounded Theorem-13 procedure for uGC−2(1,=)-style ontologies.
+
+    Checks unrestricted bouquet materializability — including reflexive
+    bouquets, which the 1-materialization shortcut of the ALCHIQ procedure
+    cannot handle (Example 7).  ``relevant_relations`` restricts the
+    bouquet signature (defaults to all at-most-binary ontology relations).
+    """
+    sig = {p: k for p, k in onto.sig().items() if k <= 2}
+    if relevant_relations is not None:
+        sig = {p: k for p, k in sig.items() if p in relevant_relations}
+    checked = 0
+    candidates = itertools.chain(
+        reflexive_bouquets(sig),
+        enumerate_bouquets(sig, max_outdegree),
+    )
+    for bouquet, _root in candidates:
+        checked += 1
+        report = check_materializability(
+            onto, max_elems=0, max_facts=0,
+            extra_instances=[bouquet],
+            max_disjuncts=max_disjuncts,
+            sat_extra=sat_extra,
+            include_boolean=True,
+        )
+        if report.status is MatStatus.NOT_MATERIALIZABLE:
+            return UGC2Decision(False, bouquet, checked)
+    return UGC2Decision(True, None, checked)

@@ -1,0 +1,25 @@
+"""Description logics ALC(H)(I)(Q)(F)(F_l) and their guarded translation."""
+
+from .concepts import (
+    AndC, AtLeastC, AtMostC, AtomicC, Axiom, BottomC, Concept,
+    ConceptInclusion, DLOntology, ExactlyC, ExistsC, ForallC, Functionality,
+    NotC, OrC, Role, RoleInclusion, TopC, concept_depth, iter_subconcepts,
+    local_functionality,
+)
+from .parser import DLParseError, parse_axiom, parse_concept, parse_dl_ontology
+from .render import render_axiom, render_concept, render_ontology, render_role
+from .translate import (
+    dl_to_ontology, role_atom, translate_concept, translate_inclusion,
+    translate_role_inclusion,
+)
+
+__all__ = [
+    "AndC", "AtLeastC", "AtMostC", "AtomicC", "Axiom", "BottomC", "Concept",
+    "ConceptInclusion", "DLOntology", "ExactlyC", "ExistsC", "ForallC",
+    "Functionality", "NotC", "OrC", "Role", "RoleInclusion", "TopC",
+    "concept_depth", "iter_subconcepts", "local_functionality",
+    "DLParseError", "parse_axiom", "parse_concept", "parse_dl_ontology",
+    "dl_to_ontology", "role_atom", "translate_concept",
+    "translate_inclusion", "translate_role_inclusion",
+    "render_axiom", "render_concept", "render_ontology", "render_role",
+]

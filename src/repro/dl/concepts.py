@@ -1,0 +1,327 @@
+"""Description logic concepts and TBoxes: ALC with H, I, Q, F, F_l.
+
+Follows Appendix A of the paper.  Concepts are built from atomic concepts
+with boolean connectives, existential/universal restrictions and qualified
+number restrictions; roles may be inverted (I); TBoxes contain concept
+inclusions, role inclusions (H) and functionality assertions (F).  Local
+functionality (F_l) is the concept ``(<= 1 R)`` = AtMost(1, R, Top).
+
+``depth`` is the maximal nesting of role restrictions, the central parameter
+of the paper's classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Role:
+    """A role (binary relation), possibly inverted."""
+
+    name: str
+    inverse: bool = False
+
+    def inverted(self) -> "Role":
+        return Role(self.name, not self.inverse)
+
+    def __repr__(self) -> str:
+        return f"{self.name}-" if self.inverse else self.name
+
+
+class Concept:
+    """Base class for DL concepts."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Concept") -> "Concept":
+        return AndC((self, other))
+
+    def __or__(self, other: "Concept") -> "Concept":
+        return OrC((self, other))
+
+    def __invert__(self) -> "Concept":
+        return NotC(self)
+
+
+@dataclass(frozen=True)
+class TopC(Concept):
+    def __repr__(self) -> str:
+        return "top"
+
+
+@dataclass(frozen=True)
+class BottomC(Concept):
+    def __repr__(self) -> str:
+        return "bot"
+
+
+@dataclass(frozen=True)
+class AtomicC(Concept):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NotC(Concept):
+    sub: Concept
+
+    def __repr__(self) -> str:
+        return f"not {self.sub!r}"
+
+
+@dataclass(frozen=True)
+class AndC(Concept):
+    parts: tuple[Concept, ...]
+
+    def __init__(self, parts: Sequence[Concept]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class OrC(Concept):
+    parts: tuple[Concept, ...]
+
+    def __init__(self, parts: Sequence[Concept]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class ExistsC(Concept):
+    """``some R C`` — the DL constructor ∃R.C."""
+
+    role: Role
+    filler: Concept
+
+    def __repr__(self) -> str:
+        return f"some {self.role!r} {self.filler!r}"
+
+
+@dataclass(frozen=True)
+class ForallC(Concept):
+    """``only R C`` — the DL constructor ∀R.C."""
+
+    role: Role
+    filler: Concept
+
+    def __repr__(self) -> str:
+        return f"only {self.role!r} {self.filler!r}"
+
+
+@dataclass(frozen=True)
+class AtLeastC(Concept):
+    """``>= n R C`` (qualified number restriction)."""
+
+    n: int
+    role: Role
+    filler: Concept
+
+    def __repr__(self) -> str:
+        return f">= {self.n} {self.role!r} {self.filler!r}"
+
+
+@dataclass(frozen=True)
+class AtMostC(Concept):
+    """``<= n R C`` (qualified number restriction)."""
+
+    n: int
+    role: Role
+    filler: Concept
+
+    def __repr__(self) -> str:
+        return f"<= {self.n} {self.role!r} {self.filler!r}"
+
+
+@dataclass(frozen=True)
+class ExactlyC(Concept):
+    """``== n R C``; sugar for (>= n R C) and (<= n R C)."""
+
+    n: int
+    role: Role
+    filler: Concept
+
+    def __repr__(self) -> str:
+        return f"== {self.n} {self.role!r} {self.filler!r}"
+
+
+def local_functionality(role: Role) -> AtMostC:
+    """The F_l concept ``(<= 1 R)`` = AtMost(1, R, top)."""
+    return AtMostC(1, role, TopC())
+
+
+# -- TBox axioms -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConceptInclusion:
+    lhs: Concept
+    rhs: Concept
+
+    def __repr__(self) -> str:
+        return f"{self.lhs!r} sub {self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion:
+    lhs: Role
+    rhs: Role
+
+    def __repr__(self) -> str:
+        return f"{self.lhs!r} subr {self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class Functionality:
+    """``func(R)``: R is interpreted as a partial function."""
+
+    role: Role
+
+    def __repr__(self) -> str:
+        return f"func({self.role!r})"
+
+
+Axiom = ConceptInclusion | RoleInclusion | Functionality
+
+
+@dataclass(frozen=True)
+class DLOntology:
+    """A DL TBox with derived feature and depth information."""
+
+    axioms: tuple[Axiom, ...]
+    name: str = ""
+
+    def __init__(self, axioms: Iterable[Axiom], name: str = ""):
+        object.__setattr__(self, "axioms", tuple(axioms))
+        object.__setattr__(self, "name", name)
+
+    def concept_inclusions(self) -> list[ConceptInclusion]:
+        return [a for a in self.axioms if isinstance(a, ConceptInclusion)]
+
+    def role_inclusions(self) -> list[RoleInclusion]:
+        return [a for a in self.axioms if isinstance(a, RoleInclusion)]
+
+    def functionality_assertions(self) -> list[Functionality]:
+        return [a for a in self.axioms if isinstance(a, Functionality)]
+
+    # -- structural measures -------------------------------------------------
+
+    def depth(self) -> int:
+        """Maximum restriction-nesting depth over all concepts."""
+        depths = [0]
+        for axiom in self.concept_inclusions():
+            depths.append(concept_depth(axiom.lhs))
+            depths.append(concept_depth(axiom.rhs))
+        return max(depths)
+
+    def features(self) -> frozenset[str]:
+        """The DL name letters beyond ALC used by the TBox.
+
+        ``H`` role inclusions, ``I`` inverse roles, ``Q`` qualified number
+        restrictions (with filler != top or n > 1), ``F`` global
+        functionality assertions, ``Fl`` local functionality ``(<= 1 R)``.
+        """
+        feats: set[str] = set()
+        if self.role_inclusions():
+            feats.add("H")
+        if self.functionality_assertions():
+            feats.add("F")
+        for axiom in self.axioms:
+            roles: list[Role] = []
+            if isinstance(axiom, ConceptInclusion):
+                for concept in (axiom.lhs, axiom.rhs):
+                    for sub in iter_subconcepts(concept):
+                        if isinstance(sub, (ExistsC, ForallC)):
+                            roles.append(sub.role)
+                        elif isinstance(sub, (AtLeastC, AtMostC, ExactlyC)):
+                            roles.append(sub.role)
+                            if _is_local_functionality(sub):
+                                feats.add("Fl")
+                            else:
+                                feats.add("Q")
+            elif isinstance(axiom, RoleInclusion):
+                roles.extend([axiom.lhs, axiom.rhs])
+            elif isinstance(axiom, Functionality):
+                roles.append(axiom.role)
+            if any(r.inverse for r in roles):
+                feats.add("I")
+        return frozenset(feats)
+
+    def dl_name(self) -> str:
+        """Canonical DL name such as ``ALCHIQ`` or ``ALCIF_l``."""
+        feats = self.features()
+        parts = ["ALC"]
+        for letter in ("H", "I"):
+            if letter in feats:
+                parts.append(letter)
+        if "Q" in feats:
+            parts.append("Q")
+        elif "F" in feats:
+            parts.append("F")
+        if "Fl" in feats and "Q" not in feats:
+            parts.append("F_l")
+        return "".join(parts)
+
+    def signature(self) -> tuple[set[str], set[str]]:
+        """(atomic concept names, role names)."""
+        concepts: set[str] = set()
+        roles: set[str] = set()
+        for axiom in self.axioms:
+            if isinstance(axiom, ConceptInclusion):
+                for concept in (axiom.lhs, axiom.rhs):
+                    for sub in iter_subconcepts(concept):
+                        if isinstance(sub, AtomicC):
+                            concepts.add(sub.name)
+                        elif isinstance(sub, (ExistsC, ForallC, AtLeastC, AtMostC, ExactlyC)):
+                            roles.add(sub.role.name)
+            elif isinstance(axiom, RoleInclusion):
+                roles.add(axiom.lhs.name)
+                roles.add(axiom.rhs.name)
+            elif isinstance(axiom, Functionality):
+                roles.add(axiom.role.name)
+        return concepts, roles
+
+    def __repr__(self) -> str:
+        label = self.name or self.dl_name()
+        return f"<DLOntology {label}: {len(self.axioms)} axioms, depth {self.depth()}>"
+
+
+def _is_local_functionality(concept: Concept) -> bool:
+    return (
+        isinstance(concept, AtMostC)
+        and concept.n == 1
+        and isinstance(concept.filler, TopC)
+    )
+
+
+def iter_subconcepts(concept: Concept):
+    """All subconcepts, including the concept itself."""
+    yield concept
+    if isinstance(concept, NotC):
+        yield from iter_subconcepts(concept.sub)
+    elif isinstance(concept, (AndC, OrC)):
+        for part in concept.parts:
+            yield from iter_subconcepts(part)
+    elif isinstance(concept, (ExistsC, ForallC, AtLeastC, AtMostC, ExactlyC)):
+        yield from iter_subconcepts(concept.filler)
+
+
+def concept_depth(concept: Concept) -> int:
+    """Maximal nesting depth of role restrictions."""
+    if isinstance(concept, (TopC, BottomC, AtomicC)):
+        return 0
+    if isinstance(concept, NotC):
+        return concept_depth(concept.sub)
+    if isinstance(concept, (AndC, OrC)):
+        return max((concept_depth(p) for p in concept.parts), default=0)
+    if isinstance(concept, (ExistsC, ForallC, AtLeastC, AtMostC, ExactlyC)):
+        return 1 + concept_depth(concept.filler)
+    raise TypeError(f"unknown concept {concept!r}")

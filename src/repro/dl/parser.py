@@ -1,0 +1,185 @@
+"""Parser for an ASCII DL syntax.
+
+Axioms, one per line (``#`` comments allowed):
+
+* concept inclusion:   ``Hand sub some hasFinger Thumb``
+* equivalence sugar:   ``A equiv B``  (two inclusions)
+* role inclusion:      ``hasPart subr relatedTo``
+* functionality:       ``func(hasMother)``, ``func(hasMother-)``
+
+Concept grammar (prefix quantifiers, ``not`` binds tightest, then ``and``,
+then ``or``; parenthesize freely):
+
+    C ::= top | bot | NAME | not C | C and C | C or C
+        | some R C | only R C | >= n R C | <= n R C | == n R C
+    R ::= NAME | NAME-            (inverse role)
+"""
+
+from __future__ import annotations
+
+import re
+
+from .concepts import (
+    AndC, AtLeastC, AtMostC, AtomicC, Axiom, BottomC, Concept,
+    ConceptInclusion, DLOntology, ExactlyC, ExistsC, ForallC, Functionality,
+    NotC, OrC, Role, RoleInclusion, TopC,
+)
+
+_DL_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<num>\d+)
+  | (?P<cmp>>=|<=|==)
+  | (?P<ident>[A-Za-z][A-Za-z0-9_]*-?)
+  | (?P<sym>[()])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"top", "bot", "not", "and", "or", "some", "only", "sub", "subr",
+             "equiv", "func"}
+
+
+class DLParseError(ValueError):
+    pass
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _DL_TOKEN.match(text, pos)
+        if not m:
+            raise DLParseError(f"unexpected character {text[pos]!r} in {text!r}")
+        pos = m.end()
+        if m.lastgroup != "ws":
+            tokens.append(m.group())
+    tokens.append("<eof>")
+    return tokens
+
+
+class _ConceptParser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.tokens[self.pos]
+
+    def next(self) -> str:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise DLParseError(f"expected {tok!r}, found {got!r}")
+
+    def concept(self) -> Concept:
+        return self.disjunction()
+
+    def disjunction(self) -> Concept:
+        parts = [self.conjunction()]
+        while self.peek() == "or":
+            self.next()
+            parts.append(self.conjunction())
+        return parts[0] if len(parts) == 1 else OrC(parts)
+
+    def conjunction(self) -> Concept:
+        parts = [self.unary()]
+        while self.peek() == "and":
+            self.next()
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else AndC(parts)
+
+    def role(self) -> Role:
+        tok = self.next()
+        if not re.fullmatch(r"[A-Za-z][A-Za-z0-9_]*-?", tok) or tok in _KEYWORDS:
+            raise DLParseError(f"expected a role name, found {tok!r}")
+        if tok.endswith("-"):
+            return Role(tok[:-1], inverse=True)
+        return Role(tok)
+
+    def unary(self) -> Concept:
+        tok = self.peek()
+        if tok == "not":
+            self.next()
+            return NotC(self.unary())
+        if tok == "some":
+            self.next()
+            return ExistsC(self.role(), self.unary())
+        if tok == "only":
+            self.next()
+            return ForallC(self.role(), self.unary())
+        if tok in (">=", "<=", "=="):
+            self.next()
+            n = int(self.next())
+            role = self.role()
+            filler = self.unary()
+            if tok == ">=":
+                return AtLeastC(n, role, filler)
+            if tok == "<=":
+                return AtMostC(n, role, filler)
+            return ExactlyC(n, role, filler)
+        if tok == "top":
+            self.next()
+            return TopC()
+        if tok == "bot":
+            self.next()
+            return BottomC()
+        if tok == "(":
+            self.next()
+            inner = self.concept()
+            self.expect(")")
+            return inner
+        if re.fullmatch(r"[A-Za-z][A-Za-z0-9_]*", tok) and tok not in _KEYWORDS:
+            self.next()
+            return AtomicC(tok)
+        raise DLParseError(f"unexpected token {tok!r}")
+
+
+def parse_concept(text: str) -> Concept:
+    parser = _ConceptParser(_tokenize(text))
+    concept = parser.concept()
+    if parser.peek() != "<eof>":
+        raise DLParseError(f"trailing input {parser.peek()!r} in {text!r}")
+    return concept
+
+
+def parse_axiom(text: str) -> list[Axiom]:
+    """Parse one axiom line; ``equiv`` expands to two inclusions."""
+    stripped = text.strip()
+    if stripped.startswith("func"):
+        m = re.fullmatch(r"func\(\s*([A-Za-z][A-Za-z0-9_]*-?)\s*\)", stripped)
+        if not m:
+            raise DLParseError(f"malformed functionality assertion {text!r}")
+        name = m.group(1)
+        role = Role(name[:-1], True) if name.endswith("-") else Role(name)
+        return [Functionality(role)]
+    if " subr " in stripped:
+        lhs_text, rhs_text = stripped.split(" subr ", 1)
+        parser_l = _ConceptParser(_tokenize(lhs_text))
+        lhs = parser_l.role()
+        parser_r = _ConceptParser(_tokenize(rhs_text))
+        rhs = parser_r.role()
+        return [RoleInclusion(lhs, rhs)]
+    for keyword in (" equiv ", " sub "):
+        if keyword in stripped:
+            lhs_text, rhs_text = stripped.split(keyword, 1)
+            lhs = parse_concept(lhs_text)
+            rhs = parse_concept(rhs_text)
+            if keyword == " equiv ":
+                return [ConceptInclusion(lhs, rhs), ConceptInclusion(rhs, lhs)]
+            return [ConceptInclusion(lhs, rhs)]
+    raise DLParseError(f"no axiom keyword (sub/subr/equiv/func) in {text!r}")
+
+
+def parse_dl_ontology(text: str, name: str = "") -> DLOntology:
+    """Parse a TBox: one axiom per non-empty, non-comment line."""
+    axioms: list[Axiom] = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            axioms.extend(parse_axiom(stripped))
+    return DLOntology(axioms, name=name)

@@ -1,0 +1,72 @@
+"""Rendering DL concepts and TBoxes back to the parser's ASCII syntax.
+
+``parse_dl_ontology(render_ontology(tbox))`` round-trips (modulo
+associativity normalization); used for corpus serialization and the CLI.
+"""
+
+from __future__ import annotations
+
+from .concepts import (
+    AndC, AtLeastC, AtMostC, AtomicC, Axiom, BottomC, Concept,
+    ConceptInclusion, DLOntology, ExactlyC, ExistsC, ForallC, Functionality,
+    NotC, OrC, Role, RoleInclusion, TopC,
+)
+
+
+def render_role(role: Role) -> str:
+    return f"{role.name}-" if role.inverse else role.name
+
+
+def render_concept(concept: Concept, parenthesize: bool = False) -> str:
+    """Render a concept; complex fillers are parenthesized."""
+    if isinstance(concept, TopC):
+        return "top"
+    if isinstance(concept, BottomC):
+        return "bot"
+    if isinstance(concept, AtomicC):
+        return concept.name
+    if isinstance(concept, NotC):
+        inner = render_concept(concept.sub, parenthesize=True)
+        text = f"not {inner}"
+    elif isinstance(concept, AndC):
+        text = " and ".join(
+            render_concept(p, parenthesize=True) for p in concept.parts)
+    elif isinstance(concept, OrC):
+        text = " or ".join(
+            render_concept(p, parenthesize=True) for p in concept.parts)
+    elif isinstance(concept, ExistsC):
+        filler = render_concept(concept.filler, parenthesize=True)
+        text = f"some {render_role(concept.role)} {filler}"
+    elif isinstance(concept, ForallC):
+        filler = render_concept(concept.filler, parenthesize=True)
+        text = f"only {render_role(concept.role)} {filler}"
+    elif isinstance(concept, AtLeastC):
+        filler = render_concept(concept.filler, parenthesize=True)
+        text = f">= {concept.n} {render_role(concept.role)} {filler}"
+    elif isinstance(concept, AtMostC):
+        filler = render_concept(concept.filler, parenthesize=True)
+        text = f"<= {concept.n} {render_role(concept.role)} {filler}"
+    elif isinstance(concept, ExactlyC):
+        filler = render_concept(concept.filler, parenthesize=True)
+        text = f"== {concept.n} {render_role(concept.role)} {filler}"
+    else:
+        raise TypeError(f"unknown concept {concept!r}")
+    if parenthesize:
+        return f"({text})"
+    return text
+
+
+def render_axiom(axiom: Axiom) -> str:
+    if isinstance(axiom, ConceptInclusion):
+        return f"{render_concept(axiom.lhs)} sub {render_concept(axiom.rhs)}"
+    if isinstance(axiom, RoleInclusion):
+        return f"{render_role(axiom.lhs)} subr {render_role(axiom.rhs)}"
+    if isinstance(axiom, Functionality):
+        return f"func({render_role(axiom.role)})"
+    raise TypeError(f"unknown axiom {axiom!r}")
+
+
+def render_ontology(tbox: DLOntology) -> str:
+    """Render a TBox, one axiom per line (parser-compatible)."""
+    header = f"# {tbox.name}\n" if tbox.name else ""
+    return header + "\n".join(render_axiom(a) for a in tbox.axioms) + "\n"

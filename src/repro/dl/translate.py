@@ -1,0 +1,117 @@
+"""Translation of DL ontologies into fragments of the guarded fragment.
+
+Implements the standard translation ``C -> C*(x)`` of Appendix A together
+with the bridges of Lemma 7:
+
+* ALCHI ontologies become uGF2 ontologies; depth-2 TBoxes become uGF−2(2),
+* ALCHIF ontologies become uGF−2(f) ontologies (functionality assertions
+  turn into :class:`~repro.logic.ontology.Ontology` function declarations),
+* ALCHIQ ontologies become uGC2 ontologies; depth-1 TBoxes become
+  uGC−2(1).
+
+Two variables ``x`` and ``y`` alternate through the translation so the
+result genuinely lies in the two-variable fragment.
+"""
+
+from __future__ import annotations
+
+from ..logic.ontology import Ontology
+from ..logic.syntax import (
+    And, Atom, Bottom, CountExists, Eq, Exists, Forall, Formula, Implies,
+    Not, Or, Top, Var,
+)
+from .concepts import (
+    AndC, AtLeastC, AtMostC, AtomicC, BottomC, Concept, ConceptInclusion,
+    DLOntology, ExactlyC, ExistsC, ForallC, Functionality, NotC, OrC, Role,
+    RoleInclusion, TopC,
+)
+
+_X = Var("x")
+_Y = Var("y")
+
+
+def role_atom(role: Role, subject: Var, target: Var) -> Atom:
+    """``R(subject, target)``, with the arguments swapped for inverses."""
+    if role.inverse:
+        return Atom(role.name, (target, subject))
+    return Atom(role.name, (subject, target))
+
+
+def translate_concept(concept: Concept, var: Var = _X) -> Formula:
+    """The formula ``C*(var)`` with one free variable and two overall."""
+    other = _Y if var == _X else _X
+    if isinstance(concept, TopC):
+        return Top()
+    if isinstance(concept, BottomC):
+        return Bottom()
+    if isinstance(concept, AtomicC):
+        return Atom(concept.name, (var,))
+    if isinstance(concept, NotC):
+        return Not(translate_concept(concept.sub, var))
+    if isinstance(concept, AndC):
+        return And.of(*(translate_concept(p, var) for p in concept.parts))
+    if isinstance(concept, OrC):
+        return Or.of(*(translate_concept(p, var) for p in concept.parts))
+    if isinstance(concept, ExistsC):
+        guard = role_atom(concept.role, var, other)
+        return Exists((other,), guard, translate_concept(concept.filler, other))
+    if isinstance(concept, ForallC):
+        guard = role_atom(concept.role, var, other)
+        return Forall((other,), guard, translate_concept(concept.filler, other))
+    if isinstance(concept, AtLeastC):
+        guard = role_atom(concept.role, var, other)
+        return CountExists(concept.n, other, guard,
+                           translate_concept(concept.filler, other))
+    if isinstance(concept, AtMostC):
+        guard = role_atom(concept.role, var, other)
+        return Not(CountExists(concept.n + 1, other, guard,
+                               translate_concept(concept.filler, other)))
+    if isinstance(concept, ExactlyC):
+        lower = AtLeastC(concept.n, concept.role, concept.filler)
+        upper = AtMostC(concept.n, concept.role, concept.filler)
+        return And.of(translate_concept(lower, var), translate_concept(upper, var))
+    raise TypeError(f"unknown concept {concept!r}")
+
+
+def translate_inclusion(axiom: ConceptInclusion) -> Formula:
+    """``C sub D`` as the uGF−2 sentence ``forall x (x=x -> (C* -> D*))``."""
+    lhs = translate_concept(axiom.lhs, _X)
+    rhs = translate_concept(axiom.rhs, _X)
+    return Forall((_X,), Eq(_X, _X), Implies(lhs, rhs))
+
+
+def translate_role_inclusion(axiom: RoleInclusion) -> Formula:
+    """``R subr S`` in the ``·−`` shape, so that depth-1 TBoxes land in
+    uGC−2(1) as stated by Lemma 7: ``forall x (x=x -> forall y (R -> S))``."""
+    guard = role_atom(axiom.lhs, _X, _Y)
+    head = role_atom(axiom.rhs, _X, _Y)
+    return Forall((_X,), Eq(_X, _X), Forall((_Y,), guard, head))
+
+
+def dl_to_ontology(tbox: DLOntology, name: str = "") -> Ontology:
+    """Translate a DL TBox into an :class:`Ontology`.
+
+    Global functionality assertions become function declarations;
+    everything else becomes uGF2/uGC2 sentences.
+    """
+    sentences: list[Formula] = []
+    functional: set[str] = set()
+    inverse_functional: set[str] = set()
+    for axiom in tbox.axioms:
+        if isinstance(axiom, ConceptInclusion):
+            sentences.append(translate_inclusion(axiom))
+        elif isinstance(axiom, RoleInclusion):
+            sentences.append(translate_role_inclusion(axiom))
+        elif isinstance(axiom, Functionality):
+            if axiom.role.inverse:
+                inverse_functional.add(axiom.role.name)
+            else:
+                functional.add(axiom.role.name)
+        else:
+            raise TypeError(f"unknown axiom {axiom!r}")
+    return Ontology(
+        sentences,
+        functional=functional,
+        inverse_functional=inverse_functional,
+        name=name or tbox.name or tbox.dl_name(),
+    )

@@ -1,0 +1,38 @@
+"""Guarded-fragment toolkit: fragments, decompositions, unravellings."""
+
+from .fragments import (
+    FragmentProfile, check_disjoint_union_invariance,
+    default_invariance_samples, equality_inside, fragment_name,
+    guarded_depth, has_counting, is_open_gf, is_ugf_sentence, max_arity,
+    outer_guard_is_equality, profile_ontology, sentence_depth, to_depth_one,
+    variable_names,
+)
+from .decomposition import (
+    TreeDecomposition, binary_graph_edges, greedy_cg_tree_decomposition,
+    gyo_acyclic, is_bouquet, is_cg_tree_decomposable,
+    is_guarded_tree_decomposable, is_irreflexive, is_tree_interpretation,
+    one_neighbourhood, outdegree,
+)
+from .unravel import Unravelling, successor_counts_preserved, unravel
+from .bisimulation import (
+    GuardedBisimulation, are_guarded_bisimilar,
+    coarsest_guarded_bisimulation, guarded_tuples, is_partial_isomorphism,
+)
+from .forest import HookingError, forest_model_via_chase, hook, is_forest_over
+
+__all__ = [
+    "FragmentProfile", "check_disjoint_union_invariance",
+    "default_invariance_samples", "equality_inside", "fragment_name",
+    "guarded_depth", "has_counting", "is_open_gf", "is_ugf_sentence",
+    "max_arity", "outer_guard_is_equality", "profile_ontology",
+    "sentence_depth", "to_depth_one", "variable_names",
+    "TreeDecomposition", "binary_graph_edges",
+    "greedy_cg_tree_decomposition", "gyo_acyclic", "is_bouquet",
+    "is_cg_tree_decomposable", "is_guarded_tree_decomposable",
+    "is_irreflexive", "is_tree_interpretation", "one_neighbourhood",
+    "outdegree", "Unravelling", "successor_counts_preserved", "unravel",
+    "GuardedBisimulation", "are_guarded_bisimilar",
+    "coarsest_guarded_bisimulation", "guarded_tuples",
+    "is_partial_isomorphism", "HookingError", "forest_model_via_chase",
+    "hook", "is_forest_over",
+]

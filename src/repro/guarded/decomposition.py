@@ -1,0 +1,227 @@
+"""Guarded tree decompositions, acyclicity, bouquets and neighbourhoods.
+
+Implements the notions of Section 2.2 and Section 8 of the paper:
+
+* guarded sets and (connected) guarded tree decomposability, decided via
+  GYO-reduction of the hypergraph of guarded sets (alpha-acyclicity),
+* tree interpretations / instances (binary signatures, Section 8),
+* 1-neighbourhoods ``B^{<=1}_a`` and bouquets with a designated root,
+* irreflexivity and outdegree (used by the Lemma-5 bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..logic.instance import Interpretation
+from ..logic.syntax import Element
+
+
+def gyo_acyclic(hyperedges: Iterable[frozenset]) -> bool:
+    """GYO reduction: True iff the hypergraph is alpha-acyclic."""
+    edges = [set(e) for e in hyperedges if e]
+    changed = True
+    while changed and edges:
+        changed = False
+        # Remove hyperedges contained in another hyperedge.
+        for i, e in enumerate(edges):
+            if any(i != j and e <= f for j, f in enumerate(edges)):
+                edges.pop(i)
+                changed = True
+                break
+        if changed:
+            continue
+        # Remove vertices occurring in exactly one hyperedge ("ears").
+        counts: dict = {}
+        for e in edges:
+            for v in e:
+                counts[v] = counts.get(v, 0) + 1
+        lonely = {v for v, c in counts.items() if c == 1}
+        if lonely:
+            for e in edges:
+                if e & lonely:
+                    e -= lonely
+                    changed = True
+            edges = [e for e in edges if e]
+    return not edges
+
+
+def is_guarded_tree_decomposable(interp: Interpretation) -> bool:
+    """True if the interpretation has a guarded tree decomposition.
+
+    Equivalent to alpha-acyclicity of the hypergraph of maximal guarded
+    sets (Grädel-Otto); connectivity is *not* required here.
+    """
+    return gyo_acyclic(interp.maximal_guarded_sets())
+
+
+def is_cg_tree_decomposable(interp: Interpretation) -> bool:
+    """Connected guarded tree decomposability (cg-tree, Section 2.2)."""
+    if len(interp.connected_components()) > 1:
+        return False
+    return is_guarded_tree_decomposable(interp)
+
+
+def binary_graph_edges(interp: Interpretation) -> set[frozenset[Element]]:
+    """G_B = {{a, b} | R(a, b) in B, a != b} for binary signatures."""
+    edges: set[frozenset[Element]] = set()
+    for pred, arity in interp.sig().items():
+        if arity != 2:
+            continue
+        for a, b in interp.tuples(pred):
+            if a != b:
+                edges.add(frozenset((a, b)))
+    return edges
+
+
+def is_tree_interpretation(interp: Interpretation) -> bool:
+    """True if G_B is a tree (Section 8; requires arity <= 2)."""
+    if any(arity > 2 for arity in interp.sig().values()):
+        return False
+    edges = binary_graph_edges(interp)
+    nodes = interp.dom()
+    if not nodes:
+        return False
+    # A tree: connected and |E| = |V| - 1.
+    adjacency: dict[Element, set[Element]] = {n: set() for n in nodes}
+    for edge in edges:
+        a, b = tuple(edge)
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    start = next(iter(nodes))
+    seen = {start}
+    stack = [start]
+    while stack:
+        cur = stack.pop()
+        for n in adjacency[cur]:
+            if n not in seen:
+                seen.add(n)
+                stack.append(n)
+    return len(seen) == len(nodes) and len(edges) == len(nodes) - 1
+
+
+def one_neighbourhood(interp: Interpretation, elem: Element) -> Interpretation:
+    """``B^{<=1}_a``: the subinterpretation induced by the union of all
+    guarded sets containing *elem* (Section 8)."""
+    members: set[Element] = {elem}
+    for fact in interp.facts_about(elem):
+        members.update(fact.args)
+    return interp.induced(members)
+
+
+def is_bouquet(interp: Interpretation, root: Element) -> bool:
+    """True if *interp* equals the 1-neighbourhood of *root* in itself."""
+    if root not in interp.dom():
+        return False
+    return one_neighbourhood(interp, root) == interp
+
+
+def is_irreflexive(interp: Interpretation) -> bool:
+    """No atom of the form R(b, b) (Section 8)."""
+    for pred, arity in interp.sig().items():
+        if arity != 2:
+            continue
+        for a, b in interp.tuples(pred):
+            if a == b:
+                return False
+    return True
+
+
+def outdegree(interp: Interpretation) -> int:
+    """Maximum degree in G_B (the outdegree of a tree interpretation)."""
+    degree: dict[Element, int] = {}
+    for edge in binary_graph_edges(interp):
+        for v in edge:
+            degree[v] = degree.get(v, 0) + 1
+    return max(degree.values(), default=0)
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """An explicit (connected) guarded tree decomposition."""
+
+    root: int
+    parents: dict[int, int]            # node -> parent (root maps to itself)
+    bags: dict[int, frozenset[Element]]
+
+    def is_valid_for(self, interp: Interpretation) -> bool:
+        """Check conditions 1-3 of the Section 2.2 definition."""
+        # 1. Every fact lies within some bag.
+        for fact in interp:
+            if not any(set(fact.args) <= bag for bag in self.bags.values()):
+                return False
+        # 2. Bags are guarded.
+        for bag in self.bags.values():
+            if not interp.is_guarded_tuple(sorted(bag, key=repr)):
+                return False
+        # 3. Occurrences of each element are connected in the tree.
+        children: dict[int, list[int]] = {}
+        for node, parent in self.parents.items():
+            if node != parent:
+                children.setdefault(parent, []).append(node)
+        for elem in interp.dom():
+            holders = [n for n, bag in self.bags.items() if elem in bag]
+            if not holders:
+                return False
+            holder_set = set(holders)
+            # connected iff exactly one holder's parent is not a holder
+            # (or is the root).
+            top_count = 0
+            for n in holders:
+                parent = self.parents[n]
+                if n == self.root or parent not in holder_set:
+                    top_count += 1
+            if top_count != 1:
+                return False
+        return True
+
+
+def greedy_cg_tree_decomposition(
+    interp: Interpretation,
+    root_bag: frozenset[Element] | None = None,
+) -> TreeDecomposition | None:
+    """Attempt to build a cg-tree decomposition greedily.
+
+    Bags are the maximal guarded sets; a bag is attached when its
+    intersection with the part built so far lies inside an existing bag.
+    Returns None if the interpretation is not cg-tree decomposable this way.
+    """
+    bags = sorted(interp.maximal_guarded_sets(), key=repr)
+    if not bags:
+        return None
+    start = root_bag if root_bag is not None else bags[0]
+    if start not in bags:
+        bags = [start] + bags
+    node_of = {0: start}
+    parents = {0: 0}
+    covered = set(start)
+    remaining = [b for b in bags if b != start]
+    progress = True
+    while remaining and progress:
+        progress = False
+        for bag in list(remaining):
+            inter = bag & covered
+            if not inter:
+                continue
+            for node, existing in list(node_of.items()):
+                if inter <= existing:
+                    new_id = len(node_of)
+                    node_of[new_id] = bag
+                    parents[new_id] = node
+                    covered |= bag
+                    remaining.remove(bag)
+                    progress = True
+                    break
+            if progress:
+                break
+    if remaining:
+        return None
+    decomposition = TreeDecomposition(
+        root=0,
+        parents=parents,
+        bags={n: frozenset(b) for n, b in node_of.items()},
+    )
+    if not decomposition.is_valid_for(interp):
+        return None
+    return decomposition

@@ -1,0 +1,131 @@
+"""Forest models and the hooking construction (Section 2.2, Lemma 1).
+
+An interpretation B is *obtained from D by hooking* interpretations B_G to
+guarded sets G of D when dom(B_G) ∩ dom(D) = G and distinct hooked parts
+overlap only inside D.  If each B_G is cg-tree decomposable with G as the
+root bag, B is a *forest model of D* (once it satisfies the ontology).
+
+Lemma 1: every model of D and a uGF(=)/uGC2(=) ontology admits a forest
+model mapping into it — the structural normal form behind most proofs in
+the paper.  This module provides the construction, the recognizer, and a
+chase-based forest-model factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..logic.instance import Interpretation
+from ..logic.syntax import Element
+from .decomposition import is_cg_tree_decomposable
+
+
+class HookingError(ValueError):
+    pass
+
+
+def hook(
+    base: Interpretation,
+    parts: Mapping[frozenset[Element], Interpretation],
+) -> Interpretation:
+    """Build ``base ∪ ⋃_G B_G`` after validating the hooking conditions.
+
+    Each key G must be a guarded set of *base*; each part must intersect
+    dom(base) exactly in G; distinct parts may only share elements of
+    their G-intersection.
+    """
+    guarded = base.guarded_sets()
+    base_dom = base.dom()
+    keys = sorted(parts, key=repr)
+    for g in keys:
+        if g not in guarded:
+            raise HookingError(f"{set(g)} is not a guarded set of the base")
+        part_dom = parts[g].dom()
+        if part_dom & base_dom != g:
+            raise HookingError(
+                f"part at {set(g)} meets the base in "
+                f"{set(part_dom & base_dom)}, expected {set(g)}")
+    for i, g1 in enumerate(keys):
+        for g2 in keys[i + 1:]:
+            overlap = parts[g1].dom() & parts[g2].dom()
+            if overlap - (g1 & g2):
+                raise HookingError(
+                    f"parts at {set(g1)} and {set(g2)} share "
+                    f"{set(overlap - (g1 & g2))} outside their G-overlap")
+    out = base.copy()
+    for g in keys:
+        for fact in parts[g]:
+            out.add(fact)
+    return out
+
+
+def is_forest_over(
+    interp: Interpretation,
+    base: Interpretation,
+) -> bool:
+    """Is *interp* a forest model shape over *base*?
+
+    Checks that interp extends base, that the part hanging off each
+    maximal guarded set is cg-tree decomposable together with its root
+    guarded set, and that distinct parts only overlap inside base.
+    """
+    for fact in base:
+        if fact not in interp:
+            return False
+    base_dom = base.dom()
+    extra = interp.dom() - base_dom
+    if not extra:
+        return True
+    # components of the extra part (within the Gaifman graph of interp
+    # restricted to non-base adjacency)
+    outside = interp.induced(extra | base_dom)
+    nbrs = interp.gaifman_neighbours()
+    seen: set[Element] = set()
+    for start in sorted(extra, key=repr):
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        anchors: set[Element] = set()
+        while stack:
+            current = stack.pop()
+            for n in nbrs.get(current, ()):
+                if n in base_dom:
+                    anchors.add(n)
+                elif n not in component:
+                    component.add(n)
+                    stack.append(n)
+        seen |= component
+        if anchors and not base.is_guarded_tuple(sorted(anchors, key=repr)):
+            return False
+        piece = interp.induced(component | anchors)
+        if not is_cg_tree_decomposable(piece):
+            return False
+    return True
+
+
+def forest_model_via_chase(
+    onto,
+    instance: Interpretation,
+    max_depth: int = 6,
+):
+    """A forest model of D and O from the (Horn) chase, or None.
+
+    The restricted chase hooks fresh tree-shaped witnesses onto guarded
+    sets, so its result is a forest model whenever it terminates.
+    """
+    from ..semantics.chase import ChaseError, chase
+    from ..semantics.rules import convert_ontology
+
+    rules = convert_ontology(onto)
+    if rules is None or any(rule.is_disjunctive() for rule in rules):
+        return None
+    try:
+        result = chase(onto, instance, rules=rules, max_depth=max_depth)
+    except ChaseError:
+        return None
+    consistent = result.consistent_branches()
+    if not consistent or not consistent[0].complete:
+        return None
+    return consistent[0].interp

@@ -1,0 +1,392 @@
+"""Analysis of guarded-fragment membership, depth and named fragments.
+
+Implements the syntactic notions of Section 2.1 of the paper:
+
+* openGF / openGC2 membership (all subformulas open, no equality guards),
+* uGF / uGC2 sentences (one outer guarded universal quantifier over an
+  openGF formula; the outer guard may be an equality),
+* the *depth* of sentences and ontologies (guarded-quantifier nesting in the
+  body; the outermost universal quantifier is not counted; counting
+  quantifiers contribute),
+* the ``·2`` (two-variable), ``·−`` (equality outer guards only), ``=``
+  (equality in non-guard positions) and ``f`` (partial functions) features,
+* resolution of an ontology to the most specific named fragment of Figure 1,
+* a bounded semantic test for invariance under disjoint unions (Theorem 1),
+* the conservative depth-one rewriting (Scott-style normal form).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.instance import Interpretation, disjoint_union
+from ..logic.model_check import evaluate
+from ..logic.ontology import Ontology
+from ..logic.syntax import (
+    And, Atom, Bottom, CountExists, Eq, Exists, Forall, Formula, Implies,
+    Not, Or, Top, Var, children, subformulas,
+)
+
+
+# ---------------------------------------------------------------------------
+# Basic structural measures
+# ---------------------------------------------------------------------------
+
+
+def guarded_depth(phi: Formula) -> int:
+    """Nesting depth of guarded quantifiers (counting quantifiers included)."""
+    if isinstance(phi, (Exists, Forall)):
+        return 1 + guarded_depth(phi.body)
+    if isinstance(phi, CountExists):
+        return 1 + guarded_depth(phi.body)
+    if isinstance(phi, (Atom, Eq, Top, Bottom)):
+        return 0
+    kids = children(phi)
+    return max((guarded_depth(k) for k in kids), default=0)
+
+
+def sentence_depth(phi: Formula) -> int:
+    """Depth of a uGF sentence: the outermost universal is not counted."""
+    if isinstance(phi, Forall):
+        return guarded_depth(phi.body)
+    return guarded_depth(phi)
+
+
+def variable_names(phi: Formula) -> set[str]:
+    """All variable names occurring (free or bound) in *phi*."""
+    names: set[str] = set()
+    for sub in subformulas(phi):
+        if isinstance(sub, Atom):
+            names.update(a.name for a in sub.args if isinstance(a, Var))
+        elif isinstance(sub, Eq):
+            for t in (sub.left, sub.right):
+                if isinstance(t, Var):
+                    names.add(t.name)
+        elif isinstance(sub, (Exists, Forall)):
+            names.update(v.name for v in sub.vars)
+        elif isinstance(sub, CountExists):
+            names.add(sub.var.name)
+    return names
+
+
+def max_arity(phi: Formula) -> int:
+    return max((a.arity for a in subformulas(phi) if isinstance(a, Atom)), default=0)
+
+
+def has_counting(phi: Formula) -> bool:
+    return any(isinstance(s, CountExists) for s in subformulas(phi))
+
+
+# ---------------------------------------------------------------------------
+# openGF / uGF membership
+# ---------------------------------------------------------------------------
+
+
+def _guard_ok(guard, qvars: tuple[Var, ...], body: Formula) -> bool:
+    """A proper GF guard covers the quantified variables and the body's
+    free variables that interact with them (all free variables of the
+    subformula, per the GF definition)."""
+    if guard is None:
+        return False
+    needed = set(qvars) | body.free_vars()
+    return needed <= guard.free_vars()
+
+
+def is_open_gf(phi: Formula, allow_equality: bool = True, allow_counting: bool = False) -> bool:
+    """Membership in openGF (resp. openGC2 with ``allow_counting``).
+
+    All subformulas must be open (no closed subsentence), every quantifier
+    must carry a relational guard (equality guards are disallowed inside
+    openGF), and equality atoms may appear only when ``allow_equality``.
+    """
+    if not phi.free_vars():
+        return False
+    return _open_gf_rec(phi, allow_equality, allow_counting)
+
+
+def _open_gf_rec(phi: Formula, allow_eq: bool, allow_count: bool) -> bool:
+    if isinstance(phi, (Top, Bottom)):
+        # Boolean constants are harmless leaves (no quantified subsentence).
+        return True
+    if not phi.free_vars():
+        return False
+    if isinstance(phi, Atom):
+        return True
+    if isinstance(phi, Eq):
+        return allow_eq
+    if isinstance(phi, Not):
+        return _open_gf_rec(phi.sub, allow_eq, allow_count)
+    if isinstance(phi, (And, Or)):
+        return all(_open_gf_rec(k, allow_eq, allow_count) for k in children(phi))
+    if isinstance(phi, Implies):
+        return all(_open_gf_rec(k, allow_eq, allow_count) for k in children(phi))
+    if isinstance(phi, (Exists, Forall)):
+        if not isinstance(phi.guard, Atom):
+            return False  # equality guards are not allowed inside openGF
+        if not _guard_ok(phi.guard, phi.vars, phi.body):
+            return False
+        return _open_gf_rec(phi.body, allow_eq, allow_count)
+    if isinstance(phi, CountExists):
+        if not allow_count:
+            return False
+        if phi.guard.arity != 2 or phi.var not in phi.guard.free_vars():
+            return False
+        return _open_gf_rec(phi.body, allow_eq, allow_count)
+    raise TypeError(f"unknown formula node {phi!r}")
+
+
+def is_ugf_sentence(phi: Formula, allow_equality: bool = True, allow_counting: bool = False) -> bool:
+    """Membership in uGF(=) / uGC2(=): one outer guarded universal.
+
+    The outer guard may be an atomic formula covering all quantified
+    variables or a reflexive equality ``y = y`` (the ``forall y phi``
+    shorthand of the paper).
+    """
+    if not isinstance(phi, Forall) or phi.free_vars():
+        return False
+    guard = phi.guard
+    if isinstance(guard, Eq):
+        if guard.left != guard.right or tuple(phi.vars) != (guard.left,):
+            # Only `y = y` guards for a single variable are uGF shorthand.
+            return False
+    elif isinstance(guard, Atom):
+        if not _guard_ok(guard, phi.vars, phi.body):
+            return False
+    else:
+        return False
+    body = phi.body
+    if isinstance(body, (Top, Bottom)):
+        return True
+    return _open_gf_rec(body, allow_equality, allow_counting)
+
+
+def outer_guard_is_equality(phi: Formula) -> bool:
+    """The ``·−`` feature: the outermost guard is (reflexive) equality."""
+    return isinstance(phi, Forall) and isinstance(phi.guard, Eq)
+
+
+def equality_inside(phi: Formula) -> bool:
+    """Equality occurring anywhere except as the outer guard."""
+    skip = phi.guard if isinstance(phi, Forall) and isinstance(phi.guard, Eq) else None
+    return any(
+        isinstance(s, Eq) and s is not skip
+        for s in subformulas(phi)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fragment profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FragmentProfile:
+    """The syntactic feature vector of an ontology."""
+
+    is_ugf: bool                  # every sentence is a uGF(=)/uGC2(=) sentence
+    depth: int                    # maximum sentence depth
+    two_variable: bool            # ·2 : at most two variables, arity <= 2
+    outer_equality_only: bool     # ·− : all outer guards are equalities
+    equality: bool                # = : equality in non-(outer-)guard positions
+    counting: bool                # uGC2 counting quantifiers present
+    functions: bool               # declared partial functions present
+    max_arity: int
+
+    def name(self) -> str:
+        """Render the canonical fragment name, e.g. ``uGF2-(2,f)``."""
+        base = "uGC" if self.counting else "uGF"
+        two = "2" if self.two_variable else ""
+        minus = "-" if self.outer_equality_only else ""
+        feats = [str(self.depth)]
+        if self.equality:
+            feats.append("=")
+        if self.functions:
+            feats.append("f")
+        return f"{base}{two}{minus}({','.join(feats)})"
+
+
+def profile_ontology(onto: Ontology) -> FragmentProfile:
+    """Compute the fragment profile of an ontology."""
+    sentences = list(onto.sentences)
+    is_ugf = all(
+        is_ugf_sentence(s, allow_equality=True, allow_counting=True)
+        for s in sentences
+    )
+    depth = max((sentence_depth(s) for s in sentences), default=0)
+    counting = any(has_counting(s) for s in sentences)
+    arity = max(
+        [max_arity(s) for s in sentences] + [2 if onto.functional else 0],
+        default=0,
+    )
+    two_variable = arity <= 2 and all(len(variable_names(s)) <= 2 for s in sentences)
+    outer_eq = all(outer_guard_is_equality(s) for s in sentences) if sentences else True
+    equality = any(equality_inside(s) for s in sentences)
+    return FragmentProfile(
+        is_ugf=is_ugf,
+        depth=depth,
+        two_variable=two_variable,
+        outer_equality_only=outer_eq,
+        equality=equality,
+        counting=counting,
+        functions=bool(onto.functional),
+        max_arity=arity,
+    )
+
+
+def fragment_name(onto: Ontology) -> str:
+    """The most specific named fragment the ontology belongs to."""
+    profile = profile_ontology(onto)
+    if not profile.is_ugf:
+        return "GF" if not profile.counting else "GC2"
+    return profile.name()
+
+
+# ---------------------------------------------------------------------------
+# Invariance under disjoint unions (Theorem 1) — bounded semantic test
+# ---------------------------------------------------------------------------
+
+
+def check_disjoint_union_invariance(
+    phi: Formula,
+    samples: Sequence[Sequence[Interpretation]],
+) -> tuple[bool, tuple[Interpretation, ...] | None]:
+    """Test invariance under disjoint unions on the given sample families.
+
+    Returns ``(True, None)`` if no counterexample is found, otherwise
+    ``(False, family)`` where *family* witnesses the failure:
+    either all members satisfy *phi* but the disjoint union does not
+    (preservation failure) or vice versa (reflection failure).
+    """
+    for family in samples:
+        if not family:
+            continue
+        each = [evaluate(phi, b) for b in family]
+        union = disjoint_union(list(family))
+        if len(union.dom()) == 0:
+            continue
+        whole = evaluate(phi, union)
+        if all(each) != whole:
+            return False, tuple(family)
+        # Reflection: the union satisfying phi must imply every part does.
+        if whole and not all(each):
+            return False, tuple(family)
+    return True, None
+
+
+def default_invariance_samples(
+    sig: dict[str, int],
+    max_elems: int = 2,
+    max_facts: int = 2,
+) -> list[list[Interpretation]]:
+    """Small systematic sample families over a signature for the test."""
+    from ..logic.syntax import Const
+
+    elems = [Const(f"e{i}") for i in range(max_elems)]
+    candidate_facts: list[Atom] = []
+    for pred, arity in sorted(sig.items()):
+        for combo in itertools.product(elems, repeat=arity):
+            candidate_facts.append(Atom(pred, combo))
+    single: list[Interpretation] = []
+    for r in range(1, max_facts + 1):
+        for facts in itertools.combinations(candidate_facts, r):
+            single.append(Interpretation(facts))
+    families: list[list[Interpretation]] = []
+    for a, b in itertools.combinations(single, 2):
+        families.append([a, b])
+    for a in single:
+        families.append([a, a.copy()])
+    return families
+
+
+# ---------------------------------------------------------------------------
+# Depth-one conservative extension (Scott-style normal form)
+# ---------------------------------------------------------------------------
+
+
+class _FreshNames:
+    def __init__(self, taken: Iterable[str]):
+        self._taken = set(taken)
+        self._counter = 0
+
+    def fresh(self, stem: str = "Sub") -> str:
+        while True:
+            name = f"{stem}{self._counter}"
+            self._counter += 1
+            if name not in self._taken:
+                self._taken.add(name)
+                return name
+
+
+def to_depth_one(onto: Ontology) -> Ontology:
+    """Conservative depth-one extension of a uGF ontology.
+
+    Every quantified subformula nested below the first quantifier level of a
+    sentence body is replaced by a fresh predicate over its free variables;
+    definitional sentences (both directions, guarded) are added.  The result
+    is a conservative extension: models of the output restrict to models of
+    the input, and every model of the input expands to one of the output
+    (Section 2.1: "for every GF sentence one can construct in polynomial
+    time a conservative extension in uGF(1)").
+    """
+    fresh = _FreshNames(onto.sig())
+    new_sentences: list[Formula] = []
+
+    def abstract(phi: Formula, level: int, defs: list[Formula]) -> Formula:
+        """Rewrite *phi* so that quantifiers occur only at level <= 1."""
+        if isinstance(phi, (Atom, Eq, Top, Bottom)):
+            return phi
+        if isinstance(phi, Not):
+            return Not(abstract(phi.sub, level, defs))
+        if isinstance(phi, And):
+            return And.of(*(abstract(c, level, defs) for c in phi.conjuncts))
+        if isinstance(phi, Or):
+            return Or.of(*(abstract(d, level, defs) for d in phi.disjuncts))
+        if isinstance(phi, Implies):
+            return Implies(abstract(phi.antecedent, level, defs),
+                           abstract(phi.consequent, level, defs))
+        if isinstance(phi, (Exists, Forall, CountExists)):
+            if level == 0:
+                if isinstance(phi, CountExists):
+                    body = abstract(phi.body, 1, defs)
+                    return CountExists(phi.n, phi.var, phi.guard, body)
+                body = abstract(phi.body, 1, defs)
+                return type(phi)(phi.vars, phi.guard, body)
+            # Nested quantifier: replace the whole subformula by a fresh atom.
+            free = tuple(sorted(phi.free_vars()))
+            pred = fresh.fresh("Def")
+            head = Atom(pred, free)
+            inner = abstract(phi, 0, defs)
+            # P(~w) -> phi   (guard: the fresh atom itself)
+            defs.append(Forall(free, head, inner))
+            # guard -> (phi -> P(~w)) for the guard of phi, which covers free.
+            guard = phi.guard if not isinstance(phi, CountExists) else phi.guard
+            if isinstance(guard, Atom) and phi.free_vars() <= guard.free_vars():
+                gv = tuple(sorted(guard.free_vars()))
+                defs.append(Forall(gv, guard, Implies(inner, head)))
+            else:
+                # Fall back to an equality-guarded universal over free vars
+                # (only possible for a single free variable).
+                if len(free) == 1:
+                    v = free[0]
+                    defs.append(Forall((v,), Eq(v, v), Implies(inner, head)))
+                else:
+                    # Guard with the enclosing sentence's context is not
+                    # available here; use an unguarded definitional sentence.
+                    defs.append(Forall(free, None, Implies(inner, head)))
+            return head
+        raise TypeError(f"unknown formula node {phi!r}")
+
+    for sentence in onto.sentences:
+        if sentence_depth(sentence) <= 1:
+            new_sentences.append(sentence)
+            continue
+        if not isinstance(sentence, Forall):
+            new_sentences.append(sentence)
+            continue
+        defs: list[Formula] = []
+        body = abstract(sentence.body, 0, defs)
+        new_sentences.append(Forall(sentence.vars, sentence.guard, body))
+        new_sentences.extend(defs)
+    return Ontology(new_sentences, onto.functional, name=f"{onto.name}@d1")

@@ -1,0 +1,182 @@
+"""uGF- and uGC2-unravellings of instances (Section 4 of the paper).
+
+The unravelling ``D^u`` of an instance D is built from the tree ``T(D)`` of
+sequences ``t = G0 G1 ... Gn`` of *maximal guarded sets* of D satisfying
+
+    (a)  G_i != G_{i+1},
+    (b)  G_i ∩ G_{i+1} != emptyset, and
+    (c)  G_{i-1} != G_{i+1}                       (uGF-unravelling), or
+    (c') G_i ∩ G_{i-1} != G_i ∩ G_{i+1}           (uGC2-unravelling).
+
+Each node t carries a bag isomorphic to ``D|tail(t)``; bags of t and tG'
+share the copies of ``tail(t) ∩ G'``.  The unravelling is the union of all
+bags and is infinite in general; this implementation materializes it up to a
+given tree depth, which suffices to evaluate queries whose matches stay
+within that distance of the roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from ..logic.instance import Interpretation
+from ..logic.syntax import Atom, Element, Null
+
+Flavour = Literal["uGF", "uGC2"]
+
+
+@dataclass
+class Unravelling:
+    """A depth-bounded prefix of D^u together with its bookkeeping maps."""
+
+    instance: Interpretation
+    interpretation: Interpretation
+    up: dict[Element, Element]
+    flavour: Flavour
+    depth: int
+    # path (tuple of guarded sets) -> {original element -> its copy}
+    bags: dict[tuple[frozenset[Element], ...], dict[Element, Element]]
+
+    def root_bag(self, guarded_set: frozenset[Element]) -> dict[Element, Element]:
+        """The copy map of the root bag for a maximal guarded set."""
+        return self.bags[(guarded_set,)]
+
+    def copy_of(self, elems: Sequence[Element], guarded_set: frozenset[Element]) -> tuple[Element, ...]:
+        """The copy of a tuple from *guarded_set* in its root bag (Def. 3)."""
+        bag = self.root_bag(guarded_set)
+        return tuple(bag[e] for e in elems)
+
+    def projection(self) -> dict[Element, Element]:
+        """The homomorphism h : e -> e^ from D^u onto D."""
+        return dict(self.up)
+
+
+def unravel(
+    instance: Interpretation,
+    depth: int,
+    flavour: Flavour = "uGF",
+    roots: Iterable[frozenset[Element]] | None = None,
+    max_nodes: int = 20000,
+) -> Unravelling:
+    """Materialize the unravelling of *instance* up to tree depth *depth*.
+
+    *roots* restricts which maximal guarded sets start a tree (all by
+    default).  ``max_nodes`` caps the total number of tree nodes to protect
+    against combinatorial blow-up; hitting the cap raises ``RuntimeError``.
+    """
+    maximal = sorted(instance.maximal_guarded_sets(), key=repr)
+    if roots is None:
+        root_sets = maximal
+    else:
+        root_sets = sorted(roots, key=repr)
+        for g in root_sets:
+            if g not in maximal:
+                raise ValueError(f"{set(g)} is not a maximal guarded set")
+
+    out = Interpretation()
+    up: dict[Element, Element] = {}
+    bags: dict[tuple[frozenset[Element], ...], dict[Element, Element]] = {}
+    counter = 0
+
+    def fresh_copy(original: Element) -> Element:
+        nonlocal counter
+        counter += 1
+        name = getattr(original, "name", str(original))
+        return Null(f"u{counter}_{name}")
+
+    def install_bag(path: tuple[frozenset[Element], ...], copy_map: dict[Element, Element]) -> None:
+        bags[path] = copy_map
+        tail = path[-1]
+        induced = instance.induced(tail)
+        for fact in induced:
+            out.add(Atom(fact.pred, tuple(copy_map[a] for a in fact.args)))
+
+    # Breadth-first construction of T(D).
+    frontier: list[tuple[frozenset[Element], ...]] = []
+    for g in root_sets:
+        copy_map = {}
+        for e in sorted(g, key=repr):
+            c = fresh_copy(e)
+            copy_map[e] = c
+            up[c] = e
+        install_bag((g,), copy_map)
+        frontier.append((g,))
+
+    for _level in range(depth):
+        next_frontier: list[tuple[frozenset[Element], ...]] = []
+        for path in frontier:
+            tail = path[-1]
+            prev = path[-2] if len(path) >= 2 else None
+            parent_map = bags[path]
+            for succ in maximal:
+                if succ == tail:
+                    continue  # (a)
+                overlap = succ & tail
+                if not overlap:
+                    continue  # (b)
+                if prev is not None:
+                    if flavour == "uGF" and succ == prev:
+                        continue  # (c)
+                    if flavour == "uGC2" and (tail & prev) == (tail & succ):
+                        continue  # (c')
+                copy_map: dict[Element, Element] = {}
+                for e in sorted(succ, key=repr):
+                    if e in overlap:
+                        copy_map[e] = parent_map[e]
+                    else:
+                        c = fresh_copy(e)
+                        copy_map[e] = c
+                        up[c] = e
+                new_path = path + (succ,)
+                install_bag(new_path, copy_map)
+                next_frontier.append(new_path)
+                if len(bags) > max_nodes:
+                    raise RuntimeError(
+                        f"unravelling exceeded {max_nodes} nodes at depth {_level + 1}")
+        frontier = next_frontier
+
+    return Unravelling(
+        instance=instance,
+        interpretation=out,
+        up=up,
+        flavour=flavour,
+        depth=depth,
+        bags=bags,
+    )
+
+
+def successor_counts_preserved(
+    original: Interpretation,
+    unravelling: Unravelling,
+    relation: str,
+) -> bool:
+    """Check the uGC2-unravelling property that the number of distinct
+    R-successors of each original constant is preserved at its copies.
+
+    Only copies whose full successor neighbourhood is materialized within
+    the depth bound are compared (frontier copies are skipped).
+    """
+    if unravelling.interpretation.arity(relation) not in (2, None):
+        raise ValueError(f"{relation} is not binary")
+
+    def successors(interp: Interpretation, elem: Element) -> set[Element]:
+        return {b for (a, b) in interp.tuples(relation) if a == elem}
+
+    # creation depth of a copy = the shortest path whose bag contains it
+    created_at: dict[Element, int] = {}
+    for path, copy_map in unravelling.bags.items():
+        for copy in copy_map.values():
+            depth = len(path)
+            if depth < created_at.get(copy, depth + 1):
+                created_at[copy] = depth
+
+    for copy, orig in unravelling.up.items():
+        want = len(successors(original, orig))
+        got = len(successors(unravelling.interpretation, copy))
+        if got > want:
+            return False  # definitive: counts only grow with more depth
+        if got < want and created_at.get(copy, 0) <= unravelling.depth:
+            # interior copy with missing successors
+            return False
+    return True

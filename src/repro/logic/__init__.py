@@ -1,0 +1,37 @@
+"""First-order logic substrate: syntax, instances, model checking, parsing."""
+
+from .syntax import (
+    And, Atom, Bottom, Const, CountExists, Element, Eq, Exists, Forall,
+    Formula, Implies, Not, Null, Or, Term, Top, Var, atoms_of, children,
+    formula_size, is_sentence, nnf, signature_of, subformulas, substitute,
+    uses_equality,
+)
+from .instance import (
+    Interpretation, disjoint_union, fresh_nulls, is_instance, make_instance,
+)
+from .model_check import evaluate, is_model_of, satisfies_all, violated_sentences
+from .homomorphism import (
+    are_isomorphic, find_homomorphism, has_homomorphism, homomorphisms,
+    is_isomorphic_embedding,
+)
+from .parser import ParseError, parse_formula, parse_ontology, parse_sentences
+from .cores import core, hom_equivalent, is_core, retracts_onto
+from .ontology import Ontology, ontology
+from .render import (
+    load_ontology_fo, render_formula, render_ontology_fo, render_term,
+)
+
+__all__ = [
+    "And", "Atom", "Bottom", "Const", "CountExists", "Element", "Eq",
+    "Exists", "Forall", "Formula", "Implies", "Not", "Null", "Or", "Term",
+    "Top", "Var", "atoms_of", "children", "formula_size", "is_sentence",
+    "nnf", "signature_of", "subformulas", "substitute", "uses_equality",
+    "Interpretation", "disjoint_union", "fresh_nulls", "is_instance",
+    "make_instance", "evaluate", "is_model_of", "satisfies_all",
+    "violated_sentences", "are_isomorphic", "find_homomorphism",
+    "has_homomorphism", "homomorphisms", "is_isomorphic_embedding",
+    "ParseError", "parse_formula", "parse_ontology", "parse_sentences",
+    "core", "hom_equivalent", "is_core", "retracts_onto",
+    "Ontology", "ontology", "load_ontology_fo", "render_formula",
+    "render_ontology_fo", "render_term",
+]

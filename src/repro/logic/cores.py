@@ -1,0 +1,93 @@
+"""Cores and retracts of interpretations.
+
+A *retract* of A is a subinterpretation B with a homomorphism A -> B that
+is the identity on B; the *core* is a minimal retract, unique up to
+isomorphism.  Cores canonicalize materializations and CSP instances: an
+instance maps into a template iff its core does, and hom-universal models
+are interchangeable with their cores.
+
+``preserve`` pins elements (typically the data constants of an instance)
+so the core computed for a model of D keeps dom(D) intact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .homomorphism import homomorphisms
+from .instance import Interpretation
+from .syntax import Element
+
+
+def retracts_onto(
+    interp: Interpretation,
+    subset: frozenset[Element],
+    preserve: frozenset[Element],
+) -> dict[Element, Element] | None:
+    """A retraction of *interp* onto the subinterpretation induced by
+    *subset*, or None.  The retraction fixes *preserve* ∪ *subset*."""
+    if not preserve <= subset:
+        return None
+    target = interp.induced(subset)
+    for hom in homomorphisms(interp, target, preserve=sorted(subset, key=repr)):
+        return hom
+    return None
+
+
+def _stabilize(hom: dict[Element, Element], rounds: int) -> dict[Element, Element]:
+    """Iterate an endomorphism until it is idempotent on its image."""
+    current = dict(hom)
+    for _ in range(rounds):
+        composed = {e: current[current[e]] for e in current}
+        if composed == current:
+            break
+        current = composed
+    return current
+
+
+def core(
+    interp: Interpretation,
+    preserve: Iterable[Element] = (),
+) -> Interpretation:
+    """Compute the core of a (small) interpretation.
+
+    Repeatedly search for a non-surjective endomorphism fixing the
+    preserved elements; its idempotent iterate is a retraction whose image
+    is a proper retract.  The fixpoint is the core (unique up to
+    isomorphism; here the preserved elements make it canonical).
+    """
+    pinned = frozenset(preserve)
+    current = interp.copy()
+    while True:
+        domain = frozenset(current.dom())
+        shrunk = False
+        for hom in homomorphisms(current, current,
+                                 preserve=sorted(pinned, key=repr)):
+            image = frozenset(hom.values())
+            if image == domain:
+                continue
+            stable = _stabilize(hom, rounds=len(domain))
+            retract = frozenset(stable.values())
+            current = current.induced(retract)
+            shrunk = True
+            break
+        if not shrunk:
+            return current
+
+
+def is_core(interp: Interpretation, preserve: Iterable[Element] = ()) -> bool:
+    """True if every endomorphism fixing *preserve* is surjective."""
+    pinned = frozenset(preserve)
+    domain = frozenset(interp.dom())
+    for hom in homomorphisms(interp, interp,
+                             preserve=sorted(pinned, key=repr)):
+        if frozenset(hom.values()) != domain:
+            return False
+    return True
+
+
+def hom_equivalent(a: Interpretation, b: Interpretation) -> bool:
+    """Homomorphic equivalence: maps in both directions."""
+    from .homomorphism import has_homomorphism
+
+    return has_homomorphism(a, b) and has_homomorphism(b, a)

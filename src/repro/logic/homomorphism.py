@@ -1,0 +1,162 @@
+"""Homomorphisms between interpretations.
+
+A homomorphism ``h : A -> B`` maps dom(A) to dom(B) such that every fact of A
+is mapped to a fact of B.  The search is a backtracking constraint solver
+that always branches on the element with the most incident facts among those
+still unassigned (most-constrained-first), and propagates through fact
+constraints.  ``preserve`` pins a set of elements to themselves — the
+"preserves dom(D)" condition used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .instance import Interpretation
+from .syntax import Atom, Element
+
+
+def find_homomorphism(
+    source: Interpretation,
+    target: Interpretation,
+    preserve: Iterable[Element] = (),
+    partial: Mapping[Element, Element] | None = None,
+    order_static: bool = False,
+) -> dict[Element, Element] | None:
+    """Return a homomorphism from *source* to *target*, or None.
+
+    ``preserve`` elements must map to themselves; ``partial`` pre-binds
+    specific elements.  ``order_static`` disables the most-constrained-first
+    heuristic (used by the ablation benchmark).
+    """
+    for hom in homomorphisms(source, target, preserve, partial, order_static):
+        return hom
+    return None
+
+
+def has_homomorphism(
+    source: Interpretation,
+    target: Interpretation,
+    preserve: Iterable[Element] = (),
+    partial: Mapping[Element, Element] | None = None,
+) -> bool:
+    return find_homomorphism(source, target, preserve, partial) is not None
+
+
+def homomorphisms(
+    source: Interpretation,
+    target: Interpretation,
+    preserve: Iterable[Element] = (),
+    partial: Mapping[Element, Element] | None = None,
+    order_static: bool = False,
+) -> Iterator[dict[Element, Element]]:
+    """Enumerate all homomorphisms from *source* to *target*."""
+    assignment: dict[Element, Element] = dict(partial or {})
+    for e in preserve:
+        if assignment.get(e, e) != e:
+            return
+        assignment[e] = e
+    src_elems = sorted(source.dom(), key=repr)
+    # Constraints: one per source fact.
+    facts = list(source)
+    # For each element, the facts it participates in (constraint degree).
+    degree = {e: 0 for e in src_elems}
+    for fact in facts:
+        for a in set(fact.args):
+            degree[a] += 1
+    if order_static:
+        ordering = src_elems
+    else:
+        ordering = sorted(src_elems, key=lambda e: (-degree[e], repr(e)))
+    # Verify pre-bound parts don't already violate fully-ground facts.
+    target_dom = target.dom()
+
+    def consistent(fact: Atom, env: dict[Element, Element]) -> bool:
+        """If all args of *fact* are bound, the image must be in target."""
+        image = []
+        for a in fact.args:
+            if a not in env:
+                return True
+            image.append(env[a])
+        return Atom(fact.pred, tuple(image)) in target
+
+    def candidates(elem: Element, env: dict[Element, Element]) -> list[Element]:
+        """Target elements *elem* may map to, narrowed via incident facts."""
+        best: list[Element] | None = None
+        for fact in source.facts_about(elem):
+            positions = [i for i, a in enumerate(fact.args) if a == elem]
+            pool: set[Element] = set()
+            # Any target fact with same predicate whose bound positions agree.
+            for args in target.tuples(fact.pred):
+                ok = True
+                for i, a in enumerate(fact.args):
+                    if a in env and args[i] != env[a]:
+                        ok = False
+                        break
+                if ok:
+                    for i in positions:
+                        pool.add(args[i])
+            if best is None or len(pool) < len(best):
+                best = sorted(pool, key=repr)
+            if not best:
+                return []
+        if best is None:
+            # Isolated element (cannot occur: active domain), map anywhere.
+            return sorted(target_dom, key=repr)
+        return best
+
+    def search(idx: int, env: dict[Element, Element]) -> Iterator[dict[Element, Element]]:
+        while idx < len(ordering) and ordering[idx] in env:
+            idx += 1
+        if idx == len(ordering):
+            yield dict(env)
+            return
+        elem = ordering[idx]
+        for cand in candidates(elem, env):
+            env[elem] = cand
+            if all(consistent(f, env) for f in source.facts_about(elem)):
+                yield from search(idx + 1, env)
+            del env[elem]
+
+    # Check facts whose elements are all pre-bound.
+    if not all(consistent(f, assignment) for f in facts):
+        return
+    for e, v in assignment.items():
+        if e in degree and v not in target_dom and degree[e] > 0:
+            return
+    yield from search(0, assignment)
+
+
+def is_isomorphic_embedding(
+    source: Interpretation,
+    target: Interpretation,
+    mapping: Mapping[Element, Element],
+) -> bool:
+    """Check *mapping* is injective and reflects facts (Section 2)."""
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        return False
+    for fact in source:
+        image = Atom(fact.pred, tuple(mapping[a] for a in fact.args))
+        if image not in target:
+            return False
+    inverse = {v: k for k, v in mapping.items()}
+    for pred in target.sig():
+        for args in target.tuples(pred):
+            if all(a in inverse for a in args):
+                back = Atom(pred, tuple(inverse[a] for a in args))
+                if back not in source:
+                    return False
+    return True
+
+
+def are_isomorphic(a: Interpretation, b: Interpretation) -> bool:
+    """Exact isomorphism test by guided backtracking (small inputs only)."""
+    if len(a) != len(b) or len(a.dom()) != len(b.dom()):
+        return False
+    if a.sig() != b.sig():
+        return False
+    for hom in homomorphisms(a, b):
+        if is_isomorphic_embedding(a, b, hom) and len(set(hom.values())) == len(b.dom()):
+            return True
+    return False

@@ -1,0 +1,208 @@
+"""Model checking first-order formulas over finite interpretations.
+
+Quantifiers range over the active domain of the interpretation.  Guarded
+quantifiers are evaluated by enumerating the matches of their guard, so the
+cost is driven by the number of facts rather than by |dom|^k.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping
+
+from .instance import Interpretation
+from .syntax import (
+    And, Atom, Bottom, CountExists, Element, Eq, Exists, Forall, Formula,
+    Implies, Not, Or, Top, Var,
+)
+
+
+def evaluate(
+    phi: Formula,
+    interp: Interpretation,
+    assignment: Mapping[Var, Element] | None = None,
+) -> bool:
+    """Decide ``interp, assignment |= phi``.
+
+    All free variables of *phi* must be bound by *assignment*.
+    """
+    env = dict(assignment or {})
+    missing = phi.free_vars() - set(env)
+    if missing:
+        raise ValueError(f"unbound free variables: {sorted(missing, key=repr)}")
+    return _eval(phi, interp, env)
+
+
+def _ground(term, env):
+    if isinstance(term, Var):
+        return env[term]
+    return term
+
+
+def _eval(phi: Formula, interp: Interpretation, env: dict[Var, Element]) -> bool:
+    if isinstance(phi, Top):
+        return True
+    if isinstance(phi, Bottom):
+        return False
+    if isinstance(phi, Atom):
+        args = tuple(_ground(a, env) for a in phi.args)
+        return Atom(phi.pred, args) in interp
+    if isinstance(phi, Eq):
+        return _ground(phi.left, env) == _ground(phi.right, env)
+    if isinstance(phi, Not):
+        return not _eval(phi.sub, interp, env)
+    if isinstance(phi, And):
+        return all(_eval(c, interp, env) for c in phi.conjuncts)
+    if isinstance(phi, Or):
+        return any(_eval(d, interp, env) for d in phi.disjuncts)
+    if isinstance(phi, Implies):
+        return (not _eval(phi.antecedent, interp, env)) or _eval(phi.consequent, interp, env)
+    if isinstance(phi, Exists):
+        shadowed = {v: env.pop(v) for v in phi.vars if v in env}
+        try:
+            for ext in _guard_matches(phi.vars, phi.guard, interp, env):
+                env.update(ext)
+                ok = _eval(phi.body, interp, env)
+                for v in ext:
+                    del env[v]
+                if ok:
+                    return True
+            return False
+        finally:
+            env.update(shadowed)
+    if isinstance(phi, Forall):
+        shadowed = {v: env.pop(v) for v in phi.vars if v in env}
+        try:
+            for ext in _guard_matches(phi.vars, phi.guard, interp, env):
+                env.update(ext)
+                ok = _eval(phi.body, interp, env)
+                for v in ext:
+                    del env[v]
+                if not ok:
+                    return False
+            return True
+        finally:
+            env.update(shadowed)
+    if isinstance(phi, CountExists):
+        shadowed = {phi.var: env.pop(phi.var)} if phi.var in env else {}
+        try:
+            count = 0
+            seen: set[Element] = set()
+            for ext in _guard_matches((phi.var,), phi.guard, interp, env):
+                value = ext[phi.var]
+                if value in seen:
+                    continue
+                env.update(ext)
+                ok = _eval(phi.body, interp, env)
+                for v in ext:
+                    del env[v]
+                if ok:
+                    seen.add(value)
+                    count += 1
+                    if count >= phi.n:
+                        return True
+            return count >= phi.n
+        finally:
+            env.update(shadowed)
+    raise TypeError(f"unknown formula node {phi!r}")
+
+
+def _guard_matches(
+    qvars: tuple[Var, ...],
+    guard,
+    interp: Interpretation,
+    env: dict[Var, Element],
+) -> Iterator[dict[Var, Element]]:
+    """Enumerate bindings of *qvars* compatible with the guard.
+
+    Yields dictionaries binding exactly the unbound quantified variables.
+    """
+    unbound = [v for v in qvars if v not in env]
+    if guard is None:
+        domain = sorted(interp.dom(), key=repr)
+        for combo in itertools.product(domain, repeat=len(unbound)):
+            yield dict(zip(unbound, combo))
+        return
+    if isinstance(guard, Eq):
+        left, right = guard.left, guard.right
+        lval = env.get(left) if isinstance(left, Var) else left
+        rval = env.get(right) if isinstance(right, Var) else right
+        if lval is not None and rval is not None:
+            if lval == rval:
+                # Guard already satisfied; remaining unbound vars (if any)
+                # range over the domain.
+                domain = sorted(interp.dom(), key=repr)
+                for combo in itertools.product(domain, repeat=len(unbound)):
+                    yield dict(zip(unbound, combo))
+            return
+        if lval is None and rval is None:
+            # Both sides are unbound variables; x = y ranges over the diagonal,
+            # and a reflexive guard y = y ranges over the whole domain.
+            domain = sorted(interp.dom(), key=repr)
+            if left == right:
+                rest = [v for v in unbound if v != left]
+                for value in domain:
+                    base = {left: value}
+                    for combo in itertools.product(domain, repeat=len(rest)):
+                        yield {**base, **dict(zip(rest, combo))}
+            else:
+                rest = [v for v in unbound if v not in (left, right)]
+                for value in domain:
+                    base = {left: value, right: value}
+                    for combo in itertools.product(domain, repeat=len(rest)):
+                        yield {**base, **dict(zip(rest, combo))}
+            return
+        # Exactly one side bound: the other is forced.
+        bound_val = lval if lval is not None else rval
+        free_side = right if lval is not None else left
+        rest = [v for v in unbound if v != free_side]
+        domain = sorted(interp.dom(), key=repr)
+        base = {free_side: bound_val} if isinstance(free_side, Var) else {}
+        if isinstance(free_side, Var):
+            for combo in itertools.product(domain, repeat=len(rest)):
+                yield {**base, **dict(zip(rest, combo))}
+        return
+    # Relational atom guard: use the fact index.
+    assert isinstance(guard, Atom)
+    for ext in interp.match_atom(guard, env):
+        leftover = [v for v in unbound if v not in ext]
+        if leftover:
+            # Quantified variables not occurring in the guard (does not
+            # happen for proper guards, but keep semantics total).
+            domain = sorted(interp.dom(), key=repr)
+            for combo in itertools.product(domain, repeat=len(leftover)):
+                yield {**ext, **dict(zip(leftover, combo))}
+        else:
+            yield dict(ext)
+
+
+def satisfies_all(
+    interp: Interpretation,
+    sentences: Iterable[Formula],
+) -> bool:
+    """True if *interp* is a model of every sentence."""
+    return all(evaluate(s, interp) for s in sentences)
+
+
+def is_model_of(
+    interp: Interpretation,
+    instance: Interpretation,
+    sentences: Iterable[Formula] = (),
+) -> bool:
+    """True if *interp* is a model of the instance and the sentences.
+
+    Per Section 2 the instance must be contained in the interpretation
+    (strong open-world assumption with standard names).
+    """
+    for fact in instance:
+        if fact not in interp:
+            return False
+    return satisfies_all(interp, sentences)
+
+
+def violated_sentences(
+    interp: Interpretation,
+    sentences: Iterable[Formula],
+) -> list[Formula]:
+    """Return the sentences not satisfied by *interp* (for diagnostics)."""
+    return [s for s in sentences if not evaluate(s, interp)]

@@ -1,0 +1,264 @@
+"""A recursive-descent parser for first-order formulas.
+
+Syntax (ASCII):
+
+* atoms:            ``R(x, y)``, ``x = y``, ``x != y`` (sugar for ``~(x = y)``)
+* connectives:      ``~``  ``&``  ``|``  ``->``  ``<->``
+* quantifiers:      ``forall x y (...)``, ``exists x (...)``,
+                    ``exists>=3 y (R(x,y) & A(y))``
+* constants:        ``true``, ``false``
+* terms:            identifiers are variables; ``$a`` is the data constant
+                    ``a``; ``_:n`` is the labelled null ``n``
+
+Guards are recovered structurally: ``forall xs (alpha -> phi)`` yields a
+guarded :class:`~repro.logic.syntax.Forall` when ``alpha`` is an atom or an
+equality covering all quantified variables, and similarly ``exists xs
+(alpha & phi)``; otherwise the quantifier is recorded as unguarded.
+
+Ontology files/strings contain one sentence per line; blank lines and
+``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .syntax import (
+    And, Atom, Bottom, Const, CountExists, Eq, Exists, Forall, Formula,
+    Implies, Not, Null, Or, Term, Top, Var,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<countq>exists\s*>=\s*\d+)
+  | (?P<kw>forall|exists|true|false)\b
+  | (?P<const>\$[A-Za-z0-9_']+)
+  | (?P<null>_:[A-Za-z0-9_']+)
+  | (?P<ident>[A-Za-z][A-Za-z0-9_']*)
+  | (?P<iff><->)
+  | (?P<imp>->)
+  | (?P<neq>!=)
+  | (?P<sym>[()~&|=,])
+    """,
+    re.VERBOSE,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed input."""
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos} in {text!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, m.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def next(self) -> tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, text = self.next()
+        if text != value:
+            raise ParseError(f"expected {value!r}, found {text!r}")
+
+    # formula := iff
+    def formula(self) -> Formula:
+        return self.iff()
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.peek()[1] == "<->":
+            self.next()
+            right = self.implies()
+            left = And.of(Implies(left, right), Implies(right, left))
+        return left
+
+    def implies(self) -> Formula:
+        left = self.disjunction()
+        if self.peek()[1] == "->":
+            self.next()
+            right = self.implies()  # right associative
+            return Implies(left, right)
+        return left
+
+    def disjunction(self) -> Formula:
+        parts = [self.conjunction()]
+        while self.peek()[1] == "|":
+            self.next()
+            parts.append(self.conjunction())
+        return parts[0] if len(parts) == 1 else Or.of(*parts)
+
+    def conjunction(self) -> Formula:
+        parts = [self.unary()]
+        while self.peek()[1] == "&":
+            self.next()
+            parts.append(self.unary())
+        return parts[0] if len(parts) == 1 else And.of(*parts)
+
+    def unary(self) -> Formula:
+        kind, text = self.peek()
+        if text == "~":
+            self.next()
+            return Not(self.unary())
+        if kind == "countq":
+            return self.counting()
+        if kind == "kw" and text in ("forall", "exists"):
+            return self.quantified()
+        if kind == "kw" and text == "true":
+            self.next()
+            return Top()
+        if kind == "kw" and text == "false":
+            self.next()
+            return Bottom()
+        if text == "(":
+            self.next()
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        return self.atom_or_eq()
+
+    def quantified(self) -> Formula:
+        _, keyword = self.next()
+        qvars: list[Var] = []
+        while True:
+            kind, text = self.peek()
+            if kind == "ident":
+                self.next()
+                qvars.append(Var(text))
+                if self.peek()[1] == ",":
+                    self.next()
+                continue
+            break
+        if not qvars:
+            raise ParseError(f"{keyword} without variables")
+        self.expect("(")
+        body = self.formula()
+        self.expect(")")
+        return _attach_guard(keyword, tuple(qvars), body)
+
+    def counting(self) -> Formula:
+        _, text = self.next()
+        n = int(text.split(">=")[1])
+        kind, vname = self.next()
+        if kind != "ident":
+            raise ParseError(f"expected variable after {text!r}")
+        self.expect("(")
+        body = self.formula()
+        self.expect(")")
+        qvar = Var(vname)
+        if isinstance(body, And) and isinstance(body.conjuncts[0], Atom):
+            guard = body.conjuncts[0]
+            rest = And.of(*body.conjuncts[1:])
+        elif isinstance(body, Atom):
+            guard, rest = body, Top()
+        else:
+            raise ParseError(
+                "counting quantifier needs a leading atomic guard: "
+                f"exists>={n} {vname} (R(..) & ...)")
+        if qvar not in guard.free_vars():
+            raise ParseError(f"guard {guard!r} does not mention {vname}")
+        return CountExists(n, qvar, guard, rest)
+
+    def atom_or_eq(self) -> Formula:
+        left = self.term()
+        kind, text = self.peek()
+        if text == "(" and isinstance(left, Var):
+            # relation symbol application
+            self.next()
+            args: list[Term] = []
+            if self.peek()[1] != ")":
+                args.append(self.term())
+                while self.peek()[1] == ",":
+                    self.next()
+                    args.append(self.term())
+            self.expect(")")
+            return Atom(left.name, tuple(args))
+        if text == "=":
+            self.next()
+            right = self.term()
+            return Eq(left, right)
+        if text == "!=":
+            self.next()
+            right = self.term()
+            return Not(Eq(left, right))
+        raise ParseError(f"expected '(' or '=' after term, found {text!r}")
+
+    def term(self) -> Term:
+        kind, text = self.next()
+        if kind == "ident":
+            return Var(text)
+        if kind == "const":
+            return Const(text[1:])
+        if kind == "null":
+            return Null(text[2:])
+        raise ParseError(f"expected a term, found {text!r}")
+
+
+def _attach_guard(keyword: str, qvars: tuple[Var, ...], body: Formula) -> Formula:
+    """Recover the guard from the parsed quantifier body."""
+    qset = frozenset(qvars)
+
+    def covers(candidate: Formula) -> bool:
+        if isinstance(candidate, Atom):
+            return qset <= candidate.free_vars()
+        if isinstance(candidate, Eq):
+            return qset <= candidate.free_vars()
+        return False
+
+    if keyword == "forall":
+        if isinstance(body, Implies) and covers(body.antecedent):
+            return Forall(qvars, body.antecedent, body.consequent)  # type: ignore[arg-type]
+        return Forall(qvars, None, body)
+    if isinstance(body, And) and covers(body.conjuncts[0]):
+        return Exists(qvars, body.conjuncts[0], And.of(*body.conjuncts[1:]))  # type: ignore[arg-type]
+    if covers(body):
+        return Exists(qvars, body, Top())  # type: ignore[arg-type]
+    return Exists(qvars, None, body)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a single formula."""
+    parser = _Parser(text)
+    phi = parser.formula()
+    kind, tok = parser.peek()
+    if kind != "eof":
+        raise ParseError(f"trailing input {tok!r} in {text!r}")
+    return phi
+
+
+def parse_sentences(text: str) -> list[Formula]:
+    """Parse one sentence per non-empty, non-comment line."""
+    out: list[Formula] = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            out.append(parse_formula(stripped))
+    return out
+
+
+def parse_ontology(text: str) -> list[Formula]:
+    """Alias for :func:`parse_sentences`, for readability at call sites."""
+    return parse_sentences(text)

@@ -1,0 +1,114 @@
+"""Rendering FO formulas back to the parser's syntax.
+
+``parse_formula(render_formula(phi))`` round-trips structurally (modulo
+flattening of nested conjunctions/disjunctions, which the constructors
+normalize on both sides).  Unlike ``repr``, the renderer emits constants as
+``$name`` and nulls as ``_:name`` so ground formulas survive the trip.
+"""
+
+from __future__ import annotations
+
+from .ontology import Ontology
+from .syntax import (
+    And, Atom, Bottom, Const, CountExists, Eq, Exists, Forall, Formula,
+    Implies, Not, Null, Or, Term, Top, Var,
+)
+
+
+def render_term(term: Term) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        return f"${term.name}"
+    if isinstance(term, Null):
+        return f"_:{term.name}"
+    raise TypeError(f"unknown term {term!r}")
+
+
+def render_formula(phi: Formula, outer: bool = True) -> str:
+    """Render a formula; inner compound formulas are parenthesized."""
+    text = _render(phi)
+    return text
+
+
+def _paren(phi: Formula) -> str:
+    text = _render(phi)
+    if isinstance(phi, (Atom, Top, Bottom, Not)):
+        return text
+    return f"({text})"
+
+
+def _render(phi: Formula) -> str:
+    if isinstance(phi, Top):
+        return "true"
+    if isinstance(phi, Bottom):
+        return "false"
+    if isinstance(phi, Atom):
+        args = ", ".join(render_term(a) for a in phi.args)
+        return f"{phi.pred}({args})"
+    if isinstance(phi, Eq):
+        return f"{render_term(phi.left)} = {render_term(phi.right)}"
+    if isinstance(phi, Not):
+        return f"~{_paren(phi.sub)}"
+    if isinstance(phi, And):
+        return " & ".join(_paren(c) for c in phi.conjuncts)
+    if isinstance(phi, Or):
+        return " | ".join(_paren(d) for d in phi.disjuncts)
+    if isinstance(phi, Implies):
+        return f"{_paren(phi.antecedent)} -> {_paren(phi.consequent)}"
+    if isinstance(phi, Exists):
+        names = ",".join(v.name for v in phi.vars)
+        if phi.guard is None:
+            return f"exists {names} ({_render(phi.body)})"
+        body = _render(phi.body)
+        if isinstance(phi.body, Top):
+            return f"exists {names} ({_render(phi.guard)})"
+        return f"exists {names} ({_render(phi.guard)} & {_paren(phi.body)})"
+    if isinstance(phi, Forall):
+        names = ",".join(v.name for v in phi.vars)
+        if phi.guard is None:
+            return f"forall {names} ({_render(phi.body)})"
+        return f"forall {names} ({_render(phi.guard)} -> {_paren(phi.body)})"
+    if isinstance(phi, CountExists):
+        if isinstance(phi.body, Top):
+            return f"exists>={phi.n} {phi.var.name} ({_render(phi.guard)})"
+        return (f"exists>={phi.n} {phi.var.name} "
+                f"({_render(phi.guard)} & {_paren(phi.body)})")
+    raise TypeError(f"unknown formula {phi!r}")
+
+
+def render_ontology_fo(onto: Ontology) -> str:
+    """Render an FO ontology, one sentence per line (parser-compatible).
+
+    Functionality declarations are not expressible in the sentence syntax;
+    they are recorded as ``#!functional:`` / ``#!inverse_functional:``
+    headers for :func:`load_ontology_fo`.
+    """
+    lines = []
+    if onto.name:
+        lines.append(f"# {onto.name}")
+    if onto.functional:
+        lines.append("#!functional: " + ",".join(sorted(onto.functional)))
+    if onto.inverse_functional:
+        lines.append("#!inverse_functional: "
+                     + ",".join(sorted(onto.inverse_functional)))
+    for sentence in onto.sentences:
+        lines.append(render_formula(sentence))
+    return "\n".join(lines) + "\n"
+
+
+def load_ontology_fo(text: str, name: str = "") -> Ontology:
+    """Parse the output of :func:`render_ontology_fo`."""
+    from .parser import parse_sentences
+
+    functional: list[str] = []
+    inverse_functional: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("#!functional:"):
+            functional = [p.strip() for p in
+                          line.split(":", 1)[1].split(",") if p.strip()]
+        elif line.startswith("#!inverse_functional:"):
+            inverse_functional = [p.strip() for p in
+                                  line.split(":", 1)[1].split(",") if p.strip()]
+    return Ontology(parse_sentences(text), functional=functional,
+                    inverse_functional=inverse_functional, name=name)

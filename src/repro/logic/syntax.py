@@ -1,0 +1,536 @@
+"""Abstract syntax for first-order formulas in the guarded fragment.
+
+This module defines the term and formula representation used throughout the
+library.  The formula AST covers full first-order logic with equality and
+guarded counting quantifiers, which is enough to express
+
+* the guarded fragment GF and its invariant-under-disjoint-unions fragment
+  uGF (Section 2.1 of the paper),
+* the two-variable guarded counting fragment GC2 / uGC2, and
+* the first-order translations of the description logics ALC(H)(I)(Q)(F)(F_l).
+
+Quantifiers carry an explicit *guard* slot.  A guard is an atomic formula or
+an equality that contains all variables of the quantifier block together with
+the free variables it shares with the body; ``guard=None`` represents plain
+(unguarded) first-order quantification, which is permitted by the AST so that
+arbitrary FO sentences can be represented, but is rejected by the guardedness
+checks in :mod:`repro.guarded.fragments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterator, Mapping, Sequence, Union
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Const:
+    """A data constant from the universe of constants Delta_D."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Null:
+    """A labelled null from Delta_N (disjoint from the data constants)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"_:{self.name}"
+
+
+Term = Union[Var, Const, Null]
+Element = Union[Const, Null]  # members of interpretation domains
+
+
+def is_element(term: Term) -> bool:
+    """Return True if *term* may occur in an interpretation (not a variable)."""
+    return isinstance(term, (Const, Null))
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class for all formulas.  Instances are immutable and hashable."""
+
+    __slots__ = ()
+
+    # The concrete dataclasses below override these.
+    def free_vars(self) -> frozenset[Var]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And.of(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The true constant."""
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The false constant."""
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom ``R(t1, ..., tk)``."""
+
+    pred: str
+    args: tuple[Term, ...]
+
+    def __init__(self, pred: str, args: Sequence[Term] = ()):
+        object.__setattr__(self, "pred", pred)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset(t for t in self.args if isinstance(t, Var))
+
+    def substitute(self, sub: Mapping[Term, Term]) -> "Atom":
+        return Atom(self.pred, tuple(sub.get(a, a) for a in self.args))
+
+    def __repr__(self) -> str:
+        return f"{self.pred}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """An equality atom ``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def free_vars(self) -> frozenset[Var]:
+        return frozenset(t for t in (self.left, self.right) if isinstance(t, Var))
+
+    def substitute(self, sub: Mapping[Term, Term]) -> "Eq":
+        return Eq(sub.get(self.left, self.left), sub.get(self.right, self.right))
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+Guard = Union[Atom, Eq, None]
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    sub: Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.sub.free_vars()
+
+    def __repr__(self) -> str:
+        return f"~{_paren(self.sub)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    conjuncts: tuple[Formula, ...]
+
+    def __init__(self, conjuncts: Sequence[Formula]):
+        object.__setattr__(self, "conjuncts", tuple(conjuncts))
+
+    @staticmethod
+    def of(*parts: Formula) -> Formula:
+        """Build a flattened conjunction, simplifying trivial cases."""
+        flat: list[Formula] = []
+        for p in parts:
+            if isinstance(p, And):
+                flat.extend(p.conjuncts)
+            elif isinstance(p, Top):
+                continue
+            else:
+                flat.append(p)
+        if any(isinstance(p, Bottom) for p in flat):
+            return Bottom()
+        if not flat:
+            return Top()
+        if len(flat) == 1:
+            return flat[0]
+        return And(tuple(flat))
+
+    def free_vars(self) -> frozenset[Var]:
+        out: frozenset[Var] = frozenset()
+        for c in self.conjuncts:
+            out |= c.free_vars()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.conjuncts)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    disjuncts: tuple[Formula, ...]
+
+    def __init__(self, disjuncts: Sequence[Formula]):
+        object.__setattr__(self, "disjuncts", tuple(disjuncts))
+
+    @staticmethod
+    def of(*parts: Formula) -> Formula:
+        """Build a flattened disjunction, simplifying trivial cases."""
+        flat: list[Formula] = []
+        for p in parts:
+            if isinstance(p, Or):
+                flat.extend(p.disjuncts)
+            elif isinstance(p, Bottom):
+                continue
+            else:
+                flat.append(p)
+        if any(isinstance(p, Top) for p in flat):
+            return Top()
+        if not flat:
+            return Bottom()
+        if len(flat) == 1:
+            return flat[0]
+        return Or(tuple(flat))
+
+    def free_vars(self) -> frozenset[Var]:
+        out: frozenset[Var] = frozenset()
+        for d in self.disjuncts:
+            out |= d.free_vars()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.disjuncts)) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Material implication; kept as a node so guards stay visible."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        return self.antecedent.free_vars() | self.consequent.free_vars()
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} -> {self.consequent!r})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Guarded existential quantifier: ``exists ys (guard & body)``.
+
+    ``guard is None`` encodes plain FO quantification ``exists ys body``.
+    """
+
+    vars: tuple[Var, ...]
+    guard: Guard
+    body: Formula
+
+    def __init__(self, vars: Sequence[Var], guard: Guard, body: Formula):
+        object.__setattr__(self, "vars", tuple(vars))
+        object.__setattr__(self, "guard", guard)
+        object.__setattr__(self, "body", body)
+
+    def free_vars(self) -> frozenset[Var]:
+        inner = self.body.free_vars()
+        if self.guard is not None:
+            inner = inner | self.guard.free_vars()
+        return inner - frozenset(self.vars)
+
+    def __repr__(self) -> str:
+        vs = ",".join(v.name for v in self.vars)
+        if self.guard is None:
+            return f"exists {vs} {_paren(self.body)}"
+        return f"exists {vs} ({self.guard!r} & {self.body!r})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Guarded universal quantifier: ``forall ys (guard -> body)``.
+
+    ``guard is None`` encodes plain FO quantification ``forall ys body``.
+    """
+
+    vars: tuple[Var, ...]
+    guard: Guard
+    body: Formula
+
+    def __init__(self, vars: Sequence[Var], guard: Guard, body: Formula):
+        object.__setattr__(self, "vars", tuple(vars))
+        object.__setattr__(self, "guard", guard)
+        object.__setattr__(self, "body", body)
+
+    def free_vars(self) -> frozenset[Var]:
+        inner = self.body.free_vars()
+        if self.guard is not None:
+            inner = inner | self.guard.free_vars()
+        return inner - frozenset(self.vars)
+
+    def __repr__(self) -> str:
+        vs = ",".join(v.name for v in self.vars)
+        if self.guard is None:
+            return f"forall {vs} {_paren(self.body)}"
+        return f"forall {vs} ({self.guard!r} -> {self.body!r})"
+
+
+@dataclass(frozen=True)
+class CountExists(Formula):
+    """Guarded counting quantifier ``exists>=n y (guard & body)`` of GC2.
+
+    The guard must be a binary atom mentioning the quantified variable and
+    the (single) free variable of the formula, per the definition of
+    openGC2 in Section 2.1.
+    """
+
+    n: int
+    var: Var
+    guard: Atom
+    body: Formula
+
+    def free_vars(self) -> frozenset[Var]:
+        inner = self.body.free_vars() | self.guard.free_vars()
+        return inner - {self.var}
+
+    def __repr__(self) -> str:
+        return f"exists>={self.n} {self.var.name} ({self.guard!r} & {self.body!r})"
+
+
+# ---------------------------------------------------------------------------
+# Structural utilities
+# ---------------------------------------------------------------------------
+
+
+def children(phi: Formula) -> tuple[Formula, ...]:
+    """Immediate structural subformulas of *phi* (guards are not included)."""
+    if isinstance(phi, Not):
+        return (phi.sub,)
+    if isinstance(phi, And):
+        return phi.conjuncts
+    if isinstance(phi, Or):
+        return phi.disjuncts
+    if isinstance(phi, Implies):
+        return (phi.antecedent, phi.consequent)
+    if isinstance(phi, (Exists, Forall)):
+        return (phi.body,)
+    if isinstance(phi, CountExists):
+        return (phi.body,)
+    return ()
+
+
+def subformulas(phi: Formula) -> Iterator[Formula]:
+    """Iterate over all subformulas of *phi*, including *phi* and guards."""
+    yield phi
+    if isinstance(phi, (Exists, Forall)) and phi.guard is not None:
+        yield phi.guard
+    if isinstance(phi, CountExists):
+        yield phi.guard
+    for child in children(phi):
+        yield from subformulas(child)
+
+
+def atoms_of(phi: Formula) -> Iterator[Atom]:
+    """Iterate over all relational atoms occurring in *phi* (incl. guards)."""
+    for sub in subformulas(phi):
+        if isinstance(sub, Atom):
+            yield sub
+
+
+def signature_of(phi: Formula) -> dict[str, int]:
+    """Map each relation symbol occurring in *phi* to its arity."""
+    sig: dict[str, int] = {}
+    for atom in atoms_of(phi):
+        sig[atom.pred] = atom.arity
+    return sig
+
+
+def uses_equality(phi: Formula, ignore_outer_guard: bool = False) -> bool:
+    """Return True if an equality atom occurs in *phi*.
+
+    With ``ignore_outer_guard`` the guard of an outermost universal
+    quantifier is skipped, matching the convention of the paper that uGF
+    always allows an equality guard for the outermost quantifier.
+    """
+    target: Formula = phi
+    skip_guard: Guard = None
+    if ignore_outer_guard and isinstance(phi, Forall):
+        skip_guard = phi.guard
+    for sub in subformulas(target):
+        if isinstance(sub, Eq) and sub is not skip_guard:
+            return True
+    return False
+
+
+def substitute(phi: Formula, sub: Mapping[Term, Term]) -> Formula:
+    """Capture-avoiding-enough substitution of terms in *phi*.
+
+    The substitution must not map any variable bound in *phi*; callers in
+    this library always substitute fresh constants or free variables, so a
+    simple recursive replacement is sufficient.  A ``ValueError`` is raised
+    if a bound variable would be substituted.
+    """
+    if isinstance(phi, (Top, Bottom)):
+        return phi
+    if isinstance(phi, Atom):
+        return phi.substitute(sub)
+    if isinstance(phi, Eq):
+        return phi.substitute(sub)
+    if isinstance(phi, Not):
+        return Not(substitute(phi.sub, sub))
+    if isinstance(phi, And):
+        return And(tuple(substitute(c, sub) for c in phi.conjuncts))
+    if isinstance(phi, Or):
+        return Or(tuple(substitute(d, sub) for d in phi.disjuncts))
+    if isinstance(phi, Implies):
+        return Implies(substitute(phi.antecedent, sub), substitute(phi.consequent, sub))
+    if isinstance(phi, (Exists, Forall)):
+        for v in phi.vars:
+            if v in sub:
+                raise ValueError(f"cannot substitute bound variable {v!r}")
+        guard = None
+        if phi.guard is not None:
+            guard = phi.guard.substitute(sub)
+        cls = type(phi)
+        return cls(phi.vars, guard, substitute(phi.body, sub))
+    if isinstance(phi, CountExists):
+        if phi.var in sub:
+            raise ValueError(f"cannot substitute bound variable {phi.var!r}")
+        return CountExists(phi.n, phi.var, phi.guard.substitute(sub), substitute(phi.body, sub))
+    raise TypeError(f"unknown formula node {phi!r}")
+
+
+def elim_implies(phi: Formula) -> Formula:
+    """Rewrite ``Implies`` nodes as disjunctions (guards are untouched)."""
+    if isinstance(phi, Implies):
+        return Or.of(Not(elim_implies(phi.antecedent)), elim_implies(phi.consequent))
+    if isinstance(phi, Not):
+        return Not(elim_implies(phi.sub))
+    if isinstance(phi, And):
+        return And.of(*(elim_implies(c) for c in phi.conjuncts))
+    if isinstance(phi, Or):
+        return Or.of(*(elim_implies(d) for d in phi.disjuncts))
+    if isinstance(phi, (Exists, Forall)):
+        return type(phi)(phi.vars, phi.guard, elim_implies(phi.body))
+    if isinstance(phi, CountExists):
+        return CountExists(phi.n, phi.var, phi.guard, elim_implies(phi.body))
+    return phi
+
+
+def nnf(phi: Formula, negate: bool = False) -> Formula:
+    """Negation normal form.
+
+    Guarded quantifiers dualize: ``~forall ys (a -> b)`` becomes
+    ``exists ys (a & ~b)`` and vice versa.  Counting quantifiers are kept
+    under a single negation since GC2 has no dual counting constructor in
+    this AST.
+    """
+    phi = elim_implies(phi)
+    if isinstance(phi, Top):
+        return Bottom() if negate else phi
+    if isinstance(phi, Bottom):
+        return Top() if negate else phi
+    if isinstance(phi, (Atom, Eq)):
+        return Not(phi) if negate else phi
+    if isinstance(phi, Not):
+        return nnf(phi.sub, not negate)
+    if isinstance(phi, And):
+        parts = tuple(nnf(c, negate) for c in phi.conjuncts)
+        return Or.of(*parts) if negate else And.of(*parts)
+    if isinstance(phi, Or):
+        parts = tuple(nnf(d, negate) for d in phi.disjuncts)
+        return And.of(*parts) if negate else Or.of(*parts)
+    if isinstance(phi, Exists):
+        if negate:
+            return Forall(phi.vars, phi.guard, nnf(phi.body, True))
+        return Exists(phi.vars, phi.guard, nnf(phi.body, False))
+    if isinstance(phi, Forall):
+        if negate:
+            return Exists(phi.vars, phi.guard, nnf(phi.body, True))
+        return Forall(phi.vars, phi.guard, nnf(phi.body, False))
+    if isinstance(phi, CountExists):
+        inner = CountExists(phi.n, phi.var, phi.guard, nnf(phi.body, False))
+        return Not(inner) if negate else inner
+    raise TypeError(f"unknown formula node {phi!r}")
+
+
+def is_sentence(phi: Formula) -> bool:
+    """True if *phi* has no free variables."""
+    return not phi.free_vars()
+
+
+def formula_size(phi: Formula) -> int:
+    """Number of AST nodes, the |O| measure used for outdegree bounds."""
+    total = 1
+    if isinstance(phi, (Exists, Forall)) and phi.guard is not None:
+        total += 1
+    if isinstance(phi, CountExists):
+        total += 1
+    for child in children(phi):
+        total += formula_size(child)
+    return total
+
+
+def _paren(phi: Formula) -> str:
+    text = repr(phi)
+    if isinstance(phi, (Atom, Eq, Top, Bottom, Not)):
+        return text
+    if text.startswith("("):
+        return text
+    return f"({text})"
+
+
+# Convenience constructors -------------------------------------------------
+
+
+def V(*names: str) -> tuple[Var, ...]:
+    """Create variables: ``x, y = V('x', 'y')``."""
+    vs = tuple(Var(n) for n in names)
+    return vs if len(vs) != 1 else vs  # always a tuple for uniformity
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def const(name: str) -> Const:
+    return Const(name)

@@ -1,0 +1,12 @@
+"""Conjunctive queries, UCQs, rooted acyclic queries and decompositions."""
+
+from .cq import CQ, UCQ, QueryError, parse_cq, parse_ucq
+from .split import (
+    ComponentSplit, TentacleSplit, component_split, evaluate_split,
+    tentacle_split,
+)
+
+__all__ = [
+    "CQ", "UCQ", "QueryError", "parse_cq", "parse_ucq", "ComponentSplit",
+    "TentacleSplit", "component_split", "evaluate_split", "tentacle_split",
+]

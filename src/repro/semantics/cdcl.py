@@ -1,0 +1,230 @@
+"""A CDCL SAT solver: watched literals, 1UIP learning, VSIDS, restarts.
+
+This replaces plain DPLL as the engine behind the finite-countermodel
+search.  Literals are non-zero integers (positive = variable true); clauses
+are lists of literals.  The solver is self-contained and has no external
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class Solver:
+    """One-shot CDCL solver for a fixed clause set."""
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]]):
+        self.num_vars = num_vars
+        self.clauses: list[list[int]] = []
+        # assignment state
+        self.assign: list[int] = [0] * (num_vars + 1)   # 0 unset, +1 true, -1 false
+        self.level: list[int] = [0] * (num_vars + 1)
+        self.reason: list[list[int] | None] = [None] * (num_vars + 1)
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        # watched literals: literal -> clause indices watching it
+        self.watches: dict[int, list[int]] = {}
+        self.activity: list[float] = [0.0] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.ok = True
+        for clause in clauses:
+            self._add_clause(list(clause))
+
+    # -- clause management ----------------------------------------------------
+
+    def _add_clause(self, lits: list[int]) -> None:
+        lits = sorted(set(lits), key=abs)
+        # tautology elimination
+        seen = set(lits)
+        if any(-l in seen for l in lits):
+            return
+        if not lits:
+            self.ok = False
+            return
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self.ok = False
+            return
+        idx = len(self.clauses)
+        self.clauses.append(lits)
+        for lit in lits[:2]:
+            self.watches.setdefault(-lit, []).append(idx)
+
+    def _value(self, lit: int) -> int:
+        v = self.assign[abs(lit)]
+        return v if lit > 0 else -v
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        val = self._value(lit)
+        if val == 1:
+            return True
+        if val == -1:
+            return False
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    # -- propagation ------------------------------------------------------------
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        head = getattr(self, "_qhead", 0)
+        while head < len(self.trail):
+            lit = self.trail[head]
+            head += 1
+            watching = self.watches.get(lit, [])
+            i = 0
+            while i < len(watching):
+                cidx = watching[i]
+                clause = self.clauses[cidx]
+                # ensure clause[0] is the other watched literal
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    i += 1
+                    continue
+                # find a new literal to watch
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(-clause[1], []).append(cidx)
+                        watching[i] = watching[-1]
+                        watching.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # clause is unit or conflicting on clause[0]
+                if not self._enqueue(clause[0], clause):
+                    self._qhead = len(self.trail)
+                    return clause
+                i += 1
+        self._qhead = head
+        return None
+
+    # -- analysis ---------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """1UIP conflict analysis: returns (learnt clause, backjump level)."""
+        learnt: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p: int | None = None  # the trail literal whose reason is processed
+        reason: list[int] | None = conflict
+        idx = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+        while True:
+            assert reason is not None
+            for q in reason:
+                if p is not None and q == p:
+                    continue  # skip the asserted literal itself
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] == cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick the next trail literal at the current level
+            while not seen[abs(self.trail[idx])]:
+                idx -= 1
+            p = self.trail[idx]
+            var = abs(p)
+            seen[var] = False
+            counter -= 1
+            idx -= 1
+            if counter == 0:
+                break
+            reason = self.reason[var]
+        assert p is not None
+        learnt = [-p] + learnt
+        if len(learnt) == 1:
+            return learnt, 0
+        back = max(self.level[abs(q)] for q in learnt[1:])
+        return learnt, back
+
+    def _backtrack(self, target_level: int) -> None:
+        while self.trail_lim and len(self.trail_lim) > target_level:
+            boundary = self.trail_lim.pop()
+            while len(self.trail) > boundary:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.assign[var] = 0
+                self.reason[var] = None
+        self._qhead = min(getattr(self, "_qhead", 0), len(self.trail))
+
+    def _decide(self) -> int:
+        best, best_act = 0, -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == 0 and self.activity[var] > best_act:
+                best, best_act = var, self.activity[var]
+        return -best if best else 0  # prefer False (sparser models)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def solve(self, max_conflicts: int | None = None) -> dict[int, bool] | None:
+        """Return a satisfying assignment or None (UNSAT).
+
+        ``max_conflicts`` bounds the effort; exceeding it raises
+        ``RuntimeError`` (callers may retry with a larger budget).
+        """
+        if not self.ok:
+            return None
+        conflicts = 0
+        restart_limit = 64
+        since_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                since_restart += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    raise RuntimeError("CDCL conflict budget exceeded")
+                if not self.trail_lim:
+                    return None  # conflict at level 0: UNSAT
+                learnt, back = self._analyze(conflict)
+                self._backtrack(back)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        return None
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self.watches.setdefault(-learnt[0], []).append(idx)
+                    self.watches.setdefault(-learnt[1], []).append(idx)
+                    self._enqueue(learnt[0], learnt)
+                self.var_inc *= 1.05
+                if since_restart >= restart_limit:
+                    since_restart = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+                continue
+            lit = self._decide()
+            if lit == 0:
+                return {
+                    v: self.assign[v] == 1
+                    for v in range(1, self.num_vars + 1)
+                }
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
+
+def solve_cnf(num_vars: int, clauses: Iterable[Sequence[int]],
+              assumptions: Iterable[int] = ()) -> dict[int, bool] | None:
+    """Convenience wrapper: solve with optional assumption units."""
+    all_clauses = [list(c) for c in clauses]
+    all_clauses.extend([lit] for lit in assumptions)
+    return Solver(num_vars, all_clauses).solve()

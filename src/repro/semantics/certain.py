@@ -1,0 +1,181 @@
+"""Unified certain-answer engine.
+
+Backend selection:
+
+* **chase** — used when the ontology converts to disjunctive existential
+  rules; polynomial per branch and exact whenever the chase terminates
+  within the depth bound (and for *yes* answers even when truncated).
+* **sat** — bounded finite-countermodel search; the general fallback, exact
+  for *no* answers, and exact for *yes* relative to the domain bound
+  (the guarded fragment has the finite model property).
+
+``CertainEngine`` also provides consistency checking and O-saturation
+(the saturation of an instance with all entailed facts over its domain,
+used by the decision procedures of Section 8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..logic.syntax import Atom, Element
+from ..queries.cq import CQ, UCQ
+from .chase import ChaseError, chase_certain_answer
+from .modelsearch import certain_answer as sat_certain_answer
+from .modelsearch import is_consistent as sat_is_consistent
+from .rules import convert_ontology
+
+Backend = Literal["auto", "chase", "sat"]
+
+
+@dataclass
+class CertainEngine:
+    """Certain-answer computation for a fixed ontology."""
+
+    onto: Ontology
+    backend: Backend = "auto"
+    chase_depth: int = 6
+    sat_extra: int = 3
+
+    def __post_init__(self) -> None:
+        self._rules = convert_ontology(self.onto)
+        if self.backend == "chase" and self._rules is None:
+            raise ValueError("ontology is not rule-convertible; use backend='sat'")
+
+    @property
+    def uses_chase(self) -> bool:
+        return self.backend != "sat" and self._rules is not None
+
+    def entails(
+        self,
+        instance: Interpretation,
+        query: CQ | UCQ,
+        answer: Sequence[Element] = (),
+    ) -> bool:
+        """Decide ``O, D |= q(answer)``."""
+        if self.uses_chase:
+            try:
+                result = chase_certain_answer(
+                    self.onto, instance, query, answer,
+                    max_depth=self.chase_depth, rules=self._rules)
+                if result.definitive or result.holds:
+                    return result.holds
+            except ChaseError:
+                pass  # fall through to SAT
+        return sat_certain_answer(
+            self.onto, instance, query, answer, extra=self.sat_extra).holds
+
+    def certain_answers(
+        self,
+        instance: Interpretation,
+        query: CQ | UCQ,
+    ) -> set[tuple[Element, ...]]:
+        """All certain answer tuples over dom(D)."""
+        out: set[tuple[Element, ...]] = set()
+        domain = sorted(instance.dom(), key=repr)
+        for combo in itertools.product(domain, repeat=query.arity):
+            if self.entails(instance, query, combo):
+                out.add(combo)
+        return out
+
+    def is_consistent(self, instance: Interpretation) -> bool:
+        """Is there a model of D and O?"""
+        if self.uses_chase:
+            try:
+                from .chase import chase
+                result = chase(self.onto, instance, rules=self._rules,
+                               max_depth=self.chase_depth)
+                consistent = result.consistent_branches()
+                if consistent:
+                    return True
+                if result.fully_chased:
+                    return False
+            except ChaseError:
+                pass
+        return sat_is_consistent(self.onto, instance, extra=self.sat_extra)
+
+    def explain(
+        self,
+        instance: Interpretation,
+        query: CQ | UCQ,
+        answer: Sequence[Element] = (),
+    ) -> "Explanation":
+        """Decide and justify ``O, D |= q(answer)``.
+
+        A negative answer carries a concrete countermodel; a positive
+        answer carries, when available, a (chase branch) model in which
+        the query match can be inspected.
+        """
+        from .modelsearch import certain_answer as sat_certain
+        from .modelsearch import query_formula
+
+        if self.uses_chase:
+            try:
+                result = chase_certain_answer(
+                    self.onto, instance, query, answer,
+                    max_depth=self.chase_depth, rules=self._rules)
+                if not result.holds and result.definitive:
+                    return Explanation(False, result.refuting_branch,
+                                       "chase branch refutes the query")
+                if result.holds:
+                    from .chase import chase as run_chase
+                    branches = run_chase(
+                        self.onto, instance, rules=self._rules,
+                        max_depth=self.chase_depth).consistent_branches()
+                    witness = branches[0].interp if branches else None
+                    return Explanation(True, witness,
+                                       "query holds in every chase branch")
+            except ChaseError:
+                pass
+        result = sat_certain(self.onto, instance, query, answer,
+                             extra=self.sat_extra)
+        if result.holds:
+            return Explanation(
+                True, None,
+                f"no countermodel over dom(D) + {self.sat_extra} nulls")
+        return Explanation(False, result.countermodel,
+                           "finite countermodel found")
+
+    def saturate(self, instance: Interpretation) -> Interpretation:
+        """The O-saturation D_O: add all entailed facts over dom(D).
+
+        (Section 8: the unique minimal O-saturated instance containing D.)
+        Only relations from sig(O) ∪ sig(D) are considered.
+        """
+        sig = dict(instance.sig())
+        for pred, arity in self.onto.sig().items():
+            sig.setdefault(pred, arity)
+        out = instance.copy()
+        domain = sorted(instance.dom(), key=repr)
+        for pred, arity in sorted(sig.items()):
+            for combo in itertools.product(domain, repeat=arity):
+                fact = Atom(pred, combo)
+                if fact in out:
+                    continue
+                query = _atom_query(pred, arity)
+                if self.entails(instance, query, combo):
+                    out.add(fact)
+        return out
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A certain-answer verdict together with its justifying model."""
+
+    holds: bool
+    witness: Interpretation | None
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _atom_query(pred: str, arity: int) -> CQ:
+    from ..logic.syntax import Var
+
+    variables = tuple(Var(f"x{i}") for i in range(arity))
+    return CQ(variables, [Atom(pred, variables)])

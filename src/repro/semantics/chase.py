@@ -1,0 +1,290 @@
+"""The (disjunctive, restricted) chase for guarded existential rules.
+
+Given an instance D and an ontology converted to disjunctive existential
+rules, the chase explores all ways of repairing rule violations:
+
+* a rule fires on a body match only if none of its head disjuncts is already
+  satisfied (restricted chase),
+* each head disjunct spawns one successor branch; fresh labelled nulls stand
+  in for existential witnesses (``count`` blocks for counting heads),
+* functionality declarations act as equality-generating dependencies that
+  merge nulls (or fail on two distinct constants),
+* integrity constraints (empty-headed rules) make a branch inconsistent.
+
+Branch models form a universal family: every model of D and O contains a
+homomorphic image of some branch (preserving dom(D)).  Consequently
+
+* ``q`` certain  iff  ``q`` holds in every consistent branch,
+* a *yes* derived from (even truncated) branches is definitive,
+* a *no* is definitive only when the refuting branch was fully chased.
+
+Nulls carry a creation depth; branches that would need nulls deeper than
+``max_depth`` are truncated and marked incomplete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..logic.syntax import Atom, Const, Element, Null, Var
+from ..queries.cq import CQ, UCQ
+from .rules import DisjunctiveRule, Head, convert_ontology
+
+
+class ChaseError(RuntimeError):
+    pass
+
+
+@dataclass
+class Branch:
+    """One branch of the disjunctive chase."""
+
+    interp: Interpretation
+    depth: dict[Element, int]
+    consistent: bool = True
+    complete: bool = True
+    _null_counter: int = 0
+
+    def clone(self) -> "Branch":
+        return Branch(
+            interp=self.interp.copy(),
+            depth=dict(self.depth),
+            consistent=self.consistent,
+            complete=self.complete,
+            _null_counter=self._null_counter,
+        )
+
+    def fresh_null(self, creation_depth: int) -> Null:
+        self._null_counter += 1
+        null = Null(f"c{self._null_counter}")
+        self.depth[null] = creation_depth
+        return null
+
+
+@dataclass
+class ChaseResult:
+    """All branches produced by the chase."""
+
+    branches: list[Branch]
+    rules: list[DisjunctiveRule]
+    max_depth: int
+
+    def consistent_branches(self) -> list[Branch]:
+        return [b for b in self.branches if b.consistent]
+
+    @property
+    def is_consistent(self) -> bool:
+        return bool(self.consistent_branches())
+
+    @property
+    def fully_chased(self) -> bool:
+        return all(b.complete for b in self.branches)
+
+    def universal_model(self) -> Interpretation:
+        """The single branch model of a deterministic (Horn) chase."""
+        consistent = self.consistent_branches()
+        if len(consistent) != 1:
+            raise ChaseError(
+                f"no unique universal model: {len(consistent)} consistent branches")
+        branch = consistent[0]
+        if not branch.complete:
+            raise ChaseError("chase truncated; increase max_depth")
+        return branch.interp
+
+
+def match_conjunction(
+    atoms: Sequence[Atom],
+    interp: Interpretation,
+    env: dict[Var, Element] | None = None,
+) -> Iterator[dict[Var, Element]]:
+    """Enumerate assignments making all atoms true (backtracking join)."""
+    env = dict(env or {})
+
+    def rec(idx: int) -> Iterator[dict[Var, Element]]:
+        if idx == len(atoms):
+            yield dict(env)
+            return
+        for ext in interp.match_atom(atoms[idx], env):
+            env.update(ext)
+            yield from rec(idx + 1)
+            for v in ext:
+                del env[v]
+
+    # Order atoms: bound-variable-rich atoms first for selectivity.
+    yield from rec(0)
+
+
+def _head_satisfied(head: Head, interp: Interpretation, env: dict[Var, Element]) -> bool:
+    """Is the head disjunct already satisfied under the body match?"""
+    if not head.exist_vars:
+        return all(
+            Atom(a.pred, tuple(env[t] if isinstance(t, Var) else t for t in a.args)) in interp
+            for a in head.atoms
+        )
+    witnesses: set[tuple[Element, ...]] = set()
+    for ext in match_conjunction(head.atoms, interp, env):
+        witnesses.add(tuple(ext[v] for v in head.exist_vars))
+        if len(witnesses) >= head.count:
+            return True
+    return False
+
+
+def _apply_head(branch: Branch, head: Head, env: dict[Var, Element]) -> None:
+    """Add the head's atoms, with ``count`` fresh witness blocks."""
+    base_depth = max((branch.depth.get(e, 0) for e in env.values()), default=0)
+    for _block in range(head.count):
+        mapping: dict[Var, Element] = dict(env)
+        for v in head.exist_vars:
+            mapping[v] = branch.fresh_null(base_depth + 1)
+        for atom in head.atoms:
+            args = tuple(mapping[t] if isinstance(t, Var) else t for t in atom.args)
+            branch.interp.add(Atom(atom.pred, args))
+
+
+def _rule_matches(
+    rule: DisjunctiveRule,
+    interp: Interpretation,
+    domain: Sequence[Element],
+    frontier: Sequence[Var],
+) -> Iterator[dict[Var, Element]]:
+    """Body matches extended over the active domain for frontier variables."""
+    for env in match_conjunction(rule.body, interp):
+        if not frontier:
+            yield env
+            continue
+        for combo in itertools.product(domain, repeat=len(frontier)):
+            yield {**env, **dict(zip(frontier, combo))}
+
+
+def _enforce_functionality(branch: Branch, onto: Ontology) -> None:
+    """Apply the EGDs for (inverse-)functional relations to a fixpoint."""
+    changed = True
+    while changed and branch.consistent:
+        changed = False
+        for rel in onto.functional:
+            changed |= _merge_pairs(branch, rel, key_pos=0)
+            if not branch.consistent:
+                return
+        for rel in onto.inverse_functional:
+            changed |= _merge_pairs(branch, rel, key_pos=1)
+            if not branch.consistent:
+                return
+
+
+def _merge_pairs(branch: Branch, rel: str, key_pos: int) -> bool:
+    groups: dict[Element, set[Element]] = {}
+    for args in branch.interp.tuples(rel):
+        key, value = args[key_pos], args[1 - key_pos]
+        groups.setdefault(key, set()).add(value)
+    for key, values in groups.items():
+        if len(values) < 2:
+            continue
+        constants = [v for v in values if isinstance(v, Const)]
+        if len(constants) >= 2:
+            branch.consistent = False
+            return True
+        target = constants[0] if constants else sorted(values, key=repr)[0]
+        mapping = {v: target for v in values if v != target}
+        branch.interp = branch.interp.rename(mapping)
+        for old in mapping:
+            branch.depth.pop(old, None)
+        return True
+    return False
+
+
+def chase(
+    onto: Ontology,
+    instance: Interpretation,
+    rules: list[DisjunctiveRule] | None = None,
+    max_depth: int = 6,
+    max_branches: int = 512,
+    max_facts: int = 200_000,
+) -> ChaseResult:
+    """Run the disjunctive chase of *instance* with *onto*.
+
+    *rules* defaults to :func:`convert_ontology`; a ``ValueError`` is raised
+    if the ontology is not rule-convertible.
+    """
+    if rules is None:
+        rules = convert_ontology(onto)
+        if rules is None:
+            raise ValueError(f"{onto!r} is not convertible to disjunctive rules")
+
+    initial = Branch(interp=instance.copy(), depth={e: 0 for e in instance.dom()})
+    _enforce_functionality(initial, onto)
+    pending = [initial]
+    done: list[Branch] = []
+
+    while pending:
+        branch = pending.pop()
+        if not branch.consistent:
+            done.append(branch)
+            continue
+        if len(branch.interp) > max_facts:
+            raise ChaseError(f"branch exceeded {max_facts} facts")
+        fired = False
+        domain = sorted(branch.interp.dom(), key=repr)
+        for rule in rules:
+            frontier = sorted(rule.frontier_vars())
+            for env in _rule_matches(rule, branch.interp, domain, frontier):
+                if any(_head_satisfied(h, branch.interp, env) for h in rule.heads):
+                    continue
+                if rule.is_constraint():
+                    branch.consistent = False
+                    fired = True
+                    break
+                # Truncation: creating nulls beyond the depth bound.
+                trigger_depth = max(
+                    (branch.depth.get(e, 0) for e in env.values()), default=0)
+                needs_nulls = any(h.exist_vars for h in rule.heads)
+                if needs_nulls and trigger_depth + 1 > max_depth:
+                    branch.complete = False
+                    continue
+                successors = []
+                for head in rule.heads:
+                    succ = branch.clone()
+                    _apply_head(succ, head, env)
+                    _enforce_functionality(succ, onto)
+                    successors.append(succ)
+                if len(done) + len(pending) + len(successors) > max_branches:
+                    raise ChaseError(f"more than {max_branches} chase branches")
+                pending.extend(successors)
+                fired = True
+                break
+            if fired:
+                break
+        if not fired:
+            done.append(branch)
+
+    return ChaseResult(branches=done, rules=rules, max_depth=max_depth)
+
+
+@dataclass(frozen=True)
+class ChaseAnswer:
+    holds: bool
+    definitive: bool
+    refuting_branch: Interpretation | None = None
+
+
+def chase_certain_answer(
+    onto: Ontology,
+    instance: Interpretation,
+    query: CQ | UCQ,
+    answer: Sequence[Element] = (),
+    max_depth: int = 6,
+    rules: list[DisjunctiveRule] | None = None,
+) -> ChaseAnswer:
+    """Certain-answer check via the disjunctive chase (see module docstring)."""
+    result = chase(onto, instance, rules=rules, max_depth=max_depth)
+    consistent = result.consistent_branches()
+    if not consistent:
+        # D is inconsistent w.r.t. O: every tuple is a certain answer.
+        return ChaseAnswer(True, result.fully_chased)
+    for branch in consistent:
+        if not query.holds(branch.interp, tuple(answer)):
+            return ChaseAnswer(False, branch.complete, branch.interp)
+    return ChaseAnswer(True, True)

@@ -1,0 +1,24 @@
+"""Rectangle tiling and the grid ontologies of Theorem 10."""
+
+from .problems import (
+    TilingProblem, block_problem, cell_closed, grid_element, grid_instance,
+    grid_root, stripes_problem, trivial_problem, unsolvable_problem,
+    untiled_grid, xy_functional,
+)
+from .grid_ontology import (
+    GridMarkerEngine, eq1, geq2, ocell_certain_marker, ocell_consistent,
+    ocell_dl, op_dl, op_with_disjunction,
+)
+from .run_encoding import (
+    RunFittingOMQ, encode_partial_run, lemma4_dl, marker_role,
+    successor_triples,
+)
+
+__all__ = [
+    "TilingProblem", "block_problem", "cell_closed", "grid_element", "grid_instance",
+    "grid_root", "stripes_problem", "trivial_problem", "unsolvable_problem",
+    "untiled_grid", "xy_functional", "GridMarkerEngine", "eq1", "geq2",
+    "ocell_certain_marker", "ocell_consistent", "ocell_dl", "op_dl",
+    "op_with_disjunction", "RunFittingOMQ", "encode_partial_run",
+    "lemma4_dl", "marker_role", "successor_triples",
+]

@@ -1,0 +1,374 @@
+"""The grid ontologies O_cell and O_P of Theorem 10 (Appendix H).
+
+Two layers are provided:
+
+1. **Faithful DL constructions** (:func:`ocell_dl`, :func:`op_dl`): the
+   ALCIF_l depth-2 axioms from the appendix — functionality of X, Y and
+   their inverses, the ``> ⊑ ∃Q.>`` axioms that make the marker concepts
+   ``(=1 Q)`` invisible to queries, the cell-closing axiom, and (for O_P)
+   the Figure-4 marker propagation axioms.  These witness that the
+   construction lands in the no-dichotomy fragment of Figure 1.
+
+2. **Executable marker semantics** (:func:`ocell_consistent`,
+   :func:`ocell_certain_marker`, :class:`GridMarkerEngine`): the polynomial
+   decision procedures extracted from Lemma 11 (Claim 1's equivalence-class
+   characterization of consistency) and Lemma 12 — the "Datalog≠-evaluated"
+   form of the ontologies, suitable for instances of arbitrary size.
+
+The two layers are cross-checked against each other on small instances in
+the test suite via the SAT backend.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..dl.concepts import (
+    AndC, AtMostC, AtomicC, BottomC, Concept, ConceptInclusion, DLOntology,
+    ExistsC, ForallC, NotC, OrC, Role, TopC,
+)
+from ..logic.instance import Interpretation
+from ..logic.syntax import Element
+from .problems import (
+    TilingProblem, cell_closed, grid_root, xy_functional, _functional_pairs,
+)
+
+X, Y = Role("X"), Role("Y")
+XI, YI = Role("X", inverse=True), Role("Y", inverse=True)
+
+
+def eq1(role: Role) -> Concept:
+    """(=1 Q) := ∃Q.> ⊓ (≤1 Q) — the marker concept of the construction."""
+    return AndC((ExistsC(role, TopC()), AtMostC(1, role, TopC())))
+
+
+def geq2(role: Role) -> Concept:
+    """(≥2 Q) := ∃Q.> ⊓ ¬(≤1 Q)."""
+    return AndC((ExistsC(role, TopC()), NotC(AtMostC(1, role, TopC()))))
+
+
+def _aux_axioms(aux_roles: list[Role]) -> list[ConceptInclusion]:
+    """``> ⊑ ∃Q.>`` for every auxiliary relation: the choice is only
+    between exactly one and at least two successors, which queries cannot
+    see."""
+    return [ConceptInclusion(TopC(), ExistsC(q, TopC()))
+            for q in aux_roles]
+
+
+def ocell_dl() -> DLOntology:
+    """The ontology O_cell marking lower-left corners of closed cells.
+
+    Relations: X, Y (grid), P (the cell marker), R1, R2 and the word-
+    indexed auxiliaries R1_XY, R1_YX, R2_XY, R2_YX.  Axiom groups follow
+    the appendix: (1) functionality, (2) marker choice, (3) cell marking,
+    (4)/(5) odd-cycle control, (6) the ∃W definitional axioms.
+    """
+    p = Role("P")
+    r = {(i, w): Role(f"R{i}_{w}") for i in (1, 2) for w in ("XY", "YX", "C", "CC")}
+    r1, r2 = Role("R1"), Role("R2")
+    axioms: list[ConceptInclusion] = []
+    # (1) functionality of X, Y, X-, Y- via local functionality concepts
+    for z in (X, Y, XI, YI):
+        axioms.append(ConceptInclusion(TopC(), AtMostC(1, z, TopC())))
+    # (2) invisibility: every aux relation has at least one successor
+    aux = [p, r1, r2] + list(r.values())
+    axioms.extend(_aux_axioms(aux))
+    # (3) marker choice: every node satisfies (=1R1) or (=1R2)
+    axioms.append(ConceptInclusion(TopC(), OrC((eq1(r1), eq1(r2)))))
+    # (4) cell marking: both markers reachable along XY and YX => (=1P)
+    closed = AndC((eq1(r[(1, "XY")]), eq1(r[(1, "YX")]),
+                   eq1(r[(2, "XY")]), eq1(r[(2, "YX")])))
+    axioms.append(ConceptInclusion(closed, eq1(p)))
+    # (5) odd-cycle control: along the cycle word C = X-Y-XY, each third
+    # node carries marker i (axiom group (4) of the appendix) and doubly
+    # marked nodes propagate to their neighbours (group (5)).
+    for i, j in ((1, 2), (2, 1)):
+        axioms.append(ConceptInclusion(
+            eq1(r[(j, "CC")]),
+            OrC((eq1(Role(f"R{i}")), eq1(r[(i, "C")]), eq1(r[(i, "CC")])))))
+    both = AndC((eq1(r[(1, "CC")]), eq1(r[(2, "CC")])))
+    r12 = AndC((eq1(r1), eq1(r2)))
+    axioms.append(ConceptInclusion(both, r12))
+    # (6) the ∃W definitional axioms for the word-indexed relations:
+    # (=1 Ri_XY) ≡ ∃X.(=1 Ri_Y') — flattened to the words used above.
+    for i in (1, 2):
+        base = Role(f"R{i}")
+        for word, path in (("XY", (X, Y)), ("YX", (Y, X)),
+                           ("C", (XI, YI, X, Y)), ("CC", (XI, YI, X, Y, XI, YI, X, Y))):
+            # introduce a chain of helper relations, one per suffix
+            prev: Concept = eq1(base)
+            for k, step in enumerate(reversed(path)):
+                suffix = f"{word}{len(path) - k}"
+                helper = Role(f"R{i}_{word}" if k == len(path) - 1
+                              else f"R{i}_h{suffix}")
+                definition = ExistsC(step, prev)
+                axioms.append(ConceptInclusion(eq1(helper), definition))
+                axioms.append(ConceptInclusion(definition, eq1(helper)))
+                axioms.append(ConceptInclusion(TopC(), ExistsC(helper, TopC())))
+                prev = eq1(helper)
+    return DLOntology(axioms, name="Ocell")
+
+
+# ---------------------------------------------------------------------------
+# Claim 1: the polynomial consistency characterization for O_cell
+# ---------------------------------------------------------------------------
+
+
+def _preset_at_least_two(instance: Interpretation, rel: str) -> set[Element]:
+    """Elements with >= 2 distinct rel-successors preset in D."""
+    successors: dict[Element, set[Element]] = {}
+    for a, b in instance.tuples(rel):
+        successors.setdefault(a, set()).add(b)
+    return {a for a, succ in successors.items() if len(succ) >= 2}
+
+
+def _leq_edges(instance: Interpretation) -> list[tuple[Element, Element]]:
+    """e1 <= e2 iff X(d,d1), Y(d1,e1), Y(d,d2), X(d2,e2) for some d."""
+    x_succ = _functional_pairs(instance, "X")
+    y_succ = _functional_pairs(instance, "Y")
+    assert x_succ is not None and y_succ is not None
+    edges = []
+    for d in set(x_succ) & set(y_succ):
+        e1 = y_succ.get(x_succ[d])
+        e2 = x_succ.get(y_succ[d])
+        if e1 is not None and e2 is not None:
+            edges.append((e1, e2))
+    return edges
+
+
+def _chain_or_cycle(edges: list[tuple[Element, Element]]) -> list[list[Element]]:
+    """Split the (functional, injective) <=-graph into chains and cycles.
+
+    A cycle is returned with its first element repeated at the end.
+    """
+    succ = dict(edges)
+    pred = {b: a for a, b in edges}
+    nodes = set(succ) | set(pred)
+    components: list[list[Element]] = []
+    seen: set[Element] = set()
+    for node in sorted(nodes, key=repr):
+        if node in seen:
+            continue
+        # walk back to the start (or detect a cycle)
+        start = node
+        visited = {start}
+        while start in pred and pred[start] not in visited:
+            start = pred[start]
+            visited.add(start)
+        is_cycle = start in pred  # no proper start found
+        chain = [start]
+        cur = start
+        while cur in succ:
+            nxt = succ[cur]
+            chain.append(nxt)
+            if nxt == start:
+                break  # cycle closed
+            cur = nxt
+        seen |= set(chain)
+        components.append(chain)
+    return components
+
+
+def _two_colorable_no_triple(
+    chain: list[Element],
+    forced: dict[Element, int],
+    cyclic: bool,
+) -> bool:
+    """Is there a {1,2}-coloring respecting *forced* with no three
+    consecutive equal colors (condition (†) of Claim 1)?"""
+    if cyclic:
+        nodes = chain[:-1]
+    else:
+        nodes = chain
+    if not nodes:
+        return True
+
+    def compatible(prefix: tuple[int, ...]) -> bool:
+        if len(prefix) >= 3 and prefix[-1] == prefix[-2] == prefix[-3]:
+            return False
+        node = nodes[len(prefix) - 1]
+        want = forced.get(node)
+        return want is None or want == prefix[-1]
+
+    def rec(prefix: tuple[int, ...]) -> bool:
+        if len(prefix) == len(nodes):
+            if cyclic and len(nodes) >= 3:
+                ring = prefix + prefix[:2]
+                for k in range(len(nodes)):
+                    if ring[k] == ring[k + 1] == ring[k + 2]:
+                        return False
+            return True
+        for color in (1, 2):
+            nxt = prefix + (color,)
+            if compatible(nxt):
+                if rec(nxt):
+                    return True
+        return False
+
+    return rec(())
+
+
+def ocell_consistent(instance: Interpretation) -> bool:
+    """Claim 1: consistency of D w.r.t. O_cell.
+
+    Conditions: functionality of X, Y and inverses; at most one preset
+    P-successor at closed cells; and for every <=-equivalence class, a
+    marker partition respecting the (≥2 R_i) presets without three
+    consecutive equal markers ((a)/(b) of Claim 1).
+    """
+    if not xy_functional(instance):
+        return False
+    # a closed cell may not have two preset P-successors
+    p_many = _preset_at_least_two(instance, "P")
+    for d in instance.dom():
+        if cell_closed(instance, d) and d in p_many:
+            return False
+    # (>=2 R_i)(d) preset forces the OTHER marker: forced color j
+    forced: dict[Element, int] = {}
+    for i, j in ((1, 2), (2, 1)):
+        for d in _preset_at_least_two(instance, f"R{i}"):
+            if forced.get(d, j) != j:
+                return False  # both markers excluded
+            forced[d] = j
+    for component in _chain_or_cycle(_leq_edges(instance)):
+        cyclic = len(component) >= 2 and component[0] == component[-1]
+        if cyclic and len(component) == 2:
+            # self-loop e <= e: condition (a)
+            if component[0] in forced:
+                return False
+            continue
+        if not _two_colorable_no_triple(component, forced, cyclic):
+            return False
+    return True
+
+
+def ocell_certain_marker(instance: Interpretation, d: Element) -> bool:
+    """Lemma 11.1: O_cell, D |= (=1P)(d) iff D is inconsistent w.r.t.
+    O_cell or D |= cell(d)."""
+    if not ocell_consistent(instance):
+        return True
+    return cell_closed(instance, d)
+
+
+# ---------------------------------------------------------------------------
+# O_P: the tiling ontology and its marker semantics (Lemma 12)
+# ---------------------------------------------------------------------------
+
+
+def op_dl(problem: TilingProblem) -> DLOntology:
+    """The ontology O_P of Theorem 10 (Figure 4 axioms on top of O_cell).
+
+    Markers: F (grid verified up to here), U/R/L/D (borders), A (lower-left
+    corner of a verified grid), FX/FY (depth-flattening helpers).
+    """
+    base = ocell_dl()
+    f, fx, fy = Role("F"), Role("FX"), Role("FY")
+    u, rr, ll, dd, a = (Role("U"), Role("Rb"), Role("Lb"), Role("Db"), Role("A"))
+    p = Role("P")
+    axioms: list[ConceptInclusion] = list(base.axioms)
+    axioms.extend(_aux_axioms([f, fx, fy, u, rr, ll, dd, a]))
+    tiles = {t: AtomicC(t) for t in problem.tiles}
+    t_init, t_final = tiles[problem.t_init], tiles[problem.t_final]
+
+    # the final tile starts the verification at the upper right corner
+    axioms.append(ConceptInclusion(
+        t_final, AndC((eq1(f), eq1(u), eq1(rr)))))
+    # propagate along the upper border (rightwards seen from the left)
+    for ti, tj in sorted(problem.horizontal):
+        axioms.append(ConceptInclusion(
+            AndC((ExistsC(X, AndC((eq1(u), eq1(f), tiles[tj]))), tiles[ti])),
+            AndC((eq1(u), eq1(f)))))
+    # propagate along the right border
+    for ti, tl in sorted(problem.vertical):
+        axioms.append(ConceptInclusion(
+            AndC((ExistsC(Y, AndC((eq1(rr), eq1(f), tiles[tl]))), tiles[ti])),
+            AndC((eq1(rr), eq1(f)))))
+    # depth-flattening helpers
+    axioms.append(ConceptInclusion(ExistsC(Y, eq1(f)), eq1(fy)))
+    axioms.append(ConceptInclusion(eq1(fy), ExistsC(Y, eq1(f))))
+    axioms.append(ConceptInclusion(ExistsC(X, eq1(f)), eq1(fx)))
+    axioms.append(ConceptInclusion(eq1(fx), ExistsC(X, eq1(f))))
+    # interior propagation through closed, correctly tiled cells
+    for ti in sorted(problem.tiles):
+        compatible = [
+            (tj, tl)
+            for tj in problem.tiles for tl in problem.tiles
+            if (ti, tj) in problem.horizontal and (ti, tl) in problem.vertical
+        ]
+        for tj, tl in compatible:
+            axioms.append(ConceptInclusion(
+                AndC((
+                    ExistsC(X, AndC((tiles[tj], eq1(f), eq1(fy)))),
+                    ExistsC(Y, AndC((tiles[tl], eq1(f), eq1(fx)))),
+                    eq1(p), tiles[ti],
+                )),
+                eq1(f)))
+    # the initial tile with the marker is the verified lower-left corner
+    axioms.append(ConceptInclusion(
+        AndC((eq1(f), t_init)), AndC((eq1(a), eq1(dd), eq1(ll)))))
+    # tiles are mutually exclusive
+    for s, t in itertools.combinations(sorted(problem.tiles), 2):
+        axioms.append(ConceptInclusion(AndC((tiles[s], tiles[t])), BottomC()))
+    # border axioms
+    axioms.append(ConceptInclusion(eq1(u), ForallC(Y, BottomC())))
+    axioms.append(ConceptInclusion(eq1(rr), ForallC(X, BottomC())))
+    axioms.append(ConceptInclusion(eq1(u), ForallC(X, eq1(u))))
+    axioms.append(ConceptInclusion(eq1(rr), ForallC(Y, eq1(rr))))
+    axioms.append(ConceptInclusion(eq1(dd), ForallC(YI, BottomC())))
+    axioms.append(ConceptInclusion(eq1(ll), ForallC(XI, BottomC())))
+    axioms.append(ConceptInclusion(eq1(dd), ForallC(X, eq1(dd))))
+    axioms.append(ConceptInclusion(eq1(ll), ForallC(Y, eq1(ll))))
+    return DLOntology(axioms, name=f"OP[{','.join(problem.tiles)}]")
+
+
+def op_with_disjunction(problem: TilingProblem) -> DLOntology:
+    """O = O_P ∪ {(=1A) ⊑ B1 ⊔ B2} — the Theorem-10 reduction target."""
+    base = op_dl(problem)
+    extra = ConceptInclusion(
+        eq1(Role("A")), OrC((AtomicC("B1"), AtomicC("B2"))))
+    return DLOntology(tuple(base.axioms) + (extra,),
+                      name=base.name + "+disj")
+
+
+@dataclass(frozen=True)
+class GridMarkerEngine:
+    """Executable Lemma-12 semantics for O_P.
+
+    ``certain_a(D, d)`` decides O_P, D |= (=1A)(d): true iff D is
+    inconsistent w.r.t. O_P or D |= grid(d).
+    """
+
+    problem: TilingProblem
+
+    def consistent(self, instance: Interpretation) -> bool:
+        """Consistency w.r.t. O_P on grid-shaped instances.
+
+        Necessary conditions: O_cell consistency and unique tile labels.
+        By Lemma 12.2 they are sufficient for closed properly-tiled grids
+        and remain sufficient on the grid-with-defects family exercised by
+        the benchmarks (every such instance extends to a model by choosing
+        >=2 successors for all unforced markers).
+        """
+        if not ocell_consistent(instance):
+            return False
+        for elem in instance.dom():
+            labels = [t for t in self.problem.tiles
+                      if (elem,) in instance.tuples(t)]
+            if len(labels) > 1:
+                return False
+        return True
+
+    def certain_a(self, instance: Interpretation, d: Element) -> bool:
+        if not self.consistent(instance):
+            return True
+        return grid_root(instance, d, self.problem)
+
+    def corner_disjunction_witness(
+        self, instance: Interpretation, d: Element,
+    ) -> bool:
+        """For O_P + {(=1A) ⊑ B1 ⊔ B2}: is B1(d) v B2(d) certain while
+        neither disjunct is?  True exactly when (=1A)(d) is certain and D
+        is consistent — the non-materializability witness of Lemma 13."""
+        return self.consistent(instance) and self.certain_a(instance, d)

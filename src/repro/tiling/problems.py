@@ -1,0 +1,328 @@
+"""Rectangle tiling problems and grid instances (Section 7).
+
+A finite rectangle tiling problem P = (T, H, V) has tile types T with a
+designated initial tile (lower left corner, nowhere else) and final tile
+(upper right corner, nowhere else), and horizontal/vertical matching
+relations.  The existence of a tiling is undecidable in general; for the
+bounded search used here a maximum rectangle size is supplied.
+
+Grid instances represent rectangles with binary relations X (right
+neighbour) and Y (up neighbour) and one unary relation per tile type —
+exactly the encoding used by the ontologies O_cell and O_P.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..logic.instance import Interpretation
+from ..logic.syntax import Atom, Const, Element
+
+Coord = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TilingProblem:
+    """P = (T, H, V) with initial and final tiles."""
+
+    tiles: tuple[str, ...]
+    horizontal: frozenset[tuple[str, str]]
+    vertical: frozenset[tuple[str, str]]
+    t_init: str
+    t_final: str
+
+    def __init__(
+        self,
+        tiles: Iterable[str],
+        horizontal: Iterable[tuple[str, str]],
+        vertical: Iterable[tuple[str, str]],
+        t_init: str,
+        t_final: str,
+    ):
+        object.__setattr__(self, "tiles", tuple(tiles))
+        object.__setattr__(self, "horizontal", frozenset(horizontal))
+        object.__setattr__(self, "vertical", frozenset(vertical))
+        object.__setattr__(self, "t_init", t_init)
+        object.__setattr__(self, "t_final", t_final)
+        for t in (t_init, t_final):
+            if t not in self.tiles:
+                raise ValueError(f"{t!r} is not a tile type")
+
+    def is_valid_tiling(self, tiling: Mapping[Coord, str]) -> bool:
+        """Check the Definition in Appendix H for an n x m candidate."""
+        if not tiling:
+            return False
+        n = max(i for i, _ in tiling)
+        m = max(j for _, j in tiling)
+        coords = {(i, j) for i in range(n + 1) for j in range(m + 1)}
+        if set(tiling) != coords:
+            return False
+        if tiling[(0, 0)] != self.t_init or tiling[(n, m)] != self.t_final:
+            return False
+        for (i, j), tile in tiling.items():
+            if tile == self.t_init and (i, j) != (0, 0):
+                return False
+            if tile == self.t_final and (i, j) != (n, m):
+                return False
+            if i < n and (tile, tiling[(i + 1, j)]) not in self.horizontal:
+                return False
+            if j < m and (tile, tiling[(i, j + 1)]) not in self.vertical:
+                return False
+        return True
+
+    def find_tiling(self, max_n: int, max_m: int) -> dict[Coord, str] | None:
+        """Search for a tiling of some rectangle up to the given size."""
+        for n in range(max_n + 1):
+            for m in range(max_m + 1):
+                tiling = self._tile_rectangle(n, m)
+                if tiling is not None:
+                    return tiling
+        return None
+
+    def tile_rectangle(self, n: int, m: int) -> dict[Coord, str] | None:
+        """Search for a tiling of the exact n x m rectangle."""
+        return self._tile_rectangle(n, m)
+
+    def _tile_rectangle(self, n: int, m: int) -> dict[Coord, str] | None:
+        coords = [(i, j) for j in range(m + 1) for i in range(n + 1)]
+        assignment: dict[Coord, str] = {}
+
+        def options(coord: Coord) -> list[str]:
+            i, j = coord
+            if coord == (0, 0) and coord == (n, m):
+                base = [self.t_init] if self.t_init == self.t_final else []
+            elif coord == (0, 0):
+                base = [self.t_init] if self.t_init != self.t_final else []
+            elif coord == (n, m):
+                base = [self.t_final]
+            else:
+                base = [t for t in self.tiles
+                        if t not in (self.t_init, self.t_final)]
+            out = []
+            for tile in base:
+                if i > 0 and (assignment[(i - 1, j)], tile) not in self.horizontal:
+                    continue
+                if j > 0 and (assignment[(i, j - 1)], tile) not in self.vertical:
+                    continue
+                out.append(tile)
+            return out
+
+        def rec(idx: int) -> bool:
+            if idx == len(coords):
+                return True
+            coord = coords[idx]
+            for tile in options(coord):
+                assignment[coord] = tile
+                if rec(idx + 1):
+                    return True
+                del assignment[coord]
+            return False
+
+        if rec(0):
+            return dict(assignment)
+        return None
+
+    def admits_tiling(self, max_n: int, max_m: int) -> bool:
+        return self.find_tiling(max_n, max_m) is not None
+
+
+def trivial_problem() -> TilingProblem:
+    """A problem with a single tile that tiles every rectangle trivially
+    only when the rectangle is 1 x 1 (Tinit = Tfinal = T0)."""
+    return TilingProblem(
+        tiles=("T0",),
+        horizontal=[("T0", "T0")],
+        vertical=[("T0", "T0")],
+        t_init="T0",
+        t_final="T0",
+    )
+
+
+def block_problem() -> TilingProblem:
+    """A problem tiling every rectangle with n, m >= 1: I at the corner,
+    F at the top right, M (mortar) everywhere else."""
+    return TilingProblem(
+        tiles=("I", "M", "F"),
+        horizontal=[("I", "M"), ("M", "M"), ("M", "F"), ("I", "F")],
+        vertical=[("I", "M"), ("M", "M"), ("M", "F"), ("I", "F")],
+        t_init="I",
+        t_final="F",
+    )
+
+
+def stripes_problem() -> TilingProblem:
+    """Horizontal stripe rows; admits only single-row rectangles."""
+    return TilingProblem(
+        tiles=("I", "W", "B", "F"),
+        horizontal=[("I", "B"), ("B", "W"), ("W", "B"), ("B", "F"),
+                    ("I", "F")],
+        vertical=[("W", "W"), ("B", "B"), ("I", "I"), ("F", "F")],
+        t_init="I",
+        t_final="F",
+    )
+
+
+def unsolvable_problem() -> TilingProblem:
+    """No tiling exists: the final tile is horizontally/vertically
+    unreachable from the initial tile."""
+    return TilingProblem(
+        tiles=("I", "M", "F"),
+        horizontal=[("I", "M"), ("M", "M")],
+        vertical=[("I", "I"), ("M", "M")],
+        t_init="I",
+        t_final="F",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Grid instances
+# ---------------------------------------------------------------------------
+
+
+def grid_element(i: int, j: int) -> Const:
+    return Const(f"g{i}_{j}")
+
+
+def grid_instance(tiling: Mapping[Coord, str]) -> Interpretation:
+    """The instance encoding a tiled rectangle with X, Y and tile labels."""
+    out = Interpretation()
+    n = max(i for i, _ in tiling)
+    m = max(j for _, j in tiling)
+    for (i, j), tile in tiling.items():
+        out.add(Atom(tile, (grid_element(i, j),)))
+        if i < n:
+            out.add(Atom("X", (grid_element(i, j), grid_element(i + 1, j))))
+        if j < m:
+            out.add(Atom("Y", (grid_element(i, j), grid_element(i, j + 1))))
+    return out
+
+
+def untiled_grid(n: int, m: int) -> Interpretation:
+    """An n x m grid with X/Y edges and no tile labels."""
+    out = Interpretation()
+    for i in range(n + 1):
+        for j in range(m + 1):
+            if i < n:
+                out.add(Atom("X", (grid_element(i, j), grid_element(i + 1, j))))
+            if j < m:
+                out.add(Atom("Y", (grid_element(i, j), grid_element(i, j + 1))))
+    if n == 0 and m == 0:
+        out.add(Atom("Node", (grid_element(0, 0),)))
+    return out
+
+
+def _functional_pairs(instance: Interpretation, rel: str) -> dict[Element, Element] | None:
+    """The successor map of a relation, or None if not functional."""
+    out: dict[Element, Element] = {}
+    for a, b in instance.tuples(rel):
+        if a in out and out[a] != b:
+            return None
+        out[a] = b
+    return out
+
+
+def xy_functional(instance: Interpretation) -> bool:
+    """X, Y, X−, Y− all functional in D (required by O_cell)."""
+    for rel in ("X", "Y"):
+        if _functional_pairs(instance, rel) is None:
+            return False
+        inverse: dict[Element, Element] = {}
+        for a, b in instance.tuples(rel):
+            if b in inverse and inverse[b] != a:
+                return False
+            inverse[b] = a
+    return True
+
+
+def cell_closed(instance: Interpretation, d: Element) -> bool:
+    """``D |= cell(d)``: d's XY- and YX-successors exist and coincide."""
+    x_succ = _functional_pairs(instance, "X")
+    y_succ = _functional_pairs(instance, "Y")
+    if x_succ is None or y_succ is None:
+        return False
+    d1 = x_succ.get(d)
+    d2 = y_succ.get(d)
+    if d1 is None or d2 is None:
+        return False
+    d3 = y_succ.get(d1)
+    d4 = x_succ.get(d2)
+    return d3 is not None and d3 == d4
+
+
+def grid_root(
+    instance: Interpretation,
+    d: Element,
+    problem: TilingProblem,
+) -> bool:
+    """``D |= grid(d)``: d is the lower-left corner of a closed, properly
+    tiled rectangle for the problem (Appendix H)."""
+    x_succ = _functional_pairs(instance, "X")
+    y_succ = _functional_pairs(instance, "Y")
+    if x_succ is None or y_succ is None:
+        return False
+    # walk the bottom row and left column to find n and m
+    gamma: dict[Coord, Element] = {(0, 0): d}
+    i = 0
+    cur = d
+    while cur in x_succ:
+        i += 1
+        cur = x_succ[cur]
+        gamma[(i, 0)] = cur
+        if i > len(instance.dom()):
+            return False  # cycle
+    n = i
+    j = 0
+    cur = d
+    while cur in y_succ:
+        j += 1
+        cur = y_succ[cur]
+        gamma[(0, j)] = cur
+        if j > len(instance.dom()):
+            return False
+    m = j
+    # fill the interior and check closure of cells
+    for jj in range(1, m + 1):
+        for ii in range(1, n + 1):
+            below = gamma.get((ii, jj - 1))
+            left = gamma.get((ii - 1, jj))
+            if below is None or left is None:
+                return False
+            up = y_succ.get(below)
+            right = x_succ.get(left)
+            if up is None or up != right:
+                return False
+            gamma[(ii, jj)] = up
+    cells = set(gamma.values())
+    if len(cells) != (n + 1) * (m + 1):
+        return False
+    # read off the tiling
+    tiling: dict[Coord, str] = {}
+    for coord, elem in gamma.items():
+        labels = [t for t in problem.tiles
+                  if (elem,) in instance.tuples(t)]
+        if len(labels) != 1:
+            return False
+        tiling[coord] = labels[0]
+    if not problem.is_valid_tiling(tiling):
+        return False
+    # closure: the grid has no X/Y edges leaving or entering ran(gamma)
+    for rel, succ in (("X", x_succ), ("Y", y_succ)):
+        for a, b in instance.tuples(rel):
+            if (a in cells) != (b in cells):
+                return False
+    # and no extra grid edges beyond the rectangle structure
+    for (a, b) in instance.tuples("X"):
+        if a in cells:
+            found = any(gamma.get((ii, jj)) == a and gamma.get((ii + 1, jj)) == b
+                        for (ii, jj) in gamma if (ii + 1, jj) in gamma)
+            if not found:
+                return False
+    for (a, b) in instance.tuples("Y"):
+        if a in cells:
+            found = any(gamma.get((ii, jj)) == a and gamma.get((ii, jj + 1)) == b
+                        for (ii, jj) in gamma if (ii, jj + 1) in gamma)
+            if not found:
+                return False
+    return True

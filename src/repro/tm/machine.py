@@ -1,0 +1,179 @@
+"""Non-deterministic Turing machines with one one-sided infinite tape.
+
+Follows the representation of Section 7 / Appendix H: a configuration is a
+string ``v q w`` (state q, tape v to the left of the head, w from the head
+rightwards); runs are sequences of equal-length configurations; the
+accepting state has no outgoing transitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """(state, read) -> (next state, write, move) with move in {L, R}."""
+
+    state: str
+    read: str
+    next_state: str
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in ("L", "R"):
+            raise ValueError(f"move must be L or R, got {self.move!r}")
+
+
+@dataclass(frozen=True)
+class TM:
+    """A non-deterministic Turing machine."""
+
+    states: frozenset[str]
+    alphabet: frozenset[str]
+    transitions: tuple[Transition, ...]
+    start: str
+    accept: str
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        alphabet: Iterable[str],
+        transitions: Iterable[Transition],
+        start: str,
+        accept: str,
+    ):
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "alphabet", frozenset(alphabet) | {BLANK})
+        object.__setattr__(self, "transitions", tuple(transitions))
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "accept", accept)
+        for t in self.transitions:
+            if t.state == self.accept:
+                raise ValueError("the accepting state must have no successors")
+            if t.state not in self.states or t.next_state not in self.states:
+                raise ValueError(f"transition {t} uses undeclared state")
+
+    def moves_from(self, state: str, read: str) -> list[Transition]:
+        return [t for t in self.transitions
+                if t.state == state and t.read == read]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """``v q w``: tape = v + w, head on the first symbol of w.
+
+    ``left`` and ``right`` are tuples of tape symbols; the state counts as
+    a single symbol of the configuration string, so state names may be
+    longer than one character.
+    """
+
+    left: tuple[str, ...]
+    state: str
+    right: tuple[str, ...]
+
+    def __init__(self, left, state: str, right):
+        object.__setattr__(self, "left", tuple(left))
+        object.__setattr__(self, "state", state)
+        object.__setattr__(self, "right", tuple(right))
+
+    @property
+    def length(self) -> int:
+        return len(self.left) + 1 + len(self.right)
+
+    def symbols(self) -> tuple[str, ...]:
+        """The configuration as a symbol sequence v q w."""
+        return self.left + (self.state,) + self.right
+
+    def as_string(self) -> str:
+        return "".join(self.symbols())
+
+    def head_symbol(self) -> str:
+        return self.right[0] if self.right else BLANK
+
+    def is_accepting(self, tm: TM) -> bool:
+        return self.state == tm.accept
+
+
+def initial_configuration(tm: TM, word: str, space: int | None = None) -> Configuration:
+    """``q0 w`` padded with blanks to the requested tape length."""
+    tape = tuple(word)
+    if space is not None:
+        if space < len(word) + 1:
+            raise ValueError("space too small for the input word")
+        tape = tape + (BLANK,) * (space - len(word) - 1)
+    return Configuration((), tm.start, tape)
+
+
+def successors(tm: TM, config: Configuration) -> list[Configuration]:
+    """All successor configurations within the same tape space.
+
+    The tape is fixed-length (runs have equal-length configurations);
+    moving right past the end or left past the start yields no successor.
+    """
+    out: list[Configuration] = []
+    read = config.head_symbol()
+    for t in tm.moves_from(config.state, read):
+        if t.move == "R":
+            if len(config.right) <= 1:
+                continue  # would fall off the reserved tape space
+            out.append(Configuration(
+                config.left + (t.write,), t.next_state, config.right[1:]))
+        else:
+            if not config.left:
+                continue  # cannot move left from the leftmost cell
+            out.append(Configuration(
+                config.left[:-1], t.next_state,
+                (config.left[-1], t.write) + config.right[1:]))
+    return out
+
+
+def run_is_valid(tm: TM, run: Sequence[Configuration]) -> bool:
+    """Check that consecutive configurations are related by a transition."""
+    if not run:
+        return False
+    length = run[0].length
+    for config in run:
+        if config.length != length:
+            return False
+    for cur, nxt in zip(run, run[1:]):
+        if nxt not in successors(tm, cur):
+            return False
+    return True
+
+
+def accepting_runs(
+    tm: TM,
+    start: Configuration,
+    max_steps: int,
+) -> Iterator[list[Configuration]]:
+    """Enumerate accepting runs from *start* of at most *max_steps* steps."""
+
+    def rec(run: list[Configuration]) -> Iterator[list[Configuration]]:
+        last = run[-1]
+        if last.is_accepting(tm):
+            yield list(run)
+            return
+        if len(run) > max_steps:
+            return
+        for nxt in successors(tm, last):
+            run.append(nxt)
+            yield from rec(run)
+            run.pop()
+
+    yield from rec([start])
+
+
+def accepts(tm: TM, word: str, max_steps: int, space: int | None = None) -> bool:
+    """Does some accepting run of at most *max_steps* steps exist?"""
+    if space is None:
+        space = len(word) + max_steps + 1
+    start = initial_configuration(tm, word, space)
+    for _ in accepting_runs(tm, start, max_steps):
+        return True
+    return False

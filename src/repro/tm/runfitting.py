@@ -1,0 +1,165 @@
+"""The run fitting problem (Definition 7/8, Theorem 12).
+
+A *partial configuration* replaces symbols of a configuration by the
+wildcard ``?``; a *partial run* is a sequence of equal-length partial
+configurations.  RF(M) asks whether a given partial run matches an
+accepting run of M whose first configuration is a start configuration.
+
+``fits`` decides RF(M) by depth-first search over configurations
+constrained row-by-row by the partial run — the NP brute force the paper's
+reduction targets.  ``verify_certificate`` checks a claimed matching run in
+polynomial time (RF(M) ∈ NP).
+
+Rows are tuples of symbols; each symbol is a tape character, a state name,
+or the wildcard ``?``.  :meth:`PartialRun.from_strings` accepts plain
+strings when all symbols are single characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .machine import TM, Configuration, run_is_valid, successors
+
+WILDCARD = "?"
+
+Row = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PartialRun:
+    """Rows of equal length over tape symbols + states + '?'."""
+
+    rows: tuple[Row, ...]
+
+    def __init__(self, rows: Sequence[Sequence[str]]):
+        normalized = tuple(tuple(row) for row in rows)
+        if not normalized:
+            raise ValueError("a partial run needs at least one row")
+        width = len(normalized[0])
+        if any(len(r) != width for r in normalized):
+            raise ValueError("all rows must have the same length")
+        object.__setattr__(self, "rows", normalized)
+
+    @classmethod
+    def from_strings(cls, rows: Sequence[str]) -> "PartialRun":
+        """Build from strings (every character is one symbol)."""
+        return cls([tuple(r) for r in rows])
+
+    @property
+    def width(self) -> int:
+        return len(self.rows[0])
+
+    @property
+    def steps(self) -> int:
+        return len(self.rows) - 1
+
+    def wildcard_fraction(self) -> float:
+        total = len(self.rows) * self.width
+        stars = sum(row.count(WILDCARD) for row in self.rows)
+        return stars / total if total else 0.0
+
+
+def matches(partial_row: Sequence[str], config: Configuration) -> bool:
+    """Does the configuration match the partial row symbol-by-symbol?"""
+    symbols = config.symbols()
+    if len(symbols) != len(partial_row):
+        return False
+    return all(p in (WILDCARD, c) for p, c in zip(partial_row, symbols))
+
+
+def _row_configurations(tm: TM, row: Row) -> Iterator[Configuration]:
+    """All configurations of the row's length matching the partial row."""
+    width = len(row)
+    for pos in range(width):
+        entry = row[pos]
+        if entry != WILDCARD and entry not in tm.states:
+            continue
+        state_candidates = [entry] if entry in tm.states else sorted(tm.states)
+        # every other position must be (or match) a tape symbol
+        if any(row[i] in tm.states for i in range(width) if i != pos):
+            continue
+        if any(row[i] != WILDCARD and row[i] not in tm.alphabet
+               for i in range(width) if i != pos):
+            continue
+        for state in state_candidates:
+            yield from _fill_tape(tm, row, pos, state)
+
+
+def _fill_tape(tm: TM, row: Row, state_pos: int, state: str) -> Iterator[Configuration]:
+    alphabet = sorted(tm.alphabet)
+    tape_positions = [i for i in range(len(row)) if i != state_pos]
+    slots = [i for i in tape_positions if row[i] == WILDCARD]
+
+    def rec(idx: int, tape: dict[int, str]) -> Iterator[Configuration]:
+        if idx == len(slots):
+            symbols = [tape.get(i, row[i]) for i in tape_positions]
+            left = tuple(symbols[:state_pos])
+            right = tuple(symbols[state_pos:])
+            yield Configuration(left, state, right)
+            return
+        for ch in alphabet:
+            tape[slots[idx]] = ch
+            yield from rec(idx + 1, tape)
+            del tape[slots[idx]]
+
+    yield from rec(0, {})
+
+
+def fits(tm: TM, partial: PartialRun) -> list[Configuration] | None:
+    """Decide RF(M): return a matching accepting run, or None.
+
+    The first row must admit a start configuration (start state on the
+    leftmost cell, per Definition 7).
+    """
+    first = partial.rows[0]
+    if first[0] not in (tm.start, WILDCARD):
+        return None
+
+    def rec(idx: int, run: list[Configuration]) -> list[Configuration] | None:
+        if idx == len(partial.rows):
+            if run[-1].is_accepting(tm):
+                return list(run)
+            return None
+        row = partial.rows[idx]
+        if idx == 0:
+            candidates: Iterator[Configuration] = (
+                c for c in _row_configurations(tm, row)
+                if c.state == tm.start and not c.left)
+        else:
+            candidates = (
+                c for c in successors(tm, run[-1]) if matches(row, c))
+        for config in candidates:
+            run.append(config)
+            found = rec(idx + 1, run)
+            if found is not None:
+                return found
+            run.pop()
+        return None
+
+    return rec(0, [])
+
+
+def verify_certificate(tm: TM, partial: PartialRun,
+                       run: Sequence[Configuration]) -> bool:
+    """Polynomial-time verification that *run* witnesses RF(M) (NP side)."""
+    if len(run) != len(partial.rows):
+        return False
+    if not run_is_valid(tm, run):
+        return False
+    if run[0].state != tm.start or run[0].left:
+        return False
+    if not run[-1].is_accepting(tm):
+        return False
+    return all(matches(row, config)
+               for row, config in zip(partial.rows, run))
+
+
+def blank_partial_run(width: int, steps: int,
+                      start_row: Sequence[str] | None = None) -> PartialRun:
+    """An all-wildcard partial run (optionally with a concrete first row)."""
+    rows: list[Sequence[str]] = [
+        tuple(start_row) if start_row is not None else (WILDCARD,) * width]
+    rows += [(WILDCARD,) * width] * steps
+    return PartialRun(rows)

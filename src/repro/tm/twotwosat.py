@@ -1,0 +1,207 @@
+"""2+2-SAT and the Theorem-3 coNP-hardness reduction.
+
+2+2-SAT [Schaerf 1993] is propositional satisfiability for clause sets of
+the form ``(p1 ∨ p2 ∨ ¬n1 ∨ ¬n2)`` where each entry is a variable or a
+truth constant.  It is NP-complete and is the base of the proof of
+Theorem 3: from a failure of the disjunction property of O one builds, for
+every 2+2-SAT input, an instance D_phi and an rAQ such that the formula is
+unsatisfiable iff the query is certain.
+
+This module provides the problem itself (generator, brute-force and DPLL
+solvers) and the gadget construction from a two-disjunct
+:class:`~repro.core.materializability.DisjunctionWitness`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.materializability import DisjunctionWitness
+from ..logic.instance import Interpretation, disjoint_union
+from ..logic.syntax import Atom, Const, Element
+
+TRUE = "true"
+FALSE = "false"
+
+
+@dataclass(frozen=True)
+class Clause22:
+    """(p1 ∨ p2 ∨ ¬n1 ∨ ¬n2); entries are variable names or constants."""
+
+    p1: str
+    p2: str
+    n1: str
+    n2: str
+
+    def variables(self) -> set[str]:
+        return {v for v in (self.p1, self.p2, self.n1, self.n2)
+                if v not in (TRUE, FALSE)}
+
+    def satisfied(self, assignment: dict[str, bool]) -> bool:
+        def val(name: str) -> bool:
+            if name == TRUE:
+                return True
+            if name == FALSE:
+                return False
+            return assignment[name]
+
+        return (val(self.p1) or val(self.p2)
+                or not val(self.n1) or not val(self.n2))
+
+
+@dataclass(frozen=True)
+class TwoTwoSat:
+    clauses: tuple[Clause22, ...]
+
+    def variables(self) -> list[str]:
+        out: set[str] = set()
+        for clause in self.clauses:
+            out |= clause.variables()
+        return sorted(out)
+
+    def satisfiable(self) -> dict[str, bool] | None:
+        """Brute-force satisfiability (inputs are small in tests)."""
+        variables = self.variables()
+        for bits in itertools.product([False, True], repeat=len(variables)):
+            assignment = dict(zip(variables, bits))
+            if all(c.satisfied(assignment) for c in self.clauses):
+                return assignment
+        return None
+
+
+def parse_22(text: str) -> TwoTwoSat:
+    """Parse ``p1 p2 n1 n2`` per line (variables or true/false)."""
+    clauses = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        parts = stripped.split()
+        if len(parts) != 4:
+            raise ValueError(f"a 2+2 clause needs 4 entries: {stripped!r}")
+        clauses.append(Clause22(*parts))
+    return TwoTwoSat(tuple(clauses))
+
+
+# ---------------------------------------------------------------------------
+# The Theorem-3 gadget
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HardnessGadget:
+    """The reduction data built from a disjunction-property failure.
+
+    The witness provides an instance D and two query/tuple pairs with
+    ``O, D |= q1(d1) v q2(d2)`` but neither disjunct certain.  For a 2+2
+    formula phi, :meth:`encode` builds D_phi: one renamed copy D_v of D per
+    variable v (choosing q1 at the copy = "v false", q2 = "v true"), plus
+    clause atoms wiring copies to clause constants with fresh relations.
+    Invariance under disjoint unions makes the copies independent, so
+    models of D_phi correspond to truth assignments, and the query of
+    :meth:`query_atoms` is certain iff phi is unsatisfiable.
+    """
+
+    witness: DisjunctionWitness
+
+    def copy_of_instance(self, tag: str) -> tuple[Interpretation, dict[Element, Element]]:
+        mapping = {
+            e: Const(f"{tag}_{getattr(e, 'name', e)}")
+            for e in self.witness.instance.dom()
+        }
+        return self.witness.instance.rename(mapping), mapping
+
+    def encode(self, formula: TwoTwoSat) -> Interpretation:
+        """The instance D_phi (fresh relations Cl, Pos1/2, Neg1/2).
+
+        Besides the variable copies, two constant gadgets realize the truth
+        constants: the canonical database of q1 rooted at ``false_const``
+        (the 'false' choice is realized there) and of q2 at ``true_const``.
+        """
+        out = Interpretation()
+        copies: dict[str, dict[Element, Element]] = {}
+        for var in formula.variables():
+            copy, mapping = self.copy_of_instance(var)
+            copies[var] = mapping
+            for fact in copy:
+                out.add(fact)
+        (q1, d1), (q2, d2) = self.witness.disjuncts
+        # truth-constant gadgets
+        for name, (query, anchor) in ((FALSE, (q1, d1)), (TRUE, (q2, d2))):
+            db, var_map = query.canonical_database(prefix=f"{name}_")
+            renaming = {var_map[query.answer_vars[0]]: Const(f"{name}_const")}
+            for fact in db.rename(renaming):
+                out.add(fact)
+        for idx, clause in enumerate(formula.clauses):
+            clause_const = Const(f"cl{idx}")
+            out.add(Atom("Cl", (clause_const,)))
+            for role, entry, (_, anchor) in (
+                ("Pos1", clause.p1, (q1, d1)),
+                ("Pos2", clause.p2, (q1, d1)),
+                ("Neg1", clause.n1, (q2, d2)),
+                ("Neg2", clause.n2, (q2, d2)),
+            ):
+                if entry in (TRUE, FALSE):
+                    out.add(Atom(role, (clause_const, Const(f"{entry}_const"))))
+                    continue
+                # wire the clause to the anchor element of the copy
+                target = copies[entry][anchor[0]]
+                out.add(Atom(role, (clause_const, target)))
+        return out
+
+    def violation_query(self):
+        """The Boolean CQ that is certain iff the formula is unsatisfiable.
+
+        A clause is violated when both positive entries realize q1 (the
+        'false' witness) and both negative entries realize q2 (the 'true'
+        witness); in every model of an unsatisfiable formula some clause is
+        violated, and conversely a satisfying assignment yields a model
+        violating no clause (Theorem 3's reduction).
+        """
+        from ..logic.syntax import Var
+        from ..queries.cq import CQ
+
+        (q1, _), (q2, _) = self.witness.disjuncts
+        atoms: list[Atom] = []
+        z = Var("z")
+        atoms.append(Atom("Cl", (z,)))
+        taken: list[Var] = [z]
+        for role, query in (("Pos1", q1), ("Pos2", q1),
+                            ("Neg1", q2), ("Neg2", q2)):
+            fresh = query.rename_apart(taken)
+            prefix = role.lower()
+            mapping = {v: Var(f"{prefix}_{v.name}") for v in fresh.variables()}
+            body = {a.substitute(mapping) for a in fresh.atoms}
+            anchor = mapping[fresh.answer_vars[0]]
+            atoms.append(Atom(role, (z, anchor)))
+            atoms.extend(body)
+            taken.extend(mapping.values())
+        return CQ((), atoms)
+
+
+def assignment_models(
+    formula: TwoTwoSat,
+) -> list[dict[str, bool]]:
+    """All satisfying assignments (ground truth for tests)."""
+    variables = formula.variables()
+    out = []
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(c.satisfied(assignment) for c in formula.clauses):
+            out.append(assignment)
+    return out
+
+
+def random_22_formula(num_vars: int, num_clauses: int, seed: int) -> TwoTwoSat:
+    """A deterministic pseudo-random 2+2 formula (for benchmarks)."""
+    import random
+
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(num_vars)]
+    clauses = []
+    for _ in range(num_clauses):
+        entries = [rng.choice(names + [TRUE, FALSE]) for _ in range(4)]
+        clauses.append(Clause22(*entries))
+    return TwoTwoSat(tuple(clauses))

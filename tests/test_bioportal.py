@@ -1,0 +1,66 @@
+"""Tests for the synthetic BioPortal corpus and its analysis (E2)."""
+
+import pytest
+
+from repro.bioportal import (
+    CorpusOntology, CorpusSpec, alchif_view, alchiq_view, analyze_corpus,
+    generate_corpus,
+)
+from repro.dl.concepts import AtLeastC, ConceptInclusion, iter_subconcepts
+
+
+class TestGeneration:
+    def test_size(self):
+        corpus = generate_corpus()
+        assert len(corpus) == 411
+
+    def test_deterministic(self):
+        c1 = generate_corpus()
+        c2 = generate_corpus()
+        assert [e.name for e in c1] == [e.name for e in c2]
+        assert [e.tbox.depth() for e in c1] == [e.tbox.depth() for e in c2]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(total=10, alchiq_depth1=5, alchif_depth2_extra=1, deep=1)
+
+    def test_custom_spec(self):
+        spec = CorpusSpec(total=20, alchiq_depth1=15,
+                          alchif_depth2_extra=3, deep=2, seed=7)
+        corpus = generate_corpus(spec)
+        assert len(corpus) == 20
+
+
+class TestAnalysis:
+    def setup_method(self):
+        self.corpus = generate_corpus()
+        self.report = analyze_corpus(self.corpus)
+
+    def test_headline_numbers_match_paper(self):
+        """The paper: 411 ontologies; 405 in ALCHIF depth <= 2;
+        385 in ALCHIQ depth 1."""
+        assert self.report.total == 411
+        assert self.report.alchif_depth2 == 405
+        assert self.report.alchiq_depth1 == 385
+
+    def test_dichotomy_band_covers_alchif(self):
+        assert self.report.dichotomy_band >= self.report.alchif_depth2
+
+    def test_rows_format(self):
+        rows = self.report.rows()
+        assert all(len(r) == 3 for r in rows)
+        assert rows[0][1] == 411
+
+    def test_alchif_view_strips_counting(self):
+        for entry in self.corpus:
+            view = alchif_view(entry)
+            for axiom in view.axioms:
+                if isinstance(axiom, ConceptInclusion):
+                    for concept in (axiom.lhs, axiom.rhs):
+                        assert not any(
+                            isinstance(s, AtLeastC)
+                            for s in iter_subconcepts(concept))
+
+    def test_alchiq_view_keeps_tbox(self):
+        entry = self.corpus[0]
+        assert alchiq_view(entry) is entry.tbox

@@ -1,0 +1,135 @@
+"""Tests for (counting) connected guarded bisimulations (Appendix C)."""
+
+import itertools
+
+import pytest
+
+from repro.guarded.bisimulation import (
+    are_guarded_bisimilar, coarsest_guarded_bisimulation, guarded_tuples,
+    is_partial_isomorphism,
+)
+from repro.guarded.unravel import unravel
+from repro.logic.instance import make_instance
+from repro.logic.model_check import evaluate
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import Const, Var
+
+a, b, c = Const("a"), Const("b"), Const("c")
+
+C3 = make_instance("R(a,b)", "R(b,c)", "R(c,a)")
+C6 = make_instance(*(f"R(u{i},u{(i+1) % 6})" for i in range(6)))
+CHAIN = make_instance("R(p,q)", "R(q,r)")
+
+
+class TestBasics:
+    def test_guarded_tuples_include_singletons(self):
+        tuples = guarded_tuples(make_instance("R(a,b)"))
+        assert (a,) in tuples and (a, b) in tuples and (b, a) in tuples
+
+    def test_partial_isomorphism(self):
+        d1 = make_instance("R(a,b)")
+        d2 = make_instance("R(u,v)")
+        u, v = Const("u"), Const("v")
+        assert is_partial_isomorphism(d1, d2, (a, b), (u, v))
+        assert not is_partial_isomorphism(d1, d2, (a, b), (v, u))
+
+    def test_partial_isomorphism_requires_injectivity(self):
+        d1 = make_instance("R(a,b)")
+        d2 = make_instance("R(u,u)")
+        u = Const("u")
+        assert not is_partial_isomorphism(d1, d2, (a, b), (u, u))
+
+
+class TestBisimilarity:
+    def test_cycles_of_different_length(self):
+        """All R-cycles look alike to openGF: bisimilar."""
+        assert are_guarded_bisimilar(C3, [a], C6, [Const("u0")])
+
+    def test_cycle_vs_chain(self):
+        """The chain's endpoint has no successor: not bisimilar."""
+        assert not are_guarded_bisimilar(C3, [a], CHAIN, [Const("r")])
+        assert not are_guarded_bisimilar(C3, [a], CHAIN, [Const("p")])
+
+    def test_labels_distinguish(self):
+        d1 = make_instance("R(a,b)", "A(b)")
+        d2 = make_instance("R(u,v)", "B(v)")
+        assert not are_guarded_bisimilar(d1, [a], d2, [Const("u")])
+
+    def test_reflexivity(self):
+        assert are_guarded_bisimilar(C3, [a], C3, [a])
+
+    def test_symmetry(self):
+        assert are_guarded_bisimilar(C6, [Const("u0")], C3, [a])
+
+    def test_pair_tuples(self):
+        assert are_guarded_bisimilar(C3, [a, b], C6, [Const("u0"), Const("u1")])
+
+    def test_unravelling_is_bisimilar_to_original(self):
+        """Lemma 1's forest models are guarded bisimilar to the original
+        at the copied guarded tuples (here on an acyclic instance, where
+        the bounded unravelling is already complete)."""
+        tree = make_instance("R(a,b)", "S(b,c)")
+        unravelling = unravel(tree, depth=3)
+        g = frozenset((a, b))
+        copy = unravelling.copy_of((a, b), g)
+        assert are_guarded_bisimilar(
+            tree, (a, b), unravelling.interpretation, copy)
+
+
+class TestCountingBisimilarity:
+    def test_successor_counts_matter(self):
+        one = make_instance("R(a,b)")
+        two = make_instance("R(u,v)", "R(u,w)")
+        assert are_guarded_bisimilar(one, [a], two, [Const("u")])
+        assert not are_guarded_bisimilar(one, [a], two, [Const("u")],
+                                         counting=True)
+
+    def test_equal_counts_accepted(self):
+        two1 = make_instance("R(a,b)", "R(a,c)")
+        two2 = make_instance("R(u,v)", "R(u,w)")
+        assert are_guarded_bisimilar(two1, [a], two2, [Const("u")],
+                                     counting=True)
+
+
+class TestTheorem15:
+    """Bisimilar points must agree on openGF formulas."""
+
+    FORMULAS = [
+        "exists y (R(x,y) & exists x (R(y,x)))",
+        "exists y (R(x,y) & ~A(y))",
+        "exists y (R(y,x))",
+        "A(x)",
+    ]
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_invariance_cycle_pair(self, text):
+        phi = parse_formula(text)
+        assert are_guarded_bisimilar(C3, [a], C6, [Const("u0")])
+        va = evaluate(phi, C3, {Var("x"): a})
+        vb = evaluate(phi, C6, {Var("x"): Const("u0")})
+        assert va == vb
+
+    def test_invariance_systematic(self):
+        """For every bisimilar singleton pair found between two instances,
+        the openGF test formulas agree (Theorem 15)."""
+        d1 = make_instance("R(a,b)", "A(b)", "R(b,c)")
+        d2 = make_instance("R(u,v)", "A(v)", "R(v,w)", "R(z,z)")
+        bisim = coarsest_guarded_bisimulation(d1, d2)
+        formulas = [parse_formula(t) for t in self.FORMULAS]
+        for (src, tgt) in bisim.pairs:
+            if len(src) != 1:
+                continue
+            for phi in formulas:
+                va = evaluate(phi, d1, {Var("x"): src[0]})
+                vb = evaluate(phi, d2, {Var("x"): tgt[0]})
+                assert va == vb, (src, tgt, phi)
+
+    def test_counting_invariance_theorem16(self):
+        """Counting-bisimilar points agree on openGC2 formulas."""
+        two1 = make_instance("R(a,b)", "R(a,c)")
+        two2 = make_instance("R(u,v)", "R(u,w)")
+        phi = parse_formula("exists>=2 y (R(x,y))")
+        assert are_guarded_bisimilar(two1, [a], two2, [Const("u")],
+                                     counting=True)
+        assert evaluate(phi, two1, {Var("x"): a}) == \
+            evaluate(phi, two2, {Var("x"): Const("u")})

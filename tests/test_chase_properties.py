@@ -1,0 +1,88 @@
+"""Property-based tests for the chase engine: soundness and universality."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic.homomorphism import has_homomorphism
+from repro.logic.instance import Interpretation
+from repro.logic.model_check import satisfies_all
+from repro.logic.ontology import Ontology, ontology
+from repro.logic.syntax import Atom, Const
+from repro.semantics.chase import ChaseError, chase
+from repro.semantics.modelsearch import find_model
+
+# a small pool of Horn and disjunctive guarded ontologies
+ONTOLOGIES = [
+    ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))"),
+    ontology("forall x (x = x -> (A(x) -> exists y (R(x,y) & B(y))))"),
+    ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))"),
+    ontology("forall x,y (R(x,y) -> (A(x) -> ~B(y)))"),
+    Ontology(
+        ontology("forall x (x = x -> (A(x) -> exists y (F(x,y) & B(y))))").sentences,
+        functional=["F"]),
+]
+
+elements = st.sampled_from([Const(f"e{i}") for i in range(3)])
+facts = st.one_of(
+    st.builds(lambda p, x: Atom(p, (x,)),
+              st.sampled_from(["A", "B", "C"]), elements),
+    st.builds(lambda p, x, y: Atom(p, (x, y)),
+              st.sampled_from(["R", "F"]), elements, elements),
+)
+instances = st.lists(facts, min_size=1, max_size=5).map(Interpretation)
+ontology_idx = st.integers(0, len(ONTOLOGIES) - 1)
+
+
+class TestChaseSoundness:
+    @given(ontology_idx, instances)
+    @settings(max_examples=40, deadline=None)
+    def test_complete_branches_are_models(self, idx, instance):
+        onto = ONTOLOGIES[idx]
+        try:
+            result = chase(onto, instance, max_depth=4)
+        except (ChaseError, ValueError):
+            return
+        for branch in result.consistent_branches():
+            if branch.complete:
+                assert satisfies_all(branch.interp, onto.all_sentences())
+                for fact in instance:
+                    if not (onto.functional or onto.inverse_functional):
+                        assert fact in branch.interp
+
+    @given(ontology_idx, instances)
+    @settings(max_examples=30, deadline=None)
+    def test_chase_consistency_agrees_with_sat(self, idx, instance):
+        onto = ONTOLOGIES[idx]
+        try:
+            result = chase(onto, instance, max_depth=4)
+        except (ChaseError, ValueError):
+            return
+        if not result.fully_chased:
+            return
+        sat_model = find_model(onto, instance, extra=2)
+        if result.is_consistent:
+            # chase found a model: SAT must too (it has enough elements
+            # whenever the chase needed at most 2 fresh nulls)
+            if len(result.consistent_branches()[0].interp.dom()) \
+                    <= len(instance.dom()) + 2:
+                assert sat_model is not None
+        else:
+            assert sat_model is None
+
+    @given(instances)
+    @settings(max_examples=30, deadline=None)
+    def test_universal_branch_maps_into_sat_model(self, instance):
+        """Horn chase models are hom-universal: they map into any model."""
+        onto = ONTOLOGIES[1]  # A -> exists R.B
+        try:
+            result = chase(onto, instance, max_depth=4)
+        except (ChaseError, ValueError):
+            return
+        branches = result.consistent_branches()
+        if not branches or not branches[0].complete:
+            return
+        target = find_model(onto, instance, extra=2)
+        if target is None:
+            return
+        assert has_homomorphism(
+            branches[0].interp, target, preserve=instance.dom())

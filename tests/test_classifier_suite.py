@@ -1,0 +1,74 @@
+"""Regression suite: the classifier on a battery of known ontologies.
+
+Each entry records the expected Figure-1 band and (where the paper or a
+simple argument settles it) the complexity verdict.  This is the
+acceptance suite for the library's headline function.
+"""
+
+import pytest
+
+from repro.core import Status, Verdict, classify_ontology
+from repro.logic.instance import make_instance
+from repro.logic.ontology import Ontology, ontology
+
+HAND_WITNESS = make_instance("Hand(h)", "hasFinger(h,f1)", "hasFinger(h,f2)")
+
+SUITE = [
+    # (name, ontology, expected band, expected verdict or None, extra instances)
+    ("empty", ontology(""), Status.DICHOTOMY, Verdict.PTIME, None),
+    ("atomic inclusion",
+     ontology("forall x (x = x -> (A(x) -> B(x)))"),
+     Status.DICHOTOMY, Verdict.PTIME, None),
+    ("role propagation",
+     ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))"),
+     Status.DICHOTOMY, Verdict.PTIME, None),
+    ("existential witness",
+     ontology("forall x (x = x -> (A(x) -> exists y (R(x,y) & B(y))))"),
+     Status.DICHOTOMY, Verdict.PTIME, None),
+    ("disjointness constraint",
+     ontology("forall x (x = x -> (A(x) -> ~B(x)))"),
+     Status.DICHOTOMY, Verdict.PTIME, None),
+    ("covering disjunction",
+     ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))"),
+     Status.DICHOTOMY, Verdict.CONP_HARD, None),
+    ("counting lower bound",
+     ontology("forall x (x = x -> (H(x) -> exists>=3 y (F(x,y))))"),
+     Status.DICHOTOMY, Verdict.PTIME, None),
+    ("exactly-2 plus thumb (intro example)",
+     ontology(
+         "forall x (x = x -> (Hand(x) -> exists>=2 y (hasFinger(x,y))))\n"
+         "forall x (x = x -> (Hand(x) -> ~(exists>=3 y (hasFinger(x,y)))))\n"
+         "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))"),
+     Status.DICHOTOMY, Verdict.CONP_HARD, [HAND_WITNESS]),
+    ("ternary guard",
+     ontology("forall x,y,z (T(x,y,z) -> (A(x) | exists u (S(z,u) & B(u))))"),
+     Status.DICHOTOMY, Verdict.CONP_HARD, None),
+    ("equality marker (CSP-hard shape)",
+     ontology("forall x,y (R(x,y) -> exists x (S(y,x) & x = y))"),
+     Status.CSP_HARD, None, None),
+    ("depth 2 with functions (no dichotomy shape)",
+     Ontology(
+         ontology(
+             "forall x (x = x -> (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x)))))"
+         ).sentences, functional=["R"]),
+     Status.NO_DICHOTOMY, None, None),
+]
+
+
+@pytest.mark.parametrize(
+    "name,onto,band,verdict,extra",
+    SUITE, ids=[s[0] for s in SUITE])
+def test_classifier(name, onto, band, verdict, extra):
+    result = classify_ontology(
+        onto,
+        mat_kwargs={"max_elems": 1, "max_facts": 1}
+        if extra else {"max_elems": 2, "max_facts": 2},
+        extra_instances=extra)
+    assert result.band is band, result.summary()
+    if verdict is not None:
+        assert result.verdict is verdict, result.summary()
+
+
+def test_suite_covers_all_bands():
+    bands = {entry[2] for entry in SUITE}
+    assert bands == {Status.DICHOTOMY, Status.CSP_HARD, Status.NO_DICHOTOMY}

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    onto = tmp_path / "onto.gf"
+    onto.write_text(
+        "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))\n")
+    dl = tmp_path / "onto.dl"
+    dl.write_text("Hand sub some hasFinger Thumb\n")
+    data = tmp_path / "data.facts"
+    data.write_text("Hand(h)\n# a comment\nArm(a)\n")
+    bad = tmp_path / "clash.facts"
+    bad.write_text("Hand(h)\n")
+    return {"onto": str(onto), "dl": str(dl), "data": str(data)}
+
+
+class TestClassify:
+    def test_classify_fo(self, workspace, capsys):
+        assert main(["classify", workspace["onto"]]) == 0
+        out = capsys.readouterr().out
+        assert "DICHOTOMY" in out
+        assert "PTIME" in out
+
+    def test_classify_dl(self, workspace, capsys):
+        assert main(["classify", workspace["dl"], "--dl"]) == 0
+        out = capsys.readouterr().out
+        assert "DICHOTOMY" in out
+
+    def test_classify_no_mat(self, workspace, capsys):
+        assert main(["classify", workspace["onto"], "--no-mat"]) == 0
+        out = capsys.readouterr().out
+        assert "unknown" in out
+
+
+class TestEvaluate:
+    def test_evaluate_cq(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q(x) <- hasFinger(x,y) & Thumb(y)"]) == 0
+        out = capsys.readouterr().out
+        assert "h" in out and "1 certain answer" in out
+
+    def test_evaluate_boolean(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q() <- Thumb(y)"]) == 0
+        assert "certain: True" in capsys.readouterr().out
+
+    def test_evaluate_ucq(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q(x) <- Thumb(x) ; q(x) <- Hand(x)"]) == 0
+        assert "h" in capsys.readouterr().out
+
+    def test_evaluate_sat_backend(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q() <- Thumb(y)", "--backend", "sat"]) == 0
+        assert "certain: True" in capsys.readouterr().out
+
+
+class TestConsistent:
+    def test_consistent(self, workspace, capsys):
+        assert main(["consistent", workspace["onto"], workspace["data"]]) == 0
+        assert "consistent: True" in capsys.readouterr().out
+
+    def test_inconsistent_exit_code(self, tmp_path, capsys):
+        onto = tmp_path / "o.gf"
+        onto.write_text("forall x (x = x -> (A(x) -> false))\n")
+        data = tmp_path / "d.facts"
+        data.write_text("A(a)\n")
+        assert main(["consistent", str(onto), str(data)]) == 1
+        assert "consistent: False" in capsys.readouterr().out
+
+
+class TestInfoCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "uGF(1)" in out and "NO_DICHOTOMY" in out
+
+    def test_bioportal(self, capsys):
+        assert main(["bioportal"]) == 0
+        out = capsys.readouterr().out
+        assert "405/411" in out and "385/411" in out

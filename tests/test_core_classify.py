@@ -1,0 +1,162 @@
+"""Tests for the Figure-1 map, the classifier and unravelling tolerance."""
+
+import pytest
+
+from repro.core.dichotomy import FIGURE_1, Status, classify_dl, classify_profile, entry_for
+from repro.core.classify import Verdict, classify_dl_ontology, classify_ontology
+from repro.core.tolerance import check_unravelling_tolerance, default_flavour
+from repro.dl import parse_dl_ontology
+from repro.guarded.fragments import profile_ontology
+from repro.logic.instance import make_instance
+from repro.logic.ontology import Ontology, ontology
+
+
+class TestFigure1Map:
+    def test_all_bands_present(self):
+        bands = {e.status for e in FIGURE_1}
+        assert bands == {Status.DICHOTOMY, Status.CSP_HARD, Status.NO_DICHOTOMY}
+
+    def test_entry_lookup(self):
+        assert entry_for("uGF(1)").status is Status.DICHOTOMY
+        with pytest.raises(KeyError):
+            entry_for("uGF(99)")
+
+    def test_dichotomy_fragments(self):
+        for name in ("uGF(1)", "uGF-(1,=)", "uGF2-(2)", "uGC2-(1,=)",
+                     "ALCHIF depth 2", "ALCHIQ depth 1"):
+            assert entry_for(name).status is Status.DICHOTOMY
+
+    def test_csp_hard_fragments(self):
+        for name in ("uGF2(1,=)", "uGF2(2)", "uGF2(1,f)", "ALCF_l depth 2"):
+            assert entry_for(name).status is Status.CSP_HARD
+
+    def test_no_dichotomy_fragments(self):
+        for name in ("uGF2-(2,f)", "ALCIF_l depth 2"):
+            assert entry_for(name).status is Status.NO_DICHOTOMY
+
+
+class TestProfileClassification:
+    def test_ugf1_classified(self):
+        O = ontology("forall x,y (R(x,y) -> (A(x) | exists z (S(y,z) & B(z))))")
+        entry, band = classify_profile(profile_ontology(O))
+        assert entry.name == "uGF(1)"
+        assert band is Status.DICHOTOMY
+
+    def test_csp_hard_equality(self):
+        # depth-1, two variables, equality, inner guards not equality-only
+        O = ontology("forall x (x = x -> exists y (R(x,y) & x = y))")
+        # outer guard IS equality here, so this is uGC2-/uGF- shaped; use a
+        # relational outer guard to leave the ·− fragment:
+        O2 = ontology("forall x,y (R(x,y) -> exists x (S(y,x) & x = y))")
+        entry, band = classify_profile(profile_ontology(O2))
+        assert band is Status.CSP_HARD
+
+    def test_functions_no_dichotomy_at_depth2(self):
+        O = Ontology(
+            ontology(
+                "forall x (x = x -> exists y (R(x,y) & exists x (S(y,x) & A(x))))"
+            ).sentences,
+            functional=["R"])
+        entry, band = classify_profile(profile_ontology(O))
+        assert entry.name == "uGF2-(2,f)"
+        assert band is Status.NO_DICHOTOMY
+
+    def test_functions_at_depth1_stay_dichotomy(self):
+        """Functionality alone is a uGC2-(1) counting sentence."""
+        O = Ontology(
+            ontology("forall x (x = x -> (A(x) -> exists y (R(x,y) & B(y))))").sentences,
+            functional=["R"])
+        entry, band = classify_profile(profile_ontology(O))
+        assert band is Status.DICHOTOMY
+
+    def test_non_ugf_open(self):
+        from repro.logic.syntax import Atom, Eq, Forall, Or, Var
+        x = Var("x")
+        s = Or.of(Forall((x,), Eq(x, x), Atom("A", (x,))),
+                  Forall((x,), Eq(x, x), Atom("B", (x,))))
+        entry, band = classify_profile(profile_ontology(Ontology([s])))
+        assert band is Status.OPEN
+
+
+class TestDLClassification:
+    def test_alchiq_depth1(self):
+        entry, band = classify_dl("ALCHIQ", 1)
+        assert band is Status.DICHOTOMY
+
+    def test_alchif_depth2(self):
+        entry, band = classify_dl("ALCHIF", 2)
+        assert band is Status.DICHOTOMY
+
+    def test_alcfl_depth2_csp_hard(self):
+        entry, band = classify_dl("ALCF_l", 2)
+        assert band is Status.CSP_HARD
+
+    def test_alcifl_depth2_no_dichotomy(self):
+        entry, band = classify_dl("ALCIF_l", 2)
+        assert band is Status.NO_DICHOTOMY
+
+    def test_alc_depth3_csp_hard(self):
+        entry, band = classify_dl("ALC", 3)
+        assert band is Status.CSP_HARD
+
+    def test_alchiq_depth2_open(self):
+        entry, band = classify_dl("ALCHIQ", 2)
+        assert band is Status.OPEN
+
+
+class TestEndToEndClassification:
+    def test_hand_o2_is_ptime(self):
+        O = ontology(
+            "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))",
+            name="O2")
+        c = classify_ontology(O)
+        assert c.band is Status.DICHOTOMY
+        assert c.verdict is Verdict.PTIME
+
+    def test_disjunctive_is_conp_hard(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        c = classify_ontology(O, mat_kwargs={"max_elems": 1, "max_facts": 1})
+        assert c.verdict is Verdict.CONP_HARD
+
+    def test_dl_source_improves_band(self):
+        """ALCHIF depth-2 TBoxes profile as uGF2-(2,f) (no dichotomy) but
+        classify as DICHOTOMY through the DL view."""
+        tbox = parse_dl_ontology(
+            "A sub some R (B and some S C)\nfunc(R)")
+        c = classify_dl_ontology(tbox, check_mat=False)
+        assert c.band is Status.DICHOTOMY
+
+    def test_summary_renders(self):
+        O = ontology("forall x,y (R(x,y) -> A(x))")
+        text = classify_ontology(O, check_mat=False).summary()
+        assert "fragment" in text and "band" in text
+
+
+class TestUnravellingTolerance:
+    ODD_CYCLE = ontology(
+        "forall x (x = x -> (A(x) -> (exists y (R(x,y) & A(y)) -> E(x))))\n"
+        "forall x (x = x -> (~A(x) -> (exists y (R(x,y) & ~A(y)) -> E(x))))\n"
+        "forall x,y (R(x,y) -> (E(x) -> E(y)))\n"
+        "forall x,y (R(x,y) -> (E(y) -> E(x)))",
+        name="Example6")
+
+    def test_example6_not_tolerant(self):
+        triangle = make_instance("R(a,b)", "R(b,c)", "R(c,a)")
+        ok, violations = check_unravelling_tolerance(
+            self.ODD_CYCLE, [triangle], unravel_depth=3, confirm_depth=5)
+        assert not ok
+        assert violations
+
+    def test_horn_propagation_tolerant(self):
+        O = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))")
+        triangle = make_instance("R(a,b)", "R(b,c)", "R(c,a)", "A(a)")
+        ok, violations = check_unravelling_tolerance(
+            O, [triangle], unravel_depth=3)
+        assert ok and not violations
+
+    def test_flavour_selection(self):
+        counting = ontology(
+            "forall x (x = x -> (H(x) -> exists>=2 y (R(x,y))))")
+        assert default_flavour(counting) == "uGC2"
+        plain = ontology("forall x,y (R(x,y) -> A(x))")
+        assert default_flavour(plain) == "uGF"

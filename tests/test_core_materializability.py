@@ -1,0 +1,117 @@
+"""Tests for materializability / disjunction property (Section 3)."""
+
+import pytest
+
+from repro.core.materializability import (
+    MatStatus, candidate_instances, candidate_queries,
+    check_materializability, is_horn,
+)
+from repro.logic.instance import make_instance
+from repro.logic.ontology import Ontology, ontology
+
+# The intro example, with "exactly 2" standing in for "exactly 5" to keep
+# instances small (the phenomenon is identical).
+O1_LOWER = "forall x (x = x -> (Hand(x) -> exists>=2 y (hasFinger(x,y))))"
+O1_UPPER = "forall x (x = x -> (Hand(x) -> ~(exists>=3 y (hasFinger(x,y)))))"
+O2_THUMB = "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))"
+
+HAND_WITNESS = make_instance("Hand(h)", "hasFinger(h,f1)", "hasFinger(h,f2)")
+
+
+class TestHornShortcut:
+    def test_horn_detected(self):
+        assert is_horn(ontology(O2_THUMB))
+        assert is_horn(ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))"))
+
+    def test_disjunctive_not_horn(self):
+        assert not is_horn(ontology(
+            "forall x (x = x -> (C(x) -> (A(x) | B(x))))"))
+
+    def test_unconvertible_not_horn(self):
+        assert not is_horn(ontology("\n".join([O1_LOWER, O1_UPPER])))
+
+    def test_horn_is_materializable(self):
+        report = check_materializability(ontology(O2_THUMB))
+        assert report.status is MatStatus.MATERIALIZABLE
+        assert report.materializable is True
+
+
+class TestCandidates:
+    def test_candidate_instances_cover_all_small_shapes(self):
+        sig = {"A": 1, "R": 2}
+        instances = candidate_instances(sig, max_elems=2, max_facts=1)
+        # 2 unary + 4 binary atoms = 6 singleton instances
+        assert len(instances) == 6
+
+    def test_candidate_queries_shapes(self):
+        queries = candidate_queries({"A": 1, "R": 2})
+        arities = {q.arity for q in queries}
+        assert arities == {1, 2}
+        # atomic unary, atomic binary, 2 projections, 1 R-A combination
+        assert len(queries) == 5
+
+
+class TestIntroExample:
+    """The paper's motivating O1/O2 pair (Section 1)."""
+
+    def test_o1_alone_materializable(self):
+        # Lower bound only: Horn, hence materializable.
+        assert check_materializability(
+            ontology(O1_LOWER)).status is MatStatus.MATERIALIZABLE
+
+    def test_o2_alone_materializable(self):
+        assert check_materializability(
+            ontology(O2_THUMB)).status is MatStatus.MATERIALIZABLE
+
+    def test_union_not_materializable(self):
+        union = ontology("\n".join([O1_LOWER, O1_UPPER, O2_THUMB]),
+                         name="O1+O2")
+        report = check_materializability(
+            union, max_elems=0, max_facts=0,
+            extra_instances=[HAND_WITNESS])
+        assert report.status is MatStatus.NOT_MATERIALIZABLE
+        witness = report.witness
+        assert witness is not None
+        # The witness is the Thumb(f1) v Thumb(f2) disjunction.
+        preds = {atom.pred for q, _ in witness.disjuncts for atom in q.atoms}
+        assert preds == {"Thumb"}
+
+
+class TestDisjunctionProperty:
+    def test_simple_disjunctive_ontology_not_materializable(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        report = check_materializability(O, max_elems=1, max_facts=1)
+        assert report.status is MatStatus.NOT_MATERIALIZABLE
+
+    def test_omat_ptime_not_ugf_but_search_is_syntax_agnostic(self):
+        """Example 1's O_Mat/PTime = forall x A(x) | forall x B(x) is not
+        materializable (but also not uGF; Theorem 3 does not apply)."""
+        from repro.logic.syntax import Atom, Eq, Forall, Or, Var
+        x = Var("x")
+        sentence = Or.of(
+            Forall((x,), Eq(x, x), Atom("A", (x,))),
+            Forall((x,), Eq(x, x), Atom("B", (x,))),
+        )
+        O = Ontology([sentence], name="OMat/PTime")
+        # the witness is D = {A(w0), B(w1)}: A(w1) v B(w0) is certain
+        report = check_materializability(O, max_elems=2, max_facts=2)
+        assert report.status is MatStatus.NOT_MATERIALIZABLE
+
+    def test_example6_needs_three_disjuncts(self):
+        """The Example-6 (odd cycle) ontology fails the disjunction property
+        on a single edge, but only with three disjuncts."""
+        O = ontology(
+            "forall x (x = x -> (A(x) -> (exists y (R(x,y) & A(y)) -> E(x))))\n"
+            "forall x (x = x -> (~A(x) -> (exists y (R(x,y) & ~A(y)) -> E(x))))\n"
+            "forall x,y (R(x,y) -> (E(x) -> E(y)))\n"
+            "forall x,y (R(x,y) -> (E(y) -> E(x)))",
+            name="Ex6")
+        edge = make_instance("R(a,b)")
+        two = check_materializability(
+            O, max_elems=0, max_facts=0, max_disjuncts=2,
+            extra_instances=[edge])
+        assert two.status is MatStatus.MATERIALIZABLE_UP_TO_BOUND
+        three = check_materializability(
+            O, max_elems=0, max_facts=0, max_disjuncts=3,
+            extra_instances=[edge])
+        assert three.status is MatStatus.NOT_MATERIALIZABLE

@@ -1,0 +1,68 @@
+"""Tests for hom-universal models (Lemma 2)."""
+
+from repro.core.universal import (
+    find_hom_universal_model, is_hom_universal,
+    materialization_equals_universality, model_query,
+)
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Atom, Const
+from repro.semantics.certain import CertainEngine
+
+HAND = ontology(
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))",
+    name="O2")
+
+
+class TestModelQuery:
+    def test_preserved_elements_become_answer_vars(self):
+        model = make_instance("Hand(h)", "hasFinger(h,n)")
+        query, answer = model_query(model, [Const("h")])
+        assert query.arity == 1
+        assert answer == (Const("h"),)
+
+    def test_all_preserved(self):
+        model = make_instance("R(a,b)")
+        query, answer = model_query(model, [Const("a"), Const("b")])
+        assert query.arity == 2
+
+
+class TestHomUniversal:
+    def test_chase_model_is_hom_universal(self):
+        D = make_instance("Hand(h)")
+        report = find_hom_universal_model(HAND, D)
+        assert report.model is not None and report.complete
+        assert is_hom_universal(HAND, D, report.model)
+
+    def test_fat_model_is_not_hom_universal(self):
+        """Adding unforced facts destroys universality."""
+        D = make_instance("Hand(h)")
+        report = find_hom_universal_model(HAND, D)
+        fat = report.model.copy()
+        fat.add(Atom("Broken", (Const("h"),)))
+        assert not is_hom_universal(HAND, D, fat)
+
+    def test_non_model_rejected(self):
+        D = make_instance("Hand(h)")
+        assert not is_hom_universal(HAND, D, D)  # misses the thumb witness
+
+    def test_disjunctive_has_no_single_universal_model(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        report = find_hom_universal_model(O, make_instance("C(c)"))
+        assert report.model is None
+
+    def test_lemma2_equivalence_on_instances(self):
+        instances = [
+            make_instance("Hand(h)"),
+            make_instance("Hand(h)", "hasFinger(h,f)"),
+            make_instance("Hand(h)", "Hand(g)"),
+        ]
+        assert materialization_equals_universality(HAND, instances)
+
+    def test_propagation_universal_model(self):
+        O = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))")
+        D = make_instance("A(a)", "R(a,b)")
+        report = find_hom_universal_model(O, D)
+        assert report.model is not None
+        assert (Const("b"),) in report.model.tuples("A")
+        assert is_hom_universal(O, D, report.model)

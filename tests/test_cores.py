@@ -1,0 +1,76 @@
+"""Tests for cores and retracts."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic.cores import core, hom_equivalent, is_core, retracts_onto
+from repro.logic.homomorphism import has_homomorphism
+from repro.logic.instance import Interpretation, make_instance
+from repro.logic.syntax import Atom, Const
+
+a, b, c = Const("a"), Const("b"), Const("c")
+
+
+class TestCore:
+    def test_loop_is_core_of_even_cycle(self):
+        square = make_instance("E(p,q)", "E(q,r)", "E(r,s)", "E(s,p)",
+                               "E(q,p)", "E(r,q)", "E(s,r)", "E(p,s)")
+        loopy = square.copy()
+        loopy.add(Atom("E", (a, b)))
+        loopy.add(Atom("E", (b, a)))
+        result = core(loopy)
+        # the symmetric edge {a,b} absorbs the whole even cycle
+        assert len(result.dom()) == 2
+
+    def test_triangle_is_its_own_core(self):
+        triangle = make_instance("E(x,y)", "E(y,z)", "E(z,x)")
+        assert is_core(triangle)
+        assert core(triangle) == triangle
+
+    def test_core_is_hom_equivalent(self):
+        path = make_instance("E(a,b)", "E(b,c)", "E(b,a)", "E(c,b)")
+        reduced = core(path)
+        assert hom_equivalent(path, reduced)
+        assert is_core(reduced)
+
+    def test_preserve_pins_constants(self):
+        # two parallel witnesses; preserving a keeps a in the core
+        D = make_instance("R(a,b)", "R(a,c)")
+        reduced = core(D, preserve=[a])
+        assert a in reduced.dom()
+        assert len(reduced.dom()) == 2  # b and c fold together
+
+    def test_preserved_elements_not_folded(self):
+        D = make_instance("R(a,b)", "R(a,c)")
+        reduced = core(D, preserve=[a, b, c])
+        assert reduced == D
+
+    def test_retracts_onto(self):
+        D = make_instance("R(a,b)", "R(a,c)")
+        retraction = retracts_onto(
+            D, frozenset([a, b]), frozenset([a]))
+        assert retraction is not None
+        assert retraction[c] == b
+
+    def test_retract_requires_preserve_subset(self):
+        D = make_instance("R(a,b)")
+        assert retracts_onto(D, frozenset([b]), frozenset([a])) is None
+
+
+class TestCoreProperties:
+    elements = st.sampled_from([Const(f"e{i}") for i in range(4)])
+    facts = st.builds(lambda x, y: Atom("E", (x, y)), elements, elements)
+    instances = st.lists(facts, min_size=1, max_size=6).map(Interpretation)
+
+    @given(instances)
+    @settings(max_examples=30, deadline=None)
+    def test_core_is_hom_equivalent_and_minimal(self, interp):
+        reduced = core(interp)
+        assert hom_equivalent(interp, reduced)
+        assert is_core(reduced)
+
+    @given(instances)
+    @settings(max_examples=30, deadline=None)
+    def test_core_idempotent(self, interp):
+        once = core(interp)
+        assert core(once) == once

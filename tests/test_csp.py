@@ -1,0 +1,152 @@
+"""Tests for the CSP substrate and the Theorem-8 encodings."""
+
+import pytest
+
+from repro.csp import (
+    CSPEncoding, Template, clique_template, encode_template, is_homomorphic,
+    marker_relation, path_template, random_graph_instance, solve,
+)
+from repro.guarded.fragments import fragment_name, profile_ontology
+from repro.logic.instance import make_instance
+from repro.logic.syntax import Const
+from repro.semantics.modelsearch import certain_answer
+
+
+K2 = clique_template(2).with_precoloring()
+K3 = clique_template(3).with_precoloring()
+
+PATH3 = random_graph_instance(3, [(0, 1), (1, 2)])
+TRIANGLE = random_graph_instance(3, [(0, 1), (1, 2), (2, 0)])
+SQUARE = random_graph_instance(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestTemplates:
+    def test_clique_size(self):
+        assert len(clique_template(3).dom()) == 3
+        assert len(clique_template(3).interp.tuples("E")) == 6
+
+    def test_precoloring_closure(self):
+        t = clique_template(2)
+        assert not t.admits_precoloring()
+        assert t.with_precoloring().admits_precoloring()
+        # idempotent
+        tp = t.with_precoloring()
+        assert tp.with_precoloring() is tp
+
+    def test_arity_bound_enforced(self):
+        with pytest.raises(ValueError):
+            Template(make_instance("T(a,b,c)"))
+
+
+class TestSolver:
+    def test_two_coloring(self):
+        assert is_homomorphic(PATH3, K2)
+        assert is_homomorphic(SQUARE, K2)
+        assert not is_homomorphic(TRIANGLE, K2)
+
+    def test_three_coloring(self):
+        assert is_homomorphic(TRIANGLE, K3)
+
+    def test_solution_is_homomorphism(self):
+        hom = solve(SQUARE, K2)
+        assert hom is not None
+        for (a, b) in SQUARE.tuples("E"):
+            assert (hom[a], hom[b]) in K2.interp.tuples("E")
+
+    def test_unknown_relation_fails(self):
+        D = make_instance("F(u,v)")
+        assert not is_homomorphic(D, K2)
+
+    def test_precoloring_constrains(self):
+        k0 = Const("k0")
+        D = make_instance("E(u,v)", "P_k0(u)", "P_k0(v)")
+        assert not is_homomorphic(D, K2)
+        D2 = make_instance("E(u,v)", "P_k0(u)", "P_k1(v)")
+        assert is_homomorphic(D2, K2)
+
+    def test_ac3_agrees_with_plain_backtracking(self):
+        for instance in (PATH3, TRIANGLE, SQUARE):
+            assert (solve(instance, K2, use_ac3=True) is None) == \
+                (solve(instance, K2, use_ac3=False) is None)
+
+
+class TestEncodingShape:
+    def test_eq_style_fragment(self):
+        enc = encode_template(K2, style="eq")
+        profile = profile_ontology(enc.ontology)
+        assert profile.two_variable
+        assert profile.depth == 1
+        assert profile.equality
+        assert not profile.counting
+        assert fragment_name(enc.ontology) == "uGF2(1,=)"
+
+    def test_counting_style_fragment(self):
+        enc = encode_template(K2, style="counting")
+        profile = profile_ontology(enc.ontology)
+        assert profile.counting
+        assert profile.depth == 1
+
+    def test_functional_style_declares_function(self):
+        enc = encode_template(K2, style="functional")
+        assert enc.ontology.functional == {"F"}
+
+    def test_marker_relations_per_element(self):
+        enc = encode_template(K2, style="eq")
+        sig = enc.ontology.sig()
+        for elem in K2.dom():
+            assert marker_relation(elem) in sig
+
+
+@pytest.mark.parametrize("style", ["eq", "counting", "functional"])
+class TestTheorem8Equivalence:
+    """coCSP(A) <=> OMQ evaluation, on concrete instances (Theorem 8)."""
+
+    def check(self, enc: CSPEncoding, instance, extra=2):
+        expected = not is_homomorphic(instance, enc.template)
+        omq_input = enc.omq_instance(instance)
+        got = certain_answer(
+            enc.ontology, omq_input, enc.query, (), extra=extra).holds
+        assert got == expected
+
+    def test_path(self, style):
+        self.check(encode_template(K2, style=style), PATH3)
+
+    def test_triangle(self, style):
+        self.check(encode_template(K2, style=style), TRIANGLE)
+
+    def test_precolor_conflict(self, style):
+        enc = encode_template(K2, style=style)
+        D = make_instance("E(u,v)", "E(v,u)", "P_k0(u)", "P_k0(v)")
+        self.check(enc, D)
+
+    def test_precolor_ok(self, style):
+        enc = encode_template(K2, style=style)
+        D = make_instance("E(u,v)", "E(v,u)", "P_k0(u)", "P_k1(v)")
+        self.check(enc, D)
+
+
+class TestConsistencyReduction:
+    def test_consistency_reduct_reads_markers(self):
+        enc = encode_template(K2, style="eq")
+        k0 = sorted(K2.dom(), key=repr)[0]
+        rel = marker_relation(k0)
+        D = make_instance("E(u,v)", f"{rel}(u,w)")
+        reduct = enc.consistency_reduct(D)
+        pred = enc.template.precolor_pred(k0)
+        assert (Const("u"),) in reduct.tuples(pred)
+
+    def test_reduct_ignores_loops(self):
+        enc = encode_template(K2, style="eq")
+        k0 = sorted(K2.dom(), key=repr)[0]
+        rel = marker_relation(k0)
+        D = make_instance(f"{rel}(u,u)")
+        reduct = enc.consistency_reduct(D)
+        pred = enc.template.precolor_pred(k0)
+        assert not reduct.tuples(pred)
+
+    def test_three_coloring_round_trip(self):
+        enc = encode_template(K3, style="eq")
+        # the triangle is 3-colorable: query must not be certain
+        omq_input = enc.omq_instance(TRIANGLE)
+        assert not certain_answer(
+            enc.ontology, omq_input, enc.query, (), extra=3).holds

@@ -1,0 +1,105 @@
+"""Tests for the Datalog(≠) substrate."""
+
+import pytest
+
+from repro.datalog import (
+    Neq, Program, Rule, entails_goal, evaluate, goal_answers, parse_program,
+    parse_rule,
+)
+from repro.logic.instance import make_instance
+from repro.logic.syntax import Atom, Const, Var
+
+a, b, c, d = Const("a"), Const("b"), Const("c"), Const("d")
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestProgramConstruction:
+    def test_parse_rule(self):
+        rule = parse_rule("T(x,z) <- R(x,y) & T(y,z)")
+        assert rule.head.pred == "T"
+        assert len(rule.body) == 2
+
+    def test_parse_rule_with_inequality(self):
+        rule = parse_rule("P(x) <- R(x,y) & x != y")
+        assert rule.uses_inequality()
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("P", (x,)), [Atom("R", (y, z))])
+
+    def test_unbound_inequality_rejected(self):
+        with pytest.raises(ValueError):
+            Rule(Atom("P", (x,)), [Atom("R", (x, x)), Neq(x, y)])
+
+    def test_goal_not_in_bodies(self):
+        with pytest.raises(ValueError):
+            Program([parse_rule("goal(x) <- A(x)"),
+                     parse_rule("B(x) <- goal(x)")])
+
+    def test_pure_datalog_detection(self):
+        p1 = parse_program("goal(x) <- A(x)")
+        assert p1.is_pure_datalog()
+        p2 = parse_program("goal(x) <- R(x,y) & x != y")
+        assert not p2.is_pure_datalog()
+
+    def test_constants_in_rules(self):
+        rule = parse_rule("P(x) <- R(x, $a)")
+        assert Const("a") in rule.body[0].args
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        program = parse_program(
+            "T(x,y) <- R(x,y)\n"
+            "T(x,z) <- R(x,y) & T(y,z)\n"
+            "goal(x,y) <- T(x,y)")
+        D = make_instance("R(a,b)", "R(b,c)", "R(c,d)")
+        answers = goal_answers(program, D)
+        assert (a, d) in answers
+        assert len(answers) == 6
+
+    def test_naive_and_semi_naive_agree(self):
+        program = parse_program(
+            "T(x,y) <- R(x,y)\n"
+            "T(x,z) <- T(x,y) & T(y,z)\n"
+            "goal(x,y) <- T(x,y)")
+        D = make_instance("R(a,b)", "R(b,c)", "R(c,a)")
+        assert goal_answers(program, D, semi_naive=True) == \
+            goal_answers(program, D, semi_naive=False)
+
+    def test_inequality_semantics(self):
+        program = parse_program("goal(x) <- R(x,y) & x != y")
+        D = make_instance("R(a,a)", "R(b,c)")
+        assert goal_answers(program, D) == {(b,)}
+
+    def test_entails_goal(self):
+        program = parse_program("goal(x) <- A(x)")
+        D = make_instance("A(a)", "B(b)")
+        assert entails_goal(program, D, (a,))
+        assert not entails_goal(program, D, (b,))
+
+    def test_boolean_goal(self):
+        program = parse_program("goal() <- A(x) & B(x)")
+        assert entails_goal(program, make_instance("A(a)", "B(a)"))
+        assert not entails_goal(program, make_instance("A(a)", "B(b)"))
+
+    def test_evaluate_keeps_edb(self):
+        program = parse_program("P(x) <- A(x)")
+        fixpoint = evaluate(program, make_instance("A(a)"))
+        assert Atom("A", (a,)) in fixpoint
+        assert Atom("P", (a,)) in fixpoint
+
+    def test_no_rules(self):
+        program = Program([])
+        assert goal_answers(program, make_instance("A(a)")) == set()
+
+    def test_same_generation_style(self):
+        # derived predicate feeding another derived predicate
+        program = parse_program(
+            "Even(x) <- Zero(x)\n"
+            "Odd(y) <- Even(x) & S(x,y)\n"
+            "Even(y) <- Odd(x) & S(x,y)\n"
+            "goal(x) <- Even(x)")
+        D = make_instance("Zero(n0)", "S(n0,n1)", "S(n1,n2)", "S(n2,n3)")
+        answers = goal_answers(program, D)
+        assert answers == {(Const("n0"),), (Const("n2"),)}

@@ -1,0 +1,147 @@
+"""Tests for the Theorem-13 decision procedure and the Example-8 family."""
+
+import pytest
+
+from repro.decision import (
+    build_bouquet, counter_chain, decide_ptime_ontology, enumerate_bouquets,
+    example8_ontology, find_one_materialization, neighbour_types, r_chain,
+)
+from repro.decision.alchiq import bouquet_query, is_exact_neighbourhood_realizable
+from repro.decision.bouquets import ROOT, NeighbourType
+from repro.dl import dl_to_ontology, parse_dl_ontology
+from repro.logic.instance import make_instance
+from repro.logic.syntax import Const
+from repro.semantics.certain import CertainEngine
+
+HAND_DL = parse_dl_ontology("Hand sub some hasFinger Thumb")
+HAND = dl_to_ontology(HAND_DL)
+
+UNION_DL = parse_dl_ontology(
+    "Hand sub == 2 hasFinger top\nHand sub some hasFinger Thumb")
+UNION = dl_to_ontology(UNION_DL)
+
+
+class TestBouquetEnumeration:
+    def test_neighbour_types(self):
+        types = neighbour_types({"A": 1, "R": 2})
+        # (out, in) in {0,1}^2 minus (0,0) = 3 edge patterns x 2 label sets
+        assert len(types) == 6
+
+    def test_build_bouquet_shape(self):
+        petal = NeighbourType(frozenset(["R"]), frozenset(), frozenset(["A"]))
+        bouquet = build_bouquet(frozenset(["B"]), (petal,))
+        assert len(bouquet) == 3
+        assert ROOT in bouquet.dom()
+
+    def test_enumeration_is_irreflexive(self):
+        from repro.guarded.decomposition import is_irreflexive
+        for bouquet, root in enumerate_bouquets({"A": 1, "R": 2}, 1):
+            assert is_irreflexive(bouquet)
+
+    def test_enumeration_count_grows_with_outdegree(self):
+        sig = {"A": 1, "R": 2}
+        n1 = sum(1 for _ in enumerate_bouquets(sig, 1))
+        n2 = sum(1 for _ in enumerate_bouquets(sig, 2))
+        assert n2 > n1
+
+
+class TestOneMaterialization:
+    def test_hand_bouquet_has_one_materialization(self):
+        bouquet = make_instance("Hand(root)")
+        from repro.logic.syntax import Const
+        report = find_one_materialization(HAND, bouquet, Const("root"))
+        assert report.found is not None
+        # the 1-materialization contains the thumb witness
+        assert "Thumb" in report.found.sig()
+
+    def test_incoming_hand_bouquet(self):
+        """The thumb of a petal hand lives at depth 2: the bouquet itself
+        is its own 1-materialization."""
+        bouquet = make_instance(
+            "Hand(n1)", "Thumb(n1)", "hasFinger(n0,root)", "hasFinger(n1,root)")
+        report = find_one_materialization(HAND, bouquet, Const("root"))
+        assert report.found is not None
+
+    def test_union_two_finger_hand_has_none(self):
+        bouquet = make_instance(
+            "Hand(root)", "hasFinger(root,n0)", "hasFinger(root,n1)")
+        report = find_one_materialization(UNION, bouquet, Const("root"))
+        assert report.found is None
+
+    def test_exact_neighbourhood_realizability(self):
+        cand = make_instance("Hand(root)", "hasFinger(root,o0)", "Thumb(o0)")
+        assert is_exact_neighbourhood_realizable(HAND, cand, Const("root"))
+        # a hand with no finger at all cannot be an exact neighbourhood
+        bare = make_instance("Hand(root)")
+        assert not is_exact_neighbourhood_realizable(HAND, bare, Const("root"))
+
+    def test_bouquet_query_preserves_base_elements(self):
+        cand = make_instance("Hand(root)", "hasFinger(root,o0)", "Thumb(o0)")
+        query, answer = bouquet_query(cand, [Const("root")])
+        assert query.arity == 1
+        assert answer == (Const("root"),)
+
+
+class TestDecisionProcedure:
+    """Theorem 13 end-to-end (restricted outdegree to keep tests fast)."""
+
+    def test_hand_is_ptime(self):
+        decision = decide_ptime_ontology(HAND, max_outdegree=1)
+        assert decision.ptime
+
+    def test_union_is_conp_hard(self):
+        decision = decide_ptime_ontology(UNION, max_outdegree=2)
+        assert not decision.ptime
+        assert decision.failing_bouquet is not None
+
+    def test_depth_bound_enforced(self):
+        from repro.decision import decide_ptime_alchiq
+        deep = parse_dl_ontology("A sub some R (some S B)")
+        with pytest.raises(ValueError):
+            decide_ptime_alchiq(deep)
+
+
+class TestExample8:
+    def test_ontology_shape(self):
+        tbox = example8_ontology(1)
+        assert tbox.depth() <= 2
+        assert tbox.dl_name().startswith("ALC")
+
+    def test_counter_chain_length(self):
+        chain = counter_chain(1)
+        assert len(chain.tuples("R")) == 2 ** 1 - 1
+        chain2 = counter_chain(2)
+        assert len(chain2.tuples("R")) == 2 ** 2 - 1
+
+    def test_r_chain(self):
+        assert len(r_chain(3).tuples("R")) == 3
+
+    def test_counter_values_preset(self):
+        chain = counter_chain(2)
+        # the chain start carries the zero counter (all Xb_i)
+        start = Const("c0")
+        assert (start,) in chain.tuples("Xb1")
+        assert (start,) in chain.tuples("Xb2")
+        # the chain end carries the full counter (all X_i)
+        end = Const("c3")
+        assert (end,) in chain.tuples("X1")
+        assert (end,) in chain.tuples("X2")
+
+    def test_disjunction_reaches_full_counter_n1(self):
+        """On the 2^1-chain with preset counter, B1 v B2 becomes certain at
+        the full-counter element while neither disjunct is (the Example-8
+        non-materializability witness)."""
+        from repro.core.materializability import certain_disjunction
+        from repro.queries.cq import parse_cq
+        from repro.semantics.modelsearch import query_formula
+
+        onto = dl_to_ontology(example8_ontology(1))
+        chain = counter_chain(1)
+        engine = CertainEngine(onto, backend="sat", sat_extra=2)
+        target = Const("c0")
+        q1 = parse_cq("q(x) <- B1(x)")
+        q2 = parse_cq("q(x) <- B2(x)")
+        assert not engine.entails(chain, q1, (target,))
+        assert not engine.entails(chain, q2, (target,))
+        disj = [query_formula(q1, (target,)), query_formula(q2, (target,))]
+        assert certain_disjunction(onto, chain, disj, engine, sat_extra=2)

@@ -1,0 +1,83 @@
+"""Tests for Example 7 and the uGC−2(1,=) decision variant."""
+
+import pytest
+
+from repro.core.materializability import MatStatus, check_materializability
+from repro.decision.ugc2 import decide_ptime_ugc2, reflexive_bouquets
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.queries.cq import UCQ, parse_cq
+from repro.semantics.modelsearch import certain_answer
+
+# Example 7: 1-materializations exist for every bouquet, but the ontology
+# is not materializable — the witness hides on a reflexive loop.
+EXAMPLE7 = ontology(
+    "forall x (x = x -> (S(x,x) -> (R(x,x) -> "
+    "(exists y (R(x,y) & x != y) | exists y (S(x,y) & x != y)))))\n"
+    "forall x (x = x -> (exists y (R(y,x) & x != y) -> exists y (RP(x,y))))\n"
+    "forall x (x = x -> (exists y (S(y,x) & x != y) -> exists y (SP(x,y))))",
+    name="Example7")
+
+LOOP = make_instance("S(a,a)", "R(a,a)")
+
+
+class TestExample7Semantics:
+    def test_union_certain_but_no_disjunct(self):
+        qr = parse_cq("q() <- RP(x,y)")
+        qs = parse_cq("q() <- SP(x,y)")
+        union = UCQ((qr, qs))
+        assert certain_answer(EXAMPLE7, LOOP, union, (), extra=3).holds
+        assert not certain_answer(EXAMPLE7, LOOP, qr, (), extra=3).holds
+        assert not certain_answer(EXAMPLE7, LOOP, qs, (), extra=3).holds
+
+    def test_not_materializable_with_boolean_queries(self):
+        report = check_materializability(
+            EXAMPLE7, max_elems=0, max_facts=0,
+            extra_instances=[LOOP], include_boolean=True)
+        assert report.status is MatStatus.NOT_MATERIALIZABLE
+
+    def test_missed_without_boolean_queries(self):
+        """The witness disjuncts are Boolean: the answer-variable-only
+        query pool cannot express them (why Example 7 defeats the
+        1-materialization approach)."""
+        report = check_materializability(
+            EXAMPLE7, max_elems=0, max_facts=0,
+            extra_instances=[LOOP], include_boolean=False)
+        assert report.status is MatStatus.MATERIALIZABLE_UP_TO_BOUND
+
+    def test_irreflexive_loop_variant_consistent(self):
+        # without both loops the trigger never fires
+        half = make_instance("S(a,a)")
+        qr = parse_cq("q() <- RP(x,y)")
+        qs = parse_cq("q() <- SP(x,y)")
+        union = UCQ((qr, qs))
+        assert not certain_answer(EXAMPLE7, half, union, (), extra=3).holds
+
+
+class TestReflexiveBouquets:
+    def test_loops_enumerated(self):
+        bouquets = list(reflexive_bouquets({"R": 2, "S": 2}))
+        shapes = {frozenset(b.sig()) for b, _ in bouquets}
+        assert frozenset(["R", "S"]) in shapes
+
+    def test_labels_included(self):
+        bouquets = list(reflexive_bouquets({"A": 1, "R": 2}))
+        assert any("A" in b.sig() for b, _ in bouquets)
+
+
+class TestUGC2Decision:
+    def test_example7_detected_conp_hard(self):
+        decision = decide_ptime_ugc2(
+            EXAMPLE7, max_outdegree=0,
+            relevant_relations=["R", "S"])
+        assert not decision.ptime
+        failing = decision.failing_bouquet
+        assert failing is not None
+        assert ("R" in failing.sig()) and ("S" in failing.sig())
+
+    def test_harmless_counting_ontology_ptime(self):
+        O = ontology(
+            "forall x (x = x -> (H(x) -> exists>=2 y (F(x,y))))",
+            name="harmless")
+        decision = decide_ptime_ugc2(O, max_outdegree=1)
+        assert decision.ptime

@@ -1,0 +1,148 @@
+"""Tests for the description logic layer."""
+
+import pytest
+
+from repro.dl import (
+    AtomicC, ConceptInclusion, DLOntology, ExistsC, Functionality, Role,
+    TopC, concept_depth, dl_to_ontology, local_functionality, parse_axiom,
+    parse_concept, parse_dl_ontology, translate_concept,
+)
+from repro.dl.parser import DLParseError
+from repro.guarded.fragments import fragment_name, sentence_depth
+from repro.logic.instance import make_instance
+from repro.logic.model_check import evaluate
+from repro.logic.syntax import Const, Var
+
+
+class TestConceptParser:
+    def test_atomic(self):
+        assert parse_concept("Hand") == AtomicC("Hand")
+
+    def test_quantifiers(self):
+        c = parse_concept("some hasFinger Thumb")
+        assert isinstance(c, ExistsC)
+        assert c.role == Role("hasFinger")
+
+    def test_inverse_role(self):
+        c = parse_concept("some hasFinger- Hand")
+        assert c.role.inverse
+
+    def test_precedence_not_and_or(self):
+        c = parse_concept("not A and B or C")
+        # ((not A) and B) or C
+        assert c.__class__.__name__ == "OrC"
+
+    def test_number_restrictions(self):
+        c = parse_concept(">= 5 hasFinger top")
+        assert c.n == 5
+
+    def test_parentheses(self):
+        c = parse_concept("some R (A and B)")
+        assert c.filler.__class__.__name__ == "AndC"
+
+    def test_malformed(self):
+        with pytest.raises(DLParseError):
+            parse_concept("some")
+
+    def test_axiom_forms(self):
+        assert len(parse_axiom("A sub B")) == 1
+        assert len(parse_axiom("A equiv B")) == 2
+        assert isinstance(parse_axiom("func(R-)")[0], Functionality)
+        assert parse_axiom("R subr S")[0].__class__.__name__ == "RoleInclusion"
+
+
+class TestDepthAndFeatures:
+    def test_concept_depth(self):
+        assert concept_depth(parse_concept("A")) == 0
+        assert concept_depth(parse_concept("some R A")) == 1
+        assert concept_depth(parse_concept("some R (only S A)")) == 2
+
+    def test_tbox_depth(self):
+        tbox = parse_dl_ontology("A sub some R (some S B)\nC sub D")
+        assert tbox.depth() == 2
+
+    def test_feature_detection(self):
+        tbox = parse_dl_ontology(
+            "A sub some R- B\nR subr S\nfunc(R)\nA sub >= 2 R B")
+        feats = tbox.features()
+        assert feats == {"I", "H", "F", "Q"}
+
+    def test_local_functionality_feature(self):
+        tbox = parse_dl_ontology("A sub <= 1 R top")
+        assert tbox.features() == {"Fl"}
+        assert "F_l" in tbox.dl_name()
+
+    def test_dl_name(self):
+        assert parse_dl_ontology("A sub B").dl_name() == "ALC"
+        assert parse_dl_ontology("A sub >= 2 R B\nR subr S").dl_name() == "ALCHQ"
+
+    def test_signature(self):
+        tbox = parse_dl_ontology("A sub some R B")
+        concepts, roles = tbox.signature()
+        assert concepts == {"A", "B"} and roles == {"R"}
+
+
+class TestTranslation:
+    def test_exists_semantics(self):
+        phi = translate_concept(parse_concept("some R A"))
+        D = make_instance("R(a,b)", "A(b)")
+        assert evaluate(phi, D, {Var("x"): Const("a")})
+        assert not evaluate(phi, D, {Var("x"): Const("b")})
+
+    def test_forall_semantics(self):
+        phi = translate_concept(parse_concept("only R A"))
+        assert evaluate(phi, make_instance("R(a,b)", "A(b)"), {Var("x"): Const("a")})
+        assert not evaluate(phi, make_instance("R(a,b)"), {Var("x"): Const("a")})
+
+    def test_inverse_role_semantics(self):
+        phi = translate_concept(parse_concept("some R- A"))
+        D = make_instance("R(b,a)", "A(b)")
+        assert evaluate(phi, D, {Var("x"): Const("a")})
+
+    def test_counting_semantics(self):
+        phi = translate_concept(parse_concept(">= 2 R top"))
+        assert evaluate(phi, make_instance("R(a,b)", "R(a,c)"), {Var("x"): Const("a")})
+        assert not evaluate(phi, make_instance("R(a,b)"), {Var("x"): Const("a")})
+
+    def test_atmost_semantics(self):
+        phi = translate_concept(parse_concept("<= 1 R top"))
+        assert evaluate(phi, make_instance("R(a,b)", "Z(c)"), {Var("x"): Const("a")})
+        assert not evaluate(phi, make_instance("R(a,b)", "R(a,c)"), {Var("x"): Const("a")})
+
+    def test_exactly_semantics(self):
+        phi = translate_concept(parse_concept("== 2 R top"))
+        assert evaluate(phi, make_instance("R(a,b)", "R(a,c)"), {Var("x"): Const("a")})
+        assert not evaluate(phi, make_instance("R(a,b)", "R(a,c)", "R(a,d)"),
+                            {Var("x"): Const("a")})
+
+    def test_lemma7_alchiq_depth1(self):
+        tbox = parse_dl_ontology(
+            "Hand sub == 5 hasFinger top\nhasFinger subr hasPart")
+        onto = dl_to_ontology(tbox)
+        assert fragment_name(onto) == "uGC2-(1)"
+
+    def test_lemma7_alchi_depth2(self):
+        tbox = parse_dl_ontology("A sub some R (B and some S C)")
+        onto = dl_to_ontology(tbox)
+        assert fragment_name(onto) == "uGF2-(2)"
+
+    def test_functionality_becomes_declaration(self):
+        tbox = parse_dl_ontology("func(R)\nfunc(S-)")
+        onto = dl_to_ontology(tbox)
+        assert onto.functional == {"R"}
+        assert onto.inverse_functional == {"S"}
+
+    def test_inverse_functionality_axiom_semantics(self):
+        tbox = parse_dl_ontology("func(S-)")
+        onto = dl_to_ontology(tbox)
+        axioms = onto.functionality_sentences()
+        bad = make_instance("S(a,c)", "S(b,c)")
+        good = make_instance("S(a,c)", "S(a,d)")
+        from repro.logic.model_check import satisfies_all
+        assert not satisfies_all(bad, axioms)
+        assert satisfies_all(good, axioms)
+
+    def test_translated_depth_matches(self):
+        tbox = parse_dl_ontology("A sub some R (some S B)")
+        onto = dl_to_ontology(tbox)
+        assert max(sentence_depth(s) for s in onto.sentences) == tbox.depth()

@@ -1,0 +1,112 @@
+"""Round-trip tests for the DL renderer and corpus serialization."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bioportal import (
+    CorpusSpec, generate_corpus, load_corpus, save_corpus,
+)
+from repro.dl import (
+    AtLeastC, AtMostC, AtomicC, ConceptInclusion, DLOntology, ExistsC,
+    ForallC, Functionality, NotC, OrC, AndC, Role, RoleInclusion, TopC,
+    parse_concept, parse_dl_ontology, render_concept, render_ontology,
+)
+
+
+class TestRenderConcept:
+    def test_atomic(self):
+        assert render_concept(AtomicC("Hand")) == "Hand"
+
+    def test_quantifier(self):
+        c = ExistsC(Role("R"), AtomicC("A"))
+        assert render_concept(c) == "some R A"
+
+    def test_inverse_role(self):
+        c = ExistsC(Role("R", inverse=True), TopC())
+        assert render_concept(c) == "some R- top"
+
+    def test_nested_parentheses(self):
+        c = ExistsC(Role("R"), AndC((AtomicC("A"), AtomicC("B"))))
+        text = render_concept(c)
+        assert parse_concept(text) == c
+
+    def test_counting(self):
+        c = AtLeastC(3, Role("R"), AtomicC("A"))
+        assert parse_concept(render_concept(c)) == c
+
+
+# -- property-based round trip ------------------------------------------------
+
+atomic = st.sampled_from([AtomicC(n) for n in ("A", "B", "C")]) | \
+    st.just(TopC())
+roles = st.builds(Role, st.sampled_from(["r", "s"]), st.booleans())
+
+
+@st.composite
+def concepts(draw, depth=2):
+    if depth == 0:
+        return draw(atomic)
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return draw(atomic)
+    if kind == 1:
+        return NotC(draw(concepts(depth=depth - 1)))
+    if kind == 2:
+        return AndC((draw(concepts(depth=depth - 1)),
+                     draw(concepts(depth=depth - 1))))
+    if kind == 3:
+        return OrC((draw(concepts(depth=depth - 1)),
+                    draw(concepts(depth=depth - 1))))
+    if kind == 4:
+        return ExistsC(draw(roles), draw(concepts(depth=depth - 1)))
+    return ForallC(draw(roles), draw(concepts(depth=depth - 1)))
+
+
+class TestRoundTrip:
+    @given(concepts())
+    @settings(max_examples=80, deadline=None)
+    def test_concept_round_trip(self, concept):
+        assert parse_concept(render_concept(concept)) == concept
+
+    def test_ontology_round_trip(self):
+        tbox = DLOntology([
+            ConceptInclusion(AtomicC("A"), ExistsC(Role("R"), AtomicC("B"))),
+            ConceptInclusion(TopC(), AtMostC(1, Role("R"), TopC())),
+            RoleInclusion(Role("R"), Role("S")),
+            Functionality(Role("F", inverse=True)),
+        ], name="demo")
+        parsed = parse_dl_ontology(render_ontology(tbox), name="demo")
+        assert parsed.axioms == tbox.axioms
+
+    def test_generated_corpus_round_trips(self):
+        spec = CorpusSpec(total=6, alchiq_depth1=4,
+                          alchif_depth2_extra=1, deep=1, seed=11)
+        for entry in generate_corpus(spec):
+            parsed = parse_dl_ontology(render_ontology(entry.tbox))
+            assert parsed.axioms == entry.tbox.axioms
+
+
+class TestCorpusSerialization:
+    def test_save_and_load(self, tmp_path):
+        spec = CorpusSpec(total=5, alchiq_depth1=3,
+                          alchif_depth2_extra=1, deep=1, seed=3)
+        corpus = generate_corpus(spec)
+        written = save_corpus(corpus, tmp_path)
+        assert written == 5
+        loaded = load_corpus(tmp_path)
+        assert len(loaded) == 5
+        by_name = {e.name: e for e in corpus}
+        for entry in loaded:
+            original = by_name[entry.name]
+            assert entry.tbox.axioms == original.tbox.axioms
+            assert entry.raw_constructors == original.raw_constructors
+
+    def test_loaded_corpus_analyzes_identically(self, tmp_path):
+        from repro.bioportal import analyze_corpus
+
+        spec = CorpusSpec(total=8, alchiq_depth1=6,
+                          alchif_depth2_extra=1, deep=1, seed=5)
+        corpus = generate_corpus(spec)
+        save_corpus(corpus, tmp_path)
+        loaded = load_corpus(tmp_path)
+        assert analyze_corpus(corpus) == analyze_corpus(loaded)

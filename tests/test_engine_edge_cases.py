@@ -1,0 +1,150 @@
+"""Edge cases across the engines: backends, rules, parsers, ontologies."""
+
+import pytest
+
+from repro.logic.instance import make_instance
+from repro.logic.ontology import Ontology, ontology
+from repro.logic.parser import ParseError, parse_formula
+from repro.logic.syntax import Atom, Const, Eq, Forall, Var
+from repro.queries.cq import parse_cq
+from repro.semantics.certain import CertainEngine
+from repro.semantics.chase import ChaseError, chase
+from repro.semantics.rules import NotConvertible, convert_ontology, convert_sentence
+
+
+class TestOntologyValidation:
+    def test_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Ontology([parse_formula("A(x)")])
+
+    def test_size_counts_functions(self):
+        O = Ontology([], functional=["F", "G"])
+        assert O.size() == 2
+
+    def test_union_merges_declarations(self):
+        left = Ontology([], functional=["F"])
+        right = Ontology([], inverse_functional=["G"])
+        merged = left.union(right)
+        assert merged.functional == {"F"}
+        assert merged.inverse_functional == {"G"}
+
+    def test_sig_includes_declared_functions(self):
+        O = Ontology([], functional=["F"])
+        assert O.sig() == {"F": 2}
+
+
+class TestRuleConversionEdgeCases:
+    def test_top_consequent_yields_nothing(self):
+        O = ontology("forall x,y (R(x,y) -> true)")
+        assert convert_ontology(O) == []
+
+    def test_bottom_consequent_is_constraint(self):
+        O = ontology("forall x,y (R(x,y) -> false)")
+        rules = convert_ontology(O)
+        assert rules and rules[0].is_constraint()
+
+    def test_equality_body_not_convertible(self):
+        with pytest.raises(NotConvertible):
+            convert_sentence(parse_formula(
+                "forall x,y (R(x,y) -> x = y)"))
+
+    def test_non_universal_not_convertible(self):
+        with pytest.raises(NotConvertible):
+            convert_sentence(parse_formula("exists x (A(x) & B(x))"))
+
+    def test_deep_existential_head_flattens(self):
+        rules = convert_sentence(parse_formula(
+            "forall x (x = x -> (A(x) -> "
+            "exists y (R(x,y) & exists z (S(y,z) & B(z)))))"))
+        assert len(rules) == 1
+        head = rules[0].heads[0]
+        assert len(head.exist_vars) == 2
+        assert {a.pred for a in head.atoms} == {"R", "S", "B"}
+
+    def test_frontier_vars_from_equality_guard(self):
+        rules = convert_sentence(parse_formula(
+            "forall x (x = x -> exists y (R(x,y)))"))
+        assert rules[0].frontier_vars() == {Var("x")}
+
+
+class TestChaseEdgeCases:
+    def test_rules_argument_overrides_conversion(self):
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        # not convertible, but explicit empty rules let the chase run
+        result = chase(O, make_instance("A(a)"), rules=[])
+        assert result.is_consistent
+
+    def test_unconvertible_raises(self):
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        with pytest.raises(ValueError):
+            chase(O, make_instance("A(a)"))
+
+    def test_branch_cap(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        big = make_instance(*(f"C(c{i})" for i in range(12)))
+        with pytest.raises(ChaseError):
+            chase(O, big, max_branches=16)
+
+    def test_empty_rule_set_stops_immediately(self):
+        result = chase(Ontology([]), make_instance("A(a)"), rules=[])
+        assert len(result.branches) == 1
+        assert result.branches[0].interp == make_instance("A(a)")
+
+
+class TestEngineBackends:
+    HAND = ontology(
+        "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))")
+
+    def test_explicit_chase_backend(self):
+        engine = CertainEngine(self.HAND, backend="chase")
+        assert engine.entails(
+            make_instance("Hand(h)"),
+            parse_cq("q(x) <- hasFinger(x,y)"), (Const("h"),))
+
+    def test_chase_backend_rejected_when_unconvertible(self):
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        with pytest.raises(ValueError):
+            CertainEngine(O, backend="chase")
+
+    def test_backends_agree_on_disjunction(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        D = make_instance("C(c)")
+        q = parse_cq("q(x) <- A(x)")
+        sat_engine = CertainEngine(O, backend="sat")
+        auto_engine = CertainEngine(O, backend="auto")
+        answer = (Const("c"),)
+        assert sat_engine.entails(D, q, answer) == \
+            auto_engine.entails(D, q, answer)
+
+    def test_saturation_idempotent(self):
+        engine = CertainEngine(ontology(
+            "forall x,y (R(x,y) -> (A(x) -> A(y)))"))
+        D = make_instance("A(a)", "R(a,b)")
+        once = engine.saturate(D)
+        assert engine.saturate(once) == once
+
+
+class TestParserEdgeCases:
+    def test_empty_parens_atom(self):
+        phi = parse_formula("P()")
+        assert isinstance(phi, Atom) and phi.arity == 0
+
+    def test_nested_quantifier_same_variable(self):
+        phi = parse_formula(
+            "forall x (x = x -> exists y (R(x,y) & exists x (S(y,x))))")
+        assert phi is not None  # shadowing parses
+
+    def test_missing_closing_paren(self):
+        with pytest.raises(ParseError):
+            parse_formula("forall x (A(x)")
+
+    def test_reserved_words_not_predicates(self):
+        with pytest.raises(ParseError):
+            parse_formula("forall(x)")
+
+    def test_deeply_nested(self):
+        text = "A(x)"
+        for _ in range(20):
+            text = f"~({text})"
+        phi = parse_formula(text)
+        assert phi is not None

@@ -1,0 +1,52 @@
+"""Tests for the certain-answer explanation API."""
+
+from repro.logic.instance import make_instance
+from repro.logic.model_check import satisfies_all
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Const
+from repro.queries.cq import parse_cq
+from repro.semantics.certain import CertainEngine
+
+HAND = ontology(
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))")
+
+
+class TestExplain:
+    def test_positive_with_chase_witness(self):
+        engine = CertainEngine(HAND)
+        exp = engine.explain(
+            make_instance("Hand(h)"),
+            parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)"), (Const("h"),))
+        assert exp.holds and bool(exp)
+        assert exp.witness is not None
+        assert parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)").holds(
+            exp.witness, (Const("h"),))
+
+    def test_negative_with_countermodel(self):
+        engine = CertainEngine(HAND)
+        exp = engine.explain(
+            make_instance("Hand(h)"),
+            parse_cq("q(x) <- hasFinger(x,y) & Index(y)"), (Const("h"),))
+        assert not exp.holds and not bool(exp)
+        assert exp.witness is not None
+        assert satisfies_all(exp.witness, HAND.all_sentences())
+        assert not parse_cq("q(x) <- hasFinger(x,y) & Index(y)").holds(
+            exp.witness, (Const("h"),))
+
+    def test_sat_backend_explanations(self):
+        # not rule-convertible: forced to the SAT backend
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        engine = CertainEngine(O)
+        assert not engine.uses_chase
+        exp = engine.explain(make_instance("A(a)"),
+                             parse_cq("q(x) <- Z(x)"), (Const("a"),))
+        assert not exp.holds
+        assert exp.witness is not None
+
+    def test_positive_sat_reason_mentions_bound(self):
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        engine = CertainEngine(O)
+        exp = engine.explain(make_instance("A(a)", "R(a,a)"),
+                             parse_cq("q(x) <- A(x)"), (Const("a"),))
+        assert exp.holds
+        assert "countermodel" in exp.reason

@@ -1,0 +1,99 @@
+"""Tests for forest models and the hooking construction."""
+
+import pytest
+
+from repro.guarded.forest import (
+    HookingError, forest_model_via_chase, hook, is_forest_over,
+)
+from repro.logic.instance import Interpretation, make_instance
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Atom, Const, Null
+
+a, b, c = Const("a"), Const("b"), Const("c")
+
+
+class TestHooking:
+    def test_basic_hooking(self):
+        base = make_instance("R(a,b)")
+        part = Interpretation([
+            Atom("S", (a, Null("n1"))), Atom("T", (Null("n1"),))])
+        result = hook(base, {frozenset([a]): part})
+        assert len(result) == 3
+
+    def test_unguarded_key_rejected(self):
+        base = make_instance("R(a,b)", "R(b,c)")
+        part = Interpretation([Atom("S", (a, c))])
+        with pytest.raises(HookingError):
+            hook(base, {frozenset([a, c]): part})
+
+    def test_part_leaking_into_base_rejected(self):
+        base = make_instance("R(a,b)")
+        part = Interpretation([Atom("S", (a, b))])  # touches b outside G={a}
+        with pytest.raises(HookingError):
+            hook(base, {frozenset([a]): part})
+
+    def test_parts_must_not_share_nulls(self):
+        base = make_instance("R(a,b)")
+        shared = Null("n")
+        part1 = Interpretation([Atom("S", (a, shared))])
+        part2 = Interpretation([Atom("S", (b, shared))])
+        with pytest.raises(HookingError):
+            hook(base, {frozenset([a]): part1, frozenset([b]): part2})
+
+    def test_hooking_at_maximal_guarded_set(self):
+        base = make_instance("R(a,b)")
+        part = Interpretation([
+            Atom("Q", (a, b, Null("n")))])
+        result = hook(base, {frozenset([a, b]): part})
+        assert len(result.dom()) == 3
+
+
+class TestForestRecognition:
+    def test_base_itself_is_forest(self):
+        base = make_instance("R(a,b)")
+        assert is_forest_over(base, base)
+
+    def test_hooked_tree_is_forest(self):
+        base = make_instance("R(a,b)")
+        part = Interpretation([
+            Atom("S", (a, Null("n1"))), Atom("S", (Null("n1"), Null("n2")))])
+        forest = hook(base, {frozenset([a]): part})
+        assert is_forest_over(forest, base)
+
+    def test_cycle_in_part_is_not_forest(self):
+        base = make_instance("A(a)")
+        n1, n2 = Null("n1"), Null("n2")
+        bad = base.copy()
+        bad.add(Atom("R", (a, n1)))
+        bad.add(Atom("R", (n1, n2)))
+        bad.add(Atom("R", (n2, a)))
+        # the nulls hang off the unguarded pair {a} twice: cycle
+        assert not is_forest_over(bad, base)
+
+    def test_missing_base_fact_rejected(self):
+        base = make_instance("R(a,b)")
+        assert not is_forest_over(make_instance("R(b,a)"), base)
+
+
+class TestChaseForestModels:
+    HAND = ontology(
+        "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))")
+
+    def test_chase_produces_forest(self):
+        D = make_instance("Hand(h)", "Hand(g)")
+        forest = forest_model_via_chase(self.HAND, D)
+        assert forest is not None
+        assert is_forest_over(forest, D)
+
+    def test_disjunctive_returns_none(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        assert forest_model_via_chase(O, make_instance("C(c)")) is None
+
+    def test_deep_witnesses_still_forest(self):
+        O = ontology(
+            "forall x (x = x -> (A(x) -> exists y (R(x,y) & B(y))))\n"
+            "forall x (x = x -> (B(x) -> exists y (S(x,y) & C(y))))")
+        D = make_instance("A(a)")
+        forest = forest_model_via_chase(O, D)
+        assert forest is not None
+        assert is_forest_over(forest, D)

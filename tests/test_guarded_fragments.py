@@ -1,0 +1,187 @@
+"""Tests for fragment analysis: depth, uGF membership, naming, invariance."""
+
+import pytest
+
+from repro.guarded.fragments import (
+    check_disjoint_union_invariance, default_invariance_samples,
+    equality_inside, fragment_name, guarded_depth, is_open_gf,
+    is_ugf_sentence, outer_guard_is_equality, profile_ontology,
+    sentence_depth, to_depth_one, variable_names,
+)
+from repro.logic.instance import make_instance
+from repro.logic.model_check import evaluate
+from repro.logic.ontology import Ontology, ontology
+from repro.logic.parser import parse_formula
+
+
+class TestDepth:
+    def test_example_2_depth_one(self):
+        """Example 2: R-guard with A(x) | exists z S(y,z) has depth 1."""
+        s = parse_formula("forall x,y (R(x,y) -> (A(x) | exists z (S(y,z) & B(z))))")
+        assert sentence_depth(s) == 1
+
+    def test_outer_quantifier_not_counted(self):
+        s = parse_formula("forall x (x = x -> A(x))")
+        assert sentence_depth(s) == 0
+
+    def test_nested_depth(self):
+        s = parse_formula(
+            "forall x (x = x -> exists y (R(x,y) & exists z (S(y,z) & A(z))))")
+        assert sentence_depth(s) == 2
+
+    def test_counting_contributes_to_depth(self):
+        s = parse_formula("forall x (x = x -> exists>=3 y (R(x,y)))")
+        assert sentence_depth(s) == 1
+
+    def test_guarded_depth_of_open_formula(self):
+        phi = parse_formula("exists y (R(x,y) & A(y))")
+        assert guarded_depth(phi) == 1
+
+
+class TestMembership:
+    def test_ugf_sentence(self):
+        s = parse_formula("forall x,y (R(x,y) -> A(x))")
+        assert is_ugf_sentence(s)
+
+    def test_equality_outer_guard(self):
+        s = parse_formula("forall x (x = x -> A(x))")
+        assert is_ugf_sentence(s)
+        assert outer_guard_is_equality(s)
+
+    def test_non_reflexive_equality_guard_rejected(self):
+        from repro.logic.syntax import Atom, Eq, Forall, Var
+        x, y = Var("x"), Var("y")
+        s = Forall((x, y), Eq(x, y), Atom("A", (x,)))
+        assert not is_ugf_sentence(s)
+
+    def test_open_gf(self):
+        phi = parse_formula("exists y (R(x,y) & ~A(y))")
+        assert is_open_gf(phi)
+
+    def test_open_gf_rejects_unguarded(self):
+        phi = parse_formula("exists y (A(x) & B(y))")
+        assert not is_open_gf(phi)
+
+    def test_open_gf_rejects_closed_subformula(self):
+        # a sentence as subformula breaks openness
+        from repro.logic.syntax import And, Atom, Forall, Var
+        x, y = Var("x"), Var("y")
+        inner_sentence = Forall((y,), Atom("B", (y, y)), Atom("C", (y,)))
+        phi = And.of(Atom("A", (x,)), inner_sentence)
+        assert not is_open_gf(phi)
+
+    def test_equality_inside(self):
+        s1 = parse_formula("forall x (x = x -> exists y (R(x,y) & x = y))")
+        assert equality_inside(s1)
+        s2 = parse_formula("forall x (x = x -> A(x))")
+        assert not equality_inside(s2)
+
+
+class TestFragmentNaming:
+    def test_ugf1(self):
+        O = ontology("forall x,y (R(x,y) -> (A(x) | exists z (S(y,z) & B(z))))")
+        assert fragment_name(O) == "uGF(1)"
+
+    def test_ugf2_minus_2(self):
+        O = ontology(
+            "forall x (x = x -> (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x)))))")
+        assert fragment_name(O) == "uGF2-(2)"
+
+    def test_counting_fragment(self):
+        O = ontology("forall x (x = x -> (H(x) -> exists>=5 y (F(x,y))))")
+        assert fragment_name(O) == "uGC2-(1)"
+
+    def test_functions_flag(self):
+        O = Ontology(
+            ontology("forall x,y (R(x,y) -> A(x))").sentences,
+            functional=["R"])
+        assert "f" in fragment_name(O)
+
+    def test_non_ugf_is_gf(self):
+        from repro.logic.syntax import Atom, Eq, Forall, Or, Var
+        x = Var("x")
+        s = Or.of(Forall((x,), Eq(x, x), Atom("A", (x,))),
+                  Forall((x,), Eq(x, x), Atom("B", (x,))))
+        assert fragment_name(Ontology([s])) == "GF"
+
+
+class TestDisjointUnionInvariance:
+    def test_ugf_sentence_invariant(self):
+        s = parse_formula("forall x,y (R(x,y) -> A(x))")
+        samples = default_invariance_samples({"R": 2, "A": 1})
+        ok, witness = check_disjoint_union_invariance(s, samples)
+        assert ok and witness is None
+
+    def test_example_1_omat_not_invariant(self):
+        """O_Mat/PTime = forall x A(x) | forall x B(x) is not preserved
+        under disjoint unions (Example 1)."""
+        from repro.logic.syntax import Atom, Eq, Forall, Or, Var
+        x = Var("x")
+        s = Or.of(Forall((x,), Eq(x, x), Atom("A", (x,))),
+                  Forall((x,), Eq(x, x), Atom("B", (x,))))
+        samples = [[make_instance("A(a)"), make_instance("B(b)")]]
+        ok, witness = check_disjoint_union_invariance(s, samples)
+        assert not ok and witness is not None
+
+    def test_example_1_oucq_not_invariant(self):
+        """O_UCQ/CQ does not reflect disjoint unions (Example 1)."""
+        from repro.logic.syntax import Atom, Eq, Exists, Forall, Or, Var
+        x = Var("x")
+        s = Or.of(
+            Forall((x,), Eq(x, x), Or.of(Atom("A", (x,)), Atom("B", (x,)))),
+            Exists((x,), None, Atom("E", (x,))),
+        )
+        samples = [[make_instance("E(a)"), make_instance("F(b)")]]
+        ok, _ = check_disjoint_union_invariance(s, samples)
+        assert not ok
+
+
+class TestDepthOneRewriting:
+    def test_depth_reduced(self):
+        O = ontology(
+            "forall x (x = x -> (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x)))))")
+        reduced = to_depth_one(O)
+        assert max(sentence_depth(s) for s in reduced.sentences) <= 1
+
+    def test_conservative_on_models(self):
+        """Models of the extension restrict to models of the original."""
+        O = ontology(
+            "forall x (x = x -> (A(x) -> exists y (R(x,y) & exists x (S(y,x) & B(x)))))")
+        reduced = to_depth_one(O)
+        model = make_instance("A(a)", "R(a,b)", "S(b,c)", "B(c)", "Def0(b)")
+        if all(evaluate(s, model) for s in reduced.sentences):
+            assert all(evaluate(s, model) for s in O.sentences)
+
+    def test_certain_answers_preserved(self):
+        """The extension is conservative for query answering."""
+        from repro.queries.cq import parse_cq
+        from repro.semantics.modelsearch import certain_answer
+        from repro.logic.syntax import Const
+
+        O = ontology(
+            "forall x (x = x -> (A(x) -> exists y (R(x,y) & exists z (S(y,z) & B(z)))))")
+        reduced = to_depth_one(O)
+        D = make_instance("A(a)")
+        q = parse_cq("q() <- S(y,z) & B(z)")
+        assert certain_answer(O, D, q, (), extra=3).holds
+        assert certain_answer(reduced, D, q, (), extra=3).holds
+
+    def test_shallow_sentences_untouched(self):
+        O = ontology("forall x,y (R(x,y) -> A(x))")
+        assert to_depth_one(O).sentences == O.sentences
+
+
+class TestVariableCounting:
+    def test_two_variable_detection(self):
+        O = ontology("forall x (x = x -> exists y (R(x,y) & exists x (S(y,x))))")
+        assert profile_ontology(O).two_variable
+
+    def test_three_variables(self):
+        O = ontology("forall x,y,z (T(x,y,z) -> A(x))")
+        profile = profile_ontology(O)
+        assert not profile.two_variable
+        assert profile.max_arity == 3
+
+    def test_variable_names(self):
+        s = parse_formula("forall x,y (R(x,y) -> exists z (S(y,z) & A(z)))")
+        assert variable_names(s) == {"x", "y", "z"}

@@ -1,0 +1,148 @@
+"""Tests for guarded decompositions, bouquets and unravellings."""
+
+import pytest
+
+from repro.guarded.decomposition import (
+    binary_graph_edges, greedy_cg_tree_decomposition, gyo_acyclic, is_bouquet,
+    is_cg_tree_decomposable, is_guarded_tree_decomposable, is_irreflexive,
+    is_tree_interpretation, one_neighbourhood, outdegree,
+)
+from repro.guarded.unravel import successor_counts_preserved, unravel
+from repro.logic.instance import make_instance
+from repro.logic.syntax import Const
+
+a, b, c, d = Const("a"), Const("b"), Const("c"), Const("d")
+
+TRIANGLE = make_instance("R(a,b)", "R(b,c)", "R(c,a)")
+STAR = make_instance("R(a,b)", "R(a,c)", "R(a,d)")
+CHAIN = make_instance("R(a,b)", "R(b,c)")
+
+
+class TestAcyclicity:
+    def test_gyo_on_tree(self):
+        assert gyo_acyclic([frozenset("ab"), frozenset("bc")])
+
+    def test_gyo_on_cycle(self):
+        assert not gyo_acyclic(
+            [frozenset("ab"), frozenset("bc"), frozenset("ca")])
+
+    def test_triangle_not_decomposable(self):
+        """Example 4: the R-triangle has no guarded tree decomposition."""
+        assert not is_guarded_tree_decomposable(TRIANGLE)
+
+    def test_guarded_triangle_decomposable(self):
+        guarded = TRIANGLE.copy()
+        from repro.logic.syntax import Atom
+        guarded.add(Atom("Q", (a, b, c)))
+        assert is_guarded_tree_decomposable(guarded)
+
+    def test_chain_cg_decomposable(self):
+        assert is_cg_tree_decomposable(CHAIN)
+
+    def test_disconnected_not_cg(self):
+        D = make_instance("R(a,b)", "R(c,d)")
+        assert is_guarded_tree_decomposable(D)
+        assert not is_cg_tree_decomposable(D)
+
+    def test_greedy_decomposition_valid(self):
+        decomposition = greedy_cg_tree_decomposition(CHAIN)
+        assert decomposition is not None
+        assert decomposition.is_valid_for(CHAIN)
+
+    def test_greedy_decomposition_fails_on_triangle(self):
+        assert greedy_cg_tree_decomposition(TRIANGLE) is None
+
+
+class TestTreeShapes:
+    def test_tree_interpretation(self):
+        assert is_tree_interpretation(CHAIN)
+        assert not is_tree_interpretation(TRIANGLE)
+
+    def test_binary_graph_ignores_loops(self):
+        D = make_instance("R(a,a)", "R(a,b)")
+        assert binary_graph_edges(D) == {frozenset((a, b))}
+
+    def test_irreflexive(self):
+        assert is_irreflexive(CHAIN)
+        assert not is_irreflexive(make_instance("R(a,a)"))
+
+    def test_outdegree(self):
+        assert outdegree(STAR) == 3
+        assert outdegree(CHAIN) == 2  # b touches both edges
+
+    def test_one_neighbourhood(self):
+        hood = one_neighbourhood(CHAIN, a)
+        assert hood.dom() == {a, b}
+
+    def test_bouquet_recognition(self):
+        assert is_bouquet(STAR, a)
+        assert not is_bouquet(CHAIN, a)  # c is at distance 2
+
+
+class TestUnravelling:
+    def test_example5_triangle_three_chains(self):
+        """Example 5(1): the triangle unravels into three chains."""
+        unr = unravel(TRIANGLE, depth=3)
+        assert len(unr.interpretation.connected_components()) == 3
+        # within the prefix every bag contributes one R-fact
+        assert len(unr.interpretation) == len(unr.bags)
+
+    def test_example5_tree_of_depth_one(self):
+        """Example 5(2): a depth-1 tree with root a unravels into trees of
+        infinite outdegree: copies multiply with depth."""
+        D = make_instance("R(a,b)", "R(a,c)", "S(a,d)")
+        shallow = unravel(D, depth=1)
+        deep = unravel(D, depth=3)
+        assert len(deep.interpretation.dom()) > len(shallow.interpretation.dom())
+
+    def test_projection_is_homomorphism(self):
+        unr = unravel(TRIANGLE, depth=2)
+        proj = unr.projection()
+        for fact in unr.interpretation:
+            from repro.logic.syntax import Atom
+            mapped = Atom(fact.pred, tuple(proj[x] for x in fact.args))
+            assert mapped in TRIANGLE
+
+    def test_copy_of_tuple(self):
+        unr = unravel(TRIANGLE, depth=1)
+        g = frozenset((a, b))
+        copies = unr.copy_of((a, b), g)
+        assert tuple(unr.up[x] for x in copies) == (a, b)
+
+    def test_ugc2_stricter_than_ugf(self):
+        """Condition (c') prunes successors that (c) allows: the uGC2
+        unravelling of the depth-1 tree keeps successor counts."""
+        D = make_instance("R(a,b)", "R(a,c)")
+        ugf = unravel(D, depth=2, flavour="uGF")
+        ugc = unravel(D, depth=2, flavour="uGC2")
+        assert len(ugc.interpretation.dom()) <= len(ugf.interpretation.dom())
+
+    def test_ugc2_preserves_successor_counts(self):
+        D = make_instance("R(a,b)", "R(a,c)")
+        ugc = unravel(D, depth=3, flavour="uGC2")
+        assert successor_counts_preserved(D, ugc, "R")
+
+    def test_ugf_breaks_successor_counts_on_tree(self):
+        """Section 4: the uGF-unravelling of the depth-1 tree gives the
+        root copy ever more successors (infinite outdegree in the limit);
+        the paper's counting ontology distinguishes them.  The extra
+        copies appear from tree depth 3 onwards, when a path revisits a
+        guarded set (condition (c) only forbids immediate backtracking)."""
+        D = make_instance("R(a,b)", "R(a,c)", "R(a,d)")
+        ugf = unravel(D, depth=3, flavour="uGF")
+        assert not successor_counts_preserved(D, ugf, "R")
+
+    def test_roots_restriction(self):
+        g = frozenset((a, b))
+        unr = unravel(TRIANGLE, depth=2, roots=[g])
+        assert len(unr.interpretation.connected_components()) == 1
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(ValueError):
+            unravel(TRIANGLE, depth=1, roots=[frozenset((a,))])
+
+    def test_node_cap(self):
+        big = make_instance(*(f"R(a,b{i})" for i in range(6)),
+                            *(f"R(b{i},c{i})" for i in range(6)))
+        with pytest.raises(RuntimeError):
+            unravel(big, depth=8, max_nodes=50)

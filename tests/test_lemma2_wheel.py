@@ -1,0 +1,107 @@
+"""Lemma 2's wheel construction: materializability without hom-universality.
+
+The appendix proof for uGF(2) (three variables) builds an ontology whose
+models for D = {C(a)} generate a 'partial wheel' W(a, y1, y2), W(a, y2, y3),
+... by turning either left or right.  The two turning directions yield
+forward- vs backward-infinite spoke chains, which are homomorphically
+incomparable while agreeing on all CQ answers — so no hom-universal model
+exists although the ontology is materializable.
+
+The infinite models cannot be materialized; this suite checks the finite
+mechanism: truncated left/right wheels of mismatched lengths are
+hom-incomparable in both directions (the pigeonhole that kills any
+candidate universal model), and the ontology itself parses into uGF with
+three variables (outside the two-variable fragments of Figure 1).
+"""
+
+from repro.guarded.fragments import profile_ontology
+from repro.logic.homomorphism import find_homomorphism
+from repro.logic.instance import Interpretation
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Atom, Const, Null
+
+A = Const("a")
+
+WHEEL = ontology(
+    """
+    forall x (x = x -> exists y (aux(x,y) & Am(y)))
+    forall x (x = x -> exists y (gen(x,y) & L(y)))
+    forall x (x = x -> exists y (gen(x,y) & R(y)))
+    forall x (x = x -> (C(x) -> (exists y (gen(x,y) & ~L(y)) | exists y (gen(x,y) & ~R(y)))))
+    forall x (x = x -> (C(x) -> exists y,z (W(x,y,z))))
+    forall x,y,z (W(x,y,z) -> (exists u (gen(x,u) & ~L(u)) -> exists u (W(x,z,u))))
+    forall x,y,z (W(x,y,z) -> (exists u (gen(x,u) & ~R(u)) -> exists u (W(x,u,y))))
+    """,
+    name="Lemma2-wheel")
+
+
+def left_wheel(spokes: int) -> Interpretation:
+    """Forward-turning truncation: W(a, y1, y2), W(a, y2, y3), ..."""
+    out = Interpretation([Atom("C", (A,))])
+    nodes = [Null(f"y{i}") for i in range(spokes + 1)]
+    for i in range(spokes):
+        out.add(Atom("W", (A, nodes[i], nodes[i + 1])))
+    return out
+
+
+def right_wheel(spokes: int) -> Interpretation:
+    """Backward-turning truncation: W(a, y2, y1), W(a, y3, y2), ...
+
+    As an abstract structure this is a spoke chain of the same shape, but
+    anchored at the opposite end; mismatched truncations cannot map into
+    each other.
+    """
+    out = Interpretation([Atom("C", (A,))])
+    nodes = [Null(f"z{i}") for i in range(spokes + 1)]
+    for i in range(spokes):
+        out.add(Atom("W", (A, nodes[i + 1], nodes[i])))
+    return out
+
+
+class TestWheelFragment:
+    def test_three_variables(self):
+        profile = profile_ontology(WHEEL)
+        assert not profile.two_variable
+        assert profile.max_arity == 3
+        assert profile.is_ugf
+
+    def test_depth_at_most_two(self):
+        assert profile_ontology(WHEEL).depth <= 2
+
+
+class TestHomIncomparability:
+    """The pigeonhole behind Lemma 2: a longer chain cannot map into a
+    shorter one while fixing the hub a — in either direction."""
+
+    def test_longer_left_into_shorter_left_fails(self):
+        assert find_homomorphism(
+            left_wheel(4), left_wheel(3), preserve=[A]) is None
+
+    def test_shorter_into_longer_succeeds(self):
+        assert find_homomorphism(
+            left_wheel(3), left_wheel(4), preserve=[A]) is not None
+
+    def test_left_into_equal_right_succeeds(self):
+        """Equal-length truncations are isomorphic (chain shape) — only
+        in the limit do the directions diverge."""
+        assert find_homomorphism(
+            left_wheel(3), right_wheel(3), preserve=[A]) is not None
+
+    def test_longer_left_into_right_fails(self):
+        assert find_homomorphism(
+            left_wheel(4), right_wheel(3), preserve=[A]) is None
+
+    def test_longer_right_into_left_fails(self):
+        assert find_homomorphism(
+            right_wheel(4), left_wheel(3), preserve=[A]) is None
+
+    def test_no_finite_candidate_is_universal(self):
+        """Any finite candidate model contains some finite spoke chain; a
+        model with a longer chain refuses the homomorphism — so no finite
+        interpretation is hom-universal for D = {C(a)} and the wheel
+        ontology (the infinite ones are incomparable by direction)."""
+        for k in range(1, 4):
+            candidate = left_wheel(k)
+            rival = left_wheel(k + 1)
+            assert find_homomorphism(candidate, rival, preserve=[A]) is not None
+            assert find_homomorphism(rival, candidate, preserve=[A]) is None

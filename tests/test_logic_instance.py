@@ -1,0 +1,162 @@
+"""Unit tests for repro.logic.instance."""
+
+import pytest
+
+from repro.logic.instance import (
+    Interpretation, disjoint_union, fresh_nulls, is_instance, make_instance,
+)
+from repro.logic.syntax import Atom, Const, Null, Var
+
+
+def A(name, *args):
+    return Atom(name, tuple(args))
+
+
+a, b, c = Const("a"), Const("b"), Const("c")
+
+
+class TestBasicOperations:
+    def test_add_and_contains(self):
+        inst = Interpretation()
+        inst.add(A("R", a, b))
+        assert A("R", a, b) in inst
+        assert A("R", b, a) not in inst
+
+    def test_add_rejects_variables(self):
+        inst = Interpretation()
+        with pytest.raises(ValueError):
+            inst.add(A("R", Var("x"), a))
+
+    def test_arity_clash_rejected(self):
+        inst = Interpretation()
+        inst.add(A("R", a, b))
+        with pytest.raises(ValueError):
+            inst.add(A("R", a))
+
+    def test_len_and_iter(self):
+        inst = make_instance("R(a,b)", "S(b)", "R(a,b)")
+        assert len(inst) == 2
+        assert {f.pred for f in inst} == {"R", "S"}
+
+    def test_discard(self):
+        inst = make_instance("R(a,b)", "S(b)")
+        inst.discard(A("R", a, b))
+        assert A("R", a, b) not in inst
+        assert len(inst) == 1
+        # discarding a missing fact is a no-op
+        inst.discard(A("R", a, b))
+        assert len(inst) == 1
+
+    def test_dom_is_active_domain(self):
+        inst = make_instance("R(a,b)")
+        assert inst.dom() == {a, b}
+        inst.discard(A("R", a, b))
+        assert inst.dom() == frozenset()
+
+    def test_equality(self):
+        assert make_instance("R(a,b)", "S(c)") == make_instance("S(c)", "R(a,b)")
+        assert make_instance("R(a,b)") != make_instance("R(b,a)")
+
+    def test_copy_is_independent(self):
+        inst = make_instance("R(a,b)")
+        clone = inst.copy()
+        clone.add(A("S", c))
+        assert A("S", c) not in inst
+
+
+class TestStructure:
+    def test_guarded_sets_include_singletons(self):
+        inst = make_instance("R(a,b)", "S(c)")
+        gs = inst.guarded_sets()
+        assert frozenset([a]) in gs
+        assert frozenset([a, b]) in gs
+        assert frozenset([c]) in gs
+
+    def test_maximal_guarded_sets(self):
+        inst = make_instance("R(a,b)", "S(b)")
+        mgs = inst.maximal_guarded_sets()
+        assert frozenset([a, b]) in mgs
+        assert frozenset([b]) not in mgs
+
+    def test_guarded_tuple(self):
+        inst = make_instance("T(a,b,c)")
+        assert inst.is_guarded_tuple([a, b])
+        assert inst.is_guarded_tuple([a, b, c])
+        inst2 = make_instance("R(a,b)", "R(b,c)")
+        assert not inst2.is_guarded_tuple([a, c])
+
+    def test_gaifman_edges(self):
+        inst = make_instance("T(a,b,c)")
+        assert inst.gaifman_edges() == {
+            frozenset([a, b]), frozenset([b, c]), frozenset([a, c])
+        }
+
+    def test_connected_components(self):
+        inst = make_instance("R(a,b)", "S(c)")
+        comps = inst.connected_components()
+        assert len(comps) == 2
+
+    def test_distances(self):
+        inst = make_instance("R(a,b)", "R(b,c)")
+        dist = inst.distances_from([a])
+        assert dist[a] == 0 and dist[b] == 1 and dist[c] == 2
+
+    def test_induced_subinterpretation(self):
+        inst = make_instance("R(a,b)", "R(b,c)", "A(a)")
+        sub = inst.induced([a, b])
+        assert A("R", a, b) in sub
+        assert A("A", a) in sub
+        assert A("R", b, c) not in sub
+
+    def test_restrict_signature(self):
+        inst = make_instance("R(a,b)", "A(a)")
+        red = inst.restrict_signature(["R"])
+        assert red.sig() == {"R": 2}
+
+
+class TestCombination:
+    def test_union_overlapping(self):
+        u = make_instance("R(a,b)").union(make_instance("R(b,c)"))
+        assert len(u) == 2
+        assert u.dom() == {a, b, c}
+
+    def test_disjoint_union_renames(self):
+        d1 = make_instance("A(a)")
+        d2 = make_instance("B(a)")
+        du = disjoint_union([d1, d2])
+        assert len(du.dom()) == 2
+        assert len(du) == 2
+
+    def test_disjoint_union_preserves_nonoverlapping(self):
+        d1 = make_instance("A(a)")
+        d2 = make_instance("B(b)")
+        du = disjoint_union([d1, d2])
+        assert A("A", a) in du and A("B", b) in du
+
+    def test_rename(self):
+        inst = make_instance("R(a,b)")
+        renamed = inst.rename({a: c})
+        assert A("R", c, b) in renamed
+
+
+class TestHelpers:
+    def test_is_instance(self):
+        assert is_instance(make_instance("R(a,b)"))
+        withnull = Interpretation([A("R", a, Null("n"))])
+        assert not is_instance(withnull)
+
+    def test_fresh_nulls_avoid(self):
+        taken = [Null("p0"), Null("p1")]
+        out = fresh_nulls("p", 2, avoid=taken)
+        assert len(out) == 2
+        assert not set(out) & set(taken)
+
+    def test_make_instance_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            make_instance("R(a,b")
+
+    def test_match_atom(self):
+        inst = make_instance("R(a,b)", "R(a,c)")
+        matches = list(inst.match_atom(Atom("R", (Var("x"), Var("y"))), {Var("x"): a}))
+        found = {m[Var("y")] for m in matches}
+        assert found == {b, c}

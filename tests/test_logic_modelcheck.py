@@ -1,0 +1,125 @@
+"""Unit tests for model checking and the formula parser."""
+
+import pytest
+
+from repro.logic.instance import make_instance
+from repro.logic.model_check import evaluate, is_model_of, satisfies_all
+from repro.logic.parser import ParseError, parse_formula, parse_sentences
+from repro.logic.syntax import Const, Var
+
+x = Var("x")
+a, b, c = Const("a"), Const("b"), Const("c")
+
+
+class TestParser:
+    def test_atom(self):
+        phi = parse_formula("R(x, y)")
+        assert repr(phi) == "R(x, y)"
+
+    def test_equality_and_inequality(self):
+        assert repr(parse_formula("x = y")) == "x = y"
+        assert repr(parse_formula("x != y")) == "~x = y"
+
+    def test_constants_and_nulls(self):
+        phi = parse_formula("R($a, _:n)")
+        assert repr(phi) == "R(a, _:n)"
+
+    def test_guard_extraction_forall(self):
+        phi = parse_formula("forall x,y (R(x,y) -> A(x))")
+        assert phi.guard is not None and phi.guard.pred == "R"
+
+    def test_guard_extraction_exists(self):
+        phi = parse_formula("exists y (R(x,y) & A(y))")
+        assert phi.guard is not None and phi.guard.pred == "R"
+
+    def test_unguarded_quantifier(self):
+        phi = parse_formula("forall x (A(x) | B(x))")
+        assert phi.guard is None
+
+    def test_counting_quantifier(self):
+        phi = parse_formula("exists>=4 y (R(x,y))")
+        assert phi.n == 4
+
+    def test_counting_requires_guard(self):
+        with pytest.raises(ParseError):
+            parse_formula("exists>=2 y (A(y) | B(y))")
+
+    def test_precedence(self):
+        phi = parse_formula("A(x) | B(x) & C(x)")
+        # & binds tighter than |
+        assert phi.__class__.__name__ == "Or"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("A(x) A(y)")
+
+    def test_parse_sentences_skips_comments(self):
+        out = parse_sentences("# comment\nforall x (x = x -> A(x))\n\n")
+        assert len(out) == 1
+
+
+class TestEvaluate:
+    def test_atom_true_false(self):
+        D = make_instance("A(a)")
+        assert evaluate(parse_formula("A(x)"), D, {x: a})
+        assert not evaluate(parse_formula("B(x)"), D, {x: a})
+
+    def test_unbound_variable_raises(self):
+        D = make_instance("A(a)")
+        with pytest.raises(ValueError):
+            evaluate(parse_formula("A(x)"), D)
+
+    def test_guarded_forall(self):
+        phi = parse_formula("forall x,y (R(x,y) -> A(y))")
+        assert evaluate(phi, make_instance("R(a,b)", "A(b)"))
+        assert not evaluate(phi, make_instance("R(a,b)"))
+
+    def test_equality_guard_ranges_over_domain(self):
+        phi = parse_formula("forall x (x = x -> A(x))")
+        assert evaluate(phi, make_instance("A(a)", "A(b)"))
+        assert not evaluate(phi, make_instance("A(a)", "R(a,b)"))
+
+    def test_guarded_exists(self):
+        phi = parse_formula("forall x (x = x -> exists y (R(x,y) & A(y)))")
+        assert evaluate(phi, make_instance("R(a,a)", "A(a)"))
+        assert not evaluate(phi, make_instance("R(a,b)", "A(a)"))
+
+    def test_negation(self):
+        phi = parse_formula("forall x (x = x -> ~B(x))")
+        assert evaluate(phi, make_instance("A(a)"))
+        assert not evaluate(phi, make_instance("B(a)"))
+
+    def test_counting_quantifier_counts_distinct(self):
+        phi = parse_formula("exists>=2 y (R(x,y))")
+        assert evaluate(phi, make_instance("R(a,b)", "R(a,c)"), {x: a})
+        assert not evaluate(phi, make_instance("R(a,b)"), {x: a})
+
+    def test_counting_with_body(self):
+        phi = parse_formula("exists>=2 y (R(x,y) & A(y))")
+        D = make_instance("R(a,b)", "R(a,c)", "A(b)")
+        assert not evaluate(phi, D, {x: a})
+
+    def test_vacuous_guard(self):
+        phi = parse_formula("forall x,y (R(x,y) -> A(y))")
+        assert evaluate(phi, make_instance("A(a)"))  # no R facts: vacuously true
+
+    def test_implication_and_iff(self):
+        D = make_instance("A(a)", "B(a)")
+        assert evaluate(parse_formula("A(x) -> B(x)"), D, {x: a})
+        assert evaluate(parse_formula("A(x) <-> B(x)"), D, {x: a})
+        D2 = make_instance("A(a)")
+        assert not evaluate(parse_formula("A(x) <-> B(x)"), D2, {x: a})
+
+
+class TestModelOf:
+    def test_is_model_of_requires_containment(self):
+        D = make_instance("R(a,b)")
+        M = make_instance("R(a,b)", "A(a)")
+        assert is_model_of(M, D)
+        assert not is_model_of(D, M)
+
+    def test_satisfies_all(self):
+        sentences = parse_sentences(
+            "forall x,y (R(x,y) -> A(x))\nforall x (x = x -> ~B(x))")
+        assert satisfies_all(make_instance("R(a,b)", "A(a)"), sentences)
+        assert not satisfies_all(make_instance("R(a,b)"), sentences)

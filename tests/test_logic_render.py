@@ -1,0 +1,99 @@
+"""Round-trip tests for the FO formula renderer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic.ontology import Ontology, ontology
+from repro.logic.parser import parse_formula
+from repro.logic.render import load_ontology_fo, render_formula, render_ontology_fo
+from repro.logic.syntax import (
+    And, Atom, Const, CountExists, Eq, Exists, Forall, Not, Or, Top, Var,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestRenderFormula:
+    CASES = [
+        "forall x,y (R(x,y) -> A(x))",
+        "forall x (x = x -> (A(x) -> exists y (R(x,y) & B(y))))",
+        "forall x (x = x -> (A(x) | ~B(x)))",
+        "forall x (x = x -> exists>=3 y (R(x,y)))",
+        "forall x (x = x -> (S(x,x) -> exists y (R(x,y) & x != y)))",
+        "exists x (A(x) & B(x))",
+    ]
+
+    def test_known_sentences_round_trip(self):
+        for text in self.CASES:
+            phi = parse_formula(text)
+            assert parse_formula(render_formula(phi)) == phi, text
+
+    def test_constants_round_trip(self):
+        phi = parse_formula("R($a, x)")
+        assert parse_formula(render_formula(phi)) == phi
+
+    def test_nulls_round_trip(self):
+        phi = parse_formula("R(_:n, x)")
+        assert parse_formula(render_formula(phi)) == phi
+
+
+# -- property-based round trip -------------------------------------------------
+
+atoms = st.one_of(
+    st.builds(lambda p, t: Atom(p, (t,)), st.sampled_from(["A", "B"]),
+              st.sampled_from([x, y])),
+    st.builds(lambda p, s, t: Atom(p, (s, t)), st.sampled_from(["R", "S"]),
+              st.sampled_from([x, y]), st.sampled_from([x, y])),
+)
+
+
+@st.composite
+def open_formulas(draw, depth=2):
+    if depth == 0:
+        return draw(atoms)
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(atoms)
+    if kind == 1:
+        return Not(draw(open_formulas(depth=depth - 1)))
+    if kind == 2:
+        return And.of(draw(open_formulas(depth=depth - 1)),
+                      draw(open_formulas(depth=depth - 1)))
+    if kind == 3:
+        return Or.of(draw(open_formulas(depth=depth - 1)),
+                     draw(open_formulas(depth=depth - 1)))
+    body = draw(open_formulas(depth=depth - 1))
+    guard = Atom("G", (x, y))
+    return Exists((y,), guard, body)
+
+
+class TestPropertyRoundTrip:
+    @given(open_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, phi):
+        rendered = render_formula(phi)
+        assert parse_formula(rendered) == phi
+
+
+class TestOntologyRoundTrip:
+    def test_sentences_and_declarations(self):
+        original = Ontology(
+            ontology(
+                "forall x,y (R(x,y) -> A(x))\n"
+                "forall x (x = x -> exists y (F(x,y)))").sentences,
+            functional=["F"], inverse_functional=["G"], name="demo")
+        text = render_ontology_fo(original)
+        loaded = load_ontology_fo(text, name="demo")
+        assert loaded.sentences == original.sentences
+        assert loaded.functional == original.functional
+        assert loaded.inverse_functional == original.inverse_functional
+
+    def test_cli_compatible(self, tmp_path):
+        from repro.cli import main
+
+        original = ontology(
+            "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))",
+            name="hand")
+        path = tmp_path / "hand.gf"
+        path.write_text(render_ontology_fo(original))
+        assert main(["classify", str(path), "--no-mat"]) == 0

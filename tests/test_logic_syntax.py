@@ -1,0 +1,150 @@
+"""Unit tests for repro.logic.syntax."""
+
+import pytest
+
+from repro.logic.syntax import (
+    And, Atom, Bottom, Const, CountExists, Eq, Exists, Forall, Implies, Not,
+    Null, Or, Top, Var, atoms_of, formula_size, is_sentence, nnf,
+    signature_of, subformulas, substitute, uses_equality,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestTerms:
+    def test_var_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_const_and_null_disjoint(self):
+        assert Const("a") != Null("a")
+        assert Const("a") != Var("a")
+
+    def test_ordering(self):
+        assert sorted([Var("b"), Var("a")]) == [Var("a"), Var("b")]
+
+
+class TestAtoms:
+    def test_free_vars(self):
+        a = Atom("R", (x, y, Const("c")))
+        assert a.free_vars() == {x, y}
+
+    def test_arity(self):
+        assert Atom("R", (x, y)).arity == 2
+        assert Atom("P", ()).arity == 0
+
+    def test_substitute(self):
+        a = Atom("R", (x, y))
+        b = a.substitute({x: Const("c")})
+        assert b == Atom("R", (Const("c"), y))
+
+
+class TestConnectives:
+    def test_and_flattening(self):
+        phi = And.of(Atom("A", (x,)), And.of(Atom("B", (x,)), Atom("C", (x,))))
+        assert isinstance(phi, And)
+        assert len(phi.conjuncts) == 3
+
+    def test_and_identity(self):
+        assert And.of() == Top()
+        assert And.of(Atom("A", (x,))) == Atom("A", (x,))
+
+    def test_and_absorbs_top(self):
+        phi = And.of(Top(), Atom("A", (x,)))
+        assert phi == Atom("A", (x,))
+
+    def test_and_bottom_annihilates(self):
+        assert And.of(Bottom(), Atom("A", (x,))) == Bottom()
+
+    def test_or_dual_simplifications(self):
+        assert Or.of() == Bottom()
+        assert Or.of(Top(), Atom("A", (x,))) == Top()
+        assert Or.of(Bottom(), Atom("A", (x,))) == Atom("A", (x,))
+
+    def test_operator_sugar(self):
+        a, b = Atom("A", (x,)), Atom("B", (x,))
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+
+class TestQuantifiers:
+    def test_exists_free_vars(self):
+        phi = Exists((y,), Atom("R", (x, y)), Atom("A", (y,)))
+        assert phi.free_vars() == {x}
+
+    def test_forall_sentence(self):
+        phi = Forall((x, y), Atom("R", (x, y)), Atom("A", (x,)))
+        assert is_sentence(phi)
+
+    def test_count_exists_free_vars(self):
+        phi = CountExists(3, y, Atom("R", (x, y)), Top())
+        assert phi.free_vars() == {x}
+
+
+class TestStructural:
+    def test_subformulas_includes_guard(self):
+        guard = Atom("R", (x, y))
+        phi = Forall((x, y), guard, Atom("A", (x,)))
+        subs = list(subformulas(phi))
+        assert guard in subs
+        assert Atom("A", (x,)) in subs
+
+    def test_atoms_of(self):
+        phi = Forall((x, y), Atom("R", (x, y)), Or.of(Atom("A", (x,)), Atom("B", (y,))))
+        preds = {a.pred for a in atoms_of(phi)}
+        assert preds == {"R", "A", "B"}
+
+    def test_signature_of(self):
+        phi = Forall((x, y), Atom("R", (x, y)), Atom("A", (x,)))
+        assert signature_of(phi) == {"R": 2, "A": 1}
+
+    def test_uses_equality(self):
+        phi = Forall((x,), Eq(x, x), Atom("A", (x,)))
+        assert uses_equality(phi)
+        assert not uses_equality(phi, ignore_outer_guard=True)
+
+    def test_formula_size_positive(self):
+        phi = Forall((x, y), Atom("R", (x, y)), Atom("A", (x,)))
+        assert formula_size(phi) >= 3
+
+
+class TestSubstitute:
+    def test_substitute_into_quantifier_body(self):
+        phi = Exists((y,), Atom("R", (x, y)), Atom("A", (y,)))
+        psi = substitute(phi, {x: Const("c")})
+        assert psi.guard == Atom("R", (Const("c"), y))
+
+    def test_substituting_bound_var_raises(self):
+        phi = Exists((y,), Atom("R", (x, y)), Atom("A", (y,)))
+        with pytest.raises(ValueError):
+            substitute(phi, {y: Const("c")})
+
+
+class TestNNF:
+    def test_double_negation(self):
+        phi = Not(Not(Atom("A", (x,))))
+        assert nnf(phi) == Atom("A", (x,))
+
+    def test_de_morgan(self):
+        phi = Not(And.of(Atom("A", (x,)), Atom("B", (x,))))
+        result = nnf(phi)
+        assert isinstance(result, Or)
+        assert Not(Atom("A", (x,))) in result.disjuncts
+
+    def test_quantifier_dualization(self):
+        guard = Atom("R", (x, y))
+        phi = Not(Forall((y,), guard, Atom("A", (y,))))
+        result = nnf(phi)
+        assert isinstance(result, Exists)
+        assert result.body == Not(Atom("A", (y,)))
+
+    def test_implies_elimination(self):
+        phi = Implies(Atom("A", (x,)), Atom("B", (x,)))
+        result = nnf(phi)
+        assert isinstance(result, Or)
+
+    def test_nnf_keeps_truth_constants(self):
+        assert nnf(Not(Top())) == Bottom()
+        assert nnf(Not(Bottom())) == Top()

@@ -1,0 +1,134 @@
+"""Integration tests: OMQ objects, Theorem 2/4 invariances, end-to-end flows."""
+
+import pytest
+
+from repro.core import OMQ, check_materializability, MatStatus
+from repro.dl import dl_to_ontology, parse_dl_ontology
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Const
+from repro.queries.cq import UCQ, parse_cq, parse_ucq
+from repro.semantics.modelsearch import certain_answer
+
+a, b, c, h = Const("a"), Const("b"), Const("c"), Const("h")
+
+HAND = ontology(
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))",
+    name="O2")
+
+
+class TestOMQ:
+    def test_evaluate(self):
+        omq = OMQ(HAND, parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)"))
+        assert omq.evaluate(make_instance("Hand(h)"), (h,))
+        assert not omq.evaluate(make_instance("Arm(h)"), (h,))
+
+    def test_certain_answers(self):
+        omq = OMQ(HAND, parse_cq("q(x) <- hasFinger(x,y)"))
+        D = make_instance("Hand(h)", "Hand(g)", "Arm(a)")
+        assert omq.certain_answers(D) == {(h,), (Const("g"),)}
+
+    def test_engine_cached(self):
+        omq = OMQ(HAND, parse_cq("q(x) <- Hand(x)"))
+        assert omq.engine() is omq.engine()
+
+    def test_ucq_omq(self):
+        omq = OMQ(HAND, parse_ucq("q(x) <- Thumb(x) ; q(x) <- Hand(x)"))
+        assert omq.evaluate(make_instance("Hand(h)"), (h,))
+
+    def test_backend_selection(self):
+        omq = OMQ(HAND, parse_cq("q(x) <- Hand(x)"), backend="sat")
+        assert omq.evaluate(make_instance("Hand(h)"), (h,))
+
+
+class TestTheorem2QueryLanguageInvariance:
+    """Theorem 2/4: materializability and evaluation behaviour do not
+    depend on the query language (rAQ vs CQ vs UCQ) for uGF ontologies."""
+
+    def test_certainty_closed_under_ucq_union_for_horn(self):
+        D = make_instance("Hand(h)")
+        q_cq = parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)")
+        q_ucq = UCQ((q_cq, parse_cq("q(x) <- Elephant(x)")))
+        r1 = certain_answer(HAND, D, q_cq, (h,))
+        r2 = certain_answer(HAND, D, q_ucq, (h,))
+        assert r1.holds == r2.holds
+
+    def test_horn_materialization_answers_all_query_types(self):
+        from repro.semantics.chase import chase
+        model = chase(HAND, make_instance("Hand(h)")).universal_model()
+        for q_text in ("q(x) <- hasFinger(x,y)",
+                       "q(x) <- hasFinger(x,y) & Thumb(y)",
+                       "q() <- Thumb(y)"):
+            q = parse_cq(q_text)
+            answers_model = q.answers(model)
+            # every model answer over dom(D) must be certain and vice versa
+            for answer in answers_model:
+                if all(e in (h,) for e in answer):
+                    assert certain_answer(HAND, make_instance("Hand(h)"),
+                                          q, answer).holds
+
+
+class TestConsistencyEdgeCases:
+    def test_inconsistent_instance_all_answers_certain(self):
+        O = ontology("forall x (x = x -> (A(x) -> ~B(x)))")
+        D = make_instance("A(a)", "B(a)")
+        q = parse_cq("q(x) <- Nonexistent(x)")
+        assert certain_answer(O, D, q, (a,)).holds
+
+    def test_empty_ontology(self):
+        O = ontology("")
+        D = make_instance("A(a)")
+        assert certain_answer(O, D, parse_cq("q(x) <- A(x)"), (a,)).holds
+        assert not certain_answer(O, D, parse_cq("q(x) <- B(x)"), (a,)).holds
+
+    def test_functionality_only_ontology(self):
+        from repro.logic.ontology import Ontology
+        O = Ontology([], functional=["F"])
+        consistent = make_instance("F(a,b)")
+        clash = make_instance("F(a,b)", "F(a,c)")
+        q = parse_cq("q() <- Zzz(x)")
+        assert not certain_answer(O, consistent, q).holds
+        assert certain_answer(O, clash, q).holds
+
+
+class TestDLPipeline:
+    """DL text -> translation -> OMQ evaluation, end to end."""
+
+    def test_full_pipeline(self):
+        tbox = parse_dl_ontology(
+            "Professor sub some teaches Course\n"
+            "teaches subr involvedIn\n"
+            "Course sub not Person")
+        onto = dl_to_ontology(tbox)
+        omq = OMQ(onto, parse_cq("q(x) <- involvedIn(x,y)"))
+        D = make_instance("Professor(p)")
+        assert omq.evaluate(D, (Const("p"),))
+
+    def test_inverse_role_reasoning(self):
+        tbox = parse_dl_ontology("Child sub some hasParent- top")
+        # hasParent-(x,y) = hasParent(y,x): each child is someone's parent?!
+        onto = dl_to_ontology(tbox)
+        omq = OMQ(onto, parse_cq("q(x) <- hasParent(y,x)"))
+        assert omq.evaluate(make_instance("Child(c)"), (Const("c"),))
+
+    def test_counting_pipeline(self):
+        tbox = parse_dl_ontology("Hand sub >= 5 hasFinger top")
+        onto = dl_to_ontology(tbox)
+        omq = OMQ(onto, parse_cq("q(x) <- hasFinger(x,y)"))
+        assert omq.evaluate(make_instance("Hand(h)"), (h,))
+
+    def test_union_hand_example_full(self):
+        """The paper's opening example end to end: O1, O2 PTIME-ish alone,
+        the union not materializable."""
+        o1 = dl_to_ontology(parse_dl_ontology("Hand sub == 2 hasFinger top"))
+        o2 = dl_to_ontology(parse_dl_ontology("Hand sub some hasFinger Thumb"))
+        assert check_materializability(o1, max_elems=1, max_facts=1).status \
+            is not MatStatus.NOT_MATERIALIZABLE
+        assert check_materializability(o2).status is MatStatus.MATERIALIZABLE
+        union = o1.union(o2, name="O1+O2")
+        witness_instance = make_instance(
+            "Hand(h)", "hasFinger(h,f1)", "hasFinger(h,f2)")
+        report = check_materializability(
+            union, max_elems=0, max_facts=0,
+            extra_instances=[witness_instance])
+        assert report.status is MatStatus.NOT_MATERIALIZABLE

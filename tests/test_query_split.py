@@ -1,0 +1,92 @@
+"""Tests for the squid-style CQ decomposition."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.logic.instance import Interpretation, make_instance
+from repro.logic.syntax import Atom, Const, Var
+from repro.queries.cq import CQ, parse_cq
+from repro.queries.split import component_split, evaluate_split, tentacle_split
+
+
+class TestComponentSplit:
+    def test_connected_query_single_component(self):
+        q = parse_cq("q(x) <- R(x,y) & S(y,z)")
+        split = component_split(q)
+        assert len(split.answer_components) == 1
+        assert not split.boolean_components
+
+    def test_detached_boolean_component(self):
+        q = parse_cq("q(x) <- A(x) & E(u,v)")
+        split = component_split(q)
+        assert len(split.answer_components) == 1
+        assert len(split.boolean_components) == 1
+        assert split.boolean_components[0].is_boolean()
+
+    def test_two_answer_components(self):
+        q = parse_cq("q(x,y) <- A(x) & B(y)")
+        split = component_split(q)
+        assert len(split.answer_components) == 2
+
+    def test_atoms_partitioned(self):
+        q = parse_cq("q(x) <- R(x,y) & E(u,v) & F(w)")
+        split = component_split(q)
+        total = sum(len(c.atoms) for c in split.components)
+        assert total == len(q.atoms)
+
+
+class TestTentacleSplit:
+    def test_pure_tentacle_query(self):
+        q = parse_cq("q(x) <- R(x,y) & A(y)")
+        split = tentacle_split(q)
+        assert split.core is None
+        assert len(split.tentacles) == 1
+        assert split.tentacles[0].is_rooted_acyclic()
+
+    def test_cycle_stays_in_core(self):
+        q = parse_cq("q(x) <- R(x,y) & R(y,z) & R(z,x)")
+        split = tentacle_split(q)
+        assert split.core is not None
+        assert not split.tentacles
+
+    def test_two_rooted_tentacles(self):
+        q = parse_cq("q(x,y) <- E(x,y) & R(x,u) & S(y,v)")
+        split = tentacle_split(q)
+        # E(x,y) touches both answer variables: core; R/S hang off x and y
+        assert split.core is not None
+        assert {a.pred for a in split.core.atoms} == {"E"}
+        assert len(split.tentacles) == 2
+
+    def test_tentacles_are_raqs(self):
+        q = parse_cq("q(x) <- R(x,y) & S(y,z) & A(z) & R(x,u)")
+        split = tentacle_split(q)
+        for tentacle in split.tentacles:
+            assert tentacle.is_rooted_acyclic()
+
+
+class TestEvaluateSplit:
+    def test_agrees_on_example(self):
+        q = parse_cq("q(x) <- A(x) & E(u,v)")
+        D1 = make_instance("A(a)", "E(p,q)")
+        D2 = make_instance("A(a)")
+        a = Const("a")
+        assert evaluate_split(q, D1, (a,)) == q.holds(D1, (a,))
+        assert evaluate_split(q, D2, (a,)) == q.holds(D2, (a,))
+
+    # property-based agreement with direct evaluation
+    elements = st.sampled_from([Const(f"e{i}") for i in range(3)])
+    facts = st.one_of(
+        st.builds(lambda p, x: Atom(p, (x,)), st.sampled_from(["A", "B"]),
+                  elements),
+        st.builds(lambda p, x, y: Atom(p, (x, y)),
+                  st.sampled_from(["R", "S"]), elements, elements),
+    )
+    instances = st.lists(facts, min_size=1, max_size=7).map(Interpretation)
+
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_property_agreement(self, interp):
+        x, y, u, v = Var("x"), Var("y"), Var("u"), Var("v")
+        q = CQ((x,), [Atom("R", (x, y)), Atom("S", (u, v)), Atom("A", (x,))])
+        for elem in interp.dom():
+            assert evaluate_split(q, interp, (elem,)) == q.holds(interp, (elem,))

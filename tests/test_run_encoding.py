@@ -1,0 +1,95 @@
+"""Tests for the Lemma-4 run-fitting OMQ encoding."""
+
+import pytest
+
+from repro.tiling.run_encoding import (
+    RunFittingOMQ, encode_partial_run, lemma4_dl, successor_triples,
+)
+from repro.tm import BLANK, PartialRun, TM, Transition, blank_partial_run
+
+
+def flip_machine() -> TM:
+    return TM(
+        states={"S", "A"},
+        alphabet={"0", "1"},
+        transitions=[
+            Transition("S", "0", "S", "1", "R"),
+            Transition("S", "1", "S", "0", "R"),
+            Transition("S", BLANK, "A", BLANK, "R"),
+        ],
+        start="S",
+        accept="A",
+    )
+
+
+class TestConstruction:
+    def test_ontology_builds(self):
+        tbox = lemma4_dl(flip_machine())
+        assert len(tbox.axioms) > len(flip_machine().states)
+        assert tbox.depth() <= 2
+
+    def test_successor_triples_right_move(self):
+        tm = flip_machine()
+        triples = successor_triples(tm, "0", "S", "1")
+        # reading 1, the machine writes 0 and moves right
+        assert ("0", "0", "S") in triples
+
+    def test_successor_triples_accepting(self):
+        tm = flip_machine()
+        triples = successor_triples(tm, "0", "S", BLANK)
+        assert ("0", BLANK, "A") in triples
+
+    def test_no_moves_no_triples(self):
+        tm = flip_machine()
+        assert successor_triples(tm, "0", "A", "0") == []
+
+    def test_disjunction_axiom_present(self):
+        from repro.dl.concepts import ConceptInclusion, OrC
+
+        tbox = lemma4_dl(flip_machine())
+        assert any(
+            isinstance(a, ConceptInclusion) and isinstance(a.rhs, OrC)
+            and any(getattr(p, "name", "") in ("N1", "N2")
+                    for p in getattr(a.rhs, "parts", ()))
+            for a in tbox.axioms)
+
+
+class TestEncoding:
+    def test_grid_dimensions(self):
+        partial = blank_partial_run(width=4, steps=2)
+        grid = encode_partial_run(partial)
+        assert len(grid.tuples("X")) == 3 * 3  # (width-1) per row x 3 rows
+        assert len(grid.tuples("Y")) == 4 * 2
+
+    def test_presets_two_successors(self):
+        partial = PartialRun.from_strings(["S0__", "????"])
+        grid = encode_partial_run(partial)
+        s_edges = grid.tuples("sym_S")
+        assert len(s_edges) == 2  # the marker is positively preset
+        zero_edges = grid.tuples("sym_0")
+        assert len(zero_edges) == 2
+
+    def test_wildcards_add_nothing(self):
+        partial = blank_partial_run(width=3, steps=1)
+        grid = encode_partial_run(partial)
+        assert all(pred in ("X", "Y") for pred in grid.sig())
+
+
+class TestLemma4Semantics:
+    """certain(q <- N) == coRF(M) on concrete partial runs."""
+
+    def setup_method(self):
+        self.omq = RunFittingOMQ(flip_machine())
+
+    def test_fittable_run_not_certain(self):
+        partial = blank_partial_run(width=5, steps=3)
+        assert not self.omq.certain_n(partial)
+
+    def test_unfittable_run_certain(self):
+        partial = PartialRun.from_strings(["S1___", "1S___", "?????", "?????"])
+        assert self.omq.certain_n(partial)
+
+    def test_wrong_final_state_certain(self):
+        # demand a non-accepting configuration in the last row everywhere
+        partial = PartialRun.from_strings(["S0___", "?????", "??S??"])
+        assert self.omq.certain_n(partial)

@@ -1,0 +1,271 @@
+"""Tests for the semantics engines: SAT search, chase, unified certain answers.
+
+The two backends are deliberately cross-checked against each other on the
+same inputs throughout (they implement independent algorithms).
+"""
+
+import pytest
+
+from repro.logic.instance import Interpretation, make_instance
+from repro.logic.ontology import Ontology, ontology
+from repro.logic.model_check import satisfies_all
+from repro.logic.syntax import Const
+from repro.queries.cq import CQ, UCQ, parse_cq, parse_ucq
+from repro.semantics.certain import CertainEngine
+from repro.semantics.chase import ChaseError, chase, chase_certain_answer
+from repro.semantics.modelsearch import (
+    certain_answer, find_model, is_consistent,
+)
+from repro.semantics.rules import convert_ontology, convert_sentence
+from repro.semantics.sat import CNF, add_formula, dpll, ground
+
+a, b, c, h = Const("a"), Const("b"), Const("c"), Const("h")
+
+HAND = ontology(
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))")
+
+
+class TestSAT:
+    def test_trivial_sat(self):
+        from repro.logic.parser import parse_formula
+        cnf = CNF()
+        add_formula(cnf, ground(parse_formula("A($a) | B($a)"), [a]))
+        assert dpll(cnf) is not None
+
+    def test_trivial_unsat(self):
+        from repro.logic.parser import parse_formula
+        cnf = CNF()
+        add_formula(cnf, ground(parse_formula("A($a)"), [a]))
+        add_formula(cnf, ground(parse_formula("~A($a)"), [a]))
+        assert dpll(cnf) is None
+
+    def test_grounding_forall(self):
+        from repro.logic.parser import parse_formula
+        phi = ground(parse_formula("forall x (x = x -> A(x))"), [a, b])
+        cnf = CNF()
+        add_formula(cnf, phi)
+        model = dpll(cnf)
+        assert model is not None
+        # both A(a) and A(b) must be true
+        assert all(model[v] for v in cnf.var_of.values())
+
+    def test_counting_grounding_bound(self):
+        from repro.logic.parser import parse_formula
+        phi = parse_formula("forall x (x = x -> exists>=3 y (R(x,y)))")
+        # over a 2-element domain, exists>=3 distinct y is unsatisfiable
+        cnf = CNF()
+        add_formula(cnf, ground(phi, [a, b]))
+        assert dpll(cnf) is None
+
+
+class TestFindModel:
+    def test_model_contains_instance(self):
+        D = make_instance("Hand(h)")
+        model = find_model(HAND, D, extra=2)
+        assert model is not None
+        for fact in D:
+            assert fact in model
+        assert satisfies_all(model, HAND.all_sentences())
+
+    def test_unsat_detected(self):
+        O = ontology("forall x (x = x -> (A(x) -> false))")
+        assert find_model(O, make_instance("A(a)"), extra=1) is None
+
+    def test_consistency(self):
+        O = ontology("forall x (x = x -> (A(x) -> ~B(x)))")
+        assert not is_consistent(O, make_instance("A(a)", "B(a)"))
+        assert is_consistent(O, make_instance("A(a)", "B(b)"))
+
+    def test_functionality_inconsistency(self):
+        O = Ontology([], functional=["F"])
+        D = make_instance("F(a,b)", "F(a,c)")
+        assert not is_consistent(O, D, extra=0)
+
+
+class TestSATCertainAnswers:
+    def test_existential_entailment(self):
+        D = make_instance("Hand(h)")
+        q = parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)")
+        assert certain_answer(HAND, D, q, (h,)).holds
+
+    def test_non_entailment_gives_countermodel(self):
+        D = make_instance("Hand(h)")
+        q = parse_cq("q(x) <- hasFinger(x,y) & Index(y)")
+        result = certain_answer(HAND, D, q, (h,))
+        assert not result.holds
+        assert result.countermodel is not None
+        assert satisfies_all(result.countermodel, HAND.all_sentences())
+
+    def test_disjunction_not_certain_but_union_is(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        D = make_instance("C(a)")
+        qa = parse_cq("q(x) <- A(x)")
+        qab = parse_ucq("q(x) <- A(x) ; q(x) <- B(x)")
+        assert not certain_answer(O, D, qa, (a,)).holds
+        assert certain_answer(O, D, qab, (a,)).holds
+
+    def test_boolean_query(self):
+        D = make_instance("Hand(h)")
+        q = parse_cq("q() <- Thumb(y)")
+        assert certain_answer(HAND, D, q).holds
+
+
+class TestRuleConversion:
+    def test_simple_inclusion(self):
+        O = ontology("forall x (x = x -> (A(x) -> B(x)))")
+        rules = convert_ontology(O)
+        assert rules is not None and len(rules) == 1
+        assert rules[0].body[0].pred == "A"
+
+    def test_negative_atom_moves_to_body(self):
+        from repro.logic.parser import parse_formula
+        rules = convert_sentence(
+            parse_formula("forall x,y (R(x,y) -> (~A(x) | B(y)))"))
+        assert len(rules) == 1
+        preds = {atom.pred for atom in rules[0].body}
+        assert preds == {"R", "A"}
+
+    def test_constraint_rule(self):
+        O = ontology("forall x (x = x -> (A(x) -> ~B(x)))")
+        rules = convert_ontology(O)
+        assert rules is not None and rules[0].is_constraint()
+
+    def test_nested_universal_extends_body(self):
+        from repro.logic.parser import parse_formula
+        rules = convert_sentence(parse_formula(
+            "forall x (x = x -> (A(x) -> forall y (R(x,y) -> B(y))))"))
+        assert len(rules) == 1
+        assert len(rules[0].body) == 2
+
+    def test_unconvertible_returns_none(self):
+        # universal quantifier in a positive disjunct cannot become a head
+        O = ontology(
+            "forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        assert convert_ontology(O) is None
+
+    def test_counting_head(self):
+        O = ontology("forall x (x = x -> (Hand(x) -> exists>=5 y (hasFinger(x,y))))")
+        rules = convert_ontology(O)
+        assert rules is not None
+        assert rules[0].heads[0].count == 5
+
+    def test_conjunction_splits_rules(self):
+        O = ontology("forall x (x = x -> (A(x) -> (B(x) & C(x))))")
+        rules = convert_ontology(O)
+        assert rules is not None
+        # B(x) & C(x) is kept as one head or split into two rules
+        total_atoms = sum(len(h.atoms) for r in rules for h in r.heads)
+        assert total_atoms == 2
+
+
+class TestChase:
+    def test_universal_model(self):
+        model = chase(HAND, make_instance("Hand(h)")).universal_model()
+        assert parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)").holds(model, (h,))
+
+    def test_counting_creates_distinct_witnesses(self):
+        O = ontology("forall x (x = x -> (Hand(x) -> exists>=5 y (hasFinger(x,y))))")
+        model = chase(O, make_instance("Hand(h)")).universal_model()
+        assert len(model.tuples("hasFinger")) == 5
+
+    def test_restricted_chase_reuses_existing_witness(self):
+        D = make_instance("Hand(h)", "hasFinger(h,f)", "Thumb(f)")
+        model = chase(HAND, D).universal_model()
+        assert len(model.tuples("hasFinger")) == 1  # no new null created
+
+    def test_truncation_flagged(self):
+        O = ontology("forall x (x = x -> exists y (R(x,y)))")
+        result = chase(O, make_instance("A(a)"), max_depth=2)
+        assert not result.fully_chased
+
+    def test_disjunction_branches(self):
+        O = ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))")
+        result = chase(O, make_instance("C(a)"))
+        assert len(result.consistent_branches()) == 2
+
+    def test_inconsistent_instance(self):
+        O = ontology("forall x (x = x -> (A(x) -> ~B(x)))")
+        result = chase(O, make_instance("A(a)", "B(a)"))
+        assert not result.is_consistent
+
+    def test_functionality_merges_nulls(self):
+        O = ontology(
+            "forall x (x = x -> (A(x) -> exists y (R(x,y) & B(y))))",
+            functional=["R"])
+        D = make_instance("A(a)", "R(a,b)")
+        model = chase(O, D).universal_model()
+        assert parse_cq("q(y) <- B(y)").holds(model, (b,))
+
+    def test_functionality_clash_on_constants(self):
+        O = Ontology([], functional=["F"])
+        result = chase(O, make_instance("F(a,b)", "F(a,c)"), rules=[])
+        assert not result.is_consistent
+
+    def test_inverse_functionality(self):
+        O = Ontology(
+            ontology("forall x (x = x -> (A(x) -> exists y (R(y,x) & B(y))))").sentences,
+            inverse_functional=["R"])
+        D = make_instance("A(a)", "R(b,a)")
+        model = chase(O, D).universal_model()
+        assert parse_cq("q(y) <- B(y)").holds(model, (b,))
+
+    def test_propagation_is_polynomial_single_branch(self):
+        O = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))")
+        facts = [f"R(n{i},n{i+1})" for i in range(30)] + ["A(n0)"]
+        D = make_instance(*facts)
+        result = chase(O, D)
+        assert len(result.branches) == 1
+        assert parse_cq("q(x) <- A(x)").holds(
+            result.universal_model(), (Const("n30"),))
+
+
+class TestChaseVsSAT:
+    """The two backends must agree wherever both are exact."""
+
+    CASES = [
+        (HAND, make_instance("Hand(h)"),
+         parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)"), (h,)),
+        (HAND, make_instance("Hand(h)"),
+         parse_cq("q(x) <- hasFinger(x,y) & Index(y)"), (h,)),
+        (ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))"),
+         make_instance("C(a)"), parse_cq("q(x) <- A(x)"), (a,)),
+        (ontology("forall x (x = x -> (C(x) -> (A(x) | B(x))))"),
+         make_instance("C(a)"),
+         parse_ucq("q(x) <- A(x) ; q(x) <- B(x)"), (a,)),
+        (ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))"),
+         make_instance("A(a)", "R(a,b)"), parse_cq("q(x) <- A(x)"), (b,)),
+    ]
+
+    @pytest.mark.parametrize("onto,instance,query,answer", CASES)
+    def test_agreement(self, onto, instance, query, answer):
+        via_chase = chase_certain_answer(onto, instance, query, answer)
+        via_sat = certain_answer(onto, instance, query, answer, extra=3)
+        assert via_chase.holds == via_sat.holds
+
+
+class TestCertainEngine:
+    def test_auto_prefers_chase(self):
+        engine = CertainEngine(HAND)
+        assert engine.uses_chase
+
+    def test_fallback_to_sat(self):
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        engine = CertainEngine(O)
+        assert not engine.uses_chase
+        assert engine.is_consistent(make_instance("A(a)"))
+
+    def test_certain_answers_enumeration(self):
+        O = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))")
+        D = make_instance("A(a)", "R(a,b)", "R(b,c)", "R(z,z)")
+        engine = CertainEngine(O)
+        answers = engine.certain_answers(D, parse_cq("q(x) <- A(x)"))
+        assert answers == {(a,), (b,), (c,)}
+
+    def test_saturation(self):
+        O = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))")
+        D = make_instance("A(a)", "R(a,b)")
+        engine = CertainEngine(O)
+        saturated = engine.saturate(D)
+        assert parse_cq("q(x) <- A(x)").holds(saturated, (b,))
+        # saturation does not invent unrelated facts
+        assert len(saturated) == len(D) + 1

@@ -1,0 +1,103 @@
+"""Higher-arity coverage: uGF beyond two variables, end to end.
+
+uGF permits guards of any arity; this suite drives ternary relations
+through fragment analysis, rule conversion, the chase, SAT search, and the
+materializability machinery.
+"""
+
+import pytest
+
+from repro.core import Status, check_materializability, classify_ontology
+from repro.core.materializability import MatStatus
+from repro.guarded.fragments import fragment_name, profile_ontology
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Const
+from repro.queries.cq import parse_cq
+from repro.semantics.certain import CertainEngine
+from repro.semantics.chase import chase
+from repro.semantics.modelsearch import certain_answer
+
+# bookings: a ternary relation guards three-way constraints
+BOOKING = ontology(
+    """
+    forall x,y,z (Booking(x,y,z) -> Guest(x))
+    forall x,y,z (Booking(x,y,z) -> exists u (AssignedKey(y,u)))
+    forall x,y,z (Booking(x,y,z) -> (VIP(x) -> Suite(y)))
+    """,
+    name="booking")
+
+D = make_instance("Booking(alice,room1,monday)", "VIP(alice)")
+
+
+class TestFragmentAnalysis:
+    def test_not_two_variable(self):
+        profile = profile_ontology(BOOKING)
+        assert not profile.two_variable
+        assert profile.max_arity == 3
+
+    def test_fragment_is_ugf1(self):
+        assert fragment_name(BOOKING) == "uGF(1)"
+
+    def test_classified_dichotomy_ptime(self):
+        c = classify_ontology(BOOKING)
+        assert c.band is Status.DICHOTOMY
+        assert c.materializability.status is MatStatus.MATERIALIZABLE
+
+
+class TestEvaluation:
+    def test_chase_with_ternary_guard(self):
+        result = chase(BOOKING, D)
+        model = result.universal_model()
+        assert parse_cq("q(x) <- Guest(x)").holds(model, (Const("alice"),))
+        assert parse_cq("q(y) <- AssignedKey(y,u)").holds(
+            model, (Const("room1"),))
+
+    def test_vip_propagation(self):
+        engine = CertainEngine(BOOKING)
+        assert engine.entails(D, parse_cq("q(y) <- Suite(y)"),
+                              (Const("room1"),))
+
+    def test_sat_agrees_with_chase(self):
+        for text, answer in [
+            ("q(x) <- Guest(x)", ("alice",)),
+            ("q(y) <- Suite(y)", ("room1",)),
+            ("q(y) <- Suite(y)", ("monday",)),
+        ]:
+            query = parse_cq(text)
+            tup = tuple(Const(n) for n in answer)
+            via_sat = certain_answer(BOOKING, D, query, tup, extra=2).holds
+            engine = CertainEngine(BOOKING)
+            assert engine.entails(D, query, tup) == via_sat
+
+    def test_ternary_query(self):
+        engine = CertainEngine(BOOKING)
+        q = parse_cq("q(x,y,z) <- Booking(x,y,z)")
+        answers = engine.certain_answers(D, q)
+        assert (Const("alice"), Const("room1"), Const("monday")) in answers
+
+
+class TestTernaryDisjunction:
+    def test_disjunctive_ternary_not_materializable(self):
+        O = ontology(
+            "forall x,y,z (Booking(x,y,z) -> (Smoking(y) | NonSmoking(y)))")
+        room = make_instance("Booking(a,r,m)")
+        report = check_materializability(
+            O, max_elems=0, max_facts=0, extra_instances=[room])
+        assert report.status is MatStatus.NOT_MATERIALIZABLE
+
+    def test_guarded_set_structure(self):
+        gs = D.maximal_guarded_sets()
+        assert frozenset(
+            [Const("alice"), Const("room1"), Const("monday")]) in gs
+
+    def test_unravelling_with_ternary(self):
+        from repro.guarded.unravel import unravel
+
+        two = make_instance("Booking(a,r,m)", "Booking(b,r,m)")
+        unravelled = unravel(two, depth=2)
+        proj = unravelled.projection()
+        for fact in unravelled.interpretation:
+            image_args = tuple(proj[x] for x in fact.args)
+            from repro.logic.syntax import Atom
+            assert Atom(fact.pred, image_args) in two

@@ -1,0 +1,181 @@
+"""Tests for the tiling substrate and the Theorem-10 grid ontologies."""
+
+import pytest
+
+from repro.logic.instance import make_instance
+from repro.logic.syntax import Atom, Const
+from repro.tiling import (
+    GridMarkerEngine, TilingProblem, block_problem, cell_closed,
+    grid_element, grid_instance, grid_root, ocell_certain_marker,
+    ocell_consistent, ocell_dl, op_dl, op_with_disjunction, stripes_problem,
+    trivial_problem, unsolvable_problem, untiled_grid, xy_functional,
+)
+
+BLOCK = block_problem()
+
+
+class TestTilingProblems:
+    def test_block_tiles_2x2(self):
+        tiling = BLOCK._tile_rectangle(2, 2)
+        assert tiling is not None
+        assert BLOCK.is_valid_tiling(tiling)
+
+    def test_block_tiles_any_rectangle(self):
+        for n, m in [(1, 1), (3, 1), (1, 3), (2, 3)]:
+            tiling = BLOCK._tile_rectangle(n, m)
+            assert tiling is not None and BLOCK.is_valid_tiling(tiling)
+
+    def test_unsolvable_has_no_tiling(self):
+        assert unsolvable_problem().find_tiling(3, 3) is None
+
+    def test_trivial_problem_1x1_only(self):
+        t = trivial_problem().find_tiling(2, 2)
+        assert t == {(0, 0): "T0"}
+
+    def test_stripes_single_row(self):
+        P = stripes_problem()
+        t = P.find_tiling(4, 2)
+        assert t is not None
+        assert max(j for _, j in t) == 0  # only rows
+
+    def test_initial_tile_only_at_corner(self):
+        bad = {(0, 0): "I", (1, 0): "I", (2, 0): "F"}
+        P = TilingProblem(("I", "F"), [("I", "I"), ("I", "F")],
+                          [("I", "I")], "I", "F")
+        assert not P.is_valid_tiling(bad)
+
+    def test_unknown_tile_rejected(self):
+        with pytest.raises(ValueError):
+            TilingProblem(("A",), [], [], "A", "Z")
+
+
+class TestGridInstances:
+    def setup_method(self):
+        self.tiling = BLOCK._tile_rectangle(2, 2)
+        self.grid = grid_instance(self.tiling)
+
+    def test_xy_functional(self):
+        assert xy_functional(self.grid)
+
+    def test_cell_closed_inside(self):
+        assert cell_closed(self.grid, grid_element(0, 0))
+        assert cell_closed(self.grid, grid_element(1, 1))
+
+    def test_cell_not_closed_at_border(self):
+        assert not cell_closed(self.grid, grid_element(2, 2))
+        assert not cell_closed(self.grid, grid_element(2, 0))
+
+    def test_grid_root_at_corner_only(self):
+        assert grid_root(self.grid, grid_element(0, 0), BLOCK)
+        assert not grid_root(self.grid, grid_element(1, 0), BLOCK)
+
+    def test_grid_root_fails_with_missing_edge(self):
+        broken = self.grid.copy()
+        broken.discard(Atom("Y", (grid_element(1, 0), grid_element(1, 1))))
+        assert not grid_root(broken, grid_element(0, 0), BLOCK)
+
+    def test_grid_root_fails_with_bad_tiling(self):
+        wrong = self.grid.copy()
+        wrong.discard(Atom("M", (grid_element(1, 1),)))
+        wrong.add(Atom("I", (grid_element(1, 1),)))
+        assert not grid_root(wrong, grid_element(0, 0), BLOCK)
+
+    def test_grid_root_fails_with_extra_edge(self):
+        leaky = self.grid.copy()
+        leaky.add(Atom("X", (grid_element(2, 0), Const("outside"))))
+        assert not grid_root(leaky, grid_element(0, 0), BLOCK)
+
+    def test_untiled_grid_shape(self):
+        g = untiled_grid(2, 1)
+        assert len(g.tuples("X")) == 4
+        assert len(g.tuples("Y")) == 3
+
+
+class TestOcellSemantics:
+    def test_nonfunctional_is_inconsistent(self):
+        D = make_instance("X(a,b)", "X(a,c)")
+        assert not ocell_consistent(D)
+        # inverse functionality too
+        D2 = make_instance("X(a,c)", "X(b,c)")
+        assert not ocell_consistent(D2)
+
+    def test_plain_grid_is_consistent(self):
+        grid = grid_instance(BLOCK._tile_rectangle(2, 2))
+        assert ocell_consistent(grid)
+
+    def test_marker_certain_iff_cell_closed(self):
+        grid = grid_instance(BLOCK._tile_rectangle(2, 2))
+        assert ocell_certain_marker(grid, grid_element(0, 0))
+        assert not ocell_certain_marker(grid, grid_element(2, 2))
+
+    def test_marker_certain_on_inconsistent_instance(self):
+        D = make_instance("X(a,b)", "X(a,c)")
+        assert ocell_certain_marker(D, Const("a"))
+
+    def test_preset_p_successors_at_closed_cell(self):
+        D = make_instance("X(a,b)", "Y(b,d)", "Y(a,c)", "X(c,d)",
+                          "P(a,p1)", "P(a,p2)")
+        assert not ocell_consistent(D)
+
+    def test_forced_marker_conflict(self):
+        # both R1 and R2 preset with two successors: no marker available
+        D = make_instance("A(a)", "R1(a,u)", "R1(a,v)", "R2(a,u)", "R2(a,v)")
+        assert not ocell_consistent(D)
+
+    def test_single_forced_marker_is_fine(self):
+        D = make_instance("A(a)", "R1(a,u)", "R1(a,v)")
+        assert ocell_consistent(D)
+
+
+class TestGridMarkerEngine:
+    def setup_method(self):
+        self.engine = GridMarkerEngine(BLOCK)
+        self.grid = grid_instance(BLOCK._tile_rectangle(2, 2))
+
+    def test_certain_a_at_root(self):
+        assert self.engine.certain_a(self.grid, grid_element(0, 0))
+
+    def test_not_certain_elsewhere(self):
+        assert not self.engine.certain_a(self.grid, grid_element(1, 1))
+
+    def test_defective_grid_not_certain(self):
+        broken = self.grid.copy()
+        broken.discard(Atom("Y", (grid_element(1, 0), grid_element(1, 1))))
+        assert not self.engine.certain_a(broken, grid_element(0, 0))
+
+    def test_double_label_inconsistent(self):
+        bad = self.grid.copy()
+        bad.add(Atom("I", (grid_element(1, 1),)))
+        assert not self.engine.consistent(bad)
+        assert self.engine.certain_a(bad, grid_element(1, 1))
+
+    def test_disjunction_witness_lemma13(self):
+        """P admits a tiling => the tiled grid witnesses the B1/B2
+        disjunction at the corner (non-materializability, Lemma 13)."""
+        assert self.engine.corner_disjunction_witness(
+            self.grid, grid_element(0, 0))
+        assert not self.engine.corner_disjunction_witness(
+            self.grid, grid_element(1, 1))
+
+
+class TestDLConstructions:
+    def test_ocell_lands_in_no_dichotomy_fragment(self):
+        tbox = ocell_dl()
+        assert tbox.dl_name() == "ALCIF_l"
+        assert tbox.depth() == 2
+
+    def test_op_extends_ocell(self):
+        tbox = op_dl(BLOCK)
+        assert len(tbox.axioms) > len(ocell_dl().axioms)
+        assert tbox.depth() == 2
+
+    def test_op_with_disjunction_adds_axiom(self):
+        base = op_dl(BLOCK)
+        extended = op_with_disjunction(BLOCK)
+        assert len(extended.axioms) == len(base.axioms) + 1
+
+    def test_figure1_classification(self):
+        from repro.core.dichotomy import Status, classify_dl
+        tbox = ocell_dl()
+        _, band = classify_dl(tbox.dl_name(), tbox.depth())
+        assert band is Status.NO_DICHOTOMY

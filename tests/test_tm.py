@@ -1,0 +1,192 @@
+"""Tests for the Turing machine substrate and the run fitting problem."""
+
+import pytest
+
+from repro.tm import (
+    BLANK, Configuration, HFunction, PaddedLanguage, PartialRun, TM,
+    Transition, accepts, all_strings, blank_partial_run, fits,
+    initial_configuration, matches, run_is_valid, successors,
+    trivial_deciders, verify_certificate,
+)
+
+
+def flip_machine() -> TM:
+    """Scans right flipping 0<->1, accepts at the first blank.
+
+    Single-character state names: S = start, A = accept.
+    """
+    return TM(
+        states={"S", "A"},
+        alphabet={"0", "1"},
+        transitions=[
+            Transition("S", "0", "S", "1", "R"),
+            Transition("S", "1", "S", "0", "R"),
+            Transition("S", BLANK, "A", BLANK, "R"),
+        ],
+        start="S",
+        accept="A",
+    )
+
+
+def guessing_machine() -> TM:
+    """Non-deterministically rewrites 0s to 0/1, accepts on blank."""
+    return TM(
+        states={"S", "A"},
+        alphabet={"0", "1"},
+        transitions=[
+            Transition("S", "0", "S", "0", "R"),
+            Transition("S", "0", "S", "1", "R"),
+            Transition("S", "1", "S", "1", "R"),
+            Transition("S", BLANK, "A", BLANK, "R"),
+        ],
+        start="S",
+        accept="A",
+    )
+
+
+class TestMachine:
+    def test_accepting_state_closed(self):
+        with pytest.raises(ValueError):
+            TM({"q", "A"}, {"0"},
+               [Transition("A", "0", "q", "0", "R")], "q", "A")
+
+    def test_initial_configuration(self):
+        tm = flip_machine()
+        config = initial_configuration(tm, "01", space=5)
+        assert config.as_string() == "S01" + BLANK * 2
+
+    def test_configuration_length_counts_state_once(self):
+        config = Configuration(("0",), "S", ("1",))
+        assert config.length == 3
+        assert config.symbols() == ("0", "S", "1")
+
+    def test_successors_move_right(self):
+        tm = flip_machine()
+        config = initial_configuration(tm, "01", space=5)
+        (succ,) = successors(tm, config)
+        assert succ.as_string() == "1S1" + BLANK * 2
+
+    def test_successors_respect_space(self):
+        tm = flip_machine()
+        config = Configuration(("1", "1", "1"), "S", ("0",))
+        assert successors(tm, config) == []  # would fall off
+
+    def test_successors_preserve_length(self):
+        tm = flip_machine()
+        config = initial_configuration(tm, "01", space=5)
+        for succ in successors(tm, config):
+            assert succ.length == config.length
+
+    def test_accepts(self):
+        tm = flip_machine()
+        assert accepts(tm, "0101", max_steps=6)
+
+    def test_run_validity(self):
+        tm = flip_machine()
+        start = initial_configuration(tm, "0", space=4)
+        (mid,) = successors(tm, start)
+        (end,) = successors(tm, mid)
+        assert run_is_valid(tm, [start, mid, end])
+        assert not run_is_valid(tm, [start, end])
+
+
+class TestRunFitting:
+    def test_blank_partial_run_fits(self):
+        tm = flip_machine()
+        # width 5 = input 2 + state + 2 blanks; 3 steps: flip, flip, accept
+        partial = blank_partial_run(width=5, steps=3)
+        run = fits(tm, partial)
+        assert run is not None
+        assert verify_certificate(tm, partial, run)
+
+    def test_constrained_first_row(self):
+        tm = flip_machine()
+        partial = PartialRun.from_strings(["S01__", "?????", "?????", "?????"])
+        run = fits(tm, partial)
+        assert run is not None
+        assert run[0].as_string() == "S01__"
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            PartialRun.from_strings(["S0?", "S0??"])
+
+    def test_unfittable_constraint(self):
+        tm = flip_machine()
+        # demand that the flipped symbol stays 1 (machine must write 0)
+        partial = PartialRun.from_strings(["S1___", "1S___", "?????", "?????"])
+        assert fits(tm, partial) is None
+
+    def test_fittable_mid_constraint(self):
+        tm = flip_machine()
+        partial = PartialRun.from_strings(["S1___", "0S___", "?????"])
+        run = fits(tm, partial)
+        assert run is not None
+        assert verify_certificate(tm, partial, run)
+
+    def test_nondeterministic_fitting(self):
+        tm = guessing_machine()
+        # force the guessed rewrite of 0 to be 1
+        partial = PartialRun.from_strings(["S00__", "1S0__", "?????", "?????"])
+        run = fits(tm, partial)
+        assert run is not None
+        assert run[1].symbols()[0] == "1"
+
+    def test_accepting_row_must_be_final(self):
+        tm = flip_machine()
+        # acceptance before the last row cannot be extended (A has no moves)
+        partial = PartialRun.from_strings(["S____", "?A???", "?????", "?????"])
+        assert fits(tm, partial) is None
+
+    def test_certificate_rejects_mismatch(self):
+        tm = flip_machine()
+        partial = blank_partial_run(width=5, steps=3)
+        run = fits(tm, partial)
+        assert run is not None
+        bad = list(run)
+        bad[0] = Configuration((), "S", ("1", "1", "_", "_"))
+        assert not verify_certificate(tm, partial, bad)
+
+    def test_matches_wildcards(self):
+        config = Configuration(("0",), "S", ("1",))
+        assert matches(("?", "?", "?"), config)
+        assert matches(("0", "S", "?"), config)
+        assert not matches(("1", "?", "?"), config)
+
+    def test_wildcard_fraction(self):
+        partial = PartialRun.from_strings(["S0", "??"])
+        assert partial.wildcard_fraction() == 0.5
+
+
+class TestLadner:
+    def test_all_strings(self):
+        assert len(all_strings("01", 2)) == 1 + 2 + 4
+
+    def test_h_bounded_when_decider_wins(self):
+        # diagonal = reject-everything; decider 0 solves it: H eventually 0
+        h = HFunction(diagonal=lambda w: False, deciders=trivial_deciders())
+        assert h(2 ** 16) == 0
+
+    def test_h_grows_when_no_decider_wins(self):
+        diagonal = lambda w: w.startswith("10")
+        h = HFunction(diagonal=diagonal, deciders=trivial_deciders())
+        big = 2 ** 16
+        assert h(big) == h.cap(big)  # runs to the cap
+
+    def test_h_cap_is_loglog(self):
+        h = HFunction(diagonal=lambda w: False, deciders=[])
+        assert h.cap(2 ** 4) == 2
+        assert h.cap(2 ** 16) == 4
+
+    def test_padded_language_membership(self):
+        h = HFunction(diagonal=lambda w: w.startswith("10"),
+                      deciders=trivial_deciders())
+        lang = PaddedLanguage(h=h, base=lambda w: w == "11")
+        n = 2
+        padding = lang.padding_length(n)
+        assert lang.contains("1" * padding)
+
+    def test_padded_language_rejects_wrong_padding(self):
+        h = HFunction(diagonal=lambda w: False, deciders=[])
+        lang = PaddedLanguage(h=h, base=lambda w: False)
+        assert not lang.contains("111")
+        assert not lang.contains("0")

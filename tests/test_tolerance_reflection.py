@@ -1,0 +1,53 @@
+"""Tests for the (2)=>(1) direction of Definition 3 (Section 4).
+
+The implication 'certain on the unravelling => certain on D' holds for
+uGF(=) ontologies under the uGF-unravelling and for uGC2(=) ontologies
+under the uGC2-unravelling, but fails for counting ontologies under the
+uGF-unravelling — the paper's ``∃≥4 R`` example.
+"""
+
+import pytest
+
+from repro.core.tolerance import check_unravelling_reflection
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.queries.cq import parse_cq
+
+COUNT4 = ontology(
+    "forall x (x = x -> (exists>=4 y (R(x,y)) -> A(x)))", name="count4")
+FAN3 = make_instance("R(a,b)", "R(a,c)", "R(a,d)")
+A_QUERY = [parse_cq("q(x) <- A(x)")]
+
+
+class TestCountingAnomaly:
+    def test_ugf_unravelling_breaks_reflection(self):
+        """Section 4: the uGF-unravelling of the fan gives the root copy
+        extra successors, so A becomes certain on D^u but not on D."""
+        ok, violations = check_unravelling_reflection(
+            COUNT4, [FAN3], queries=A_QUERY, unravel_depth=3, flavour="uGF")
+        assert not ok
+        assert any(v.query.arity == 1 for v in violations)
+
+    def test_ugc2_unravelling_preserves_reflection(self):
+        """Condition (c') keeps successor counts: no violation."""
+        ok, violations = check_unravelling_reflection(
+            COUNT4, [FAN3], queries=A_QUERY, unravel_depth=3, flavour="uGC2")
+        assert ok and not violations
+
+    def test_plain_ugf_ontology_reflects(self):
+        """For equality/counting-free uGF ontologies the uGF-unravelling
+        always reflects (the homomorphism h : e -> e^ preserves answers)."""
+        propagation = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))")
+        marked = make_instance("A(a)", "R(a,b)", "R(a,c)", "R(a,d)")
+        ok, violations = check_unravelling_reflection(
+            propagation, [marked], queries=A_QUERY,
+            unravel_depth=3, flavour="uGF")
+        assert ok and not violations
+
+    def test_small_fan_unaffected(self):
+        """With two petals condition (c) already blocks revisits: the root
+        copy keeps two successors and reflection holds even for uGF."""
+        fan2 = make_instance("R(a,b)", "R(a,c)")
+        ok, _ = check_unravelling_reflection(
+            COUNT4, [fan2], queries=A_QUERY, unravel_depth=3, flavour="uGF")
+        assert ok
