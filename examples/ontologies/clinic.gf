@@ -1,0 +1,7 @@
+# A disjunctive uGF(2) clinical ontology (lint-clean: python -m repro lint).
+forall x (Patient(x) -> Person(x))
+forall x,y (TreatedBy(x,y) -> Patient(x))
+forall x,y (TreatedBy(x,y) -> Clinician(y))
+forall x (Patient(x) -> exists y (TreatedBy(x,y)))
+forall x (Clinician(x) -> Doctor(x) | Nurse(x))
+forall x (Doctor(x) -> ~Nurse(x))

@@ -1,0 +1,7 @@
+# A uGF(2) transport-network ontology (lint-clean: python -m repro lint).
+forall x,y (Edge(x,y) -> Node(x))
+forall x,y (Edge(x,y) -> Node(y))
+forall x (Hub(x) -> Node(x))
+forall x (Hub(x) -> exists y (Edge(x,y) & Hub(y)))
+forall x (Terminal(x) -> Node(x))
+forall x (Terminal(x) -> ~Hub(x))

@@ -1,0 +1,8 @@
+# A small uGF(2) university ontology (lint-clean: python -m repro lint).
+forall x (Professor(x) -> Academic(x))
+forall x (Student(x) -> Person(x))
+forall x,y (Teaches(x,y) -> Professor(x))
+forall x,y (Teaches(x,y) -> Course(y))
+forall x,y (Enrolled(x,y) -> Student(x))
+forall x,y (Enrolled(x,y) -> Course(y))
+forall x (Course(x) -> exists y (Teaches(y,x)))

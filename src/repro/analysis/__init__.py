@@ -1,0 +1,45 @@
+"""Static analysis and runtime sanitizers for OMQ artifacts.
+
+``repro.analysis`` is the correctness-tooling layer of the library:
+
+* a **lint framework** — stable ``OMQ0xx`` diagnostics produced by a rule
+  registry driven over ontology/query/Datalog ASTs
+  (:mod:`~repro.analysis.diagnostics`, :mod:`~repro.analysis.linter`, the
+  ``rules_*`` modules); surfaced via ``python -m repro lint`` and the
+  opt-in pre-flight checks of
+  :class:`~repro.semantics.certain.CertainEngine`;
+* **engine sanitizers** — debug-mode runtime invariant checkers for the
+  chase and the CDCL solver (:mod:`~repro.analysis.sanitizers`), enabled
+  with ``REPRO_SANITIZE=1``.
+
+See ``docs/linting.md`` for the catalogue of diagnostic codes.
+"""
+
+from .diagnostics import (
+    Diagnostic, LintError, Severity, count_by_severity, has_errors,
+    render_json, render_text, sort_diagnostics,
+)
+from .linter import (
+    Finding, LintRule, REGISTRY, lint_artifacts, lint_datalog_text,
+    lint_ontology, lint_query_text, lint_sentences, rule, rules_for, walk,
+)
+
+# Importing the rule modules registers the built-in rules.
+from . import rules_syntax  # noqa: E402,F401  (registration side effect)
+from . import rules_query   # noqa: E402,F401
+from . import rules_fragment  # noqa: E402,F401
+
+from .sanitizers import (
+    CdclSanitizer, ChaseSanitizer, SanitizerError, cdcl_sanitizer,
+    chase_sanitizer, sanitize_enabled,
+)
+
+__all__ = [
+    "Diagnostic", "Severity", "LintError", "Finding", "LintRule", "REGISTRY",
+    "lint_artifacts", "lint_datalog_text", "lint_ontology", "lint_query_text",
+    "lint_sentences", "rule", "rules_for", "walk",
+    "render_json", "render_text", "sort_diagnostics", "has_errors",
+    "count_by_severity",
+    "SanitizerError", "ChaseSanitizer", "CdclSanitizer",
+    "chase_sanitizer", "cdcl_sanitizer", "sanitize_enabled",
+]

@@ -1,0 +1,132 @@
+"""Diagnostics: the common currency of the static-analysis layer.
+
+A :class:`Diagnostic` is an immutable finding with a stable code (``OMQ0xx``),
+a severity, a human-readable message, and a location — the *source* artifact
+it was found in (an ontology/data/query file or an in-memory object), an
+optional *line* in that artifact, and an AST *path* such as
+``sentence[2].body.or[1].exists(y)`` pinpointing the offending node.
+
+Codes are stable across releases: rules may be added but a code never
+changes meaning, so downstream tooling (CI gates, editor integrations) can
+match on them.  ``python -m repro lint --format json`` emits the
+:func:`render_json` form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+
+class Severity(Enum):
+    """Severity bands, ordered from most to least severe."""
+
+    ERROR = "error"      # malformed input: engines may crash or mis-answer
+    WARNING = "warning"  # suspicious: likely not what the author intended
+    INFO = "info"        # noteworthy but harmless
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding of the linter (or a sanitizer converted to a report)."""
+
+    code: str                 # stable identifier, e.g. "OMQ001"
+    severity: Severity
+    message: str
+    source: str = ""          # artifact: file path or "ontology"/"query"/...
+    line: int | None = None   # 1-based line in the source artifact
+    path: str = ""            # AST path within the artifact
+
+    def __post_init__(self) -> None:
+        if not self.code.startswith("OMQ"):
+            raise ValueError(f"diagnostic code {self.code!r} must be OMQ0xx")
+
+    def location(self) -> str:
+        """Render ``source:line:path`` with empty parts omitted."""
+        parts = [self.source]
+        if self.line is not None:
+            parts.append(str(self.line))
+        if self.path:
+            parts.append(self.path)
+        return ":".join(p for p in parts if p)
+
+    def render(self) -> str:
+        loc = self.location()
+        where = f" [{loc}]" if loc else ""
+        return f"{self.severity.value} {self.code}{where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "source": self.source,
+            "line": self.line,
+            "path": self.path,
+        }
+
+
+class LintError(ValueError):
+    """Raised when pre-flight linting finds error-level diagnostics.
+
+    Carries the full diagnostic list so callers (CLI, tests, services) can
+    present every finding rather than just the first.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics = tuple(diagnostics)
+        errors = [d for d in self.diagnostics if d.severity is Severity.ERROR]
+        summary = "; ".join(d.render() for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(f"{len(errors)} lint error(s): {summary}{more}")
+
+
+def sort_diagnostics(diags: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Order by severity, then source, line and code for stable output."""
+    return sorted(
+        diags,
+        key=lambda d: (d.severity.rank, d.source, d.line or 0, d.code, d.path),
+    )
+
+
+def has_errors(diags: Iterable[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diags)
+
+
+def count_by_severity(diags: Iterable[Diagnostic]) -> dict[str, int]:
+    out = {s.value: 0 for s in Severity}
+    for d in diags:
+        out[d.severity.value] += 1
+    return out
+
+
+def render_text(diags: Iterable[Diagnostic]) -> str:
+    """Human-readable report, one diagnostic per line plus a summary."""
+    ordered = sort_diagnostics(diags)
+    counts = count_by_severity(ordered)
+    lines = [d.render() for d in ordered]
+    lines.append(
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diags: Iterable[Diagnostic]) -> str:
+    """Machine-readable report for ``--format json`` and CI gates."""
+    ordered = sort_diagnostics(diags)
+    payload = {
+        "diagnostics": [d.to_dict() for d in ordered],
+        "counts": count_by_severity(ordered),
+        "ok": not has_errors(ordered),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,231 @@
+"""The lint driver: a rule registry plus visitors over the core ASTs.
+
+Rules are plain generator functions registered with the :func:`rule`
+decorator.  Each rule declares a stable code, a default severity and a
+*target* — the kind of artifact it inspects:
+
+* ``sentence``  — one ontology sentence (a :class:`~repro.logic.syntax.Formula`);
+* ``ontology``  — the sentence list plus functionality declarations;
+* ``query``     — raw CQ/UCQ text (lenient parse, so malformed queries are
+  reported rather than raised);
+* ``datalog``   — raw Datalog(≠) program text, one rule per line;
+* ``artifacts`` — the cross-artifact view (ontology + data + query), used
+  for signature-consistency checks.
+
+Rules yield :class:`Finding` objects; the driver stamps them with the code,
+severity and source to produce :class:`~repro.analysis.diagnostics.Diagnostic`
+values.  Importing :mod:`repro.analysis` loads the built-in rule modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..logic.ontology import Ontology
+from ..logic.syntax import (
+    And, Atom, CountExists, Eq, Exists, Forall, Formula, Implies, Not, Or,
+    Var,
+)
+from .diagnostics import Diagnostic, Severity
+
+Target = str  # "sentence" | "ontology" | "query" | "datalog" | "artifacts"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """What a rule yields: a message plus an optional location refinement."""
+
+    message: str
+    path: str = ""
+    line: int | None = None
+    severity: Severity | None = None  # override of the rule default
+    source: str = ""                  # override of the driver's source
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule."""
+
+    code: str
+    severity: Severity
+    target: Target
+    summary: str
+    func: Callable[..., Iterator[Finding]]
+
+
+REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(code: str, severity: Severity, target: Target, summary: str):
+    """Register a lint rule under a stable ``OMQ0xx`` code."""
+
+    def register(func: Callable[..., Iterator[Finding]]) -> Callable:
+        if code in REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code}")
+        REGISTRY[code] = LintRule(code, severity, target, summary, func)
+        return func
+
+    return register
+
+
+def rules_for(target: Target) -> list[LintRule]:
+    return [r for r in sorted(REGISTRY.values(), key=lambda r: r.code)
+            if r.target == target]
+
+
+# ---------------------------------------------------------------------------
+# AST walking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    """One visit during a formula walk."""
+
+    formula: Formula
+    path: str                    # e.g. "body.and[0].exists(y)"
+    scope: frozenset[Var]        # variables bound by enclosing quantifiers
+
+
+def walk(phi: Formula, path: str = "", scope: frozenset[Var] = frozenset()) -> Iterator[Node]:
+    """Depth-first walk yielding every node with its path and variable scope.
+
+    Guards are visited (path suffix ``.guard``) with the quantified
+    variables already in scope.
+    """
+    yield Node(phi, path, scope)
+    dot = "." if path else ""
+    if isinstance(phi, (Exists, Forall)):
+        inner = scope | frozenset(phi.vars)
+        kw = "exists" if isinstance(phi, Exists) else "forall"
+        vs = ",".join(v.name for v in phi.vars)
+        here = f"{path}{dot}{kw}({vs})"
+        if phi.guard is not None:
+            yield Node(phi.guard, f"{here}.guard", inner)
+        yield from walk(phi.body, f"{here}.body", inner)
+    elif isinstance(phi, CountExists):
+        inner = scope | frozenset({phi.var})
+        here = f"{path}{dot}exists>={phi.n}({phi.var.name})"
+        yield Node(phi.guard, f"{here}.guard", inner)
+        yield from walk(phi.body, f"{here}.body", inner)
+    elif isinstance(phi, Not):
+        yield from walk(phi.sub, f"{path}{dot}not", scope)
+    elif isinstance(phi, And):
+        for i, c in enumerate(phi.conjuncts):
+            yield from walk(c, f"{path}{dot}and[{i}]", scope)
+    elif isinstance(phi, Or):
+        for i, d in enumerate(phi.disjuncts):
+            yield from walk(d, f"{path}{dot}or[{i}]", scope)
+    elif isinstance(phi, Implies):
+        yield from walk(phi.antecedent, f"{path}{dot}lhs", scope)
+        yield from walk(phi.consequent, f"{path}{dot}rhs", scope)
+
+
+# ---------------------------------------------------------------------------
+# Driver entry points
+# ---------------------------------------------------------------------------
+
+
+def _emit(rule_: LintRule, findings: Iterable[Finding], source: str,
+          base_path: str = "", line: int | None = None) -> Iterator[Diagnostic]:
+    for f in findings:
+        path = f.path
+        if base_path:
+            path = f"{base_path}.{f.path}" if f.path else base_path
+        yield Diagnostic(
+            code=rule_.code,
+            severity=f.severity or rule_.severity,
+            message=f.message,
+            source=f.source or source,
+            line=f.line if f.line is not None else line,
+            path=path,
+        )
+
+
+def lint_sentences(
+    sentences: Sequence[Formula],
+    functional: Iterable[str] = (),
+    inverse_functional: Iterable[str] = (),
+    source: str = "ontology",
+    lines: Sequence[int] | None = None,
+) -> list[Diagnostic]:
+    """Lint a list of sentences plus functionality declarations.
+
+    This is the raw entry point used by the CLI *before* an
+    :class:`~repro.logic.ontology.Ontology` is constructed, so that inputs
+    the eager validation would reject still produce diagnostics instead of
+    a traceback.  ``lines`` optionally maps each sentence to its 1-based
+    source line.
+    """
+    out: list[Diagnostic] = []
+    for idx, sentence in enumerate(sentences):
+        line = lines[idx] if lines is not None else None
+        for r in rules_for("sentence"):
+            out.extend(_emit(r, r.func(sentence), source,
+                             base_path=f"sentence[{idx}]", line=line))
+    for r in rules_for("ontology"):
+        out.extend(_emit(
+            r,
+            r.func(sentences, frozenset(functional),
+                   frozenset(inverse_functional), lines),
+            source))
+    return out
+
+
+def lint_ontology(onto: Ontology, source: str = "") -> list[Diagnostic]:
+    """Lint a constructed ontology."""
+    return lint_sentences(
+        onto.sentences, onto.functional, onto.inverse_functional,
+        source=source or (onto.name or "ontology"))
+
+
+def lint_query_text(text: str, source: str = "query") -> list[Diagnostic]:
+    """Lint CQ/UCQ text (``;``-separated disjuncts)."""
+    out: list[Diagnostic] = []
+    for r in rules_for("query"):
+        out.extend(_emit(r, r.func(text), source))
+    return out
+
+
+def lint_datalog_text(text: str, source: str = "program") -> list[Diagnostic]:
+    """Lint Datalog(≠) program text, one rule per line."""
+    out: list[Diagnostic] = []
+    for r in rules_for("datalog"):
+        out.extend(_emit(r, r.func(text), source))
+    return out
+
+
+def lint_artifacts(
+    sentences: Sequence[Formula] = (),
+    functional: Iterable[str] = (),
+    data_sig: dict[str, int] | None = None,
+    query_text: str | None = None,
+    program_text: str | None = None,
+    sources: dict[str, str] | None = None,
+    lines: Sequence[int] | None = None,
+) -> list[Diagnostic]:
+    """Lint a full OMQ workload: ontology + data signature + query + program.
+
+    Individual artifact rules run first; the cross-artifact rules (target
+    ``artifacts``) then see the combined signature usage.  ``sources`` maps
+    the artifact kinds (``ontology``/``data``/``query``/``program``) to
+    display names, typically file paths.
+    """
+    sources = sources or {}
+    out = lint_sentences(
+        sentences, functional, source=sources.get("ontology", "ontology"),
+        lines=lines)
+    if query_text is not None:
+        out.extend(lint_query_text(
+            query_text, source=sources.get("query", "query")))
+    if program_text is not None:
+        out.extend(lint_datalog_text(
+            program_text, source=sources.get("program", "program")))
+    for r in rules_for("artifacts"):
+        out.extend(_emit(
+            r,
+            r.func(sentences, frozenset(functional), data_sig,
+                   query_text, program_text, sources),
+            sources.get("ontology", "ontology")))
+    return out

@@ -1,0 +1,187 @@
+"""Fragment-level lint rules: signatures, features, Figure-1 bands.
+
+These rules check properties that only make sense for the ontology as a
+whole — signature consistency, functionality declarations, the equality
+and depth features that decide which Figure-1 fragment (and hence which
+complexity band) :func:`repro.core.classify.classify_ontology` will claim —
+plus the cross-artifact signature check over ontology, data and query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..guarded.fragments import (
+    equality_inside, outer_guard_is_equality, sentence_depth,
+)
+from ..queries.cq import QueryError
+from ..logic.syntax import Formula, Or, atoms_of, subformulas
+from .diagnostics import Severity
+from .linter import Finding, rule
+from .rules_query import parse_query_atoms
+
+#: The deepest sentence depth any named Figure-1 fragment admits.
+FIGURE1_MAX_DEPTH = 2
+
+
+def _sentence_signatures(sentences) -> Iterator[tuple[int, str, int]]:
+    """Yield (sentence index, predicate, arity) for every atom occurrence."""
+    for idx, sentence in enumerate(sentences):
+        for atom in atoms_of(sentence):
+            yield idx, atom.pred, atom.arity
+
+
+@rule("OMQ003", Severity.ERROR, "ontology",
+      "predicate used at inconsistent arities")
+def inconsistent_arity(sentences, functional, inverse_functional,
+                       lines) -> Iterator[Finding]:
+    """The same predicate symbol used with two different arities.
+
+    Engines key their indexes on the symbol alone, so an arity clash makes
+    facts and axioms about the "same" relation silently disconnected.
+    """
+    seen: dict[str, tuple[int, int]] = {}  # pred -> (arity, first sentence)
+    for idx, pred, arity in _sentence_signatures(sentences):
+        if pred not in seen:
+            seen[pred] = (arity, idx)
+        elif seen[pred][0] != arity:
+            known, first = seen[pred]
+            yield Finding(
+                f"predicate {pred} used at arity {arity} but sentence[{first}] "
+                f"uses it at arity {known}",
+                path=f"sentence[{idx}]",
+                line=lines[idx] if lines is not None else None)
+
+
+@rule("OMQ004", Severity.ERROR, "ontology",
+      "functionality declared on a non-binary relation")
+def functionality_non_binary(sentences, functional, inverse_functional,
+                             lines) -> Iterator[Finding]:
+    """``func(R)`` only means anything for binary R (uGF2(f), Section 2.1);
+    a declaration on a relation used at another arity is an error."""
+    arities: dict[str, int] = {}
+    for _idx, pred, arity in _sentence_signatures(sentences):
+        arities.setdefault(pred, arity)
+    for kind, rels in (("functional", functional),
+                       ("inverse-functional", inverse_functional)):
+        for rel in sorted(rels):
+            arity = arities.get(rel, 2)
+            if arity != 2:
+                yield Finding(
+                    f"{kind} declaration on {rel}, which is used at arity "
+                    f"{arity}; partial functions must be binary")
+
+
+@rule("OMQ005", Severity.WARNING, "ontology",
+      "equality outside the outer guard in a '−' ontology")
+def equality_in_minus_fragment(sentences, functional, inverse_functional,
+                               lines) -> Iterator[Finding]:
+    """Every outer guard is an equality — the ontology presents as a ``−``
+    fragment (uGF−/uGC2−) — yet some sentence also uses equality in a
+    non-guard position.  That single ``=`` adds the ``=`` feature and can
+    move the ontology to a harder Figure-1 band (e.g. uGF2−(2) is a
+    dichotomy fragment while adding ``=`` leaves the named map)."""
+    if not sentences:
+        return
+    if not all(outer_guard_is_equality(s) for s in sentences):
+        return
+    for idx, sentence in enumerate(sentences):
+        if equality_inside(sentence):
+            yield Finding(
+                "equality in a non-guard position; the ontology otherwise "
+                "qualifies for the '−' (equality-outer-guards-only) fragments",
+                path=f"sentence[{idx}]",
+                line=lines[idx] if lines is not None else None)
+
+
+@rule("OMQ006", Severity.WARNING, "ontology",
+      "sentence depth beyond every named Figure-1 fragment")
+def depth_beyond_figure1(sentences, functional, inverse_functional,
+                         lines) -> Iterator[Finding]:
+    """Every named fragment of Figure 1 has depth at most 2, so a deeper
+    sentence forces :func:`classify_ontology` to the OPEN band even when
+    everything else is tame.  Depth can often be reduced with the
+    conservative depth-one rewriting (``repro.guarded.fragments.to_depth_one``)."""
+    for idx, sentence in enumerate(sentences):
+        depth = sentence_depth(sentence)
+        if depth > FIGURE1_MAX_DEPTH:
+            yield Finding(
+                f"sentence depth {depth} exceeds the maximum depth "
+                f"{FIGURE1_MAX_DEPTH} of the named Figure-1 fragments; "
+                "classification falls to the OPEN band",
+                path=f"sentence[{idx}]",
+                line=lines[idx] if lines is not None else None)
+
+
+@rule("OMQ009", Severity.WARNING, "ontology",
+      "closed disjunct (invariance-under-disjoint-unions red flag)")
+def closed_disjunct(sentences, functional, inverse_functional,
+                    lines) -> Iterator[Finding]:
+    """A disjunction with a *closed* disjunct (no free variables) lets a
+    sentence talk about the whole model at once — the typical way to break
+    invariance under disjoint unions (Theorem 1), which every uGF fragment
+    of the paper assumes.  openGF forbids closed subformulas for exactly
+    this reason."""
+    for idx, sentence in enumerate(sentences):
+        for sub in subformulas(sentence):
+            if isinstance(sub, Or):
+                closed = [d for d in sub.disjuncts if not d.free_vars()]
+                if closed:
+                    yield Finding(
+                        f"disjunction has closed disjunct(s) "
+                        f"{', '.join(repr(d) for d in closed[:2])}; sentences "
+                        "mixing closed and open disjuncts are typically not "
+                        "invariant under disjoint unions",
+                        path=f"sentence[{idx}]",
+                        line=lines[idx] if lines is not None else None)
+                    break  # one report per sentence is enough
+
+
+@rule("OMQ015", Severity.INFO, "ontology",
+      "functional relation never used in a sentence")
+def unused_functional_relation(sentences, functional, inverse_functional,
+                               lines) -> Iterator[Finding]:
+    """A functionality declaration on a relation no sentence mentions is
+    either dead configuration or a misspelt relation name."""
+    used = {pred for _idx, pred, _arity in _sentence_signatures(sentences)}
+    for rel in sorted((functional | inverse_functional) - used):
+        yield Finding(
+            f"relation {rel} is declared functional but never occurs in "
+            "any sentence")
+
+
+@rule("OMQ019", Severity.ERROR, "artifacts",
+      "cross-artifact arity clash")
+def cross_artifact_arity(sentences, functional, data_sig, query_text,
+                         program_text, sources) -> Iterator[Finding]:
+    """Ontology, data and query must agree on every predicate's arity;
+    a clash means the query can never match facts the ontology talks
+    about, so the OMQ silently degenerates."""
+    seen: dict[str, tuple[int, str]] = {}  # pred -> (arity, artifact)
+    for _idx, pred, arity in _sentence_signatures(sentences):
+        seen.setdefault(pred, (arity, sources.get("ontology", "ontology")))
+    for rel in sorted(functional):
+        seen.setdefault(rel, (2, sources.get("ontology", "ontology")))
+
+    def check(pred: str, arity: int, artifact: str) -> Iterator[Finding]:
+        if pred not in seen:
+            seen[pred] = (arity, artifact)
+            return
+        known, where = seen[pred]
+        if known != arity:
+            yield Finding(
+                f"predicate {pred} has arity {arity} in {artifact} but "
+                f"arity {known} in {where}",
+                source=artifact)
+
+    for pred, arity in sorted((data_sig or {}).items()):
+        yield from check(pred, arity, sources.get("data", "data"))
+    if query_text is not None:
+        try:
+            parsed = parse_query_atoms(query_text)
+        except QueryError:
+            return  # OMQ020 reports the parse failure
+        for _disjunct, _ans, atoms in parsed:
+            for pred, args in atoms:
+                yield from check(pred, len(args),
+                                 sources.get("query", "query"))

@@ -1,0 +1,238 @@
+"""Query and Datalog lint rules, over *text* with a lenient parser.
+
+The strict constructors (:class:`repro.queries.cq.CQ`,
+:class:`repro.datalog.program.Rule`) raise on malformed input, which is the
+right behaviour for programmatic use but useless for a linter: the whole
+point is to report every problem with a stable code instead of dying on the
+first.  So these rules re-parse the raw text leniently — shape only, no
+validation — and emit diagnostics for what the constructors would reject
+(and for legal-but-suspicious shapes the constructors accept).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ..queries.cq import QueryError
+from .diagnostics import Severity
+from .linter import Finding, rule
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z][A-Za-z0-9_']*)\s*\(([^()]*)\)\s*$")
+
+#: (answer variable names, [(pred, arg names)]) per UCQ disjunct.
+ParsedDisjunct = tuple[int, list[str], list[tuple[str, list[str]]]]
+
+
+def parse_query_atoms(text: str) -> list[ParsedDisjunct]:
+    """Shape-parse CQ/UCQ text; raises :class:`QueryError` when hopeless.
+
+    Unlike :func:`repro.queries.cq.parse_cq` this performs no semantic
+    validation, so queries with unbound answer variables or mixed arities
+    come back intact for the rules to inspect.
+    """
+    out: list[ParsedDisjunct] = []
+    for idx, part in enumerate(p for p in text.split(";") if p.strip()):
+        head, sep, body = part.partition("<-")
+        if not sep:
+            raise QueryError(f"disjunct {idx}: missing '<-' in {part.strip()!r}")
+        head = head.strip()
+        if not (head.startswith("q(") and head.endswith(")")):
+            raise QueryError(
+                f"disjunct {idx}: head must look like q(...), got {head!r}")
+        answers = [v.strip() for v in head[2:-1].split(",") if v.strip()]
+        atoms: list[tuple[str, list[str]]] = []
+        for piece in body.split("&"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            m = _ATOM_RE.match(piece)
+            if not m:
+                raise QueryError(f"disjunct {idx}: malformed atom {piece!r}")
+            pred, args_text = m.groups()
+            atoms.append(
+                (pred, [a.strip() for a in args_text.split(",") if a.strip()]))
+        out.append((idx, answers, atoms))
+    if not out:
+        raise QueryError("empty query")
+    return out
+
+
+def _parsed_or_none(text: str) -> list[ParsedDisjunct] | None:
+    try:
+        return parse_query_atoms(text)
+    except QueryError:
+        return None  # OMQ020 reports the parse failure
+
+
+@rule("OMQ020", Severity.ERROR, "query",
+      "malformed query text")
+def malformed_query(text: str) -> Iterator[Finding]:
+    """The query text does not even have CQ/UCQ shape."""
+    try:
+        parse_query_atoms(text)
+    except QueryError as exc:
+        yield Finding(f"malformed query: {exc}")
+
+
+@rule("OMQ012", Severity.ERROR, "query",
+      "answer variable not in the query body")
+def answer_var_not_in_body(text: str) -> Iterator[Finding]:
+    """Every answer variable must occur in some body atom, otherwise it has
+    no binding and the query cannot be evaluated."""
+    parsed = _parsed_or_none(text)
+    for idx, answers, atoms in parsed or ():
+        body_vars = {a for _pred, args in atoms for a in args}
+        for name in answers:
+            if name not in body_vars:
+                yield Finding(
+                    f"answer variable {name} does not occur in any atom "
+                    "of the query body",
+                    path=f"disjunct[{idx}]")
+
+
+@rule("OMQ013", Severity.WARNING, "query",
+      "disconnected conjunctive query")
+def disconnected_cq(text: str) -> Iterator[Finding]:
+    """A CQ whose atoms split into variable-disjoint groups is a Cartesian
+    product of independent queries — legal, but usually a forgotten join
+    variable, and exponentially more expensive to evaluate."""
+    parsed = _parsed_or_none(text)
+    for idx, _answers, atoms in parsed or ():
+        groups: list[set[str]] = []
+        for _pred, args in atoms:
+            vars_ = set(args) or {f"#atom{len(groups)}"}  # 0-ary atoms isolate
+            touching = [g for g in groups if g & vars_]
+            merged = set(vars_).union(*touching) if touching else set(vars_)
+            groups = [g for g in groups if not (g & vars_)] + [merged]
+        if len(groups) > 1:
+            yield Finding(
+                f"query body splits into {len(groups)} variable-disjoint "
+                "components; did you forget a join variable?",
+                path=f"disjunct[{idx}]")
+
+
+@rule("OMQ014", Severity.ERROR, "query",
+      "UCQ disjuncts with different arities")
+def ucq_mixed_arity(text: str) -> Iterator[Finding]:
+    """All disjuncts of a UCQ must share the answer arity."""
+    parsed = _parsed_or_none(text)
+    if not parsed or len(parsed) < 2:
+        return
+    arities = {idx: len(answers) for idx, answers, _atoms in parsed}
+    if len(set(arities.values())) > 1:
+        detail = ", ".join(f"disjunct[{i}]: {n}" for i, n in arities.items())
+        yield Finding(f"UCQ disjuncts have mixed arities ({detail})")
+
+
+# ---------------------------------------------------------------------------
+# Datalog rules
+# ---------------------------------------------------------------------------
+
+
+def parse_datalog_rules(text: str):
+    """Shape-parse program text: yield ``(lineno, line, head, body)``.
+
+    ``head`` is ``(pred, [terms])``; body literals are ``("atom", pred,
+    [terms])`` or ``("neq", left, right)``.  Terms keep their source
+    spelling (``$c`` marks constants).  Malformed lines yield
+    ``(lineno, line, None, error message)``.
+    """
+    atom_re = re.compile(r"\s*([A-Za-z][A-Za-z0-9_']*)\s*\(([^()]*)\)\s*$")
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        head_text, sep, body_text = line.partition("<-")
+        if not sep:
+            yield lineno, line, None, f"missing '<-' in {line!r}"
+            continue
+        m = atom_re.match(head_text)
+        if not m:
+            yield lineno, line, None, f"malformed head {head_text.strip()!r}"
+            continue
+        head = (m.group(1), [t.strip() for t in m.group(2).split(",") if t.strip()])
+        body = []
+        bad = None
+        for piece in body_text.split("&"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            if "!=" in piece:
+                left, right = (t.strip() for t in piece.split("!=", 1))
+                body.append(("neq", left, right))
+                continue
+            m = atom_re.match(piece)
+            if not m:
+                bad = f"malformed body literal {piece!r}"
+                break
+            body.append(
+                ("atom", m.group(1),
+                 [t.strip() for t in m.group(2).split(",") if t.strip()]))
+        if bad:
+            yield lineno, line, None, bad
+        else:
+            yield lineno, line, head, body
+
+
+def _is_var(term: str) -> bool:
+    return not term.startswith("$")
+
+
+@rule("OMQ021", Severity.ERROR, "datalog",
+      "malformed Datalog rule")
+def malformed_datalog_rule(text: str) -> Iterator[Finding]:
+    for lineno, _line, head, body in parse_datalog_rules(text):
+        if head is None:
+            yield Finding(f"malformed rule: {body}", line=lineno)
+
+
+@rule("OMQ011", Severity.ERROR, "datalog",
+      "unsafe Datalog rule")
+def unsafe_datalog_rule(text: str) -> Iterator[Finding]:
+    """Safety (Appendix B): every head variable — and every variable of an
+    inequality — must be bound by a relational body atom."""
+    for lineno, _line, head, body in parse_datalog_rules(text):
+        if head is None:
+            continue
+        bound = {t for lit in body if lit[0] == "atom"
+                 for t in lit[2] if _is_var(t)}
+        pred, head_terms = head
+        unsafe = [t for t in head_terms if _is_var(t) and t not in bound]
+        if unsafe:
+            yield Finding(
+                f"unsafe rule for {pred}: head variable(s) "
+                f"{', '.join(sorted(unsafe))} not bound by a relational "
+                "body atom",
+                line=lineno)
+        for lit in body:
+            if lit[0] != "neq":
+                continue
+            loose = [t for t in lit[1:] if _is_var(t) and t not in bound]
+            if loose:
+                yield Finding(
+                    f"inequality variable(s) {', '.join(sorted(loose))} "
+                    "not bound by a relational body atom",
+                    line=lineno)
+
+
+@rule("OMQ018", Severity.WARNING, "datalog",
+      "goal relation missing or misused")
+def goal_relation(text: str) -> Iterator[Finding]:
+    """By convention the designated goal relation is ``goal``: it must be
+    defined by at least one rule and must never occur in a rule body."""
+    heads: set[str] = set()
+    body_hits: list[int] = []
+    any_rule = False
+    for lineno, _line, head, body in parse_datalog_rules(text):
+        if head is None:
+            continue
+        any_rule = True
+        heads.add(head[0])
+        if any(lit[0] == "atom" and lit[1] == "goal" for lit in body):
+            body_hits.append(lineno)
+    for lineno in body_hits:
+        yield Finding("goal relation 'goal' occurs in a rule body",
+                      line=lineno)
+    if any_rule and "goal" not in heads:
+        yield Finding("no rule defines the goal relation 'goal'")

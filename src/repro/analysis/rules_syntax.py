@@ -1,0 +1,149 @@
+"""Structural (per-sentence) lint rules: guards, scoping, well-formedness.
+
+These rules check the syntactic obligations of the guarded fragment
+(Section 2.1 of the paper): every quantifier carries a guard, the guard
+covers the quantified block together with the free variables of the body,
+counting guards are binary, sentences are closed, and variable binding is
+hygienic (no unused or shadowed quantified variables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..logic.syntax import (
+    Atom, CountExists, Eq, Exists, Forall, Formula, Var,
+)
+from .diagnostics import Severity
+from .linter import Finding, rule, walk
+
+
+def _vars(names) -> str:
+    return ", ".join(sorted(v.name for v in names))
+
+
+@rule("OMQ001", Severity.ERROR, "sentence",
+      "quantifier without a guard")
+def unguarded_quantifier(sentence: Formula) -> Iterator[Finding]:
+    """Every Exists/Forall must carry a guard atom (or equality).
+
+    ``guard=None`` encodes plain FO quantification; it is representable in
+    the AST but rejected by every guarded-fragment engine, so it is almost
+    always an authoring mistake (a guard that failed to parse as such).
+    """
+    for node in walk(sentence):
+        phi = node.formula
+        if isinstance(phi, (Exists, Forall)) and phi.guard is None:
+            kw = "exists" if isinstance(phi, Exists) else "forall"
+            yield Finding(
+                f"unguarded {kw} over {_vars(phi.vars)}: guarded-fragment "
+                "quantifiers need an atomic (or equality) guard",
+                path=node.path)
+
+
+@rule("OMQ002", Severity.ERROR, "sentence",
+      "guard does not cover the quantified variables")
+def guard_not_covering(sentence: Formula) -> Iterator[Finding]:
+    """A GF guard must contain all quantified variables and all free
+    variables of the body (the guardedness condition of Section 2.1)."""
+    for node in walk(sentence):
+        phi = node.formula
+        if isinstance(phi, (Exists, Forall)) and phi.guard is not None:
+            needed = frozenset(phi.vars) | phi.body.free_vars()
+            missing = needed - phi.guard.free_vars()
+            if missing:
+                yield Finding(
+                    f"guard {phi.guard!r} does not cover {_vars(missing)} "
+                    "(guards must contain every quantified variable and "
+                    "every free variable of the body)",
+                    path=node.path)
+
+
+@rule("OMQ007", Severity.WARNING, "sentence",
+      "quantified variable never used")
+def unused_quantified_variable(sentence: Formula) -> Iterator[Finding]:
+    """A quantified variable occurring neither in the guard nor the body is
+    dead weight — usually a typo for a variable that *is* used."""
+    for node in walk(sentence):
+        phi = node.formula
+        if isinstance(phi, (Exists, Forall)):
+            used = phi.body.free_vars()
+            if phi.guard is not None:
+                used = used | phi.guard.free_vars()
+            unused = frozenset(phi.vars) - used
+            if unused:
+                yield Finding(
+                    f"quantified variable(s) {_vars(unused)} occur neither "
+                    "in the guard nor in the body",
+                    path=node.path)
+
+
+@rule("OMQ008", Severity.WARNING, "sentence",
+      "quantifier shadows an enclosing variable")
+def shadowed_quantified_variable(sentence: Formula) -> Iterator[Finding]:
+    """Rebinding a variable that an enclosing quantifier already binds is
+    legal but almost always unintended: the inner binder silently captures
+    occurrences the author meant to refer to the outer one."""
+    for node in walk(sentence):
+        phi = node.formula
+        bound: tuple[Var, ...] = ()
+        if isinstance(phi, (Exists, Forall)):
+            bound = phi.vars
+        elif isinstance(phi, CountExists):
+            bound = (phi.var,)
+        shadowed = frozenset(bound) & node.scope
+        if shadowed:
+            yield Finding(
+                f"quantifier rebinds {_vars(shadowed)} already bound by an "
+                "enclosing quantifier",
+                path=node.path)
+
+
+@rule("OMQ010", Severity.ERROR, "sentence",
+      "sentence has free variables")
+def free_variables(sentence: Formula) -> Iterator[Finding]:
+    """Ontology members must be sentences (no free variables)."""
+    free = sentence.free_vars()
+    if free:
+        yield Finding(
+            f"sentence has free variable(s) {_vars(free)}; ontology members "
+            "must be closed formulas")
+
+
+@rule("OMQ016", Severity.ERROR, "sentence",
+      "malformed counting guard")
+def bad_counting_guard(sentence: Formula) -> Iterator[Finding]:
+    """A GC2 counting quantifier ``exists>=n y`` needs a *binary* guard atom
+    mentioning the counted variable (openGC2, Section 2.1)."""
+    for node in walk(sentence):
+        phi = node.formula
+        if not isinstance(phi, CountExists):
+            continue
+        if phi.guard.arity != 2:
+            yield Finding(
+                f"counting guard {phi.guard!r} has arity {phi.guard.arity}; "
+                "GC2 counting guards must be binary",
+                path=node.path)
+        elif phi.var not in phi.guard.free_vars():
+            yield Finding(
+                f"counting guard {phi.guard!r} does not mention the counted "
+                f"variable {phi.var.name}",
+                path=node.path)
+
+
+@rule("OMQ017", Severity.WARNING, "ontology",
+      "duplicate sentence")
+def duplicate_sentence(sentences, functional, inverse_functional,
+                       lines) -> Iterator[Finding]:
+    """The same sentence listed twice: harmless semantically, but usually a
+    copy-paste slip that hides a missing axiom."""
+    seen: dict[Formula, int] = {}
+    for idx, sentence in enumerate(sentences):
+        if sentence in seen:
+            first = seen[sentence]
+            yield Finding(
+                f"sentence[{idx}] duplicates sentence[{first}]: {sentence!r}",
+                path=f"sentence[{idx}]",
+                line=lines[idx] if lines is not None else None)
+        else:
+            seen[sentence] = idx

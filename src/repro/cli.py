@@ -7,12 +7,19 @@ Commands:
 * ``evaluate <ontology-file> <data-file> <query>`` — certain answers of a
   CQ/UCQ over a database given the ontology.
 * ``consistent <ontology-file> <data-file>`` — consistency check.
+* ``lint <ontology-file> [--data F] [--query Q] [--program F]`` — static
+  analysis: report ``OMQ0xx`` diagnostics over the ontology and, when
+  given, the data/query/Datalog artifacts (``--format json`` for tooling).
 * ``figure1`` — print the Figure-1 classification map.
 * ``bioportal`` — regenerate the corpus analysis.
 
 Data files contain one fact per line (``R(a,b)``); ontology files one
 sentence per line (``forall x,y (R(x,y) -> A(x))``), or DL axioms with
 ``--dl`` (``A sub some R B``).
+
+Exit codes: 0 success (``lint``: no error-level diagnostics), 1 failure
+(``lint``: at least one error-level diagnostic; ``consistent``:
+inconsistent), 2 unreadable or unparseable input.
 """
 
 from __future__ import annotations
@@ -21,35 +28,67 @@ import argparse
 import sys
 from pathlib import Path
 
+from .analysis import (
+    Diagnostic, LintError, Severity, has_errors, lint_artifacts,
+    render_json, render_text,
+)
 from .core.classify import classify_dl_ontology, classify_ontology
 from .core.dichotomy import FIGURE_1
 from .dl.parser import parse_dl_ontology
 from .dl.translate import dl_to_ontology
 from .logic.instance import make_instance
 from .logic.ontology import Ontology, ontology
-from .queries.cq import parse_cq, parse_ucq
+from .logic.parser import ParseError, parse_sentences_with_lines
+from .queries.cq import QueryError, parse_cq, parse_ucq
 from .semantics.certain import CertainEngine
 
 
+class CliInputError(Exception):
+    """Unreadable or unparseable input; rendered as one line, exit code 2."""
+
+
+def _read_text(path: str) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        raise CliInputError(f"{path}: {exc.strerror or exc}") from exc
+
+
 def _load_ontology(path: str, dl: bool) -> Ontology:
-    text = Path(path).read_text()
-    if dl:
-        return dl_to_ontology(parse_dl_ontology(text, name=Path(path).stem))
-    return ontology(text, name=Path(path).stem)
+    text = _read_text(path)
+    try:
+        if dl:
+            return dl_to_ontology(parse_dl_ontology(text, name=Path(path).stem))
+        return ontology(text, name=Path(path).stem)
+    except (ParseError, ValueError) as exc:
+        raise CliInputError(f"{path}: {exc}") from exc
 
 
 def _load_instance(path: str):
     lines = [
         line.split("#", 1)[0].strip()
-        for line in Path(path).read_text().splitlines()
+        for line in _read_text(path).splitlines()
     ]
-    return make_instance(*(line for line in lines if line))
+    try:
+        return make_instance(*(line for line in lines if line))
+    except ValueError as exc:
+        raise CliInputError(f"{path}: {exc}") from exc
+
+
+def _parse_query(text: str):
+    try:
+        return parse_ucq(text) if ";" in text else parse_cq(text)
+    except QueryError as exc:
+        raise CliInputError(f"query: {exc}") from exc
 
 
 def cmd_classify(args: argparse.Namespace) -> int:
     if args.dl:
-        tbox = parse_dl_ontology(Path(args.ontology).read_text(),
-                                 name=Path(args.ontology).stem)
+        try:
+            tbox = parse_dl_ontology(_read_text(args.ontology),
+                                     name=Path(args.ontology).stem)
+        except ValueError as exc:
+            raise CliInputError(f"{args.ontology}: {exc}") from exc
         result = classify_dl_ontology(tbox, check_mat=not args.no_mat)
     else:
         onto = _load_ontology(args.ontology, dl=False)
@@ -63,8 +102,9 @@ def cmd_classify(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     onto = _load_ontology(args.ontology, args.dl)
     data = _load_instance(args.data)
-    query = parse_ucq(args.query) if ";" in args.query else parse_cq(args.query)
-    engine = CertainEngine(onto, backend=args.backend)
+    query = _parse_query(args.query)
+    engine = CertainEngine(onto, backend=args.backend,
+                           preflight=args.preflight)
     answers = sorted(
         engine.certain_answers(data, query), key=repr)
     if query.arity == 0:
@@ -80,10 +120,74 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_consistent(args: argparse.Namespace) -> int:
     onto = _load_ontology(args.ontology, args.dl)
     data = _load_instance(args.data)
-    engine = CertainEngine(onto, backend=args.backend)
+    engine = CertainEngine(onto, backend=args.backend,
+                           preflight=args.preflight)
     consistent = engine.is_consistent(data)
     print(f"consistent: {consistent}")
     return 0 if consistent else 1
+
+
+def _lint_data_sigs(path: str) -> list[tuple[str, int]]:
+    """Every (pred, arity) pair occurring in the data file."""
+    pairs: set[tuple[str, int]] = set()
+    for lineno, raw in enumerate(_read_text(path).splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        pred, _, rest = line.partition("(")
+        if not rest.endswith(")"):
+            raise CliInputError(f"{path}: line {lineno}: malformed fact {line!r}")
+        args = [a for a in rest[:-1].split(",") if a.strip()]
+        pairs.add((pred.strip(), len(args)))
+    return sorted(pairs)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    sources = {"ontology": args.ontology}
+    if args.dl:
+        onto = _load_ontology(args.ontology, dl=True)
+        sentences = list(onto.sentences)
+        functional = onto.functional | onto.inverse_functional
+        lines = None
+    else:
+        text = _read_text(args.ontology)
+        try:
+            parsed = parse_sentences_with_lines(text)
+        except ParseError as exc:
+            raise CliInputError(f"{args.ontology}: {exc}") from exc
+        sentences = [phi for phi, _ in parsed]
+        lines = [line for _, line in parsed]
+        functional = frozenset()
+
+    data_sig: dict[str, int] | None = None
+    diags: list[Diagnostic] = []
+    if args.data:
+        sources["data"] = args.data
+        data_sig = {}
+        for pred, arity in _lint_data_sigs(args.data):
+            if pred in data_sig and data_sig[pred] != arity:
+                diags.append(Diagnostic(
+                    "OMQ003", Severity.ERROR,
+                    f"predicate {pred} occurs at arities {data_sig[pred]} "
+                    f"and {arity} in the data",
+                    source=args.data))
+            data_sig.setdefault(pred, arity)
+    query_text = args.query or None
+    if query_text is not None:
+        sources["query"] = "query"
+    program_text = None
+    if args.program:
+        sources["program"] = args.program
+        program_text = _read_text(args.program)
+
+    diags += lint_artifacts(sentences, functional, data_sig, query_text,
+                            program_text, sources, lines=lines)
+
+    if args.format == "json":
+        print(render_json(diags))
+    else:
+        print(render_text(diags))
+    return 1 if has_errors(diags) else 0
 
 
 def cmd_figure1(_args: argparse.Namespace) -> int:
@@ -128,6 +232,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--dl", action="store_true")
     p_eval.add_argument("--backend", choices=["auto", "chase", "sat"],
                         default="auto")
+    p_eval.add_argument("--preflight", action="store_true",
+                        help="lint the workload before evaluating")
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_cons = sub.add_parser("consistent", help="check consistency")
@@ -136,7 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_cons.add_argument("--dl", action="store_true")
     p_cons.add_argument("--backend", choices=["auto", "chase", "sat"],
                         default="auto")
+    p_cons.add_argument("--preflight", action="store_true",
+                        help="lint the workload before checking")
     p_cons.set_defaults(func=cmd_consistent)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: OMQ0xx diagnostics")
+    p_lint.add_argument("ontology")
+    p_lint.add_argument("--dl", action="store_true",
+                        help="parse the ontology as DL axioms")
+    p_lint.add_argument("--data", help="fact file to cross-check")
+    p_lint.add_argument("--query", help="CQ/UCQ text to cross-check")
+    p_lint.add_argument("--program", help="Datalog(≠) program file to lint")
+    p_lint.add_argument("--format", choices=["text", "json"], default="text")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_fig = sub.add_parser("figure1", help="print the Figure-1 map")
     p_fig.set_defaults(func=cmd_figure1)
@@ -150,7 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except LintError as exc:
+        print("error: pre-flight lint failed:", file=sys.stderr)
+        print(render_text(exc.diagnostics), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

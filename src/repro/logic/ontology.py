@@ -15,7 +15,8 @@ from typing import Iterable, Iterator, Sequence
 
 from .parser import parse_sentences
 from .syntax import (
-    And, Atom, Eq, Forall, Formula, Implies, Var, formula_size, signature_of,
+    And, Atom, Eq, Forall, Formula, Implies, Var, atoms_of, formula_size,
+    signature_of,
 )
 
 
@@ -47,6 +48,23 @@ class Ontology:
         for phi in self.sentences:
             if phi.free_vars():
                 raise ValueError(f"ontology sentence {phi!r} has free variables")
+        # Eager signature validation: a predicate used at two arities (or a
+        # functional declaration on a non-binary relation) would otherwise
+        # surface much later as a wrong verdict or an engine traceback.
+        arities: dict[str, int] = {}
+        for idx, phi in enumerate(self.sentences):
+            for atom in atoms_of(phi):
+                known = arities.setdefault(atom.pred, atom.arity)
+                if known != atom.arity:
+                    raise ValueError(
+                        f"predicate {atom.pred} used at arity {atom.arity} "
+                        f"in sentence {idx} but at arity {known} elsewhere "
+                        "in the ontology")
+        for rel in sorted(self.functional | self.inverse_functional):
+            if arities.get(rel, 2) != 2:
+                raise ValueError(
+                    f"functionality declared on {rel}, which is used at "
+                    f"arity {arities[rel]}; partial functions must be binary")
 
     def __iter__(self) -> Iterator[Formula]:
         return iter(self.sentences)

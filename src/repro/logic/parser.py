@@ -47,7 +47,15 @@ _TOKEN_RE = re.compile(
 
 
 class ParseError(ValueError):
-    """Raised on malformed input."""
+    """Raised on malformed input.
+
+    ``line`` carries the 1-based source line when the error originates from
+    a multi-line artifact (see :func:`parse_sentences`).
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        super().__init__(message)
+        self.line = line
 
 
 def _tokenize(text: str) -> list[tuple[str, str]]:
@@ -250,12 +258,25 @@ def parse_formula(text: str) -> Formula:
 
 
 def parse_sentences(text: str) -> list[Formula]:
-    """Parse one sentence per non-empty, non-comment line."""
-    out: list[Formula] = []
-    for line in text.splitlines():
+    """Parse one sentence per non-empty, non-comment line.
+
+    A :class:`ParseError` is re-raised with the 1-based line number both in
+    the message and in its ``line`` attribute.
+    """
+    return [phi for phi, _line in parse_sentences_with_lines(text)]
+
+
+def parse_sentences_with_lines(text: str) -> list[tuple[Formula, int]]:
+    """Like :func:`parse_sentences` but keeps each sentence's line number."""
+    out: list[tuple[Formula, int]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
         stripped = line.split("#", 1)[0].strip()
-        if stripped:
-            out.append(parse_formula(stripped))
+        if not stripped:
+            continue
+        try:
+            out.append((parse_formula(stripped), lineno))
+        except ParseError as exc:
+            raise ParseError(f"line {lineno}: {exc}", line=lineno) from exc
     return out
 
 

@@ -10,11 +10,20 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..analysis.sanitizers import cdcl_sanitizer
+
 
 class Solver:
-    """One-shot CDCL solver for a fixed clause set."""
+    """One-shot CDCL solver for a fixed clause set.
 
-    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]]):
+    ``sanitize`` enables the runtime invariant checkers of
+    :mod:`repro.analysis.sanitizers` (default: the ``REPRO_SANITIZE``
+    environment variable).
+    """
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]],
+                 sanitize: bool | None = None):
+        self._san = cdcl_sanitizer(sanitize)
         self.num_vars = num_vars
         self.clauses: list[list[int]] = []
         # assignment state
@@ -197,6 +206,8 @@ class Solver:
                     return None  # conflict at level 0: UNSAT
                 learnt, back = self._analyze(conflict)
                 self._backtrack(back)
+                if self._san:
+                    self._san.check_learned(self, learnt, back)
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):
                         return None
@@ -214,6 +225,10 @@ class Solver:
                 continue
             lit = self._decide()
             if lit == 0:
+                if self._san:
+                    self._san.check_trail(self)
+                    self._san.check_watches(self)
+                    self._san.check_model(self)
                 return {
                     v: self.assign[v] == 1
                     for v in range(1, self.num_vars + 1)

@@ -34,17 +34,59 @@ Backend = Literal["auto", "chase", "sat"]
 
 @dataclass
 class CertainEngine:
-    """Certain-answer computation for a fixed ontology."""
+    """Certain-answer computation for a fixed ontology.
+
+    With ``preflight=True`` the engine lints the ontology at construction
+    time and every (instance, query) workload before evaluation, raising
+    :class:`repro.analysis.LintError` with the full diagnostic list when an
+    error-level finding fires — instead of a deep traceback (or a silently
+    wrong verdict) later.
+    """
 
     onto: Ontology
     backend: Backend = "auto"
     chase_depth: int = 6
     sat_extra: int = 3
+    preflight: bool = False
 
     def __post_init__(self) -> None:
+        if self.preflight:
+            from ..analysis import LintError, has_errors, lint_ontology
+            diags = lint_ontology(self.onto)
+            if has_errors(diags):
+                raise LintError(diags)
         self._rules = convert_ontology(self.onto)
         if self.backend == "chase" and self._rules is None:
             raise ValueError("ontology is not rule-convertible; use backend='sat'")
+
+    def _preflight_workload(
+        self, instance: Interpretation, query: CQ | UCQ | None = None,
+    ) -> None:
+        """Cross-check the workload signature against the ontology's."""
+        if not self.preflight:
+            return
+        from ..analysis import Diagnostic, LintError, Severity
+        seen = dict(self.onto.sig())
+        diags: list[Diagnostic] = []
+
+        def check(pred: str, arity: int, where: str) -> None:
+            known = seen.setdefault(pred, arity)
+            if known != arity:
+                diags.append(Diagnostic(
+                    "OMQ019", Severity.ERROR,
+                    f"predicate {pred} has arity {arity} in the {where} but "
+                    f"arity {known} in the ontology",
+                    source=where))
+
+        for pred, arity in sorted(instance.sig().items()):
+            check(pred, arity, "data")
+        if query is not None:
+            disjuncts = query.disjuncts if isinstance(query, UCQ) else (query,)
+            for cq in disjuncts:
+                for atom in sorted(cq.atoms, key=repr):
+                    check(atom.pred, atom.arity, "query")
+        if diags:
+            raise LintError(diags)
 
     @property
     def uses_chase(self) -> bool:
@@ -57,6 +99,7 @@ class CertainEngine:
         answer: Sequence[Element] = (),
     ) -> bool:
         """Decide ``O, D |= q(answer)``."""
+        self._preflight_workload(instance, query)
         if self.uses_chase:
             try:
                 result = chase_certain_answer(
@@ -84,6 +127,7 @@ class CertainEngine:
 
     def is_consistent(self, instance: Interpretation) -> bool:
         """Is there a model of D and O?"""
+        self._preflight_workload(instance)
         if self.uses_chase:
             try:
                 from .chase import chase

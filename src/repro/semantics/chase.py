@@ -28,6 +28,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from ..analysis.sanitizers import chase_sanitizer
 from ..logic.instance import Interpretation
 from ..logic.ontology import Ontology
 from ..logic.syntax import Atom, Const, Element, Null, Var
@@ -203,19 +204,26 @@ def chase(
     max_depth: int = 6,
     max_branches: int = 512,
     max_facts: int = 200_000,
+    sanitize: bool | None = None,
 ) -> ChaseResult:
     """Run the disjunctive chase of *instance* with *onto*.
 
     *rules* defaults to :func:`convert_ontology`; a ``ValueError`` is raised
-    if the ontology is not rule-convertible.
+    if the ontology is not rule-convertible.  ``sanitize`` switches the
+    runtime invariant checkers on/off (default: the ``REPRO_SANITIZE``
+    environment variable).
     """
     if rules is None:
         rules = convert_ontology(onto)
         if rules is None:
             raise ValueError(f"{onto!r} is not convertible to disjunctive rules")
 
+    san = chase_sanitizer(sanitize)
+    base_dom = frozenset(instance.dom())
     initial = Branch(interp=instance.copy(), depth={e: 0 for e in instance.dom()})
     _enforce_functionality(initial, onto)
+    if san and initial.consistent:
+        san.check_branch(initial, onto, max_depth, base_dom)
     pending = [initial]
     done: list[Branch] = []
 
@@ -244,11 +252,15 @@ def chase(
                 if needs_nulls and trigger_depth + 1 > max_depth:
                     branch.complete = False
                     continue
+                if san:
+                    san.check_firing(rule, branch.interp, env)
                 successors = []
                 for head in rule.heads:
                     succ = branch.clone()
                     _apply_head(succ, head, env)
                     _enforce_functionality(succ, onto)
+                    if san and succ.consistent:
+                        san.check_branch(succ, onto, max_depth, base_dom)
                     successors.append(succ)
                 if len(done) + len(pending) + len(successors) > max_branches:
                     raise ChaseError(f"more than {max_branches} chase branches")

@@ -1,0 +1,11 @@
+"""Test-suite configuration.
+
+The engine sanitizers (:mod:`repro.analysis.sanitizers`) are switched on
+for the whole suite so that every chase run and every CDCL solve executed
+by the tests is invariant-checked.  Set ``REPRO_SANITIZE=0`` in the
+environment to opt out (e.g. when timing the engines).
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SANITIZE", "1")

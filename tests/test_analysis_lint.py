@@ -1,0 +1,410 @@
+"""Positive and negative tests for every OMQ0xx lint diagnostic."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic, LintError, REGISTRY, Severity, count_by_severity, has_errors,
+    lint_artifacts, lint_datalog_text, lint_ontology, lint_query_text,
+    lint_sentences, render_json, render_text, sort_diagnostics,
+)
+from repro.logic.ontology import Ontology
+from repro.logic.parser import parse_formula, parse_sentences
+from repro.logic.syntax import Atom, CountExists, Var
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def lint_text(text, functional=(), inverse_functional=()):
+    return lint_sentences(parse_sentences(text), functional,
+                          inverse_functional)
+
+
+class TestRegistry:
+    def test_at_least_fifteen_codes(self):
+        assert len(REGISTRY) >= 15
+
+    def test_codes_are_stable_format(self):
+        for code in REGISTRY:
+            assert code.startswith("OMQ") and code[3:].isdigit()
+
+    def test_duplicate_registration_rejected(self):
+        from repro.analysis import rule
+
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("OMQ001", Severity.ERROR, "sentence", "dup")(lambda s: iter(()))
+
+
+class TestGuardRules:
+    def test_omq001_unguarded_exists(self):
+        diags = lint_text("exists z (A(z) | B(z))")
+        assert "OMQ001" in codes(diags)
+
+    def test_omq001_unguarded_forall(self):
+        diags = lint_text("forall x (A(x) | B(x))")
+        assert "OMQ001" in codes(diags)
+
+    def test_omq001_negative(self):
+        diags = lint_text("forall x,y (R(x,y) -> A(x))")
+        assert "OMQ001" not in codes(diags)
+
+    def test_omq002_guard_misses_body_free_var(self):
+        # inner guard S(z,x) covers the quantified z but not the body's y
+        diags = lint_text("forall x,y (R(x,y) -> exists z (S(z,x) & T(z,y)))")
+        assert "OMQ002" in codes(diags)
+
+    def test_omq002_negative(self):
+        diags = lint_text("forall x,y (R(x,y) -> exists z (S(z,x) & A(z)))")
+        assert "OMQ002" not in codes(diags)
+
+    def test_omq007_unused_quantified_variable(self):
+        diags = lint_text("exists x,y (A(x))")
+        assert "OMQ007" in codes(diags)
+
+    def test_omq007_negative(self):
+        diags = lint_text("forall x,y (R(x,y) -> A(x))")
+        assert "OMQ007" not in codes(diags)
+
+    def test_omq008_shadowing(self):
+        diags = lint_text("forall x (A(x) -> exists x (R(x,x)))")
+        assert "OMQ008" in codes(diags)
+
+    def test_omq008_negative(self):
+        diags = lint_text("forall x (A(x) -> exists y (R(x,y)))")
+        assert "OMQ008" not in codes(diags)
+
+    def test_omq010_free_variables(self):
+        diags = lint_sentences([parse_formula("A(w)")])
+        assert "OMQ010" in codes(diags)
+
+    def test_omq010_negative(self):
+        diags = lint_text("forall x (A(x) -> B(x))")
+        assert "OMQ010" not in codes(diags)
+
+    def test_omq016_ternary_counting_guard(self):
+        diags = lint_text("forall x (A(x) -> exists>=2 y (T(x,y,y)))")
+        assert "OMQ016" in codes(diags)
+
+    def test_omq016_guard_not_mentioning_counted_var(self):
+        # not constructible through the parser (it raises), so build the AST
+        x, y = Var("x"), Var("y")
+        phi = CountExists(2, y, Atom("R", (x, x)), Atom("A", (y,)))
+        from repro.analysis.rules_syntax import bad_counting_guard
+
+        findings = list(bad_counting_guard(phi))
+        assert findings and "does not mention" in findings[0].message
+
+    def test_omq016_negative(self):
+        diags = lint_text("forall x (A(x) -> exists>=2 y (R(x,y)))")
+        assert "OMQ016" not in codes(diags)
+
+
+class TestOntologyRules:
+    def test_omq003_arity_clash(self):
+        diags = lint_text(
+            "forall x (P(x) -> A(x))\nforall x,y (P(x,y) -> B(x))")
+        assert "OMQ003" in codes(diags)
+
+    def test_omq003_negative(self):
+        diags = lint_text(
+            "forall x (P(x) -> A(x))\nforall x (P(x) -> B(x))")
+        assert "OMQ003" not in codes(diags)
+
+    def test_omq004_functionality_on_unary(self):
+        diags = lint_text("forall x (P(x) -> A(x))", functional={"P"})
+        assert "OMQ004" in codes(diags)
+
+    def test_omq004_inverse_functional(self):
+        diags = lint_text("forall x (P(x) -> A(x))",
+                          inverse_functional={"P"})
+        assert "OMQ004" in codes(diags)
+
+    def test_omq004_negative(self):
+        diags = lint_text("forall x,y (R(x,y) -> A(x))", functional={"R"})
+        assert "OMQ004" not in codes(diags)
+
+    def test_omq006_depth_beyond_figure1(self):
+        deep = ("forall x (A(x) -> exists y (R(x,y) & "
+                "exists z (S(y,z) & exists w (S(z,w) & B(w)))))")
+        diags = lint_text(deep)
+        assert "OMQ006" in codes(diags)
+
+    def test_omq006_negative(self):
+        diags = lint_text("forall x (A(x) -> exists y (R(x,y) & B(y)))")
+        assert "OMQ006" not in codes(diags)
+
+    def test_omq009_closed_disjunct(self):
+        diags = lint_text("forall x (A(x) -> B(x) | exists y (C(y)))")
+        assert "OMQ009" in codes(diags)
+
+    def test_omq009_negative(self):
+        diags = lint_text("forall x (A(x) -> B(x) | C(x))")
+        assert "OMQ009" not in codes(diags)
+
+    def test_omq015_unused_functional_relation(self):
+        diags = lint_text("forall x (A(x) -> B(x))", functional={"F"})
+        assert "OMQ015" in codes(diags)
+
+    def test_omq015_negative(self):
+        diags = lint_text("forall x,y (F(x,y) -> A(x))", functional={"F"})
+        assert "OMQ015" not in codes(diags)
+
+    def test_omq017_duplicate_sentence(self):
+        diags = lint_text(
+            "forall x (A(x) -> B(x))\nforall x (A(x) -> B(x))")
+        assert "OMQ017" in codes(diags)
+
+    def test_omq017_negative(self):
+        diags = lint_text(
+            "forall x (A(x) -> B(x))\nforall x (B(x) -> C(x))")
+        assert "OMQ017" not in codes(diags)
+
+
+class TestEqualityRule:
+    def test_omq005_equality_inside_minus_ontology(self):
+        diags = lint_text(
+            "forall x (x = x -> (A(x) -> exists y (R(x,y) & ~(y = x))))")
+        assert "OMQ005" in codes(diags)
+
+    def test_omq005_negative_no_inner_equality(self):
+        diags = lint_text("forall x (x = x -> (A(x) -> B(x)))")
+        assert "OMQ005" not in codes(diags)
+
+    def test_omq005_negative_not_a_minus_ontology(self):
+        # an atomic outer guard means the ontology is not presenting as '−',
+        # so inner equality is just the '=' feature, not a red flag
+        diags = lint_text(
+            "forall x,y (R(x,y) -> ~(x = y))")
+        assert "OMQ005" not in codes(diags)
+
+
+class TestQueryRules:
+    def test_omq020_malformed(self):
+        assert "OMQ020" in codes(lint_query_text("A(x)"))
+
+    def test_omq020_negative(self):
+        assert "OMQ020" not in codes(lint_query_text("q(x) <- A(x)"))
+
+    def test_omq012_unbound_answer_variable(self):
+        assert "OMQ012" in codes(lint_query_text("q(x) <- A(y)"))
+
+    def test_omq012_negative(self):
+        assert "OMQ012" not in codes(lint_query_text("q(x) <- A(x)"))
+
+    def test_omq013_disconnected(self):
+        assert "OMQ013" in codes(lint_query_text("q(x) <- A(x) & B(y)"))
+
+    def test_omq013_negative(self):
+        diags = lint_query_text("q(x) <- R(x,y) & B(y)")
+        assert "OMQ013" not in codes(diags)
+
+    def test_omq014_mixed_ucq_arity(self):
+        diags = lint_query_text("q(x) <- A(x); q(x,y) <- R(x,y)")
+        assert "OMQ014" in codes(diags)
+
+    def test_omq014_negative(self):
+        diags = lint_query_text("q(x) <- A(x); q(x) <- B(x)")
+        assert "OMQ014" not in codes(diags)
+
+
+class TestDatalogRules:
+    def test_omq021_malformed_rule(self):
+        assert "OMQ021" in codes(lint_datalog_text("P(x) Q(x)"))
+
+    def test_omq021_negative(self):
+        assert "OMQ021" not in codes(
+            lint_datalog_text("goal() <- P(x)"))
+
+    def test_omq011_unsafe_head_variable(self):
+        diags = lint_datalog_text("goal(x) <- Q(y)")
+        assert "OMQ011" in codes(diags)
+
+    def test_omq011_unsafe_inequality_variable(self):
+        diags = lint_datalog_text("goal(x) <- Q(x) & x != z")
+        assert "OMQ011" in codes(diags)
+
+    def test_omq011_negative(self):
+        diags = lint_datalog_text("goal(x) <- Q(x) & R(x,y) & x != y")
+        assert "OMQ011" not in codes(diags)
+
+    def test_omq018_goal_in_body(self):
+        diags = lint_datalog_text("goal() <- A(x)\nB(x) <- goal() & A(x)")
+        assert "OMQ018" in codes(diags)
+
+    def test_omq018_goal_never_defined(self):
+        diags = lint_datalog_text("P(x) <- Q(x)")
+        assert "OMQ018" in codes(diags)
+
+    def test_omq018_negative(self):
+        diags = lint_datalog_text("goal() <- A(x)")
+        assert "OMQ018" not in codes(diags)
+
+
+class TestCrossArtifactRule:
+    SENTENCES = parse_sentences("forall x,y (R(x,y) -> A(x))")
+
+    def test_omq019_data_clash(self):
+        diags = lint_artifacts(self.SENTENCES, data_sig={"R": 3})
+        assert "OMQ019" in codes(diags)
+
+    def test_omq019_query_clash(self):
+        diags = lint_artifacts(self.SENTENCES, query_text="q(x) <- A(x,y)")
+        assert "OMQ019" in codes(diags)
+
+    def test_omq019_negative(self):
+        diags = lint_artifacts(
+            self.SENTENCES, data_sig={"R": 2, "A": 1},
+            query_text="q(x) <- R(x,y) & A(y)")
+        assert "OMQ019" not in codes(diags)
+
+    def test_omq019_source_attribution(self):
+        diags = lint_artifacts(
+            self.SENTENCES, data_sig={"R": 3},
+            sources={"ontology": "onto.gf", "data": "db.facts"})
+        clash = [d for d in diags if d.code == "OMQ019"]
+        assert clash and clash[0].source == "db.facts"
+
+
+class TestDriversAndRendering:
+    def test_lint_ontology_clean(self):
+        onto = Ontology(parse_sentences("forall x,y (R(x,y) -> A(x))"),
+                        functional={"R"})
+        assert lint_ontology(onto) == []
+
+    def test_sentence_lines_attached(self):
+        diags = lint_sentences(
+            parse_sentences(
+                "forall x (A(x) -> B(x))\nexists z (A(z) | B(z))"),
+            lines=[1, 2])
+        omq1 = [d for d in diags if d.code == "OMQ001"]
+        assert omq1 and omq1[0].line == 2
+
+    def test_render_text_and_counts(self):
+        diags = lint_text("exists z (A(z) | B(z))")
+        text = render_text(diags)
+        assert "OMQ001" in text and "error" in text
+        counts = count_by_severity(diags)
+        assert counts["error"] >= 1
+        assert has_errors(diags)
+
+    def test_render_json_machine_readable(self):
+        diags = lint_text("exists z (A(z) | B(z))")
+        payload = json.loads(render_json(diags))
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] >= 1
+        entry = payload["diagnostics"][0]
+        assert set(entry) == {"code", "severity", "message", "source",
+                              "line", "path"}
+
+    def test_sort_orders_by_severity_then_code(self):
+        info = Diagnostic("OMQ015", Severity.INFO, "i")
+        err = Diagnostic("OMQ001", Severity.ERROR, "e")
+        warn = Diagnostic("OMQ006", Severity.WARNING, "w")
+        assert sort_diagnostics([info, warn, err]) == [err, warn, info]
+
+    def test_lint_error_carries_diagnostics(self):
+        diags = lint_text("exists z (A(z) | B(z))")
+        exc = LintError(diags)
+        assert exc.diagnostics == tuple(diags)
+        assert "OMQ001" in str(exc)
+
+
+class TestEnginePreflight:
+    def test_preflight_rejects_bad_ontology(self):
+        from repro.semantics.certain import CertainEngine
+
+        onto = Ontology([parse_formula("exists z (A(z) | B(z))")])
+        with pytest.raises(LintError) as exc:
+            CertainEngine(onto, preflight=True)
+        assert any(d.code == "OMQ001" for d in exc.value.diagnostics)
+
+    def test_preflight_off_by_default(self):
+        from repro.semantics.certain import CertainEngine
+
+        onto = Ontology([parse_formula("exists z (A(z) | B(z))")])
+        CertainEngine(onto)  # no lint, no raise
+
+    def test_preflight_workload_arity_clash(self):
+        from repro.logic.instance import make_instance
+        from repro.queries.cq import parse_cq
+        from repro.semantics.certain import CertainEngine
+
+        onto = Ontology(parse_sentences("forall x,y (R(x,y) -> A(x))"))
+        engine = CertainEngine(onto, preflight=True)
+        bad_data = make_instance("R(a,b,c)")
+        with pytest.raises(LintError) as exc:
+            engine.entails(bad_data, parse_cq("q() <- A(x)"))
+        assert any(d.code == "OMQ019" for d in exc.value.diagnostics)
+
+    def test_preflight_workload_query_clash(self):
+        from repro.logic.instance import make_instance
+        from repro.logic.syntax import Const
+        from repro.queries.cq import parse_cq
+        from repro.semantics.certain import CertainEngine
+
+        onto = Ontology(parse_sentences("forall x,y (R(x,y) -> A(x))"))
+        engine = CertainEngine(onto, preflight=True)
+        assert engine.is_consistent(make_instance("R(a,b)"))
+        with pytest.raises(LintError) as exc:
+            engine.entails(make_instance("R(a,b)"),
+                           parse_cq("q(x) <- A(x,y)"), (Const("a"),))
+        assert any(d.code == "OMQ019" for d in exc.value.diagnostics)
+
+    def test_preflight_clean_workload_evaluates(self):
+        from repro.logic.instance import make_instance
+        from repro.queries.cq import parse_cq
+        from repro.semantics.certain import CertainEngine
+
+        onto = Ontology(parse_sentences("forall x,y (R(x,y) -> A(x))"))
+        engine = CertainEngine(onto, preflight=True)
+        assert engine.entails(make_instance("R(a,b)"), parse_cq("q() <- A(x)"))
+
+
+class TestOntologyEagerValidation:
+    def test_arity_clash_raises(self):
+        with pytest.raises(ValueError, match="arity"):
+            Ontology(parse_sentences(
+                "forall x (P(x) -> A(x))\nforall x,y (P(x,y) -> B(x))"))
+
+    def test_functionality_non_binary_raises(self):
+        with pytest.raises(ValueError, match="binary"):
+            Ontology(parse_sentences("forall x (P(x) -> A(x))"),
+                     functional={"P"})
+
+    def test_consistent_signature_accepted(self):
+        onto = Ontology(parse_sentences(
+            "forall x,y (R(x,y) -> A(x))\nforall x (A(x) -> B(x))"),
+            functional={"R"})
+        assert len(onto) == 2
+
+
+class TestParseErrorLineInfo:
+    def test_parse_error_carries_line(self):
+        from repro.logic.parser import ParseError, parse_sentences
+
+        with pytest.raises(ParseError) as exc:
+            parse_sentences("forall x (A(x) -> B(x))\nA(a) ->\n")
+        assert exc.value.line == 2
+        assert "line 2" in str(exc.value)
+
+    def test_parse_sentences_with_lines(self):
+        from repro.logic.parser import parse_sentences_with_lines
+
+        pairs = parse_sentences_with_lines(
+            "# comment\nforall x (A(x) -> B(x))\n\nforall x (B(x) -> C(x))\n")
+        assert [line for _phi, line in pairs] == [2, 4]
+
+
+class TestCrossArtifactRobustness:
+    def test_unparseable_query_does_not_crash_artifacts_rule(self):
+        sentences = parse_sentences("forall x,y (R(x,y) -> A(x))")
+        diags = lint_artifacts(sentences, query_text="garbage")
+        assert "OMQ020" in codes(diags)
+        assert "OMQ019" not in codes(diags)
+
+    def test_empty_query_reported_not_raised(self):
+        diags = lint_artifacts((), query_text="")
+        assert "OMQ020" in codes(diags)

@@ -1,0 +1,112 @@
+"""Property-based tests for the linter (hypothesis).
+
+Well-formed uGF/uGC2 sentences generated from a guarded grammar must lint
+without error-level diagnostics; targeted mutations — dropping a guard,
+removing a quantified variable from a guard, perturbing a predicate's
+arity — must be flagged with the expected OMQ0xx code.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import Severity, has_errors, lint_sentences
+from repro.logic.syntax import (
+    Atom, CountExists, Exists, Forall, Formula, Not, Or, Top, Var,
+)
+
+UNARY = ["A", "B", "C"]
+BINARY = ["R", "S"]
+
+x, y = Var("px"), Var("py")
+
+
+@st.composite
+def guarded_sentences(draw) -> Formula:
+    """Well-formed uGF/uGC2 sentences: unary preds always unary, binary
+    preds always binary, every quantifier guarded and covering."""
+    a1 = draw(st.sampled_from(UNARY))
+    a2 = draw(st.sampled_from(UNARY))
+    r = draw(st.sampled_from(BINARY))
+    shape = draw(st.integers(0, 5))
+    if shape == 0:
+        body: Formula = Atom(a2, (x,))
+    elif shape == 1:
+        body = Exists((y,), Atom(r, (x, y)), Atom(a2, (y,)))
+    elif shape == 2:
+        body = Or.of(Atom(a1, (x,)), Atom(a2, (x,)))
+    elif shape == 3:
+        body = Exists((y,), Atom(r, (x, y)), Top())
+    elif shape == 4:
+        body = Not(Atom(a2, (x,)))
+    else:
+        body = CountExists(2, y, Atom(r, (x, y)), Atom(a2, (y,)))
+    return Forall((x,), Atom(a1, (x,)), body)
+
+
+@st.composite
+def existential_sentences(draw) -> Formula:
+    """forall px (A1(px) -> exists py (R(px,py) & A2(py)))."""
+    a1 = draw(st.sampled_from(UNARY))
+    a2 = draw(st.sampled_from(UNARY))
+    r = draw(st.sampled_from(BINARY))
+    return Forall((x,), Atom(a1, (x,)),
+                  Exists((y,), Atom(r, (x, y)), Atom(a2, (y,))))
+
+
+def error_codes(diags):
+    return {d.code for d in diags if d.severity is Severity.ERROR}
+
+
+def drop_first_guard(phi: Formula) -> Formula:
+    """Remove the guard of the outermost quantifier."""
+    assert isinstance(phi, Forall)
+    return Forall(phi.vars, None, phi.body)
+
+
+class TestWellFormedLintClean:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(guarded_sentences(), min_size=1, max_size=4))
+    def test_no_error_diagnostics(self, sentences):
+        diags = lint_sentences(sentences)
+        assert not has_errors(diags), [d.render() for d in diags]
+
+    @settings(max_examples=30, deadline=None)
+    @given(existential_sentences())
+    def test_existential_shape_is_fully_clean(self, sentence):
+        assert lint_sentences([sentence]) == []
+
+
+class TestMutationsAreFlagged:
+    @settings(max_examples=40, deadline=None)
+    @given(guarded_sentences())
+    def test_dropped_guard_yields_omq001(self, sentence):
+        mutated = drop_first_guard(sentence)
+        diags = lint_sentences([mutated])
+        assert "OMQ001" in error_codes(diags)
+
+    @settings(max_examples=40, deadline=None)
+    @given(existential_sentences())
+    def test_guard_var_removed_yields_omq002(self, sentence):
+        inner = sentence.body
+        assert isinstance(inner, Exists)
+        # R(px,py) -> R(px,px): the guard no longer covers py
+        broken_guard = Atom(inner.guard.pred, (x, x))
+        mutated = Forall(sentence.vars, sentence.guard,
+                         Exists(inner.vars, broken_guard, inner.body))
+        diags = lint_sentences([mutated])
+        assert "OMQ002" in error_codes(diags)
+
+    @settings(max_examples=40, deadline=None)
+    @given(existential_sentences())
+    def test_arity_perturbation_yields_omq003(self, sentence):
+        # a second sentence using the guard predicate at arity 2
+        unary_pred = sentence.guard.pred
+        clash = Forall((x,), Atom(unary_pred, (x, x)), Top())
+        diags = lint_sentences([sentence, clash])
+        assert "OMQ003" in error_codes(diags)
+
+    @settings(max_examples=40, deadline=None)
+    @given(existential_sentences())
+    def test_mutations_flip_has_errors(self, sentence):
+        assert not has_errors(lint_sentences([sentence]))
+        assert has_errors(lint_sentences([drop_first_guard(sentence)]))

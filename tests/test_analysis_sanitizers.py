@@ -1,0 +1,279 @@
+"""Sanitizer tests: green paths plus one seeded violation per checker.
+
+The seeded tests corrupt engine state by hand and call the checker
+directly, proving that each invariant check actually fires — a sanitizer
+that never raises is indistinguishable from one that checks nothing.
+"""
+
+import pytest
+
+from repro.analysis.sanitizers import (
+    CdclSanitizer, ChaseSanitizer, SanitizerError, cdcl_sanitizer,
+    chase_sanitizer, sanitize_enabled,
+)
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Atom, Const, Null, Var
+from repro.semantics.cdcl import Solver
+from repro.semantics.chase import Branch, chase
+from repro.semantics.rules import DisjunctiveRule, Head
+
+
+class TestEnablement:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitize_enabled(True) is True
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled(False) is False
+
+    def test_env_var_parsing(self, monkeypatch):
+        for value, expected in [("1", True), ("true", True), ("ON", True),
+                                ("0", False), ("", False), ("no", False)]:
+            monkeypatch.setenv("REPRO_SANITIZE", value)
+            assert sanitize_enabled() is expected
+
+    def test_factories_return_none_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert chase_sanitizer(None) is None
+        assert cdcl_sanitizer(None) is None
+        assert isinstance(chase_sanitizer(True), ChaseSanitizer)
+        assert isinstance(cdcl_sanitizer(True), CdclSanitizer)
+
+
+x, y = Var("x"), Var("y")
+
+
+def _branch(*facts):
+    interp = make_instance(*facts)
+    return Branch(interp=interp.copy(),
+                  depth={e: 0 for e in interp.dom()})
+
+
+class TestChaseSanitizer:
+    san = ChaseSanitizer()
+
+    def test_check_firing_green(self):
+        rule = DisjunctiveRule((Atom("A", (x,)),),
+                               (Head((Atom("B", (x,)),), ()),))
+        branch = _branch("A(a)")
+        self.san.check_firing(rule, branch.interp, {x: Const("a")})
+
+    def test_check_firing_seeded_violation(self):
+        # firing although the head is already satisfied: not restricted
+        rule = DisjunctiveRule((Atom("A", (x,)),),
+                               (Head((Atom("B", (x,)),), ()),))
+        branch = _branch("A(a)", "B(a)")
+        with pytest.raises(SanitizerError, match="restricted-chase"):
+            self.san.check_firing(rule, branch.interp, {x: Const("a")})
+
+    def test_check_firing_existential_head_green(self):
+        rule = DisjunctiveRule((Atom("A", (x,)),),
+                               (Head((Atom("R", (x, y)),), (y,)),))
+        branch = _branch("A(a)")
+        self.san.check_firing(rule, branch.interp, {x: Const("a")})
+        branch.interp.add(Atom("R", (Const("a"), Const("b"))))
+        with pytest.raises(SanitizerError):
+            self.san.check_firing(rule, branch.interp, {x: Const("a")})
+
+    def test_null_depths_green(self):
+        branch = _branch("A(a)")
+        n = branch.fresh_null(1)
+        branch.interp.add(Atom("A", (n,)))
+        self.san.check_null_depths(branch, max_depth=3)
+
+    def test_null_without_depth_seeded(self):
+        branch = _branch("A(a)")
+        branch.interp.add(Atom("A", (Null("ghost"),)))  # no depth recorded
+        with pytest.raises(SanitizerError, match="no recorded creation depth"):
+            self.san.check_null_depths(branch)
+
+    def test_constant_with_nonzero_depth_seeded(self):
+        branch = _branch("A(a)")
+        branch.depth[Const("a")] = 2
+        with pytest.raises(SanitizerError, match="expected 0"):
+            self.san.check_null_depths(branch)
+
+    def test_null_beyond_bound_seeded(self):
+        branch = _branch("A(a)")
+        n = branch.fresh_null(7)
+        branch.interp.add(Atom("A", (n,)))
+        with pytest.raises(SanitizerError, match="beyond the chase bound"):
+            self.san.check_null_depths(branch, max_depth=3)
+
+    def test_egd_green(self):
+        onto = ontology("forall x,y (R(x,y) -> A(x))", functional=["R"])
+        branch = _branch("R(a,b)")
+        self.san.check_egd_consistency(branch, onto)
+
+    def test_egd_violation_seeded(self):
+        onto = ontology("forall x,y (R(x,y) -> A(x))", functional=["R"])
+        branch = _branch("R(a,b)", "R(a,c)")  # a has two R-successors
+        with pytest.raises(SanitizerError, match="EGD violation"):
+            self.san.check_egd_consistency(branch, onto)
+
+    def test_egd_inverse_functional_seeded(self):
+        onto = ontology("forall x,y (R(x,y) -> A(x))")
+        onto = type(onto)(onto.sentences, inverse_functional=["R"])
+        branch = _branch("R(b,a)", "R(c,a)")
+        with pytest.raises(SanitizerError, match="EGD violation"):
+            self.san.check_egd_consistency(branch, onto)
+
+    def test_chase_green_end_to_end(self):
+        onto = ontology(
+            "forall x (A(x) -> exists y (R(x,y) & B(y)))\n"
+            "forall x,y (R(x,y) -> C(x))",
+            functional=["R"])
+        result = chase(onto, make_instance("A(a)"), sanitize=True)
+        assert result.is_consistent
+
+
+class TestCdclSanitizer:
+    san = CdclSanitizer()
+
+    def _solver(self, num_vars=3, clauses=((1, 2, 3),)):
+        return Solver(num_vars, [list(c) for c in clauses], sanitize=False)
+
+    # -- watches
+
+    def test_watches_green(self):
+        self.san.check_watches(self._solver())
+
+    def test_watches_wrong_literal_seeded(self):
+        solver = self._solver()
+        # move a watch to a literal that is not one of the first two
+        solver.watches[-1].remove(0)
+        solver.watches.setdefault(-3, []).append(0)
+        with pytest.raises(SanitizerError, match="two-watched-literal"):
+            self.san.check_watches(solver)
+
+    def test_watches_stray_index_seeded(self):
+        solver = self._solver()
+        solver.watches.setdefault(-2, []).append(99)
+        with pytest.raises(SanitizerError, match="unknown clause indices"):
+            self.san.check_watches(solver)
+
+    def test_watches_short_clause_seeded(self):
+        solver = self._solver()
+        solver.clauses.append([1])
+        with pytest.raises(SanitizerError, match="length 1"):
+            self.san.check_watches(solver)
+
+    # -- trail
+
+    def test_trail_green(self):
+        solver = self._solver(2, [(1, 2), (-1, 2)])
+        solver.trail_lim.append(len(solver.trail))
+        assert solver._enqueue(-1, None)
+        assert solver._propagate() is None  # forces 2 via (1, 2)
+        self.san.check_trail(solver)
+
+    def test_trail_duplicate_var_seeded(self):
+        solver = self._solver()
+        solver.assign[1] = 1
+        solver.trail = [1, 1]
+        with pytest.raises(SanitizerError, match="assigned twice"):
+            self.san.check_trail(solver)
+
+    def test_trail_false_literal_seeded(self):
+        solver = self._solver()
+        solver.assign[1] = -1
+        solver.trail = [1]
+        with pytest.raises(SanitizerError, match="evaluate to true"):
+            self.san.check_trail(solver)
+
+    def test_trail_level_mismatch_seeded(self):
+        solver = self._solver()
+        solver.assign[1] = 1
+        solver.level[1] = 3  # but no decision was taken
+        solver.trail = [1]
+        with pytest.raises(SanitizerError, match="trail level"):
+            self.san.check_trail(solver)
+
+    def test_trail_non_propagating_reason_seeded(self):
+        solver = self._solver()
+        solver.assign[1] = 1
+        solver.assign[2] = 1
+        solver.trail = [1, 2]
+        solver.reason[2] = [2, 1]  # literal 1 is true, so not propagating
+        with pytest.raises(SanitizerError, match="not propagating"):
+            self.san.check_trail(solver)
+
+    def test_trail_reason_missing_literal_seeded(self):
+        solver = self._solver()
+        solver.assign[1] = 1
+        solver.trail = [1]
+        solver.reason[1] = [2, 3]
+        with pytest.raises(SanitizerError, match="does not contain"):
+            self.san.check_trail(solver)
+
+    def test_trail_assigned_but_absent_seeded(self):
+        solver = self._solver()
+        solver.assign[2] = -1  # never enqueued
+        with pytest.raises(SanitizerError, match="absent from the trail"):
+            self.san.check_trail(solver)
+
+    # -- learned clauses
+
+    def _learned_state(self):
+        solver = self._solver(3, [(1, 2, 3),])
+        solver.trail_lim.append(0)
+        solver._enqueue(-2, None)   # decision at level 1
+        return solver
+
+    def test_learned_green(self):
+        solver = self._learned_state()
+        self.san.check_learned(solver, [1, 2], 1)
+
+    def test_learned_duplicate_var_seeded(self):
+        solver = self._learned_state()
+        with pytest.raises(SanitizerError, match="twice"):
+            self.san.check_learned(solver, [1, -1], 0)
+
+    def test_learned_asserting_literal_assigned_seeded(self):
+        solver = self._learned_state()
+        with pytest.raises(SanitizerError, match="already assigned"):
+            self.san.check_learned(solver, [-2, 1], 0)
+
+    def test_learned_other_literal_not_false_seeded(self):
+        solver = self._learned_state()
+        with pytest.raises(SanitizerError, match="not false"):
+            self.san.check_learned(solver, [1, 3], 0)
+
+    def test_learned_wrong_backjump_level_seeded(self):
+        solver = self._learned_state()
+        with pytest.raises(SanitizerError, match="assertion level"):
+            self.san.check_learned(solver, [1, 2], 0)  # should be 1
+
+    # -- model
+
+    def test_model_green(self):
+        solver = self._solver(2, [(1, 2)])
+        solver.assign[1] = 1
+        solver.assign[2] = -1
+        self.san.check_model(solver)
+
+    def test_model_unassigned_seeded(self):
+        solver = self._solver(2, [(1, 2)])
+        solver.assign[1] = 1
+        with pytest.raises(SanitizerError, match="unassigned"):
+            self.san.check_model(solver)
+
+    def test_model_falsified_clause_seeded(self):
+        solver = self._solver(2, [(1, 2)])
+        solver.assign[1] = -1
+        solver.assign[2] = -1
+        with pytest.raises(SanitizerError, match="falsifies clause"):
+            self.san.check_model(solver)
+
+    # -- end to end
+
+    def test_solver_green_with_conflicts(self):
+        # needs learning: the all-False default assignment conflicts
+        clauses = [[1, 2], [-1, 2], [1, -2], [2, 3], [-3, 1]]
+        model = Solver(3, clauses, sanitize=True).solve()
+        assert model is not None
+        assert model[1] and model[2]
+
+    def test_solver_green_unsat(self):
+        clauses = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+        assert Solver(2, clauses, sanitize=True).solve() is None

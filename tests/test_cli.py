@@ -84,3 +84,97 @@ class TestInfoCommands:
         assert main(["bioportal"]) == 0
         out = capsys.readouterr().out
         assert "405/411" in out and "385/411" in out
+
+
+class TestLintCommand:
+    def test_clean_ontology_exit_zero(self, workspace, capsys):
+        assert main(["lint", workspace["onto"]]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_error_diagnostic_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.gf"
+        bad.write_text("exists z (A(z) | B(z))\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "OMQ001" in out and "bad.gf:1" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.gf"
+        bad.write_text("exists z (A(z) | B(z))\n")
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["diagnostics"][0]["code"] == "OMQ001"
+        assert payload["diagnostics"][0]["line"] == 1
+
+    def test_cross_artifact_data_clash(self, workspace, tmp_path, capsys):
+        data = tmp_path / "clash.facts"
+        data.write_text("hasFinger(a,b,c)\n")
+        assert main(["lint", workspace["onto"], "--data", str(data)]) == 1
+        assert "OMQ019" in capsys.readouterr().out
+
+    def test_query_lint(self, workspace, capsys):
+        assert main(["lint", workspace["onto"],
+                     "--query", "q(x) <- Thumb(y)"]) == 1
+        assert "OMQ012" in capsys.readouterr().out
+
+    def test_program_lint(self, workspace, tmp_path, capsys):
+        prog = tmp_path / "p.dlog"
+        prog.write_text("goal(x) <- Q(y)\n")
+        assert main(["lint", workspace["onto"], "--program", str(prog)]) == 1
+        assert "OMQ011" in capsys.readouterr().out
+
+    def test_dl_ontology_lint(self, workspace, capsys):
+        assert main(["lint", workspace["dl"], "--dl"]) == 0
+
+    def test_unparseable_ontology_exit_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.gf"
+        broken.write_text("forall x (A(x) -> B(x)\nA(a) -> \n")
+        assert main(["lint", str(broken)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "broken.gf" in err
+        assert "line 1" in err
+
+
+class TestParseErrorHandling:
+    def test_classify_unparseable_exit_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.gf"
+        broken.write_text("forall x (A(x) &&& B(x))\n")
+        assert main(["classify", str(broken)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line message, no traceback
+        assert "broken.gf" in err and "line 1" in err
+
+    def test_missing_file_exit_two(self, capsys):
+        assert main(["classify", "/nonexistent/onto.gf"]) == 2
+        assert "onto.gf" in capsys.readouterr().err
+
+    def test_evaluate_bad_data_exit_two(self, workspace, tmp_path, capsys):
+        data = tmp_path / "bad.facts"
+        data.write_text("NotAFact(\n")
+        assert main(["evaluate", workspace["onto"], str(data),
+                     "q() <- Thumb(y)"]) == 2
+        assert "bad.facts" in capsys.readouterr().err
+
+    def test_evaluate_bad_query_exit_two(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "not a query"]) == 2
+        assert "query" in capsys.readouterr().err
+
+    def test_consistent_unparseable_dl_exit_two(self, tmp_path, capsys):
+        dl = tmp_path / "broken.dl"
+        dl.write_text("Hand sub nonsense junk axiom\n")
+        data = tmp_path / "d.facts"
+        data.write_text("Hand(h)\n")
+        assert main(["consistent", str(dl), str(data), "--dl"]) == 2
+        assert "broken.dl" in capsys.readouterr().err
+
+    def test_preflight_lint_failure_exit_two(self, workspace, tmp_path, capsys):
+        data = tmp_path / "clash.facts"
+        data.write_text("hasFinger(h,f1,f2)\n")
+        assert main(["evaluate", workspace["onto"], str(data),
+                     "q() <- Thumb(y)", "--preflight"]) == 2
+        err = capsys.readouterr().err
+        assert "pre-flight" in err and "OMQ019" in err
