@@ -4,9 +4,14 @@ Commands:
 
 * ``classify <ontology-file>`` — fragment, Figure-1 band and complexity
   verdict for an ontology (FO syntax, or DL with ``--dl``).
-* ``evaluate <ontology-file> <data-file> <query>`` — certain answers of a
-  CQ/UCQ over a database given the ontology.
-* ``consistent <ontology-file> <data-file>`` — consistency check.
+* ``evaluate`` (alias ``eval``) ``<ontology-file> <data-file> <query>`` —
+  certain answers of a CQ/UCQ over a database given the ontology.
+  ``--timeout``/``--budget`` bound the evaluation (see
+  ``docs/robustness.md``); ``--format json`` adds the full outcome
+  provenance (verdict, engine, fallback reason, escalation ladder,
+  resources consumed).
+* ``consistent <ontology-file> <data-file>`` — consistency check (same
+  ``--timeout``/``--budget``/``--format`` options).
 * ``lint <ontology-file> [--data F] [--query Q] [--program F]`` — static
   analysis: report ``OMQ0xx`` diagnostics over the ontology and, when
   given, the data/query/Datalog artifacts (``--format json`` for tooling).
@@ -19,7 +24,9 @@ sentence per line (``forall x,y (R(x,y) -> A(x))``), or DL axioms with
 
 Exit codes: 0 success (``lint``: no error-level diagnostics), 1 failure
 (``lint``: at least one error-level diagnostic; ``consistent``:
-inconsistent), 2 unreadable or unparseable input.
+inconsistent), 2 unreadable or unparseable input, 3 resource budget
+exhausted before a verdict (the engine answered ``UNKNOWN`` rather than
+hanging or guessing).
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from .logic.instance import make_instance
 from .logic.ontology import Ontology, ontology
 from .logic.parser import ParseError, parse_sentences_with_lines
 from .queries.cq import QueryError, parse_cq, parse_ucq
+from .runtime import Budget, ResourceExhausted
 from .semantics.certain import CertainEngine
 
 
@@ -99,16 +107,64 @@ def cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_budget(args: argparse.Namespace) -> Budget | None:
+    """The budget from ``--timeout``/``--budget``; None when neither given."""
+    spec = getattr(args, "budget", None)
+    timeout = getattr(args, "timeout", None)
+    if spec is None and timeout is None:
+        return None
+    try:
+        budget = Budget.from_spec(spec) if spec else Budget()
+    except ValueError as exc:
+        raise CliInputError(f"--budget: {exc}") from exc
+    if timeout is not None:
+        if timeout <= 0:
+            raise CliInputError("--timeout must be positive")
+        budget.timeout = timeout
+        budget.deadline = budget._start + timeout
+    return budget
+
+
+def _print_exhausted(args: argparse.Namespace, exc: ResourceExhausted) -> int:
+    """Render an UNKNOWN(resource_exhausted) outcome; exit code 3."""
+    if getattr(args, "format", "text") == "json":
+        import json
+        print(json.dumps({"verdict": "unknown",
+                          "outcome": exc.outcome.to_dict()}, indent=2))
+    else:
+        print(f"unknown: {exc.outcome.reason}", file=sys.stderr)
+    return 3
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     onto = _load_ontology(args.ontology, args.dl)
     data = _load_instance(args.data)
     query = _parse_query(args.query)
     engine = CertainEngine(onto, backend=args.backend,
                            preflight=args.preflight)
-    answers = sorted(
-        engine.certain_answers(data, query), key=repr)
-    if query.arity == 0:
-        holds = engine.entails(data, query, ())
+    budget = _build_budget(args)
+    try:
+        if query.arity == 0:
+            holds = engine.entails(data, query, (), budget=budget)
+            answers: list[tuple] = []
+        else:
+            answers = sorted(
+                engine.certain_answers(data, query, budget=budget), key=repr)
+    except ResourceExhausted as exc:
+        return _print_exhausted(args, exc)
+    outcome = engine.last_outcome
+    if args.format == "json":
+        import json
+        payload: dict[str, object] = {
+            "query": args.query,
+            "outcome": outcome.to_dict() if outcome is not None else None,
+        }
+        if query.arity == 0:
+            payload["verdict"] = "yes" if holds else "no"
+        else:
+            payload["answers"] = [[repr(e) for e in a] for a in answers]
+        print(json.dumps(payload, indent=2))
+    elif query.arity == 0:
         print(f"certain: {holds}")
     else:
         print(f"{len(answers)} certain answer(s):")
@@ -122,8 +178,20 @@ def cmd_consistent(args: argparse.Namespace) -> int:
     data = _load_instance(args.data)
     engine = CertainEngine(onto, backend=args.backend,
                            preflight=args.preflight)
-    consistent = engine.is_consistent(data)
-    print(f"consistent: {consistent}")
+    budget = _build_budget(args)
+    try:
+        consistent = engine.is_consistent(data, budget=budget)
+    except ResourceExhausted as exc:
+        return _print_exhausted(args, exc)
+    if args.format == "json":
+        import json
+        outcome = engine.last_outcome
+        print(json.dumps({
+            "verdict": "yes" if consistent else "no",
+            "outcome": outcome.to_dict() if outcome is not None else None,
+        }, indent=2))
+    else:
+        print(f"consistent: {consistent}")
     return 0 if consistent else 1
 
 
@@ -223,7 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
                             help="skip the materializability search")
     p_classify.set_defaults(func=cmd_classify)
 
-    p_eval = sub.add_parser("evaluate", help="compute certain answers")
+    def add_budget_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--timeout", type=float, metavar="SECONDS",
+                       help="wall-clock deadline; exit code 3 when exceeded")
+        p.add_argument("--budget", metavar="SPEC",
+                       help="resource budget, e.g. "
+                            "'timeout=0.5,conflicts=10000,chase_steps=5000'")
+        p.add_argument("--format", choices=["text", "json"], default="text",
+                       help="json includes the outcome provenance")
+
+    p_eval = sub.add_parser("evaluate", aliases=["eval"],
+                            help="compute certain answers")
     p_eval.add_argument("ontology")
     p_eval.add_argument("data")
     p_eval.add_argument("query",
@@ -234,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="auto")
     p_eval.add_argument("--preflight", action="store_true",
                         help="lint the workload before evaluating")
+    add_budget_args(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_cons = sub.add_parser("consistent", help="check consistency")
@@ -244,6 +323,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="auto")
     p_cons.add_argument("--preflight", action="store_true",
                         help="lint the workload before checking")
+    add_budget_args(p_cons)
     p_cons.set_defaults(func=cmd_consistent)
 
     p_lint = sub.add_parser(

@@ -14,6 +14,7 @@ from typing import Iterable
 
 from ..logic.instance import Interpretation
 from ..logic.syntax import Element
+from ..runtime import Budget
 from .template import Template
 
 
@@ -59,11 +60,14 @@ def _binary_constraints(
 def ac3(
     domains: dict[Element, set[Element]],
     constraints: list[tuple[Element, Element, frozenset]],
+    budget: Budget | None = None,
 ) -> bool:
     """Run AC-3 to arc consistency; False if a domain empties."""
     # arcs in both directions for each constraint
     queue = list(range(len(constraints))) + [-i - 1 for i in range(len(constraints))]
     while queue:
+        if budget is not None:
+            budget.poll("csp.ac3")
         idx = queue.pop()
         if idx >= 0:
             x, y, allowed = constraints[idx]
@@ -92,8 +96,14 @@ def solve(
     instance: Interpretation,
     template: Template,
     use_ac3: bool = True,
+    budget: Budget | None = None,
 ) -> dict[Element, Element] | None:
-    """Find a homomorphism from *instance* to the template, or None."""
+    """Find a homomorphism from *instance* to the template, or None.
+
+    Under a :class:`repro.runtime.Budget` every backtracking node is a
+    cooperative checkpoint (the ``csp_backtracks`` fault/limit site),
+    raising :class:`repro.runtime.BudgetExceeded` on exhaustion.
+    """
     for pred, arity in instance.sig().items():
         if pred not in template.sig() and instance.tuples(pred):
             return None  # a relation absent from the template cannot map
@@ -101,7 +111,7 @@ def solve(
     if domains is None:
         return None
     constraints = _binary_constraints(instance, template)
-    if use_ac3 and not ac3(domains, constraints):
+    if use_ac3 and not ac3(domains, constraints, budget=budget):
         return None
 
     # index constraints per element for the backtracking phase
@@ -128,6 +138,8 @@ def solve(
             return True
         elem = order[idx]
         for value in sorted(domains[elem], key=repr):
+            if budget is not None:
+                budget.tick_backtrack("csp_backtracks")
             if consistent(elem, value):
                 assignment[elem] = value
                 if backtrack(idx + 1):

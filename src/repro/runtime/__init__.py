@@ -1,0 +1,37 @@
+"""repro.runtime — resource governance for every solver.
+
+The paper's dichotomy (Thm. 7) guarantees that real workloads mix PTIME
+and coNP-hard instances, so every solver in this repository — the
+disjunctive chase, the CDCL countermodel search, the CSP solver and the
+RF(M) run-fitting solver — can blow up without warning.  This package
+provides the production discipline around them:
+
+* :class:`Budget` — a shared pool of wall-clock time, chase steps, nulls,
+  CDCL conflicts and backtracks, with cooperative cancellation
+  checkpoints inside every solver loop (:class:`BudgetExceeded` on
+  exhaustion);
+* :class:`Outcome` — the structured result of an engine call: verdict
+  (including an explicit ``UNKNOWN`` on exhaustion), definitiveness,
+  answering engine, fallback provenance, escalation-ladder trace and a
+  :class:`ResourceUsage` snapshot;
+* :func:`chase_rungs` / :func:`sat_rungs` — geometric escalation
+  schedules so easy instances stay fast and hard ones degrade to an
+  explicit ``UNKNOWN(resource_exhausted)`` instead of a hang;
+* :mod:`repro.runtime.faults` — deterministic fault injection
+  (``REPRO_FAULTS=...``) at the same checkpoints, so the fallback and
+  escalation paths are testable.
+
+See ``docs/robustness.md`` for the user-facing guide.
+"""
+
+from .budget import Budget, BudgetExceeded, ResourceUsage
+from .escalate import chase_rungs, sat_rungs
+from .faults import SITES, FaultPlan, FaultSpec, active_plan, parse_faults
+from .outcome import Attempt, Outcome, ResourceExhausted, Verdict
+
+__all__ = [
+    "Budget", "BudgetExceeded", "ResourceUsage",
+    "chase_rungs", "sat_rungs",
+    "SITES", "FaultPlan", "FaultSpec", "active_plan", "parse_faults",
+    "Attempt", "Outcome", "ResourceExhausted", "Verdict",
+]

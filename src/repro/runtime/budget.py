@@ -1,0 +1,242 @@
+"""Resource budgets and cooperative cancellation for the solvers.
+
+A :class:`Budget` is a shared pool of resources — wall-clock time, chase
+steps, fresh nulls, CDCL conflicts, CSP/RF(M) backtracks — handed to every
+solver invocation of one logical request.  The solvers *cooperate*: at
+their natural checkpoints (a chase rule firing, a learnt conflict, a
+backtracking node) they tick the corresponding counter and the budget
+raises :class:`BudgetExceeded` the moment a limit is crossed, so a request
+can never hang or silently burn unbounded resources.
+
+Wall-clock checks are strided (one ``monotonic()`` call per
+:data:`Budget.DEADLINE_STRIDE` ticks) to keep checkpoint overhead
+negligible on easy instances.
+
+The same checkpoints double as the engine's fault-injection surface: every
+budget carries the process' :class:`repro.runtime.faults.FaultPlan` (parsed
+from ``REPRO_FAULTS``) and consults it before the real limit, so deadline
+expiry and conflict-cap hits can be forced deterministically in tests and
+CI without ever sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .faults import FaultPlan, active_plan
+
+
+class BudgetExceeded(RuntimeError):
+    """A resource limit was crossed at a cooperative checkpoint.
+
+    ``resource`` names the pool that ran dry: ``deadline``, ``chase_steps``,
+    ``nulls``, ``conflicts`` or ``backtracks``.
+    """
+
+    def __init__(self, resource: str, message: str):
+        super().__init__(message)
+        self.resource = resource
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """A point-in-time snapshot of what a budget's holders consumed."""
+
+    elapsed: float
+    chase_steps: int
+    nulls: int
+    conflicts: int
+    backtracks: int
+    solver_runs: int
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "elapsed_seconds": round(self.elapsed, 6),
+            "chase_steps": self.chase_steps,
+            "nulls": self.nulls,
+            "conflicts": self.conflicts,
+            "backtracks": self.backtracks,
+            "solver_runs": self.solver_runs,
+        }
+
+
+_SPEC_KEYS = ("timeout", "chase_steps", "nulls", "conflicts", "backtracks")
+
+
+class Budget:
+    """A cooperative resource budget shared by every solver of one request.
+
+    All limits are optional; an unlimited budget still *accounts* (its
+    counters feed :class:`repro.runtime.Outcome.usage`) at near-zero cost.
+
+    ``escalate`` selects the engine strategy under this budget: ``True``
+    (the default for user-supplied budgets) makes :class:`CertainEngine`
+    climb the escalation ladder — geometrically growing chase depths and
+    SAT domain bounds under the remaining budget — while ``False`` keeps
+    the classic one-shot evaluation at the engine's configured bounds.
+    """
+
+    DEADLINE_STRIDE = 64
+
+    def __init__(
+        self,
+        timeout: float | None = None,
+        chase_steps: int | None = None,
+        nulls: int | None = None,
+        conflicts: int | None = None,
+        backtracks: int | None = None,
+        escalate: bool = True,
+        faults: FaultPlan | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.timeout = timeout
+        self.max_chase_steps = chase_steps
+        self.max_nulls = nulls
+        self.max_conflicts = conflicts
+        self.max_backtracks = backtracks
+        self.escalate = escalate
+        self.faults = faults if faults is not None else active_plan()
+        self._clock = clock
+        self._start = clock()
+        self.deadline = None if timeout is None else self._start + timeout
+        self.spent_chase_steps = 0
+        self.spent_nulls = 0
+        self.spent_conflicts = 0
+        self.spent_backtracks = 0
+        self.solver_runs = 0
+        self._stride = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline; None when there is no deadline."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    def usage(self) -> ResourceUsage:
+        return ResourceUsage(
+            elapsed=self.elapsed(),
+            chase_steps=self.spent_chase_steps,
+            nulls=self.spent_nulls,
+            conflicts=self.spent_conflicts,
+            backtracks=self.spent_backtracks,
+            solver_runs=self.solver_runs,
+        )
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def _fail(self, resource: str, detail: str) -> None:
+        raise BudgetExceeded(resource, detail)
+
+    def inject(self, site: str) -> bool:
+        """Consult the fault plan for *site* (deterministic, counted)."""
+        return self.faults is not None and self.faults.hit(site)
+
+    def check_deadline(self, where: str = "") -> None:
+        """Unconditional deadline checkpoint (also the ``deadline`` fault site)."""
+        if self.inject("deadline"):
+            self._fail("deadline", f"injected deadline expiry at {where or 'checkpoint'}")
+        if self.deadline is not None and self._clock() >= self.deadline:
+            self._fail("deadline",
+                       f"wall-clock budget of {self.timeout:.3f}s exhausted"
+                       f"{f' at {where}' if where else ''}")
+
+    def poll(self, where: str = "") -> None:
+        """Strided deadline checkpoint for hot loops."""
+        self._stride += 1
+        if self._stride >= self.DEADLINE_STRIDE:
+            self._stride = 0
+            self.check_deadline(where)
+
+    def tick_chase_step(self) -> None:
+        """One chase rule firing."""
+        self.spent_chase_steps += 1
+        if (self.max_chase_steps is not None
+                and self.spent_chase_steps > self.max_chase_steps):
+            self._fail("chase_steps",
+                       f"chase-step budget of {self.max_chase_steps} exhausted")
+        self.poll("chase")
+
+    def tick_nulls(self, count: int = 1) -> None:
+        """*count* fresh labelled nulls created by the chase."""
+        self.spent_nulls += count
+        if self.max_nulls is not None and self.spent_nulls > self.max_nulls:
+            self._fail("nulls", f"null budget of {self.max_nulls} exhausted")
+
+    def tick_conflict(self) -> None:
+        """One learnt CDCL conflict (also the ``cdcl_conflicts`` fault site)."""
+        self.spent_conflicts += 1
+        if self.inject("cdcl_conflicts"):
+            self._fail("conflicts", "injected CDCL conflict-limit hit")
+        if (self.max_conflicts is not None
+                and self.spent_conflicts > self.max_conflicts):
+            self._fail("conflicts",
+                       f"CDCL conflict budget of {self.max_conflicts} exhausted")
+        self.poll("cdcl")
+
+    def tick_backtrack(self, site: str) -> None:
+        """One backtracking-search node (*site*: ``csp_backtracks`` or
+        ``rf_backtracks``, which double as fault sites)."""
+        self.spent_backtracks += 1
+        if self.inject(site):
+            self._fail("backtracks", f"injected backtrack-limit hit at {site}")
+        if (self.max_backtracks is not None
+                and self.spent_backtracks > self.max_backtracks):
+            self._fail("backtracks",
+                       f"backtrack budget of {self.max_backtracks} exhausted")
+        self.poll(site)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str, **overrides) -> "Budget":
+        """Parse ``key=value,...`` (keys: timeout, chase_steps, nulls,
+        conflicts, backtracks, escalate) into a budget."""
+        kwargs: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(f"budget entry {part!r} is not key=value")
+            if key == "escalate":
+                kwargs[key] = value.strip().lower() in ("1", "true", "yes", "on")
+                continue
+            if key not in _SPEC_KEYS:
+                raise ValueError(
+                    f"unknown budget key {key!r} (expected one of "
+                    f"{', '.join(_SPEC_KEYS + ('escalate',))})")
+            try:
+                kwargs[key] = float(value) if key == "timeout" else int(value)
+            except ValueError:
+                raise ValueError(f"budget entry {part!r}: bad number {value!r}")
+        kwargs.update(overrides)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "Budget | None":
+        """A budget from ``REPRO_TIMEOUT`` (seconds) and/or ``REPRO_BUDGET``
+        (a ``from_spec`` string); None when neither is set."""
+        env = os.environ if environ is None else environ
+        spec = env.get("REPRO_BUDGET", "").strip()
+        timeout = env.get("REPRO_TIMEOUT", "").strip()
+        if not spec and not timeout:
+            return None
+        budget = cls.from_spec(spec) if spec else cls()
+        if timeout:
+            try:
+                seconds = float(timeout)
+            except ValueError:
+                raise ValueError(f"REPRO_TIMEOUT: bad number {timeout!r}")
+            budget.timeout = seconds
+            budget.deadline = budget._start + seconds
+        return budget

@@ -1,0 +1,48 @@
+"""Escalation ladders: geometric bound schedules for restarting solvers.
+
+The engines' fixed bounds (chase depth 6, 3 extra SAT nulls) are a poor
+fit for workloads straddling the paper's PTIME/coNP-hard dichotomy: easy
+instances terminate far below the bound, hard ones need every bit of it —
+and a one-shot run at the maximum wastes the cheap rungs' early exits.
+An escalation ladder retries with geometrically growing bounds under one
+shared budget (the classic Luby/geometric-restart discipline of CDCL
+solvers, applied to chase depth and countermodel domain size), so:
+
+* easy instances finish on the first, cheap rung;
+* hard instances climb until the configured maximum — total work stays
+  within a constant factor of the one-shot run because the rungs grow
+  geometrically;
+* budget-exhausted instances stop at a well-defined rung with the
+  ladder trace recorded on the :class:`repro.runtime.Outcome`.
+"""
+
+from __future__ import annotations
+
+
+def _geometric(start: int, maximum: int, factor: int) -> tuple[int, ...]:
+    if maximum <= start:
+        return (maximum,)
+    rungs: list[int] = []
+    bound = start
+    while bound < maximum:
+        rungs.append(bound)
+        bound *= factor
+    rungs.append(maximum)
+    return tuple(rungs)
+
+
+def chase_rungs(max_depth: int, escalate: bool = True,
+                start: int = 2, factor: int = 2) -> tuple[int, ...]:
+    """Chase depth schedule, e.g. ``(2, 4, 6)`` for ``max_depth=6``."""
+    if not escalate:
+        return (max_depth,)
+    return _geometric(start, max_depth, factor)
+
+
+def sat_rungs(max_extra: int, escalate: bool = True,
+              start: int = 1, factor: int = 2) -> tuple[int, ...]:
+    """Extra-null schedule for countermodel search, e.g. ``(1, 2, 3)``
+    for ``max_extra=3``."""
+    if not escalate:
+        return (max_extra,)
+    return _geometric(start, max_extra, factor)

@@ -1,0 +1,137 @@
+"""Deterministic fault injection for the solver checkpoints.
+
+Production robustness machinery — budget checkpoints, SAT fallbacks,
+escalation ladders — is exactly the code that never runs on healthy
+workloads, so it rots unless it can be *forced* to run.  This module
+injects failures at the solvers' cooperative checkpoints, deterministically
+(counter-based, never random), driven by the ``REPRO_FAULTS`` environment
+variable or an explicit :class:`FaultPlan`.
+
+Syntax: comma-separated ``site[:arg]`` entries, e.g.::
+
+    REPRO_FAULTS=chase_truncate:0.2                # every 5th checkpoint
+    REPRO_FAULTS=deadline:@3                       # exactly the 3rd checkpoint
+    REPRO_FAULTS=cdcl_conflicts                    # every checkpoint
+    REPRO_FAULTS=chase_truncate:0.5,rf_backtracks:@1
+
+``site:R`` with a rate ``0 < R <= 1`` fires on every ``round(1/R)``-th hit
+of that site; ``site:@N`` fires exactly on the N-th hit; a bare ``site``
+fires on every hit.  Sites:
+
+==================  =========================================================
+``chase_truncate``  a chase rule firing that would create nulls behaves as if
+                    the depth bound were exceeded (branch truncated)
+``deadline``        a deadline checkpoint behaves as if the wall clock ran out
+``cdcl_conflicts``  a CDCL conflict checkpoint behaves as if the conflict
+                    limit were hit
+``csp_backtracks``  a CSP backtracking node behaves as if the backtrack
+                    limit were hit
+``rf_backtracks``   an RF(M) run-fitting node behaves as if the backtrack
+                    limit were hit
+==================  =========================================================
+
+Faults only reach solvers that run under a :class:`repro.runtime.Budget`
+(every ``CertainEngine`` call does); bare solver invocations stay
+deterministic and fault-free.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+SITES = (
+    "chase_truncate",
+    "deadline",
+    "cdcl_conflicts",
+    "csp_backtracks",
+    "rf_backtracks",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """When a single site fires: every *period*-th hit, or exactly at *at*."""
+
+    site: str
+    period: int = 1
+    at: int | None = None
+
+    def fires(self, hit: int) -> bool:
+        if self.at is not None:
+            return hit == self.at
+        return hit % self.period == 0
+
+
+class FaultPlan:
+    """A set of :class:`FaultSpec` with per-site deterministic hit counters."""
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...] = ()):
+        self.specs: dict[str, FaultSpec] = {s.site: s for s in specs}
+        self.hits: dict[str, int] = {site: 0 for site in self.specs}
+        self.fired: dict[str, int] = {site: 0 for site in self.specs}
+
+    def hit(self, site: str) -> bool:
+        """Record one checkpoint hit at *site*; True when the fault fires."""
+        spec = self.specs.get(site)
+        if spec is None:
+            return False
+        self.hits[site] += 1
+        if spec.fires(self.hits[site]):
+            self.fired[site] += 1
+            return True
+        return False
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(sorted(self.specs))
+        return f"FaultPlan({parts})"
+
+
+def parse_faults(text: str) -> FaultPlan | None:
+    """Parse a ``REPRO_FAULTS`` string; None for an empty string."""
+    specs: list[FaultSpec] = []
+    for raw in text.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        site, _, arg = entry.partition(":")
+        site = site.strip()
+        if site not in SITES:
+            raise ValueError(
+                f"unknown fault site {site!r} (expected one of {', '.join(SITES)})")
+        arg = arg.strip()
+        if not arg:
+            specs.append(FaultSpec(site))
+        elif arg.startswith("@"):
+            try:
+                at = int(arg[1:])
+            except ValueError:
+                raise ValueError(f"fault entry {entry!r}: bad hit index {arg!r}")
+            if at < 1:
+                raise ValueError(f"fault entry {entry!r}: hit index must be >= 1")
+            specs.append(FaultSpec(site, at=at))
+        else:
+            try:
+                rate = float(arg)
+            except ValueError:
+                raise ValueError(f"fault entry {entry!r}: bad rate {arg!r}")
+            if not 0 < rate <= 1:
+                raise ValueError(f"fault entry {entry!r}: rate must be in (0, 1]")
+            specs.append(FaultSpec(site, period=max(1, round(1 / rate))))
+    return FaultPlan(specs) if specs else None
+
+
+_cache: tuple[str, FaultPlan | None] | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The process-wide plan from ``REPRO_FAULTS`` (counters are shared so
+    rates are deterministic across the whole process); None when unset."""
+    global _cache
+    text = os.environ.get("REPRO_FAULTS", "")
+    if _cache is None or _cache[0] != text:
+        _cache = (text, parse_faults(text))
+    return _cache[1]

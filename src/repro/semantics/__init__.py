@@ -2,8 +2,8 @@
 
 from .certain import CertainEngine, Explanation
 from .chase import (
-    Branch, ChaseAnswer, ChaseError, ChaseResult, chase, chase_certain_answer,
-    match_conjunction,
+    Branch, ChaseAnswer, ChaseError, ChaseResult, answer_from_chase, chase,
+    chase_certain_answer, match_conjunction,
 )
 from .modelsearch import (
     CertainAnswerResult, certain_answer, certain_answers, find_model,
@@ -17,7 +17,7 @@ from .sat import CNF, add_formula, dpll, ground, model_to_interpretation
 __all__ = [
     "CertainEngine", "Explanation", "Branch", "ChaseAnswer", "ChaseError",
     "ChaseResult",
-    "chase", "chase_certain_answer", "match_conjunction",
+    "answer_from_chase", "chase", "chase_certain_answer", "match_conjunction",
     "CertainAnswerResult", "certain_answer", "certain_answers", "find_model",
     "is_consistent", "query_formula", "DisjunctiveRule", "Head",
     "NotConvertible", "convert_ontology", "convert_sentence", "CNF",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..analysis.sanitizers import cdcl_sanitizer
+from ..runtime import Budget
 
 
 class Solver:
@@ -184,11 +185,16 @@ class Solver:
 
     # -- main loop ----------------------------------------------------------------
 
-    def solve(self, max_conflicts: int | None = None) -> dict[int, bool] | None:
+    def solve(self, max_conflicts: int | None = None,
+              budget: Budget | None = None) -> dict[int, bool] | None:
         """Return a satisfying assignment or None (UNSAT).
 
         ``max_conflicts`` bounds the effort; exceeding it raises
-        ``RuntimeError`` (callers may retry with a larger budget).
+        ``RuntimeError`` (callers may retry with a larger budget).  A
+        :class:`repro.runtime.Budget` makes every learnt conflict (and,
+        strided, every decision) a cooperative checkpoint, raising
+        :class:`repro.runtime.BudgetExceeded` on deadline expiry or
+        conflict-limit exhaustion.
         """
         if not self.ok:
             return None
@@ -200,6 +206,8 @@ class Solver:
             if conflict is not None:
                 conflicts += 1
                 since_restart += 1
+                if budget is not None:
+                    budget.tick_conflict()
                 if max_conflicts is not None and conflicts > max_conflicts:
                     raise RuntimeError("CDCL conflict budget exceeded")
                 if not self.trail_lim:
@@ -223,6 +231,8 @@ class Solver:
                     restart_limit = int(restart_limit * 1.5)
                     self._backtrack(0)
                 continue
+            if budget is not None:
+                budget.poll("cdcl.decide")
             lit = self._decide()
             if lit == 0:
                 if self._san:
@@ -238,8 +248,9 @@ class Solver:
 
 
 def solve_cnf(num_vars: int, clauses: Iterable[Sequence[int]],
-              assumptions: Iterable[int] = ()) -> dict[int, bool] | None:
+              assumptions: Iterable[int] = (),
+              budget: Budget | None = None) -> dict[int, bool] | None:
     """Convenience wrapper: solve with optional assumption units."""
     all_clauses = [list(c) for c in clauses]
     all_clauses.extend([lit] for lit in assumptions)
-    return Solver(num_vars, all_clauses).solve()
+    return Solver(num_vars, all_clauses).solve(budget=budget)

@@ -9,6 +9,16 @@ Backend selection:
   for *no* answers, and exact for *yes* relative to the domain bound
   (the guarded fragment has the finite model property).
 
+Arbitration is **observable and budgeted**: every decision produces a
+:class:`repro.runtime.Outcome` (verdict, definitiveness, answering engine,
+fallback provenance, escalation-ladder trace, resources consumed), exposed
+via ``entails_outcome`` / ``consistency_outcome`` and ``last_outcome``.
+Under a :class:`repro.runtime.Budget` the engine climbs an escalation
+ladder — geometrically growing chase depths and SAT domain bounds under
+the remaining budget — and degrades to an explicit
+``UNKNOWN(resource_exhausted)`` instead of hanging or guessing; the
+boolean APIs then raise :class:`repro.runtime.ResourceExhausted`.
+
 ``CertainEngine`` also provides consistency checking and O-saturation
 (the saturation of an instance with all entailed facts over its domain,
 used by the decision procedures of Section 8).
@@ -17,19 +27,27 @@ used by the decision procedures of Section 8).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Literal, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Literal, Sequence
 
 from ..logic.instance import Interpretation
 from ..logic.ontology import Ontology
 from ..logic.syntax import Atom, Element
 from ..queries.cq import CQ, UCQ
-from .chase import ChaseError, chase_certain_answer
+from ..runtime import (
+    Attempt, Budget, BudgetExceeded, Outcome, Verdict, chase_rungs, sat_rungs,
+)
+from .chase import ChaseError, answer_from_chase, chase
 from .modelsearch import certain_answer as sat_certain_answer
-from .modelsearch import is_consistent as sat_is_consistent
+from .modelsearch import find_model
 from .rules import convert_ontology
 
 Backend = Literal["auto", "chase", "sat"]
+
+# chase_step returns ("yes" | "no" | "truncated", payload);
+# sat_step returns (bool, payload).  Payloads carry witness models.
+_ChaseStep = Callable[[int], tuple[str, "Interpretation | None"]]
+_SatStep = Callable[[int], tuple[bool, "Interpretation | None"]]
 
 
 @dataclass
@@ -41,6 +59,13 @@ class CertainEngine:
     :class:`repro.analysis.LintError` with the full diagnostic list when an
     error-level finding fires — instead of a deep traceback (or a silently
     wrong verdict) later.
+
+    Every evaluation method accepts an optional ``budget``
+    (:class:`repro.runtime.Budget`); without one the engine falls back to
+    ``Budget.from_env()`` (the ``REPRO_TIMEOUT`` / ``REPRO_BUDGET``
+    variables) and, failing that, to an unlimited accounting-only budget
+    with the classic one-shot bounds.  ``last_outcome`` always holds the
+    :class:`repro.runtime.Outcome` of the most recent decision.
     """
 
     onto: Ontology
@@ -48,6 +73,7 @@ class CertainEngine:
     chase_depth: int = 6
     sat_extra: int = 3
     preflight: bool = False
+    last_outcome: Outcome | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.preflight:
@@ -92,104 +118,287 @@ class CertainEngine:
     def uses_chase(self) -> bool:
         return self.backend != "sat" and self._rules is not None
 
+    # -- budgeted arbitration core -------------------------------------------
+
+    def _resolve_budget(self, budget: Budget | None) -> Budget:
+        if budget is not None:
+            return budget
+        env_budget = Budget.from_env()
+        if env_budget is not None:
+            return env_budget
+        # Unlimited accounting-only budget: classic one-shot bounds.
+        return Budget(escalate=False)
+
+    def _decide(
+        self,
+        budget: Budget,
+        chase_step: _ChaseStep,
+        sat_step: _SatStep,
+        sat_terminal: bool,
+        chase_reasons: dict[str, str],
+        sat_reasons: tuple[str, str],
+    ) -> tuple[Outcome, Interpretation | None]:
+        """The escalation ladder shared by entailment and consistency.
+
+        Chase rungs run first (when applicable); a definitive rung wins.
+        Otherwise SAT rungs take over under the remaining budget; a rung
+        whose boolean result equals *sat_terminal* is definitive (a concrete
+        (counter)model was found), the final rung's other answer is
+        bound-relative.  Budget exhaustion yields verdict UNKNOWN.
+        """
+        attempts: list[Attempt] = []
+        fallback: str | None = None
+
+        def exhausted(exc: BudgetExceeded) -> tuple[Outcome, None]:
+            return Outcome.exhausted_outcome(
+                exc, tuple(attempts), budget.usage()), None
+
+        if self.uses_chase:
+            for depth in chase_rungs(self.chase_depth, budget.escalate):
+                try:
+                    budget.check_deadline("certain.chase")
+                    verdict, payload = chase_step(depth)
+                except ChaseError as exc:
+                    attempts.append(Attempt("chase", depth, "error", str(exc)))
+                    fallback = f"chase error at depth {depth}: {exc}"
+                    break
+                except BudgetExceeded as exc:
+                    attempts.append(Attempt("chase", depth, "budget", str(exc)))
+                    if exc.resource == "deadline":
+                        return exhausted(exc)
+                    fallback = f"chase budget exhausted at depth {depth}: {exc}"
+                    break
+                if verdict in ("yes", "no"):
+                    attempts.append(Attempt("chase", depth, verdict))
+                    outcome = Outcome(
+                        verdict=Verdict.YES if verdict == "yes" else Verdict.NO,
+                        definitive=True,
+                        engine="chase",
+                        reason=chase_reasons[verdict],
+                        fallback=None,
+                        attempts=tuple(attempts),
+                        usage=budget.usage(),
+                    )
+                    return outcome, payload
+                attempts.append(Attempt("chase", depth, "truncated"))
+                fallback = f"chase truncated at depth {depth}"
+
+        payload: Interpretation | None = None
+        holds = sat_terminal  # placeholder; overwritten below
+        rungs = sat_rungs(self.sat_extra, budget.escalate)
+        for extra in rungs:
+            try:
+                budget.check_deadline("certain.sat")
+                holds, payload = sat_step(extra)
+            except BudgetExceeded as exc:
+                attempts.append(Attempt("sat", extra, "budget", str(exc)))
+                return exhausted(exc)
+            attempts.append(Attempt("sat", extra, "yes" if holds else "no"))
+            if holds == sat_terminal:
+                return Outcome(
+                    verdict=Verdict.YES if holds else Verdict.NO,
+                    definitive=True,
+                    engine="sat",
+                    reason=sat_reasons[0],
+                    fallback=fallback,
+                    attempts=tuple(attempts),
+                    usage=budget.usage(),
+                ), payload
+        # The final rung's non-terminal answer: definitive only relative to
+        # the domain bound.
+        return Outcome(
+            verdict=Verdict.YES if holds else Verdict.NO,
+            definitive=False,
+            engine="sat",
+            reason=sat_reasons[1].format(extra=rungs[-1]),
+            fallback=fallback,
+            attempts=tuple(attempts),
+            usage=budget.usage(),
+        ), payload
+
+    # -- entailment ----------------------------------------------------------
+
+    def entails_outcome(
+        self,
+        instance: Interpretation,
+        query: CQ | UCQ,
+        answer: Sequence[Element] = (),
+        budget: Budget | None = None,
+    ) -> Outcome:
+        """Decide ``O, D |= q(answer)`` with full provenance."""
+        outcome, _ = self._entails_decision(instance, query, answer, budget)
+        return outcome
+
+    def _entails_decision(
+        self,
+        instance: Interpretation,
+        query: CQ | UCQ,
+        answer: Sequence[Element],
+        budget: Budget | None,
+        keep_witness: bool = False,
+    ) -> tuple[Outcome, Interpretation | None]:
+        self._preflight_workload(instance, query)
+        budget = self._resolve_budget(budget)
+
+        def chase_step(depth: int) -> tuple[str, Interpretation | None]:
+            result = chase(self.onto, instance, rules=self._rules,
+                           max_depth=depth, budget=budget)
+            ans = answer_from_chase(result, query, answer)
+            if ans.holds:
+                # a chase *yes* is definitive even on truncated branches
+                witness = None
+                if keep_witness:
+                    branches = result.consistent_branches()
+                    witness = branches[0].interp if branches else None
+                return "yes", witness
+            if ans.definitive:
+                return "no", ans.refuting_branch
+            return "truncated", None
+
+        def sat_step(extra: int) -> tuple[bool, Interpretation | None]:
+            result = sat_certain_answer(
+                self.onto, instance, query, answer, extra=extra, budget=budget)
+            return result.holds, result.countermodel
+
+        outcome, payload = self._decide(
+            budget, chase_step, sat_step,
+            sat_terminal=False,
+            chase_reasons={
+                "yes": "query holds in every consistent chase branch",
+                "no": "chase branch refutes the query",
+            },
+            sat_reasons=(
+                "finite countermodel found",
+                "no countermodel over dom(D) + {extra} nulls",
+            ),
+        )
+        self.last_outcome = outcome
+        return outcome, payload
+
     def entails(
         self,
         instance: Interpretation,
         query: CQ | UCQ,
         answer: Sequence[Element] = (),
+        budget: Budget | None = None,
     ) -> bool:
-        """Decide ``O, D |= q(answer)``."""
-        self._preflight_workload(instance, query)
-        if self.uses_chase:
-            try:
-                result = chase_certain_answer(
-                    self.onto, instance, query, answer,
-                    max_depth=self.chase_depth, rules=self._rules)
-                if result.definitive or result.holds:
-                    return result.holds
-            except ChaseError:
-                pass  # fall through to SAT
-        return sat_certain_answer(
-            self.onto, instance, query, answer, extra=self.sat_extra).holds
+        """Decide ``O, D |= q(answer)``.
+
+        Raises :class:`repro.runtime.ResourceExhausted` when the budget ran
+        out before a verdict — never guesses.
+        """
+        return self.entails_outcome(instance, query, answer, budget).holds
 
     def certain_answers(
         self,
         instance: Interpretation,
         query: CQ | UCQ,
+        budget: Budget | None = None,
     ) -> set[tuple[Element, ...]]:
-        """All certain answer tuples over dom(D)."""
+        """All certain answer tuples over dom(D).
+
+        A supplied *budget* is shared across every candidate tuple, so a
+        deadline bounds the whole enumeration.
+        """
+        budget = self._resolve_budget(budget)
         out: set[tuple[Element, ...]] = set()
         domain = sorted(instance.dom(), key=repr)
         for combo in itertools.product(domain, repeat=query.arity):
-            if self.entails(instance, query, combo):
+            if self.entails(instance, query, combo, budget=budget):
                 out.add(combo)
         return out
 
-    def is_consistent(self, instance: Interpretation) -> bool:
-        """Is there a model of D and O?"""
+    # -- consistency ---------------------------------------------------------
+
+    def consistency_outcome(
+        self,
+        instance: Interpretation,
+        budget: Budget | None = None,
+    ) -> Outcome:
+        """Is there a model of D and O? — with full provenance."""
         self._preflight_workload(instance)
-        if self.uses_chase:
-            try:
-                from .chase import chase
-                result = chase(self.onto, instance, rules=self._rules,
-                               max_depth=self.chase_depth)
-                consistent = result.consistent_branches()
-                if consistent:
-                    return True
-                if result.fully_chased:
-                    return False
-            except ChaseError:
-                pass
-        return sat_is_consistent(self.onto, instance, extra=self.sat_extra)
+        budget = self._resolve_budget(budget)
+
+        def chase_step(depth: int) -> tuple[str, Interpretation | None]:
+            result = chase(self.onto, instance, rules=self._rules,
+                           max_depth=depth, budget=budget)
+            consistent = result.consistent_branches()
+            # A *complete* consistent branch is closed under every rule and
+            # is therefore a genuine model.  A consistent-but-truncated
+            # branch is not a witness: firing the skipped existential
+            # triggers may yet derive an inconsistency, so escalate.
+            complete = [b for b in consistent if b.complete]
+            if complete:
+                return "yes", complete[0].interp
+            if result.fully_chased:
+                return "no", None
+            return "truncated", None
+
+        def sat_step(extra: int) -> tuple[bool, Interpretation | None]:
+            model = find_model(self.onto, instance, extra, budget=budget)
+            return model is not None, model
+
+        outcome, _ = self._decide(
+            budget, chase_step, sat_step,
+            sat_terminal=True,
+            chase_reasons={
+                "yes": "chase produced a consistent branch",
+                "no": "every chase branch is inconsistent",
+            },
+            sat_reasons=(
+                "finite model found",
+                "no model over dom(D) + {extra} nulls",
+            ),
+        )
+        self.last_outcome = outcome
+        return outcome
+
+    def is_consistent(
+        self,
+        instance: Interpretation,
+        budget: Budget | None = None,
+    ) -> bool:
+        """Is there a model of D and O?
+
+        Raises :class:`repro.runtime.ResourceExhausted` when the budget ran
+        out before a verdict.
+        """
+        return self.consistency_outcome(instance, budget).holds
+
+    # -- explanation ---------------------------------------------------------
 
     def explain(
         self,
         instance: Interpretation,
         query: CQ | UCQ,
         answer: Sequence[Element] = (),
+        budget: Budget | None = None,
     ) -> "Explanation":
         """Decide and justify ``O, D |= q(answer)``.
 
         A negative answer carries a concrete countermodel; a positive
         answer carries, when available, a (chase branch) model in which
-        the query match can be inspected.
+        the query match can be inspected.  The chase runs **once** per
+        rung — the witness branch is read off the same run that decided
+        the verdict.  Raises :class:`repro.runtime.ResourceExhausted` on
+        budget exhaustion.
         """
-        from .modelsearch import certain_answer as sat_certain
-        from .modelsearch import query_formula
+        outcome, payload = self._entails_decision(
+            instance, query, answer, budget, keep_witness=True)
+        holds = outcome.holds  # raises ResourceExhausted on UNKNOWN
+        return Explanation(holds, payload, outcome.reason, outcome)
 
-        if self.uses_chase:
-            try:
-                result = chase_certain_answer(
-                    self.onto, instance, query, answer,
-                    max_depth=self.chase_depth, rules=self._rules)
-                if not result.holds and result.definitive:
-                    return Explanation(False, result.refuting_branch,
-                                       "chase branch refutes the query")
-                if result.holds:
-                    from .chase import chase as run_chase
-                    branches = run_chase(
-                        self.onto, instance, rules=self._rules,
-                        max_depth=self.chase_depth).consistent_branches()
-                    witness = branches[0].interp if branches else None
-                    return Explanation(True, witness,
-                                       "query holds in every chase branch")
-            except ChaseError:
-                pass
-        result = sat_certain(self.onto, instance, query, answer,
-                             extra=self.sat_extra)
-        if result.holds:
-            return Explanation(
-                True, None,
-                f"no countermodel over dom(D) + {self.sat_extra} nulls")
-        return Explanation(False, result.countermodel,
-                           "finite countermodel found")
+    # -- saturation ----------------------------------------------------------
 
-    def saturate(self, instance: Interpretation) -> Interpretation:
+    def saturate(self, instance: Interpretation,
+                 budget: Budget | None = None) -> Interpretation:
         """The O-saturation D_O: add all entailed facts over dom(D).
 
         (Section 8: the unique minimal O-saturated instance containing D.)
-        Only relations from sig(O) ∪ sig(D) are considered.
+        Only relations from sig(O) ∪ sig(D) are considered.  A supplied
+        *budget* is shared across the whole saturation.
         """
+        budget = self._resolve_budget(budget)
         sig = dict(instance.sig())
         for pred, arity in self.onto.sig().items():
             sig.setdefault(pred, arity)
@@ -201,7 +410,7 @@ class CertainEngine:
                 if fact in out:
                     continue
                 query = _atom_query(pred, arity)
-                if self.entails(instance, query, combo):
+                if self.entails(instance, query, combo, budget=budget):
                     out.add(fact)
         return out
 
@@ -213,6 +422,7 @@ class Explanation:
     holds: bool
     witness: Interpretation | None
     reason: str
+    outcome: Outcome | None = None
 
     def __bool__(self) -> bool:
         return self.holds

@@ -33,6 +33,7 @@ from ..logic.instance import Interpretation
 from ..logic.ontology import Ontology
 from ..logic.syntax import Atom, Const, Element, Null, Var
 from ..queries.cq import CQ, UCQ
+from ..runtime import Budget
 from .rules import DisjunctiveRule, Head, convert_ontology
 
 
@@ -205,13 +206,17 @@ def chase(
     max_branches: int = 512,
     max_facts: int = 200_000,
     sanitize: bool | None = None,
+    budget: Budget | None = None,
 ) -> ChaseResult:
     """Run the disjunctive chase of *instance* with *onto*.
 
     *rules* defaults to :func:`convert_ontology`; a ``ValueError`` is raised
     if the ontology is not rule-convertible.  ``sanitize`` switches the
     runtime invariant checkers on/off (default: the ``REPRO_SANITIZE``
-    environment variable).
+    environment variable).  Under a :class:`repro.runtime.Budget` every
+    rule firing is a cooperative checkpoint (deadline / chase-step / null
+    accounting, raising :class:`repro.runtime.BudgetExceeded`) and the
+    ``chase_truncate`` fault site can force depth exhaustion.
     """
     if rules is None:
         rules = convert_ontology(onto)
@@ -229,6 +234,8 @@ def chase(
 
     while pending:
         branch = pending.pop()
+        if budget is not None:
+            budget.check_deadline("chase")
         if not branch.consistent:
             done.append(branch)
             continue
@@ -245,13 +252,22 @@ def chase(
                     branch.consistent = False
                     fired = True
                     break
-                # Truncation: creating nulls beyond the depth bound.
+                # Truncation: creating nulls beyond the depth bound (the
+                # ``chase_truncate`` fault site forces the same path).
                 trigger_depth = max(
                     (branch.depth.get(e, 0) for e in env.values()), default=0)
                 needs_nulls = any(h.exist_vars for h in rule.heads)
-                if needs_nulls and trigger_depth + 1 > max_depth:
+                if needs_nulls and (
+                        trigger_depth + 1 > max_depth
+                        or (budget is not None
+                            and budget.inject("chase_truncate"))):
                     branch.complete = False
                     continue
+                if budget is not None:
+                    budget.tick_chase_step()
+                    if needs_nulls:
+                        budget.tick_nulls(sum(
+                            len(h.exist_vars) * h.count for h in rule.heads))
                 if san:
                     san.check_firing(rule, branch.interp, env)
                 successors = []
@@ -282,16 +298,12 @@ class ChaseAnswer:
     refuting_branch: Interpretation | None = None
 
 
-def chase_certain_answer(
-    onto: Ontology,
-    instance: Interpretation,
+def answer_from_chase(
+    result: ChaseResult,
     query: CQ | UCQ,
     answer: Sequence[Element] = (),
-    max_depth: int = 6,
-    rules: list[DisjunctiveRule] | None = None,
 ) -> ChaseAnswer:
-    """Certain-answer check via the disjunctive chase (see module docstring)."""
-    result = chase(onto, instance, rules=rules, max_depth=max_depth)
+    """Read off the certain-answer verdict from an already-run chase."""
     consistent = result.consistent_branches()
     if not consistent:
         # D is inconsistent w.r.t. O: every tuple is a certain answer.
@@ -300,3 +312,18 @@ def chase_certain_answer(
         if not query.holds(branch.interp, tuple(answer)):
             return ChaseAnswer(False, branch.complete, branch.interp)
     return ChaseAnswer(True, True)
+
+
+def chase_certain_answer(
+    onto: Ontology,
+    instance: Interpretation,
+    query: CQ | UCQ,
+    answer: Sequence[Element] = (),
+    max_depth: int = 6,
+    rules: list[DisjunctiveRule] | None = None,
+    budget: Budget | None = None,
+) -> ChaseAnswer:
+    """Certain-answer check via the disjunctive chase (see module docstring)."""
+    result = chase(onto, instance, rules=rules, max_depth=max_depth,
+                   budget=budget)
+    return answer_from_chase(result, query, answer)

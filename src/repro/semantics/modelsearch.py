@@ -21,6 +21,7 @@ from ..logic.instance import Interpretation, fresh_nulls
 from ..logic.ontology import Ontology
 from ..logic.syntax import Element, Formula, Not, Or, substitute
 from ..queries.cq import CQ, UCQ
+from ..runtime import Budget
 from .sat import CNF, add_formula, dpll, ground, model_to_interpretation
 
 
@@ -40,12 +41,15 @@ def find_model(
     extra: int = 2,
     require_true: Formula | None = None,
     require_false: Formula | None = None,
+    budget: Budget | None = None,
 ) -> Interpretation | None:
     """Search for a model of *base* and *onto* over a bounded domain.
 
     The domain is ``dom(base)`` plus *extra* fresh nulls.  ``require_true``
     and ``require_false`` are sentences (already element-instantiated) that
-    must hold / fail in the model.
+    must hold / fail in the model.  A :class:`repro.runtime.Budget` makes
+    the grounding loop and the SAT search cooperative (deadline and
+    conflict checkpoints).
     """
     domain: list[Element] = sorted(base.dom(), key=repr)
     domain += fresh_nulls("m", extra, avoid=base.dom())
@@ -55,20 +59,25 @@ def find_model(
     for fact in base:
         cnf.add_clause([cnf.atom_var((fact.pred, tuple(fact.args)))])
     for sentence in onto.all_sentences():
+        if budget is not None:
+            budget.check_deadline("modelsearch.ground")
         add_formula(cnf, ground(sentence, domain))
     if require_true is not None:
         add_formula(cnf, ground(require_true, domain))
     if require_false is not None:
         add_formula(cnf, Not(ground(require_false, domain)))
-    assignment = dpll(cnf)
+    if budget is not None:
+        budget.solver_runs += 1
+    assignment = dpll(cnf, budget=budget)
     if assignment is None:
         return None
     return model_to_interpretation(cnf, assignment)
 
 
-def is_consistent(onto: Ontology, instance: Interpretation, extra: int = 2) -> bool:
+def is_consistent(onto: Ontology, instance: Interpretation, extra: int = 2,
+                  budget: Budget | None = None) -> bool:
     """Bounded consistency check (definitive 'yes' when a model is found)."""
-    return find_model(onto, instance, extra) is not None
+    return find_model(onto, instance, extra, budget=budget) is not None
 
 
 def enumerate_models(
@@ -77,6 +86,7 @@ def enumerate_models(
     extra: int = 2,
     limit: int = 64,
     require_true: Formula | None = None,
+    budget: Budget | None = None,
 ) -> list[Interpretation]:
     """Enumerate up to *limit* models over the bounded domain.
 
@@ -101,8 +111,10 @@ def enumerate_models(
     models: list[Interpretation] = []
     blocking: list[list[int]] = []
     while len(models) < limit:
+        if budget is not None:
+            budget.solver_runs += 1
         solver = Solver(cnf.num_vars, cnf.clauses + blocking)
-        assignment = solver.solve()
+        assignment = solver.solve(budget=budget)
         if assignment is None:
             break
         from .sat import model_to_interpretation
@@ -134,6 +146,7 @@ def certain_answer(
     query: CQ | UCQ,
     answer: Sequence[Element] = (),
     extra: int = 2,
+    budget: Budget | None = None,
 ) -> CertainAnswerResult:
     """Decide ``O, D |= q(answer)`` by bounded countermodel search.
 
@@ -142,7 +155,8 @@ def certain_answer(
     docstring).
     """
     phi = query_formula(query, tuple(answer))
-    counter = find_model(onto, instance, extra, require_false=phi)
+    counter = find_model(onto, instance, extra, require_false=phi,
+                         budget=budget)
     bound = len(instance.dom()) + extra
     if counter is not None:
         return CertainAnswerResult(False, counter, bound)

@@ -218,16 +218,18 @@ def _encode(cnf: CNF, phi: Formula) -> int | None:
 # ---------------------------------------------------------------------------
 
 
-def dpll(cnf: CNF, assumptions: Iterable[int] = ()) -> dict[int, bool] | None:
+def dpll(cnf: CNF, assumptions: Iterable[int] = (),
+         budget=None) -> dict[int, bool] | None:
     """Decide satisfiability; returns a total assignment or None.
 
     Delegates to the CDCL solver (:mod:`repro.semantics.cdcl`); the legacy
     DPLL implementation is kept as :func:`dpll_basic` for the ablation
-    benchmark.
+    benchmark.  *budget* is an optional :class:`repro.runtime.Budget`
+    threaded into the solver's cooperative checkpoints.
     """
     from .cdcl import solve_cnf
 
-    return solve_cnf(cnf.num_vars, cnf.clauses, assumptions)
+    return solve_cnf(cnf.num_vars, cnf.clauses, assumptions, budget=budget)
 
 
 def dpll_basic(cnf: CNF, assumptions: Iterable[int] = ()) -> dict[int, bool] | None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+from ..runtime import Budget
 from .machine import TM, Configuration, run_is_valid, successors
 
 WILDCARD = "?"
@@ -107,11 +108,15 @@ def _fill_tape(tm: TM, row: Row, state_pos: int, state: str) -> Iterator[Configu
     yield from rec(0, {})
 
 
-def fits(tm: TM, partial: PartialRun) -> list[Configuration] | None:
+def fits(tm: TM, partial: PartialRun,
+         budget: Budget | None = None) -> list[Configuration] | None:
     """Decide RF(M): return a matching accepting run, or None.
 
     The first row must admit a start configuration (start state on the
-    leftmost cell, per Definition 7).
+    leftmost cell, per Definition 7).  Under a
+    :class:`repro.runtime.Budget` every candidate extension is a
+    cooperative checkpoint (the ``rf_backtracks`` fault/limit site),
+    raising :class:`repro.runtime.BudgetExceeded` on exhaustion.
     """
     first = partial.rows[0]
     if first[0] not in (tm.start, WILDCARD):
@@ -131,6 +136,8 @@ def fits(tm: TM, partial: PartialRun) -> list[Configuration] | None:
             candidates = (
                 c for c in successors(tm, run[-1]) if matches(row, c))
         for config in candidates:
+            if budget is not None:
+                budget.tick_backtrack("rf_backtracks")
             run.append(config)
             found = rec(idx + 1, run)
             if found is not None:

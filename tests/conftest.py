@@ -9,3 +9,17 @@ environment to opt out (e.g. when timing the engines).
 import os
 
 os.environ.setdefault("REPRO_SANITIZE", "1")
+
+
+import pytest
+
+
+@pytest.fixture
+def no_ambient_faults(monkeypatch):
+    """Neutralize ``REPRO_FAULTS`` for tests that assert exact engine
+    provenance (which engine answered, the ladder trace): under ambient
+    fault injection (the CI fault job) those are legitimately perturbed,
+    while verdicts must — and do — stay correct."""
+    import repro.runtime.faults as faults
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.setattr(faults, "_cache", None)

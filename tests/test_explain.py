@@ -12,7 +12,7 @@ HAND = ontology(
 
 
 class TestExplain:
-    def test_positive_with_chase_witness(self):
+    def test_positive_with_chase_witness(self, no_ambient_faults):
         engine = CertainEngine(HAND)
         exp = engine.explain(
             make_instance("Hand(h)"),

@@ -1,0 +1,300 @@
+"""Tests for repro.runtime: budgets, outcomes, escalation ladders, CLI."""
+
+import json
+
+import pytest
+
+from repro.csp import clique_template, encode_template, random_graph_instance
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Const
+from repro.queries.cq import parse_cq
+from repro.runtime import (
+    Budget, BudgetExceeded, FaultPlan, FaultSpec, Outcome, ResourceExhausted,
+    Verdict, chase_rungs, sat_rungs,
+)
+from repro.semantics.certain import CertainEngine
+
+HAND = ontology(
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))")
+HAND_QUERY = parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)")
+
+
+def conp_hard_workload(n: int = 14):
+    """A 3-colorability OMQ (Theorem 8 band: coNP-hard) on a circulant graph."""
+    template = clique_template(3).with_precoloring()
+    enc = encode_template(template, style="eq")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    edges += [(i, (i + 5) % n) for i in range(n)]
+    graph = random_graph_instance(n, edges)
+    return enc.ontology, enc.omq_instance(graph), enc.query
+
+
+class TestBudget:
+    def test_unlimited_budget_never_raises(self):
+        b = Budget()
+        for _ in range(1000):
+            b.tick_chase_step()
+            b.tick_conflict()
+            b.tick_backtrack("csp_backtracks")
+        assert b.spent_chase_steps == 1000
+        assert b.usage().conflicts == 1000
+
+    def test_deadline_expiry(self):
+        clock = [0.0]
+        b = Budget(timeout=1.0, clock=lambda: clock[0])
+        b.check_deadline("t")
+        clock[0] = 2.0
+        with pytest.raises(BudgetExceeded) as err:
+            b.check_deadline("t")
+        assert err.value.resource == "deadline"
+        assert b.remaining() == 0.0
+
+    def test_poll_is_strided(self):
+        clock = [0.0]
+        b = Budget(timeout=1.0, clock=lambda: clock[0])
+        clock[0] = 2.0  # already past the deadline
+        for _ in range(Budget.DEADLINE_STRIDE - 1):
+            b.poll("t")  # no check yet
+        with pytest.raises(BudgetExceeded):
+            b.poll("t")
+
+    def test_counter_limits(self):
+        b = Budget(chase_steps=2, conflicts=3, backtracks=1, nulls=5)
+        b.tick_chase_step()
+        b.tick_chase_step()
+        with pytest.raises(BudgetExceeded) as err:
+            b.tick_chase_step()
+        assert err.value.resource == "chase_steps"
+        with pytest.raises(BudgetExceeded):
+            b.tick_nulls(9)
+        b.tick_backtrack("rf_backtracks")
+        with pytest.raises(BudgetExceeded) as err:
+            b.tick_backtrack("rf_backtracks")
+        assert err.value.resource == "backtracks"
+
+    def test_from_spec(self):
+        b = Budget.from_spec("timeout=0.5, conflicts=100, escalate=0")
+        assert b.timeout == 0.5
+        assert b.max_conflicts == 100
+        assert b.escalate is False
+        with pytest.raises(ValueError):
+            Budget.from_spec("bogus=3")
+        with pytest.raises(ValueError):
+            Budget.from_spec("conflicts")
+        with pytest.raises(ValueError):
+            Budget.from_spec("conflicts=many")
+
+    def test_from_env(self):
+        assert Budget.from_env({}) is None
+        b = Budget.from_env({"REPRO_TIMEOUT": "2.5"})
+        assert b is not None and b.timeout == 2.5
+        b = Budget.from_env({"REPRO_BUDGET": "conflicts=7"})
+        assert b is not None and b.max_conflicts == 7 and b.timeout is None
+        with pytest.raises(ValueError):
+            Budget.from_env({"REPRO_TIMEOUT": "soon"})
+
+    def test_usage_snapshot_roundtrip(self):
+        b = Budget()
+        b.tick_chase_step()
+        b.tick_nulls(3)
+        d = b.usage().to_dict()
+        assert d["chase_steps"] == 1 and d["nulls"] == 3
+        assert set(d) == {"elapsed_seconds", "chase_steps", "nulls",
+                          "conflicts", "backtracks", "solver_runs"}
+
+
+class TestEscalationSchedules:
+    def test_chase_rungs(self):
+        assert chase_rungs(6) == (2, 4, 6)
+        assert chase_rungs(8) == (2, 4, 8)
+        assert chase_rungs(9) == (2, 4, 8, 9)
+        assert chase_rungs(2) == (2,)
+        assert chase_rungs(1) == (1,)
+        assert chase_rungs(6, escalate=False) == (6,)
+
+    def test_sat_rungs(self):
+        assert sat_rungs(3) == (1, 2, 3)
+        assert sat_rungs(4) == (1, 2, 4)
+        assert sat_rungs(1) == (1,)
+        assert sat_rungs(3, escalate=False) == (3,)
+
+
+class TestOutcome:
+    def test_holds_raises_on_unknown(self):
+        exc = BudgetExceeded("deadline", "out of time")
+        outcome = Outcome.exhausted_outcome(exc)
+        assert outcome.exhausted
+        with pytest.raises(ResourceExhausted) as err:
+            outcome.holds
+        assert err.value.resource == "deadline"
+        assert err.value.outcome is outcome
+
+    def test_to_dict(self):
+        o = Outcome(Verdict.YES, True, "chase", "why")
+        d = o.to_dict()
+        assert d["verdict"] == "yes" and d["engine"] == "chase"
+
+
+class TestEngineOutcomes:
+    def test_ungoverned_outcome_recorded(self, no_ambient_faults):
+        engine = CertainEngine(HAND)
+        data = make_instance("Hand(h)")
+        assert engine.entails(data, HAND_QUERY, (Const("h"),))
+        outcome = engine.last_outcome
+        assert outcome is not None
+        assert outcome.verdict is Verdict.YES
+        assert outcome.engine == "chase"
+        assert outcome.fallback is None
+        assert outcome.usage is not None and outcome.usage.chase_steps >= 1
+        # the classic one-shot bound: a single rung at chase_depth
+        assert [a.bound for a in outcome.attempts] == [engine.chase_depth]
+
+    def test_sat_backend_outcome(self):
+        # not rule-convertible: forced to the SAT backend
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        engine = CertainEngine(O)
+        assert not engine.uses_chase
+        assert not engine.entails(make_instance("A(a)"),
+                                  parse_cq("q(x) <- Z(x)"), (Const("a"),))
+        outcome = engine.last_outcome
+        assert outcome.engine == "sat"
+        assert outcome.verdict is Verdict.NO
+        assert outcome.definitive  # a concrete countermodel
+
+    def test_sat_yes_is_bound_relative(self):
+        O = ontology("forall x (x = x -> (A(x) | forall y (R(x,y) -> B(y))))")
+        engine = CertainEngine(O)
+        assert engine.entails(make_instance("A(a)"),
+                              parse_cq("q(x) <- A(x)"), (Const("a"),))
+        assert engine.last_outcome.definitive is False
+        assert "nulls" in engine.last_outcome.reason
+
+    def test_consistency_outcome(self, no_ambient_faults):
+        engine = CertainEngine(HAND)
+        outcome = engine.consistency_outcome(make_instance("Hand(h)"))
+        assert outcome.verdict is Verdict.YES
+        assert outcome.engine == "chase"
+        assert engine.last_outcome is outcome
+
+    def test_ladder_first_rung_wins_on_easy_instance(self, no_ambient_faults):
+        engine = CertainEngine(HAND)
+        outcome = engine.entails_outcome(
+            make_instance("Hand(h)"), HAND_QUERY, (Const("h"),),
+            budget=Budget(timeout=30))
+        assert outcome.verdict is Verdict.YES
+        assert [(a.engine, a.bound) for a in outcome.attempts] == [("chase", 2)]
+
+    def test_explain_carries_outcome_and_witness(self, no_ambient_faults):
+        engine = CertainEngine(HAND)
+        exp = engine.explain(make_instance("Hand(h)"), HAND_QUERY,
+                             (Const("h"),))
+        assert exp.holds and exp.witness is not None
+        assert exp.outcome is not None and exp.outcome.engine == "chase"
+
+
+class TestDeadlineOnHardInstance:
+    def test_50ms_deadline_returns_unknown(self):
+        # Acceptance criterion: a coNP-hard Figure-1 instance under a 50 ms
+        # deadline yields UNKNOWN(resource_exhausted) — never a guess.
+        onto, data, query = conp_hard_workload()
+        engine = CertainEngine(onto)
+        outcome = engine.entails_outcome(data, query, (),
+                                         budget=Budget(timeout=0.05))
+        assert outcome.verdict is Verdict.UNKNOWN
+        assert "resource_exhausted" in outcome.reason
+        with pytest.raises(ResourceExhausted):
+            engine.entails(data, query, (), budget=Budget(timeout=0.05))
+
+    def test_conflict_budget_returns_unknown(self):
+        onto, data, query = conp_hard_workload()
+        engine = CertainEngine(onto)
+        outcome = engine.entails_outcome(data, query, (),
+                                         budget=Budget(conflicts=3))
+        assert outcome.verdict is Verdict.UNKNOWN
+        assert "conflicts" in outcome.reason
+
+    def test_generous_budget_matches_unbudgeted_verdict(self):
+        onto, data, query = conp_hard_workload(6)
+        engine = CertainEngine(onto)
+        expected = engine.entails(data, query, ())
+        governed = engine.entails_outcome(data, query, (),
+                                          budget=Budget(timeout=120))
+        assert governed.verdict is (Verdict.YES if expected else Verdict.NO)
+
+
+class TestEnvGovernance:
+    def test_repro_timeout_env_governs_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT", "30")
+        engine = CertainEngine(HAND)
+        assert engine.entails(make_instance("Hand(h)"), HAND_QUERY,
+                              (Const("h"),))
+        # env governance switches the escalation ladder on: first rung is 2
+        assert engine.last_outcome.attempts[0].bound == 2
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    onto = tmp_path / "onto.gf"
+    onto.write_text(
+        "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))\n")
+    data = tmp_path / "data.facts"
+    data.write_text("Hand(h)\n")
+    return {"onto": str(onto), "data": str(data)}
+
+
+class TestCli:
+    def test_eval_alias(self, workspace, capsys):
+        from repro.cli import main
+        assert main(["eval", workspace["onto"], workspace["data"],
+                     "q() <- Thumb(y)"]) == 0
+        assert "certain: True" in capsys.readouterr().out
+
+    def test_evaluate_json_outcome(self, workspace, capsys,
+                                   no_ambient_faults):
+        from repro.cli import main
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q(x) <- hasFinger(x,y) & Thumb(y)",
+                     "--format", "json", "--timeout", "30"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["answers"] == [["h"]]
+        assert payload["outcome"]["verdict"] == "yes"
+        assert payload["outcome"]["engine"] == "chase"
+        assert payload["outcome"]["usage"]["chase_steps"] >= 1
+
+    def test_consistent_json_outcome(self, workspace, capsys):
+        from repro.cli import main
+        assert main(["consistent", workspace["onto"], workspace["data"],
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "yes"
+
+    def test_exit_code_3_on_injected_deadline(self, workspace, capsys,
+                                              monkeypatch):
+        import repro.runtime.faults as faults
+        monkeypatch.setattr(faults, "_cache", None)
+        monkeypatch.setenv("REPRO_FAULTS", "deadline:@1")
+        from repro.cli import main
+        code = main(["evaluate", workspace["onto"], workspace["data"],
+                     "q() <- Thumb(y)", "--timeout", "30"])
+        assert code == 3
+        assert "unknown" in capsys.readouterr().err
+
+    def test_exit_code_3_json(self, workspace, capsys, monkeypatch):
+        import repro.runtime.faults as faults
+        monkeypatch.setattr(faults, "_cache", None)
+        monkeypatch.setenv("REPRO_FAULTS", "deadline:@1")
+        from repro.cli import main
+        code = main(["evaluate", workspace["onto"], workspace["data"],
+                     "q() <- Thumb(y)", "--timeout", "30",
+                     "--format", "json"])
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "unknown"
+        assert "resource_exhausted" in payload["outcome"]["reason"]
+
+    def test_bad_budget_spec_is_input_error(self, workspace, capsys):
+        from repro.cli import main
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q() <- Thumb(y)", "--budget", "bogus=1"]) == 2
+        assert "--budget" in capsys.readouterr().err

@@ -1,0 +1,243 @@
+"""Fault-injection coverage: every injectable fault exercised on Horn and
+non-Horn ontologies, with the escalation ladder converging to the verdict
+the unbudgeted engines give."""
+
+import pytest
+
+from repro.csp import clique_template, random_graph_instance, solve
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.logic.syntax import Const
+from repro.queries.cq import parse_cq, parse_ucq
+from repro.runtime import (
+    Budget, BudgetExceeded, FaultPlan, FaultSpec, ResourceExhausted, Verdict,
+    parse_faults,
+)
+from repro.semantics.certain import CertainEngine
+from repro.tm import BLANK, TM, Transition, blank_partial_run, fits
+
+HORN = ontology("""
+forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))
+forall x,y (hasFinger(x,y) -> Digit(y))
+""")
+NON_HORN = ontology("""
+forall x (P(x) -> (A(x) | B(x)))
+forall x (x = x -> (A(x) -> exists y (R(x,y) & P(y))))
+forall x (x = x -> (B(x) -> exists y (S(x,y) & Q(y))))
+""")
+
+# (ontology, data, query, answer) tier-1-style fixtures; expected verdicts
+# come from the unbudgeted engines at runtime, not from hard-coded truth.
+WORKLOADS = [
+    (HORN, make_instance("Hand(h)"),
+     parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)"), (Const("h"),)),
+    (HORN, make_instance("Hand(h)"),
+     parse_cq("q(x) <- hasFinger(x,y) & Digit(y)"), (Const("h"),)),
+    (HORN, make_instance("Hand(h)"),
+     parse_cq("q(x) <- hasFinger(x,y) & Index(y)"), (Const("h"),)),
+    (NON_HORN, make_instance("P(a)"),
+     parse_cq("q() <- R(x,y) & P(y)"), ()),
+    (NON_HORN, make_instance("P(a)"),
+     parse_cq("q(x) <- P(x)"), (Const("a"),)),
+    (NON_HORN, make_instance("P(a)"),
+     parse_ucq("q() <- R(x,y) ; q() <- S(x,y)"), ()),
+]
+
+
+class TestFaultPlanParsing:
+    def test_rate_becomes_period(self):
+        plan = parse_faults("chase_truncate:0.2")
+        assert plan.specs["chase_truncate"].period == 5
+        fires = [plan.hit("chase_truncate") for _ in range(10)]
+        assert fires == [False] * 4 + [True] + [False] * 4 + [True]
+
+    def test_at_fires_exactly_once(self):
+        plan = parse_faults("deadline:@3")
+        assert [plan.hit("deadline") for _ in range(5)] == [
+            False, False, True, False, False]
+
+    def test_bare_site_fires_always(self):
+        plan = parse_faults("cdcl_conflicts")
+        assert all(plan.hit("cdcl_conflicts") for _ in range(3))
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            parse_faults("warp_core:0.5")
+        with pytest.raises(ValueError):
+            parse_faults("deadline:2.0")
+        with pytest.raises(ValueError):
+            parse_faults("deadline:@0")
+
+    def test_empty_plan_is_none(self):
+        assert parse_faults("") is None
+        assert parse_faults(" , ") is None
+
+    def test_unlisted_site_never_fires(self):
+        plan = parse_faults("deadline")
+        assert not plan.hit("chase_truncate")
+
+    def test_env_plan_is_cached_per_value(self, monkeypatch):
+        import repro.runtime.faults as faults
+        monkeypatch.setattr(faults, "_cache", None)
+        monkeypatch.setenv("REPRO_FAULTS", "deadline:@1")
+        first = faults.active_plan()
+        assert faults.active_plan() is first
+        monkeypatch.setenv("REPRO_FAULTS", "cdcl_conflicts")
+        assert faults.active_plan() is not first
+
+
+class TestChaseTruncationFault:
+    """Injected depth exhaustion: the engine must fall back (observably)
+    and still converge to the unbudgeted verdict."""
+
+    @pytest.mark.parametrize("onto,data,query,answer", WORKLOADS)
+    def test_ladder_converges_under_truncation(self, onto, data, query, answer):
+        engine = CertainEngine(onto)
+        expected = engine.entails(data, query, answer)
+        budget = Budget(timeout=60,
+                        faults=FaultPlan([FaultSpec("chase_truncate")]))
+        outcome = engine.entails_outcome(data, query, answer, budget=budget)
+        assert outcome.verdict is (Verdict.YES if expected else Verdict.NO)
+        # every chase rung was truncated, so SAT must have answered —
+        # except when the query holds on the truncated branches (chase
+        # *yes* answers survive truncation by the universality argument).
+        if outcome.engine == "sat":
+            assert outcome.fallback is not None
+            assert "truncated" in outcome.fallback
+
+    @pytest.mark.parametrize("onto,data,query,answer", WORKLOADS[:2])
+    def test_partial_truncation_rate(self, onto, data, query, answer):
+        engine = CertainEngine(onto)
+        expected = engine.entails(data, query, answer)
+        budget = Budget(
+            timeout=60,
+            faults=FaultPlan([FaultSpec("chase_truncate", period=2)]))
+        outcome = engine.entails_outcome(data, query, answer, budget=budget)
+        assert outcome.verdict is (Verdict.YES if expected else Verdict.NO)
+
+    def test_consistency_under_truncation(self):
+        engine = CertainEngine(NON_HORN)
+        data = make_instance("P(a)")
+        expected = engine.is_consistent(data)
+        budget = Budget(timeout=60,
+                        faults=FaultPlan([FaultSpec("chase_truncate")]))
+        assert engine.is_consistent(data, budget=budget) == expected
+        # every existential trigger was truncated, so no complete branch
+        # could witness consistency: SAT must have answered.
+        assert engine.last_outcome.engine == "sat"
+        assert "truncated" in engine.last_outcome.fallback
+
+    def test_truncation_cannot_fake_consistency(self):
+        """A truncated consistent branch is not a model witness: the
+        contradiction sits behind an existential trigger, and injected
+        truncation must not turn it into a YES."""
+        deep_bad = ontology("""
+forall x (x = x -> (P(x) -> exists y (R(x,y) & Bad(y))))
+forall x (x = x -> (Bad(x) -> false))
+""")
+        engine = CertainEngine(deep_bad)
+        data = make_instance("P(a)")
+        assert not engine.is_consistent(data)
+        budget = Budget(timeout=60,
+                        faults=FaultPlan([FaultSpec("chase_truncate")]))
+        assert not engine.is_consistent(data, budget=budget)
+
+
+class TestDeadlineFault:
+    @pytest.mark.parametrize("onto", [HORN, NON_HORN])
+    def test_injected_expiry_yields_unknown(self, onto):
+        engine = CertainEngine(onto)
+        data = make_instance(*(["Hand(h)"] if onto is HORN else ["P(a)"]))
+        query = parse_cq("q() <- Z(z)")
+        budget = Budget(faults=FaultPlan([FaultSpec("deadline", at=1)]))
+        outcome = engine.entails_outcome(data, query, (), budget=budget)
+        assert outcome.verdict is Verdict.UNKNOWN
+        assert "deadline" in outcome.reason
+        with pytest.raises(ResourceExhausted):
+            engine.entails(data, query, (),
+                           budget=Budget(faults=FaultPlan(
+                               [FaultSpec("deadline", at=1)])))
+
+    def test_late_injection_lets_easy_instances_finish(self):
+        engine = CertainEngine(HORN)
+        data = make_instance("Hand(h)")
+        budget = Budget(faults=FaultPlan([FaultSpec("deadline", at=10_000)]))
+        assert engine.entails(
+            data, parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)"),
+            (Const("h"),), budget=budget)
+
+
+class TestCdclConflictFault:
+    def test_injected_conflict_cap_yields_unknown(self):
+        # UNSAT countermodel search guarantees conflicts: 2-coloring K3.
+        from repro.csp import encode_template
+        template = clique_template(2).with_precoloring()
+        enc = encode_template(template, style="eq")
+        triangle = random_graph_instance(3, [(0, 1), (1, 2), (2, 0)])
+        data = enc.omq_instance(triangle)
+        engine = CertainEngine(enc.ontology)
+        expected = engine.entails(data, enc.query, ())
+        assert expected is True  # not 2-colorable: the query is certain
+        budget = Budget(faults=FaultPlan([FaultSpec("cdcl_conflicts", at=1)]))
+        outcome = engine.entails_outcome(data, enc.query, (), budget=budget)
+        assert outcome.verdict is Verdict.UNKNOWN
+        assert "conflicts" in outcome.reason
+        # the ladder trace records the budgeted SAT rung
+        assert outcome.attempts[-1].result == "budget"
+
+    def test_conflict_cap_on_horn_ontology_is_harmless(self):
+        # Horn + chase answer: the CDCL checkpoint is never reached.
+        engine = CertainEngine(HORN)
+        budget = Budget(faults=FaultPlan([FaultSpec("cdcl_conflicts", at=1)]))
+        assert engine.entails(
+            make_instance("Hand(h)"),
+            parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)"),
+            (Const("h"),), budget=budget)
+
+
+class TestBacktrackFaults:
+    def test_csp_backtrack_fault(self):
+        template = clique_template(3)
+        graph = random_graph_instance(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert solve(graph, template) is not None
+        budget = Budget(faults=FaultPlan([FaultSpec("csp_backtracks", at=1)]))
+        with pytest.raises(BudgetExceeded) as err:
+            solve(graph, template, budget=budget)
+        assert err.value.resource == "backtracks"
+
+    def test_csp_backtrack_limit(self):
+        template = clique_template(3)
+        graph = random_graph_instance(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        with pytest.raises(BudgetExceeded):
+            solve(graph, template, budget=Budget(backtracks=1))
+        assert solve(graph, template, budget=Budget(backtracks=10_000))
+
+    @staticmethod
+    def _flip_machine():
+        return TM(
+            states={"S", "A"},
+            alphabet={"0", "1"},
+            transitions=[
+                Transition("S", "0", "S", "1", "R"),
+                Transition("S", "1", "S", "0", "R"),
+                Transition("S", BLANK, "A", BLANK, "R"),
+            ],
+            start="S",
+            accept="A",
+        )
+
+    def test_rf_backtrack_fault(self):
+        tm = self._flip_machine()
+        partial = blank_partial_run(width=5, steps=3)
+        assert fits(tm, partial) is not None
+        budget = Budget(faults=FaultPlan([FaultSpec("rf_backtracks", at=1)]))
+        with pytest.raises(BudgetExceeded) as err:
+            fits(tm, partial, budget=budget)
+        assert err.value.resource == "backtracks"
+
+    def test_rf_late_fault_lets_search_finish(self):
+        tm = self._flip_machine()
+        partial = blank_partial_run(width=5, steps=3)
+        budget = Budget(faults=FaultPlan(
+            [FaultSpec("rf_backtracks", at=10_000)]))
+        assert fits(tm, partial, budget=budget) is not None
