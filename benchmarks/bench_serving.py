@@ -1,0 +1,195 @@
+"""S1 — serving-layer performance: compile-once plans and warm caches.
+
+The serving layer exists to amortize per-OMQ work (lint, rule conversion,
+engine setup) and per-(plan, instance) work (certain-answer computation)
+across a batch.  This bench measures both:
+
+* **plan reuse** — evaluating N instances through one ``CompiledOMQ``
+  versus constructing a fresh ``CertainEngine`` per instance;
+* **answer cache** — a second pass over the same workload must be
+  dominated by cache lookups and beat the cold pass;
+* **batch equivalence** — ``evaluate_batch`` with 2 workers returns
+  byte-identical job signatures to 1 worker (determinism is part of the
+  performance contract: parallelism must be free to turn on).
+
+Run under pytest-benchmark for statistics, standalone for a JSON report,
+or with ``--smoke`` as a CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # JSON report
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI assertions
+"""
+
+import json
+import statistics
+import sys
+import time
+
+import pytest
+
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.semantics.certain import CertainEngine
+from repro.serving import (
+    AnswerCache, Job, clear_caches, compile_omq, evaluate_batch,
+)
+
+ONTO = ontology(
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))\n"
+    "forall x,y (hasFinger(x,y) -> Digit(y))",
+    name="horn-hands")
+QUERY = "q(x) <- hasFinger(x,y) & Thumb(y)"
+
+QUERIES = [
+    QUERY,
+    "q(y) <- Digit(y)",
+    "q() <- Thumb(y)",
+    "q(x) <- Hand(x)",
+]
+
+
+def instances(n: int):
+    """*n* distinct small databases (each a few Hand/hasFinger facts)."""
+    out = []
+    for i in range(n):
+        facts = [f"Hand(h{i})", f"hasFinger(h{i},f{i})"]
+        if i % 3 == 0:
+            facts.append(f"Hand(g{i})")
+        out.append(make_instance(*facts))
+    return out
+
+
+def workload(n: int = 24) -> list:
+    return [Job(query=QUERIES[i % len(QUERIES)],
+                facts=(f"Hand(h{i % 5})", "Arm(a)"), job_id=f"j{i}")
+            for i in range(n)]
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+def test_fresh_engine_per_instance(benchmark):
+    data = instances(10)
+
+    def run():
+        for inst in data:
+            CertainEngine(ONTO).certain_answers(
+                inst, compile_omq(ONTO, QUERY).query)
+
+    benchmark(run)
+
+
+def test_compiled_plan_cold(benchmark):
+    data = instances(10)
+
+    def run():
+        clear_caches()
+        plan = compile_omq(ONTO, QUERY)
+        for inst in data:
+            plan.evaluate(inst)
+
+    benchmark(run)
+
+
+def test_compiled_plan_warm(benchmark):
+    data = instances(10)
+    clear_caches()
+    plan = compile_omq(ONTO, QUERY, answer_cache=AnswerCache())
+    for inst in data:
+        plan.evaluate(inst)  # populate
+
+    def run():
+        for inst in data:
+            plan.evaluate(inst)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_batch(benchmark, workers):
+    jobs = workload()
+    benchmark(lambda: evaluate_batch(ONTO, jobs, workers=workers))
+
+
+# -- standalone measurement ---------------------------------------------------
+
+
+def _median_seconds(fn, repeats: int = 7) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def measure(repeats: int = 7) -> dict:
+    data = instances(10)
+
+    def fresh_engines():
+        for inst in data:
+            engine = CertainEngine(ONTO)
+            engine.certain_answers(inst, compile_omq(ONTO, QUERY).query)
+
+    clear_caches()
+    plan = compile_omq(ONTO, QUERY, answer_cache=AnswerCache())
+
+    def cold():
+        plan.answer_cache.memory.clear()
+        for inst in data:
+            plan.evaluate(inst)
+
+    def warm():
+        for inst in data:
+            plan.evaluate(inst)
+
+    cold()  # populate the answer cache for the warm pass
+    report = {
+        "fresh_engine_s": _median_seconds(fresh_engines, repeats),
+        "plan_cold_s": _median_seconds(cold, repeats),
+        "plan_warm_s": _median_seconds(warm, repeats),
+    }
+    report["warm_speedup"] = (
+        report["plan_cold_s"] / report["plan_warm_s"]
+        if report["plan_warm_s"] else float("inf"))
+
+    jobs = workload()
+    clear_caches()
+    serial = evaluate_batch(ONTO, jobs, workers=1)
+    clear_caches()
+    parallel = evaluate_batch(ONTO, jobs, workers=2)
+    report["batch"] = {
+        "jobs": len(jobs),
+        "serial_wall_s": serial.stats["wall_seconds"],
+        "parallel_wall_s": parallel.stats["wall_seconds"],
+        "serial_cache_hit_rate": serial.stats["cache"]["hit_rate"],
+        "workers_agree": serial.signatures() == parallel.signatures(),
+    }
+    return report
+
+
+def smoke() -> int:
+    """CI gate: warm beats cold, and worker count cannot change results."""
+    report = measure(repeats=5)
+    failures = []
+    if report["plan_warm_s"] >= report["plan_cold_s"]:
+        failures.append(
+            f"warm-cache pass not faster than cold: "
+            f"warm={report['plan_warm_s']:.6f}s cold={report['plan_cold_s']:.6f}s")
+    if not report["batch"]["workers_agree"]:
+        failures.append("evaluate_batch: --jobs 2 results differ from --jobs 1")
+    print(json.dumps(report, indent=2))
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        return smoke()
+    print(json.dumps(measure(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

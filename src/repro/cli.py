@@ -9,7 +9,14 @@ Commands:
   ``--timeout``/``--budget`` bound the evaluation (see
   ``docs/robustness.md``); ``--format json`` adds the full outcome
   provenance (verdict, engine, fallback reason, escalation ladder,
-  resources consumed).
+  resources consumed).  Several queries can be evaluated against one
+  engine in a single invocation via repeated ``-q/--query`` flags or
+  ``--query-file`` (one query per line).
+* ``batch <ontology-file> --workload jobs.json [--jobs N]`` — the serving
+  layer: evaluate a JSON workload of (instance, query) jobs with compiled
+  plans, answer caching (``--cache-dir`` persists it on disk) and an
+  optional process pool; the report aggregates per-job outcomes and
+  cache/latency stats (see ``docs/serving.md``).
 * ``consistent <ontology-file> <data-file>`` — consistency check (same
   ``--timeout``/``--budget``/``--format`` options).
 * ``lint <ontology-file> [--data F] [--query Q] [--program F]`` — static
@@ -24,9 +31,10 @@ sentence per line (``forall x,y (R(x,y) -> A(x))``), or DL axioms with
 
 Exit codes: 0 success (``lint``: no error-level diagnostics), 1 failure
 (``lint``: at least one error-level diagnostic; ``consistent``:
-inconsistent), 2 unreadable or unparseable input, 3 resource budget
-exhausted before a verdict (the engine answered ``UNKNOWN`` rather than
-hanging or guessing).
+inconsistent), 2 unreadable or unparseable input (``batch``: including
+any job with broken input), 3 resource budget exhausted before a verdict
+(the engine answered ``UNKNOWN`` rather than hanging or guessing;
+``batch``: any job unknown, e.g. budget exhaustion or a worker crash).
 """
 
 from __future__ import annotations
@@ -136,13 +144,41 @@ def _print_exhausted(args: argparse.Namespace, exc: ResourceExhausted) -> int:
     return 3
 
 
+def _gather_queries(args: argparse.Namespace) -> list[str]:
+    """All query texts of one ``evaluate`` invocation, in argument order."""
+    queries: list[str] = []
+    if args.query is not None:
+        queries.append(args.query)
+    queries.extend(args.queries or [])
+    if args.query_file:
+        for raw in _read_text(args.query_file).splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                queries.append(line)
+    if not queries:
+        raise CliInputError(
+            "no query given (positional, -q/--query or --query-file)")
+    return queries
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    query_texts = _gather_queries(args)
     onto = _load_ontology(args.ontology, args.dl)
     data = _load_instance(args.data)
-    query = _parse_query(args.query)
+    parsed = [_parse_query(text) for text in query_texts]
+    # One engine for the whole invocation: lint preflight and rule
+    # conversion happen once however many queries follow.
     engine = CertainEngine(onto, backend=args.backend,
                            preflight=args.preflight)
     budget = _build_budget(args)
+    if len(parsed) == 1:
+        return _evaluate_one(args, engine, data, query_texts[0], parsed[0],
+                             budget)
+    return _evaluate_many(args, engine, data, query_texts, parsed, budget)
+
+
+def _evaluate_one(args, engine, data, query_text, query, budget) -> int:
+    """The classic single-query path (output and exit codes unchanged)."""
     try:
         if query.arity == 0:
             holds = engine.entails(data, query, (), budget=budget)
@@ -156,7 +192,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     if args.format == "json":
         import json
         payload: dict[str, object] = {
-            "query": args.query,
+            "query": query_text,
             "outcome": outcome.to_dict() if outcome is not None else None,
         }
         if query.arity == 0:
@@ -171,6 +207,74 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         for answer in answers:
             print("  " + ", ".join(repr(e) for e in answer))
     return 0
+
+
+def _evaluate_many(args, engine, data, query_texts, parsed, budget) -> int:
+    """Several queries against one engine; a shared budget bounds them all."""
+    exit_code = 0
+    payloads: list[dict[str, object]] = []
+    for query_text, query in zip(query_texts, parsed):
+        if args.format != "json":
+            print(f"query: {query_text}")
+        try:
+            if query.arity == 0:
+                holds = engine.entails(data, query, (), budget=budget)
+                answers: list[tuple] = []
+            else:
+                answers = sorted(
+                    engine.certain_answers(data, query, budget=budget),
+                    key=repr)
+        except ResourceExhausted as exc:
+            exit_code = 3
+            payloads.append({"query": query_text, "verdict": "unknown",
+                             "outcome": exc.outcome.to_dict()})
+            if args.format != "json":
+                print(f"unknown: {exc.outcome.reason}", file=sys.stderr)
+            continue
+        outcome = engine.last_outcome
+        payload: dict[str, object] = {
+            "query": query_text,
+            "outcome": outcome.to_dict() if outcome is not None else None,
+        }
+        if query.arity == 0:
+            payload["verdict"] = "yes" if holds else "no"
+            if args.format != "json":
+                print(f"certain: {holds}")
+        else:
+            payload["answers"] = [[repr(e) for e in a] for a in answers]
+            if args.format != "json":
+                print(f"{len(answers)} certain answer(s):")
+                for answer in answers:
+                    print("  " + ", ".join(repr(e) for e in answer))
+        payloads.append(payload)
+    if args.format == "json":
+        import json
+        print(json.dumps({"queries": payloads}, indent=2))
+    return exit_code
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from .serving import evaluate_batch, load_workload
+
+    if args.jobs < 1:
+        raise CliInputError("--jobs must be at least 1")
+    onto = _load_ontology(args.ontology, args.dl)
+    try:
+        jobs = load_workload(args.workload)
+    except ValueError as exc:
+        raise CliInputError(str(exc)) from exc
+    budget = _build_budget(args)
+    report = evaluate_batch(
+        onto, jobs, workers=args.jobs, budget=budget, backend=args.backend,
+        preflight=args.preflight, cache_dir=args.cache_dir)
+    if args.format == "json":
+        import json
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if any(r.status == "error" for r in report.results):
+        return 2
+    return 0 if report.ok else 3
 
 
 def cmd_consistent(args: argparse.Namespace) -> int:
@@ -304,9 +408,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="compute certain answers")
     p_eval.add_argument("ontology")
     p_eval.add_argument("data")
-    p_eval.add_argument("query",
+    p_eval.add_argument("query", nargs="?", default=None,
                         help='e.g. "q(x) <- R(x,y) & A(y)" '
                              '(";"-separated disjuncts for a UCQ)')
+    p_eval.add_argument("-q", "--query", dest="queries", action="append",
+                        metavar="QUERY",
+                        help="additional query; repeatable — all queries "
+                             "share one engine and budget")
+    p_eval.add_argument("--query-file", metavar="FILE",
+                        help="file with one query per line (#-comments ok)")
     p_eval.add_argument("--dl", action="store_true")
     p_eval.add_argument("--backend", choices=["auto", "chase", "sat"],
                         default="auto")
@@ -314,6 +424,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="lint the workload before evaluating")
     add_budget_args(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_batch = sub.add_parser(
+        "batch", help="evaluate a JSON workload with compiled plans "
+                      "(serving layer; see docs/serving.md)")
+    p_batch.add_argument("ontology")
+    p_batch.add_argument("--workload", required=True, metavar="FILE",
+                         help='JSON list of jobs: {"query": ..., '
+                              '"data": facts-file or "facts": [...]}')
+    p_batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default 1: in-process)")
+    p_batch.add_argument("--dl", action="store_true")
+    p_batch.add_argument("--backend", choices=["auto", "chase", "sat"],
+                         default="auto")
+    p_batch.add_argument("--preflight", action="store_true",
+                         help="lint ontology and workloads before evaluating")
+    p_batch.add_argument("--cache-dir", metavar="DIR",
+                         help="on-disk answer cache, shared across "
+                              "invocations and workers")
+    add_budget_args(p_batch)
+    p_batch.set_defaults(func=cmd_batch)
 
     p_cons = sub.add_parser("consistent", help="check consistency")
     p_cons.add_argument("ontology")

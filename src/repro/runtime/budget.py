@@ -193,6 +193,57 @@ class Budget:
                        f"backtrack budget of {self.max_backtracks} exhausted")
         self.poll(site)
 
+    # -- splitting (batch evaluation) ----------------------------------------
+
+    def to_kwargs(self) -> dict[str, object]:
+        """Constructor kwargs reproducing this budget's *limits*.
+
+        Used to ship per-job budgets to worker processes: the clock (and
+        the fault plan) restart in the receiving process, the limits
+        carry over.
+        """
+        return {
+            "timeout": self.timeout,
+            "chase_steps": self.max_chase_steps,
+            "nulls": self.max_nulls,
+            "conflicts": self.max_conflicts,
+            "backtracks": self.max_backtracks,
+            "escalate": self.escalate,
+        }
+
+    def split(self, n: int) -> "list[Budget]":
+        """Split this budget into *n* independent per-job budgets.
+
+        The remaining wall-clock time and each configured counter pool
+        are divided evenly (counters get at least 1 each), so a batch of
+        jobs run under the children respects the parent's envelope.
+        Counters already spent on the parent stay on the parent.  An
+        injected fault plan propagates as a *fresh* per-child plan (same
+        specs, restarted hit counters) so every job sees the same
+        deterministic fault schedule.
+        """
+        if n <= 0:
+            raise ValueError("cannot split a budget into <= 0 parts")
+
+        def share(limit: int | None) -> int | None:
+            return None if limit is None else max(1, limit // n)
+
+        remaining = self.remaining()
+        specs = tuple(self.faults.specs.values()) if self.faults else ()
+        return [
+            Budget(
+                timeout=None if remaining is None else remaining / n,
+                chase_steps=share(self.max_chase_steps),
+                nulls=share(self.max_nulls),
+                conflicts=share(self.max_conflicts),
+                backtracks=share(self.max_backtracks),
+                escalate=self.escalate,
+                faults=FaultPlan(specs) if specs else None,
+                clock=self._clock,
+            )
+            for _ in range(n)
+        ]
+
     # -- construction --------------------------------------------------------
 
     @classmethod

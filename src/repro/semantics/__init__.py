@@ -11,6 +11,7 @@ from .modelsearch import (
 )
 from .rules import (
     DisjunctiveRule, Head, NotConvertible, convert_ontology, convert_sentence,
+    render_rules,
 )
 from .sat import CNF, add_formula, dpll, ground, model_to_interpretation
 
@@ -20,6 +21,7 @@ __all__ = [
     "answer_from_chase", "chase", "chase_certain_answer", "match_conjunction",
     "CertainAnswerResult", "certain_answer", "certain_answers", "find_model",
     "is_consistent", "query_formula", "DisjunctiveRule", "Head",
-    "NotConvertible", "convert_ontology", "convert_sentence", "CNF",
+    "NotConvertible", "convert_ontology", "convert_sentence", "render_rules",
+    "CNF",
     "add_formula", "dpll", "ground", "model_to_interpretation",
 ]

@@ -40,7 +40,7 @@ from ..runtime import (
 from .chase import ChaseError, answer_from_chase, chase
 from .modelsearch import certain_answer as sat_certain_answer
 from .modelsearch import find_model
-from .rules import convert_ontology
+from .rules import DisjunctiveRule
 
 Backend = Literal["auto", "chase", "sat"]
 
@@ -73,6 +73,7 @@ class CertainEngine:
     chase_depth: int = 6
     sat_extra: int = 3
     preflight: bool = False
+    rules: "list[DisjunctiveRule] | None" = field(default=None, repr=False)
     last_outcome: Outcome | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -81,9 +82,25 @@ class CertainEngine:
             diags = lint_ontology(self.onto)
             if has_errors(diags):
                 raise LintError(diags)
-        self._rules = convert_ontology(self.onto)
+        if self.rules is not None:
+            # A compiled plan (repro.serving) hands the conversion in.
+            self._rules = self.rules
+        else:
+            # Memoized per ontology fingerprint: fresh engines over the
+            # same ontology share one conversion (repro.serving.cache).
+            from ..serving.cache import convert_ontology_cached
+            self._rules = convert_ontology_cached(self.onto)
         if self.backend == "chase" and self._rules is None:
             raise ValueError("ontology is not rule-convertible; use backend='sat'")
+
+    def compile(self, query, **options) -> "object":
+        """Compile this engine's ontology with *query* into a reusable
+        :class:`repro.serving.plan.CompiledOMQ` (see ``docs/serving.md``)."""
+        from ..serving.plan import compile_omq
+        return compile_omq(
+            self.onto, query, backend=self.backend,
+            chase_depth=self.chase_depth, sat_extra=self.sat_extra,
+            preflight=self.preflight, **options)
 
     def _preflight_workload(
         self, instance: Interpretation, query: CQ | UCQ | None = None,

@@ -206,11 +206,25 @@ def _flatten_positive(phi: Formula) -> tuple[list[Atom], list[Var]]:
     raise NotConvertible(f"non-positive formula in head: {phi!r}")
 
 
+def render_rules(rules: Iterable[DisjunctiveRule]) -> str:
+    """A canonical, order-independent rendering of a rule set.
+
+    Used by the serving layer (:mod:`repro.serving`) to describe compiled
+    plans and by tests to compare conversions structurally.
+    """
+    return "\n".join(sorted(repr(rule) for rule in rules))
+
+
 def convert_ontology(onto: Ontology) -> list[DisjunctiveRule] | None:
     """Convert all sentences, or return None if any falls outside the class.
 
     Functionality declarations are *not* encoded here; the chase engine
     enforces them natively as equality-generating dependencies.
+
+    Conversion is pure and deterministic; callers that construct many
+    engines over the same ontology should go through the memoizing
+    :func:`repro.serving.cache.convert_ontology_cached` (the
+    :class:`~repro.semantics.certain.CertainEngine` does so by default).
     """
     rules: list[DisjunctiveRule] = []
     try:

@@ -1,0 +1,55 @@
+"""repro.serving — compile once, evaluate many times.
+
+The paper's dichotomy is an invitation to treat OMQ evaluation as a
+service: everything that depends only on the (ontology, query) pair —
+lint preflight, rule conversion, escalation-ladder setup — happens once
+per :class:`CompiledOMQ`, and per-instance evaluation becomes a cache
+lookup or a single budgeted engine run.  The package provides:
+
+* :mod:`~repro.serving.fingerprint` — stable content-addressed
+  fingerprints for ontologies, queries and instances;
+* :mod:`~repro.serving.cache` — an in-memory LRU + optional on-disk cache
+  for certain-answer results, and the process-wide conversion cache that
+  memoizes :func:`repro.semantics.rules.convert_ontology`;
+* :mod:`~repro.serving.plan` — :class:`CompiledOMQ` and the memoizing
+  :func:`compile_omq`;
+* :mod:`~repro.serving.batch` — :func:`evaluate_batch`: a workload of
+  (instance, query) jobs fanned across a process pool under one split
+  :class:`~repro.runtime.Budget`, with worker crashes surfaced as
+  ``unknown`` outcomes and serving metrics aggregated per batch;
+* :mod:`~repro.serving.metrics` — the counters/histograms behind the
+  batch report's ``stats`` block.
+
+Surfaced on the CLI as ``python -m repro batch``; see ``docs/serving.md``.
+"""
+
+from .batch import (
+    BatchReport, Job, JobResult, crash_result, evaluate_batch, load_workload,
+)
+from .cache import (
+    AnswerCache, DiskCache, LRUCache, clear_caches, conversion_cache_stats,
+    convert_ontology_cached,
+)
+from .fingerprint import (
+    canonical_instance, canonical_ontology, canonical_query,
+    fingerprint_instance, fingerprint_omq, fingerprint_ontology,
+    fingerprint_query,
+)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .plan import (
+    CompiledOMQ, EvalResult, clear_plan_cache, compile_omq, parse_query,
+    plan_cache_stats,
+)
+
+__all__ = [
+    "BatchReport", "Job", "JobResult", "crash_result", "evaluate_batch",
+    "load_workload",
+    "AnswerCache", "DiskCache", "LRUCache", "clear_caches",
+    "conversion_cache_stats", "convert_ontology_cached",
+    "canonical_instance", "canonical_ontology", "canonical_query",
+    "fingerprint_instance", "fingerprint_omq", "fingerprint_ontology",
+    "fingerprint_query",
+    "Counter", "Histogram", "MetricsRegistry",
+    "CompiledOMQ", "EvalResult", "clear_plan_cache", "compile_omq",
+    "parse_query", "plan_cache_stats",
+]

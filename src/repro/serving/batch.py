@@ -1,0 +1,369 @@
+"""Parallel batch evaluation of OMQ workloads.
+
+A *workload* is a list of jobs, each an (instance, query) pair evaluated
+against one shared ontology.  :func:`evaluate_batch` compiles one
+:class:`~repro.serving.plan.CompiledOMQ` per distinct query, splits the
+caller's :class:`~repro.runtime.Budget` evenly across jobs, and fans the
+jobs out over a ``concurrent.futures`` process pool.  Failure stays
+first-class: a job whose budget runs out reports ``unknown``, a job whose
+input is broken reports ``error``, and a worker process that dies takes
+down only its own jobs — they come back as ``unknown`` outcomes with the
+crash reason, never as lost work.
+
+The resulting :class:`BatchReport` aggregates per-job outcomes with the
+serving metrics the operator actually wants: cache hit rate, engine
+selection, escalation rungs climbed, and a per-job latency histogram.
+
+Workload files are JSON::
+
+    [
+      {"query": "q(x) <- hasFinger(x,y)", "data": "db0.facts"},
+      {"query": "q() <- Thumb(y)", "facts": ["Hand(h)", "Arm(a)"]},
+      ...
+    ]
+
+``data`` paths are resolved relative to the workload file.  Results are
+deterministic: job order, answer order and verdicts are identical whether
+the batch runs with 1 worker or many.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..logic.instance import Interpretation, make_instance
+from ..logic.ontology import Ontology
+from ..queries.cq import QueryError
+from ..runtime import Budget
+from .cache import AnswerCache, DiskCache, conversion_cache_stats
+from .metrics import Histogram
+from .plan import compile_omq
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: a query over an instance (path or inline facts)."""
+
+    query: str
+    data: str | None = None
+    facts: tuple[str, ...] = ()
+    job_id: str = ""
+
+    def data_ref(self) -> str:
+        return self.data if self.data is not None else f"<{len(self.facts)} inline fact(s)>"
+
+
+def load_workload(path: str | Path) -> list[Job]:
+    """Parse a JSON workload file; raises ValueError on malformed input."""
+    import json
+
+    path = Path(path)
+    try:
+        entries = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"{path}: {exc.strerror or exc}") from exc
+    except ValueError as exc:
+        raise ValueError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path}: workload must be a non-empty JSON list")
+    jobs: list[Job] = []
+    for idx, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "query" not in entry:
+            raise ValueError(f"{path}: job {idx} must be an object with a 'query'")
+        data = entry.get("data")
+        facts = entry.get("facts")
+        if (data is None) == (facts is None):
+            raise ValueError(
+                f"{path}: job {idx} needs exactly one of 'data' or 'facts'")
+        if data is not None:
+            data = str(path.parent / data)
+        jobs.append(Job(
+            query=str(entry["query"]),
+            data=data,
+            facts=tuple(facts) if facts is not None else (),
+            job_id=str(entry.get("id", idx)),
+        ))
+    return jobs
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One job's outcome inside a batch report."""
+
+    index: int
+    job_id: str
+    query: str
+    data: str
+    status: str  # "ok" | "unknown" | "error"
+    verdict: str  # "ok" | "yes" | "no" | "unknown" | "error"
+    answers: tuple[tuple[str, ...], ...] = ()
+    cache_hit: bool = False
+    engine: str | None = None
+    rungs: int = 0
+    elapsed: float = 0.0
+    reason: str = ""
+    outcome: dict[str, Any] | None = None
+
+    def signature(self) -> tuple:
+        """The worker-count-invariant part (for 1-vs-N comparisons)."""
+        return (self.index, self.status, self.verdict, self.answers)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "index": self.index,
+            "id": self.job_id,
+            "query": self.query,
+            "data": self.data,
+            "status": self.status,
+            "verdict": self.verdict,
+            "answers": [list(a) for a in self.answers],
+            "cache_hit": self.cache_hit,
+            "engine": self.engine,
+            "rungs": self.rungs,
+            "elapsed": round(self.elapsed, 6),
+        }
+        if self.reason:
+            out["reason"] = self.reason
+        if self.outcome is not None:
+            out["outcome"] = self.outcome
+        return out
+
+
+@dataclass
+class BatchReport:
+    """Per-job outcomes plus aggregated serving metrics."""
+
+    results: list[JobResult]
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced a definitive verdict."""
+        return all(r.status == "ok" for r in self.results)
+
+    def signatures(self) -> list[tuple]:
+        return [r.signature() for r in self.results]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"jobs": [r.to_dict() for r in self.results],
+                "stats": self.stats}
+
+    def render_text(self) -> str:
+        lines = []
+        for r in self.results:
+            what = {"ok": f"{len(r.answers)} answer(s)",
+                    "yes": "certain: True", "no": "certain: False"}.get(
+                        r.verdict, r.reason or r.verdict)
+            cache = "hit" if r.cache_hit else "miss"
+            lines.append(
+                f"[{r.index:>3}] {r.status:<7} {what:<20} "
+                f"cache={cache:<4} {r.elapsed * 1000:8.1f}ms  {r.query}")
+        s = self.stats
+        lines.append(
+            f"batch: {s.get('jobs', len(self.results))} job(s), "
+            f"{s.get('ok', 0)} ok / {s.get('unknown', 0)} unknown / "
+            f"{s.get('error', 0)} error; "
+            f"cache hit rate {s.get('cache', {}).get('hit_rate', 0.0):.0%}; "
+            f"wall {s.get('wall_seconds', 0.0):.2f}s "
+            f"({s.get('workers', 1)} worker(s))")
+        return "\n".join(lines)
+
+
+# -- job execution -----------------------------------------------------------
+
+
+def _load_instance(job: Job) -> Interpretation:
+    if job.data is not None:
+        lines = [line.split("#", 1)[0].strip()
+                 for line in Path(job.data).read_text().splitlines()]
+        return make_instance(*(line for line in lines if line))
+    return make_instance(*job.facts)
+
+
+def _execute_job(
+    index: int,
+    job: Job,
+    onto: Ontology,
+    budget: Budget | None,
+    options: dict[str, Any],
+    answer_cache: AnswerCache | None,
+) -> JobResult:
+    """Run one job in the current process (shared by serial and worker paths)."""
+    start = time.perf_counter()
+
+    def failed(reason: str, status: str = "error") -> JobResult:
+        return JobResult(
+            index=index, job_id=job.job_id, query=job.query,
+            data=job.data_ref(), status=status, verdict=status,
+            reason=reason, elapsed=time.perf_counter() - start)
+
+    try:
+        instance = _load_instance(job)
+    except (OSError, ValueError) as exc:
+        return failed(f"data: {exc}")
+    try:
+        plan = compile_omq(
+            onto, job.query,
+            backend=options.get("backend", "auto"),
+            preflight=options.get("preflight", False),
+            chase_depth=options.get("chase_depth", 6),
+            sat_extra=options.get("sat_extra", 3),
+            answer_cache=answer_cache,
+        )
+    except (QueryError, ValueError) as exc:
+        return failed(f"query: {exc}")
+    except Exception as exc:  # LintError from preflight, etc.
+        return failed(f"compile: {exc}")
+
+    result = plan.evaluate(instance, budget=budget)
+    outcome = result.outcome
+    return JobResult(
+        index=index, job_id=job.job_id, query=job.query,
+        data=job.data_ref(),
+        status="ok" if result.definitive else "unknown",
+        verdict=result.verdict,
+        answers=result.answers,
+        cache_hit=result.cache_hit,
+        engine=outcome.get("engine") if outcome else None,
+        rungs=len(outcome.get("attempts", ())) if outcome else 0,
+        elapsed=time.perf_counter() - start,
+        reason="" if result.definitive else str(
+            (outcome or {}).get("reason", "resource exhausted")),
+        outcome=outcome,
+    )
+
+
+# Worker processes reuse one answer cache (and, transitively, the
+# per-process plan/conversion caches) across all jobs they execute.
+_WORKER_CACHE: dict[str, AnswerCache] = {}
+
+
+def _worker_cache(cache_dir: str | None) -> AnswerCache:
+    key = cache_dir or ""
+    cache = _WORKER_CACHE.get(key)
+    if cache is None:
+        disk = DiskCache(cache_dir) if cache_dir else None
+        cache = AnswerCache(disk=disk)
+        _WORKER_CACHE[key] = cache
+    return cache
+
+
+def _run_job(payload: tuple) -> dict[str, Any]:
+    """Process-pool entry point: returns the JobResult as a plain dict."""
+    index, job, onto, budget_kwargs, options = payload
+    budget = Budget(**budget_kwargs) if budget_kwargs is not None else None
+    cache = _worker_cache(options.get("cache_dir"))
+    result = _execute_job(index, job, onto, budget, options, cache)
+    return result.to_dict()
+
+
+def _result_from_dict(data: dict[str, Any]) -> JobResult:
+    return JobResult(
+        index=data["index"], job_id=data["id"], query=data["query"],
+        data=data["data"], status=data["status"], verdict=data["verdict"],
+        answers=tuple(tuple(a) for a in data["answers"]),
+        cache_hit=data["cache_hit"], engine=data.get("engine"),
+        rungs=data.get("rungs", 0), elapsed=data.get("elapsed", 0.0),
+        reason=data.get("reason", ""), outcome=data.get("outcome"),
+    )
+
+
+def crash_result(index: int, job: Job, exc: BaseException) -> JobResult:
+    """A worker crash surfaces as an UNKNOWN outcome, never a lost job."""
+    return JobResult(
+        index=index, job_id=job.job_id, query=job.query,
+        data=job.data_ref(), status="unknown", verdict="unknown",
+        reason=f"worker crashed: {type(exc).__name__}: {exc}",
+    )
+
+
+# -- the batch executor ------------------------------------------------------
+
+
+def evaluate_batch(
+    onto: Ontology,
+    jobs: Sequence[Job],
+    workers: int = 1,
+    budget: Budget | None = None,
+    backend: str = "auto",
+    preflight: bool = False,
+    chase_depth: int = 6,
+    sat_extra: int = 3,
+    cache_dir: str | None = None,
+    answer_cache: AnswerCache | None = None,
+) -> BatchReport:
+    """Evaluate a workload of (instance, query) jobs against one ontology.
+
+    With ``workers > 1`` jobs fan out over a process pool; a shared
+    *budget* is split evenly per job (:meth:`repro.runtime.Budget.split`),
+    so the whole batch respects one resource envelope.  Results are
+    returned in job order and are identical across worker counts.
+    """
+    if not jobs:
+        return BatchReport(results=[], stats={"jobs": 0, "workers": workers})
+    wall_start = time.perf_counter()
+    options = {
+        "backend": backend, "preflight": preflight,
+        "chase_depth": chase_depth, "sat_extra": sat_extra,
+        "cache_dir": cache_dir,
+    }
+    budgets = (budget.split(len(jobs)) if budget is not None
+               else [None] * len(jobs))
+
+    results: list[JobResult]
+    if workers <= 1:
+        cache = answer_cache
+        if cache is None:
+            cache = AnswerCache(
+                disk=DiskCache(cache_dir) if cache_dir else None)
+        results = [
+            _execute_job(idx, job, onto, budgets[idx], options, cache)
+            for idx, job in enumerate(jobs)
+        ]
+    else:
+        payloads = [
+            (idx, job, onto,
+             budgets[idx].to_kwargs() if budgets[idx] is not None else None,
+             options)
+            for idx, job in enumerate(jobs)
+        ]
+        results = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_job, p) for p in payloads]
+            for idx, future in enumerate(futures):
+                try:
+                    results.append(_result_from_dict(future.result()))
+                except BaseException as exc:  # worker death, pool breakage
+                    results.append(crash_result(idx, jobs[idx], exc))
+
+    latency = Histogram("job_seconds")
+    for r in results:
+        latency.observe(r.elapsed)
+    engines: dict[str, int] = {}
+    for r in results:
+        if r.engine:
+            engines[r.engine] = engines.get(r.engine, 0) + 1
+    hits = sum(1 for r in results if r.cache_hit)
+    stats: dict[str, Any] = {
+        "jobs": len(results),
+        "workers": workers,
+        "ok": sum(1 for r in results if r.status == "ok"),
+        "unknown": sum(1 for r in results if r.status == "unknown"),
+        "error": sum(1 for r in results if r.status == "error"),
+        "cache": {
+            "hits": hits,
+            "misses": len(results) - hits,
+            "hit_rate": round(hits / len(results), 4),
+        },
+        "engines": engines,
+        "escalation_rungs": sum(max(0, r.rungs - 1) for r in results),
+        "distinct_queries": len({r.query for r in results}),
+        "latency": latency.summary(),
+        "conversion_cache": conversion_cache_stats(),
+        "wall_seconds": round(time.perf_counter() - wall_start, 6),
+    }
+    return BatchReport(results=results, stats=stats)

@@ -1,0 +1,208 @@
+"""Content-addressed caches for the serving layer.
+
+Three layers, all keyed by the stable fingerprints of
+:mod:`repro.serving.fingerprint`:
+
+* :class:`LRUCache` — a bounded in-memory map with hit/miss accounting;
+  the building block for everything below.
+* the **conversion cache** — memoizes
+  :func:`repro.semantics.rules.convert_ontology` per ontology fingerprint.
+  Every fresh :class:`~repro.semantics.certain.CertainEngine` used to
+  reconvert the ontology from scratch; with the cache, engines over the
+  same ontology share one conversion (including the "not convertible"
+  verdict, which is the expensive discovery for SAT-only ontologies).
+* :class:`DiskCache` — an optional on-disk JSON store (one file per key,
+  written atomically), so repeated CLI invocations hit warm certain-answer
+  results.  :class:`AnswerCache` stacks the LRU in front of it.
+
+Cached values are plain JSON-able dictionaries; the cache never stores
+non-definitive (``UNKNOWN``) outcomes, so a budget-starved run can be
+retried with a bigger budget and a warm plan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from ..logic.ontology import Ontology
+from ..semantics.rules import DisjunctiveRule, convert_ontology
+from .fingerprint import combine, fingerprint_ontology
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and accounting."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict[str, int | float]:
+        total = self.hits + self.misses
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
+
+
+class DiskCache:
+    """A directory of ``<key>.json`` files written atomically.
+
+    Corrupt or unreadable entries behave as misses (a concurrent writer
+    can never wedge a reader); values must be JSON-serializable.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            with open(self._path(key)) as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(value, fh)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": sum(1 for _ in self.directory.glob("*.json"))}
+
+
+class AnswerCache:
+    """An LRU for certain-answer results, optionally backed by disk.
+
+    Keys are composite fingerprints (plan × instance × question); values
+    are the JSON-able result dictionaries of
+    :meth:`repro.serving.plan.CompiledOMQ.evaluate`.
+    """
+
+    def __init__(self, maxsize: int = 1024,
+                 disk: DiskCache | None = None):
+        self.memory = LRUCache(maxsize)
+        self.disk = disk
+
+    @staticmethod
+    def key(*fingerprints: str) -> str:
+        return combine(*fingerprints)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        value = self.memory.get(key)
+        if value is not None:
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                self.memory.put(key, value)
+        return value
+
+    def put(self, key: str, value: dict[str, Any]) -> None:
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def stats(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"memory": self.memory.stats()}
+        if self.disk is not None:
+            out["disk"] = self.disk.stats()
+        return out
+
+
+# -- the conversion cache ----------------------------------------------------
+
+# "not convertible" (convert_ontology -> None) is a cacheable verdict too;
+# wrap values so None never collides with a cache miss.
+_conversion_cache = LRUCache(maxsize=128)
+
+
+def convert_ontology_cached(
+    onto: Ontology,
+) -> "list[DisjunctiveRule] | None":
+    """Memoized :func:`repro.semantics.rules.convert_ontology`.
+
+    Keyed by the ontology's content fingerprint, so structurally equal
+    ontologies constructed independently share one conversion.  The
+    returned list is a fresh shallow copy — callers may extend it without
+    poisoning the cache (the rules themselves are immutable).
+    """
+    key = fingerprint_ontology(onto)
+    hit = _conversion_cache.get(key)
+    if hit is not None:
+        rules = hit[0]
+        return None if rules is None else list(rules)
+    rules = convert_ontology(onto)
+    _conversion_cache.put(key, (tuple(rules) if rules is not None else None,))
+    return rules
+
+
+def conversion_cache_stats() -> dict[str, int | float]:
+    return _conversion_cache.stats()
+
+
+def clear_caches() -> None:
+    """Reset the process-wide caches (tests and cold-start benchmarks)."""
+    _conversion_cache.clear()
+    from . import plan as _plan  # late import: plan imports this module
+
+    _plan.clear_plan_cache()

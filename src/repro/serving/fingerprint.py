@@ -1,0 +1,95 @@
+"""Content-addressed fingerprints for OMQ artifacts.
+
+A fingerprint is the SHA-256 digest of a *canonical rendering* — a textual
+form that is invariant under the accidents of construction: sentence order
+in an ontology, atom order in a CQ, fact insertion order in an instance,
+and the ontology's display name all wash out.  Two artifacts with the same
+fingerprint denote the same mathematical object (up to the canonical
+rendering), so fingerprints are safe keys for the plan/answer caches of
+:mod:`repro.serving.cache` — including the on-disk cache shared between
+CLI invocations and worker processes.
+
+Renderings are built from the library's ``repr`` forms, which are already
+canonical per node (``R(x, y)``, ``forall ...``); this module only adds
+deterministic ordering and framing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..queries.cq import CQ, UCQ
+
+_DIGEST_CHARS = 16  # 64 bits of SHA-256: ample for cache keys, short on disk
+
+
+def digest(text: str) -> str:
+    """The fingerprint of an already-canonical text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_DIGEST_CHARS]
+
+
+# -- canonical renderings ----------------------------------------------------
+
+
+def canonical_ontology(onto: Ontology) -> str:
+    """Order-independent rendering; the display name is *not* part of it."""
+    lines = sorted(repr(phi) for phi in onto.sentences)
+    if onto.functional:
+        lines.append("functional: " + ",".join(sorted(onto.functional)))
+    if onto.inverse_functional:
+        lines.append("inverse_functional: "
+                     + ",".join(sorted(onto.inverse_functional)))
+    return "ontology\n" + "\n".join(lines)
+
+
+def canonical_cq(cq: CQ) -> str:
+    head = ",".join(v.name for v in cq.answer_vars)
+    body = " & ".join(sorted(repr(a) for a in cq.atoms))
+    return f"q({head}) <- {body}"
+
+
+def canonical_query(query: CQ | UCQ) -> str:
+    """Canonical rendering of a CQ or UCQ (disjunct order washes out)."""
+    if isinstance(query, UCQ):
+        return "query\n" + " ; ".join(
+            sorted(canonical_cq(cq) for cq in query.disjuncts))
+    return "query\n" + canonical_cq(query)
+
+
+def canonical_instance(instance: Interpretation) -> str:
+    """Sorted fact list (iteration over ``Interpretation`` is sorted)."""
+    return "instance\n" + "\n".join(repr(fact) for fact in instance)
+
+
+# -- fingerprints ------------------------------------------------------------
+
+
+def fingerprint_ontology(onto: Ontology) -> str:
+    return digest(canonical_ontology(onto))
+
+
+def fingerprint_query(query: CQ | UCQ) -> str:
+    return digest(canonical_query(query))
+
+
+def fingerprint_instance(instance: Interpretation) -> str:
+    return digest(canonical_instance(instance))
+
+
+def fingerprint_omq(onto: Ontology, query: CQ | UCQ) -> str:
+    """The OMQ (O, q) fingerprint: the identity of a compiled plan."""
+    return digest(canonical_ontology(onto) + "\n--\n" + canonical_query(query))
+
+
+def combine(*parts: str | Sequence[str]) -> str:
+    """Fingerprint a composite key from already-computed fingerprints."""
+    flat: list[str] = []
+    for p in parts:
+        if isinstance(p, str):
+            flat.append(p)
+        else:
+            flat.extend(p)
+    return digest("\x1f".join(flat))

@@ -1,0 +1,80 @@
+"""Service metrics: counters and latency histograms for the serving layer.
+
+Deliberately tiny and dependency-free: a :class:`Counter` is an integer, a
+:class:`Histogram` keeps its raw observations (serving workloads are
+thousands of jobs, not millions of requests) and summarizes them as
+count/min/max/mean/p50/p95.  A :class:`MetricsRegistry` groups both and
+renders the ``stats`` JSON block of batch reports; ``merge`` folds the
+registries returned by worker processes into the parent's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    name: str
+    value: int = 0
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+
+@dataclass
+class Histogram:
+    name: str
+    observations: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.observations.append(value)
+
+    def summary(self) -> dict[str, float | int]:
+        obs = sorted(self.observations)
+        if not obs:
+            return {"count": 0}
+
+        def pct(q: float) -> float:
+            idx = min(len(obs) - 1, int(q * len(obs)))
+            return obs[idx]
+
+        return {
+            "count": len(obs),
+            "min": round(obs[0], 6),
+            "max": round(obs[-1], 6),
+            "mean": round(sum(obs) / len(obs), 6),
+            "p50": round(pct(0.50), 6),
+            "p95": round(pct(0.95), 6),
+        }
+
+
+class MetricsRegistry:
+    """A named bag of counters and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self.counters.setdefault(name, Counter(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms.setdefault(name, Histogram(name))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other* into this registry (sums and concatenations)."""
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, hist in other.histograms.items():
+            self.histogram(name).observations.extend(hist.observations)
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            name: c.value for name, c in sorted(self.counters.items())}
+        for name, hist in sorted(self.histograms.items()):
+            out[name] = hist.summary()
+        return out
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {self.to_dict()!r}>"

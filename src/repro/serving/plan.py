@@ -1,0 +1,271 @@
+"""Compiled OMQ plans: prepare once, evaluate many times.
+
+The paper's central object is the OMQ (O, Σ, q) evaluated against many data
+instances — exactly the workload shape of a query service.  A
+:class:`CompiledOMQ` performs everything that depends only on the
+(ontology, query) pair **once**:
+
+* lint preflight (:mod:`repro.analysis`) — a broken OMQ fails at compile
+  time, not per instance;
+* rule conversion through the content-addressed conversion cache
+  (:func:`repro.serving.cache.convert_ontology_cached`);
+* ontology classification (the Figure-1 band, without the materializability
+  search — that is a research procedure, not a serving preflight);
+* construction of the budgeted :class:`~repro.semantics.certain.CertainEngine`
+  whose escalation ladder then serves every instance.
+
+:func:`compile_omq` is itself memoized per (ontology, query, options)
+fingerprint, so compiling the same OMQ twice in one process returns the
+same warm plan.  ``CompiledOMQ.evaluate`` consults an optional
+:class:`~repro.serving.cache.AnswerCache` before running the engine and
+never caches non-definitive (``UNKNOWN``) results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..logic.instance import Interpretation
+from ..logic.ontology import Ontology
+from ..queries.cq import CQ, UCQ, parse_cq, parse_ucq
+from ..runtime import Budget, ResourceExhausted
+from ..semantics.certain import Backend, CertainEngine
+from ..semantics.rules import DisjunctiveRule
+from .cache import AnswerCache, LRUCache, convert_ontology_cached
+from .fingerprint import (
+    fingerprint_instance, fingerprint_omq, fingerprint_ontology,
+    fingerprint_query,
+)
+from .metrics import MetricsRegistry
+
+
+def parse_query(text: str) -> CQ | UCQ:
+    """Parse a CQ, or a ``;``-separated UCQ (the CLI convention)."""
+    return parse_ucq(text) if ";" in text else parse_cq(text)
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """One instance evaluated under a compiled plan.
+
+    ``verdict`` is ``yes``/``no`` for Boolean queries, ``ok`` for open
+    queries that completed, ``unknown`` when the budget ran out.  Answers
+    are rendered element tuples (sorted), identical between cold and
+    cached evaluations.
+    """
+
+    verdict: str
+    answers: tuple[tuple[str, ...], ...] = ()
+    outcome: dict[str, Any] | None = None
+    cache_hit: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def definitive(self) -> bool:
+        return self.verdict != "unknown"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "answers": [list(a) for a in self.answers],
+            "outcome": self.outcome,
+            "cache_hit": self.cache_hit,
+            "elapsed": round(self.elapsed, 6),
+        }
+
+
+@dataclass
+class CompiledOMQ:
+    """A reusable evaluation plan for one (ontology, query) pair."""
+
+    onto: Ontology
+    query: CQ | UCQ
+    engine: CertainEngine
+    rules: "list[DisjunctiveRule] | None"
+    ontology_fingerprint: str
+    query_fingerprint: str
+    fingerprint: str
+    band: str | None = None
+    answer_cache: AnswerCache | None = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def uses_chase(self) -> bool:
+        return self.engine.uses_chase
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-able summary of what was compiled."""
+        return {
+            "fingerprint": self.fingerprint,
+            "ontology": self.ontology_fingerprint,
+            "query": self.query_fingerprint,
+            "backend": "chase" if self.uses_chase else "sat",
+            "rules": len(self.rules) if self.rules is not None else None,
+            "band": self.band,
+            "arity": self.query.arity,
+        }
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(
+        self,
+        instance: Interpretation,
+        budget: Budget | None = None,
+    ) -> EvalResult:
+        """Certain answers (or the Boolean verdict) for one instance.
+
+        Consults the answer cache first; on a miss runs the engine and —
+        when the result is definitive — populates the cache, so the next
+        evaluation of the same (plan, instance) pair is a lookup.
+        """
+        start = time.perf_counter()
+        key = None
+        if self.answer_cache is not None:
+            key = AnswerCache.key(
+                self.fingerprint, fingerprint_instance(instance))
+            hit = self.answer_cache.get(key)
+            if hit is not None:
+                self.metrics.counter("answer_cache_hits").inc()
+                return EvalResult(
+                    verdict=hit["verdict"],
+                    answers=tuple(tuple(a) for a in hit["answers"]),
+                    outcome=hit["outcome"],
+                    cache_hit=True,
+                    elapsed=time.perf_counter() - start,
+                )
+            self.metrics.counter("answer_cache_misses").inc()
+
+        try:
+            if self.query.arity == 0:
+                holds = self.engine.entails(instance, self.query, (),
+                                            budget=budget)
+                verdict = "yes" if holds else "no"
+                answers: tuple[tuple[str, ...], ...] = ()
+            else:
+                raw = self.engine.certain_answers(instance, self.query,
+                                                  budget=budget)
+                answers = tuple(sorted(
+                    tuple(repr(e) for e in a) for a in raw))
+                verdict = "ok"
+        except ResourceExhausted as exc:
+            self.metrics.counter("unknown_results").inc()
+            return EvalResult(
+                verdict="unknown",
+                outcome=exc.outcome.to_dict(),
+                elapsed=time.perf_counter() - start,
+            )
+
+        last = self.engine.last_outcome
+        outcome = last.to_dict() if last is not None else None
+        if last is not None:
+            self.metrics.counter(f"engine_{last.engine}").inc()
+            self.metrics.counter("escalation_rungs").inc(
+                max(0, len(last.attempts) - 1))
+        result = EvalResult(
+            verdict=verdict, answers=answers, outcome=outcome,
+            elapsed=time.perf_counter() - start)
+        if key is not None:
+            self.answer_cache.put(key, {
+                "verdict": verdict,
+                "answers": [list(a) for a in answers],
+                "outcome": outcome,
+            })
+        self.metrics.histogram("eval_seconds").observe(result.elapsed)
+        return result
+
+    def entails(
+        self,
+        instance: Interpretation,
+        answer: Sequence[Any] = (),
+        budget: Budget | None = None,
+    ) -> bool:
+        """Uncached passthrough to the compiled engine (full parity)."""
+        return self.engine.entails(instance, self.query, answer,
+                                   budget=budget)
+
+    def stats(self) -> dict[str, Any]:
+        out = self.metrics.to_dict()
+        if self.answer_cache is not None:
+            out["answer_cache"] = self.answer_cache.stats()
+        return out
+
+
+# -- compilation -------------------------------------------------------------
+
+_plan_cache = LRUCache(maxsize=64)
+
+
+def clear_plan_cache() -> None:
+    _plan_cache.clear()
+
+
+def plan_cache_stats() -> dict[str, int | float]:
+    return _plan_cache.stats()
+
+
+def compile_omq(
+    onto: Ontology,
+    query: CQ | UCQ | str,
+    backend: Backend = "auto",
+    preflight: bool = False,
+    classify: bool = False,
+    chase_depth: int = 6,
+    sat_extra: int = 3,
+    answer_cache: AnswerCache | None = None,
+) -> CompiledOMQ:
+    """Compile (or fetch the memoized plan for) one OMQ.
+
+    With ``preflight=True`` the ontology and query are linted and an
+    error-level diagnostic raises :class:`repro.analysis.LintError` here —
+    per-instance evaluation then needs no further static checks.  A plan
+    fetched from the memo keeps its accumulated metrics; a supplied
+    *answer_cache* replaces the memoized plan's cache handle.
+    """
+    if isinstance(query, str):
+        if preflight:
+            # Query-text lint at compile time (the engine's own preflight
+            # covers the ontology and per-workload signature checks).
+            from ..analysis import LintError, has_errors, lint_query_text
+
+            diags = lint_query_text(query)
+            if has_errors(diags):
+                raise LintError(diags)
+        query = parse_query(query)
+    onto_fp = fingerprint_ontology(onto)
+    query_fp = fingerprint_query(query)
+    memo_key = AnswerCache.key(
+        onto_fp, query_fp,
+        f"{backend}|{preflight}|{classify}|{chase_depth}|{sat_extra}")
+    plan = _plan_cache.get(memo_key)
+    if plan is not None:
+        if answer_cache is not None:
+            plan.answer_cache = answer_cache
+        return plan
+
+    # preflight=True makes the engine lint the ontology at construction
+    # (LintError here, once per plan) and cross-check every workload.
+    rules = convert_ontology_cached(onto)
+    engine = CertainEngine(onto, backend=backend, chase_depth=chase_depth,
+                           sat_extra=sat_extra, preflight=preflight,
+                           rules=rules)
+    band: str | None = None
+    if classify:
+        from ..core.classify import classify_ontology
+
+        band = classify_ontology(onto, check_mat=False).band.name
+
+    plan = CompiledOMQ(
+        onto=onto,
+        query=query,
+        engine=engine,
+        rules=rules,
+        ontology_fingerprint=onto_fp,
+        query_fingerprint=query_fp,
+        fingerprint=fingerprint_omq(onto, query),
+        band=band,
+        answer_cache=answer_cache,
+    )
+    _plan_cache.put(memo_key, plan)
+    return plan

@@ -60,6 +60,146 @@ class TestEvaluate:
         assert "certain: True" in capsys.readouterr().out
 
 
+class TestEvaluateMultiQuery:
+    def test_single_query_via_flag_matches_positional(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "-q", "q(x) <- hasFinger(x,y) & Thumb(y)"]) == 0
+        flag_out = capsys.readouterr().out
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q(x) <- hasFinger(x,y) & Thumb(y)"]) == 0
+        assert flag_out == capsys.readouterr().out
+
+    def test_multiple_query_flags(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "-q", "q(x) <- Hand(x)",
+                     "-q", "q() <- Thumb(y)"]) == 0
+        out = capsys.readouterr().out
+        assert "query: q(x) <- Hand(x)" in out
+        assert "query: q() <- Thumb(y)" in out
+        assert "1 certain answer(s):" in out and "certain: True" in out
+
+    def test_positional_plus_flag(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "q(x) <- Hand(x)", "-q", "q() <- Thumb(y)"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("q(x) <- Hand(x)") < out.index("q() <- Thumb(y)")
+
+    def test_query_file(self, workspace, tmp_path, capsys):
+        qfile = tmp_path / "queries.txt"
+        qfile.write_text(
+            "q(x) <- Hand(x)\n"
+            "# a comment line\n"
+            "\n"
+            "q() <- Thumb(y)\n")
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "--query-file", str(qfile)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query: ") == 2
+
+    def test_multi_query_json_payload(self, workspace, capsys):
+        import json
+
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "-q", "q(x) <- Hand(x)", "-q", "q() <- Thumb(y)",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [q["query"] for q in payload["queries"]] == [
+            "q(x) <- Hand(x)", "q() <- Thumb(y)"]
+        assert payload["queries"][0]["answers"] == [["h"]]
+        assert payload["queries"][1]["verdict"] == "yes"
+
+    def test_no_query_at_all_exit_two(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"]]) == 2
+        assert "no query given" in capsys.readouterr().err
+
+    def test_one_bad_query_exit_two(self, workspace, capsys):
+        assert main(["evaluate", workspace["onto"], workspace["data"],
+                     "-q", "q(x) <- Hand(x)", "-q", "not a query"]) == 2
+        assert "query" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def batch_workspace(self, workspace, tmp_path):
+        import json
+
+        workload = [
+            {"query": "q(x) <- hasFinger(x,y) & Thumb(y)", "data": "data.facts"},
+            {"query": "q() <- Thumb(y)", "facts": ["Hand(h)"]},
+            {"query": "q(x) <- Hand(x)", "facts": ["Hand(h)", "Hand(g)"],
+             "id": "pair"},
+            {"query": "q(x) <- hasFinger(x,y) & Thumb(y)", "data": "data.facts"},
+        ]
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(workload))
+        workspace["workload"] = str(path)
+        return workspace
+
+    def test_batch_text_report(self, batch_workspace, capsys):
+        assert main(["batch", batch_workspace["onto"],
+                     "--workload", batch_workspace["workload"]]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 4 job(s), 4 ok / 0 unknown / 0 error" in out
+        assert "cache=hit" in out  # job 3 repeats job 0
+
+    def test_batch_json_report(self, batch_workspace, capsys):
+        import json
+
+        assert main(["batch", batch_workspace["onto"],
+                     "--workload", batch_workspace["workload"],
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["jobs"]) == 4
+        assert payload["jobs"][0]["answers"] == [["h"]]
+        assert payload["jobs"][1]["verdict"] == "yes"
+        assert payload["jobs"][2]["id"] == "pair"
+        assert payload["jobs"][3]["cache_hit"] is True
+        stats = payload["stats"]
+        assert stats["ok"] == 4 and stats["cache"]["hits"] >= 1
+        assert "latency" in stats and "wall_seconds" in stats
+
+    def test_batch_parallel_matches_serial(self, batch_workspace, capsys):
+        import json
+
+        assert main(["batch", batch_workspace["onto"],
+                     "--workload", batch_workspace["workload"],
+                     "--jobs", "2", "--format", "json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert main(["batch", batch_workspace["onto"],
+                     "--workload", batch_workspace["workload"],
+                     "--jobs", "1", "--format", "json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        keys = ("index", "status", "verdict", "answers")
+        assert [{k: j[k] for k in keys} for j in parallel["jobs"]] == \
+            [{k: j[k] for k in keys} for j in serial["jobs"]]
+
+    def test_batch_error_job_exit_two(self, batch_workspace, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad_jobs.json"
+        path.write_text(json.dumps(
+            [{"query": "q(x) <- Hand(x)", "facts": ["Hand(h)"]},
+             {"query": "q(x) <- Hand(x)", "data": "missing.facts"}]))
+        assert main(["batch", batch_workspace["onto"],
+                     "--workload", str(path)]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_batch_malformed_workload_exit_two(self, batch_workspace,
+                                               tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["batch", batch_workspace["onto"],
+                     "--workload", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "invalid JSON" in err
+
+    def test_batch_zero_jobs_flag_exit_two(self, batch_workspace, capsys):
+        assert main(["batch", batch_workspace["onto"],
+                     "--workload", batch_workspace["workload"],
+                     "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestConsistent:
     def test_consistent(self, workspace, capsys):
         assert main(["consistent", workspace["onto"], workspace["data"]]) == 0

@@ -1,0 +1,83 @@
+"""Content-addressed fingerprints: stability and discrimination."""
+
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.queries.cq import parse_cq, parse_ucq
+from repro.serving import (
+    canonical_instance, canonical_ontology, canonical_query,
+    fingerprint_instance, fingerprint_omq, fingerprint_ontology,
+    fingerprint_query,
+)
+
+S1 = "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))"
+S2 = "forall x,y (hasFinger(x,y) -> Digit(y))"
+
+
+class TestOntologyFingerprint:
+    def test_sentence_order_washes_out(self):
+        a = ontology(S1 + "\n" + S2)
+        b = ontology(S2 + "\n" + S1)
+        assert fingerprint_ontology(a) == fingerprint_ontology(b)
+
+    def test_name_is_not_content(self):
+        a = ontology(S1, name="alpha")
+        b = ontology(S1, name="beta")
+        assert fingerprint_ontology(a) == fingerprint_ontology(b)
+
+    def test_functional_declarations_are_content(self):
+        a = ontology(S2)
+        b = ontology(S2, functional=["hasFinger"])
+        assert fingerprint_ontology(a) != fingerprint_ontology(b)
+
+    def test_different_sentences_differ(self):
+        assert fingerprint_ontology(ontology(S1)) != \
+            fingerprint_ontology(ontology(S2))
+
+    def test_canonical_rendering_is_deterministic(self):
+        a = ontology(S1 + "\n" + S2)
+        assert canonical_ontology(a) == canonical_ontology(
+            ontology(S2 + "\n" + S1))
+
+
+class TestQueryFingerprint:
+    def test_atom_order_washes_out(self):
+        a = parse_cq("q(x) <- R(x,y) & A(y)")
+        b = parse_cq("q(x) <- A(y) & R(x,y)")
+        assert fingerprint_query(a) == fingerprint_query(b)
+
+    def test_answer_vars_matter(self):
+        a = parse_cq("q(x) <- R(x,y)")
+        b = parse_cq("q(y) <- R(x,y)")
+        assert fingerprint_query(a) != fingerprint_query(b)
+
+    def test_ucq_disjunct_order_washes_out(self):
+        a = parse_ucq("q(x) <- A(x) ; q(x) <- B(x)")
+        b = parse_ucq("q(x) <- B(x) ; q(x) <- A(x)")
+        assert fingerprint_query(a) == fingerprint_query(b)
+
+    def test_cq_vs_ucq_with_same_single_disjunct(self):
+        cq = parse_cq("q(x) <- A(x)")
+        assert "q(x) <- A(x)" in canonical_query(cq)
+
+
+class TestInstanceFingerprint:
+    def test_insertion_order_washes_out(self):
+        a = make_instance("R(a,b)", "A(c)")
+        b = make_instance("A(c)", "R(a,b)")
+        assert fingerprint_instance(a) == fingerprint_instance(b)
+        assert canonical_instance(a) == canonical_instance(b)
+
+    def test_extra_fact_differs(self):
+        a = make_instance("R(a,b)")
+        b = make_instance("R(a,b)", "R(b,a)")
+        assert fingerprint_instance(a) != fingerprint_instance(b)
+
+
+class TestOmqFingerprint:
+    def test_combines_both_sides(self):
+        onto_a, onto_b = ontology(S1), ontology(S2)
+        q_a = parse_cq("q(x) <- Hand(x)")
+        q_b = parse_cq("q(x) <- Digit(x)")
+        fps = {fingerprint_omq(o, q)
+               for o in (onto_a, onto_b) for q in (q_a, q_b)}
+        assert len(fps) == 4
