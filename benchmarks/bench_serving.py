@@ -30,7 +30,7 @@ from repro.logic.instance import make_instance
 from repro.logic.ontology import ontology
 from repro.semantics.certain import CertainEngine
 from repro.serving import (
-    AnswerCache, Job, clear_caches, compile_omq, evaluate_batch,
+    AnswerCache, Job, clear_caches, compile_omq, evaluate_batch, parse_query,
 )
 
 ONTO = ontology(
@@ -69,11 +69,11 @@ def workload(n: int = 24) -> list:
 
 def test_fresh_engine_per_instance(benchmark):
     data = instances(10)
+    query = parse_query(QUERY)
 
     def run():
         for inst in data:
-            CertainEngine(ONTO).certain_answers(
-                inst, compile_omq(ONTO, QUERY).query)
+            CertainEngine(ONTO).certain_answers(inst, query)
 
     benchmark(run)
 
@@ -124,17 +124,20 @@ def _median_seconds(fn, repeats: int = 7) -> float:
 
 def measure(repeats: int = 7) -> dict:
     data = instances(10)
+    query = parse_query(QUERY)
 
     def fresh_engines():
         for inst in data:
             engine = CertainEngine(ONTO)
-            engine.certain_answers(inst, compile_omq(ONTO, QUERY).query)
+            engine.certain_answers(inst, query)
 
     clear_caches()
-    plan = compile_omq(ONTO, QUERY, answer_cache=AnswerCache())
+    cache = AnswerCache()
+    plan = compile_omq(ONTO, QUERY, answer_cache=cache)
 
     def cold():
-        plan.answer_cache.memory.clear()
+        cache.memory.clear()
+        plan.answer_cache = cache  # re-attach: memo hits may have replaced it
         for inst in data:
             plan.evaluate(inst)
 

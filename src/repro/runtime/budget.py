@@ -91,6 +91,7 @@ class Budget:
         escalate: bool = True,
         faults: FaultPlan | None = None,
         clock: Callable[[], float] = time.monotonic,
+        lazy_start: bool = False,
     ):
         self.timeout = timeout
         self.max_chase_steps = chase_steps
@@ -100,8 +101,13 @@ class Budget:
         self.escalate = escalate
         self.faults = faults if faults is not None else active_plan()
         self._clock = clock
-        self._start = clock()
-        self.deadline = None if timeout is None else self._start + timeout
+        # A lazy budget anchors its clock (and deadline) at the first
+        # checkpoint instead of at construction, so per-job children of
+        # split() don't burn wall time while earlier jobs run.
+        self._start: float | None = None if lazy_start else clock()
+        self.deadline: float | None = None
+        if timeout is not None and self._start is not None:
+            self.deadline = self._start + timeout
         self.spent_chase_steps = 0
         self.spent_nulls = 0
         self.spent_conflicts = 0
@@ -111,13 +117,25 @@ class Budget:
 
     # -- introspection -------------------------------------------------------
 
+    def _anchor(self) -> float:
+        """The clock anchor; a lazy budget starts at its first checkpoint."""
+        if self._start is None:
+            self._start = self._clock()
+            if self.timeout is not None:
+                self.deadline = self._start + self.timeout
+        return self._start
+
     def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
         return self._clock() - self._start
 
     def remaining(self) -> float | None:
         """Seconds until the deadline; None when there is no deadline."""
-        if self.deadline is None:
+        if self.timeout is None:
             return None
+        if self._start is None:
+            return self.timeout
         return max(0.0, self.deadline - self._clock())
 
     def usage(self) -> ResourceUsage:
@@ -143,6 +161,7 @@ class Budget:
         """Unconditional deadline checkpoint (also the ``deadline`` fault site)."""
         if self.inject("deadline"):
             self._fail("deadline", f"injected deadline expiry at {where or 'checkpoint'}")
+        self._anchor()
         if self.deadline is not None and self._clock() >= self.deadline:
             self._fail("deadline",
                        f"wall-clock budget of {self.timeout:.3f}s exhausted"
@@ -150,6 +169,8 @@ class Budget:
 
     def poll(self, where: str = "") -> None:
         """Strided deadline checkpoint for hot loops."""
+        if self._start is None:
+            self._anchor()
         self._stride += 1
         if self._stride >= self.DEADLINE_STRIDE:
             self._stride = 0
@@ -198,11 +219,13 @@ class Budget:
     def to_kwargs(self) -> dict[str, object]:
         """Constructor kwargs reproducing this budget's *limits*.
 
-        Used to ship per-job budgets to worker processes: the clock (and
-        the fault plan) restart in the receiving process, the limits
-        carry over.
+        Used to ship per-job budgets to worker processes: the clock
+        restarts in the receiving process, the limits carry over, and the
+        fault plan ships as a fresh copy (same specs, restarted hit
+        counters) so a programmatically supplied plan survives the
+        process boundary exactly like an env-derived one.
         """
-        return {
+        kwargs: dict[str, object] = {
             "timeout": self.timeout,
             "chase_steps": self.max_chase_steps,
             "nulls": self.max_nulls,
@@ -210,6 +233,9 @@ class Budget:
             "backtracks": self.max_backtracks,
             "escalate": self.escalate,
         }
+        if self.faults:
+            kwargs["faults"] = FaultPlan(tuple(self.faults.specs.values()))
+        return kwargs
 
     def split(self, n: int) -> "list[Budget]":
         """Split this budget into *n* independent per-job budgets.
@@ -217,10 +243,14 @@ class Budget:
         The remaining wall-clock time and each configured counter pool
         are divided evenly (counters get at least 1 each), so a batch of
         jobs run under the children respects the parent's envelope.
-        Counters already spent on the parent stay on the parent.  An
-        injected fault plan propagates as a *fresh* per-child plan (same
-        specs, restarted hit counters) so every job sees the same
-        deterministic fault schedule.
+        Each child's clock starts *lazily* at its first checkpoint, not
+        at split time: in a serial batch job k's deadline does not burn
+        down while jobs 0..k-1 run, matching the parallel path where
+        workers rebuild their budgets with fresh clocks.  Counters
+        already spent on the parent stay on the parent.  An injected
+        fault plan propagates as a *fresh* per-child plan (same specs,
+        restarted hit counters) so every job sees the same deterministic
+        fault schedule.
         """
         if n <= 0:
             raise ValueError("cannot split a budget into <= 0 parts")
@@ -240,6 +270,7 @@ class Budget:
                 escalate=self.escalate,
                 faults=FaultPlan(specs) if specs else None,
                 clock=self._clock,
+                lazy_start=True,
             )
             for _ in range(n)
         ]

@@ -320,10 +320,15 @@ def evaluate_batch(
         if cache is None:
             cache = AnswerCache(
                 disk=DiskCache(cache_dir) if cache_dir else None)
-        results = [
-            _execute_job(idx, job, onto, budgets[idx], options, cache)
-            for idx, job in enumerate(jobs)
-        ]
+        results = []
+        for idx, job in enumerate(jobs):
+            try:
+                results.append(
+                    _execute_job(idx, job, onto, budgets[idx], options, cache))
+            except Exception as exc:
+                # Same contract as the pool path: an unexpected crash takes
+                # down only its own job, never the batch.
+                results.append(crash_result(idx, job, exc))
     else:
         payloads = [
             (idx, job, onto,
@@ -337,7 +342,9 @@ def evaluate_batch(
             for idx, future in enumerate(futures):
                 try:
                     results.append(_result_from_dict(future.result()))
-                except BaseException as exc:  # worker death, pool breakage
+                except Exception as exc:  # worker death, pool breakage
+                    # KeyboardInterrupt/SystemExit propagate: a user Ctrl-C
+                    # must abort the batch, not drain into per-job crashes.
                     results.append(crash_result(idx, jobs[idx], exc))
 
     latency = Histogram("job_seconds")

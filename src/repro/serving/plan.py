@@ -220,8 +220,8 @@ def compile_omq(
     With ``preflight=True`` the ontology and query are linted and an
     error-level diagnostic raises :class:`repro.analysis.LintError` here —
     per-instance evaluation then needs no further static checks.  A plan
-    fetched from the memo keeps its accumulated metrics; a supplied
-    *answer_cache* replaces the memoized plan's cache handle.
+    fetched from the memo keeps its accumulated metrics; the *answer_cache*
+    argument (including ``None``) replaces the memoized plan's cache handle.
     """
     if isinstance(query, str):
         if preflight:
@@ -240,8 +240,10 @@ def compile_omq(
         f"{backend}|{preflight}|{classify}|{chase_depth}|{sat_extra}")
     plan = _plan_cache.get(memo_key)
     if plan is not None:
-        if answer_cache is not None:
-            plan.answer_cache = answer_cache
+        # The caller's cache handle replaces the memoized plan's — including
+        # None: a caller expecting uncached evaluation (e.g. a cold
+        # benchmark) must not inherit a previous caller's warm cache.
+        plan.answer_cache = answer_cache
         return plan
 
     # preflight=True makes the engine lint the ontology at construction

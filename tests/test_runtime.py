@@ -59,6 +59,30 @@ class TestBudget:
         with pytest.raises(BudgetExceeded):
             b.poll("t")
 
+    def test_split_children_start_lazily(self):
+        # Serial batch: job k's share must not burn down while jobs
+        # 0..k-1 run — each child's deadline anchors at its own first
+        # checkpoint, not at split time.
+        clock = [0.0]
+        parent = Budget(timeout=0.4, clock=lambda: clock[0])
+        first, second = parent.split(2)
+        assert second.elapsed() == 0.0
+        assert second.remaining() == pytest.approx(0.2)
+        clock[0] = 0.2  # job 0 consumed its full share...
+        second.check_deadline("job 1 start")  # ...job 1 is still alive
+        assert second.remaining() == pytest.approx(0.2)
+        clock[0] = 0.45  # now job 1 really is out of time
+        with pytest.raises(BudgetExceeded):
+            second.check_deadline("job 1")
+
+    def test_lazy_child_anchors_on_poll(self):
+        clock = [0.0]
+        child = Budget(timeout=1.0, clock=lambda: clock[0]).split(1)[0]
+        clock[0] = 5.0  # time passes before the child's job starts
+        child.poll("t")  # first checkpoint anchors the clock
+        assert child.deadline == pytest.approx(6.0)
+        assert child.elapsed() == 0.0
+
     def test_counter_limits(self):
         b = Budget(chase_steps=2, conflicts=3, backtracks=1, nulls=5)
         b.tick_chase_step()

@@ -162,6 +162,30 @@ class TestParallelBatch:
         assert not report.ok
         assert report.stats["unknown"] == 3
 
+    def test_serial_crash_becomes_unknown_result(self, monkeypatch):
+        # workers=1 honors the same contract as the pool: an unexpected
+        # crash takes down only its own job, never the batch.
+        def boom(*args, **kwargs):
+            raise RuntimeError("induced crash")
+
+        monkeypatch.setattr(batch_mod, "_execute_job", boom)
+        jobs = hand_workload(3)
+        report = evaluate_batch(HAND, jobs, workers=1)
+        assert len(report.results) == 3
+        assert all(r.status == "unknown" for r in report.results)
+        assert all("worker crashed" in r.reason for r in report.results)
+        assert not report.ok
+
+    def test_ctrl_c_aborts_the_batch(self, monkeypatch):
+        # KeyboardInterrupt must propagate out of the pool-draining loop,
+        # not drain into per-job "worker crashed" results.
+        def interrupted(data):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(batch_mod, "_result_from_dict", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            evaluate_batch(HAND, hand_workload(2), workers=2)
+
     def test_crash_result_unit(self):
         job = Job(query="q() <- A(x)", facts=("A(a)",), job_id="j0")
         r = crash_result(4, job, RuntimeError("boom"))
@@ -191,6 +215,39 @@ class TestBudgetedBatch:
         clone = Budget(**b.to_kwargs())
         assert clone.max_nulls == 5 and clone.escalate is False
         assert clone.timeout == pytest.approx(10, abs=1)
+
+    def test_to_kwargs_carries_fault_plan(self, no_ambient_faults):
+        from repro.runtime import FaultPlan, FaultSpec
+        b = Budget(faults=FaultPlan([FaultSpec("deadline", at=2)]))
+        clone = Budget(**b.to_kwargs())
+        assert clone.faults is not None and clone.faults is not b.faults
+        assert clone.faults.specs["deadline"].at == 2
+        assert clone.faults.hits == {"deadline": 0}  # counters restart
+
+    def test_serial_jobs_each_get_their_full_share(self, no_ambient_faults):
+        # Child deadlines anchor when the job starts, so with workers=1
+        # job k is not already expired by the time jobs 0..k-1 finish.
+        jobs = hand_workload(6)
+        report = evaluate_batch(HAND, jobs, workers=1,
+                                budget=Budget(timeout=30, escalate=False))
+        assert report.ok
+
+    def test_programmatic_faults_survive_worker_boundary(
+            self, no_ambient_faults):
+        # A FaultPlan supplied in code (not via REPRO_FAULTS) must reach
+        # pool workers, so --jobs 1 and --jobs N agree under injection.
+        from repro.runtime import FaultPlan, FaultSpec
+        jobs = hand_workload(4)
+
+        def run(workers):
+            clear_caches()
+            budget = Budget(faults=FaultPlan([FaultSpec("deadline", at=1)]),
+                            escalate=False)
+            return evaluate_batch(HAND, jobs, workers=workers, budget=budget)
+
+        serial, parallel = run(1), run(2)
+        assert all(r.status == "unknown" for r in serial.results)
+        assert serial.signatures() == parallel.signatures()
 
     def test_starved_batch_reports_unknown_not_wrong(self, no_ambient_faults):
         from repro.runtime import FaultPlan, FaultSpec

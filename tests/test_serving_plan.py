@@ -104,6 +104,16 @@ class TestEvaluate:
         assert r1.answers == r2.answers
         assert not r1.cache_hit and not r2.cache_hit
 
+    def test_memo_hit_without_cache_does_not_inherit_warm_cache(self):
+        warm = compile_omq(HAND, HAND_QUERY, answer_cache=AnswerCache())
+        assert warm.evaluate(DATA).cache_hit is False
+        assert warm.evaluate(DATA).cache_hit is True
+        # A caller asking for uncached evaluation (e.g. a cold benchmark)
+        # must not silently get the previous caller's cached answers.
+        cold = compile_omq(HAND, HAND_QUERY)
+        assert cold is warm and cold.answer_cache is None
+        assert cold.evaluate(DATA).cache_hit is False
+
     def test_metrics_accumulate(self):
         plan = compile_omq(HAND, HAND_QUERY, answer_cache=AnswerCache())
         plan.evaluate(DATA)
