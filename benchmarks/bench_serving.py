@@ -10,7 +10,11 @@ across a batch.  This bench measures both:
   dominated by cache lookups and beat the cold pass;
 * **batch equivalence** — ``evaluate_batch`` with 2 workers returns
   byte-identical job signatures to 1 worker (determinism is part of the
-  performance contract: parallelism must be free to turn on).
+  performance contract: parallelism must be free to turn on);
+* **tracer overhead** — the engine seams are instrumented with
+  :mod:`repro.obs` spans; with tracing disabled (the default) those
+  spans must be free.  The smoke gate fails when an activated disabled
+  tracer costs more than 5% over the un-activated baseline.
 
 Run under pytest-benchmark for statistics, standalone for a JSON report,
 or with ``--smoke`` as a CI gate::
@@ -28,6 +32,7 @@ import pytest
 
 from repro.logic.instance import make_instance
 from repro.logic.ontology import ontology
+from repro.obs import Tracer
 from repro.semantics.certain import CertainEngine
 from repro.serving import (
     AnswerCache, Job, clear_caches, compile_omq, evaluate_batch, parse_query,
@@ -122,6 +127,50 @@ def _median_seconds(fn, repeats: int = 7) -> float:
     return statistics.median(times)
 
 
+def _best_seconds(fn, repeats: int = 9) -> float:
+    """Min-of-repeats: the standard statistic for overhead comparisons
+    (the minimum is the least noise-contaminated observation)."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def tracer_overhead(repeats: int = 9) -> dict:
+    """Cost of the instrumented seams when nobody is tracing.
+
+    Both passes run the same uncached evaluations; the second runs under
+    an explicitly activated ``Tracer(enabled=False)``, which must behave
+    exactly like the ambient ``NULL_TRACER`` default (the null-span fast
+    path).  Reported ratio should be ~1.0.
+    """
+    data = instances(10)
+    clear_caches()
+    plan = compile_omq(ONTO, QUERY)  # no answer cache: every pass hits the engine
+
+    def baseline():
+        for inst in data:
+            plan.evaluate(inst)
+
+    disabled = Tracer(enabled=False)
+
+    def under_disabled_tracer():
+        with disabled.activate():
+            for inst in data:
+                plan.evaluate(inst)
+
+    baseline()  # warm plan/conversion caches before timing
+    base_s = _best_seconds(baseline, repeats)
+    traced_s = _best_seconds(under_disabled_tracer, repeats)
+    return {
+        "baseline_s": round(base_s, 6),
+        "disabled_tracer_s": round(traced_s, 6),
+        "overhead_ratio": round(traced_s / base_s, 4) if base_s else 1.0,
+    }
+
+
 def measure(repeats: int = 7) -> dict:
     data = instances(10)
     query = parse_query(QUERY)
@@ -167,11 +216,13 @@ def measure(repeats: int = 7) -> dict:
         "serial_cache_hit_rate": serial.stats["cache"]["hit_rate"],
         "workers_agree": serial.signatures() == parallel.signatures(),
     }
+    report["tracer"] = tracer_overhead(repeats)
     return report
 
 
 def smoke() -> int:
-    """CI gate: warm beats cold, and worker count cannot change results."""
+    """CI gate: warm beats cold, worker count cannot change results, and
+    the disabled tracer costs at most 5% over the un-activated baseline."""
     report = measure(repeats=5)
     failures = []
     if report["plan_warm_s"] >= report["plan_cold_s"]:
@@ -180,6 +231,10 @@ def smoke() -> int:
             f"warm={report['plan_warm_s']:.6f}s cold={report['plan_cold_s']:.6f}s")
     if not report["batch"]["workers_agree"]:
         failures.append("evaluate_batch: --jobs 2 results differ from --jobs 1")
+    ratio = report["tracer"]["overhead_ratio"]
+    if ratio > 1.05:
+        failures.append(
+            f"disabled-tracer overhead {ratio:.4f}x exceeds the 5% budget")
     print(json.dumps(report, indent=2))
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)

@@ -19,6 +19,9 @@ Commands:
   cache/latency stats (see ``docs/serving.md``).
 * ``consistent <ontology-file> <data-file>`` — consistency check (same
   ``--timeout``/``--budget``/``--format`` options).
+* ``trace summarize <trace.jsonl>`` — analyze a JSONL trace written by
+  ``evaluate``/``batch`` ``--trace FILE``: top spans by self-time plus
+  per-engine and per-rung breakdowns (see ``docs/observability.md``).
 * ``lint <ontology-file> [--data F] [--query Q] [--program F]`` — static
   analysis: report ``OMQ0xx`` diagnostics over the ontology and, when
   given, the data/query/Datalog artifacts (``--format json`` for tooling).
@@ -54,6 +57,7 @@ from .dl.translate import dl_to_ontology
 from .logic.instance import make_instance
 from .logic.ontology import Ontology, ontology
 from .logic.parser import ParseError, parse_sentences_with_lines
+from .obs import NULL_TRACER, Tracer
 from .queries.cq import QueryError, parse_cq, parse_ucq
 from .runtime import Budget, ResourceExhausted
 from .semantics.certain import CertainEngine
@@ -133,6 +137,25 @@ def _build_budget(args: argparse.Namespace) -> Budget | None:
     return budget
 
 
+def _build_tracer(args: argparse.Namespace) -> Tracer:
+    """An enabled tracer when ``--trace FILE`` was given, else the no-op."""
+    if getattr(args, "trace", None):
+        return Tracer()
+    return NULL_TRACER
+
+
+def _export_trace(args: argparse.Namespace, tracer: Tracer) -> None:
+    """Write the trace (one shot, even after budget-exhausted runs)."""
+    path = getattr(args, "trace", None)
+    if not path or not tracer.enabled:
+        return
+    try:
+        count = tracer.export(path)
+    except OSError as exc:
+        raise CliInputError(f"--trace {path}: {exc.strerror or exc}") from exc
+    print(f"trace: {count} span(s) written to {path}", file=sys.stderr)
+
+
 def _print_exhausted(args: argparse.Namespace, exc: ResourceExhausted) -> int:
     """Render an UNKNOWN(resource_exhausted) outcome; exit code 3."""
     if getattr(args, "format", "text") == "json":
@@ -171,10 +194,18 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     engine = CertainEngine(onto, backend=args.backend,
                            preflight=args.preflight)
     budget = _build_budget(args)
-    if len(parsed) == 1:
-        return _evaluate_one(args, engine, data, query_texts[0], parsed[0],
-                             budget)
-    return _evaluate_many(args, engine, data, query_texts, parsed, budget)
+    tracer = _build_tracer(args)
+    with tracer.activate():
+        if len(parsed) == 1:
+            code = _evaluate_one(args, engine, data, query_texts[0],
+                                 parsed[0], budget)
+        else:
+            code = _evaluate_many(args, engine, data, query_texts, parsed,
+                                  budget)
+    # Exported after evaluation — an exit-3 (budget exhausted) run still
+    # yields a complete trace with its failed spans.
+    _export_trace(args, tracer)
+    return code
 
 
 def _evaluate_one(args, engine, data, query_text, query, budget) -> int:
@@ -264,9 +295,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise CliInputError(str(exc)) from exc
     budget = _build_budget(args)
+    tracer = _build_tracer(args)
     report = evaluate_batch(
         onto, jobs, workers=args.jobs, budget=budget, backend=args.backend,
-        preflight=args.preflight, cache_dir=args.cache_dir)
+        preflight=args.preflight, cache_dir=args.cache_dir, tracer=tracer)
+    _export_trace(args, tracer)
     if args.format == "json":
         import json
         print(json.dumps(report.to_dict(), indent=2))
@@ -283,10 +316,14 @@ def cmd_consistent(args: argparse.Namespace) -> int:
     engine = CertainEngine(onto, backend=args.backend,
                            preflight=args.preflight)
     budget = _build_budget(args)
+    tracer = _build_tracer(args)
     try:
-        consistent = engine.is_consistent(data, budget=budget)
+        with tracer.activate():
+            consistent = engine.is_consistent(data, budget=budget)
     except ResourceExhausted as exc:
+        _export_trace(args, tracer)
         return _print_exhausted(args, exc)
+    _export_trace(args, tracer)
     if args.format == "json":
         import json
         outcome = engine.last_outcome
@@ -362,6 +399,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors(diags) else 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .obs import load_trace, render_summary, summarize_spans
+
+    try:
+        spans = load_trace(args.trace_file)
+    except OSError as exc:
+        raise CliInputError(
+            f"{args.trace_file}: {exc.strerror or exc}") from exc
+    except ValueError as exc:
+        raise CliInputError(str(exc)) from exc
+    summary = summarize_spans(spans)
+    if args.format == "json":
+        import json
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_summary(summary, top=args.top))
+    return 0
+
+
 def cmd_figure1(_args: argparse.Namespace) -> int:
     print(f"{'fragment':<18} {'band':<14} {'source':<22} note")
     for entry in FIGURE_1:
@@ -403,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "'timeout=0.5,conflicts=10000,chase_steps=5000'")
         p.add_argument("--format", choices=["text", "json"], default="text",
                        help="json includes the outcome provenance")
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a hierarchical JSONL trace of the "
+                            "evaluation (inspect with 'repro trace "
+                            "summarize FILE')")
 
     p_eval = sub.add_parser("evaluate", aliases=["eval"],
                             help="compute certain answers")
@@ -466,6 +526,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--program", help="Datalog(≠) program file to lint")
     p_lint.add_argument("--format", choices=["text", "json"], default="text")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect JSONL traces written by --trace "
+                      "(see docs/observability.md)")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="top spans by self-time, per-engine and "
+                          "per-rung breakdowns")
+    p_tsum.add_argument("trace_file")
+    p_tsum.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows in the top-spans table (default 10)")
+    p_tsum.add_argument("--format", choices=["text", "json"], default="text")
+    p_tsum.set_defaults(func=cmd_trace_summarize)
 
     p_fig = sub.add_parser("figure1", help="print the Figure-1 map")
     p_fig.set_defaults(func=cmd_figure1)

@@ -12,6 +12,7 @@ from typing import Iterator
 
 from ..logic.instance import Interpretation
 from ..logic.syntax import Atom, Element, Var
+from ..obs import current_tracer
 from .program import Neq, Program, Rule
 
 
@@ -64,39 +65,56 @@ def _fire(rule: Rule, env: dict[Var, Element]) -> Atom:
 
 
 def evaluate(program: Program, instance: Interpretation,
-             semi_naive: bool = True) -> Interpretation:
+             semi_naive: bool = True, tracer=None) -> Interpretation:
     """Compute the least fixpoint of the program over the instance.
 
     Returns the instance extended with all derived IDB facts (including
-    goal facts).
+    goal facts).  *tracer* (a :class:`repro.obs.Tracer`) defaults to the
+    ambient :func:`repro.obs.current_tracer`; every fixpoint round becomes
+    a ``datalog.round`` span recording its delta size.
     """
+    if tracer is None:
+        tracer = current_tracer()
     facts = instance.copy()
-    if semi_naive:
-        delta = facts.copy()
-        while len(delta):
-            new_delta = Interpretation()
-            for rule in program.rules:
-                for env in _match_body(rule, facts, delta):
-                    fact = _fire(rule, env)
-                    if fact not in facts:
-                        new_delta.add(fact)
-            for fact in new_delta:
-                facts.add(fact)
-            delta = new_delta
-    else:
-        changed = True
-        while changed:
-            changed = False
-            fresh: list[Atom] = []
-            for rule in program.rules:
-                for env in _match_body(rule, facts, None):
-                    fact = _fire(rule, env)
-                    if fact not in facts:
-                        fresh.append(fact)
-            for fact in fresh:
-                if fact not in facts:
-                    facts.add(fact)
-                    changed = True
+    rounds = 0
+    with tracer.span("datalog.evaluate", rules=len(program.rules),
+                     semi_naive=semi_naive, edb=len(facts)) as span:
+        if semi_naive:
+            delta = facts.copy()
+            while len(delta):
+                rounds += 1
+                with tracer.span("datalog.round", round=rounds) as rspan:
+                    new_delta = Interpretation()
+                    for rule in program.rules:
+                        for env in _match_body(rule, facts, delta):
+                            fact = _fire(rule, env)
+                            if fact not in facts:
+                                new_delta.add(fact)
+                    for fact in new_delta:
+                        facts.add(fact)
+                    delta = new_delta
+                    rspan.set(delta=len(new_delta))
+        else:
+            changed = True
+            while changed:
+                rounds += 1
+                with tracer.span("datalog.round", round=rounds) as rspan:
+                    changed = False
+                    fresh: list[Atom] = []
+                    for rule in program.rules:
+                        for env in _match_body(rule, facts, None):
+                            fact = _fire(rule, env)
+                            if fact not in facts:
+                                fresh.append(fact)
+                    derived = 0
+                    for fact in fresh:
+                        if fact not in facts:
+                            facts.add(fact)
+                            derived += 1
+                            changed = True
+                    rspan.set(delta=derived)
+        span.set(rounds=rounds, facts=len(facts),
+                 derived=len(facts) - len(instance))
     return facts
 
 

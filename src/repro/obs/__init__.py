@@ -1,0 +1,29 @@
+"""repro.obs — dependency-free observability for the engine stack.
+
+The dichotomy (Thm. 7) means per-instance cost is bimodal: the same OMQ
+answers one instance in microseconds (a cheap chase rung) and stalls on
+the next (an escalation through the ladder into CDCL).  This package makes
+that visible:
+
+* :mod:`~repro.obs.trace` — :class:`Tracer`/:class:`Span`: hierarchical,
+  monotonic-clock spans with a context-manager API, a thread-local
+  :func:`current_tracer` for ambient propagation through the solver seams,
+  deterministic cross-process :meth:`Tracer.merge`, and JSONL export.  A
+  disabled tracer is a shared no-op object with near-zero overhead
+  (gated in CI by ``benchmarks/bench_serving.py --smoke``).
+* :mod:`~repro.obs.summarize` — self-time aggregation per span name,
+  per engine (chase / cdcl / sat / datalog / ladder / serving) and per
+  escalation rung; backs ``python -m repro trace summarize``.
+
+Surfaced on the CLI as ``--trace FILE`` on ``repro evaluate`` /
+``repro batch`` and the ``repro trace summarize`` subcommand; see
+``docs/observability.md``.
+"""
+
+from .summarize import load_trace, render_summary, summarize_spans
+from .trace import NULL_SPAN, NULL_TRACER, Span, Tracer, current_tracer
+
+__all__ = [
+    "NULL_SPAN", "NULL_TRACER", "Span", "Tracer", "current_tracer",
+    "load_trace", "render_summary", "summarize_spans",
+]

@@ -1,0 +1,165 @@
+"""Trace analysis: self-time per span name, per engine and per rung.
+
+A raw JSONL trace answers "what ran"; this module answers "where did the
+time go".  The key statistic is **self-time**: a span's elapsed time minus
+the elapsed time of its direct children, i.e. the time genuinely spent at
+that level rather than delegated downward.  Summing self-time over any
+trace never double-counts, so the per-engine breakdown is an honest
+decomposition of the wall clock.
+
+Spans are attributed to engines by name prefix:
+
+==============  ============================================
+``chase*``      the disjunctive chase
+``cdcl*``       the CDCL SAT solver
+``sat*``        grounding + countermodel search (non-solver)
+``datalog*``    the Datalog(≠) semi-naive engine
+``rung*``       escalation-ladder bookkeeping
+``plan*``       serving-layer compile/evaluate overhead
+``batch*``      batch-driver overhead
+everything else  ``other``
+==============  ============================================
+
+Used by ``python -m repro trace summarize FILE``; see
+``docs/observability.md`` for the span model and a worked example of
+reading an escalation to CDCL.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+__all__ = ["load_trace", "summarize_spans", "render_summary"]
+
+_ENGINE_PREFIXES = (
+    ("chase", "chase"),
+    ("cdcl", "cdcl"),
+    ("sat", "sat"),
+    ("datalog", "datalog"),
+    ("rung", "ladder"),
+    ("certain", "ladder"),
+    ("plan", "serving"),
+    ("batch", "serving"),
+)
+
+
+def _engine_of(name: str) -> str:
+    for prefix, engine in _ENGINE_PREFIXES:
+        if name == prefix or name.startswith(prefix + "."):
+            return engine
+    return "other"
+
+
+def load_trace(path) -> list[dict[str, Any]]:
+    """Load a JSONL trace; raises ValueError on malformed lines."""
+    spans: list[dict[str, Any]] = []
+    text = Path(path).read_text()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            span = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"{path}: line {lineno}: invalid JSON: {exc}")
+        if not isinstance(span, dict) or "span_id" not in span or "name" not in span:
+            raise ValueError(
+                f"{path}: line {lineno}: not a span object "
+                f"(need at least span_id and name)")
+        spans.append(span)
+    return spans
+
+
+def summarize_spans(spans: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Aggregate a span list into a JSON-able summary (see module doc)."""
+    spans = list(spans)
+    child_elapsed: dict[Any, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_elapsed[parent] = (child_elapsed.get(parent, 0.0)
+                                     + float(span.get("elapsed", 0.0)))
+
+    by_name: dict[str, dict[str, Any]] = {}
+    engines: dict[str, float] = {}
+    rungs: dict[tuple[str, Any], dict[str, Any]] = {}
+    failed = 0
+    wall = 0.0
+    for span in spans:
+        name = str(span["name"])
+        elapsed = float(span.get("elapsed", 0.0))
+        self_time = max(0.0, elapsed - child_elapsed.get(span["span_id"], 0.0))
+        entry = by_name.setdefault(
+            name, {"count": 0, "total_s": 0.0, "self_s": 0.0, "failed": 0})
+        entry["count"] += 1
+        entry["total_s"] += elapsed
+        entry["self_s"] += self_time
+        if span.get("status") == "failed":
+            entry["failed"] += 1
+            failed += 1
+        engine = _engine_of(name)
+        engines[engine] = engines.get(engine, 0.0) + self_time
+        if span.get("parent_id") is None:
+            wall += elapsed
+        if name.startswith("rung."):
+            bound = (span.get("attrs") or {}).get("bound")
+            rung = rungs.setdefault((name, bound), {
+                "rung": name.split(".", 1)[1], "bound": bound,
+                "count": 0, "total_s": 0.0, "failed": 0})
+            rung["count"] += 1
+            rung["total_s"] += elapsed
+            if span.get("status") == "failed":
+                rung["failed"] += 1
+
+    def rounded(d: dict[str, Any]) -> dict[str, Any]:
+        return {k: round(v, 6) if isinstance(v, float) else v
+                for k, v in d.items()}
+
+    return {
+        "spans": len(spans),
+        "failed": failed,
+        "wall_seconds": round(wall, 6),
+        "by_name": {name: rounded(entry)
+                    for name, entry in sorted(by_name.items())},
+        "engines": {engine: round(seconds, 6)
+                    for engine, seconds in sorted(engines.items())},
+        "rungs": [rounded(rungs[key])
+                  for key in sorted(rungs, key=lambda k: (k[0], repr(k[1])))],
+    }
+
+
+def render_summary(summary: Mapping[str, Any], top: int = 10) -> str:
+    """The human-readable report behind ``repro trace summarize``."""
+    lines = [
+        f"trace: {summary['spans']} span(s), {summary['failed']} failed, "
+        f"wall {summary['wall_seconds']:.4f}s",
+    ]
+    by_name = summary.get("by_name", {})
+    if by_name:
+        lines.append(f"top {min(top, len(by_name))} span name(s) by self-time:")
+        ranked = sorted(by_name.items(),
+                        key=lambda kv: kv[1]["self_s"], reverse=True)
+        for name, entry in ranked[:top]:
+            flag = f"  ({entry['failed']} failed)" if entry["failed"] else ""
+            lines.append(
+                f"  {name:<20} count={entry['count']:<5} "
+                f"total={entry['total_s']:.4f}s self={entry['self_s']:.4f}s"
+                f"{flag}")
+    engines = summary.get("engines", {})
+    if engines:
+        lines.append("per-engine self-time:")
+        for engine, seconds in sorted(engines.items(),
+                                      key=lambda kv: kv[1], reverse=True):
+            lines.append(f"  {engine:<10} {seconds:.4f}s")
+    rungs = summary.get("rungs", [])
+    if rungs:
+        lines.append("escalation rungs:")
+        for rung in rungs:
+            flag = f"  ({rung['failed']} failed)" if rung["failed"] else ""
+            lines.append(
+                f"  {rung['rung']:<6} bound={rung['bound']!s:<4} "
+                f"attempts={rung['count']:<5} total={rung['total_s']:.4f}s"
+                f"{flag}")
+    return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""Dependency-free hierarchical tracing for the engine stack.
+
+The paper's PTIME/coNP dichotomy (Thm. 7) makes per-instance cost wildly
+bimodal, so "the batch is slow" is not actionable without knowing *where*
+time went: which chase run, which CDCL solve, which escalation rung.  A
+:class:`Tracer` records a tree of :class:`Span`\\ s — named, monotonic-clock
+timed intervals with parent/child links and free-form attributes — and
+exports them as JSONL (one span object per line, loadable by
+:func:`repro.obs.summarize.load_trace`).
+
+Design constraints, in order:
+
+1. **A disabled tracer is a no-op.**  ``Tracer(enabled=False)`` (and the
+   module singleton :data:`NULL_TRACER`) hands out one shared, stateless
+   null span; entering it costs an attribute lookup and nothing else, so
+   instrumented engine loops run at full speed when nobody is tracing.
+2. **Ambient propagation.**  Engine internals (chase, CDCL, Datalog, the
+   escalation ladder) fetch the active tracer via :func:`current_tracer`
+   — a thread-local set by :meth:`Tracer.activate` — so tracing needs no
+   new parameters on every solver signature.
+3. **Process-boundary friendly.**  Worker processes trace into their own
+   tracers and ship ``to_dicts()`` back; :meth:`Tracer.merge` re-ids the
+   spans deterministically, so a ``--jobs N`` batch produces the same span
+   tree as ``--jobs 1``.
+4. **Thread safety.**  Span allocation and the finished-span list are
+   lock-protected; the active-span stack is per-thread, so spans opened
+   from concurrent threads nest correctly within their own thread.
+
+Span statuses: ``ok`` or ``failed`` (an exception escaped the span, or
+:meth:`Span.fail` was called — e.g. a budget-starved rung).  Exceptions
+are never swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "Span", "Tracer", "NULL_TRACER", "NULL_SPAN", "current_tracer",
+]
+
+
+class Span:
+    """One timed interval in a trace tree (use as a context manager)."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "start", "end",
+                 "attrs", "status", "error")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, Any]):
+        self.tracer = tracer
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.name = name
+        self.start: float = 0.0
+        self.end: float | None = None
+        self.attrs = attrs
+        self.status = "ok"
+        self.error: str | None = None
+
+    # -- recording -----------------------------------------------------------
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+
+    def fail(self, error: str) -> None:
+        """Mark the span failed without raising (e.g. a caught fault)."""
+        self.status = "failed"
+        self.error = error
+
+    @property
+    def elapsed(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.status = "failed"
+            self.error = f"{exc_type.__name__}: {exc}"
+        self.tracer._close(self)
+        return False  # never swallow exceptions
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 9),
+            "end": round(self.end, 9) if self.end is not None else None,
+            "elapsed": round(self.elapsed, 9),
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.span_id} {self.name!r} parent={self.parent_id} "
+                f"{self.status} {self.elapsed:.6f}s>")
+
+
+class _NullSpan:
+    """The shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def fail(self, error: str) -> None:
+        pass
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """A thread-safe collector of finished spans (see module docstring)."""
+
+    def __init__(self, enabled: bool = True,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.enabled = enabled
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._finished: list[Span] = []
+        self._merged: list[dict[str, Any]] = []
+        self._stacks = threading.local()
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """A new span; nests under the thread's innermost open span."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.parent_id = stack[-1] if stack else None
+        stack.append(span.span_id)
+        span.start = self._clock()
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        stack = self._stack()
+        # Pop back to this span (robust against missed exits in between).
+        while stack and stack[-1] != span.span_id:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+
+    # -- activation (ambient propagation) ------------------------------------
+
+    def activate(self) -> "_Activation":
+        """Make this the thread's :func:`current_tracer` inside a ``with``."""
+        return _Activation(self)
+
+    # -- export / merge ------------------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All finished spans as JSON-able dicts, in span-id order."""
+        with self._lock:
+            own = [s.to_dict() for s in self._finished]
+            merged = [dict(d) for d in self._merged]
+        return sorted(own + merged, key=lambda d: d["span_id"])
+
+    def merge(self, span_dicts: Iterable[Mapping[str, Any]],
+              parent_id: int | None = None) -> None:
+        """Fold spans exported by another tracer (e.g. a worker process).
+
+        Span ids are rebased past this tracer's counter — deterministically,
+        so merging worker traces in job order yields the same ids whatever
+        the worker count — and parent links are remapped.  Roots of the
+        merged forest are re-parented under *parent_id* (or stay roots).
+        """
+        span_dicts = [dict(d) for d in span_dicts]
+        if not self.enabled or not span_dicts:
+            return
+        with self._lock:
+            remap: dict[int, int] = {}
+            for d in span_dicts:
+                remap[d["span_id"]] = self._next_id
+                self._next_id += 1
+            for d in span_dicts:
+                d["span_id"] = remap[d["span_id"]]
+                old_parent = d.get("parent_id")
+                d["parent_id"] = (remap[old_parent]
+                                  if old_parent in remap else parent_id)
+                self._merged.append(d)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(d, sort_keys=True)
+                         for d in self.to_dicts())
+
+    def export(self, path) -> int:
+        """Write the trace as JSONL; returns the number of spans written.
+
+        The file is written in one shot *after* tracing finished, so a
+        fault-injected or budget-starved run still produces a complete,
+        loadable trace (failed spans, never a truncated file).
+        """
+        dicts = self.to_dicts()
+        with open(path, "w") as fh:
+            for d in dicts:
+                fh.write(json.dumps(d, sort_keys=True) + "\n")
+        return len(dicts)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished) + len(self._merged)
+
+    def counts(self) -> dict[str, int]:
+        """Finished-span counts per name (stable for 1-vs-N comparisons)."""
+        out: dict[str, int] = {}
+        for d in self.to_dicts():
+            out[d["name"]] = out.get(d["name"], 0) + 1
+        return dict(sorted(out.items()))
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Tracer {state}, {len(self)} span(s)>"
+
+
+#: The process-wide disabled tracer: every un-traced evaluation uses it.
+NULL_TRACER = Tracer(enabled=False)
+
+
+_ACTIVE = threading.local()
+
+
+def current_tracer() -> Tracer:
+    """The thread's active tracer; :data:`NULL_TRACER` when none is."""
+    return getattr(_ACTIVE, "tracer", NULL_TRACER)
+
+
+class _Activation:
+    """Context manager installing a tracer as the thread's current one."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = getattr(_ACTIVE, "tracer", None)
+        _ACTIVE.tracer = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._previous is None:
+            del _ACTIVE.tracer
+        else:
+            _ACTIVE.tracer = self._previous
+        return False

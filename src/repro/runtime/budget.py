@@ -43,7 +43,12 @@ class BudgetExceeded(RuntimeError):
 
 @dataclass(frozen=True)
 class ResourceUsage:
-    """A point-in-time snapshot of what a budget's holders consumed."""
+    """A point-in-time snapshot of what a budget's holders consumed.
+
+    ``phases`` decomposes ``elapsed`` into named per-engine phases
+    (``chase``, ``sat``, ...) accumulated by the escalation ladder; it is
+    None when no phase ever reported.
+    """
 
     elapsed: float
     chase_steps: int
@@ -51,9 +56,10 @@ class ResourceUsage:
     conflicts: int
     backtracks: int
     solver_runs: int
+    phases: Mapping[str, float] | None = None
 
-    def to_dict(self) -> dict[str, float | int]:
-        return {
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
             "elapsed_seconds": round(self.elapsed, 6),
             "chase_steps": self.chase_steps,
             "nulls": self.nulls,
@@ -61,6 +67,12 @@ class ResourceUsage:
             "backtracks": self.backtracks,
             "solver_runs": self.solver_runs,
         }
+        if self.phases:
+            out["phases"] = {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.phases.items())
+            }
+        return out
 
 
 _SPEC_KEYS = ("timeout", "chase_steps", "nulls", "conflicts", "backtracks")
@@ -113,6 +125,7 @@ class Budget:
         self.spent_conflicts = 0
         self.spent_backtracks = 0
         self.solver_runs = 0
+        self.phase_seconds: dict[str, float] = {}
         self._stride = 0
 
     # -- introspection -------------------------------------------------------
@@ -138,6 +151,11 @@ class Budget:
             return self.timeout
         return max(0.0, self.deadline - self._clock())
 
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Attribute *seconds* of wall time to the named phase (``chase``,
+        ``sat``, ...); totals surface in :attr:`ResourceUsage.phases`."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
     def usage(self) -> ResourceUsage:
         return ResourceUsage(
             elapsed=self.elapsed(),
@@ -146,6 +164,7 @@ class Budget:
             conflicts=self.spent_conflicts,
             backtracks=self.spent_backtracks,
             solver_runs=self.solver_runs,
+            phases=dict(self.phase_seconds) or None,
         )
 
     # -- checkpoints ---------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..analysis.sanitizers import cdcl_sanitizer
+from ..obs import current_tracer
 from ..runtime import Budget
 
 
@@ -196,55 +197,76 @@ class Solver:
         :class:`repro.runtime.BudgetExceeded` on deadline expiry or
         conflict-limit exhaustion.
         """
-        if not self.ok:
-            return None
-        conflicts = 0
-        restart_limit = 64
-        since_restart = 0
-        while True:
-            conflict = self._propagate()
-            if conflict is not None:
-                conflicts += 1
-                since_restart += 1
+        # One span per solve; the decide/propagate/conflict loop reports
+        # its counters as span attributes, and a BudgetExceeded escaping
+        # the block marks the span failed (repro.obs).
+        with current_tracer().span(
+                "cdcl.solve", vars=self.num_vars,
+                clauses=len(self.clauses)) as span:
+            if not self.ok:
+                span.set(result="unsat", conflicts=0, decisions=0, restarts=0)
+                return None
+            conflicts = 0
+            decisions = 0
+            restarts = 0
+            restart_limit = 64
+            since_restart = 0
+
+            def finish(result: str) -> None:
+                span.set(result=result, conflicts=conflicts,
+                         decisions=decisions, restarts=restarts,
+                         learnt=len(self.clauses))
+
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    conflicts += 1
+                    since_restart += 1
+                    if budget is not None:
+                        budget.tick_conflict()
+                    if max_conflicts is not None and conflicts > max_conflicts:
+                        finish("aborted")
+                        raise RuntimeError("CDCL conflict budget exceeded")
+                    if not self.trail_lim:
+                        finish("unsat")
+                        return None  # conflict at level 0: UNSAT
+                    learnt, back = self._analyze(conflict)
+                    self._backtrack(back)
+                    if self._san:
+                        self._san.check_learned(self, learnt, back)
+                    if len(learnt) == 1:
+                        if not self._enqueue(learnt[0], None):
+                            finish("unsat")
+                            return None
+                    else:
+                        idx = len(self.clauses)
+                        self.clauses.append(learnt)
+                        self.watches.setdefault(-learnt[0], []).append(idx)
+                        self.watches.setdefault(-learnt[1], []).append(idx)
+                        self._enqueue(learnt[0], learnt)
+                    self.var_inc *= 1.05
+                    if since_restart >= restart_limit:
+                        since_restart = 0
+                        restarts += 1
+                        restart_limit = int(restart_limit * 1.5)
+                        self._backtrack(0)
+                    continue
                 if budget is not None:
-                    budget.tick_conflict()
-                if max_conflicts is not None and conflicts > max_conflicts:
-                    raise RuntimeError("CDCL conflict budget exceeded")
-                if not self.trail_lim:
-                    return None  # conflict at level 0: UNSAT
-                learnt, back = self._analyze(conflict)
-                self._backtrack(back)
-                if self._san:
-                    self._san.check_learned(self, learnt, back)
-                if len(learnt) == 1:
-                    if not self._enqueue(learnt[0], None):
-                        return None
-                else:
-                    idx = len(self.clauses)
-                    self.clauses.append(learnt)
-                    self.watches.setdefault(-learnt[0], []).append(idx)
-                    self.watches.setdefault(-learnt[1], []).append(idx)
-                    self._enqueue(learnt[0], learnt)
-                self.var_inc *= 1.05
-                if since_restart >= restart_limit:
-                    since_restart = 0
-                    restart_limit = int(restart_limit * 1.5)
-                    self._backtrack(0)
-                continue
-            if budget is not None:
-                budget.poll("cdcl.decide")
-            lit = self._decide()
-            if lit == 0:
-                if self._san:
-                    self._san.check_trail(self)
-                    self._san.check_watches(self)
-                    self._san.check_model(self)
-                return {
-                    v: self.assign[v] == 1
-                    for v in range(1, self.num_vars + 1)
-                }
-            self.trail_lim.append(len(self.trail))
-            self._enqueue(lit, None)
+                    budget.poll("cdcl.decide")
+                lit = self._decide()
+                if lit == 0:
+                    if self._san:
+                        self._san.check_trail(self)
+                        self._san.check_watches(self)
+                        self._san.check_model(self)
+                    finish("sat")
+                    return {
+                        v: self.assign[v] == 1
+                        for v in range(1, self.num_vars + 1)
+                    }
+                decisions += 1
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
 
 
 def solve_cnf(num_vars: int, clauses: Iterable[Sequence[int]],

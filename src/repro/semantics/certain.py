@@ -27,12 +27,14 @@ used by the decision procedures of Section 8).
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Literal, Sequence
 
 from ..logic.instance import Interpretation
 from ..logic.ontology import Ontology
 from ..logic.syntax import Atom, Element
+from ..obs import current_tracer
 from ..queries.cq import CQ, UCQ
 from ..runtime import (
     Attempt, Budget, BudgetExceeded, Outcome, Verdict, chase_rungs, sat_rungs,
@@ -162,7 +164,32 @@ class CertainEngine:
         whose boolean result equals *sat_terminal* is definitive (a concrete
         (counter)model was found), the final rung's other answer is
         bound-relative.  Budget exhaustion yields verdict UNKNOWN.
+
+        Observability: the whole decision is one ``certain.decide`` span,
+        each rung a ``rung.chase``/``rung.sat`` child span (failed rungs —
+        budget expiry, chase errors — are marked as such), and per-phase
+        wall time is accumulated on the budget so it lands in
+        ``Outcome.usage.phases`` even with tracing disabled.
         """
+        with current_tracer().span("certain.decide") as span:
+            outcome, payload = self._decide_rungs(
+                budget, chase_step, sat_step, sat_terminal,
+                chase_reasons, sat_reasons)
+            span.set(verdict=outcome.verdict.value, engine=outcome.engine,
+                     definitive=outcome.definitive,
+                     rungs=len(outcome.attempts))
+            return outcome, payload
+
+    def _decide_rungs(
+        self,
+        budget: Budget,
+        chase_step: _ChaseStep,
+        sat_step: _SatStep,
+        sat_terminal: bool,
+        chase_reasons: dict[str, str],
+        sat_reasons: tuple[str, str],
+    ) -> tuple[Outcome, Interpretation | None]:
+        tracer = current_tracer()
         attempts: list[Attempt] = []
         fallback: str | None = None
 
@@ -172,55 +199,72 @@ class CertainEngine:
 
         if self.uses_chase:
             for depth in chase_rungs(self.chase_depth, budget.escalate):
-                try:
-                    budget.check_deadline("certain.chase")
-                    verdict, payload = chase_step(depth)
-                except ChaseError as exc:
-                    attempts.append(Attempt("chase", depth, "error", str(exc)))
-                    fallback = f"chase error at depth {depth}: {exc}"
-                    break
-                except BudgetExceeded as exc:
-                    attempts.append(Attempt("chase", depth, "budget", str(exc)))
-                    if exc.resource == "deadline":
-                        return exhausted(exc)
-                    fallback = f"chase budget exhausted at depth {depth}: {exc}"
-                    break
-                if verdict in ("yes", "no"):
-                    attempts.append(Attempt("chase", depth, verdict))
-                    outcome = Outcome(
-                        verdict=Verdict.YES if verdict == "yes" else Verdict.NO,
-                        definitive=True,
-                        engine="chase",
-                        reason=chase_reasons[verdict],
-                        fallback=None,
-                        attempts=tuple(attempts),
-                        usage=budget.usage(),
-                    )
-                    return outcome, payload
-                attempts.append(Attempt("chase", depth, "truncated"))
-                fallback = f"chase truncated at depth {depth}"
+                rung_start = time.perf_counter()
+                with tracer.span("rung.chase", bound=depth) as rung:
+                    try:
+                        try:
+                            budget.check_deadline("certain.chase")
+                            verdict, payload = chase_step(depth)
+                        finally:
+                            budget.add_phase(
+                                "chase", time.perf_counter() - rung_start)
+                    except ChaseError as exc:
+                        rung.fail(f"chase error: {exc}")
+                        attempts.append(Attempt("chase", depth, "error", str(exc)))
+                        fallback = f"chase error at depth {depth}: {exc}"
+                        break
+                    except BudgetExceeded as exc:
+                        rung.fail(f"budget: {exc}")
+                        attempts.append(Attempt("chase", depth, "budget", str(exc)))
+                        if exc.resource == "deadline":
+                            return exhausted(exc)
+                        fallback = f"chase budget exhausted at depth {depth}: {exc}"
+                        break
+                    rung.set(result=verdict)
+                    if verdict in ("yes", "no"):
+                        attempts.append(Attempt("chase", depth, verdict))
+                        outcome = Outcome(
+                            verdict=Verdict.YES if verdict == "yes" else Verdict.NO,
+                            definitive=True,
+                            engine="chase",
+                            reason=chase_reasons[verdict],
+                            fallback=None,
+                            attempts=tuple(attempts),
+                            usage=budget.usage(),
+                        )
+                        return outcome, payload
+                    attempts.append(Attempt("chase", depth, "truncated"))
+                    fallback = f"chase truncated at depth {depth}"
 
         payload: Interpretation | None = None
         holds = sat_terminal  # placeholder; overwritten below
         rungs = sat_rungs(self.sat_extra, budget.escalate)
         for extra in rungs:
-            try:
-                budget.check_deadline("certain.sat")
-                holds, payload = sat_step(extra)
-            except BudgetExceeded as exc:
-                attempts.append(Attempt("sat", extra, "budget", str(exc)))
-                return exhausted(exc)
-            attempts.append(Attempt("sat", extra, "yes" if holds else "no"))
-            if holds == sat_terminal:
-                return Outcome(
-                    verdict=Verdict.YES if holds else Verdict.NO,
-                    definitive=True,
-                    engine="sat",
-                    reason=sat_reasons[0],
-                    fallback=fallback,
-                    attempts=tuple(attempts),
-                    usage=budget.usage(),
-                ), payload
+            rung_start = time.perf_counter()
+            with tracer.span("rung.sat", bound=extra) as rung:
+                try:
+                    try:
+                        budget.check_deadline("certain.sat")
+                        holds, payload = sat_step(extra)
+                    finally:
+                        budget.add_phase(
+                            "sat", time.perf_counter() - rung_start)
+                except BudgetExceeded as exc:
+                    rung.fail(f"budget: {exc}")
+                    attempts.append(Attempt("sat", extra, "budget", str(exc)))
+                    return exhausted(exc)
+                rung.set(result="yes" if holds else "no")
+                attempts.append(Attempt("sat", extra, "yes" if holds else "no"))
+                if holds == sat_terminal:
+                    return Outcome(
+                        verdict=Verdict.YES if holds else Verdict.NO,
+                        definitive=True,
+                        engine="sat",
+                        reason=sat_reasons[0],
+                        fallback=fallback,
+                        attempts=tuple(attempts),
+                        usage=budget.usage(),
+                    ), payload
         # The final rung's non-terminal answer: definitive only relative to
         # the domain bound.
         return Outcome(

@@ -32,6 +32,7 @@ from ..analysis.sanitizers import chase_sanitizer
 from ..logic.instance import Interpretation
 from ..logic.ontology import Ontology
 from ..logic.syntax import Atom, Const, Element, Null, Var
+from ..obs import current_tracer
 from ..queries.cq import CQ, UCQ
 from ..runtime import Budget
 from .rules import DisjunctiveRule, Head, convert_ontology
@@ -231,63 +232,74 @@ def chase(
         san.check_branch(initial, onto, max_depth, base_dom)
     pending = [initial]
     done: list[Branch] = []
+    steps = 0
 
-    while pending:
-        branch = pending.pop()
-        if budget is not None:
-            budget.check_deadline("chase")
-        if not branch.consistent:
-            done.append(branch)
-            continue
-        if len(branch.interp) > max_facts:
-            raise ChaseError(f"branch exceeded {max_facts} facts")
-        fired = False
-        domain = sorted(branch.interp.dom(), key=repr)
-        for rule in rules:
-            frontier = sorted(rule.frontier_vars())
-            for env in _rule_matches(rule, branch.interp, domain, frontier):
-                if any(_head_satisfied(h, branch.interp, env) for h in rule.heads):
-                    continue
-                if rule.is_constraint():
-                    branch.consistent = False
+    # One span per chase run; a BudgetExceeded/ChaseError escaping the
+    # block marks the span failed on the way out (repro.obs).
+    with current_tracer().span("chase", depth=max_depth) as span:
+        while pending:
+            branch = pending.pop()
+            if budget is not None:
+                budget.check_deadline("chase")
+            if not branch.consistent:
+                done.append(branch)
+                continue
+            if len(branch.interp) > max_facts:
+                raise ChaseError(f"branch exceeded {max_facts} facts")
+            fired = False
+            domain = sorted(branch.interp.dom(), key=repr)
+            for rule in rules:
+                frontier = sorted(rule.frontier_vars())
+                for env in _rule_matches(rule, branch.interp, domain, frontier):
+                    if any(_head_satisfied(h, branch.interp, env) for h in rule.heads):
+                        continue
+                    if rule.is_constraint():
+                        branch.consistent = False
+                        fired = True
+                        break
+                    # Truncation: creating nulls beyond the depth bound (the
+                    # ``chase_truncate`` fault site forces the same path).
+                    trigger_depth = max(
+                        (branch.depth.get(e, 0) for e in env.values()), default=0)
+                    needs_nulls = any(h.exist_vars for h in rule.heads)
+                    if needs_nulls and (
+                            trigger_depth + 1 > max_depth
+                            or (budget is not None
+                                and budget.inject("chase_truncate"))):
+                        branch.complete = False
+                        continue
+                    steps += 1
+                    if budget is not None:
+                        budget.tick_chase_step()
+                        if needs_nulls:
+                            budget.tick_nulls(sum(
+                                len(h.exist_vars) * h.count for h in rule.heads))
+                    if san:
+                        san.check_firing(rule, branch.interp, env)
+                    successors = []
+                    for head in rule.heads:
+                        succ = branch.clone()
+                        _apply_head(succ, head, env)
+                        _enforce_functionality(succ, onto)
+                        if san and succ.consistent:
+                            san.check_branch(succ, onto, max_depth, base_dom)
+                        successors.append(succ)
+                    if len(done) + len(pending) + len(successors) > max_branches:
+                        raise ChaseError(f"more than {max_branches} chase branches")
+                    pending.extend(successors)
                     fired = True
                     break
-                # Truncation: creating nulls beyond the depth bound (the
-                # ``chase_truncate`` fault site forces the same path).
-                trigger_depth = max(
-                    (branch.depth.get(e, 0) for e in env.values()), default=0)
-                needs_nulls = any(h.exist_vars for h in rule.heads)
-                if needs_nulls and (
-                        trigger_depth + 1 > max_depth
-                        or (budget is not None
-                            and budget.inject("chase_truncate"))):
-                    branch.complete = False
-                    continue
-                if budget is not None:
-                    budget.tick_chase_step()
-                    if needs_nulls:
-                        budget.tick_nulls(sum(
-                            len(h.exist_vars) * h.count for h in rule.heads))
-                if san:
-                    san.check_firing(rule, branch.interp, env)
-                successors = []
-                for head in rule.heads:
-                    succ = branch.clone()
-                    _apply_head(succ, head, env)
-                    _enforce_functionality(succ, onto)
-                    if san and succ.consistent:
-                        san.check_branch(succ, onto, max_depth, base_dom)
-                    successors.append(succ)
-                if len(done) + len(pending) + len(successors) > max_branches:
-                    raise ChaseError(f"more than {max_branches} chase branches")
-                pending.extend(successors)
-                fired = True
-                break
-            if fired:
-                break
-        if not fired:
-            done.append(branch)
+                if fired:
+                    break
+            if not fired:
+                done.append(branch)
 
+        span.set(
+            steps=steps,
+            branches=len(done),
+            consistent=sum(1 for b in done if b.consistent),
+            truncated=any(not b.complete for b in done),
+        )
     return ChaseResult(branches=done, rules=rules, max_depth=max_depth)
 
 

@@ -20,6 +20,7 @@ from typing import Sequence
 from ..logic.instance import Interpretation, fresh_nulls
 from ..logic.ontology import Ontology
 from ..logic.syntax import Element, Formula, Not, Or, substitute
+from ..obs import current_tracer
 from ..queries.cq import CQ, UCQ
 from ..runtime import Budget
 from .sat import CNF, add_formula, dpll, ground, model_to_interpretation
@@ -55,23 +56,29 @@ def find_model(
     domain += fresh_nulls("m", extra, avoid=base.dom())
     if not domain:
         return None
-    cnf = CNF()
-    for fact in base:
-        cnf.add_clause([cnf.atom_var((fact.pred, tuple(fact.args)))])
-    for sentence in onto.all_sentences():
+    # The span's *self*-time is the grounding cost; the nested cdcl.solve
+    # span accounts for the solver (repro.obs).
+    with current_tracer().span("sat.search", extra=extra,
+                               domain=len(domain)) as span:
+        cnf = CNF()
+        for fact in base:
+            cnf.add_clause([cnf.atom_var((fact.pred, tuple(fact.args)))])
+        for sentence in onto.all_sentences():
+            if budget is not None:
+                budget.check_deadline("modelsearch.ground")
+            add_formula(cnf, ground(sentence, domain))
+        if require_true is not None:
+            add_formula(cnf, ground(require_true, domain))
+        if require_false is not None:
+            add_formula(cnf, Not(ground(require_false, domain)))
         if budget is not None:
-            budget.check_deadline("modelsearch.ground")
-        add_formula(cnf, ground(sentence, domain))
-    if require_true is not None:
-        add_formula(cnf, ground(require_true, domain))
-    if require_false is not None:
-        add_formula(cnf, Not(ground(require_false, domain)))
-    if budget is not None:
-        budget.solver_runs += 1
-    assignment = dpll(cnf, budget=budget)
-    if assignment is None:
-        return None
-    return model_to_interpretation(cnf, assignment)
+            budget.solver_runs += 1
+        span.set(vars=cnf.num_vars, clauses=len(cnf.clauses))
+        assignment = dpll(cnf, budget=budget)
+        span.set(model_found=assignment is not None)
+        if assignment is None:
+            return None
+        return model_to_interpretation(cnf, assignment)
 
 
 def is_consistent(onto: Ontology, instance: Interpretation, extra: int = 2,

@@ -37,10 +37,11 @@ from typing import Any, Sequence
 
 from ..logic.instance import Interpretation, make_instance
 from ..logic.ontology import Ontology
+from ..obs import Tracer, current_tracer
 from ..queries.cq import QueryError
 from ..runtime import Budget
 from .cache import AnswerCache, DiskCache, conversion_cache_stats
-from .metrics import Histogram
+from .metrics import Histogram, MetricsRegistry
 from .plan import compile_omq
 
 
@@ -191,8 +192,14 @@ def _execute_job(
     budget: Budget | None,
     options: dict[str, Any],
     answer_cache: AnswerCache | None,
-) -> JobResult:
-    """Run one job in the current process (shared by serial and worker paths)."""
+) -> tuple[JobResult, dict[str, Any] | None]:
+    """Run one job in the current process (shared by serial and worker paths).
+
+    Returns the result plus the job's raw metrics dump (None when the job
+    failed before a plan existed).  Metrics are snapshotted per job — the
+    memoized plan is shared, so leaving them to accumulate on the plan
+    would double-count across jobs and leak across batches.
+    """
     start = time.perf_counter()
 
     def failed(reason: str, status: str = "error") -> JobResult:
@@ -201,40 +208,49 @@ def _execute_job(
             data=job.data_ref(), status=status, verdict=status,
             reason=reason, elapsed=time.perf_counter() - start)
 
-    try:
-        instance = _load_instance(job)
-    except (OSError, ValueError) as exc:
-        return failed(f"data: {exc}")
-    try:
-        plan = compile_omq(
-            onto, job.query,
-            backend=options.get("backend", "auto"),
-            preflight=options.get("preflight", False),
-            chase_depth=options.get("chase_depth", 6),
-            sat_extra=options.get("sat_extra", 3),
-            answer_cache=answer_cache,
-        )
-    except (QueryError, ValueError) as exc:
-        return failed(f"query: {exc}")
-    except Exception as exc:  # LintError from preflight, etc.
-        return failed(f"compile: {exc}")
+    with current_tracer().span("batch.job", index=index,
+                               job=job.job_id) as span:
+        try:
+            instance = _load_instance(job)
+        except (OSError, ValueError) as exc:
+            span.set(status="error")
+            return failed(f"data: {exc}"), None
+        try:
+            plan = compile_omq(
+                onto, job.query,
+                backend=options.get("backend", "auto"),
+                preflight=options.get("preflight", False),
+                chase_depth=options.get("chase_depth", 6),
+                sat_extra=options.get("sat_extra", 3),
+                answer_cache=answer_cache,
+            )
+        except (QueryError, ValueError) as exc:
+            span.set(status="error")
+            return failed(f"query: {exc}"), None
+        except Exception as exc:  # LintError from preflight, etc.
+            span.set(status="error")
+            return failed(f"compile: {exc}"), None
 
-    result = plan.evaluate(instance, budget=budget)
-    outcome = result.outcome
-    return JobResult(
-        index=index, job_id=job.job_id, query=job.query,
-        data=job.data_ref(),
-        status="ok" if result.definitive else "unknown",
-        verdict=result.verdict,
-        answers=result.answers,
-        cache_hit=result.cache_hit,
-        engine=outcome.get("engine") if outcome else None,
-        rungs=len(outcome.get("attempts", ())) if outcome else 0,
-        elapsed=time.perf_counter() - start,
-        reason="" if result.definitive else str(
-            (outcome or {}).get("reason", "resource exhausted")),
-        outcome=outcome,
-    )
+        result = plan.evaluate(instance, budget=budget)
+        metrics_raw = plan.reset_metrics().to_raw()
+        outcome = result.outcome
+        status = "ok" if result.definitive else "unknown"
+        span.set(status=status, verdict=result.verdict,
+                 cache_hit=result.cache_hit)
+        return JobResult(
+            index=index, job_id=job.job_id, query=job.query,
+            data=job.data_ref(),
+            status=status,
+            verdict=result.verdict,
+            answers=result.answers,
+            cache_hit=result.cache_hit,
+            engine=outcome.get("engine") if outcome else None,
+            rungs=len(outcome.get("attempts", ())) if outcome else 0,
+            elapsed=time.perf_counter() - start,
+            reason="" if result.definitive else str(
+                (outcome or {}).get("reason", "resource exhausted")),
+            outcome=outcome,
+        ), metrics_raw
 
 
 # Worker processes reuse one answer cache (and, transitively, the
@@ -253,12 +269,25 @@ def _worker_cache(cache_dir: str | None) -> AnswerCache:
 
 
 def _run_job(payload: tuple) -> dict[str, Any]:
-    """Process-pool entry point: returns the JobResult as a plain dict."""
+    """Process-pool entry point: JobResult + spans + metrics, all plain dicts.
+
+    The worker traces into a fresh per-job :class:`repro.obs.Tracer`
+    (enabled only when the driver's tracer is) and ships the spans back
+    with the result; the driver rebases and merges them in job order so
+    the final trace is identical across worker counts.
+    """
     index, job, onto, budget_kwargs, options = payload
     budget = Budget(**budget_kwargs) if budget_kwargs is not None else None
     cache = _worker_cache(options.get("cache_dir"))
-    result = _execute_job(index, job, onto, budget, options, cache)
-    return result.to_dict()
+    tracer = Tracer(enabled=bool(options.get("trace")))
+    with tracer.activate():
+        result, metrics_raw = _execute_job(
+            index, job, onto, budget, options, cache)
+    return {
+        "result": result.to_dict(),
+        "spans": tracer.to_dicts() if tracer.enabled else [],
+        "metrics": metrics_raw,
+    }
 
 
 def _result_from_dict(data: dict[str, Any]) -> JobResult:
@@ -295,6 +324,7 @@ def evaluate_batch(
     sat_extra: int = 3,
     cache_dir: str | None = None,
     answer_cache: AnswerCache | None = None,
+    tracer: Tracer | None = None,
 ) -> BatchReport:
     """Evaluate a workload of (instance, query) jobs against one ontology.
 
@@ -302,18 +332,27 @@ def evaluate_batch(
     *budget* is split evenly per job (:meth:`repro.runtime.Budget.split`),
     so the whole batch respects one resource envelope.  Results are
     returned in job order and are identical across worker counts.
+
+    *tracer* defaults to the ambient :func:`repro.obs.current_tracer`.
+    Worker processes trace into fresh per-job tracers and ship their spans
+    back with each result; the driver merges them in job order, so span
+    counts match between ``workers=1`` and ``workers=N``.  Per-job metrics
+    travel the same road (raw dumps, merged into ``stats['metrics']``).
     """
+    if tracer is None:
+        tracer = current_tracer()
     if not jobs:
         return BatchReport(results=[], stats={"jobs": 0, "workers": workers})
     wall_start = time.perf_counter()
     options = {
         "backend": backend, "preflight": preflight,
         "chase_depth": chase_depth, "sat_extra": sat_extra,
-        "cache_dir": cache_dir,
+        "cache_dir": cache_dir, "trace": tracer.enabled,
     }
     budgets = (budget.split(len(jobs)) if budget is not None
                else [None] * len(jobs))
 
+    metrics = MetricsRegistry()
     results: list[JobResult]
     if workers <= 1:
         cache = answer_cache
@@ -321,14 +360,18 @@ def evaluate_batch(
             cache = AnswerCache(
                 disk=DiskCache(cache_dir) if cache_dir else None)
         results = []
-        for idx, job in enumerate(jobs):
-            try:
-                results.append(
-                    _execute_job(idx, job, onto, budgets[idx], options, cache))
-            except Exception as exc:
-                # Same contract as the pool path: an unexpected crash takes
-                # down only its own job, never the batch.
-                results.append(crash_result(idx, job, exc))
+        with tracer.activate():
+            for idx, job in enumerate(jobs):
+                try:
+                    result, metrics_raw = _execute_job(
+                        idx, job, onto, budgets[idx], options, cache)
+                    results.append(result)
+                    if metrics_raw is not None:
+                        metrics.merge_raw(metrics_raw)
+                except Exception as exc:
+                    # Same contract as the pool path: an unexpected crash
+                    # takes down only its own job, never the batch.
+                    results.append(crash_result(idx, job, exc))
     else:
         payloads = [
             (idx, job, onto,
@@ -341,11 +384,17 @@ def evaluate_batch(
             futures = [pool.submit(_run_job, p) for p in payloads]
             for idx, future in enumerate(futures):
                 try:
-                    results.append(_result_from_dict(future.result()))
+                    payload = future.result()
                 except Exception as exc:  # worker death, pool breakage
                     # KeyboardInterrupt/SystemExit propagate: a user Ctrl-C
                     # must abort the batch, not drain into per-job crashes.
                     results.append(crash_result(idx, jobs[idx], exc))
+                    continue
+                results.append(_result_from_dict(payload["result"]))
+                if payload.get("spans"):
+                    tracer.merge(payload["spans"])
+                if payload.get("metrics") is not None:
+                    metrics.merge_raw(payload["metrics"])
 
     latency = Histogram("job_seconds")
     for r in results:
@@ -370,6 +419,7 @@ def evaluate_batch(
         "escalation_rungs": sum(max(0, r.rungs - 1) for r in results),
         "distinct_queries": len({r.query for r in results}),
         "latency": latency.summary(),
+        "metrics": metrics.to_dict(),
         "conversion_cache": conversion_cache_stats(),
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
     }

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
@@ -37,54 +38,67 @@ _MISSING = object()
 
 
 class LRUCache:
-    """A bounded mapping with least-recently-used eviction and accounting."""
+    """A bounded mapping with least-recently-used eviction and accounting.
+
+    Thread-safe: the process-global plan and conversion caches built on
+    top of it are hit from engine internals (which may run on caller
+    threads) as well as the batch driver, so every operation — including
+    the read-modify-write recency bump in :meth:`get` — takes the lock.
+    """
 
     def __init__(self, maxsize: int = 256):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._data: OrderedDict[str, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def get(self, key: str, default: Any = None) -> Any:
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: str, value: Any) -> None:
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> dict[str, int | float]:
-        total = self.hits + self.misses
-        return {
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hits / total, 4) if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }
 
 
 class DiskCache:
@@ -99,6 +113,7 @@ class DiskCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.write_errors = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -114,19 +129,31 @@ class DiskCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        """Best-effort write: a failed put is counted, never raised.
+
+        Serialization errors (a non-JSON-able value raises ``TypeError``
+        or ``ValueError`` out of ``json.dump``) are caught like I/O errors
+        — a cache write must never abort an otherwise-successful
+        evaluation — and the temp file is always cleaned up rather than
+        leaked into the cache directory.
+        """
+        tmp: str | None = None
         try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "w") as fh:
                 json.dump(value, fh)
             os.replace(tmp, self._path(key))
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        except (OSError, TypeError, ValueError):
+            self.write_errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
+                "write_errors": self.write_errors,
                 "entries": sum(1 for _ in self.directory.glob("*.json"))}
 
 

@@ -6,10 +6,19 @@ thousands of jobs, not millions of requests) and summarizes them as
 count/min/max/mean/p50/p95.  A :class:`MetricsRegistry` groups both and
 renders the ``stats`` JSON block of batch reports; ``merge`` folds the
 registries returned by worker processes into the parent's.
+
+All three are **thread-safe**: spans and counters are written from engine
+internals (the tracing layer of :mod:`repro.obs`), not just the
+single-threaded batch driver, so increments, observations and registry
+creation take a lock.  Percentiles use the nearest-rank definition
+(``ceil(q*n)``-th smallest observation), so p50 of ``[1, 2, 3, 4]`` is 2
+and p95 of 100 observations is the 95th — not the 96th — ranked value.
 """
 
 from __future__ import annotations
 
+import math
+import threading
 from dataclasses import dataclass, field
 
 
@@ -17,26 +26,38 @@ from dataclasses import dataclass, field
 class Counter:
     name: str
     value: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     def inc(self, by: int = 1) -> None:
-        self.value += by
+        with self._lock:
+            self.value += by
 
 
 @dataclass
 class Histogram:
     name: str
     observations: list[float] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     def observe(self, value: float) -> None:
-        self.observations.append(value)
+        with self._lock:
+            self.observations.append(value)
+
+    def extend(self, values: list[float]) -> None:
+        with self._lock:
+            self.observations.extend(values)
 
     def summary(self) -> dict[str, float | int]:
-        obs = sorted(self.observations)
+        with self._lock:
+            obs = sorted(self.observations)
         if not obs:
             return {"count": 0}
 
         def pct(q: float) -> float:
-            idx = min(len(obs) - 1, int(q * len(obs)))
+            # Nearest-rank: the ceil(q*n)-th smallest value (1-indexed).
+            idx = max(0, math.ceil(q * len(obs)) - 1)
             return obs[idx]
 
         return {
@@ -50,24 +71,44 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """A named bag of counters and histograms."""
+    """A named bag of counters and histograms (thread-safe)."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self.counters: dict[str, Counter] = {}
         self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
-        return self.counters.setdefault(name, Counter(name))
+        with self._lock:
+            return self.counters.setdefault(name, Counter(name))
 
     def histogram(self, name: str) -> Histogram:
-        return self.histograms.setdefault(name, Histogram(name))
+        with self._lock:
+            return self.histograms.setdefault(name, Histogram(name))
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other* into this registry (sums and concatenations)."""
         for name, counter in other.counters.items():
             self.counter(name).inc(counter.value)
         for name, hist in other.histograms.items():
-            self.histogram(name).observations.extend(hist.observations)
+            self.histogram(name).extend(list(hist.observations))
+
+    # -- process-boundary shipping (worker -> batch driver) ------------------
+
+    def to_raw(self) -> dict[str, object]:
+        """A picklable/JSON-able dump preserving raw observations."""
+        return {
+            "counters": {name: c.value for name, c in self.counters.items()},
+            "histograms": {name: list(h.observations)
+                           for name, h in self.histograms.items()},
+        }
+
+    def merge_raw(self, raw: dict[str, object]) -> None:
+        """Fold a :meth:`to_raw` dump (e.g. from a worker process)."""
+        for name, value in (raw.get("counters") or {}).items():  # type: ignore[union-attr]
+            self.counter(name).inc(value)
+        for name, observations in (raw.get("histograms") or {}).items():  # type: ignore[union-attr]
+            self.histogram(name).extend(list(observations))
 
     def to_dict(self) -> dict[str, object]:
         out: dict[str, object] = {

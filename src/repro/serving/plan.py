@@ -29,6 +29,7 @@ from typing import Any, Sequence
 
 from ..logic.instance import Interpretation
 from ..logic.ontology import Ontology
+from ..obs import current_tracer
 from ..queries.cq import CQ, UCQ, parse_cq, parse_ucq
 from ..runtime import Budget, ResourceExhausted
 from ..semantics.certain import Backend, CertainEngine
@@ -119,61 +120,71 @@ class CompiledOMQ:
         Consults the answer cache first; on a miss runs the engine and —
         when the result is definitive — populates the cache, so the next
         evaluation of the same (plan, instance) pair is a lookup.
+
+        Cache hits observe the dedicated ``cache_hit_seconds`` histogram
+        (microseconds of lookup, not engine time), so ``eval_seconds``
+        stays an honest engine-latency distribution.
         """
-        start = time.perf_counter()
-        key = None
-        if self.answer_cache is not None:
-            key = AnswerCache.key(
-                self.fingerprint, fingerprint_instance(instance))
-            hit = self.answer_cache.get(key)
-            if hit is not None:
-                self.metrics.counter("answer_cache_hits").inc()
+        with current_tracer().span("plan.evaluate", arity=self.query.arity) as span:
+            start = time.perf_counter()
+            key = None
+            if self.answer_cache is not None:
+                key = AnswerCache.key(
+                    self.fingerprint, fingerprint_instance(instance))
+                hit = self.answer_cache.get(key)
+                if hit is not None:
+                    self.metrics.counter("answer_cache_hits").inc()
+                    elapsed = time.perf_counter() - start
+                    self.metrics.histogram("cache_hit_seconds").observe(elapsed)
+                    span.set(cache_hit=True, verdict=hit["verdict"])
+                    return EvalResult(
+                        verdict=hit["verdict"],
+                        answers=tuple(tuple(a) for a in hit["answers"]),
+                        outcome=hit["outcome"],
+                        cache_hit=True,
+                        elapsed=elapsed,
+                    )
+                self.metrics.counter("answer_cache_misses").inc()
+
+            try:
+                if self.query.arity == 0:
+                    holds = self.engine.entails(instance, self.query, (),
+                                                budget=budget)
+                    verdict = "yes" if holds else "no"
+                    answers: tuple[tuple[str, ...], ...] = ()
+                else:
+                    raw = self.engine.certain_answers(instance, self.query,
+                                                      budget=budget)
+                    answers = tuple(sorted(
+                        tuple(repr(e) for e in a) for a in raw))
+                    verdict = "ok"
+            except ResourceExhausted as exc:
+                self.metrics.counter("unknown_results").inc()
+                span.set(cache_hit=False, verdict="unknown")
                 return EvalResult(
-                    verdict=hit["verdict"],
-                    answers=tuple(tuple(a) for a in hit["answers"]),
-                    outcome=hit["outcome"],
-                    cache_hit=True,
+                    verdict="unknown",
+                    outcome=exc.outcome.to_dict(),
                     elapsed=time.perf_counter() - start,
                 )
-            self.metrics.counter("answer_cache_misses").inc()
 
-        try:
-            if self.query.arity == 0:
-                holds = self.engine.entails(instance, self.query, (),
-                                            budget=budget)
-                verdict = "yes" if holds else "no"
-                answers: tuple[tuple[str, ...], ...] = ()
-            else:
-                raw = self.engine.certain_answers(instance, self.query,
-                                                  budget=budget)
-                answers = tuple(sorted(
-                    tuple(repr(e) for e in a) for a in raw))
-                verdict = "ok"
-        except ResourceExhausted as exc:
-            self.metrics.counter("unknown_results").inc()
-            return EvalResult(
-                verdict="unknown",
-                outcome=exc.outcome.to_dict(),
-                elapsed=time.perf_counter() - start,
-            )
-
-        last = self.engine.last_outcome
-        outcome = last.to_dict() if last is not None else None
-        if last is not None:
-            self.metrics.counter(f"engine_{last.engine}").inc()
-            self.metrics.counter("escalation_rungs").inc(
-                max(0, len(last.attempts) - 1))
-        result = EvalResult(
-            verdict=verdict, answers=answers, outcome=outcome,
-            elapsed=time.perf_counter() - start)
-        if key is not None:
-            self.answer_cache.put(key, {
-                "verdict": verdict,
-                "answers": [list(a) for a in answers],
-                "outcome": outcome,
-            })
-        self.metrics.histogram("eval_seconds").observe(result.elapsed)
-        return result
+            last = self.engine.last_outcome
+            outcome = last.to_dict() if last is not None else None
+            if last is not None:
+                self.metrics.counter(f"engine_{last.engine}").inc()
+                self.metrics.counter("escalation_rungs").inc(
+                    max(0, len(last.attempts) - 1))
+            result = EvalResult(
+                verdict=verdict, answers=answers, outcome=outcome,
+                elapsed=time.perf_counter() - start)
+            if key is not None:
+                self.answer_cache.put(key, {
+                    "verdict": verdict,
+                    "answers": [list(a) for a in answers],
+                    "outcome": outcome,
+                })
+            self.metrics.histogram("eval_seconds").observe(result.elapsed)
+            span.set(cache_hit=False, verdict=verdict)
+            return result
 
     def entails(
         self,
@@ -184,6 +195,13 @@ class CompiledOMQ:
         """Uncached passthrough to the compiled engine (full parity)."""
         return self.engine.entails(instance, self.query, answer,
                                    budget=budget)
+
+    def reset_metrics(self) -> MetricsRegistry:
+        """Detach and return the accumulated metrics, installing a fresh
+        registry (used by callers that snapshot per-job metrics)."""
+        snapshot = self.metrics
+        self.metrics = MetricsRegistry()
+        return snapshot
 
     def stats(self) -> dict[str, Any]:
         out = self.metrics.to_dict()
@@ -220,54 +238,63 @@ def compile_omq(
     With ``preflight=True`` the ontology and query are linted and an
     error-level diagnostic raises :class:`repro.analysis.LintError` here —
     per-instance evaluation then needs no further static checks.  A plan
-    fetched from the memo keeps its accumulated metrics; the *answer_cache*
-    argument (including ``None``) replaces the memoized plan's cache handle.
+    fetched from the memo starts each caller with a *fresh* metrics
+    registry (a shared plan must not leak one caller's latency histograms
+    into another's report); likewise the *answer_cache* argument
+    (including ``None``) replaces the memoized plan's cache handle.
     """
-    if isinstance(query, str):
-        if preflight:
-            # Query-text lint at compile time (the engine's own preflight
-            # covers the ontology and per-workload signature checks).
-            from ..analysis import LintError, has_errors, lint_query_text
+    with current_tracer().span("plan.compile", backend=str(backend)) as span:
+        if isinstance(query, str):
+            if preflight:
+                # Query-text lint at compile time (the engine's own preflight
+                # covers the ontology and per-workload signature checks).
+                from ..analysis import LintError, has_errors, lint_query_text
 
-            diags = lint_query_text(query)
-            if has_errors(diags):
-                raise LintError(diags)
-        query = parse_query(query)
-    onto_fp = fingerprint_ontology(onto)
-    query_fp = fingerprint_query(query)
-    memo_key = AnswerCache.key(
-        onto_fp, query_fp,
-        f"{backend}|{preflight}|{classify}|{chase_depth}|{sat_extra}")
-    plan = _plan_cache.get(memo_key)
-    if plan is not None:
-        # The caller's cache handle replaces the memoized plan's — including
-        # None: a caller expecting uncached evaluation (e.g. a cold
-        # benchmark) must not inherit a previous caller's warm cache.
-        plan.answer_cache = answer_cache
+                diags = lint_query_text(query)
+                if has_errors(diags):
+                    raise LintError(diags)
+            query = parse_query(query)
+        onto_fp = fingerprint_ontology(onto)
+        query_fp = fingerprint_query(query)
+        memo_key = AnswerCache.key(
+            onto_fp, query_fp,
+            f"{backend}|{preflight}|{classify}|{chase_depth}|{sat_extra}")
+        plan = _plan_cache.get(memo_key)
+        if plan is not None:
+            # The caller's cache handle replaces the memoized plan's —
+            # including None: a caller expecting uncached evaluation (e.g. a
+            # cold benchmark) must not inherit a previous caller's warm
+            # cache.  The metrics registry is replaced for the same reason:
+            # a memo hit hands the caller warm *compilation*, not another
+            # caller's accumulated observations.
+            plan.answer_cache = answer_cache
+            plan.metrics = MetricsRegistry()
+            span.set(memo_hit=True)
+            return plan
+
+        # preflight=True makes the engine lint the ontology at construction
+        # (LintError here, once per plan) and cross-check every workload.
+        rules = convert_ontology_cached(onto)
+        engine = CertainEngine(onto, backend=backend, chase_depth=chase_depth,
+                               sat_extra=sat_extra, preflight=preflight,
+                               rules=rules)
+        band: str | None = None
+        if classify:
+            from ..core.classify import classify_ontology
+
+            band = classify_ontology(onto, check_mat=False).band.name
+
+        plan = CompiledOMQ(
+            onto=onto,
+            query=query,
+            engine=engine,
+            rules=rules,
+            ontology_fingerprint=onto_fp,
+            query_fingerprint=query_fp,
+            fingerprint=fingerprint_omq(onto, query),
+            band=band,
+            answer_cache=answer_cache,
+        )
+        _plan_cache.put(memo_key, plan)
+        span.set(memo_hit=False)
         return plan
-
-    # preflight=True makes the engine lint the ontology at construction
-    # (LintError here, once per plan) and cross-check every workload.
-    rules = convert_ontology_cached(onto)
-    engine = CertainEngine(onto, backend=backend, chase_depth=chase_depth,
-                           sat_extra=sat_extra, preflight=preflight,
-                           rules=rules)
-    band: str | None = None
-    if classify:
-        from ..core.classify import classify_ontology
-
-        band = classify_ontology(onto, check_mat=False).band.name
-
-    plan = CompiledOMQ(
-        onto=onto,
-        query=query,
-        engine=engine,
-        rules=rules,
-        ontology_fingerprint=onto_fp,
-        query_fingerprint=query_fp,
-        fingerprint=fingerprint_omq(onto, query),
-        band=band,
-        answer_cache=answer_cache,
-    )
-    _plan_cache.put(memo_key, plan)
-    return plan

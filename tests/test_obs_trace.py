@@ -1,0 +1,337 @@
+"""Unit tests for repro.obs: spans, tracers, merge, export, summarize."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN, NULL_TRACER, Tracer, current_tracer, load_trace,
+    render_summary, summarize_spans,
+)
+
+
+class FakeClock:
+    """A deterministic monotonic clock advancing 1s per call."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+# -- span lifecycle -----------------------------------------------------------
+
+
+def test_spans_nest_with_parent_ids():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+        with tracer.span("sibling") as sibling:
+            pass
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert sibling.parent_id == outer.span_id
+    assert len(tracer) == 3
+
+
+def test_span_ids_are_unique_and_ordered():
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+    ids = [d["span_id"] for d in tracer.to_dicts()]
+    assert len(ids) == len(set(ids))
+    assert ids == sorted(ids)
+
+
+def test_span_records_monotonic_elapsed():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("timed") as span:
+        pass
+    assert span.elapsed == pytest.approx(1.0)
+    (d,) = tracer.to_dicts()
+    assert d["elapsed"] == pytest.approx(1.0)
+    assert d["end"] > d["start"]
+
+
+def test_span_attributes_via_kwargs_and_set():
+    tracer = Tracer()
+    with tracer.span("s", depth=6) as span:
+        span.set(steps=12, truncated=False)
+    (d,) = tracer.to_dicts()
+    assert d["attrs"] == {"depth": 6, "steps": 12, "truncated": False}
+
+
+def test_escaping_exception_marks_span_failed_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError, match="boom"):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise RuntimeError("boom")
+    inner, outer = sorted(tracer.to_dicts(), key=lambda d: d["name"])
+    assert inner["status"] == "failed"
+    assert "boom" in inner["error"]
+    assert outer["status"] == "failed"  # it escaped this one too
+
+
+def test_explicit_fail_without_raising():
+    tracer = Tracer()
+    with tracer.span("rung") as span:
+        span.fail("budget: deadline exhausted")
+    (d,) = tracer.to_dicts()
+    assert d["status"] == "failed"
+    assert d["error"] == "budget: deadline exhausted"
+
+
+# -- disabled tracer ----------------------------------------------------------
+
+
+def test_disabled_tracer_hands_out_the_shared_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("anything", attr=1)
+    assert span is NULL_SPAN
+    with span as s:
+        s.set(x=1)
+        s.fail("ignored")
+    assert s.elapsed == 0.0
+    assert len(tracer) == 0
+    assert tracer.to_dicts() == []
+
+
+def test_null_span_does_not_swallow_exceptions():
+    with pytest.raises(ValueError):
+        with NULL_TRACER.span("x"):
+            raise ValueError("through")
+
+
+# -- ambient activation -------------------------------------------------------
+
+
+def test_current_tracer_defaults_to_null():
+    assert current_tracer() is NULL_TRACER
+
+
+def test_activate_installs_and_restores():
+    outer, inner = Tracer(), Tracer()
+    with outer.activate():
+        assert current_tracer() is outer
+        with inner.activate():
+            assert current_tracer() is inner
+        assert current_tracer() is outer
+    assert current_tracer() is NULL_TRACER
+
+
+def test_activation_is_per_thread():
+    tracer = Tracer()
+    seen = []
+
+    def worker():
+        seen.append(current_tracer())
+
+    with tracer.activate():
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen == [NULL_TRACER]
+
+
+# -- merge --------------------------------------------------------------------
+
+
+def _worker_dump(names):
+    worker = Tracer()
+    with worker.span(names[0]):
+        for name in names[1:]:
+            with worker.span(name):
+                pass
+    return worker.to_dicts()
+
+
+def test_merge_rebases_ids_and_remaps_parents():
+    driver = Tracer()
+    with driver.span("local"):
+        pass
+    dump = _worker_dump(["job", "chase"])
+    driver.merge(dump)
+    spans = {d["name"]: d for d in driver.to_dicts()}
+    assert len(spans) == 3
+    assert spans["chase"]["parent_id"] == spans["job"]["span_id"]
+    assert spans["job"]["parent_id"] is None
+    ids = [d["span_id"] for d in driver.to_dicts()]
+    assert len(ids) == len(set(ids))
+
+
+def test_merge_reparents_roots_under_parent_id():
+    driver = Tracer()
+    with driver.span("batch") as batch:
+        pass
+    driver.merge(_worker_dump(["job"]), parent_id=batch.span_id)
+    spans = {d["name"]: d for d in driver.to_dicts()}
+    assert spans["job"]["parent_id"] == batch.span_id
+
+
+def test_merge_in_job_order_is_deterministic():
+    dumps = [_worker_dump([f"job{i}", "chase"]) for i in range(3)]
+
+    def merged_ids():
+        driver = Tracer()
+        for dump in dumps:
+            driver.merge(dump)
+        return [(d["span_id"], d["name"]) for d in driver.to_dicts()]
+
+    assert merged_ids() == merged_ids()
+
+
+def test_merge_into_disabled_tracer_is_a_noop():
+    driver = Tracer(enabled=False)
+    driver.merge(_worker_dump(["job"]))
+    assert len(driver) == 0
+
+
+# -- export / load ------------------------------------------------------------
+
+
+def test_export_load_roundtrip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("a", k=1):
+        with tracer.span("b"):
+            pass
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export(path) == 2
+    spans = load_trace(path)
+    assert spans == tracer.to_dicts()
+
+
+def test_export_is_valid_jsonl(tmp_path):
+    tracer = Tracer()
+    with tracer.span("x"):
+        pass
+    path = tmp_path / "t.jsonl"
+    tracer.export(path)
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_load_trace_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"span_id": 1, "name": "ok"}\nnot json\n')
+    with pytest.raises(ValueError, match="line 2"):
+        load_trace(path)
+
+
+def test_load_trace_rejects_non_span_objects(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"foo": 1}\n')
+    with pytest.raises(ValueError, match="span object"):
+        load_trace(path)
+
+
+def test_counts_by_name():
+    tracer = Tracer()
+    for _ in range(2):
+        with tracer.span("chase"):
+            pass
+    with tracer.span("cdcl.solve"):
+        pass
+    assert tracer.counts() == {"chase": 2, "cdcl.solve": 1}
+
+
+# -- thread safety ------------------------------------------------------------
+
+
+def test_concurrent_spans_from_many_threads():
+    tracer = Tracer()
+    errors = []
+
+    def worker(i):
+        try:
+            for j in range(50):
+                with tracer.span(f"t{i}") as outer:
+                    with tracer.span(f"t{i}.inner") as inner:
+                        pass
+                    assert inner.parent_id == outer.span_id
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(tracer) == 8 * 50 * 2
+    ids = [d["span_id"] for d in tracer.to_dicts()]
+    assert len(ids) == len(set(ids))
+
+
+# -- summarize ----------------------------------------------------------------
+
+
+def _span(span_id, name, elapsed, parent=None, status="ok", attrs=None):
+    d = {"span_id": span_id, "parent_id": parent, "name": name,
+         "start": 0.0, "end": elapsed, "elapsed": elapsed, "status": status}
+    if attrs:
+        d["attrs"] = attrs
+    return d
+
+
+def test_summarize_self_time_subtracts_direct_children():
+    spans = [
+        _span(1, "certain.decide", 10.0),
+        _span(2, "rung.chase", 7.0, parent=1, attrs={"bound": 4}),
+        _span(3, "chase", 6.0, parent=2),
+    ]
+    summary = summarize_spans(spans)
+    assert summary["by_name"]["certain.decide"]["self_s"] == pytest.approx(3.0)
+    assert summary["by_name"]["rung.chase"]["self_s"] == pytest.approx(1.0)
+    assert summary["by_name"]["chase"]["self_s"] == pytest.approx(6.0)
+    # wall = roots only; self-times decompose it without double counting
+    assert summary["wall_seconds"] == pytest.approx(10.0)
+    total_self = sum(e["self_s"] for e in summary["by_name"].values())
+    assert total_self == pytest.approx(10.0)
+
+
+def test_summarize_engine_attribution():
+    spans = [
+        _span(1, "chase", 2.0),
+        _span(2, "cdcl.solve", 1.0),
+        _span(3, "datalog.evaluate", 4.0),
+        _span(4, "plan.compile", 0.5),
+        _span(5, "mystery", 0.25),
+    ]
+    engines = summarize_spans(spans)["engines"]
+    assert engines["chase"] == pytest.approx(2.0)
+    assert engines["cdcl"] == pytest.approx(1.0)
+    assert engines["datalog"] == pytest.approx(4.0)
+    assert engines["serving"] == pytest.approx(0.5)
+    assert engines["other"] == pytest.approx(0.25)
+
+
+def test_summarize_rungs_and_failures():
+    spans = [
+        _span(1, "rung.chase", 1.0, attrs={"bound": 2}),
+        _span(2, "rung.chase", 2.0, attrs={"bound": 4}, status="failed"),
+        _span(3, "rung.sat", 3.0, attrs={"bound": 1}),
+    ]
+    summary = summarize_spans(spans)
+    assert summary["failed"] == 1
+    rungs = {(r["rung"], r["bound"]): r for r in summary["rungs"]}
+    assert rungs[("chase", 2)]["count"] == 1
+    assert rungs[("chase", 4)]["failed"] == 1
+    assert rungs[("sat", 1)]["total_s"] == pytest.approx(3.0)
+
+
+def test_render_summary_mentions_top_spans_and_engines():
+    spans = [
+        _span(1, "chase", 2.0),
+        _span(2, "rung.sat", 1.0, attrs={"bound": 3}, status="failed"),
+    ]
+    text = render_summary(summarize_spans(spans))
+    assert "chase" in text
+    assert "per-engine self-time:" in text
+    assert "escalation rungs:" in text
+    assert "1 failed" in text
