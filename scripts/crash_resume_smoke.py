@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI crash-resume smoke: kill a journaled batch mid-run, resume it, and
+demand the merged report match the fault-free run byte-for-byte modulo
+timings.
+
+Three ``repro batch`` subprocess runs over the same 6-job workload, whose
+job #3 makes exactly three null-creating chase firings (every other job
+makes one), so ``REPRO_FAULTS=kill:chase_truncate:@3`` hard-kills the
+serial driver (exit 87, ``repro.runtime.KILL_EXIT_CODE``) exactly while
+that job is in flight:
+
+1. the **reference** run — no faults, no journal — whose JSON report is
+   the ground truth;
+2. the **killed** run — ``--journal`` + the ``kill:`` fault — which must
+   die with exit 87 having durably journaled at least one finished job;
+3. the **resume** run — ``--journal FILE --resume`` — which must exit 0,
+   replay every journaled job (``resumed: true``) and produce a
+   :func:`repro.serving.comparable_report` view identical to the
+   reference (docs/serving.md, docs/robustness.md).
+
+Run from the repository root::
+
+    python scripts/crash_resume_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.runtime.faults import KILL_EXIT_CODE  # noqa: E402
+from repro.serving import comparable_report  # noqa: E402
+
+ONTOLOGY = (
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))\n"
+    "forall x,y (hasFinger(x,y) -> Digit(y))\n")
+
+
+def write_fixtures(tmpdir: str, n_jobs: int = 6, poison_at: int = 3):
+    onto = os.path.join(tmpdir, "hand.gf")
+    with open(onto, "w", encoding="utf-8") as fh:
+        fh.write(ONTOLOGY)
+    entries = []
+    for i in range(n_jobs):
+        if i == poison_at:
+            entries.append({"query": "q(y) <- Digit(y)", "id": "poison",
+                            "facts": ["Hand(a)", "Hand(b)", "Hand(c)"]})
+        else:
+            entries.append({"query": "q(x) <- Hand(x)", "id": f"j{i}",
+                            "facts": [f"Hand(h{i})"]})
+    workload = os.path.join(tmpdir, "jobs.json")
+    with open(workload, "w", encoding="utf-8") as fh:
+        json.dump(entries, fh)
+    return onto, workload
+
+
+def run_batch(args, faults=None):
+    env = dict(os.environ)
+    for var in ("REPRO_FAULTS", "REPRO_BUDGET", "REPRO_TIMEOUT"):
+        env.pop(var, None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "batch", *args],
+        capture_output=True, text=True, env=env, timeout=300)
+
+
+def fail(message: str, proc=None) -> int:
+    print(f"CRASH-RESUME SMOKE FAILURE: {message}", file=sys.stderr)
+    if proc is not None:
+        print(f"  exit={proc.returncode}", file=sys.stderr)
+        print(f"  stderr: {proc.stderr.strip()[:2000]}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="crash-resume-smoke-") as tmpdir:
+        onto, workload = write_fixtures(tmpdir)
+        budget = ["--budget", "nulls=600,chase_steps=600,conflicts=600"]
+        common = [onto, "--workload", workload, *budget]
+        journal = os.path.join(tmpdir, "batch.jsonl")
+
+        reference = run_batch([*common, "--format", "json"])
+        if reference.returncode != 0:
+            return fail("reference run failed", reference)
+        ref_report = json.loads(reference.stdout)
+
+        killed = run_batch([*common, "--journal", journal],
+                           faults="kill:chase_truncate:@3")
+        if killed.returncode != KILL_EXIT_CODE:
+            return fail(f"killed run exited {killed.returncode}, expected "
+                        f"{KILL_EXIT_CODE}", killed)
+        if "injected kill at fault site 'chase_truncate'" not in killed.stderr:
+            return fail("killed run did not report the injected kill", killed)
+        with open(journal, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        finished = [r for r in records if r.get("kind") == "result"]
+        if not records or records[0].get("kind") != "header":
+            return fail("journal is missing its header record")
+        if not 1 <= len(finished) < 6:
+            return fail(f"journal holds {len(finished)} finished jobs, "
+                        f"expected a mid-batch death (1..5)")
+
+        resumed = run_batch([*common, "--journal", journal, "--resume",
+                             "--format", "json"])
+        if resumed.returncode != 0:
+            return fail("resume run failed", resumed)
+        res_report = json.loads(resumed.stdout)
+        if comparable_report(res_report) != comparable_report(ref_report):
+            return fail("resumed report differs from the fault-free run:\n"
+                        + json.dumps({"reference":
+                                      comparable_report(ref_report),
+                                      "resumed":
+                                      comparable_report(res_report)},
+                                     indent=2))
+        replayed = [j for j in res_report["jobs"] if j.get("resumed")]
+        if len(replayed) != len(finished):
+            return fail(f"{len(replayed)} jobs replayed from the journal, "
+                        f"expected {len(finished)}")
+
+    print(f"crash-resume smoke OK: died at job 'poison' with "
+          f"{len(finished)}/6 jobs journaled, resumed run replayed "
+          f"{len(replayed)} and matched the fault-free report")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

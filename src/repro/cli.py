@@ -16,7 +16,11 @@ Commands:
   layer: evaluate a JSON workload of (instance, query) jobs with compiled
   plans, answer caching (``--cache-dir`` persists it on disk) and an
   optional process pool; the report aggregates per-job outcomes and
-  cache/latency stats (see ``docs/serving.md``).
+  cache/latency stats (see ``docs/serving.md``).  ``--retry SPEC``
+  re-dispatches transient failures and worker crashes under escalated
+  budgets (repeat crashers are quarantined); ``--journal FILE`` records
+  every finished job crash-safely and ``--resume`` replays it, so a
+  killed batch picks up where it died.
 * ``consistent <ontology-file> <data-file>`` — consistency check (same
   ``--timeout``/``--budget``/``--format`` options).
 * ``trace summarize <trace.jsonl>`` — analyze a JSONL trace written by
@@ -37,7 +41,8 @@ Exit codes: 0 success (``lint``: no error-level diagnostics), 1 failure
 inconsistent), 2 unreadable or unparseable input (``batch``: including
 any job with broken input), 3 resource budget exhausted before a verdict
 (the engine answered ``UNKNOWN`` rather than hanging or guessing;
-``batch``: any job unknown, e.g. budget exhaustion or a worker crash).
+``batch``: any job unknown or quarantined, e.g. budget exhaustion or a
+worker crash).
 """
 
 from __future__ import annotations
@@ -285,10 +290,19 @@ def _evaluate_many(args, engine, data, query_texts, parsed, budget) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    from .resilience import RetryPolicy
     from .serving import evaluate_batch, load_workload
 
     if args.jobs < 1:
         raise CliInputError("--jobs must be at least 1")
+    if args.resume and not args.journal:
+        raise CliInputError("--resume requires --journal FILE")
+    retry = None
+    if args.retry is not None:
+        try:
+            retry = RetryPolicy.from_spec(args.retry)
+        except ValueError as exc:
+            raise CliInputError(f"--retry: {exc}") from exc
     onto = _load_ontology(args.ontology, args.dl)
     try:
         jobs = load_workload(args.workload)
@@ -296,9 +310,15 @@ def cmd_batch(args: argparse.Namespace) -> int:
         raise CliInputError(str(exc)) from exc
     budget = _build_budget(args)
     tracer = _build_tracer(args)
-    report = evaluate_batch(
-        onto, jobs, workers=args.jobs, budget=budget, backend=args.backend,
-        preflight=args.preflight, cache_dir=args.cache_dir, tracer=tracer)
+    try:
+        report = evaluate_batch(
+            onto, jobs, workers=args.jobs, budget=budget,
+            backend=args.backend, preflight=args.preflight,
+            cache_dir=args.cache_dir, tracer=tracer, retry=retry,
+            journal=args.journal, resume=args.resume)
+    except ValueError as exc:
+        # Journal/ontology mismatch and friends: bad input, not a crash.
+        raise CliInputError(str(exc)) from exc
     _export_trace(args, tracer)
     if args.format == "json":
         import json
@@ -499,6 +519,19 @@ def build_parser() -> argparse.ArgumentParser:
                          default="auto")
     p_batch.add_argument("--preflight", action="store_true",
                          help="lint ontology and workloads before evaluating")
+    p_batch.add_argument("--retry", metavar="SPEC",
+                         help="retry policy, e.g. "
+                              "'attempts=3,backoff=0.05,escalation=2' "
+                              "(keys: attempts, backoff, factor, "
+                              "max_backoff, jitter, escalation, crashes, "
+                              "seed); retried jobs get fresh escalated "
+                              "budgets, repeat crashers are quarantined")
+    p_batch.add_argument("--journal", metavar="FILE",
+                         help="append-only JSONL journal of finished jobs "
+                              "(crash-safe; one line per result)")
+    p_batch.add_argument("--resume", action="store_true",
+                         help="replay results already in --journal FILE "
+                              "instead of recomputing them")
     p_batch.add_argument("--cache-dir", metavar="DIR",
                          help="on-disk answer cache, shared across "
                               "invocations and workers")

@@ -1,0 +1,172 @@
+"""A self-healing process-pool facade with poison attribution.
+
+``concurrent.futures`` semantics make worker death catastrophic: one
+SIGKILLed worker breaks the whole pool and every in-flight future raises
+``BrokenProcessPool`` — including futures for jobs that never ran.  A
+:class:`PoolSupervisor` turns that into a recoverable event:
+
+* **rebuild** — a broken pool is torn down and a fresh one built; jobs
+  whose futures broke are re-dispatched, not lost;
+* **cautious mode** — after the first break, dispatch drops to a single
+  job in flight.  A break with one job in flight identifies the killer
+  *exactly*, so poison jobs are blamed (and eventually quarantined by the
+  retry :class:`~repro.resilience.supervisor.Supervisor`) while innocent
+  bystanders are simply re-run;
+* **serial degradation** — :data:`max_pool_deaths` consecutive breaks
+  without a single completed job means the pool machinery itself is sick
+  (fork failures, OOM-killed workers); the supervisor stops using
+  processes and runs the remaining jobs in the driver.
+
+Everything observable is counted (`pool_deaths`, `rebuilds`, `cautious`,
+`degraded`) for the batch report's ``resilience`` stats block.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable
+
+# ("result", value) for a completed attempt, ("crash", exc) for one whose
+# worker died or raised; keys are the caller's job identifiers.
+WaveOutcome = "list[tuple[Any, str, Any]]"
+
+
+class PoolSupervisor:
+    """Run waves of payloads through a rebuildable process pool.
+
+    *worker_fn* must be a module-level function (picklable).  In degraded
+    mode it is invoked directly in the driver process; an exception then
+    classifies as a crash exactly like a worker death would.
+    """
+
+    def __init__(self, worker_fn: Callable[[Any], Any], workers: int,
+                 max_pool_deaths: int = 5):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.worker_fn = worker_fn
+        self.workers = workers
+        self.max_pool_deaths = max_pool_deaths
+        self.cautious = False
+        self.degraded = False
+        self.pool_deaths = 0
+        self.consecutive_deaths = 0
+        self.rebuilds = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self.rebuilds += 1
+        return self._pool
+
+    def _pool_died(self) -> None:
+        self.pool_deaths += 1
+        self.consecutive_deaths += 1
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self.cautious = True
+        if self.consecutive_deaths >= self.max_pool_deaths:
+            self.degraded = True
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "PoolSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict[str, Any]:
+        # rebuilds counts *re*-creations, not the initial pool.
+        return {
+            "pool_deaths": self.pool_deaths,
+            "rebuilds": max(0, self.rebuilds - 1),
+            "cautious": self.cautious,
+            "degraded": self.degraded,
+        }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def run_wave(self, tasks: Iterable[tuple[Any, Any]]) -> WaveOutcome:
+        """Run ``(key, payload)`` tasks; return ``(key, kind, value)``
+        outcomes where *kind* is ``"result"`` or ``"crash"``.
+
+        Every task resolves exactly once — a pool break re-dispatches the
+        unresolved tasks cautiously instead of reporting them crashed,
+        because in a multi-job break only one job killed the worker.
+        ``KeyboardInterrupt``/``SystemExit`` propagate: a user abort must
+        stop the batch, not drain into per-job crashes.
+        """
+        out: list[tuple[Any, str, Any]] = []
+        remaining = list(tasks)
+        while remaining:
+            if self.degraded:
+                out.extend(self._run_serial(remaining))
+                return out
+            if self.cautious or len(remaining) == 1:
+                key, payload = remaining.pop(0)
+                out.append(self._run_cautious(key, payload))
+                continue
+            remaining = self._run_parallel(remaining, out)
+        return out
+
+    def _run_serial(self, tasks: list) -> WaveOutcome:
+        """Degraded mode: in-driver execution, no process isolation."""
+        out = []
+        for key, payload in tasks:
+            try:
+                out.append((key, "result", self.worker_fn(payload)))
+            except Exception as exc:
+                out.append((key, "crash", exc))
+        return out
+
+    def _run_cautious(self, key: Any, payload: Any) -> tuple[Any, str, Any]:
+        """Single job in flight: a pool break names the killer exactly."""
+        try:
+            future = self._ensure_pool().submit(self.worker_fn, payload)
+            value = future.result()
+        except BrokenProcessPool as exc:
+            self._pool_died()
+            return (key, "crash", exc)
+        except Exception as exc:
+            # The worker raised but lived; the pool is healthy.
+            self.consecutive_deaths = 0
+            return (key, "crash", exc)
+        self.consecutive_deaths = 0
+        return (key, "result", value)
+
+    def _run_parallel(self, tasks: list, out: list) -> list:
+        """Full-width dispatch; returns the tasks left unresolved by a
+        pool break (to be re-run cautiously)."""
+        try:
+            pool = self._ensure_pool()
+            futures = [(key, payload, pool.submit(self.worker_fn, payload))
+                       for key, payload in tasks]
+        except BrokenProcessPool:
+            self._pool_died()
+            return tasks
+        unresolved: list = []
+        broke = False
+        for key, payload, future in futures:
+            try:
+                value = future.result()
+            except BrokenProcessPool:
+                broke = True
+                unresolved.append((key, payload))
+                continue
+            except Exception as exc:
+                self.consecutive_deaths = 0
+                out.append((key, "crash", exc))
+                continue
+            self.consecutive_deaths = 0
+            out.append((key, "result", value))
+        if broke:
+            self._pool_died()
+        return unresolved

@@ -26,12 +26,15 @@ See ``docs/robustness.md`` for the user-facing guide.
 
 from .budget import Budget, BudgetExceeded, ResourceUsage
 from .escalate import chase_rungs, sat_rungs
-from .faults import SITES, FaultPlan, FaultSpec, active_plan, parse_faults
+from .faults import (
+    KILL_EXIT_CODE, SITES, FaultPlan, FaultSpec, active_plan, parse_faults,
+)
 from .outcome import Attempt, Outcome, ResourceExhausted, Verdict
 
 __all__ = [
     "Budget", "BudgetExceeded", "ResourceUsage",
     "chase_rungs", "sat_rungs",
-    "SITES", "FaultPlan", "FaultSpec", "active_plan", "parse_faults",
+    "KILL_EXIT_CODE", "SITES", "FaultPlan", "FaultSpec", "active_plan",
+    "parse_faults",
     "Attempt", "Outcome", "ResourceExhausted", "Verdict",
 ]

@@ -253,8 +253,39 @@ class Budget:
             "escalate": self.escalate,
         }
         if self.faults:
-            kwargs["faults"] = FaultPlan(tuple(self.faults.specs.values()))
+            kwargs["faults"] = FaultPlan(self.faults.all_specs())
         return kwargs
+
+    def escalated(self, factor: float) -> "Budget":
+        """A fresh budget with every limit scaled by *factor* and nothing
+        spent.
+
+        Built for retries (:mod:`repro.resilience`): the new budget starts
+        from a full *escalated* allocation — it scales this budget's
+        configured **limits**, never inherits its spent pools or burnt
+        wall-clock, and anchors its own clock lazily at its first
+        checkpoint.  An injected fault plan propagates as a fresh copy
+        (same specs, restarted hit counters) so every attempt sees the
+        same deterministic fault schedule.
+        """
+        if factor <= 0:
+            raise ValueError("escalation factor must be positive")
+
+        def scale(limit: int | None) -> int | None:
+            return None if limit is None else max(1, int(limit * factor))
+
+        specs = self.faults.all_specs() if self.faults else ()
+        return Budget(
+            timeout=None if self.timeout is None else self.timeout * factor,
+            chase_steps=scale(self.max_chase_steps),
+            nulls=scale(self.max_nulls),
+            conflicts=scale(self.max_conflicts),
+            backtracks=scale(self.max_backtracks),
+            escalate=self.escalate,
+            faults=FaultPlan(specs) if specs else None,
+            clock=self._clock,
+            lazy_start=True,
+        )
 
     def split(self, n: int) -> "list[Budget]":
         """Split this budget into *n* independent per-job budgets.
@@ -278,7 +309,7 @@ class Budget:
             return None if limit is None else max(1, limit // n)
 
         remaining = self.remaining()
-        specs = tuple(self.faults.specs.values()) if self.faults else ()
+        specs = self.faults.all_specs() if self.faults else ()
         return [
             Budget(
                 timeout=None if remaining is None else remaining / n,

@@ -16,7 +16,21 @@ Syntax: comma-separated ``site[:arg]`` entries, e.g.::
 
 ``site:R`` with a rate ``0 < R <= 1`` fires on every ``round(1/R)``-th hit
 of that site; ``site:@N`` fires exactly on the N-th hit; a bare ``site``
-fires on every hit.  Sites:
+fires on every hit.
+
+A ``kill:`` prefix turns any entry into a **hard process kill**: when the
+spec fires, the process exits immediately via ``os._exit`` (exit code
+:data:`KILL_EXIT_CODE`) with no cleanup, finally-blocks or atexit handlers
+— the closest portable stand-in for a SIGKILLed worker.  ``kill:`` faults
+drive the retry/quarantine/resume machinery of :mod:`repro.resilience`
+deterministically::
+
+    REPRO_FAULTS=kill:chase_truncate:@1            # die at the 1st null-creating trigger
+    REPRO_FAULTS=kill:deadline:@40                 # die at the 40th deadline checkpoint
+
+Kill counters are tracked independently of the limit counters, so a
+``deadline:@2,kill:deadline:@5`` plan expires one deadline *and* kills
+the process three checkpoints later.  Sites:
 
 ==================  =========================================================
 ``chase_truncate``  a chase rule firing that would create nulls behaves as if
@@ -38,6 +52,7 @@ deterministic and fault-free.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass
 
 SITES = (
@@ -48,14 +63,35 @@ SITES = (
     "rf_backtracks",
 )
 
+# The exit code of a kill-fault hard exit.  Distinctive on purpose: tests
+# and the CI crash-resume smoke assert on it to distinguish an injected
+# worker death from an ordinary failure.
+KILL_EXIT_CODE = 87
+
+
+def hard_kill(site: str) -> None:
+    """Exit the process with no cleanup (module-level so tests can stub it)."""
+    try:
+        sys.stderr.write(f"repro: injected kill at fault site {site!r}\n")
+        sys.stderr.flush()
+    except Exception:
+        pass
+    os._exit(KILL_EXIT_CODE)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """When a single site fires: every *period*-th hit, or exactly at *at*."""
+    """When a single site fires: every *period*-th hit, or exactly at *at*.
+
+    ``kind`` selects the effect: ``"limit"`` makes the checkpoint behave
+    as if its resource limit were exhausted (the classic faults);
+    ``"kill"`` hard-exits the process via :func:`hard_kill`.
+    """
 
     site: str
     period: int = 1
     at: int | None = None
+    kind: str = "limit"
 
     def fires(self, hit: int) -> bool:
         if self.at is not None:
@@ -64,15 +100,33 @@ class FaultSpec:
 
 
 class FaultPlan:
-    """A set of :class:`FaultSpec` with per-site deterministic hit counters."""
+    """A set of :class:`FaultSpec` with per-site deterministic hit counters.
+
+    Limit and kill specs for the same site coexist with independent
+    counters; a checkpoint hit consults the kill spec first (a process
+    that should die must not be saved by a limit firing at the same hit).
+    """
 
     def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...] = ()):
-        self.specs: dict[str, FaultSpec] = {s.site: s for s in specs}
+        self.specs: dict[str, FaultSpec] = {
+            s.site: s for s in specs if s.kind != "kill"}
+        self.kills: dict[str, FaultSpec] = {
+            s.site: s for s in specs if s.kind == "kill"}
         self.hits: dict[str, int] = {site: 0 for site in self.specs}
         self.fired: dict[str, int] = {site: 0 for site in self.specs}
+        self.kill_hits: dict[str, int] = {site: 0 for site in self.kills}
+
+    def all_specs(self) -> tuple[FaultSpec, ...]:
+        """Every spec (limit and kill) — for shipping across processes."""
+        return tuple(self.specs.values()) + tuple(self.kills.values())
 
     def hit(self, site: str) -> bool:
         """Record one checkpoint hit at *site*; True when the fault fires."""
+        kill = self.kills.get(site)
+        if kill is not None:
+            self.kill_hits[site] += 1
+            if kill.fires(self.kill_hits[site]):
+                hard_kill(site)
         spec = self.specs.get(site)
         if spec is None:
             return False
@@ -83,10 +137,11 @@ class FaultPlan:
         return False
 
     def __bool__(self) -> bool:
-        return bool(self.specs)
+        return bool(self.specs) or bool(self.kills)
 
     def __repr__(self) -> str:
-        parts = ", ".join(sorted(self.specs))
+        parts = ", ".join(sorted(self.specs)
+                          + [f"kill:{s}" for s in sorted(self.kills)])
         return f"FaultPlan({parts})"
 
 
@@ -97,14 +152,19 @@ def parse_faults(text: str) -> FaultPlan | None:
         entry = raw.strip()
         if not entry:
             continue
-        site, _, arg = entry.partition(":")
+        kind = "limit"
+        body = entry
+        if body.startswith("kill:"):
+            kind = "kill"
+            body = body[len("kill:"):].strip()
+        site, _, arg = body.partition(":")
         site = site.strip()
         if site not in SITES:
             raise ValueError(
                 f"unknown fault site {site!r} (expected one of {', '.join(SITES)})")
         arg = arg.strip()
         if not arg:
-            specs.append(FaultSpec(site))
+            specs.append(FaultSpec(site, kind=kind))
         elif arg.startswith("@"):
             try:
                 at = int(arg[1:])
@@ -112,7 +172,7 @@ def parse_faults(text: str) -> FaultPlan | None:
                 raise ValueError(f"fault entry {entry!r}: bad hit index {arg!r}")
             if at < 1:
                 raise ValueError(f"fault entry {entry!r}: hit index must be >= 1")
-            specs.append(FaultSpec(site, at=at))
+            specs.append(FaultSpec(site, at=at, kind=kind))
         else:
             try:
                 rate = float(arg)
@@ -120,7 +180,8 @@ def parse_faults(text: str) -> FaultPlan | None:
                 raise ValueError(f"fault entry {entry!r}: bad rate {arg!r}")
             if not 0 < rate <= 1:
                 raise ValueError(f"fault entry {entry!r}: rate must be in (0, 1]")
-            specs.append(FaultSpec(site, period=max(1, round(1 / rate))))
+            specs.append(FaultSpec(site, period=max(1, round(1 / rate)),
+                                   kind=kind))
     return FaultPlan(specs) if specs else None
 
 

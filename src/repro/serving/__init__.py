@@ -15,8 +15,10 @@ lookup or a single budgeted engine run.  The package provides:
   :func:`compile_omq`;
 * :mod:`~repro.serving.batch` — :func:`evaluate_batch`: a workload of
   (instance, query) jobs fanned across a process pool under one split
-  :class:`~repro.runtime.Budget`, with worker crashes surfaced as
-  ``unknown`` outcomes and serving metrics aggregated per batch;
+  :class:`~repro.runtime.Budget`, supervised by
+  :mod:`repro.resilience` — worker crashes are retried under escalated
+  budgets, repeat crashers quarantined, and finished results optionally
+  journaled for crash-safe ``--resume``;
 * :mod:`~repro.serving.metrics` — the counters/histograms behind the
   batch report's ``stats`` block.
 
@@ -24,7 +26,8 @@ Surfaced on the CLI as ``python -m repro batch``; see ``docs/serving.md``.
 """
 
 from .batch import (
-    BatchReport, Job, JobResult, crash_result, evaluate_batch, load_workload,
+    BatchReport, Job, JobResult, comparable_report, crash_result,
+    evaluate_batch, job_key, load_workload, quarantined_result,
 )
 from .cache import (
     AnswerCache, DiskCache, LRUCache, clear_caches, conversion_cache_stats,
@@ -42,8 +45,8 @@ from .plan import (
 )
 
 __all__ = [
-    "BatchReport", "Job", "JobResult", "crash_result", "evaluate_batch",
-    "load_workload",
+    "BatchReport", "Job", "JobResult", "comparable_report", "crash_result",
+    "evaluate_batch", "job_key", "load_workload", "quarantined_result",
     "AnswerCache", "DiskCache", "LRUCache", "clear_caches",
     "conversion_cache_stats", "convert_ontology_cached",
     "canonical_instance", "canonical_ontology", "canonical_query",

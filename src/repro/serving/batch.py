@@ -29,9 +29,10 @@ the batch runs with 1 worker or many.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -39,8 +40,12 @@ from ..logic.instance import Interpretation, make_instance
 from ..logic.ontology import Ontology
 from ..obs import Tracer, current_tracer
 from ..queries.cq import QueryError
+from ..resilience import (
+    AttemptOutcome, Journal, PoolSupervisor, RetryPolicy, Supervisor, Task,
+)
 from ..runtime import Budget
 from .cache import AnswerCache, DiskCache, conversion_cache_stats
+from .fingerprint import fingerprint_ontology
 from .metrics import Histogram, MetricsRegistry
 from .plan import compile_omq
 
@@ -93,13 +98,22 @@ def load_workload(path: str | Path) -> list[Job]:
 
 @dataclass(frozen=True)
 class JobResult:
-    """One job's outcome inside a batch report."""
+    """One job's outcome inside a batch report.
+
+    ``status`` lifecycle (see ``docs/serving.md``): ``ok`` (answered),
+    ``unknown`` (budget exhausted, or crashed without reaching the
+    quarantine threshold), ``error`` (broken input, never retried) and
+    ``quarantined`` (the job crashed its worker ``max_crashes`` times and
+    was isolated so the batch could finish).  ``attempts`` is the
+    per-attempt history recorded by the retrying supervisor; ``resumed``
+    marks results replayed from a ``--journal`` instead of recomputed.
+    """
 
     index: int
     job_id: str
     query: str
     data: str
-    status: str  # "ok" | "unknown" | "error"
+    status: str  # "ok" | "unknown" | "error" | "quarantined"
     verdict: str  # "ok" | "yes" | "no" | "unknown" | "error"
     answers: tuple[tuple[str, ...], ...] = ()
     cache_hit: bool = False
@@ -108,6 +122,8 @@ class JobResult:
     elapsed: float = 0.0
     reason: str = ""
     outcome: dict[str, Any] | None = None
+    attempts: tuple[dict, ...] = ()
+    resumed: bool = False
 
     def signature(self) -> tuple:
         """The worker-count-invariant part (for 1-vs-N comparisons)."""
@@ -131,6 +147,10 @@ class JobResult:
             out["reason"] = self.reason
         if self.outcome is not None:
             out["outcome"] = self.outcome
+        if self.attempts:
+            out["attempts"] = [dict(a) for a in self.attempts]
+        if self.resumed:
+            out["resumed"] = True
         return out
 
 
@@ -153,6 +173,11 @@ class BatchReport:
         return {"jobs": [r.to_dict() for r in self.results],
                 "stats": self.stats}
 
+    def comparable_dict(self) -> dict[str, Any]:
+        """The timing-, cache- and resume-invariant view (see
+        :func:`comparable_report`)."""
+        return comparable_report(self.to_dict())
+
     def render_text(self) -> str:
         lines = []
         for r in self.results:
@@ -164,14 +189,42 @@ class BatchReport:
                 f"[{r.index:>3}] {r.status:<7} {what:<20} "
                 f"cache={cache:<4} {r.elapsed * 1000:8.1f}ms  {r.query}")
         s = self.stats
+        quarantined = (f" / {s['quarantined']} quarantined"
+                       if s.get("quarantined") else "")
+        resilience = s.get("resilience", {})
+        retried = (f"; {resilience['retries']} retried attempt(s)"
+                   if resilience.get("retries") else "")
+        resumed = (f"; {resilience['resumed']} resumed from journal"
+                   if resilience.get("resumed") else "")
         lines.append(
             f"batch: {s.get('jobs', len(self.results))} job(s), "
             f"{s.get('ok', 0)} ok / {s.get('unknown', 0)} unknown / "
-            f"{s.get('error', 0)} error; "
+            f"{s.get('error', 0)} error{quarantined}; "
             f"cache hit rate {s.get('cache', {}).get('hit_rate', 0.0):.0%}; "
             f"wall {s.get('wall_seconds', 0.0):.2f}s "
-            f"({s.get('workers', 1)} worker(s))")
+            f"({s.get('workers', 1)} worker(s)){retried}{resumed}")
         return "\n".join(lines)
+
+
+# Job and stat fields that must be identical between an uninterrupted run
+# and a crash/resume (or 1-vs-N-worker) run.  Everything else — timings,
+# cache hit flags, attempt histories, resume markers, engine provenance
+# that legitimately shifts with cache state — is volatile.
+_COMPARABLE_JOB_KEYS = ("index", "id", "query", "data", "status", "verdict",
+                        "answers")
+_COMPARABLE_STAT_KEYS = ("jobs", "ok", "unknown", "error", "quarantined")
+
+
+def comparable_report(payload: dict[str, Any]) -> dict[str, Any]:
+    """Strip a :meth:`BatchReport.to_dict` payload down to the fields a
+    resumed run must reproduce byte-for-byte (the CI crash-resume smoke
+    compares two of these)."""
+    return {
+        "jobs": [{key: job.get(key) for key in _COMPARABLE_JOB_KEYS}
+                 for job in payload.get("jobs", ())],
+        "stats": {key: payload.get("stats", {}).get(key, 0)
+                  for key in _COMPARABLE_STAT_KEYS},
+    }
 
 
 # -- job execution -----------------------------------------------------------
@@ -208,8 +261,8 @@ def _execute_job(
             data=job.data_ref(), status=status, verdict=status,
             reason=reason, elapsed=time.perf_counter() - start)
 
-    with current_tracer().span("batch.job", index=index,
-                               job=job.job_id) as span:
+    with current_tracer().span("batch.job", index=index, job=job.job_id,
+                               attempt=options.get("attempt", 1)) as span:
         try:
             instance = _load_instance(job)
         except (OSError, ValueError) as exc:
@@ -298,6 +351,8 @@ def _result_from_dict(data: dict[str, Any]) -> JobResult:
         cache_hit=data["cache_hit"], engine=data.get("engine"),
         rungs=data.get("rungs", 0), elapsed=data.get("elapsed", 0.0),
         reason=data.get("reason", ""), outcome=data.get("outcome"),
+        attempts=tuple(dict(a) for a in data.get("attempts", ())),
+        resumed=bool(data.get("resumed", False)),
     )
 
 
@@ -310,7 +365,151 @@ def crash_result(index: int, job: Job, exc: BaseException) -> JobResult:
     )
 
 
+def quarantined_result(index: int, job: Job, crashes: int,
+                       reason: str) -> JobResult:
+    """A poison job: it crashed its worker *crashes* times and was
+    isolated so the rest of the batch could finish."""
+    return JobResult(
+        index=index, job_id=job.job_id, query=job.query,
+        data=job.data_ref(), status="quarantined", verdict="unknown",
+        reason=f"quarantined after {crashes} worker crash(es): {reason}",
+    )
+
+
+def job_key(index: int, job: Job) -> str:
+    """A stable identity for (position, job content) — what the journal
+    keys finished results by, so resume never skips the wrong job."""
+    payload = json.dumps(
+        {"index": index, "id": job.job_id, "query": job.query,
+         "data": job.data, "facts": list(job.facts)},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 # -- the batch executor ------------------------------------------------------
+
+
+class _BatchRunner:
+    """Executes supervisor waves for one batch (serial or pooled) and
+    finalizes results into the report/journal.  Private glue between
+    :func:`evaluate_batch` and :class:`repro.resilience.Supervisor`."""
+
+    def __init__(self, onto, jobs, options, budgets, tracer, metrics,
+                 cache, pool_supervisor, retry, journal, keys):
+        self.onto = onto
+        self.jobs = jobs
+        self.options = options
+        self.budgets = budgets  # index -> base per-job Budget | None
+        self.tracer = tracer
+        self.metrics = metrics
+        self.cache = cache  # serial-path answer cache (None when pooled)
+        self.pool = pool_supervisor  # None when serial
+        self.retry = retry
+        self.journal = journal
+        self.keys = keys  # index -> journal job key
+        self.results: dict[int, JobResult] = {}
+
+    def _task_budget(self, task: Task) -> Budget | None:
+        base = self.budgets.get(task.key)
+        if base is None or task.escalation == 1.0:
+            return base
+        return base.escalated(task.escalation)
+
+    def _task_options(self, task: Task) -> dict[str, Any]:
+        if task.attempt == 1:
+            return self.options
+        return {**self.options, "attempt": task.attempt}
+
+    def execute_wave(self, tasks: "list[Task]") -> "list[AttemptOutcome]":
+        if self.pool is None:
+            return self._execute_serial(tasks)
+        return self._execute_pooled(tasks)
+
+    def _execute_serial(self, tasks):
+        # A generator on purpose: the supervisor consumes outcomes as they
+        # are produced, so each finished job is finalized (and journaled)
+        # before the next one runs — a driver killed mid-wave loses only
+        # the job it was on, which is what makes serial --resume work.
+        for task in tasks:
+            idx = task.key
+            start = time.perf_counter()
+            try:
+                result, metrics_raw = _execute_job(
+                    idx, self.jobs[idx], self.onto, self._task_budget(task),
+                    self._task_options(task), self.cache)
+            except Exception as exc:
+                # Same contract as the pool path: an unexpected crash
+                # takes down only its own attempt, never the batch.
+                yield AttemptOutcome(
+                    task, "crash", reason=f"{type(exc).__name__}: {exc}",
+                    elapsed=time.perf_counter() - start)
+                continue
+            if metrics_raw is not None:
+                self.metrics.merge_raw(metrics_raw)
+            yield AttemptOutcome(
+                task, result.status, result=result, reason=result.reason,
+                elapsed=result.elapsed)
+
+    def _execute_pooled(self, tasks):
+        payloads = []
+        for task in tasks:
+            task_budget = self._task_budget(task)
+            payloads.append((task.key, (
+                task.key, self.jobs[task.key], self.onto,
+                task_budget.to_kwargs() if task_budget is not None else None,
+                self._task_options(task))))
+        by_key = {task.key: task for task in tasks}
+        outs = []
+        for key, kind, value in self.pool.run_wave(payloads):
+            task = by_key[key]
+            if kind == "crash":
+                outs.append(AttemptOutcome(
+                    task, "crash",
+                    reason=f"{type(value).__name__}: {value}"))
+                continue
+            result = _result_from_dict(value["result"])
+            if value.get("spans"):
+                self.tracer.merge(value["spans"])
+            if value.get("metrics") is not None:
+                self.metrics.merge_raw(value["metrics"])
+            outs.append(AttemptOutcome(
+                task, result.status, result=result, reason=result.reason,
+                elapsed=result.elapsed))
+        return outs
+
+    def finalize(self, key, final) -> None:
+        """Build the job's terminal :class:`JobResult` and journal it —
+        called by the supervisor the moment the job is decided, so a
+        killed batch loses at most the jobs still in flight."""
+        idx = key
+        job = self.jobs[idx]
+        out = final.outcome
+        if final.disposition == "quarantined":
+            result = quarantined_result(
+                idx, job, crashes=sum(
+                    1 for a in final.attempts if a.status == "crash"),
+                reason=out.reason)
+        elif final.disposition == "crashed":
+            result = JobResult(
+                index=idx, job_id=job.job_id, query=job.query,
+                data=job.data_ref(), status="unknown", verdict="unknown",
+                reason=f"worker crashed: {out.reason}")
+        else:  # "done" (ok/error) and "exhausted" (unknown) keep the result
+            result = out.result
+        if self.retry is not None and final.attempts:
+            result = replace(
+                result, attempts=tuple(a.to_dict() for a in final.attempts))
+        self.results[idx] = result
+        if self.journal is not None:
+            # The journal is a resume artifact, not a provenance store:
+            # replay must reproduce the comparable_report view (plus the
+            # display fields), while the nested outcome is per-process
+            # detail and the bulk of the record's bytes — dropping it
+            # keeps the per-record cost inside the 5% journal budget.
+            record = result.to_dict()
+            record.pop("outcome", None)
+            self.journal.append({"kind": "result", "key": self.keys[idx],
+                                 "result": record})
 
 
 def evaluate_batch(
@@ -325,6 +524,10 @@ def evaluate_batch(
     cache_dir: str | None = None,
     answer_cache: AnswerCache | None = None,
     tracer: Tracer | None = None,
+    retry: RetryPolicy | None = None,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    max_pool_deaths: int = 5,
 ) -> BatchReport:
     """Evaluate a workload of (instance, query) jobs against one ontology.
 
@@ -332,6 +535,21 @@ def evaluate_batch(
     *budget* is split evenly per job (:meth:`repro.runtime.Budget.split`),
     so the whole batch respects one resource envelope.  Results are
     returned in job order and are identical across worker counts.
+
+    *retry* applies a :class:`repro.resilience.RetryPolicy`: transient
+    (``unknown``) outcomes and worker crashes are re-dispatched with a
+    fresh escalated budget and recorded in each result's attempt history;
+    a job that crashes its worker ``max_crashes`` times ends
+    ``quarantined`` and the batch continues.  A broken process pool is
+    rebuilt (poison attribution via single-in-flight cautious dispatch)
+    and execution degrades to in-driver serial after *max_pool_deaths*
+    consecutive pool deaths.
+
+    *journal* names an append-only JSONL file that durably records every
+    finished job the moment it is decided; with ``resume=True`` results
+    already journaled (matched by :func:`job_key`) are replayed instead
+    of recomputed, so a batch killed mid-run finishes with a report whose
+    :func:`comparable_report` view equals an uninterrupted run's.
 
     *tracer* defaults to the ambient :func:`repro.obs.current_tracer`.
     Worker processes trace into fresh per-job tracers and ship their spans
@@ -349,52 +567,80 @@ def evaluate_batch(
         "chase_depth": chase_depth, "sat_extra": sat_extra,
         "cache_dir": cache_dir, "trace": tracer.enabled,
     }
-    budgets = (budget.split(len(jobs)) if budget is not None
-               else [None] * len(jobs))
+
+    keys = {idx: job_key(idx, job) for idx, job in enumerate(jobs)}
+    onto_fp = fingerprint_ontology(onto)
+    jrnl: Journal | None = None
+    replayed: dict[int, JobResult] = {}
+    if journal is not None:
+        # No fsync: the journal is a redo log whose loss is always safe —
+        # resume recomputes any missing suffix — and the unbuffered
+        # O_APPEND write already survives driver death (SIGKILL /
+        # os._exit), which is the recovery model.  fsync would only trim
+        # recomputation after a *machine* crash, at ~10x the append cost
+        # (bench_serving's 5% journal gate); embedders who want that can
+        # journal through Journal(path, fsync=True) themselves.
+        jrnl = Journal(journal, replay=resume, fsync=False)
+        if resume:
+            by_journal_key: dict[str, dict] = {}
+            for record in jrnl.replayed:
+                kind = record.get("kind")
+                if kind == "header":
+                    if record.get("ontology") != onto_fp:
+                        jrnl.close()
+                        raise ValueError(
+                            f"{journal}: journal was written for a "
+                            f"different ontology (fingerprint "
+                            f"{record.get('ontology')!r}, expected "
+                            f"{onto_fp!r})")
+                elif kind == "result" and "key" in record:
+                    by_journal_key[record["key"]] = record["result"]
+            for idx in range(len(jobs)):
+                stored = by_journal_key.get(keys[idx])
+                if stored is not None:
+                    replayed[idx] = replace(
+                        _result_from_dict(stored), resumed=True)
+        if not any(r.get("kind") == "header" for r in jrnl.replayed):
+            jrnl.append({"kind": "header", "version": 1,
+                         "ontology": onto_fp, "jobs": len(jobs)})
+
+    to_run = [idx for idx in range(len(jobs)) if idx not in replayed]
+    split = (budget.split(len(to_run))
+             if budget is not None and to_run else [])
+    budgets: dict[int, Budget | None] = {
+        idx: (split[pos] if split else None)
+        for pos, idx in enumerate(to_run)}
 
     metrics = MetricsRegistry()
-    results: list[JobResult]
+    pool_supervisor: PoolSupervisor | None = None
+    cache: AnswerCache | None = None
     if workers <= 1:
         cache = answer_cache
         if cache is None:
             cache = AnswerCache(
                 disk=DiskCache(cache_dir) if cache_dir else None)
-        results = []
-        with tracer.activate():
-            for idx, job in enumerate(jobs):
-                try:
-                    result, metrics_raw = _execute_job(
-                        idx, job, onto, budgets[idx], options, cache)
-                    results.append(result)
-                    if metrics_raw is not None:
-                        metrics.merge_raw(metrics_raw)
-                except Exception as exc:
-                    # Same contract as the pool path: an unexpected crash
-                    # takes down only its own job, never the batch.
-                    results.append(crash_result(idx, job, exc))
     else:
-        payloads = [
-            (idx, job, onto,
-             budgets[idx].to_kwargs() if budgets[idx] is not None else None,
-             options)
-            for idx, job in enumerate(jobs)
-        ]
-        results = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_job, p) for p in payloads]
-            for idx, future in enumerate(futures):
-                try:
-                    payload = future.result()
-                except Exception as exc:  # worker death, pool breakage
-                    # KeyboardInterrupt/SystemExit propagate: a user Ctrl-C
-                    # must abort the batch, not drain into per-job crashes.
-                    results.append(crash_result(idx, jobs[idx], exc))
-                    continue
-                results.append(_result_from_dict(payload["result"]))
-                if payload.get("spans"):
-                    tracer.merge(payload["spans"])
-                if payload.get("metrics") is not None:
-                    metrics.merge_raw(payload["metrics"])
+        pool_supervisor = PoolSupervisor(
+            _run_job, workers, max_pool_deaths=max_pool_deaths)
+
+    runner = _BatchRunner(onto, jobs, options, budgets, tracer, metrics,
+                          cache, pool_supervisor, retry, jrnl, keys)
+    supervisor = Supervisor(retry, runner.execute_wave,
+                            on_final=runner.finalize)
+    try:
+        if to_run:
+            if pool_supervisor is None:
+                with tracer.activate():
+                    supervisor.run(to_run)
+            else:
+                with pool_supervisor:
+                    supervisor.run(to_run)
+    finally:
+        if jrnl is not None:
+            jrnl.close()
+
+    results = [replayed.get(idx) or runner.results[idx]
+               for idx in range(len(jobs))]
 
     latency = Histogram("job_seconds")
     for r in results:
@@ -410,6 +656,7 @@ def evaluate_batch(
         "ok": sum(1 for r in results if r.status == "ok"),
         "unknown": sum(1 for r in results if r.status == "unknown"),
         "error": sum(1 for r in results if r.status == "error"),
+        "quarantined": sum(1 for r in results if r.status == "quarantined"),
         "cache": {
             "hits": hits,
             "misses": len(results) - hits,
@@ -423,4 +670,11 @@ def evaluate_batch(
         "conversion_cache": conversion_cache_stats(),
         "wall_seconds": round(time.perf_counter() - wall_start, 6),
     }
+    resilience: dict[str, Any] = dict(supervisor.stats())
+    resilience["resumed"] = len(replayed)
+    if pool_supervisor is not None:
+        resilience["pool"] = pool_supervisor.stats()
+    if jrnl is not None:
+        resilience["journal"] = jrnl.stats()
+    stats["resilience"] = resilience
     return BatchReport(results=results, stats=stats)

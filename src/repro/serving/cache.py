@@ -104,26 +104,61 @@ class LRUCache:
 class DiskCache:
     """A directory of ``<key>.json`` files written atomically.
 
-    Corrupt or unreadable entries behave as misses (a concurrent writer
-    can never wedge a reader); values must be JSON-serializable.
+    Failure is contained twice over.  Per entry: a corrupt or truncated
+    file (a machine crash mid-``os.replace`` on a non-atomic filesystem,
+    a disk-full half-write) behaves as a miss, is counted in
+    ``read_errors`` and is unlinked so the next write starts clean.  Per
+    process: ``max_consecutive_errors`` failed *writes* in a row trip a
+    circuit breaker — the cache stops touching the disk entirely for the
+    rest of the process (every ``get`` a miss, every ``put`` a no-op), so
+    a dead or read-only cache volume costs a bounded number of syscalls
+    instead of two per job forever.  ``tripped`` is exposed in
+    :meth:`stats`.  Values must be JSON-serializable.
     """
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(self, directory: str | os.PathLike,
+                 max_consecutive_errors: int = 5):
+        if max_consecutive_errors < 1:
+            raise ValueError("max_consecutive_errors must be >= 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_consecutive_errors = max_consecutive_errors
         self.hits = 0
         self.misses = 0
+        self.read_errors = 0
         self.write_errors = 0
+        self.consecutive_errors = 0
+        self.tripped = False
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _record_write_error(self) -> None:
+        self.write_errors += 1
+        self.consecutive_errors += 1
+        if self.consecutive_errors >= self.max_consecutive_errors:
+            self.tripped = True
+
     def get(self, key: str, default: Any = None) -> Any:
-        try:
-            with open(self._path(key)) as fh:
-                value = json.load(fh)
-        except (OSError, ValueError):
+        if self.tripped:
             self.misses += 1
+            return default
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                value = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except (OSError, ValueError):
+            # The entry exists but cannot be parsed (truncated write,
+            # bit rot): a miss, plus eviction so it cannot keep failing.
+            self.read_errors += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return default
         self.hits += 1
         return value
@@ -137,6 +172,8 @@ class DiskCache:
         evaluation — and the temp file is always cleaned up rather than
         leaked into the cache directory.
         """
+        if self.tripped:
+            return
         tmp: str | None = None
         try:
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
@@ -144,17 +181,25 @@ class DiskCache:
                 json.dump(value, fh)
             os.replace(tmp, self._path(key))
         except (OSError, TypeError, ValueError):
-            self.write_errors += 1
+            self._record_write_error()
             if tmp is not None:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
+        else:
+            self.consecutive_errors = 0
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | bool]:
+        try:
+            entries = sum(1 for _ in self.directory.glob("*.json"))
+        except OSError:
+            entries = 0
         return {"hits": self.hits, "misses": self.misses,
+                "read_errors": self.read_errors,
                 "write_errors": self.write_errors,
-                "entries": sum(1 for _ in self.directory.glob("*.json"))}
+                "tripped": self.tripped,
+                "entries": entries}
 
 
 class AnswerCache:

@@ -241,3 +241,111 @@ class TestBacktrackFaults:
         budget = Budget(faults=FaultPlan(
             [FaultSpec("rf_backtracks", at=10_000)]))
         assert fits(tm, partial, budget=budget) is not None
+
+
+class TestKillFaults:
+    """The kill: fault kind: parsing, independent counters, and the hard
+    exit (stubbed — real process deaths are covered by the serving
+    resilience suite)."""
+
+    def test_parse_kill_prefix(self):
+        plan = parse_faults("kill:chase_truncate:@2")
+        assert not plan.specs  # no limit spec
+        assert plan.kills["chase_truncate"].at == 2
+        assert plan.kills["chase_truncate"].kind == "kill"
+        assert bool(plan)
+
+    def test_kill_rejects_unknown_site(self):
+        with pytest.raises(ValueError):
+            parse_faults("kill:warp_core:@1")
+
+    def test_kill_fires_hard_kill_at_the_scheduled_hit(self, monkeypatch):
+        import repro.runtime.faults as faults
+        killed = []
+        monkeypatch.setattr(faults, "hard_kill", killed.append)
+        plan = parse_faults("kill:deadline:@3")
+        for _ in range(5):
+            plan.hit("deadline")
+        assert killed == ["deadline"]  # exactly once, on the 3rd hit
+
+    def test_kill_and_limit_counters_are_independent(self, monkeypatch):
+        import repro.runtime.faults as faults
+        killed = []
+        monkeypatch.setattr(faults, "hard_kill", killed.append)
+        plan = parse_faults("deadline:@2,kill:deadline:@5")
+        fired = [plan.hit("deadline") for _ in range(6)]
+        assert fired == [False, True, False, False, False, False]
+        assert killed == ["deadline"]
+        assert plan.kill_hits["deadline"] == 6
+
+    def test_kill_specs_ship_through_to_kwargs(self, no_ambient_faults):
+        budget = Budget(faults=parse_faults("kill:chase_truncate:@1"))
+        clone = Budget(**budget.to_kwargs())
+        assert clone.faults is not budget.faults
+        assert clone.faults.kills["chase_truncate"].at == 1
+        assert clone.faults.kill_hits == {"chase_truncate": 0}
+
+    def test_kill_specs_survive_split_and_escalated(self, no_ambient_faults):
+        budget = Budget(chase_steps=10,
+                        faults=parse_faults("kill:deadline:@4"))
+        child = budget.split(2)[0]
+        assert child.faults.kills["deadline"].at == 4
+        retry = budget.escalated(2.0)
+        assert retry.faults.kills["deadline"].at == 4
+        assert retry.faults.kill_hits == {"deadline": 0}  # counters restart
+
+    def test_kill_exit_code_is_distinctive(self):
+        from repro.runtime import KILL_EXIT_CODE
+        assert KILL_EXIT_CODE == 87
+
+
+class TestBudgetEscalated:
+    def test_limits_scale_and_spent_pools_reset(self, no_ambient_faults):
+        base = Budget(chase_steps=10, nulls=4, conflicts=8, backtracks=6,
+                      timeout=2.0, escalate=False)
+        # Burn most of the base allocation, as a failed attempt would.
+        base.spent_chase_steps = 9
+        base.spent_nulls = 4
+        retry = base.escalated(2.0)
+        assert retry.max_chase_steps == 20
+        assert retry.max_nulls == 8
+        assert retry.max_conflicts == 16
+        assert retry.max_backtracks == 12
+        assert retry.timeout == pytest.approx(4.0)
+        assert retry.escalate is False
+        # The regression that motivated this method: the retry starts from
+        # a *fresh* allocation, not the base's spent pools.
+        assert retry.spent_chase_steps == 0
+        assert retry.spent_nulls == 0
+        for _ in range(15):
+            retry.tick_chase_step()  # would blow a spent-pool carry-over
+
+    def test_escalated_child_is_lazy(self, no_ambient_faults):
+        retry = Budget(timeout=1.0).escalated(2.0)
+        assert retry._start is None  # deadline anchors at first checkpoint
+
+    def test_unlimited_stays_unlimited(self, no_ambient_faults):
+        retry = Budget().escalated(3.0)
+        assert retry.timeout is None and retry.max_chase_steps is None
+
+    def test_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Budget().escalated(0)
+
+    def test_retry_after_starved_split_child_succeeds(self, no_ambient_faults):
+        # End to end: a split child too small to answer, escalated into one
+        # that is.  This is the satellite regression — retries must never
+        # inherit the spent pools of the failed attempt.
+        from repro.runtime import ResourceExhausted
+        from repro.semantics.certain import CertainEngine
+        onto = HORN
+        data = make_instance("Hand(h1)", "Hand(h2)", "Hand(h3)")
+        query = parse_cq("q(x) <- hasFinger(x,y) & Thumb(y)")
+        child = Budget(nulls=2, chase_steps=2, conflicts=2,
+                       escalate=False).split(2)[0]
+        engine = CertainEngine(onto)
+        with pytest.raises(ResourceExhausted):
+            engine.certain_answers(data, query, budget=child)
+        retry = child.escalated(64.0)
+        assert engine.certain_answers(data, query, budget=retry) == {
+            (Const("h1"),), (Const("h2"),), (Const("h3"),)}

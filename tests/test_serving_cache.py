@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.logic.ontology import ontology
 from repro.semantics.rules import render_rules
 from repro.serving import (
@@ -69,6 +71,47 @@ class TestDiskCache:
         d.put("k1", [1, 2, 3])
         [path] = list((tmp_path / "cache").iterdir())
         assert json.loads(path.read_text(encoding="utf-8")) == [1, 2, 3]
+
+    def test_corrupt_entry_is_counted_and_evicted(self, tmp_path):
+        d = DiskCache(tmp_path / "cache")
+        d.put("k1", {"x": 1})
+        [path] = list((tmp_path / "cache").iterdir())
+        path.write_text('{"x": 1, "trunc', encoding="utf-8")  # torn write
+        assert d.get("k1") is None
+        assert d.read_errors == 1 and d.misses == 1
+        assert not path.exists()  # evicted so it cannot keep failing
+        # The slot is clean again: a rewrite round-trips.
+        d.put("k1", {"x": 2})
+        assert d.get("k1") == {"x": 2}
+        assert d.stats()["read_errors"] == 1
+
+    def test_plain_miss_is_not_a_read_error(self, tmp_path):
+        d = DiskCache(tmp_path / "cache")
+        assert d.get("absent") is None
+        assert d.misses == 1 and d.read_errors == 0
+
+    def test_write_failures_trip_the_circuit_breaker(self, tmp_path):
+        d = DiskCache(tmp_path / "cache", max_consecutive_errors=3)
+        unserializable = object()
+        for _ in range(3):
+            d.put("k", unserializable)  # TypeError inside json.dump
+        assert d.write_errors == 3
+        assert d.tripped and d.stats()["tripped"] is True
+        # Tripped: the disk is never touched again this process.
+        d.put("k2", {"ok": 1})
+        assert list((tmp_path / "cache").glob("*.json")) == []
+        assert d.get("k2") is None  # every get is a miss
+
+    def test_successful_write_resets_the_error_streak(self, tmp_path):
+        d = DiskCache(tmp_path / "cache", max_consecutive_errors=2)
+        d.put("bad", object())
+        d.put("good", {"ok": 1})  # streak broken
+        d.put("bad", object())
+        assert d.write_errors == 2 and not d.tripped
+
+    def test_max_consecutive_errors_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path / "cache", max_consecutive_errors=0)
 
 
 class TestAnswerCache:
