@@ -19,12 +19,18 @@ across a batch.  This bench measures both:
   JSONL record per finished job (an unbuffered atomic write, group
   fsync at close); the smoke gate bounds its cost at 5% over the
   journal-less batch, so durability is cheap enough to leave on.
+* **datalog fast path** — for PTIME-classified OMQs ``compile_omq``
+  can ship the Theorem 5 Datalog(≠) rewriting instead of the chase
+  ladder (``fastpath="auto"``); the smoke gate asserts the fast path
+  returns the ladder's answers *and* beats it on wall clock.
 
 Run under pytest-benchmark for statistics, standalone for a JSON report,
-or with ``--smoke`` as a CI gate::
+with ``--smoke`` as a CI gate, or with ``--snapshot`` to pin the numbers
+into ``BENCH_serving.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/bench_serving.py           # JSON report
     PYTHONPATH=src python benchmarks/bench_serving.py --smoke   # CI assertions
+    PYTHONPATH=src python benchmarks/bench_serving.py --snapshot  # pin numbers
 """
 
 import json
@@ -54,6 +60,23 @@ QUERIES = [
     "q() <- Thumb(y)",
     "q(x) <- Hand(x)",
 ]
+
+# A PTIME OMQ the static gate provably accepts: A propagates along R, so
+# certain membership in A is a reachability closure — exactly the shape
+# where the Datalog fast path beats re-running the chase per instance.
+FASTPATH_ONTO = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))",
+                         name="prop")
+FASTPATH_QUERY = "q(x) <- A(x)"
+
+
+def fastpath_instances(n: int = 8, chain: int = 6):
+    """*n* R-chains, each seeded with one A fact at the head."""
+    out = []
+    for i in range(n):
+        facts = [f"A(a{i})", f"R(a{i},a{i}_0)"]
+        facts += [f"R(a{i}_{k},a{i}_{k + 1})" for k in range(chain)]
+        out.append(make_instance(*facts))
+    return out
 
 
 def instances(n: int):
@@ -117,6 +140,20 @@ def test_compiled_plan_warm(benchmark):
 def test_batch(benchmark, workers):
     jobs = workload()
     benchmark(lambda: evaluate_batch(ONTO, jobs, workers=workers))
+
+
+@pytest.mark.parametrize("mode", ["off", "auto"])
+def test_fastpath_vs_ladder(benchmark, mode):
+    data = fastpath_instances()
+    clear_caches()
+    plan = compile_omq(FASTPATH_ONTO, FASTPATH_QUERY, fastpath=mode)
+
+    def run():
+        for inst in data:
+            plan.evaluate(inst)
+
+    run()  # warm
+    benchmark(run)
 
 
 # -- standalone measurement ---------------------------------------------------
@@ -254,6 +291,53 @@ def tracer_overhead(repeats: int = 9) -> dict:
     }
 
 
+def fastpath_comparison(repeats: int = 9) -> dict:
+    """The Datalog fast path against the chase ladder on the same OMQ.
+
+    Both plans compile once (rewriting construction is *not* timed — it
+    is a per-OMQ cost the plan cache amortizes away) and evaluate the
+    same instances with no answer cache, so the ratio isolates engine
+    time.  ``answers_agree`` is the correctness half of the gate: the
+    speedup is worthless unless the fast path returns exactly the
+    ladder's certain answers on every instance.
+    """
+    data = fastpath_instances()
+    clear_caches()
+    fast = compile_omq(FASTPATH_ONTO, FASTPATH_QUERY, fastpath="auto")
+    ladder = compile_omq(FASTPATH_ONTO, FASTPATH_QUERY)
+    agree = all(
+        set(fast.evaluate(inst).answers) == set(ladder.evaluate(inst).answers)
+        for inst in data)  # also warms both plans
+
+    def run_fast():
+        for inst in data:
+            fast.evaluate(inst)
+
+    def run_ladder():
+        for inst in data:
+            ladder.evaluate(inst)
+
+    ladder_s, fast_s = _paired_best(run_ladder, run_fast, max(repeats, 15))
+
+    jobs = [Job(query=FASTPATH_QUERY,
+                facts=(f"A(b{i})", f"R(b{i},c{i})"), job_id=f"f{i}")
+            for i in range(12)]
+    clear_caches()
+    batch = evaluate_batch(FASTPATH_ONTO, jobs, fastpath="auto")
+    paths = batch.stats["paths"]
+    engine_evals = sum(n for p, n in paths.items() if p != "cache")
+    return {
+        "plan_kind": fast.plan_kind,
+        "answers_agree": agree,
+        "ladder_s": round(ladder_s, 6),
+        "fastpath_s": round(fast_s, 6),
+        "speedup": round(ladder_s / fast_s, 4) if fast_s else float("inf"),
+        "batch_paths": paths,
+        "batch_hit_rate": (round(paths.get("fastpath", 0) / engine_evals, 4)
+                           if engine_evals else 0.0),
+    }
+
+
 def measure(repeats: int = 7) -> dict:
     data = instances(10)
     query = parse_query(QUERY)
@@ -301,13 +385,15 @@ def measure(repeats: int = 7) -> dict:
     }
     report["tracer"] = tracer_overhead(repeats)
     report["journal"] = journal_overhead(repeats)
+    report["fastpath"] = fastpath_comparison(repeats)
     return report
 
 
 def smoke() -> int:
-    """CI gate: warm beats cold, worker count cannot change results, and
-    the disabled tracer and the enabled journal each cost at most 5%
-    over their baselines."""
+    """CI gate: warm beats cold, worker count cannot change results, the
+    disabled tracer and the enabled journal each cost at most 5% over
+    their baselines, and the datalog fast path matches and beats the
+    ladder."""
     report = measure(repeats=5)
     # Overhead gates, best-of-3: on a contended machine a single paired
     # measurement has noise tails well past 5% in either direction (the
@@ -338,16 +424,76 @@ def smoke() -> int:
     if journal_ratio > 1.05:
         failures.append(
             f"journal overhead {journal_ratio:.4f}x exceeds the 5% budget")
+    fp = report["fastpath"]
+    if fp["plan_kind"] != "datalog-fastpath":
+        failures.append("static gate refused the known-PTIME fastpath OMQ")
+    if not fp["answers_agree"]:
+        failures.append("fastpath answers differ from the ladder's")
+    for _ in range(2):
+        # speedup gate, best-of-3 like the overhead gates: re-measure
+        # before declaring a regression on a contended machine
+        if fp["speedup"] > 1.0:
+            break
+        retry = fastpath_comparison(repeats=5)
+        if retry["speedup"] > fp["speedup"]:
+            report["fastpath"] = fp = retry
+    if fp["speedup"] <= 1.0:
+        failures.append(
+            f"fastpath ({fp['fastpath_s']:.6f}s) does not beat the "
+            f"ladder ({fp['ladder_s']:.6f}s)")
     print(json.dumps(report, indent=2))
     for failure in failures:
         print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0
 
 
+def snapshot(path: str = "") -> int:
+    """Pin the current numbers into ``BENCH_serving.json``.
+
+    The snapshot records the commit it was measured at plus the headline
+    timings — enough for the next PR to see whether the serving layer
+    got slower without re-running the full bench matrix.
+    """
+    import datetime
+    import os
+    import subprocess
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, capture_output=True,
+            text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    report = measure(repeats=5)
+    doc = {
+        "commit": commit,
+        "generated": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "plan_cold_s": round(report["plan_cold_s"], 6),
+        "plan_warm_s": round(report["plan_warm_s"], 6),
+        "warm_speedup": round(report["warm_speedup"], 4),
+        "batch": report["batch"],
+        "tracer_overhead_ratio": report["tracer"]["overhead_ratio"],
+        "journal_overhead_ratio": report["journal"]["overhead_ratio"],
+        "fastpath": report["fastpath"],
+    }
+    out = path or os.path.join(root, "BENCH_serving.json")
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"snapshot written to {out}")
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if "--smoke" in argv:
         return smoke()
+    if "--snapshot" in argv:
+        rest = [a for a in argv if a != "--snapshot"]
+        return snapshot(rest[0] if rest else "")
     print(json.dumps(measure(), indent=2))
     return 0
 

@@ -8,6 +8,13 @@
   ``rules_*`` modules); surfaced via ``python -m repro lint`` and the
   opt-in pre-flight checks of
   :class:`~repro.semantics.certain.CertainEngine`;
+* a **Datalog(≠) program analyzer/optimizer**
+  (:mod:`~repro.analysis.program`) — dependency graph, stratification,
+  dead-rule and subsumption elimination, static join ordering and the
+  :class:`ProgramReport` admissibility verdict the serving planner's
+  ``datalog-fastpath`` gate consumes; its findings are the ``OMQ1xx``
+  diagnostics (:mod:`~repro.analysis.rules_program`), surfaced via
+  ``python -m repro analyze program``;
 * **engine sanitizers** — debug-mode runtime invariant checkers for the
   chase and the CDCL solver (:mod:`~repro.analysis.sanitizers`), enabled
   with ``REPRO_SANITIZE=1``.
@@ -24,10 +31,16 @@ from .linter import (
     lint_ontology, lint_query_text, lint_sentences, rule, rules_for, walk,
 )
 
+from .program import (
+    DependencyGraph, OptimizationResult, ProgramReport, analyze_program,
+    dependency_graph, optimize_program, render_analysis, stratify,
+)
+
 # Importing the rule modules registers the built-in rules.
 from . import rules_syntax  # noqa: E402,F401  (registration side effect)
 from . import rules_query   # noqa: E402,F401
 from . import rules_fragment  # noqa: E402,F401
+from . import rules_program  # noqa: E402,F401
 
 from .sanitizers import (
     CdclSanitizer, ChaseSanitizer, SanitizerError, cdcl_sanitizer,
@@ -40,6 +53,9 @@ __all__ = [
     "lint_sentences", "rule", "rules_for", "walk",
     "render_json", "render_text", "sort_diagnostics", "has_errors",
     "count_by_severity",
+    "DependencyGraph", "ProgramReport", "OptimizationResult",
+    "analyze_program", "optimize_program", "dependency_graph", "stratify",
+    "render_analysis",
     "SanitizerError", "ChaseSanitizer", "CdclSanitizer",
     "chase_sanitizer", "cdcl_sanitizer", "sanitize_enabled",
 ]

@@ -1,7 +1,9 @@
 """Diagnostics: the common currency of the static-analysis layer.
 
-A :class:`Diagnostic` is an immutable finding with a stable code (``OMQ0xx``),
-a severity, a human-readable message, and a location — the *source* artifact
+A :class:`Diagnostic` is an immutable finding with a stable code (``OMQ``
+followed by exactly three digits — ``OMQ0xx`` for artifact lint rules,
+``OMQ1xx`` for the Datalog program analyzer), a severity, a human-readable
+message, and a location — the *source* artifact
 it was found in (an ontology/data/query file or an in-memory object), an
 optional *line* in that artifact, and an AST *path* such as
 ``sentence[2].body.or[1].exists(y)`` pinpointing the offending node.
@@ -15,6 +17,7 @@ match on them.  ``python -m repro lint --format json`` emits the
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Sequence
@@ -47,8 +50,10 @@ class Diagnostic:
     path: str = ""            # AST path within the artifact
 
     def __post_init__(self) -> None:
-        if not self.code.startswith("OMQ"):
-            raise ValueError(f"diagnostic code {self.code!r} must be OMQ0xx")
+        if not re.fullmatch(r"OMQ\d{3}", self.code):
+            raise ValueError(
+                f"diagnostic code {self.code!r} must match OMQ\\d{{3}} "
+                "(e.g. OMQ001, OMQ101)")
 
     def location(self) -> str:
         """Render ``source:line:path`` with empty parts omitted."""

@@ -1,0 +1,748 @@
+"""Static analysis and optimization of Datalog(≠) programs.
+
+The Theorem-5 rewriting (:mod:`repro.core.rewriting`) and the hand-written
+programs of :mod:`repro.datalog` are evaluated bottom-up by a semi-naive
+engine that, unaided, considers every rule every round and joins body atoms
+in authoring order.  This module is the *static* counterpart of that
+engine: it computes the structure a planner needs to prove a program can be
+evaluated efficiently — and to refuse one that cannot.
+
+Analyses (all pure, program-in / report-out):
+
+* **predicate dependency graph** (:func:`dependency_graph`) — which
+  predicates each head reads, EDB/IDB split, strongly connected components
+  (:func:`condensation`) and the stratification they induce
+  (:func:`stratify`): rule groups the engine can run to fixpoint in order;
+* **goal reachability and dead rules** (:func:`dead_rules`) — rules whose
+  head cannot reach the goal relation, or whose body mentions an IDB
+  predicate no rule chain can ever derive from EDB facts;
+* **binding-pattern body ordering** (:func:`order_body`) — a greedy
+  bound-variables-first join order: after the first atom, every next atom
+  shares a variable with the atoms before it whenever possible, so the
+  engine's backtracking join never forms an avoidable cartesian product;
+* **canonicalization and subsumption** (:func:`canonicalize_rule`,
+  :func:`subsumed_rules`) — duplicate body literals, inequalities that are
+  tautological or unsatisfiable, and rules made redundant by a more general
+  rule (``θ(head₁) = head₂`` and ``θ(body₁) ⊆ body₂``);
+* **admissibility** (:func:`analyze_program` → :class:`ProgramReport`) —
+  the verdict ``repro.serving.plan.compile_omq`` consults before emitting a
+  ``datalog-fastpath`` plan.
+
+:func:`optimize_program` applies the semantics-preserving subset of the
+findings.  Why pruning preserves the goal relation: evaluation is the least
+fixpoint of the immediate-consequence operator, and a derivation of a goal
+fact is a finite proof tree.  (1) A rule whose head predicate does not
+reach ``goal`` in the dependency graph can label no node of such a tree, so
+removing it removes no proof.  (2) A rule whose body mentions an IDB
+predicate that is not derivable (no rule chain grounds out in EDB
+predicates) can never fire — under the standard Datalog convention, honoured
+by the emitted rewritings, that instances supply only EDB facts.  (3) A
+rule with an unsatisfiable inequality (``u != u``) never fires.  (4) If
+rule *r₁* subsumes *r₂* (a substitution maps *r₁*'s head onto *r₂*'s and
+*r₁*'s body into *r₂*'s), every fact *r₂* derives is derived by *r₁* from
+the same premises, so dropping *r₂* loses no consequences.  (5) Reordering
+body literals permutes a conjunction.  Each step only shrinks or reorders;
+the differential property suite (``tests/test_datalog_optimize_property.py``)
+checks goal-fact equality across the corpus and seeded random programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..datalog.program import BodyLiteral, Neq, Program, Rule
+from ..logic.syntax import Atom, Const, Term, Var
+
+#: Body width (relational atoms per rule) beyond which the fast path
+#: refuses a program: the engine's join is exponential in the body width,
+#: so a verdict of "PTIME" is only honest below a small constant.
+MAX_FASTPATH_WIDTH = 16
+
+
+# ---------------------------------------------------------------------------
+# dependency graph / SCCs / stratification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """Predicate-level dependencies of a program.
+
+    ``edges[p]`` is the set of predicates some rule with head ``p`` reads;
+    ``edb`` are predicates never defined by a rule (supplied by instances),
+    ``idb`` the rule-defined ones.
+    """
+
+    predicates: frozenset[str]
+    edges: dict[str, frozenset[str]]
+    edb: frozenset[str]
+    idb: frozenset[str]
+
+    def readers(self, pred: str) -> frozenset[str]:
+        """Head predicates whose rules read *pred*."""
+        return frozenset(h for h, deps in self.edges.items() if pred in deps)
+
+
+def body_atoms(rule: Rule) -> list[Atom]:
+    return [lit for lit in rule.body if isinstance(lit, Atom)]
+
+
+def dependency_graph(program: Program) -> DependencyGraph:
+    """The predicate dependency graph head -> body predicates."""
+    preds: set[str] = set()
+    edges: dict[str, set[str]] = {}
+    heads: set[str] = set()
+    for rule in program.rules:
+        heads.add(rule.head.pred)
+        preds.add(rule.head.pred)
+        deps = edges.setdefault(rule.head.pred, set())
+        for atom in body_atoms(rule):
+            preds.add(atom.pred)
+            deps.add(atom.pred)
+    return DependencyGraph(
+        predicates=frozenset(preds),
+        edges={h: frozenset(d) for h, d in edges.items()},
+        edb=frozenset(preds - heads),
+        idb=frozenset(heads),
+    )
+
+
+def condensation(graph: DependencyGraph) -> list[frozenset[str]]:
+    """Strongly connected components, dependencies first.
+
+    Iterative Tarjan (rewriting-emitted programs easily exceed the
+    recursion limit).  The returned order is a reverse topological order
+    of the condensation DAG: every SCC appears after the SCCs it reads.
+    """
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[frozenset[str]] = []
+    counter = [0]
+
+    def neighbours(p: str) -> Iterable[str]:
+        return graph.edges.get(p, frozenset())
+
+    for root in sorted(graph.predicates):
+        if root in index:
+            continue
+        work: list[tuple[str, Iterable[str] | None]] = [(root, None)]
+        while work:
+            node, it = work.pop()
+            if it is None:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+                it = iter(sorted(neighbours(node)))
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    work.append((node, it))
+                    work.append((succ, None))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            if low[node] == index[node]:
+                comp = set()
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    comp.add(top)
+                    if top == node:
+                        break
+                sccs.append(frozenset(comp))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def recursive_predicates(program: Program) -> frozenset[str]:
+    """Predicates on a dependency cycle (their SCC has >1 member, or a
+    rule's head reads itself)."""
+    graph = dependency_graph(program)
+    out: set[str] = set()
+    for scc in condensation(graph):
+        if len(scc) > 1:
+            out.update(scc)
+        else:
+            (p,) = scc
+            if p in graph.edges.get(p, frozenset()):
+                out.add(p)
+    return frozenset(out)
+
+
+def stratify(program: Program) -> tuple[tuple[int, ...], ...]:
+    """Rule-index strata the engine can run to fixpoint in order.
+
+    Each predicate gets a *level*: EDB predicates level 0, and every SCC
+    the longest-path level of the condensation DAG (1 + the maximum level
+    of the SCCs it reads, outside itself).  A rule lives in the stratum of
+    its head's level.  Rules in one stratum read only equal-or-lower
+    strata, so evaluating stratum by stratum (each to its own fixpoint)
+    computes the same least fixpoint while never re-matching the rules of
+    finished strata — the ordering hook ``repro.datalog.engine.evaluate``
+    consumes via its ``strata`` parameter.
+    """
+    graph = dependency_graph(program)
+    scc_of: dict[str, int] = {}
+    sccs = condensation(graph)
+    for i, scc in enumerate(sccs):
+        for p in scc:
+            scc_of[p] = i
+    level: dict[int, int] = {}
+    for i, scc in enumerate(sccs):  # dependencies-first order
+        deps = [
+            level[scc_of[d]]
+            for p in scc
+            for d in graph.edges.get(p, frozenset())
+            if scc_of[d] != i
+        ]
+        external = max(deps, default=0)
+        if all(p in graph.edb for p in scc):
+            level[i] = 0
+        else:
+            level[i] = external + 1
+    by_level: dict[int, list[int]] = {}
+    for idx, rule in enumerate(program.rules):
+        by_level.setdefault(level[scc_of[rule.head.pred]], []).append(idx)
+    return tuple(
+        tuple(by_level[lv]) for lv in sorted(by_level) if by_level[lv])
+
+
+# ---------------------------------------------------------------------------
+# goal reachability, derivability, dead rules
+# ---------------------------------------------------------------------------
+
+
+def goal_support(program: Program) -> frozenset[str]:
+    """Predicates backward-reachable from the goal relation."""
+    graph = dependency_graph(program)
+    seen: set[str] = {program.goal}
+    frontier = [program.goal]
+    while frontier:
+        pred = frontier.pop()
+        for dep in graph.edges.get(pred, frozenset()):
+            if dep not in seen:
+                seen.add(dep)
+                frontier.append(dep)
+    return frozenset(seen)
+
+
+def derivable_predicates(program: Program) -> frozenset[str]:
+    """Predicates some rule chain can populate from EDB facts.
+
+    EDB predicates are derivable by fiat (instances supply them); an IDB
+    predicate is derivable once some defining rule has an all-derivable
+    body.  (IDB predicates are assumed absent from instances — the
+    standard Datalog convention, and true of the Theorem-5 rewritings
+    whose ``P_Θ`` predicates are fresh.)
+    """
+    graph = dependency_graph(program)
+    derivable: set[str] = set(graph.edb)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            if rule.head.pred in derivable:
+                continue
+            if all(a.pred in derivable for a in body_atoms(rule)):
+                derivable.add(rule.head.pred)
+                changed = True
+    return frozenset(derivable)
+
+
+def never_firing_rules(program: Program) -> tuple[int, ...]:
+    """Rules with an unsatisfiable body: an inequality ``t != t``."""
+    out = []
+    for idx, rule in enumerate(program.rules):
+        for lit in rule.body:
+            if isinstance(lit, Neq) and lit.left == lit.right:
+                out.append(idx)
+                break
+    return tuple(out)
+
+
+def dead_rules(program: Program) -> tuple[int, ...]:
+    """Rules that cannot contribute a goal fact.
+
+    A rule is dead when its head predicate is not backward-reachable from
+    the goal, when its body mentions an underivable IDB predicate, or when
+    its body is unsatisfiable.  See the module docstring for why removing
+    dead rules preserves the goal relation.
+    """
+    support = goal_support(program)
+    derivable = derivable_predicates(program)
+    never = set(never_firing_rules(program))
+    out = []
+    for idx, rule in enumerate(program.rules):
+        if idx in never:
+            out.append(idx)
+        elif rule.head.pred not in support:
+            out.append(idx)
+        elif any(a.pred not in derivable for a in body_atoms(rule)):
+            out.append(idx)
+    return tuple(out)
+
+
+def unreachable_predicates(program: Program) -> tuple[str, ...]:
+    """IDB predicates the goal never (transitively) reads."""
+    graph = dependency_graph(program)
+    support = goal_support(program)
+    return tuple(sorted(graph.idb - support))
+
+
+# ---------------------------------------------------------------------------
+# canonicalization, subsumption
+# ---------------------------------------------------------------------------
+
+
+def canonicalize_rule(rule: Rule) -> Rule:
+    """Drop duplicate body literals and tautological inequalities.
+
+    An inequality between two distinct constants is always true; a
+    repeated literal adds a join that can only re-derive the same
+    bindings.  (``u != u`` is *not* dropped — it makes the rule dead,
+    which :func:`dead_rules` reports instead.)
+    """
+    seen: set[BodyLiteral] = set()
+    body: list[BodyLiteral] = []
+    for lit in rule.body:
+        if isinstance(lit, Neq):
+            if (isinstance(lit.left, Const) and isinstance(lit.right, Const)
+                    and lit.left != lit.right):
+                continue  # tautology
+            if Neq(lit.right, lit.left) in seen:
+                continue  # symmetric duplicate
+        if lit in seen:
+            continue
+        seen.add(lit)
+        body.append(lit)
+    if len(body) == len(rule.body):
+        return rule
+    return Rule(rule.head, body)
+
+
+def duplicate_literal_rules(program: Program) -> tuple[int, ...]:
+    """Rules whose body repeats a literal (incl. symmetric inequalities)."""
+    out = []
+    for idx, rule in enumerate(program.rules):
+        seen: set[BodyLiteral] = set()
+        for lit in rule.body:
+            if lit in seen or (isinstance(lit, Neq)
+                               and Neq(lit.right, lit.left) in seen):
+                out.append(idx)
+                break
+            seen.add(lit)
+    return tuple(out)
+
+
+def _match_term(pattern: Term, target: Term, env: dict[Var, Term]) -> bool:
+    if isinstance(pattern, Var):
+        bound = env.get(pattern)
+        if bound is None:
+            env[pattern] = target
+            return True
+        return bound == target
+    return pattern == target
+
+
+def _match_atom(pattern: Atom, target: Atom, env: dict[Var, Term]) -> bool:
+    if pattern.pred != target.pred or pattern.arity != target.arity:
+        return False
+    saved = dict(env)
+    for p, t in zip(pattern.args, target.args):
+        if not _match_term(p, t, env):
+            env.clear()
+            env.update(saved)
+            return False
+    return True
+
+
+def rule_subsumes(general: Rule, specific: Rule) -> bool:
+    """Does *general* subsume *specific*?
+
+    True when some substitution θ over *general*'s variables maps its head
+    onto *specific*'s head and every body literal into *specific*'s body
+    (inequalities match up to symmetry).  Then every firing of *specific*
+    is matched by a firing of *general* deriving the same head fact.
+    """
+    env: dict[Var, Term] = {}
+    if not _match_atom(general.head, specific.head, env):
+        return False
+    atoms = body_atoms(general)
+    neqs = [lit for lit in general.body if isinstance(lit, Neq)]
+    targets = body_atoms(specific)
+    target_neqs = {(n.left, n.right) for n in specific.body
+                   if isinstance(n, Neq)}
+    target_neqs |= {(r, l) for l, r in target_neqs}
+
+    def place(idx: int, env: dict[Var, Term]) -> bool:
+        if idx == len(atoms):
+            for neq in neqs:
+                left = env.get(neq.left, neq.left) if isinstance(neq.left, Var) else neq.left
+                right = env.get(neq.right, neq.right) if isinstance(neq.right, Var) else neq.right
+                if (left, right) not in target_neqs:
+                    return False
+            return True
+        for target in targets:
+            trial = dict(env)
+            if _match_atom(atoms[idx], target, trial) and place(idx + 1, trial):
+                env.clear()
+                env.update(trial)
+                return True
+        return False
+
+    return place(0, env)
+
+
+def subsumed_rules(program: Program) -> tuple[tuple[int, int], ...]:
+    """``(loser, winner)`` pairs: rule *loser* is subsumed by *winner*.
+
+    Canonicalized bodies are compared; among alpha-equivalent duplicates
+    the earliest rule wins.  Each loser is reported once (first winner).
+    """
+    canon = [canonicalize_rule(r) for r in program.rules]
+    out = []
+    dropped: set[int] = set()
+    for j, specific in enumerate(canon):
+        for i, general in enumerate(canon):
+            if i == j or i in dropped:
+                continue
+            # Alpha-equivalent rules subsume each other; keep the earlier.
+            if j < i and rule_subsumes(specific, general):
+                continue
+            if rule_subsumes(general, specific):
+                out.append((j, i))
+                dropped.add(j)
+                break
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# binding-pattern body ordering
+# ---------------------------------------------------------------------------
+
+
+def order_body(rule: Rule) -> Rule:
+    """Reorder body atoms bound-variables-first (a static join order).
+
+    The engine joins body atoms left to right, extending a partial
+    assignment; an atom sharing no variable with the bound set multiplies
+    candidates instead of filtering them.  Greedy order: start from the
+    most selective atom (most constants, then fewest variables), then
+    repeatedly take the atom with the most already-bound variables,
+    breaking ties by fewest new variables, then authoring order (so the
+    choice is deterministic).  Inequalities keep their relative order at
+    the end of the body — the engine checks them once an assignment is
+    complete.
+    """
+    atoms = body_atoms(rule)
+    neqs = [lit for lit in rule.body if isinstance(lit, Neq)]
+    if len(atoms) <= 1:
+        return rule
+
+    def atom_vars(atom: Atom) -> set[Var]:
+        return {a for a in atom.args if isinstance(a, Var)}
+
+    remaining = list(range(len(atoms)))
+    order: list[int] = []
+    bound: set[Var] = set()
+
+    def selectivity(i: int) -> tuple:
+        constants = sum(1 for a in atoms[i].args if not isinstance(a, Var))
+        return (-constants, len(atom_vars(atoms[i])), i)
+
+    def gain(i: int) -> tuple:
+        vs = atom_vars(atoms[i])
+        return (-len(vs & bound), len(vs - bound), i)
+
+    first = min(remaining, key=selectivity)
+    order.append(first)
+    remaining.remove(first)
+    bound |= atom_vars(atoms[first])
+    while remaining:
+        nxt = min(remaining, key=gain)
+        order.append(nxt)
+        remaining.remove(nxt)
+        bound |= atom_vars(atoms[nxt])
+    if order == sorted(order):
+        return rule
+    return Rule(rule.head, [atoms[i] for i in order] + neqs)
+
+
+def cartesian_rules(program: Program) -> tuple[int, ...]:
+    """Rules whose body atoms split into ≥2 variable-disjoint components
+    (no ordering can avoid the cartesian product)."""
+    out = []
+    for idx, rule in enumerate(program.rules):
+        atoms = body_atoms(rule)
+        comps = []
+        for atom in atoms:
+            vs = {a for a in atom.args if isinstance(a, Var)}
+            if not vs:
+                continue  # a ground atom is a filter, not a component
+            merged = {frozenset(vs)}
+            rest = []
+            for comp in comps:
+                if comp & vs:
+                    merged.add(comp)
+                else:
+                    rest.append(comp)
+            comps = rest + [frozenset().union(*merged)]
+        if len(comps) >= 2:
+            out.append(idx)
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# the report and the optimization pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProgramReport:
+    """The admissibility verdict plus everything the analyses found.
+
+    ``admissible`` is what the serving planner gates the
+    ``datalog-fastpath`` plan on; ``reasons`` lists why it is False.
+    """
+
+    goal: str
+    rules: int
+    predicates: int
+    edb: tuple[str, ...]
+    idb: tuple[str, ...]
+    goal_defined: bool
+    pure_datalog: bool
+    neq_literals: int
+    range_restricted: bool
+    strata: tuple[tuple[int, ...], ...]
+    recursive: tuple[str, ...]
+    max_body_atoms: int
+    max_body_vars: int
+    dead: tuple[int, ...]
+    never_firing: tuple[int, ...]
+    unreachable: tuple[str, ...]
+    subsumed: tuple[tuple[int, int], ...]
+    duplicate_literals: tuple[int, ...]
+    cartesian: tuple[int, ...]
+    admissible: bool
+    reasons: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "goal": self.goal,
+            "rules": self.rules,
+            "predicates": self.predicates,
+            "edb": list(self.edb),
+            "idb": list(self.idb),
+            "goal_defined": self.goal_defined,
+            "pure_datalog": self.pure_datalog,
+            "neq_literals": self.neq_literals,
+            "range_restricted": self.range_restricted,
+            "strata": [list(s) for s in self.strata],
+            "recursive": list(self.recursive),
+            "max_body_atoms": self.max_body_atoms,
+            "max_body_vars": self.max_body_vars,
+            "dead_rules": list(self.dead),
+            "never_firing": list(self.never_firing),
+            "unreachable_predicates": list(self.unreachable),
+            "subsumed": [list(p) for p in self.subsumed],
+            "duplicate_literals": list(self.duplicate_literals),
+            "cartesian_rules": list(self.cartesian),
+            "admissible": self.admissible,
+            "reasons": list(self.reasons),
+        }
+
+
+def analyze_program(program: Program) -> ProgramReport:
+    """Run every analysis; mutate nothing."""
+    graph = dependency_graph(program)
+    strata = stratify(program)
+    dead = dead_rules(program)
+    goal_defined = any(r.head.pred == program.goal for r in program.rules)
+    neq_literals = sum(
+        1 for r in program.rules for lit in r.body if isinstance(lit, Neq))
+    # Range restriction of inequalities is enforced by the Rule
+    # constructor; re-verify so the report is a proof, not an assumption.
+    range_restricted = True
+    for rule in program.rules:
+        bound = {a for atom in body_atoms(rule)
+                 for a in atom.args if isinstance(a, Var)}
+        for lit in rule.body:
+            if isinstance(lit, Neq):
+                for t in (lit.left, lit.right):
+                    if isinstance(t, Var) and t not in bound:
+                        range_restricted = False
+    max_atoms = max((len(body_atoms(r)) for r in program.rules), default=0)
+    max_vars = max(
+        (len({a for atom in body_atoms(r)
+              for a in atom.args if isinstance(a, Var)})
+         for r in program.rules), default=0)
+
+    reasons: list[str] = []
+    if not program.rules:
+        reasons.append("program has no rules")
+    if not goal_defined:
+        reasons.append(f"goal relation {program.goal!r} has no defining rule")
+    if not range_restricted:
+        reasons.append("an inequality variable is not range-restricted")
+    if max_atoms > MAX_FASTPATH_WIDTH:
+        reasons.append(
+            f"body width {max_atoms} exceeds the fast-path bound "
+            f"{MAX_FASTPATH_WIDTH}")
+    live_goal = any(
+        r.head.pred == program.goal and idx not in dead
+        for idx, r in enumerate(program.rules))
+    if goal_defined and not live_goal:
+        reasons.append("every goal rule is dead")
+
+    return ProgramReport(
+        goal=program.goal,
+        rules=len(program.rules),
+        predicates=len(graph.predicates),
+        edb=tuple(sorted(graph.edb)),
+        idb=tuple(sorted(graph.idb)),
+        goal_defined=goal_defined,
+        pure_datalog=program.is_pure_datalog(),
+        neq_literals=neq_literals,
+        range_restricted=range_restricted,
+        strata=strata,
+        recursive=tuple(sorted(recursive_predicates(program))),
+        max_body_atoms=max_atoms,
+        max_body_vars=max_vars,
+        dead=dead,
+        never_firing=never_firing_rules(program),
+        unreachable=unreachable_predicates(program),
+        subsumed=subsumed_rules(program),
+        duplicate_literals=duplicate_literal_rules(program),
+        cartesian=cartesian_rules(program),
+        admissible=not reasons,
+        reasons=tuple(reasons),
+    )
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """An optimized program plus the provenance of every change."""
+
+    program: Program
+    strata: tuple[tuple[int, ...], ...]
+    report: ProgramReport                 # of the ORIGINAL program
+    removed: tuple[int, ...]              # original rule indexes dropped
+    reordered: tuple[int, ...]            # original rule indexes reordered
+    kept: tuple[int, ...]                 # original index of each kept rule
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rules_before": self.report.rules,
+            "rules_after": len(self.program.rules),
+            "removed": list(self.removed),
+            "reordered": list(self.reordered),
+            "strata": [list(s) for s in self.strata],
+            "report": self.report.to_dict(),
+        }
+
+
+def optimize_program(program: Program) -> OptimizationResult:
+    """The full semantics-preserving pipeline.
+
+    Canonicalize every rule, drop subsumed rules, then prune dead rules to
+    a fixpoint (removals can orphan further rules), reorder the surviving
+    bodies bound-variables-first, and stratify the result.  The returned
+    strata index into the *optimized* program's rules.
+    """
+    report = analyze_program(program)
+    removed: set[int] = set(i for i, _ in report.subsumed)
+    canon = {i: canonicalize_rule(r) for i, r in enumerate(program.rules)}
+
+    def surviving() -> Program:
+        return Program(
+            [canon[i] for i in range(len(program.rules)) if i not in removed],
+            goal=program.goal)
+
+    while True:
+        kept_idx = [i for i in range(len(program.rules)) if i not in removed]
+        current = surviving()
+        newly_dead = dead_rules(current)
+        if not newly_dead:
+            break
+        for local in newly_dead:
+            removed.add(kept_idx[local])
+
+    kept_idx = [i for i in range(len(program.rules)) if i not in removed]
+    reordered: list[int] = []
+    final_rules: list[Rule] = []
+    for i in kept_idx:
+        ordered = order_body(canon[i])
+        if ordered is not canon[i]:
+            reordered.append(i)
+        final_rules.append(ordered)
+    optimized = Program(final_rules, goal=program.goal)
+    return OptimizationResult(
+        program=optimized,
+        strata=stratify(optimized),
+        report=report,
+        removed=tuple(sorted(removed)),
+        reordered=tuple(reordered),
+        kept=tuple(kept_idx),
+    )
+
+
+# ---------------------------------------------------------------------------
+# rendering (the `repro analyze program` CLI)
+# ---------------------------------------------------------------------------
+
+
+def render_analysis(program: Program, result: OptimizationResult) -> str:
+    """Human-readable analysis: graph, strata, dead rules, join orders."""
+    report = result.report
+    lines = [
+        f"program: {report.rules} rule(s), goal {report.goal!r}, "
+        f"{len(report.edb)} EDB / {len(report.idb)} IDB predicate(s)",
+        f"admissible: {report.admissible}"
+        + (f"  ({'; '.join(report.reasons)})" if report.reasons else ""),
+    ]
+    graph = dependency_graph(program)
+    lines.append("dependency graph (head <- body predicates):")
+    for pred in sorted(graph.idb):
+        deps = ", ".join(sorted(graph.edges.get(pred, frozenset()))) or "-"
+        lines.append(f"  {pred} <- {deps}")
+    recursive = set(report.recursive)
+    lines.append(f"strata: {len(report.strata)}")
+    for level, stratum in enumerate(report.strata):
+        preds = sorted({program.rules[i].head.pred for i in stratum})
+        rec = [p for p in preds if p in recursive]
+        tag = f" (recursive: {', '.join(rec)})" if rec else ""
+        lines.append(
+            f"  [{level}] {len(stratum)} rule(s) defining "
+            f"{', '.join(preds)}{tag}")
+    if report.dead:
+        lines.append(f"dead rules: {len(report.dead)}")
+        for idx in report.dead:
+            lines.append(f"  [{idx}] {program.rules[idx]!r}")
+    else:
+        lines.append("dead rules: none")
+    if report.subsumed:
+        lines.append(f"subsumed rules: {len(report.subsumed)}")
+        for loser, winner in report.subsumed:
+            lines.append(f"  [{loser}] subsumed by [{winner}]")
+    if result.reordered:
+        lines.append(f"join orders rewritten: {len(result.reordered)} rule(s)")
+        for idx in result.reordered:
+            local = result.kept.index(idx)
+            lines.append(
+                f"  [{idx}] {program.rules[idx]!r}\n"
+                f"        -> {result.program.rules[local]!r}")
+    else:
+        lines.append("join orders rewritten: none (bodies already ordered)")
+    lines.append(
+        f"optimized: {report.rules} -> {len(result.program.rules)} rule(s)")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""OMQ1xx lint rules: findings of the Datalog(≠) program analyzer.
+
+These rules expose :mod:`repro.analysis.program` through the lint driver,
+so ``repro lint --program`` and ``CertainEngine(preflight=True)`` report
+structural defects of a program with the same stable-code machinery as the
+OMQ0xx artifact rules.  All target ``"datalog"`` and receive raw program
+text; a program that does not parse *strictly* is skipped here — the
+OMQ011/OMQ021 rules already report malformed or unsafe text, and
+re-reporting it with an analyzer traceback would be noise.
+
+Each rule maps one analysis to one code:
+
+========  ========  ==========================================================
+code      severity  finding
+========  ========  ==========================================================
+OMQ101    warning   dead rule (cannot contribute a goal fact)
+OMQ102    warning   derived predicate unreachable from the goal
+OMQ103    warning   rule subsumed by a more general rule
+OMQ104    warning   duplicate body literal
+OMQ105    warning   variable-disjoint body components (cartesian join)
+OMQ106    warning   inequality can never hold / info: always true
+========  ========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..datalog.program import Neq, Program, parse_program
+from ..logic.syntax import Const
+from .diagnostics import Severity
+from .linter import Finding, rule
+from .program import (
+    body_atoms, cartesian_rules, dead_rules, duplicate_literal_rules,
+    never_firing_rules, subsumed_rules, unreachable_predicates,
+)
+
+
+def _strict_parse(text: str) -> Program | None:
+    """Parse program text with the real parser; ``None`` if it is not a
+    well-formed program (malformed/unsafe text is OMQ011/OMQ021 territory).
+    """
+    try:
+        return parse_program(text)
+    except ValueError:
+        return None
+
+
+def _line_of(text: str, rule_index: int) -> int | None:
+    """1-based source line of the *rule_index*-th parsed rule."""
+    count = -1
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.split("#", 1)[0].strip():
+            count += 1
+            if count == rule_index:
+                return lineno
+    return None
+
+
+@rule("OMQ101", Severity.WARNING, "datalog",
+      "dead rule: cannot contribute a goal fact")
+def dead_rule(text: str) -> Iterator[Finding]:
+    program = _strict_parse(text)
+    if program is None:
+        return
+    never = set(never_firing_rules(program))
+    for idx in dead_rules(program):
+        if idx in never:
+            continue  # OMQ106 reports the unsatisfiable inequality itself
+        yield Finding(
+            message=f"rule {program.rules[idx]!r} can never contribute a "
+                    f"{program.goal!r} fact (unreachable head or underivable "
+                    "body predicate); the optimizer removes it",
+            path=f"rule[{idx}]",
+            line=_line_of(text, idx),
+        )
+
+
+@rule("OMQ102", Severity.WARNING, "datalog",
+      "derived predicate unreachable from the goal")
+def unreachable_predicate(text: str) -> Iterator[Finding]:
+    program = _strict_parse(text)
+    if program is None:
+        return
+    for pred in unreachable_predicates(program):
+        yield Finding(
+            message=f"predicate {pred!r} is derived by rules but the goal "
+                    f"relation {program.goal!r} never (transitively) reads it",
+            path=pred,
+        )
+
+
+@rule("OMQ103", Severity.WARNING, "datalog",
+      "rule subsumed by a more general rule")
+def subsumed_rule(text: str) -> Iterator[Finding]:
+    program = _strict_parse(text)
+    if program is None:
+        return
+    for loser, winner in subsumed_rules(program):
+        yield Finding(
+            message=f"rule {program.rules[loser]!r} is subsumed by rule "
+                    f"[{winner}] {program.rules[winner]!r} and derives "
+                    "nothing new",
+            path=f"rule[{loser}]",
+            line=_line_of(text, loser),
+        )
+
+
+@rule("OMQ104", Severity.WARNING, "datalog",
+      "duplicate body literal")
+def duplicate_body_literal(text: str) -> Iterator[Finding]:
+    program = _strict_parse(text)
+    if program is None:
+        return
+    for idx in duplicate_literal_rules(program):
+        yield Finding(
+            message=f"rule {program.rules[idx]!r} repeats a body literal; "
+                    "the duplicate only re-joins the same bindings",
+            path=f"rule[{idx}]",
+            line=_line_of(text, idx),
+        )
+
+
+@rule("OMQ105", Severity.WARNING, "datalog",
+      "variable-disjoint body components (cartesian join)")
+def cartesian_body(text: str) -> Iterator[Finding]:
+    program = _strict_parse(text)
+    if program is None:
+        return
+    for idx in cartesian_rules(program):
+        yield Finding(
+            message=f"rule {program.rules[idx]!r} joins variable-disjoint "
+                    "body atoms: every join order forms a cartesian product",
+            path=f"rule[{idx}]",
+            line=_line_of(text, idx),
+        )
+
+
+@rule("OMQ106", Severity.WARNING, "datalog",
+      "degenerate inequality (never holds, or always true)")
+def degenerate_inequality(text: str) -> Iterator[Finding]:
+    program = _strict_parse(text)
+    if program is None:
+        return
+    for idx, r in enumerate(program.rules):
+        for lit in r.body:
+            if not isinstance(lit, Neq):
+                continue
+            if lit.left == lit.right:
+                yield Finding(
+                    message=f"inequality {lit!r} in rule {r!r} can never "
+                            "hold; the rule never fires",
+                    path=f"rule[{idx}]",
+                    line=_line_of(text, idx),
+                )
+            elif (isinstance(lit.left, Const) and isinstance(lit.right, Const)):
+                yield Finding(
+                    message=f"inequality {lit!r} in rule {r!r} compares "
+                            "distinct constants and is always true",
+                    path=f"rule[{idx}]",
+                    line=_line_of(text, idx),
+                    severity=Severity.INFO,
+                )

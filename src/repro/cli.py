@@ -29,6 +29,12 @@ Commands:
 * ``lint <ontology-file> [--data F] [--query Q] [--program F]`` — static
   analysis: report ``OMQ0xx`` diagnostics over the ontology and, when
   given, the data/query/Datalog artifacts (``--format json`` for tooling).
+* ``analyze program (FILE | --ontology F --query Q)`` — the Datalog≠
+  program analyzer (see ``docs/architecture.md``): dependency graph,
+  strata, dead/subsumed rules, chosen join orders and the fast-path
+  admissibility verdict, for a program file or for the Theorem-5
+  rewriting of an (ontology, query) pair; ``--emit`` prints the optimized
+  program.
 * ``figure1`` — print the Figure-1 classification map.
 * ``bioportal`` — regenerate the corpus analysis.
 
@@ -315,7 +321,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             onto, jobs, workers=args.jobs, budget=budget,
             backend=args.backend, preflight=args.preflight,
             cache_dir=args.cache_dir, tracer=tracer, retry=retry,
-            journal=args.journal, resume=args.resume)
+            journal=args.journal, resume=args.resume,
+            fastpath=args.fastpath)
     except ValueError as exc:
         # Journal/ontology mismatch and friends: bad input, not a crash.
         raise CliInputError(str(exc)) from exc
@@ -417,6 +424,54 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(diags))
     return 1 if has_errors(diags) else 0
+
+
+def cmd_analyze_program(args: argparse.Namespace) -> int:
+    from .analysis.program import (
+        analyze_program, optimize_program, render_analysis,
+    )
+    from .datalog.program import parse_program
+
+    if args.program_file:
+        if args.ontology or args.query:
+            raise CliInputError(
+                "give either a program FILE or --ontology/--query, not both")
+        try:
+            program = parse_program(_read_text(args.program_file),
+                                    goal=args.goal)
+        except ValueError as exc:
+            raise CliInputError(f"{args.program_file}: {exc}") from exc
+    elif args.ontology and args.query:
+        from .core.rewriting import TypeRewriting
+
+        onto = _load_ontology(args.ontology, args.dl)
+        query = _parse_query(args.query)
+        try:
+            rewriting = TypeRewriting(onto, query)
+            program, _meta = rewriting.to_datalog_program_with_meta()
+        except ValueError as exc:
+            raise CliInputError(f"rewriting: {exc}") from exc
+    else:
+        raise CliInputError(
+            "analyze program needs a program FILE or --ontology F --query Q")
+
+    result = optimize_program(program)
+    if args.format == "json":
+        import json
+        payload = result.to_dict()
+        payload["optimized_report"] = analyze_program(
+            result.program).to_dict()
+        if args.emit:
+            payload["optimized_program"] = [
+                repr(r) for r in result.program.rules]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_analysis(program, result))
+        if args.emit:
+            print("optimized program:")
+            for rule in result.program.rules:
+                print(f"  {rule!r}")
+    return 0
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -535,6 +590,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--cache-dir", metavar="DIR",
                          help="on-disk answer cache, shared across "
                               "invocations and workers")
+    p_batch.add_argument("--fastpath", choices=["off", "auto", "force"],
+                         default="off",
+                         help="compile statically-verified datalog-fastpath "
+                              "plans for PTIME-classified OMQs (auto: gate "
+                              "on the Figure-1 DICHOTOMY band + Horn; "
+                              "force: skip the classification — testing "
+                              "only)")
     add_budget_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
@@ -559,6 +621,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--program", help="Datalog(≠) program file to lint")
     p_lint.add_argument("--format", choices=["text", "json"], default="text")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="static program analysis (see docs/architecture.md)")
+    analyze_sub = p_analyze.add_subparsers(dest="analyze_command",
+                                           required=True)
+    p_aprog = analyze_sub.add_parser(
+        "program", help="dependency graph, strata, dead rules, join orders "
+                        "and the fast-path admissibility verdict")
+    p_aprog.add_argument("program_file", nargs="?", default=None,
+                         metavar="FILE",
+                         help="Datalog(≠) program file (one rule per line)")
+    p_aprog.add_argument("--ontology", metavar="FILE",
+                         help="analyze the Theorem-5 rewriting of this "
+                              "ontology (with --query) instead of a file")
+    p_aprog.add_argument("--query", metavar="QUERY",
+                         help="unary CQ for the rewriting, e.g. "
+                              '"q(x) <- A(x)"')
+    p_aprog.add_argument("--dl", action="store_true",
+                         help="parse --ontology as DL axioms")
+    p_aprog.add_argument("--goal", default="goal",
+                         help="goal relation of a program FILE "
+                              "(default: goal)")
+    p_aprog.add_argument("--emit", action="store_true",
+                         help="also print the optimized program")
+    p_aprog.add_argument("--format", choices=["text", "json"],
+                         default="text")
+    p_aprog.set_defaults(func=cmd_analyze_program)
 
     p_trace = sub.add_parser(
         "trace", help="inspect JSONL traces written by --trace "

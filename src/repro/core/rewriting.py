@@ -352,6 +352,28 @@ class TypeRewriting:
         Program emission is implemented for unary rAQs (binary rAQs use
         the fixpoint evaluator).
         """
+        program, _ = self.to_datalog_program_with_meta(max_subsets)
+        return program
+
+    def to_datalog_program_with_meta(
+        self, max_subsets: int = 4096,
+    ) -> "tuple[Program, dict]":
+        """:meth:`to_datalog_program` plus the metadata a static analyzer
+        (or the serving fast-path gate) needs about the emitted program:
+
+        * ``seed_pred`` / ``empty_pred`` — the predicate naming the full
+          type set and (if reachable) the empty set.  A derived
+          ``empty_pred`` fact means the instance is inconsistent with the
+          ontology, so *every* tuple is a certain answer — evaluators must
+          special-case it rather than trust the emitted goal rules alone;
+        * ``trivial`` — True when every element type is query-positive, i.e.
+          the query is certain of any element the ontology can see at all.
+          The program only derives goal facts for elements its seed rules
+          reach (those in onto-signature atoms), so a trivially-certain OMQ
+          is the one case where the program may under-approximate on
+          elements mentioned only outside the signature;
+        * lattice sizes, for reporting.
+        """
         if self.query.arity != 1:
             raise ValueError("program emission is implemented for unary rAQs")
         full = frozenset(self.elem_types)
@@ -449,4 +471,13 @@ class TypeRewriting:
                 rules.append(Rule(
                     Atom("goal", (x,)),
                     [body_anchor, Atom(name_of(empty), (Var("z"),))]))
-        return Program(rules, goal="goal")
+        meta = {
+            "seed_pred": seed,
+            "empty_pred": names.get(empty),
+            "trivial": all(t.bits[self.query_index] for t in self.elem_types),
+            "elem_types": len(self.elem_types),
+            "pair_types": len(self.pair_types),
+            "subsets": len(names),
+            "query": repr(self.query),
+        }
+        return Program(rules, goal="goal"), meta

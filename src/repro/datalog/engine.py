@@ -65,39 +65,61 @@ def _fire(rule: Rule, env: dict[Var, Element]) -> Atom:
 
 
 def evaluate(program: Program, instance: Interpretation,
-             semi_naive: bool = True, tracer=None) -> Interpretation:
+             semi_naive: bool = True, tracer=None,
+             strata: "tuple[tuple[int, ...], ...] | None" = None,
+             budget=None) -> Interpretation:
     """Compute the least fixpoint of the program over the instance.
 
     Returns the instance extended with all derived IDB facts (including
     goal facts).  *tracer* (a :class:`repro.obs.Tracer`) defaults to the
     ambient :func:`repro.obs.current_tracer`; every fixpoint round becomes
     a ``datalog.round`` span recording its delta size.
+
+    *strata* (from :func:`repro.analysis.program.stratify`) partitions the
+    rule indexes into groups that only read equal-or-earlier groups; the
+    semi-naive loop then runs each stratum to its own fixpoint in order,
+    never re-matching the rules of finished strata — the same least
+    fixpoint, fewer wasted joins.  *budget* (a
+    :class:`repro.runtime.Budget`) is polled once per round via
+    ``check_deadline``, so a runaway fixpoint raises
+    :class:`~repro.runtime.BudgetExceeded` instead of hanging a server.
     """
     if tracer is None:
         tracer = current_tracer()
     facts = instance.copy()
     rounds = 0
     with tracer.span("datalog.evaluate", rules=len(program.rules),
-                     semi_naive=semi_naive, edb=len(facts)) as span:
+                     semi_naive=semi_naive, edb=len(facts),
+                     strata=len(strata) if strata is not None else 1) as span:
         if semi_naive:
-            delta = facts.copy()
-            while len(delta):
-                rounds += 1
-                with tracer.span("datalog.round", round=rounds) as rspan:
-                    new_delta = Interpretation()
-                    for rule in program.rules:
-                        for env in _match_body(rule, facts, delta):
-                            fact = _fire(rule, env)
-                            if fact not in facts:
-                                new_delta.add(fact)
-                    for fact in new_delta:
-                        facts.add(fact)
-                    delta = new_delta
-                    rspan.set(delta=len(new_delta))
+            rule_groups = (
+                [[program.rules[i] for i in stratum] for stratum in strata]
+                if strata is not None else [list(program.rules)])
+            for rules in rule_groups:
+                # Each stratum restarts semi-naive with everything known so
+                # far as the delta: its rules have not seen any of it yet.
+                delta = facts.copy()
+                while len(delta):
+                    rounds += 1
+                    if budget is not None:
+                        budget.check_deadline("datalog.round")
+                    with tracer.span("datalog.round", round=rounds) as rspan:
+                        new_delta = Interpretation()
+                        for rule in rules:
+                            for env in _match_body(rule, facts, delta):
+                                fact = _fire(rule, env)
+                                if fact not in facts:
+                                    new_delta.add(fact)
+                        for fact in new_delta:
+                            facts.add(fact)
+                        delta = new_delta
+                        rspan.set(delta=len(new_delta))
         else:
             changed = True
             while changed:
                 rounds += 1
+                if budget is not None:
+                    budget.check_deadline("datalog.round")
                 with tracer.span("datalog.round", round=rounds) as rspan:
                     changed = False
                     fresh: list[Atom] = []
@@ -119,9 +141,12 @@ def evaluate(program: Program, instance: Interpretation,
 
 
 def goal_answers(program: Program, instance: Interpretation,
-                 semi_naive: bool = True) -> set[tuple[Element, ...]]:
+                 semi_naive: bool = True,
+                 strata: "tuple[tuple[int, ...], ...] | None" = None,
+                 budget=None) -> set[tuple[Element, ...]]:
     """All derived goal tuples: ``{a | D |= Pi(a)}``."""
-    fixpoint = evaluate(program, instance, semi_naive)
+    fixpoint = evaluate(program, instance, semi_naive,
+                        strata=strata, budget=budget)
     return set(fixpoint.tuples(program.goal))
 
 

@@ -118,6 +118,7 @@ class JobResult:
     answers: tuple[tuple[str, ...], ...] = ()
     cache_hit: bool = False
     engine: str | None = None
+    path: str = "ladder"  # which evaluation path ran: ladder/fastpath/cache
     rungs: int = 0
     elapsed: float = 0.0
     reason: str = ""
@@ -140,6 +141,7 @@ class JobResult:
             "answers": [list(a) for a in self.answers],
             "cache_hit": self.cache_hit,
             "engine": self.engine,
+            "path": self.path,
             "rungs": self.rungs,
             "elapsed": round(self.elapsed, 6),
         }
@@ -276,6 +278,7 @@ def _execute_job(
                 chase_depth=options.get("chase_depth", 6),
                 sat_extra=options.get("sat_extra", 3),
                 answer_cache=answer_cache,
+                fastpath=options.get("fastpath", "off"),
             )
         except (QueryError, ValueError) as exc:
             span.set(status="error")
@@ -298,6 +301,7 @@ def _execute_job(
             answers=result.answers,
             cache_hit=result.cache_hit,
             engine=outcome.get("engine") if outcome else None,
+            path=result.path,
             rungs=len(outcome.get("attempts", ())) if outcome else 0,
             elapsed=time.perf_counter() - start,
             reason="" if result.definitive else str(
@@ -349,6 +353,7 @@ def _result_from_dict(data: dict[str, Any]) -> JobResult:
         data=data["data"], status=data["status"], verdict=data["verdict"],
         answers=tuple(tuple(a) for a in data["answers"]),
         cache_hit=data["cache_hit"], engine=data.get("engine"),
+        path=data.get("path", "ladder"),
         rungs=data.get("rungs", 0), elapsed=data.get("elapsed", 0.0),
         reason=data.get("reason", ""), outcome=data.get("outcome"),
         attempts=tuple(dict(a) for a in data.get("attempts", ())),
@@ -528,6 +533,7 @@ def evaluate_batch(
     journal: str | Path | None = None,
     resume: bool = False,
     max_pool_deaths: int = 5,
+    fastpath: str = "off",
 ) -> BatchReport:
     """Evaluate a workload of (instance, query) jobs against one ontology.
 
@@ -551,6 +557,11 @@ def evaluate_batch(
     of recomputed, so a batch killed mid-run finishes with a report whose
     :func:`comparable_report` view equals an uninterrupted run's.
 
+    *fastpath* (``off``/``auto``/``force``) is forwarded to
+    :func:`~repro.serving.plan.compile_omq`; jobs whose plan upgraded to
+    ``datalog-fastpath`` record ``path="fastpath"`` in their results and
+    the report counts paths under ``stats["paths"]``.
+
     *tracer* defaults to the ambient :func:`repro.obs.current_tracer`.
     Worker processes trace into fresh per-job tracers and ship their spans
     back with each result; the driver merges them in job order, so span
@@ -566,6 +577,7 @@ def evaluate_batch(
         "backend": backend, "preflight": preflight,
         "chase_depth": chase_depth, "sat_extra": sat_extra,
         "cache_dir": cache_dir, "trace": tracer.enabled,
+        "fastpath": fastpath,
     }
 
     keys = {idx: job_key(idx, job) for idx, job in enumerate(jobs)}
@@ -649,6 +661,9 @@ def evaluate_batch(
     for r in results:
         if r.engine:
             engines[r.engine] = engines.get(r.engine, 0) + 1
+    paths: dict[str, int] = {}
+    for r in results:
+        paths[r.path] = paths.get(r.path, 0) + 1
     hits = sum(1 for r in results if r.cache_hit)
     stats: dict[str, Any] = {
         "jobs": len(results),
@@ -663,6 +678,7 @@ def evaluate_batch(
             "hit_rate": round(hits / len(results), 4),
         },
         "engines": engines,
+        "paths": paths,
         "escalation_rungs": sum(max(0, r.rungs - 1) for r in results),
         "distinct_queries": len({r.query for r in results}),
         "latency": latency.summary(),

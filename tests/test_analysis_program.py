@@ -1,0 +1,418 @@
+"""The Datalog(≠) program analyzer/optimizer (repro.analysis.program)."""
+
+import pytest
+
+from repro.analysis import Diagnostic, Severity, lint_datalog_text
+from repro.analysis.program import (
+    MAX_FASTPATH_WIDTH, analyze_program, canonicalize_rule, cartesian_rules,
+    condensation, dead_rules, dependency_graph, derivable_predicates,
+    goal_support, never_firing_rules, optimize_program, order_body,
+    recursive_predicates, render_analysis, rule_subsumes, stratify,
+    subsumed_rules, unreachable_predicates,
+)
+from repro.datalog import goal_answers
+from repro.datalog.program import Neq, Rule, parse_program, parse_rule
+from repro.logic.instance import make_instance
+from repro.logic.syntax import Atom, Const, Var
+
+CHAIN = parse_program("""
+reach(x) <- start(x)
+reach(y) <- reach(x) & edge(x,y)
+goal(x) <- reach(x) & label(x)
+""")
+
+MESSY = parse_program("""
+reach(x) <- start(x)
+reach(y) <- reach(x) & edge(x,y)
+goal(x) <- reach(x) & label(x)
+dead_head(x) <- reach(x)
+dead_body(x) <- phantom(x) & ghost(x)
+goal(x) <- reach(x) & label(x) & label(x)
+""")
+
+
+class TestDependencyGraph:
+    def test_edges_head_to_body(self):
+        g = dependency_graph(CHAIN)
+        assert g.edges["reach"] == frozenset({"start", "reach", "edge"})
+        assert g.edges["goal"] == frozenset({"reach", "label"})
+
+    def test_edb_idb_split(self):
+        g = dependency_graph(CHAIN)
+        assert g.idb == frozenset({"reach", "goal"})
+        assert g.edb == frozenset({"start", "edge", "label"})
+
+    def test_readers(self):
+        g = dependency_graph(CHAIN)
+        assert g.readers("reach") == frozenset({"reach", "goal"})
+
+    def test_sccs_dependencies_first(self):
+        g = dependency_graph(CHAIN)
+        sccs = condensation(g)
+        pos = {p: i for i, scc in enumerate(sccs) for p in scc}
+        assert pos["start"] < pos["reach"] < pos["goal"]
+
+    def test_recursive_predicates(self):
+        assert recursive_predicates(CHAIN) == frozenset({"reach"})
+
+    def test_mutual_recursion_one_scc(self):
+        p = parse_program("""
+            even(x) <- zero(x)
+            even(y) <- odd(x) & succ(x,y)
+            odd(y) <- even(x) & succ(x,y)
+            goal(x) <- even(x)
+        """)
+        assert recursive_predicates(p) == frozenset({"even", "odd"})
+        sccs = condensation(dependency_graph(p))
+        assert frozenset({"even", "odd"}) in sccs
+
+    def test_deep_program_no_recursion_limit(self):
+        # Iterative Tarjan: a 5000-deep dependency chain must not blow the
+        # Python recursion limit.
+        rules = [parse_rule("p0(x) <- base(x)")]
+        rules += [parse_rule(f"p{i}(x) <- p{i - 1}(x)")
+                  for i in range(1, 5000)]
+        rules.append(parse_rule("goal(x) <- p4999(x)"))
+        from repro.datalog.program import Program
+
+        program = Program(rules)
+        sccs = condensation(dependency_graph(program))
+        assert len(sccs) == 5002  # base + p0..p4999 + goal
+
+
+class TestStratification:
+    def test_rules_partitioned(self):
+        strata = stratify(MESSY)
+        flat = sorted(i for s in strata for i in s)
+        assert flat == list(range(len(MESSY.rules)))
+
+    def test_goal_in_last_stratum(self):
+        strata = stratify(CHAIN)
+        assert 2 in strata[-1]
+
+    def test_strata_read_only_earlier_levels(self):
+        strata = stratify(MESSY)
+        level_of = {}
+        for level, stratum in enumerate(strata):
+            for idx in stratum:
+                level_of[MESSY.rules[idx].head.pred] = level
+        for level, stratum in enumerate(strata):
+            for idx in stratum:
+                for lit in MESSY.rules[idx].body:
+                    if isinstance(lit, Atom) and lit.pred in level_of:
+                        assert level_of[lit.pred] <= level
+
+    def test_stratified_evaluation_same_fixpoint(self):
+        D = make_instance("start(a)", "edge(a,b)", "edge(b,c)", "label(c)")
+        strata = stratify(MESSY)
+        assert goal_answers(MESSY, D, strata=strata) == goal_answers(MESSY, D)
+
+
+class TestDeadRules:
+    def test_goal_unreachable_head_is_dead(self):
+        assert 3 in dead_rules(MESSY)
+
+    def test_underivable_body_is_dead(self):
+        assert 4 in dead_rules(MESSY)
+
+    def test_live_rules_not_dead(self):
+        dead = dead_rules(MESSY)
+        for idx in (0, 1, 2):
+            assert idx not in dead
+
+    def test_never_firing_neq(self):
+        p = parse_program("goal(x) <- start(x) & x != x")
+        assert never_firing_rules(p) == (0,)
+        assert dead_rules(p) == (0,)
+
+    def test_unreachable_predicates(self):
+        assert set(unreachable_predicates(MESSY)) == {"dead_head", "dead_body"}
+
+    def test_derivable_respects_rule_chains(self):
+        derivable = derivable_predicates(MESSY)
+        assert "reach" in derivable
+        # EDB-only-instance convention: phantom/ghost may hold facts, so
+        # dead_body is derivable — it dies to goal-unreachability instead.
+        assert "dead_body" in derivable
+
+    def test_self_recursive_only_predicate_underivable(self):
+        p = parse_program("""
+            loop(x) <- loop(x)
+            goal(x) <- loop(x)
+        """)
+        assert "loop" not in derivable_predicates(p)
+        assert set(dead_rules(p)) == {0, 1}
+
+    def test_goal_support_backward_closure(self):
+        assert goal_support(CHAIN) == frozenset(
+            {"goal", "reach", "label", "start", "edge"})
+
+
+class TestCanonicalization:
+    def test_duplicate_literal_dropped(self):
+        r = parse_rule("goal(x) <- a(x) & a(x) & b(x)")
+        assert len(canonicalize_rule(r).body) == 2
+
+    def test_symmetric_neq_deduped(self):
+        x, y = Var("x"), Var("y")
+        r = Rule(Atom("goal", (x,)),
+                 [Atom("r", (x, y)), Neq(x, y), Neq(y, x)])
+        assert len(canonicalize_rule(r).body) == 2
+
+    def test_constant_tautology_dropped(self):
+        r = parse_rule("goal(x) <- a(x) & $u != $v")
+        assert canonicalize_rule(r).body == (parse_rule("goal(x) <- a(x)").body[0],)
+
+    def test_unsatisfiable_neq_kept(self):
+        # x != x makes the rule dead; canonicalization must not hide that.
+        r = parse_rule("goal(x) <- a(x) & x != x")
+        assert len(canonicalize_rule(r).body) == 2
+
+    def test_identity_when_clean(self):
+        r = parse_rule("goal(x) <- a(x) & b(x)")
+        assert canonicalize_rule(r) is r
+
+
+class TestSubsumption:
+    def test_instance_subsumed_by_general(self):
+        general = parse_rule("p(x) <- e(x,y)")
+        specific = parse_rule("p(x) <- e(x,x)")
+        assert rule_subsumes(general, specific)
+        assert not rule_subsumes(specific, general)
+
+    def test_longer_body_subsumed(self):
+        general = parse_rule("p(x) <- a(x)")
+        specific = parse_rule("p(x) <- a(x) & b(x)")
+        assert rule_subsumes(general, specific)
+
+    def test_different_heads_not_subsumed(self):
+        assert not rule_subsumes(parse_rule("p(x) <- a(x)"),
+                                 parse_rule("q(x) <- a(x)"))
+
+    def test_alpha_equivalent_keeps_first(self):
+        p = parse_program("""
+            goal(x) <- a(x) & b(x)
+            goal(z) <- a(z) & b(z)
+        """)
+        assert subsumed_rules(p) == ((1, 0),)
+
+    def test_neq_matched_up_to_symmetry(self):
+        p = parse_program("""
+            goal(x) <- r(x,y) & x != y
+            goal(x) <- r(x,x) & a(x) & x != x
+        """)
+        # general rule's Neq(x,y) maps to Neq(x,x): present (reversed == same)
+        assert (1, 0) in subsumed_rules(p)
+
+    def test_subsumption_in_messy(self):
+        assert subsumed_rules(MESSY) == ((5, 2),)
+
+
+class TestBodyOrdering:
+    def test_bound_vars_first(self):
+        r = parse_rule("goal(x) <- big(y,z) & has(x,y) & label(x)")
+        ordered = order_body(r)
+        preds = [lit.pred for lit in ordered.body]
+        assert preds == ["label", "has", "big"]
+
+    def test_constants_most_selective(self):
+        r = parse_rule("goal(x) <- a(x) & r($c,x)")
+        ordered = order_body(r)
+        assert ordered.body[0].pred == "r"
+
+    def test_neqs_stay_last(self):
+        r = parse_rule("goal(x) <- b(y,x) & x != y & a(x)")
+        ordered = order_body(r)
+        assert isinstance(ordered.body[-1], Neq)
+
+    def test_identity_when_already_ordered(self):
+        r = parse_rule("goal(x) <- a(x) & r(x,y)")
+        assert order_body(r) is r
+
+    def test_reordering_preserves_answers(self):
+        p = parse_program("goal(x) <- big(y,z) & has(x,y) & label(x)")
+        reordered = parse_program("")
+        from repro.datalog.program import Program
+
+        reordered = Program([order_body(r) for r in p.rules])
+        D = make_instance("big(b,c)", "has(a,b)", "label(a)", "big(q,q)")
+        assert goal_answers(p, D) == goal_answers(reordered, D)
+
+    def test_cartesian_detection(self):
+        p = parse_program("""
+            goal(x) <- a(x) & b(y)
+            fine(x) <- a(x) & r(x,y)
+            goal(x) <- a(x) & r($c,$d)
+        """)
+        assert cartesian_rules(p) == (0,)
+
+
+class TestAnalyzeProgram:
+    def test_admissible_clean_program(self):
+        report = analyze_program(CHAIN)
+        assert report.admissible
+        assert report.reasons == ()
+        assert report.goal_defined
+        assert report.pure_datalog
+        assert report.range_restricted
+
+    def test_report_dimensions(self):
+        report = analyze_program(MESSY)
+        assert report.rules == 6
+        assert report.dead == (3, 4)
+        assert report.subsumed == ((5, 2),)
+        assert report.duplicate_literals == (5,)
+        assert report.recursive == ("reach",)
+
+    def test_no_goal_rule_inadmissible(self):
+        report = analyze_program(parse_program("p(x) <- a(x)"))
+        assert not report.admissible
+        assert any("no defining rule" in r for r in report.reasons)
+
+    def test_empty_program_inadmissible(self):
+        report = analyze_program(parse_program(""))
+        assert not report.admissible
+
+    def test_width_bound(self):
+        body = " & ".join(f"e(x{i},x{i + 1})"
+                          for i in range(MAX_FASTPATH_WIDTH + 1))
+        report = analyze_program(parse_program(f"goal(x0) <- {body}"))
+        assert not report.admissible
+        assert any("width" in r for r in report.reasons)
+
+    def test_all_goal_rules_dead_inadmissible(self):
+        report = analyze_program(parse_program(
+            "goal(x) <- start(x) & x != x"))
+        assert not report.admissible
+        assert any("dead" in r for r in report.reasons)
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        payload = json.dumps(analyze_program(MESSY).to_dict())
+        assert "dead_rules" in json.loads(payload)
+
+
+class TestOptimizeProgram:
+    def test_removes_dead_and_subsumed(self):
+        result = optimize_program(MESSY)
+        assert set(result.removed) == {3, 4, 5}
+        assert len(result.program.rules) == 3
+
+    def test_cascading_dead_rules(self):
+        # Removing the goal-unreachable consumer orphans its producer chain.
+        p = parse_program("""
+            goal(x) <- start(x)
+            a(x) <- start(x) & ghost(x)
+            b(x) <- a(x)
+        """)
+        result = optimize_program(p)
+        assert set(result.removed) == {1, 2}
+
+    def test_goal_facts_preserved(self):
+        D = make_instance("start(a)", "edge(a,b)", "edge(b,c)", "label(c)",
+                          "label(a)", "phantom(p)")
+        result = optimize_program(MESSY)
+        assert (goal_answers(result.program, D, strata=result.strata)
+                == goal_answers(MESSY, D))
+
+    def test_kept_maps_to_original_indexes(self):
+        result = optimize_program(MESSY)
+        assert result.kept == (0, 1, 2)
+
+    def test_strata_index_optimized_program(self):
+        result = optimize_program(MESSY)
+        flat = sorted(i for s in result.strata for i in s)
+        assert flat == list(range(len(result.program.rules)))
+
+    def test_render_analysis_mentions_everything(self):
+        result = optimize_program(MESSY)
+        text = render_analysis(MESSY, result)
+        assert "dependency graph" in text
+        assert "strata" in text
+        assert "dead rules: 2" in text
+        assert "subsumed" in text
+
+
+class TestDiagnosticCodeValidation:
+    """Satellite: the code guard must enforce OMQ\\d{3}, not a prefix."""
+
+    def test_omq0xx_accepted(self):
+        Diagnostic("OMQ001", Severity.ERROR, "m")
+
+    def test_omq1xx_accepted(self):
+        Diagnostic("OMQ101", Severity.WARNING, "m")
+
+    def test_prefix_only_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("OMQBAD", Severity.ERROR, "m")
+
+    def test_too_many_digits_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("OMQ0001", Severity.ERROR, "m")
+
+    def test_missing_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("X101", Severity.ERROR, "m")
+
+
+class TestProgramLintRules:
+    """The OMQ1xx rules surface the analyzer through lint_datalog_text."""
+
+    TEXT = """goal(x) <- reach(x) & label(x)
+reach(x) <- start(x)
+reach(y) <- reach(x) & edge(x,y)
+util(x) <- start(x)
+goal(x) <- reach(x) & label(x) & label(x)
+pair(x,y) <- left(x) & right(y)
+never(x) <- start(x) & x != x
+taut(x) <- start(x) & $a != $b
+"""
+
+    def codes(self, text=None):
+        return {(d.code, d.severity) for d in lint_datalog_text(text or self.TEXT)}
+
+    def test_dead_rule_omq101(self):
+        assert ("OMQ101", Severity.WARNING) in self.codes()
+
+    def test_unreachable_predicate_omq102(self):
+        diags = lint_datalog_text(self.TEXT)
+        assert any(d.code == "OMQ102" and "util" in d.message for d in diags)
+
+    def test_subsumed_omq103(self):
+        diags = lint_datalog_text(self.TEXT)
+        assert any(d.code == "OMQ103" and d.line == 5 for d in diags)
+
+    def test_duplicate_literal_omq104(self):
+        assert ("OMQ104", Severity.WARNING) in self.codes()
+
+    def test_cartesian_omq105(self):
+        diags = lint_datalog_text(self.TEXT)
+        assert any(d.code == "OMQ105" and d.line == 6 for d in diags)
+
+    def test_degenerate_neq_omq106_both_severities(self):
+        sev = {d.severity for d in lint_datalog_text(self.TEXT)
+               if d.code == "OMQ106"}
+        assert sev == {Severity.WARNING, Severity.INFO}
+
+    def test_clean_program_no_omq1xx(self):
+        clean = "goal(x) <- reach(x)\nreach(x) <- start(x)\n"
+        assert not {c for c, _ in self.codes(clean) if c >= "OMQ100"}
+
+    def test_malformed_text_skipped_quietly(self):
+        # OMQ021/OMQ011 own malformed input; the analyzer rules must not
+        # crash or double-report.
+        diags = lint_datalog_text("goal(x <- ???")
+        assert all(d.code < "OMQ100" for d in diags)
+
+    def test_unsafe_rule_skipped_by_analyzer_rules(self):
+        diags = lint_datalog_text("goal(x) <- x != y")
+        assert all(d.code < "OMQ100" for d in diags)
+
+    def test_example_program_file_expected_codes(self):
+        from pathlib import Path
+
+        text = Path(__file__).parent.parent.joinpath(
+            "examples/programs/reachability.dlog").read_text()
+        codes = {d.code for d in lint_datalog_text(text)}
+        assert {"OMQ101", "OMQ102", "OMQ103", "OMQ104", "OMQ105"} <= codes

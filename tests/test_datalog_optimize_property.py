@@ -1,0 +1,214 @@
+"""Differential properties of the program optimizer (satellite 2).
+
+The contract under test: for every program, ``optimize_program`` produces a
+program + strata whose goal facts are *identical* to the unoptimized,
+unstratified evaluation — across the example corpus, seeded random
+programs, and under injected budget starvation (both sides must raise, or
+both sides must agree).
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import evaluate, goal_answers
+from repro.datalog.program import Program, Rule, parse_program
+from repro.logic.instance import make_instance
+from repro.logic.syntax import Atom, Const, Var
+from repro.analysis.program import optimize_program, stratify
+from repro.runtime import Budget, BudgetExceeded, FaultPlan, FaultSpec
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+VARS = (X, Y, Z)
+EDB_UNARY = ("start", "label", "mark")
+EDB_BINARY = ("edge", "link")
+IDB = ("p", "q", "goal")
+
+
+# -- seeded random program generation ------------------------------------
+
+
+def random_program(seed: int) -> Program:
+    """A safe random Datalog program with predicates from a fixed pool.
+
+    Head variables are drawn from the body's variables, so every rule is
+    safe by construction; bodies mix EDB and IDB atoms so recursion, dead
+    chains and subsumption pairs all occur across seeds.
+    """
+    rng = random.Random(seed)
+    rules = []
+    for _ in range(rng.randint(2, 8)):
+        body = []
+        for _ in range(rng.randint(1, 3)):
+            if rng.random() < 0.6:
+                if rng.random() < 0.5:
+                    body.append(Atom(rng.choice(EDB_UNARY),
+                                     (rng.choice(VARS),)))
+                else:
+                    body.append(Atom(rng.choice(EDB_BINARY),
+                                     (rng.choice(VARS), rng.choice(VARS))))
+            else:
+                body.append(Atom(rng.choice(IDB[:2]), (rng.choice(VARS),)))
+        body_vars = sorted({t.name for a in body for t in a.args
+                            if isinstance(t, Var)})
+        head_var = Var(rng.choice(body_vars))
+        head = Atom(rng.choice(IDB), (head_var,))
+        rules.append(Rule(head, body))
+    # guarantee a goal rule so the program is non-degenerate
+    rules.append(Rule(Atom("goal", (X,)), [Atom("start", (X,))]))
+    return Program(rules)
+
+
+def random_instance(seed: int):
+    rng = random.Random(seed)
+    consts = [f"c{i}" for i in range(rng.randint(1, 5))]
+    facts = []
+    for pred in EDB_UNARY:
+        for c in consts:
+            if rng.random() < 0.5:
+                facts.append(f"{pred}({c})")
+    for pred in EDB_BINARY:
+        for _ in range(rng.randint(0, 6)):
+            facts.append(f"{pred}({rng.choice(consts)},{rng.choice(consts)})")
+    return make_instance(*facts)
+
+
+def assert_equivalent(program: Program, instance) -> None:
+    baseline = goal_answers(program, instance)
+    result = optimize_program(program)
+    optimized = goal_answers(result.program, instance, strata=result.strata)
+    assert optimized == baseline, (
+        f"optimizer changed goal facts (removed={result.removed})")
+
+
+# -- seeded / property-based sweeps --------------------------------------
+
+
+class TestRandomPrograms:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_optimizer_preserves_goal_facts(self, seed):
+        program = random_program(seed)
+        for inst_seed in range(3):
+            assert_equivalent(program, random_instance(seed * 101 + inst_seed))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           inst_seed=st.integers(min_value=0, max_value=10_000))
+    def test_hypothesis_sweep(self, seed, inst_seed):
+        assert_equivalent(random_program(seed), random_instance(inst_seed))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_idempotent(self, seed):
+        result = optimize_program(random_program(seed))
+        again = optimize_program(result.program)
+        assert again.removed == ()
+        assert again.program.rules == result.program.rules
+
+
+# -- the example corpus --------------------------------------------------
+
+
+class TestCorpus:
+    def test_reachability_example(self):
+        program = parse_program(
+            (EXAMPLES / "programs" / "reachability.dlog").read_text())
+        D = make_instance("start(a)", "edge(a,b)", "edge(b,c)", "label(c)",
+                          "label(b)")
+        assert_equivalent(program, D)
+
+    def test_transport_rewriting(self):
+        # The full Theorem 5 rewriting for transport.gf — the largest
+        # program the fast path actually ships (≈120 rules).
+        from repro.core.rewriting import TypeRewriting
+        from repro.logic.render import load_ontology_fo
+        from repro.queries.cq import parse_cq
+
+        onto = load_ontology_fo(
+            (EXAMPLES / "ontologies" / "transport.gf").read_text(),
+            name="transport")
+        rw = TypeRewriting(onto, parse_cq("q(x) <- Node(x)"))
+        program, _ = rw.to_datalog_program_with_meta()
+        D = make_instance("Edge(a,b)", "Edge(b,c)", "Hub(h)", "Terminal(t)")
+        assert_equivalent(program, D)
+
+
+# -- budget starvation ---------------------------------------------------
+
+
+def run_with_budget(program, strata, instance, budget):
+    """Evaluate and normalise: returns goal facts or the string 'starved'."""
+    try:
+        fixpoint = evaluate(program, instance, strata=strata, budget=budget)
+    except BudgetExceeded:
+        return "starved"
+    return fixpoint.tuples(program.goal)
+
+
+class TestBudgetStarvation:
+    def starved_budget(self):
+        return Budget(timeout=60.0,
+                      faults=FaultPlan([FaultSpec("deadline", period=1)]))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_both_sides_starve_or_agree(self, seed):
+        program = random_program(seed)
+        result = optimize_program(program)
+        D = random_instance(seed)
+        base = run_with_budget(program, None, D, self.starved_budget())
+        opt = run_with_budget(result.program, result.strata, D,
+                              self.starved_budget())
+        # a per-checkpoint fault starves every evaluation round
+        assert base == "starved" and opt == "starved"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generous_budget_agrees(self, seed):
+        program = random_program(seed)
+        result = optimize_program(program)
+        D = random_instance(seed)
+        base = run_with_budget(program, None, D, Budget(timeout=60.0))
+        opt = run_with_budget(result.program, result.strata, D,
+                              Budget(timeout=60.0))
+        assert base != "starved"
+        assert base == opt
+
+    def test_env_fault_plan_reaches_the_engine(self, monkeypatch):
+        # The REPRO_FAULTS surface: an ambient deadline:@1 plan must starve
+        # a budgeted evaluation the same way an explicit FaultPlan does.
+        from repro.runtime import faults
+
+        monkeypatch.setenv("REPRO_FAULTS", "deadline:@1")
+        monkeypatch.setattr(faults, "_cache", None)
+        program = random_program(3)
+        result = optimize_program(program)
+        with pytest.raises(BudgetExceeded):
+            evaluate(result.program, random_instance(3),
+                     strata=result.strata, budget=Budget(timeout=60.0))
+
+    def test_unbudgeted_evaluation_ignores_faults(self, monkeypatch):
+        from repro.runtime import faults
+
+        monkeypatch.setenv("REPRO_FAULTS", "deadline:@1")
+        monkeypatch.setattr(faults, "_cache", None)
+        program = random_program(3)
+        result = optimize_program(program)
+        D = random_instance(3)
+        assert (goal_answers(result.program, D, strata=result.strata)
+                == goal_answers(program, D))
+
+
+# -- stratification is itself differential-tested ------------------------
+
+
+class TestStrataEquivalence:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_stratified_equals_unstratified(self, seed):
+        program = random_program(seed)
+        strata = stratify(program)
+        D = random_instance(seed + 7)
+        assert (goal_answers(program, D, strata=strata)
+                == goal_answers(program, D))

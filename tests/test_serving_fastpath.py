@@ -1,0 +1,205 @@
+"""The dichotomy-aware datalog fast path: gate decisions, ladder parity,
+path accounting in EvalResult / BatchReport, and budget behaviour."""
+
+import pytest
+
+from repro.logic.instance import make_instance
+from repro.logic.ontology import ontology
+from repro.runtime import Budget
+from repro.serving import Job, clear_caches, compile_omq, evaluate_batch
+
+PROP = ontology("forall x,y (R(x,y) -> (A(x) -> A(y)))", name="prop")
+PROP_Q = "q(x) <- A(x)"
+
+DISJ = ontology(
+    "forall x (x = x -> (A(x) -> ~B(x)))\n"
+    "forall x,y (R(x,y) -> (A(x) -> A(y)))")
+
+NON_HORN = ontology(
+    "forall x (x = x -> (Coin(x) -> Heads(x) | Tails(x)))")
+
+TRIVIAL = ontology("forall x (x = x -> A(x))")
+
+DATA = make_instance("A(a)", "R(a,b)", "R(b,c)", "C(island)")
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestGate:
+    def test_off_is_the_default(self):
+        plan = compile_omq(PROP, PROP_Q)
+        assert plan.plan_kind == "ladder"
+        assert plan.program is None
+
+    def test_auto_accepts_ptime_horn_omq(self):
+        plan = compile_omq(PROP, PROP_Q, fastpath="auto")
+        assert plan.plan_kind == "datalog-fastpath"
+        assert plan.fastpath_reason == ""
+        assert plan.program is not None
+        assert plan.strata
+        assert plan.program_report.admissible
+
+    def test_force_accepts_too(self):
+        plan = compile_omq(PROP, PROP_Q, fastpath="force")
+        assert plan.plan_kind == "datalog-fastpath"
+
+    def test_non_horn_refused_with_reason(self):
+        plan = compile_omq(NON_HORN, "q(x) <- Heads(x)", fastpath="auto")
+        assert plan.plan_kind == "ladder"
+        assert "Horn" in plan.fastpath_reason
+
+    def test_force_skips_the_static_ptime_proof(self):
+        # "force" is the user's escape hatch: it bypasses the band/Horn
+        # gate (the answers may over-approximate if the claim is wrong),
+        # but the structural gates still apply.
+        plan = compile_omq(NON_HORN, "q(x) <- Heads(x)", fastpath="force")
+        assert plan.plan_kind == "datalog-fastpath"
+        forced_boolean = compile_omq(NON_HORN, "q() <- Heads(x)",
+                                     fastpath="force")
+        assert forced_boolean.plan_kind == "ladder"
+
+    def test_trivial_omq_refused(self):
+        plan = compile_omq(TRIVIAL, "q(x) <- A(x)", fastpath="auto")
+        assert plan.plan_kind == "ladder"
+        assert "trivially-certain" in plan.fastpath_reason
+
+    def test_boolean_query_refused(self):
+        plan = compile_omq(PROP, "q() <- A(x)", fastpath="auto")
+        assert plan.plan_kind == "ladder"
+        assert plan.fastpath_reason
+
+    def test_ucq_refused(self):
+        plan = compile_omq(PROP, "q(x) <- A(x) ; q(x) <- B(x)",
+                           fastpath="auto")
+        assert plan.plan_kind == "ladder"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compile_omq(PROP, PROP_Q, fastpath="yes-please")
+
+    def test_memo_keys_separate_modes(self):
+        ladder = compile_omq(PROP, PROP_Q)
+        fast = compile_omq(PROP, PROP_Q, fastpath="auto")
+        assert ladder is not fast
+        assert compile_omq(PROP, PROP_Q, fastpath="auto") is fast
+
+    def test_describe_reports_fastpath_facts(self):
+        plan = compile_omq(PROP, PROP_Q, fastpath="auto")
+        d = plan.describe()
+        assert d["plan_kind"] == "datalog-fastpath"
+        assert d["program_rules"] > 0
+        assert d["program_strata"] >= 1
+        refused = compile_omq(NON_HORN, "q(x) <- Heads(x)", fastpath="auto")
+        assert refused.describe()["fastpath_reason"]
+
+
+class TestLadderParity:
+    """Satellite 3: fast-path answers must equal the escalation ladder's."""
+
+    INSTANCES = [
+        DATA,
+        make_instance("A(a)"),
+        make_instance("R(a,b)", "R(b,c)"),  # nothing certain
+        make_instance("A(x)", "R(x,x)"),    # self-loop
+        make_instance(),                     # empty instance
+    ]
+
+    def test_prop_answers_match_ladder(self):
+        fast = compile_omq(PROP, PROP_Q, fastpath="auto")
+        ladder = compile_omq(PROP, PROP_Q)
+        assert fast.plan_kind == "datalog-fastpath"
+        for D in self.INSTANCES:
+            rf, rl = fast.evaluate(D), ladder.evaluate(D)
+            assert rf.verdict == rl.verdict == "ok"
+            assert set(rf.answers) == set(rl.answers), D
+            assert rf.path == "fastpath" and rl.path == "ladder"
+            assert rf.definitive and rl.definitive
+
+    def test_fastpath_outcome_is_definitive_datalog(self):
+        fast = compile_omq(PROP, PROP_Q, fastpath="auto")
+        result = fast.evaluate(DATA)
+        assert result.outcome["engine"] == "datalog"
+        assert result.outcome["definitive"] is True
+        assert "Theorem 5" in result.outcome["reason"]
+
+    def test_inconsistent_instance_everything_certain(self):
+        fast = compile_omq(DISJ, "q(x) <- A(x)", fastpath="auto")
+        ladder = compile_omq(DISJ, "q(x) <- A(x)")
+        assert fast.plan_kind == "datalog-fastpath"
+        D = make_instance("A(a)", "B(a)", "C(z)")
+        rf, rl = fast.evaluate(D), ladder.evaluate(D)
+        assert set(rf.answers) == set(rl.answers) == {("a",), ("z",)}
+
+    def test_result_to_dict_records_path(self):
+        fast = compile_omq(PROP, PROP_Q, fastpath="auto")
+        assert fast.evaluate(DATA).to_dict()["path"] == "fastpath"
+
+
+class TestPathAccounting:
+    def test_cache_hit_reports_cache_path(self):
+        from repro.serving import AnswerCache
+
+        plan = compile_omq(PROP, PROP_Q, fastpath="auto",
+                           answer_cache=AnswerCache())
+        assert plan.evaluate(DATA).path == "fastpath"
+        assert plan.evaluate(DATA).path == "cache"
+
+    def test_fastpath_metrics_counters(self):
+        plan = compile_omq(PROP, PROP_Q, fastpath="auto")
+        plan.evaluate(DATA)
+        assert plan.metrics.counter("fastpath_evals").value == 1
+        assert plan.metrics.counter("engine_datalog").value == 1
+
+    def test_batch_counts_paths(self):
+        jobs = [Job(query=PROP_Q, facts=("A(a)", "R(a,b)"), job_id="fast1"),
+                Job(query=PROP_Q, facts=("A(a)", "R(a,b)"), job_id="repeat"),
+                Job(query="q() <- A(x)", facts=("A(a)",), job_id="boolean")]
+        report = evaluate_batch(PROP, jobs, fastpath="auto")
+        paths = report.stats["paths"]
+        assert paths.get("fastpath", 0) >= 1
+        assert paths.get("ladder", 0) >= 1
+        by_id = {r.job_id: r for r in report.results}
+        assert by_id["fast1"].path == "fastpath"
+        assert by_id["boolean"].path == "ladder"
+
+    def test_batch_default_stays_on_ladder(self):
+        jobs = [Job(query=PROP_Q, facts=("A(a)",), job_id="j0")]
+        report = evaluate_batch(PROP, jobs)
+        assert report.stats["paths"] == {"ladder": 1}
+
+    def test_job_result_round_trips_path(self):
+        from repro.serving.batch import _result_from_dict
+
+        jobs = [Job(query=PROP_Q, facts=("A(a)",), job_id="j0")]
+        report = evaluate_batch(PROP, jobs, fastpath="auto")
+        r = report.results[0]
+        clone = _result_from_dict(r.to_dict())
+        assert clone.path == r.path == "fastpath"
+
+    def test_legacy_result_dict_defaults_to_ladder(self):
+        from repro.serving.batch import _result_from_dict
+
+        jobs = [Job(query=PROP_Q, facts=("A(a)",), job_id="j0")]
+        report = evaluate_batch(PROP, jobs)
+        payload = report.results[0].to_dict()
+        payload.pop("path")
+        assert _result_from_dict(payload).path == "ladder"
+
+
+class TestBudget:
+    def test_starved_fastpath_returns_unknown(self):
+        plan = compile_omq(PROP, PROP_Q, fastpath="auto")
+        result = plan.evaluate(DATA, budget=Budget(timeout=0.0))
+        assert result.verdict == "unknown"
+        assert result.path == "fastpath"
+        assert not result.definitive
+
+    def test_generous_budget_unaffected(self):
+        plan = compile_omq(PROP, PROP_Q, fastpath="auto")
+        result = plan.evaluate(DATA, budget=Budget(timeout=60.0))
+        assert result.verdict == "ok"
