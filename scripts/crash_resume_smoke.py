@@ -101,8 +101,10 @@ def main() -> int:
         with open(journal, encoding="utf-8") as fh:
             records = [json.loads(line) for line in fh if line.strip()]
         finished = [r for r in records if r.get("kind") == "result"]
-        if not records or records[0].get("kind") != "header":
-            return fail("journal is missing its header record")
+        if not records or records[0].get("kind") != "journal-header":
+            return fail("journal is missing its schema header record")
+        if records[1].get("kind") != "header":
+            return fail("journal is missing its batch header record")
         if not 1 <= len(finished) < 6:
             return fail(f"journal holds {len(finished)} finished jobs, "
                         f"expected a mid-batch death (1..5)")

@@ -1,0 +1,160 @@
+"""CI smoke for the serving daemon: boot, serve, scrape, drain.
+
+Starts ``repro serve`` as a real subprocess with a journal, submits the
+example smoke workload (``examples/workloads/smoke.json`` over
+``examples/ontologies/clinic.gf``) through the HTTP API, polls it to
+completion, checks the report verdicts against the known-good answers,
+scrapes ``/metrics``, then sends SIGTERM and asserts the daemon drains
+cleanly (exit 0) with every finished job journaled.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# id -> verdict expected from the clinic ontology ("ok" marks an
+# answer-variable query that evaluated; booleans report yes/no).
+EXPECTED_VERDICTS = {
+    "existential": "yes",
+    "disjunction": "yes",
+    "open-persons": "ok",
+    "not-certain": "no",
+    "open-clinicians": "ok",
+}
+
+
+def fail(msg: str) -> "None":
+    print(f"SERVE SMOKE FAILURE: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def request(port: int, method: str, path: str, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json",
+                              "X-Client": "serve-smoke"})
+        resp = conn.getresponse()
+        raw = resp.read()
+        try:
+            return resp.status, json.loads(raw)
+        except ValueError:
+            return resp.status, raw.decode("utf-8", "replace")
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    with open(os.path.join(ROOT, "examples", "ontologies", "clinic.gf")) as fh:
+        ontology_text = fh.read()
+    with open(os.path.join(ROOT, "examples", "workloads", "smoke.json")) as fh:
+        jobs = json.load(fh)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    env.pop("REPRO_FAULTS", None)
+
+    tmpdir = tempfile.mkdtemp(prefix="serve-smoke-")
+    journal = os.path.join(tmpdir, "journal.jsonl")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", "--journal", journal, "--drain-timeout", "60"],
+        cwd=ROOT, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+    try:
+        line = proc.stdout.readline()
+        if "listening on" not in line:
+            proc.kill()
+            fail(f"daemon did not announce its port: {line!r} "
+                 f"stderr={proc.stderr.read()!r}")
+        port = int(line.rsplit(":", 1)[1])
+        print(f"daemon up on port {port}")
+
+        status, body = request(port, "GET", "/healthz")
+        if status != 200 or body.get("status") != "ok":
+            fail(f"/healthz: {status} {body}")
+        status, body = request(port, "GET", "/readyz")
+        if status != 200:
+            fail(f"/readyz before drain: {status} {body}")
+
+        status, body = request(port, "POST", "/v1/jobsets",
+                               {"ontology": ontology_text, "jobs": jobs})
+        if status != 202:
+            fail(f"submit rejected: {status} {body}")
+        jobset_id = body["id"]
+        print(f"accepted {jobset_id} (band={body['band']})")
+
+        deadline = time.monotonic() + 120
+        while True:
+            status, result = request(
+                port, "GET", f"/v1/jobsets/{jobset_id}/result")
+            if status == 200:
+                break
+            if time.monotonic() > deadline:
+                fail(f"jobset did not finish: {status} {result}")
+            time.sleep(0.2)
+        if result["status"] != "done":
+            fail(f"jobset finished {result['status']}: "
+                 f"{result.get('error')}")
+        verdicts = {job["id"]: job["verdict"]
+                    for job in result["report"]["jobs"]}
+        if verdicts != EXPECTED_VERDICTS:
+            fail(f"verdicts {verdicts} != expected {EXPECTED_VERDICTS}")
+        print(f"report verdicts ok: {verdicts}")
+
+        status, text = request(port, "GET", "/metrics")
+        if status != 200:
+            fail(f"/metrics: {status}")
+        for needle in ("repro_server_jobsets_completed 1",
+                       f"repro_server_jobs_completed {len(jobs)}",
+                       "repro_server_queued_jobs 0",
+                       "repro_server_jobset_seconds_count 1"):
+            if needle not in text:
+                fail(f"/metrics missing {needle!r}:\n{text}")
+        print("metrics scrape ok")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=90)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("daemon did not exit after SIGTERM")
+        stderr = proc.stderr.read()
+        if proc.returncode != 0:
+            fail(f"daemon exit {proc.returncode}; stderr: {stderr}")
+        if "drained cleanly" not in stderr:
+            fail(f"no clean-drain message; stderr: {stderr}")
+        print("SIGTERM drain ok")
+
+        with open(journal) as fh:
+            records = [json.loads(ln) for ln in fh if ln.strip()]
+        results = [r for r in records if r.get("kind") == "job-result"]
+        if len(results) != len(jobs):
+            fail(f"journal has {len(results)} job-results, "
+                 f"expected {len(jobs)}")
+        print(f"journal ok ({len(results)} job-results)")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        for name in os.listdir(tmpdir):
+            os.unlink(os.path.join(tmpdir, name))
+        os.rmdir(tmpdir)
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -337,6 +337,67 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 3
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The long-lived serving daemon (see docs/serving.md).
+
+    Binds, prints one parseable ``listening on http://host:port`` line,
+    then runs until SIGTERM/SIGINT — which trigger a graceful drain:
+    admission starts refusing with 503, accepted job sets finish (or are
+    journaled for ``--resume``), and the process exits 0.
+    """
+    import signal
+    import threading
+
+    from .resilience import RetryPolicy
+    from .server import ReproServer
+
+    if args.workers < 1:
+        raise CliInputError("--workers must be at least 1")
+    if args.resume and not args.journal:
+        raise CliInputError("--resume requires --journal FILE")
+    retry = None
+    if args.retry is not None:
+        try:
+            retry = RetryPolicy.from_spec(args.retry)
+        except ValueError as exc:
+            raise CliInputError(f"--retry: {exc}") from exc
+    server = ReproServer(
+        host=args.host, port=args.port, workers=args.workers,
+        journal=args.journal, resume=args.resume, cache_dir=args.cache_dir,
+        backend=args.backend, fastpath=args.fastpath, retry=retry,
+        max_queued_jobs=args.max_queue, high_water=args.high_water,
+        rate=args.rate, burst=args.burst,
+        wedge_timeout=args.wedge_timeout)
+    try:
+        server.start()
+    except OSError as exc:
+        raise CliInputError(
+            f"cannot bind {args.host}:{args.port}: "
+            f"{exc.strerror or exc}") from exc
+
+    shutdown = threading.Event()
+
+    def _on_signal(signum, _frame):
+        print(f"signal {signal.Signals(signum).name}: draining",
+              file=sys.stderr, flush=True)
+        shutdown.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    print(f"listening on http://{server.host}:{server.port}", flush=True)
+    shutdown.wait()
+    server.begin_drain()
+    drained = server.drain(timeout=args.drain_timeout)
+    server.stop()
+    if not drained:
+        print(f"drain timed out after {args.drain_timeout}s; "
+              f"unfinished job sets are journaled for --resume",
+              file=sys.stderr)
+        return 1
+    print("drained cleanly", file=sys.stderr)
+    return 0
+
+
 def cmd_consistent(args: argparse.Namespace) -> int:
     onto = _load_ontology(args.ontology, args.dl)
     data = _load_instance(args.data)
@@ -599,6 +660,61 @@ def build_parser() -> argparse.ArgumentParser:
                               "only)")
     add_budget_args(p_batch)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="long-lived serving daemon: JSON HTTP API with "
+                      "admission control, backpressure and graceful "
+                      "drain (see docs/serving.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                         help="0 picks a free port (printed on stdout)")
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes kept warm across requests "
+                              "(default 1: in-process evaluation)")
+    p_serve.add_argument("--journal", metavar="FILE",
+                         help="crash-safe JSONL journal of accepted "
+                              "submissions and finished jobs")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="replay --journal FILE on startup: journaled "
+                              "job sets are re-created, finished jobs are "
+                              "not recomputed")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         help="on-disk answer cache shared across requests")
+    p_serve.add_argument("--backend", choices=["auto", "chase", "sat"],
+                         default="auto")
+    p_serve.add_argument("--fastpath", choices=["off", "auto", "force"],
+                         default="auto",
+                         help="datalog-fastpath plans for PTIME-classified "
+                              "OMQs (default auto — the daemon serves "
+                              "mixed traffic)")
+    p_serve.add_argument("--retry", metavar="SPEC",
+                         help="retry policy for transient failures, e.g. "
+                              "'attempts=3,backoff=0.05'")
+    p_serve.add_argument("--max-queue", type=int, default=256, metavar="JOBS",
+                         help="admission queue capacity in jobs "
+                              "(default 256); beyond it submissions get 429")
+    p_serve.add_argument("--high-water", type=float, default=0.5,
+                         metavar="FRACTION",
+                         help="queue fraction above which hard-band "
+                              "(potentially-coNP) submissions are shed "
+                              "while PTIME-band traffic still flows "
+                              "(default 0.5)")
+    p_serve.add_argument("--rate", type=float, default=50.0, metavar="JOBS/S",
+                         help="per-client token-bucket refill rate "
+                              "(default 50 jobs/s)")
+    p_serve.add_argument("--burst", type=float, default=100.0, metavar="JOBS",
+                         help="per-client token-bucket capacity "
+                              "(default 100 jobs)")
+    p_serve.add_argument("--drain-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="give up the graceful drain after this long "
+                              "(default: wait for all accepted work)")
+    p_serve.add_argument("--wedge-timeout", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="watchdog: kill and rebuild the worker pool "
+                              "after this long without progress "
+                              "(default 60)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cons = sub.add_parser("consistent", help="check consistency")
     p_cons.add_argument("ontology")

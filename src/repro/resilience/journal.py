@@ -32,7 +32,15 @@ from typing import Any
 
 class JournalError(ValueError):
     """The file is not a journal we can trust (corrupt before the tail,
-    or written for a different batch)."""
+    written for a different batch, or a future schema version)."""
+
+
+# The journal file format version.  Every journal this module creates
+# starts with a ``{"kind": "journal-header", "schema": N}`` record;
+# replay rejects journals written by a *newer* schema instead of
+# silently misreplaying records whose meaning may have changed.
+# Headerless files (journals from before versioning) stay readable.
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -43,6 +51,9 @@ class JournalReplay:
     records: list[dict] = field(default_factory=list)
     valid_bytes: int = 0
     corrupt_tail: bool = False
+    # True when the file opened with a validated journal-header record
+    # (files from before versioning replay fine but report False).
+    versioned: bool = False
 
 
 def replay_journal(path: str | os.PathLike) -> JournalReplay:
@@ -86,7 +97,20 @@ def replay_journal(path: str | os.PathLike) -> JournalReplay:
                 replay.corrupt_tail = True
             return replay
         if isinstance(record, dict):
-            replay.records.append(record)
+            if offset == 0 and record.get("kind") == "journal-header":
+                # The file-format header this module writes first: it is
+                # validated and *consumed* here, never surfaced as a
+                # logical record — callers see only their own appends.
+                schema = record.get("schema")
+                if schema != SCHEMA_VERSION:
+                    raise JournalError(
+                        f"{path}: journal schema version {schema!r} is not "
+                        f"supported (this build reads version "
+                        f"{SCHEMA_VERSION}); refusing to misreplay an "
+                        f"unknown format")
+                replay.versioned = True
+            else:
+                replay.records.append(record)
         offset = end + 1
         replay.valid_bytes = offset
     return replay
@@ -121,16 +145,29 @@ class Journal:
         self.fsync = fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
         flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        fresh = True
         if replay:
             loaded = replay_journal(self.path)
             self.replayed = loaded.records
             self.corrupt_tail_dropped = loaded.corrupt_tail
             if self.path.exists():
                 os.truncate(self.path, loaded.valid_bytes)
+            # Only a journal with no surviving bytes gets a (new) header:
+            # the header must be the first line, so a non-empty legacy
+            # (pre-versioning) file is left as-is and replays fine.
+            fresh = loaded.valid_bytes == 0
         else:
             # A fresh journal: drop whatever a previous batch left behind.
             flags |= os.O_TRUNC
         self._fd: int | None = os.open(self.path, flags, 0o644)
+        if fresh:
+            # The file-format header (see SCHEMA_VERSION).  Written
+            # directly: it is not a caller record, so it never counts in
+            # records_written and replay never surfaces it.
+            line = json.dumps(
+                {"kind": "journal-header", "schema": SCHEMA_VERSION},
+                separators=(",", ":"), sort_keys=True) + "\n"
+            os.write(self._fd, line.encode("utf-8"))
 
     def append(self, record: dict) -> None:
         """Append one record: a single atomic ``os.write`` of one line."""

@@ -1,0 +1,289 @@
+"""Admission control for the serving daemon: principled load shedding.
+
+Most query services shed load blind — every request looks the same until
+it has already burned a worker.  The paper's dichotomy gives this daemon
+a *static* per-request cost signal: an ontology either profiles into a
+Figure-1 DICHOTOMY fragment **and** is Horn (the PTIME side — the same
+static proof that gates the ``datalog-fastpath`` plan kind), or it does
+not, in which case its workload may sit on the coNP-hard side of
+Theorem 7/8/11.  :func:`classify_band` computes that signal once per
+ontology (memoized by content fingerprint); the
+:class:`AdmissionController` uses it for graceful degradation: when the
+bounded queue passes its high-water mark, *hard*-band submissions are
+shed with 429 while *ptime*-band traffic keeps flowing until the queue
+is truly full.  Collapse is never an option — the queue is bounded, so
+memory stays bounded no matter how fast clients submit.
+
+The other two admission layers are classic: a per-client
+:class:`TokenBucket` (rate + burst, with an exact ``Retry-After`` hint)
+and a per-client in-flight cap, both accounted in
+:class:`ClientAccount` so ``/metrics`` can show who is consuming what.
+
+Everything is thread-safe (one lock per controller) and clock-injectable
+for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..logic.ontology import Ontology
+from ..serving.cache import LRUCache
+from ..serving.fingerprint import fingerprint_ontology
+
+#: The two admission bands derived from the paper's Figure 1.
+BAND_PTIME = "ptime"
+BAND_HARD = "hard"
+
+_band_cache = LRUCache(maxsize=256)
+
+
+def classify_band(onto: Ontology) -> tuple[str, str]:
+    """The static Figure-1 cost band of *onto*: ``(band, detail)``.
+
+    ``ptime`` — the ontology profiles into a DICHOTOMY fragment and is
+    Horn, so every OMQ over it evaluates in PTIME (materializable ⇔
+    unravelling tolerant ⇔ PTIME inside a DICHOTOMY band; Horn gives
+    materializability statically).  ``hard`` — no static PTIME proof:
+    the workload may contain coNP-hard OMQs and is the first to be shed
+    under overload.  Memoized by content fingerprint, so repeated
+    submissions of the same ontology classify in O(1).
+    """
+    key = fingerprint_ontology(onto)
+    hit = _band_cache.get(key)
+    if hit is not None:
+        return hit
+    from ..core.dichotomy import Status, classify_profile
+    from ..core.materializability import is_horn
+    from ..guarded.fragments import profile_ontology
+
+    _, status = classify_profile(profile_ontology(onto))
+    if status is not Status.DICHOTOMY:
+        verdict = (BAND_HARD,
+                   f"profiles outside the DICHOTOMY band ({status.name})")
+    elif not is_horn(onto):
+        verdict = (BAND_HARD,
+                   "DICHOTOMY band but not Horn: no static PTIME proof")
+    else:
+        verdict = (BAND_PTIME, "DICHOTOMY band + Horn: statically PTIME")
+    _band_cache.put(key, verdict)
+    return verdict
+
+
+class TokenBucket:
+    """A classic token bucket: *rate* tokens/second, capacity *burst*.
+
+    ``try_acquire(n)`` returns ``0.0`` on success or the number of
+    seconds after which *n* tokens will be available (the exact
+    ``Retry-After`` hint).  Not internally locked — the controller's
+    lock covers it.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Any = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+
+@dataclass
+class ClientAccount:
+    """Per-client admission state and resource accounting."""
+
+    name: str
+    bucket: TokenBucket
+    inflight_jobs: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    jobs_completed: int = 0
+    elapsed_seconds: float = 0.0
+
+    def usage(self) -> dict[str, Any]:
+        return {
+            "inflight_jobs": self.inflight_jobs,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "jobs_completed": self.jobs_completed,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The controller's verdict on one submission."""
+
+    accepted: bool
+    status: int = 202  # HTTP status: 202 accepted, 429/503 shed
+    reason: str = ""
+    retry_after: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"accepted": self.accepted,
+                               "status": self.status}
+        if self.reason:
+            out["reason"] = self.reason
+        if self.retry_after is not None:
+            out["retry_after"] = round(self.retry_after, 3)
+        return out
+
+
+class AdmissionController:
+    """Bounded admission with band-aware graceful degradation.
+
+    Capacity is counted in **jobs** (queued plus running), not jobsets —
+    a thousand-job submission weighs a thousand times a one-job probe.
+    The shedding ladder, cheapest signal first:
+
+    1. **draining** — 503 + ``Retry-After``: the daemon is going away;
+    2. **rate limit** — the client's token bucket is empty: 429 with the
+       exact refill time;
+    3. **per-client cap** — the client already has ``max_inflight_jobs``
+       jobs in the system: 429 (one tenant cannot starve the rest);
+    4. **queue full** — admitting would exceed ``max_queued_jobs``: 429;
+    5. **high water** — the queue is above ``high_water`` of capacity
+       and the submission is *hard*-band: 429.  PTIME-band work keeps
+       being admitted until the queue is truly full — graceful
+       degradation, not collapse.
+    """
+
+    def __init__(
+        self,
+        max_queued_jobs: int = 256,
+        high_water: float = 0.5,
+        rate: float = 50.0,
+        burst: float = 100.0,
+        max_inflight_jobs: int = 1024,
+        retry_after: float = 1.0,
+        clock: Any = time.monotonic,
+    ):
+        if max_queued_jobs < 1:
+            raise ValueError("max_queued_jobs must be >= 1")
+        if not 0.0 < high_water <= 1.0:
+            raise ValueError("high_water must be in (0, 1]")
+        self.max_queued_jobs = max_queued_jobs
+        self.high_water = high_water
+        self.rate = rate
+        self.burst = burst
+        self.max_inflight_jobs = max_inflight_jobs
+        self.retry_after = retry_after
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.queued_jobs = 0
+        self.draining = False
+        self.clients: dict[str, ClientAccount] = {}
+        self.shed: dict[str, int] = {
+            "draining": 0, "rate_limit": 0, "client_cap": 0,
+            "queue_full": 0, "hard_band": 0}
+
+    def _client(self, name: str) -> ClientAccount:
+        account = self.clients.get(name)
+        if account is None:
+            account = ClientAccount(
+                name, TokenBucket(self.rate, self.burst, self._clock))
+            self.clients[name] = account
+        return account
+
+    def _shed(self, account: ClientAccount, kind: str, status: int,
+              reason: str, retry_after: float | None = None) -> Decision:
+        self.shed[kind] += 1
+        account.rejected += 1
+        return Decision(False, status, reason,
+                        self.retry_after if retry_after is None
+                        else retry_after)
+
+    def admit(self, client: str, jobs: int, band: str) -> Decision:
+        """Admit or shed a submission of *jobs* jobs in *band*."""
+        if jobs < 1:
+            return Decision(False, 400, "a submission needs at least one job")
+        with self._lock:
+            account = self._client(client)
+            if self.draining:
+                return self._shed(
+                    account, "draining", 503,
+                    "daemon is draining; resubmit to its successor")
+            wait = account.bucket.try_acquire(float(jobs))
+            if wait > 0:
+                return self._shed(
+                    account, "rate_limit", 429,
+                    f"client {client!r} exceeded its request rate",
+                    retry_after=wait)
+            if account.inflight_jobs + jobs > self.max_inflight_jobs:
+                return self._shed(
+                    account, "client_cap", 429,
+                    f"client {client!r} already has "
+                    f"{account.inflight_jobs} job(s) in flight "
+                    f"(cap {self.max_inflight_jobs})")
+            after = self.queued_jobs + jobs
+            if after > self.max_queued_jobs:
+                return self._shed(
+                    account, "queue_full", 429,
+                    f"admission queue full "
+                    f"({self.queued_jobs}/{self.max_queued_jobs} jobs)")
+            if (band != BAND_PTIME
+                    and after > self.max_queued_jobs * self.high_water):
+                return self._shed(
+                    account, "hard_band", 429,
+                    "over high water: shedding potentially-coNP "
+                    "(hard-band) work first; PTIME-band submissions "
+                    "are still admitted")
+            self.queued_jobs = after
+            account.inflight_jobs += jobs
+            account.accepted += 1
+            return Decision(True, 202)
+
+    def adopt(self, client: str, jobs: int) -> None:
+        """Account capacity for a submission admitted in a previous life
+        (journal resume): it was already accepted once, so it re-enters
+        the queue unconditionally — no rate/band checks apply."""
+        with self._lock:
+            account = self._client(client)
+            self.queued_jobs += jobs
+            account.inflight_jobs += jobs
+            account.accepted += 1
+
+    def release(self, client: str, jobs: int,
+                elapsed: float = 0.0) -> None:
+        """Return *jobs* capacity when a jobset finishes (or is
+        cancelled) and account its resource usage to the client."""
+        with self._lock:
+            self.queued_jobs = max(0, self.queued_jobs - jobs)
+            account = self._client(client)
+            account.inflight_jobs = max(0, account.inflight_jobs - jobs)
+            account.jobs_completed += jobs
+            account.elapsed_seconds += elapsed
+
+    def start_drain(self) -> None:
+        with self._lock:
+            self.draining = True
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "queued_jobs": self.queued_jobs,
+                "max_queued_jobs": self.max_queued_jobs,
+                "high_water": self.high_water,
+                "draining": self.draining,
+                "shed": dict(self.shed),
+                "clients": {name: account.usage()
+                            for name, account in self.clients.items()},
+            }

@@ -27,7 +27,8 @@ Surfaced on the CLI as ``python -m repro batch``; see ``docs/serving.md``.
 
 from .batch import (
     BatchReport, Job, JobResult, comparable_report, crash_result,
-    evaluate_batch, job_key, load_workload, quarantined_result,
+    evaluate_batch, job_key, jobs_from_entries, load_workload,
+    make_worker_pool, quarantined_result,
 )
 from .cache import (
     AnswerCache, DiskCache, LRUCache, clear_caches, conversion_cache_stats,
@@ -38,7 +39,10 @@ from .fingerprint import (
     fingerprint_instance, fingerprint_omq, fingerprint_ontology,
     fingerprint_query,
 )
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, prometheus_name,
+    render_prometheus,
+)
 from .plan import (
     CompiledOMQ, EvalResult, clear_plan_cache, compile_omq, parse_query,
     plan_cache_stats,
@@ -46,13 +50,15 @@ from .plan import (
 
 __all__ = [
     "BatchReport", "Job", "JobResult", "comparable_report", "crash_result",
-    "evaluate_batch", "job_key", "load_workload", "quarantined_result",
+    "evaluate_batch", "job_key", "jobs_from_entries", "load_workload",
+    "make_worker_pool", "quarantined_result",
     "AnswerCache", "DiskCache", "LRUCache", "clear_caches",
     "conversion_cache_stats", "convert_ontology_cached",
     "canonical_instance", "canonical_ontology", "canonical_query",
     "fingerprint_instance", "fingerprint_omq", "fingerprint_ontology",
     "fingerprint_query",
-    "Counter", "Histogram", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "prometheus_name",
+    "render_prometheus",
     "CompiledOMQ", "EvalResult", "clear_plan_cache", "compile_omq",
     "parse_query", "plan_cache_stats",
 ]

@@ -63,6 +63,39 @@ class Job:
         return self.data if self.data is not None else f"<{len(self.facts)} inline fact(s)>"
 
 
+def jobs_from_entries(entries: Any, base: Path | None = None,
+                      where: str = "workload") -> list[Job]:
+    """Validate parsed workload entries into :class:`Job`\\ s.
+
+    Shared by :func:`load_workload` (entries from a JSON file, ``data``
+    paths resolved against *base*) and the serving daemon (entries from a
+    request body).  Raises ``ValueError`` naming *where* on bad input.
+    """
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{where}: workload must be a non-empty JSON list")
+    jobs: list[Job] = []
+    for idx, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "query" not in entry:
+            raise ValueError(
+                f"{where}: job {idx} must be an object with a 'query'")
+        data = entry.get("data")
+        facts = entry.get("facts")
+        if (data is None) == (facts is None):
+            raise ValueError(
+                f"{where}: job {idx} needs exactly one of 'data' or 'facts'")
+        if data is not None:
+            data = str(base / data) if base is not None else str(data)
+        if facts is not None and not isinstance(facts, list):
+            raise ValueError(f"{where}: job {idx}: 'facts' must be a list")
+        jobs.append(Job(
+            query=str(entry["query"]),
+            data=data,
+            facts=tuple(str(f) for f in facts) if facts is not None else (),
+            job_id=str(entry.get("id", idx)),
+        ))
+    return jobs
+
+
 def load_workload(path: str | Path) -> list[Job]:
     """Parse a JSON workload file; raises ValueError on malformed input."""
     import json
@@ -74,26 +107,7 @@ def load_workload(path: str | Path) -> list[Job]:
         raise ValueError(f"{path}: {exc.strerror or exc}") from exc
     except ValueError as exc:
         raise ValueError(f"{path}: invalid JSON: {exc}") from exc
-    if not isinstance(entries, list) or not entries:
-        raise ValueError(f"{path}: workload must be a non-empty JSON list")
-    jobs: list[Job] = []
-    for idx, entry in enumerate(entries):
-        if not isinstance(entry, dict) or "query" not in entry:
-            raise ValueError(f"{path}: job {idx} must be an object with a 'query'")
-        data = entry.get("data")
-        facts = entry.get("facts")
-        if (data is None) == (facts is None):
-            raise ValueError(
-                f"{path}: job {idx} needs exactly one of 'data' or 'facts'")
-        if data is not None:
-            data = str(path.parent / data)
-        jobs.append(Job(
-            query=str(entry["query"]),
-            data=data,
-            facts=tuple(facts) if facts is not None else (),
-            job_id=str(entry.get("id", idx)),
-        ))
-    return jobs
+    return jobs_from_entries(entries, base=path.parent, where=str(path))
 
 
 @dataclass(frozen=True)
@@ -391,6 +405,15 @@ def job_key(index: int, job: Job) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+def make_worker_pool(workers: int, max_pool_deaths: int = 5) -> PoolSupervisor:
+    """A :class:`~repro.resilience.PoolSupervisor` wired to the batch
+    worker entry point, for embedders that keep one pool alive across
+    many :func:`evaluate_batch` calls (the ``repro serve`` daemon).
+    Pass it via ``evaluate_batch(..., pool=...)``; the caller owns its
+    lifecycle (``close()`` / context manager)."""
+    return PoolSupervisor(_run_job, workers, max_pool_deaths=max_pool_deaths)
+
+
 # -- the batch executor ------------------------------------------------------
 
 
@@ -400,7 +423,8 @@ class _BatchRunner:
     :func:`evaluate_batch` and :class:`repro.resilience.Supervisor`."""
 
     def __init__(self, onto, jobs, options, budgets, tracer, metrics,
-                 cache, pool_supervisor, retry, journal, keys):
+                 cache, pool_supervisor, retry, journal, keys,
+                 on_result=None):
         self.onto = onto
         self.jobs = jobs
         self.options = options
@@ -412,6 +436,7 @@ class _BatchRunner:
         self.retry = retry
         self.journal = journal
         self.keys = keys  # index -> journal job key
+        self.on_result = on_result  # callable(job_key, JobResult) | None
         self.results: dict[int, JobResult] = {}
 
     def _task_budget(self, task: Task) -> Budget | None:
@@ -515,6 +540,11 @@ class _BatchRunner:
             record.pop("outcome", None)
             self.journal.append({"kind": "result", "key": self.keys[idx],
                                  "result": record})
+        if self.on_result is not None:
+            # The daemon's streaming hook: fires the moment a job is
+            # decided (same timing as the journal append), so an external
+            # journal can record progress crash-safely.
+            self.on_result(self.keys[idx], result)
 
 
 def evaluate_batch(
@@ -534,6 +564,9 @@ def evaluate_batch(
     resume: bool = False,
     max_pool_deaths: int = 5,
     fastpath: str = "off",
+    pool: PoolSupervisor | None = None,
+    on_result: "Any | None" = None,
+    resume_results: "dict[str, dict] | None" = None,
 ) -> BatchReport:
     """Evaluate a workload of (instance, query) jobs against one ontology.
 
@@ -561,6 +594,18 @@ def evaluate_batch(
     :func:`~repro.serving.plan.compile_omq`; jobs whose plan upgraded to
     ``datalog-fastpath`` record ``path="fastpath"`` in their results and
     the report counts paths under ``stats["paths"]``.
+
+    The last three parameters exist for long-lived embedders (the
+    ``repro serve`` daemon): *pool* is an externally-owned
+    :class:`~repro.resilience.PoolSupervisor` reused across batches (its
+    worker processes — and their per-process plan/answer caches — stay
+    warm; the caller owns its lifecycle, this function never closes it);
+    *on_result* is a ``callable(job_key, JobResult)`` fired the moment
+    each job is decided (the daemon journals from it); *resume_results*
+    maps :func:`job_key` to result dicts already computed in a previous
+    life — matching jobs are replayed (``resumed=True``) instead of
+    recomputed, exactly like ``--resume`` but from the caller's own
+    journal.
 
     *tracer* defaults to the ambient :func:`repro.obs.current_tracer`.
     Worker processes trace into fresh per-job tracers and ship their spans
@@ -615,6 +660,14 @@ def evaluate_batch(
         if not any(r.get("kind") == "header" for r in jrnl.replayed):
             jrnl.append({"kind": "header", "version": 1,
                          "ontology": onto_fp, "jobs": len(jobs)})
+    if resume_results:
+        for idx in range(len(jobs)):
+            if idx in replayed:
+                continue
+            stored = resume_results.get(keys[idx])
+            if stored is not None:
+                replayed[idx] = replace(
+                    _result_from_dict(stored), resumed=True)
 
     to_run = [idx for idx in range(len(jobs)) if idx not in replayed]
     split = (budget.split(len(to_run))
@@ -625,8 +678,12 @@ def evaluate_batch(
 
     metrics = MetricsRegistry()
     pool_supervisor: PoolSupervisor | None = None
+    owns_pool = False
     cache: AnswerCache | None = None
-    if workers <= 1:
+    if pool is not None:
+        pool_supervisor = pool
+        workers = pool.workers
+    elif workers <= 1:
         cache = answer_cache
         if cache is None:
             cache = AnswerCache(
@@ -634,9 +691,11 @@ def evaluate_batch(
     else:
         pool_supervisor = PoolSupervisor(
             _run_job, workers, max_pool_deaths=max_pool_deaths)
+        owns_pool = True
 
     runner = _BatchRunner(onto, jobs, options, budgets, tracer, metrics,
-                          cache, pool_supervisor, retry, jrnl, keys)
+                          cache, pool_supervisor, retry, jrnl, keys,
+                          on_result=on_result)
     supervisor = Supervisor(retry, runner.execute_wave,
                             on_final=runner.finalize)
     try:
@@ -644,9 +703,13 @@ def evaluate_batch(
             if pool_supervisor is None:
                 with tracer.activate():
                     supervisor.run(to_run)
-            else:
+            elif owns_pool:
                 with pool_supervisor:
                     supervisor.run(to_run)
+            else:
+                # An externally-owned pool (the serving daemon's): use it
+                # but leave its lifecycle to the owner.
+                supervisor.run(to_run)
     finally:
         if jrnl is not None:
             jrnl.close()

@@ -123,6 +123,12 @@ class DiskCache:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_consecutive_errors = max_consecutive_errors
+        # One lock around the accounting (and the circuit-breaker state):
+        # the serving daemon hits one DiskCache from many request/worker
+        # threads, and unlocked += on counters loses increments.  File
+        # I/O itself stays outside the lock — reads and atomic-replace
+        # writes of distinct keys are independently safe.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.read_errors = 0
@@ -134,33 +140,38 @@ class DiskCache:
         return self.directory / f"{key}.json"
 
     def _record_write_error(self) -> None:
-        self.write_errors += 1
-        self.consecutive_errors += 1
-        if self.consecutive_errors >= self.max_consecutive_errors:
-            self.tripped = True
+        with self._lock:
+            self.write_errors += 1
+            self.consecutive_errors += 1
+            if self.consecutive_errors >= self.max_consecutive_errors:
+                self.tripped = True
 
     def get(self, key: str, default: Any = None) -> Any:
         if self.tripped:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return default
         path = self._path(key)
         try:
             with open(path) as fh:
                 value = json.load(fh)
         except FileNotFoundError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return default
         except (OSError, ValueError):
             # The entry exists but cannot be parsed (truncated write,
             # bit rot): a miss, plus eviction so it cannot keep failing.
-            self.read_errors += 1
-            self.misses += 1
+            with self._lock:
+                self.read_errors += 1
+                self.misses += 1
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return default
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -188,18 +199,20 @@ class DiskCache:
                 except OSError:
                     pass
         else:
-            self.consecutive_errors = 0
+            with self._lock:
+                self.consecutive_errors = 0
 
     def stats(self) -> dict[str, int | bool]:
         try:
             entries = sum(1 for _ in self.directory.glob("*.json"))
         except OSError:
             entries = 0
-        return {"hits": self.hits, "misses": self.misses,
-                "read_errors": self.read_errors,
-                "write_errors": self.write_errors,
-                "tripped": self.tripped,
-                "entries": entries}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "read_errors": self.read_errors,
+                    "write_errors": self.write_errors,
+                    "tripped": self.tripped,
+                    "entries": entries}
 
 
 class AnswerCache:
@@ -214,31 +227,39 @@ class AnswerCache:
                  disk: DiskCache | None = None):
         self.memory = LRUCache(maxsize)
         self.disk = disk
+        # The two layers are individually thread-safe; this lock makes
+        # the *composite* get (memory miss -> disk read -> memory
+        # promote) and put atomic, so the daemon's request threads never
+        # interleave a promotion with an eviction of the same key.
+        self._lock = threading.RLock()
 
     @staticmethod
     def key(*fingerprints: str) -> str:
         return combine(*fingerprints)
 
     def get(self, key: str) -> dict[str, Any] | None:
-        value = self.memory.get(key)
-        if value is not None:
-            return value
-        if self.disk is not None:
-            value = self.disk.get(key)
+        with self._lock:
+            value = self.memory.get(key)
             if value is not None:
-                self.memory.put(key, value)
-        return value
+                return value
+            if self.disk is not None:
+                value = self.disk.get(key)
+                if value is not None:
+                    self.memory.put(key, value)
+            return value
 
     def put(self, key: str, value: dict[str, Any]) -> None:
-        self.memory.put(key, value)
-        if self.disk is not None:
-            self.disk.put(key, value)
+        with self._lock:
+            self.memory.put(key, value)
+            if self.disk is not None:
+                self.disk.put(key, value)
 
     def stats(self) -> dict[str, Any]:
-        out: dict[str, Any] = {"memory": self.memory.stats()}
-        if self.disk is not None:
-            out["disk"] = self.disk.stats()
-        return out
+        with self._lock:
+            out: dict[str, Any] = {"memory": self.memory.stats()}
+            if self.disk is not None:
+                out["disk"] = self.disk.stats()
+            return out
 
 
 # -- the conversion cache ----------------------------------------------------

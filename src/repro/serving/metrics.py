@@ -1,18 +1,23 @@
-"""Service metrics: counters and latency histograms for the serving layer.
+"""Service metrics: counters, gauges and latency histograms.
 
 Deliberately tiny and dependency-free: a :class:`Counter` is an integer, a
-:class:`Histogram` keeps its raw observations (serving workloads are
-thousands of jobs, not millions of requests) and summarizes them as
-count/min/max/mean/p50/p95.  A :class:`MetricsRegistry` groups both and
-renders the ``stats`` JSON block of batch reports; ``merge`` folds the
-registries returned by worker processes into the parent's.
+:class:`Gauge` is a settable float (queue depth, in-flight jobs — values
+that go *down* as well as up), a :class:`Histogram` keeps its raw
+observations (serving workloads are thousands of jobs, not millions of
+requests) and summarizes them as count/min/max/mean/p50/p95.  A
+:class:`MetricsRegistry` groups all three and renders the ``stats`` JSON
+block of batch reports; ``merge`` folds the registries returned by worker
+processes into the parent's, and :func:`render_prometheus` renders a
+registry in the Prometheus text exposition format for the serving
+daemon's ``/metrics`` endpoint.
 
-All three are **thread-safe**: spans and counters are written from engine
-internals (the tracing layer of :mod:`repro.obs`), not just the
-single-threaded batch driver, so increments, observations and registry
-creation take a lock.  Percentiles use the nearest-rank definition
-(``ceil(q*n)``-th smallest observation), so p50 of ``[1, 2, 3, 4]`` is 2
-and p95 of 100 observations is the 95th — not the 96th — ranked value.
+All of them are **thread-safe**: spans and counters are written from
+engine internals (the tracing layer of :mod:`repro.obs`) and from the
+daemon's request threads, not just the single-threaded batch driver, so
+increments, observations and registry creation take a lock.  Percentiles
+use the nearest-rank definition (``ceil(q*n)``-th smallest observation),
+so p50 of ``[1, 2, 3, 4]`` is 2 and p95 of 100 observations is the 95th —
+not the 96th — ranked value.
 """
 
 from __future__ import annotations
@@ -30,6 +35,24 @@ class Counter:
         default_factory=threading.Lock, repr=False, compare=False)
 
     def inc(self, by: int = 1) -> None:
+        with self._lock:
+            self.value += by
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value: set/add, last write wins (thread-safe)."""
+
+    name: str
+    value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, by: float = 1.0) -> None:
         with self._lock:
             self.value += by
 
@@ -71,25 +94,33 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """A named bag of counters and histograms (thread-safe)."""
+    """A named bag of counters, gauges and histograms (thread-safe)."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
             return self.counters.setdefault(name, Counter(name))
 
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self.gauges.setdefault(name, Gauge(name))
+
     def histogram(self, name: str) -> Histogram:
         with self._lock:
             return self.histograms.setdefault(name, Histogram(name))
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold *other* into this registry (sums and concatenations)."""
+        """Fold *other* into this registry (sums and concatenations;
+        gauges are point-in-time values, so *other*'s reading wins)."""
         for name, counter in other.counters.items():
             self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).set(gauge.value)
         for name, hist in other.histograms.items():
             self.histogram(name).extend(list(hist.observations))
 
@@ -97,25 +128,100 @@ class MetricsRegistry:
 
     def to_raw(self) -> dict[str, object]:
         """A picklable/JSON-able dump preserving raw observations."""
-        return {
+        out: dict[str, object] = {
             "counters": {name: c.value for name, c in self.counters.items()},
             "histograms": {name: list(h.observations)
                            for name, h in self.histograms.items()},
         }
+        if self.gauges:
+            out["gauges"] = {name: g.value
+                             for name, g in self.gauges.items()}
+        return out
 
     def merge_raw(self, raw: dict[str, object]) -> None:
         """Fold a :meth:`to_raw` dump (e.g. from a worker process)."""
         for name, value in (raw.get("counters") or {}).items():  # type: ignore[union-attr]
             self.counter(name).inc(value)
+        for name, value in (raw.get("gauges") or {}).items():  # type: ignore[union-attr]
+            self.gauge(name).set(value)
         for name, observations in (raw.get("histograms") or {}).items():  # type: ignore[union-attr]
             self.histogram(name).extend(list(observations))
 
     def to_dict(self) -> dict[str, object]:
         out: dict[str, object] = {
             name: c.value for name, c in sorted(self.counters.items())}
+        for name, gauge in sorted(self.gauges.items()):
+            out[name] = gauge.value
         for name, hist in sorted(self.histograms.items()):
             out[name] = hist.summary()
         return out
 
     def __repr__(self) -> str:
         return f"<MetricsRegistry {self.to_dict()!r}>"
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_PROM_OK_FIRST = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_PROM_OK = _PROM_OK_FIRST | frozenset("0123456789")
+
+
+def prometheus_name(name: str, prefix: str = "") -> str:
+    """Sanitize *name* into a legal Prometheus metric name.
+
+    Illegal characters (dots, dashes, spaces) become underscores; a name
+    starting with a digit gains a leading underscore.
+    """
+    full = f"{prefix}{name}" if prefix else name
+    cleaned = "".join(ch if ch in _PROM_OK else "_" for ch in full)
+    if not cleaned or cleaned[0] not in _PROM_OK_FIRST:
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    # Prometheus floats: integers render without the trailing ".0".
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_",
+                      extra_gauges: "dict[str, float] | None" = None) -> str:
+    """Render *registry* in the Prometheus text exposition format (v0.0.4).
+
+    Counters render as ``counter``, gauges as ``gauge`` and histograms as
+    ``summary`` (``_count``/``_sum`` plus p50/p95 ``quantile`` series from
+    the registry's exact nearest-rank percentiles).  *extra_gauges* lets
+    callers add point-in-time values (queue depth, uptime) that are not
+    registry members.  Names are sanitized via :func:`prometheus_name`.
+    """
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counter.value)}")
+    merged_gauges = {name: g.value for name, g in registry.gauges.items()}
+    for name, value in (extra_gauges or {}).items():
+        merged_gauges[name] = value
+    for name in sorted(merged_gauges):
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(merged_gauges[name])}")
+    for name, hist in sorted(registry.histograms.items()):
+        metric = prometheus_name(name, prefix)
+        summary = hist.summary()
+        with hist._lock:
+            total = sum(hist.observations)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} '
+                    f"{_fmt(summary[key])}")
+        lines.append(f"{metric}_count {summary['count']}")
+        lines.append(f"{metric}_sum {_fmt(round(total, 6))}")
+    return "\n".join(lines) + "\n"

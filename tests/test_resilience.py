@@ -162,9 +162,58 @@ class TestJournal:
         path = tmp_path / "run.jsonl"
         with Journal(path) as j:
             j.append({"b": 2, "a": 1})
-        line = path.read_bytes()
-        assert line == b'{"a":1,"b":2}\n'
+        header, line = path.read_bytes().splitlines()
+        assert header == b'{"kind":"journal-header","schema":1}'
+        assert line == b'{"a":1,"b":2}'
         assert json.loads(line)
+
+    def test_fresh_journal_is_versioned_and_header_is_invisible(
+            self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as j:
+            j.append({"a": 1})
+            assert j.records_written == 1  # the header never counts
+        replay = replay_journal(path)
+        assert replay.versioned
+        # The header is consumed by replay, never surfaced as a record.
+        assert replay.records == [{"a": 1}]
+        with Journal(path, replay=True) as j:
+            assert j.replayed == [{"a": 1}]
+
+    def test_replay_rejects_newer_schema_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind":"journal-header","schema":999}\n'
+                        '{"a":1}\n')
+        with pytest.raises(JournalError,
+                           match="schema version 999.*not.*supported"):
+            replay_journal(path)
+        path.write_text('{"kind":"journal-header"}\n')  # missing entirely
+        with pytest.raises(JournalError, match="schema version None"):
+            replay_journal(path)
+
+    def test_legacy_headerless_journal_still_replays(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"a":1}\n{"b":2}\n')
+        replay = replay_journal(path)
+        assert not replay.versioned
+        assert replay.records == [{"a": 1}, {"b": 2}]
+        # Resuming never injects a header mid-file: the header must be
+        # the first line, so the legacy file is appended to as-is.
+        with Journal(path, replay=True) as j:
+            assert len(j.replayed) == 2
+            j.append({"c": 3})
+        assert not replay_journal(path).versioned
+        assert len(replay_journal(path).records) == 3
+
+    def test_header_record_after_line_one_is_an_ordinary_record(
+            self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Journal(path) as j:
+            j.append({"kind": "journal-header", "schema": 1})
+        # Only offset 0 is the file-format header; a caller record that
+        # merely looks like one replays normally.
+        assert replay_journal(path).records == [
+            {"kind": "journal-header", "schema": 1}]
 
 
 def wave_script(*outcomes_by_attempt):

@@ -1,0 +1,681 @@
+"""The serving daemon: admission control, overload shedding, deadlines,
+drain, watchdog, journal resume — unit, in-process HTTP and real-signal
+subprocess end-to-end tests (see docs/serving.md)."""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.logic.ontology import ontology
+from repro.server import (
+    BAND_HARD, BAND_PTIME, AdmissionController, ReproServer, TokenBucket,
+    classify_band,
+)
+from repro.server.state import CANCELLED, DONE, FAILED, RUNNING, JobSetStore
+from repro.serving import comparable_report, evaluate_batch, jobs_from_entries
+
+# A Horn ontology inside the Figure-1 DICHOTOMY band: statically PTIME.
+PTIME_ONTO = ("forall x (Thumb(x) -> Finger(x))\n"
+              "forall x (Finger(x) -> exists y (partOf(x,y) & Hand(y)))")
+# Disjunctive (not Horn): no static PTIME proof, sheds first.
+HARD_ONTO = "forall x (x = x -> (C(x) -> (A(x) | B(x))))"
+
+PTIME_JOBS = [{"query": "q(x) <- Finger(x)", "facts": ["Thumb(t)"]}]
+HARD_JOBS = [{"query": "q(x) <- A(x)", "facts": ["C(c)"]}]
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, by: float) -> None:
+        self.t += by
+
+
+# -- band classification ------------------------------------------------------
+
+
+def test_classify_band_ptime_for_horn_dichotomy():
+    band, detail = classify_band(ontology(PTIME_ONTO, name="p"))
+    assert band == BAND_PTIME
+    assert "PTIME" in detail
+
+
+def test_classify_band_hard_for_disjunctive():
+    band, detail = classify_band(ontology(HARD_ONTO, name="h"))
+    assert band == BAND_HARD
+
+
+def test_classify_band_is_memoized():
+    onto = ontology(PTIME_ONTO, name="memo")
+    assert classify_band(onto) == classify_band(onto)
+
+
+# -- token bucket -------------------------------------------------------------
+
+
+def test_token_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+    assert bucket.try_acquire(5.0) == 0.0  # the full burst is available
+    wait = bucket.try_acquire(1.0)
+    assert wait == pytest.approx(0.1)  # 1 token at 10/s
+    clock.advance(0.1)
+    assert bucket.try_acquire(1.0) == 0.0
+    clock.advance(100.0)  # refill caps at burst
+    assert bucket.try_acquire(5.0) == 0.0
+    assert bucket.try_acquire(5.0) > 0.0
+
+
+def test_token_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=-1.0)
+
+
+# -- admission controller -----------------------------------------------------
+
+
+def make_controller(**kw):
+    defaults = dict(max_queued_jobs=10, high_water=0.5, rate=1000.0,
+                    burst=1000.0, clock=FakeClock())
+    defaults.update(kw)
+    return AdmissionController(**defaults)
+
+
+def test_admission_accepts_until_queue_full_then_429():
+    ctl = make_controller(high_water=1.0)
+    for _ in range(5):
+        assert ctl.admit("a", 2, BAND_PTIME).accepted
+    decision = ctl.admit("a", 1, BAND_PTIME)
+    assert not decision.accepted
+    assert decision.status == 429
+    assert decision.retry_after is not None and decision.retry_after > 0
+    assert "queue full" in decision.reason
+    assert ctl.snapshot()["shed"]["queue_full"] == 1
+    # Releasing capacity lets traffic flow again: bounded, not collapsed.
+    ctl.release("a", 2)
+    assert ctl.admit("a", 1, BAND_PTIME).accepted
+
+
+def test_admission_sheds_hard_band_above_high_water_only():
+    ctl = make_controller(max_queued_jobs=10, high_water=0.5)
+    assert ctl.admit("a", 5, BAND_HARD).accepted  # at high water, fine
+    hard = ctl.admit("a", 1, BAND_HARD)
+    assert not hard.accepted and hard.status == 429
+    assert "coNP" in hard.reason or "hard-band" in hard.reason
+    # PTIME-band work keeps flowing until the queue is truly full.
+    assert ctl.admit("a", 5, BAND_PTIME).accepted
+    assert not ctl.admit("a", 1, BAND_PTIME).accepted  # now truly full
+    snap = ctl.snapshot()
+    assert snap["shed"]["hard_band"] == 1
+    assert snap["shed"]["queue_full"] == 1
+
+
+def test_admission_rate_limit_gives_exact_retry_after():
+    clock = FakeClock()
+    ctl = make_controller(rate=10.0, burst=5.0, clock=clock)
+    assert ctl.admit("a", 5, BAND_PTIME).accepted
+    decision = ctl.admit("a", 2, BAND_PTIME)
+    assert not decision.accepted and decision.status == 429
+    assert decision.retry_after == pytest.approx(0.2)  # 2 tokens at 10/s
+    clock.advance(0.2)
+    assert ctl.admit("a", 2, BAND_PTIME).accepted
+    # A different client has its own bucket.
+    assert ctl.admit("b", 3, BAND_PTIME).accepted
+
+
+def test_admission_per_client_inflight_cap():
+    ctl = make_controller(max_queued_jobs=100, max_inflight_jobs=6)
+    assert ctl.admit("a", 6, BAND_PTIME).accepted
+    capped = ctl.admit("a", 1, BAND_PTIME)
+    assert not capped.accepted and capped.status == 429
+    assert ctl.admit("b", 6, BAND_PTIME).accepted  # other tenants unaffected
+    ctl.release("a", 6, elapsed=1.5)
+    assert ctl.admit("a", 1, BAND_PTIME).accepted
+    usage = ctl.snapshot()["clients"]["a"]
+    assert usage["jobs_completed"] == 6
+    assert usage["elapsed_seconds"] == pytest.approx(1.5)
+
+
+def test_admission_draining_returns_503():
+    ctl = make_controller()
+    ctl.start_drain()
+    decision = ctl.admit("a", 1, BAND_PTIME)
+    assert decision.status == 503
+    assert decision.retry_after is not None
+
+
+def test_admission_adopt_accounts_without_checks():
+    ctl = make_controller(max_queued_jobs=2)
+    ctl.start_drain()
+    ctl.adopt("a", 5)  # resume path: already accepted in a previous life
+    snap = ctl.snapshot()
+    assert snap["queued_jobs"] == 5
+    assert snap["clients"]["a"]["inflight_jobs"] == 5
+
+
+def test_admission_empty_submission_is_400():
+    assert make_controller().admit("a", 0, BAND_PTIME).status == 400
+
+
+# -- job-set store ------------------------------------------------------------
+
+
+def test_store_ids_are_unique_and_resume_safe():
+    store = JobSetStore()
+    first = store.next_id("deadbeefcafe")
+    assert first == "js-000001-deadbeef"
+    store.adopt_id("js-000041-cafecafe")
+    assert store.next_id("deadbeefcafe").startswith("js-000042-")
+    store.adopt_id("garbage")  # unparseable ids are ignored
+    store.adopt_id("js-notanum-zz")
+
+
+# -- the in-process daemon over HTTP ------------------------------------------
+
+
+@pytest.fixture
+def server(request, tmp_path):
+    """A started daemon; parametrize via request.param-style helpers."""
+    servers = []
+
+    def start(**kw):
+        kw.setdefault("fastpath", "auto")
+        srv = ReproServer(**kw)
+        srv.start()
+        servers.append(srv)
+        return srv
+
+    yield start
+    for srv in servers:
+        srv.stop()
+
+
+def api(srv, method, path, body=None, client="test"):
+    conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=30)
+    try:
+        headers = {"X-Client": client}
+        data = None
+        if body is not None:
+            data = body if isinstance(body, (str, bytes)) else json.dumps(body)
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, data, headers)
+        resp = conn.getresponse()
+        raw = resp.read()
+        resp_headers = dict(resp.getheaders())
+    finally:
+        conn.close()
+    try:
+        parsed = json.loads(raw)
+    except ValueError:
+        parsed = raw.decode("utf-8", "replace")
+    return resp.status, parsed, resp_headers
+
+
+def wait_terminal(srv, jobset_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body, _ = api(srv, "GET", f"/v1/jobsets/{jobset_id}/result")
+        if status == 200:
+            return body
+        time.sleep(0.01)
+    raise AssertionError(f"job set {jobset_id} never finished")
+
+
+def gate_dispatcher(srv):
+    """Block the dispatcher before it runs anything, so tests can fill
+    the admission queue deterministically.  Returns the release event."""
+    gate = threading.Event()
+    original = srv._run_jobset
+
+    def gated(jobset):
+        gate.wait(30.0)
+        original(jobset)
+
+    srv._run_jobset = gated
+    return gate
+
+
+def test_submit_poll_result_end_to_end(server):
+    srv = server(workers=1)
+    status, body, _ = api(srv, "POST", "/v1/jobsets", {
+        "ontology": PTIME_ONTO,
+        "jobs": [{"query": "q(x) <- Finger(x)", "facts": ["Thumb(t1)"]},
+                 {"query": "q() <- Hand(y)", "facts": ["Thumb(t1)"]}]})
+    assert status == 202
+    assert body["band"] == BAND_PTIME
+    assert body["jobs"] == 2
+    result = wait_terminal(srv, body["id"])
+    assert result["status"] == DONE
+    jobs = result["report"]["jobs"]
+    assert [j["verdict"] for j in jobs] == ["ok", "yes"]
+    assert jobs[0]["answers"] == [["t1"]]
+    # Status endpoint agrees.
+    status, summary, _ = api(srv, "GET", f"/v1/jobsets/{body['id']}")
+    assert status == 200 and summary["completed_jobs"] == 2
+    # The listing shows it too.
+    status, listing, _ = api(srv, "GET", "/v1/jobsets")
+    assert [js["id"] for js in listing["jobsets"]] == [body["id"]]
+
+
+def test_health_ready_and_unknown_routes(server):
+    srv = server()
+    assert api(srv, "GET", "/healthz")[0] == 200
+    assert api(srv, "GET", "/readyz")[0] == 200
+    assert api(srv, "GET", "/nope")[0] == 404
+    assert api(srv, "POST", "/nope", {})[0] == 404
+    assert api(srv, "DELETE", "/nope")[0] == 404
+    assert api(srv, "GET", "/v1/jobsets/zzz")[0] == 404
+    assert api(srv, "GET", "/v1/jobsets/zzz/result")[0] == 404
+    assert api(srv, "DELETE", "/v1/jobsets/zzz")[0] == 404
+
+
+def test_bad_submissions_are_400(server):
+    srv = server()
+    cases = [
+        "{not json",
+        {"jobs": PTIME_JOBS},  # no ontology
+        {"ontology": "forall x (", "jobs": PTIME_JOBS},  # parse error
+        {"ontology": PTIME_ONTO, "jobs": []},
+        {"ontology": PTIME_ONTO, "jobs": [{"facts": ["A(a)"]}]},  # no query
+        {"ontology": PTIME_ONTO,  # server-side paths refused
+         "jobs": [{"query": "q(x) <- A(x)", "data": "/etc/passwd"}]},
+        {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS,
+         "options": {"sneaky": 1}},
+        {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS,
+         "options": {"budget": "bogus=1"}},
+        {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS, "deadline": -1},
+        {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS, "deadline": "soon"},
+    ]
+    for payload in cases:
+        status, body, _ = api(srv, "POST", "/v1/jobsets", payload)
+        assert status == 400, payload
+        assert "error" in body
+
+
+def test_queue_full_returns_429_with_retry_after(server):
+    srv = server(max_queued_jobs=2, high_water=1.0)
+    gate = gate_dispatcher(srv)
+    body = {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS}
+    ids = []
+    for _ in range(2):
+        status, accepted, _ = api(srv, "POST", "/v1/jobsets", body)
+        assert status == 202
+        ids.append(accepted["id"])
+    status, rejected, headers = api(srv, "POST", "/v1/jobsets", body)
+    assert status == 429
+    assert "Retry-After" in headers
+    assert int(headers["Retry-After"]) >= 1
+    assert "queue full" in rejected["reason"]
+    gate.set()
+    for jobset_id in ids:
+        assert wait_terminal(srv, jobset_id)["status"] == DONE
+    # Capacity came back: the queue is bounded, not collapsed.
+    status, _, _ = api(srv, "POST", "/v1/jobsets", body)
+    assert status == 202
+
+
+def test_overload_sheds_hard_band_before_ptime_band(server):
+    srv = server(max_queued_jobs=4, high_water=0.5)
+    gate = gate_dispatcher(srv)
+    ptime = {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS}
+    hard = {"ontology": HARD_ONTO, "jobs": HARD_JOBS}
+    assert api(srv, "POST", "/v1/jobsets", ptime)[0] == 202
+    assert api(srv, "POST", "/v1/jobsets", hard)[0] == 202  # at high water
+    # Above high water: potentially-coNP work sheds first...
+    status, rejected, headers = api(srv, "POST", "/v1/jobsets", hard)
+    assert status == 429 and "Retry-After" in headers
+    assert "hard-band" in rejected["reason"] or "coNP" in rejected["reason"]
+    assert rejected["band"] == BAND_HARD
+    # ...while statically-PTIME traffic keeps flowing.
+    assert api(srv, "POST", "/v1/jobsets", ptime)[0] == 202
+    assert api(srv, "POST", "/v1/jobsets", ptime)[0] == 202  # truly full now
+    assert api(srv, "POST", "/v1/jobsets", ptime)[0] == 429
+    gate.set()
+
+
+def test_cancel_queued_jobset(server):
+    srv = server(max_queued_jobs=10)
+    gate = gate_dispatcher(srv)
+    running = api(srv, "POST", "/v1/jobsets",
+                  {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS})[1]
+    queued = api(srv, "POST", "/v1/jobsets",
+                 {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS})[1]
+    status, body, _ = api(srv, "DELETE", f"/v1/jobsets/{queued['id']}")
+    assert status == 200 and body["status"] == CANCELLED
+    # Terminal: cancelling again conflicts.
+    assert api(srv, "DELETE", f"/v1/jobsets/{queued['id']}")[0] == 409
+    gate.set()
+    assert wait_terminal(srv, running["id"])["status"] == DONE
+    status, body, _ = api(srv, "GET", f"/v1/jobsets/{queued['id']}/result")
+    assert status == 200 and body["status"] == CANCELLED
+    assert "report" not in body
+
+
+def test_deadline_expired_while_queued_fails_without_running(server):
+    srv = server()
+    gate = gate_dispatcher(srv)
+    accepted = api(srv, "POST", "/v1/jobsets", {
+        "ontology": PTIME_ONTO, "jobs": PTIME_JOBS, "deadline": 0.05})[1]
+    time.sleep(0.15)
+    gate.set()
+    result = wait_terminal(srv, accepted["id"])
+    assert result["status"] == FAILED
+    assert "deadline" in result["error"]
+    assert "report" not in result
+
+
+def test_drain_finishes_accepted_work_and_refuses_new(server):
+    srv = server(max_queued_jobs=10)
+    gate = gate_dispatcher(srv)
+    body = {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS}
+    ids = [api(srv, "POST", "/v1/jobsets", body)[1]["id"] for _ in range(2)]
+    srv.begin_drain()
+    status, rejected, headers = api(srv, "POST", "/v1/jobsets", body)
+    assert status == 503 and "Retry-After" in headers
+    assert api(srv, "GET", "/readyz")[0] == 503
+    assert api(srv, "GET", "/healthz")[0] == 200  # alive, just not ready
+    gate.set()
+    assert srv.drain(timeout=30.0)
+    for jobset_id in ids:
+        assert wait_terminal(srv, jobset_id)["status"] == DONE
+
+
+def test_metrics_endpoint_renders_prometheus(server):
+    srv = server()
+    accepted = api(srv, "POST", "/v1/jobsets",
+                   {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS})[1]
+    wait_terminal(srv, accepted["id"])
+    status, text, headers = api(srv, "GET", "/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert "# TYPE repro_server_jobsets_accepted counter" in text
+    assert "repro_server_jobsets_accepted 1" in text
+    assert "repro_server_jobsets_completed 1" in text
+    assert "# TYPE repro_server_jobset_seconds summary" in text
+    assert "repro_server_queued_jobs 0" in text
+    assert "repro_server_draining 0" in text
+    assert "repro_cache_plan_size" in text
+    assert "repro_cache_conversion_size" in text
+    assert "repro_cache_answer_hits" in text
+
+
+# -- watchdog -----------------------------------------------------------------
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.killed = False
+
+    def kill(self):
+        self.killed = True
+
+
+class _FakePool:
+    workers = 2
+
+    def __init__(self):
+        self._pool = type("E", (), {})()
+        self._pool._processes = {1: _FakeProcess(), 2: _FakeProcess()}
+
+    def stats(self):
+        return {"pool_deaths": 0}
+
+    def close(self):
+        pass
+
+
+def test_watchdog_kills_wedged_pool_once_per_window():
+    clock = FakeClock()
+    srv = ReproServer(wedge_timeout=10.0, clock=clock)
+    srv.pool = _FakePool()
+    from repro.server.state import JobSet
+
+    jobset = JobSet(id="js-1", client="c", band=BAND_PTIME, band_detail="",
+                    onto=ontology(PTIME_ONTO, name="w"), jobs=[],
+                    payload={}, submitted=clock())
+    jobset.status = RUNNING
+    srv.store.add(jobset)
+    srv._heartbeat = clock()
+    clock.advance(5.0)
+    assert srv.check_wedged() == 0  # within the window: no kill
+    clock.advance(6.0)
+    assert srv.check_wedged() == 2  # wedged: both workers killed
+    assert srv.watchdog_pool_kills == 1
+    assert all(p.killed for p in srv.pool._pool._processes.values())
+    assert srv.check_wedged() == 0  # heartbeat reset: one kill per window
+    clock.advance(11.0)
+    jobset.status = DONE
+    assert srv.check_wedged() == 0  # nothing running: never kill idle pools
+
+
+def test_watchdog_noop_without_pool():
+    srv = ReproServer(clock=FakeClock())
+    assert srv.check_wedged() == 0
+
+
+# -- journal + resume (in-process) --------------------------------------------
+
+
+def test_daemon_journal_resume_reproduces_report(tmp_path, server):
+    journal = str(tmp_path / "serve.jsonl")
+    jobs = [{"query": "q(x) <- Finger(x)", "facts": [f"Thumb(t{i})"]}
+            for i in range(3)]
+    first = server(journal=journal)
+    accepted = api(first, "POST", "/v1/jobsets",
+                   {"ontology": PTIME_ONTO, "jobs": jobs})[1]
+    original = wait_terminal(first, accepted["id"])
+    first.stop()
+
+    lines = [json.loads(l) for l in Path(journal).read_text().splitlines()]
+    kinds = [r.get("kind") for r in lines]
+    assert kinds[0] == "journal-header"
+    assert kinds.count("jobset") == 1
+    assert kinds.count("job-result") == 3
+
+    second = server(journal=journal, resume=True)
+    resumed = wait_terminal(second, accepted["id"])
+    assert resumed["resumed"] is True
+    assert (comparable_report(resumed["report"])
+            == comparable_report(original["report"]))
+    # Every job replayed from the journal, none recomputed.
+    assert all(j.get("resumed") for j in resumed["report"]["jobs"])
+    # Fresh submissions get ids past the resumed ones.
+    fresh = api(second, "POST", "/v1/jobsets",
+                {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS})[1]
+    assert fresh["id"] != accepted["id"]
+    wait_terminal(second, fresh["id"])
+
+
+def test_daemon_resume_skips_cancelled_jobsets(tmp_path, server):
+    journal = str(tmp_path / "serve.jsonl")
+    first = server(journal=journal, max_queued_jobs=10)
+    gate = gate_dispatcher(first)
+    running = api(first, "POST", "/v1/jobsets",
+                  {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS})[1]
+    cancelled = api(first, "POST", "/v1/jobsets",
+                    {"ontology": PTIME_ONTO, "jobs": PTIME_JOBS})[1]
+    api(first, "DELETE", f"/v1/jobsets/{cancelled['id']}")
+    gate.set()
+    wait_terminal(first, running["id"])
+    first.stop()
+
+    second = server(journal=journal, resume=True)
+    assert wait_terminal(second, running["id"])["status"] == DONE
+    status, body, _ = api(second, "GET",
+                          f"/v1/jobsets/{cancelled['id']}/result")
+    assert status == 200 and body["status"] == CANCELLED
+
+
+# -- real-signal subprocess end-to-end ----------------------------------------
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+
+E2E_ONTOLOGY = (
+    "forall x (x = x -> (Hand(x) -> exists y (hasFinger(x,y) & Thumb(y))))\n"
+    "forall x,y (hasFinger(x,y) -> Digit(y))\n")
+
+
+def e2e_workload(n_jobs=6, poison_at=3):
+    entries = []
+    for i in range(n_jobs):
+        if i == poison_at:
+            entries.append({"query": "q(y) <- Digit(y)", "id": "poison",
+                            "facts": ["Hand(a)", "Hand(b)", "Hand(c)"]})
+        else:
+            entries.append({"query": "q(x) <- Hand(x)", "id": f"j{i}",
+                            "facts": [f"Hand(h{i})"]})
+    return entries
+
+
+def serve_env(faults=None):
+    env = dict(os.environ)
+    for var in ("REPRO_FAULTS", "REPRO_BUDGET", "REPRO_TIMEOUT"):
+        env.pop(var, None)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return env
+
+
+def start_serve(args, faults=None):
+    """Start ``repro serve`` and return (process, port)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--fastpath", "off", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=serve_env(faults), cwd=str(REPO))
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise AssertionError(f"daemon never came up: {line!r} / "
+                             f"{proc.stderr.read()[:2000]}")
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+def post_jobset(port, payload, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("POST", "/v1/jobsets", json.dumps(payload),
+                     {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def get_json(port, path, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def journal_records(path):
+    return [json.loads(l) for l in Path(path).read_text().splitlines()
+            if l.strip()]
+
+
+def test_sigterm_drains_accepted_jobs_then_exits_zero(tmp_path):
+    journal = str(tmp_path / "serve.jsonl")
+    proc, port = start_serve(["--journal", journal])
+    try:
+        status, accepted = post_jobset(port, {
+            "ontology": E2E_ONTOLOGY, "jobs": e2e_workload()})
+        assert status == 202
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, err
+    assert "drained cleanly" in err
+    # No accepted job was lost: all six results hit the journal before exit.
+    records = journal_records(journal)
+    results = [r for r in records if r.get("kind") == "job-result"
+               and r.get("jobset") == accepted["id"]]
+    assert len(results) == 6
+
+
+def test_hard_kill_then_resume_serves_identical_report(tmp_path):
+    """The daemon dies mid-batch (injected hard kill — same no-cleanup
+    death as SIGKILL, but deterministic); restarted with --journal
+    --resume it serves a report comparable_report-equal to an
+    uninterrupted run's."""
+    journal = str(tmp_path / "serve.jsonl")
+    entries = e2e_workload()
+
+    # Ground truth: the same workload, uninterrupted, in-process.
+    onto = ontology(E2E_ONTOLOGY, name="e2e")
+    reference = evaluate_batch(onto, jobs_from_entries(entries),
+                               fastpath="off")
+
+    proc, port = start_serve(["--journal", journal],
+                             faults="kill:chase_truncate:@3")
+    try:
+        # The kill can fire before the 202 is even written (the dispatcher
+        # races the response); the journaled jobset record is the durable
+        # source of truth for the id either way.
+        try:
+            status, accepted = post_jobset(port, {
+                "ontology": E2E_ONTOLOGY, "jobs": entries})
+            assert status == 202
+        except (http.client.HTTPException, ConnectionError, OSError):
+            pass
+        proc.wait(timeout=120)  # the injected kill fires mid-batch
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.communicate()
+    from repro.runtime.faults import KILL_EXIT_CODE
+    assert proc.returncode == KILL_EXIT_CODE
+
+    records = journal_records(journal)
+    submitted = [r for r in records if r.get("kind") == "jobset"]
+    assert len(submitted) == 1
+    accepted = {"id": submitted[0]["id"]}
+    finished = [r for r in records if r.get("kind") == "job-result"]
+    assert 1 <= len(finished) < 6, "expected a mid-batch death"
+
+    proc, port = start_serve(["--journal", journal, "--resume"])
+    try:
+        deadline = time.monotonic() + 60
+        body = None
+        while time.monotonic() < deadline:
+            status, body = get_json(
+                port, f"/v1/jobsets/{accepted['id']}/result")
+            if status == 200:
+                break
+            time.sleep(0.05)
+        assert body is not None and body["status"] == DONE, body
+        assert body["resumed"] is True
+        assert (comparable_report(body["report"])
+                == comparable_report(reference.to_dict()))
+        replayed = [j for j in body["report"]["jobs"] if j.get("resumed")]
+        assert len(replayed) == len(finished)
+        proc.send_signal(signal.SIGTERM)
+        proc.communicate(timeout=60)
+        assert proc.returncode == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()

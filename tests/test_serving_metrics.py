@@ -8,8 +8,9 @@ import pytest
 from repro.logic.instance import make_instance
 from repro.logic.ontology import ontology
 from repro.serving import (
-    AnswerCache, Counter, DiskCache, Histogram, MetricsRegistry,
-    clear_caches, compile_omq, convert_ontology_cached,
+    AnswerCache, Counter, DiskCache, Gauge, Histogram, MetricsRegistry,
+    clear_caches, compile_omq, convert_ontology_cached, prometheus_name,
+    render_prometheus,
 )
 from repro.serving.plan import _plan_cache
 
@@ -99,6 +100,93 @@ def test_counter_and_histogram_are_thread_safe():
         t.join()
     assert counter.value == 8000
     assert hist.summary()["count"] == 8000
+
+
+# -- gauges -------------------------------------------------------------------
+
+
+def test_gauge_set_add_and_registry():
+    gauge = Gauge("depth")
+    gauge.set(5.0)
+    gauge.add(2.0)
+    gauge.add(-3.0)
+    assert gauge.value == 4.0
+    reg = MetricsRegistry()
+    reg.gauge("g").set(7.0)
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.to_dict()["g"] == 7.0
+
+
+def test_gauge_merge_last_write_wins():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.gauge("depth").set(10.0)
+    b.gauge("depth").set(3.0)
+    a.merge(b)
+    assert a.gauge("depth").value == 3.0  # point-in-time: other's reading
+    a.counter("hits").inc(2)  # counters still sum
+    b2 = MetricsRegistry()
+    b2.merge_raw(a.to_raw())
+    assert b2.gauge("depth").value == 3.0
+    assert b2.counter("hits").value == 2
+
+
+def test_gauge_is_thread_safe():
+    gauge = Gauge("g")
+
+    def worker():
+        for _ in range(1000):
+            gauge.add(1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert gauge.value == 8000.0
+
+
+# -- Prometheus rendering -----------------------------------------------------
+
+
+def test_prometheus_name_sanitizes():
+    assert prometheus_name("server.jobs_completed", "repro_") == \
+        "repro_server_jobs_completed"
+    assert prometheus_name("bad-name with spaces") == "bad_name_with_spaces"
+    assert prometheus_name("9lives") == "_9lives"
+    assert prometheus_name("") == "_"
+
+
+def test_render_prometheus_counters_gauges_summaries():
+    reg = MetricsRegistry()
+    reg.counter("server.requests").inc(3)
+    reg.gauge("queue.depth").set(2.0)
+    reg.histogram("job_seconds").extend([1.0, 2.0, 3.0, 4.0])
+    text = render_prometheus(reg, extra_gauges={"uptime": 12.5})
+    lines = text.splitlines()
+    assert "# TYPE repro_server_requests counter" in lines
+    assert "repro_server_requests 3" in lines
+    assert "# TYPE repro_queue_depth gauge" in lines
+    assert "repro_queue_depth 2" in lines  # integral floats drop the .0
+    assert "# TYPE repro_uptime gauge" in lines
+    assert "repro_uptime 12.5" in lines
+    assert "# TYPE repro_job_seconds summary" in lines
+    assert 'repro_job_seconds{quantile="0.5"} 2' in lines
+    assert 'repro_job_seconds{quantile="0.95"} 4' in lines
+    assert "repro_job_seconds_count 4" in lines
+    assert "repro_job_seconds_sum 10" in lines
+    assert text.endswith("\n")
+
+
+def test_render_prometheus_empty_registry():
+    assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+def test_render_prometheus_empty_histogram_has_no_quantiles():
+    reg = MetricsRegistry()
+    reg.histogram("idle")
+    text = render_prometheus(reg)
+    assert "repro_idle_count 0" in text
+    assert "quantile" not in text
 
 
 # -- DiskCache.put (satellite bugfix) -----------------------------------------

@@ -187,11 +187,11 @@ class TestJournalResume:
     def test_resume_skips_journaled_jobs_and_merges(self, tmp_path):
         jobs = mixed_jobs(5)
         ref = evaluate_batch(HAND, jobs, journal=tmp_path / "ref.jsonl")
-        # Simulate a batch killed after 2 finished jobs: keep the header
-        # and the first two result lines.
+        # Simulate a batch killed after 2 finished jobs: keep the schema
+        # header, the batch header and the first two result lines.
         lines = (tmp_path / "ref.jsonl").read_text().splitlines(True)
         partial = tmp_path / "partial.jsonl"
-        partial.write_text("".join(lines[:3]))
+        partial.write_text("".join(lines[:4]))
         clear_caches()
         resumed = evaluate_batch(HAND, jobs, journal=partial, resume=True)
         assert resumed.comparable_dict() == ref.comparable_dict()
@@ -209,8 +209,9 @@ class TestJournalResume:
         path = tmp_path / "j.jsonl"
         evaluate_batch(HAND, jobs, journal=path)
         lines = path.read_text().splitlines(True)
-        # Keep header + one full result, then a torn half-record.
-        path.write_text("".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+        # Keep the schema + batch headers + one full result, then a torn
+        # half-record.
+        path.write_text("".join(lines[:3]) + lines[3][: len(lines[3]) // 2])
         clear_caches()
         resumed = evaluate_batch(HAND, jobs, journal=path, resume=True)
         assert sum(1 for r in resumed.results if r.resumed) == 1
@@ -241,8 +242,10 @@ class TestJournalResume:
         path.write_text('{"kind":"header","ontology":"stale"}\n')
         report = evaluate_batch(HAND, mixed_jobs(2), journal=path)
         assert report.ok
-        first = json.loads(path.read_text().splitlines()[0])
-        assert first["ontology"] != "stale"
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "journal-header"
+        batch_header = json.loads(lines[1])
+        assert batch_header["ontology"] != "stale"
 
 
 def _write_cli_fixtures(tmp_path, n_jobs=6, poison_at=3):
@@ -301,7 +304,8 @@ class TestCrashResumeEndToEnd:
         records = [json.loads(line)
                    for line in journal.read_text().splitlines()]
         finished = [r for r in records if r.get("kind") == "result"]
-        assert records[0]["kind"] == "header"
+        assert records[0]["kind"] == "journal-header"
+        assert records[1]["kind"] == "header"
         assert 1 <= len(finished) < 6  # died mid-batch, progress persisted
 
         resumed = _run_cli(
