@@ -23,6 +23,10 @@ across a batch.  This bench measures both:
   can ship the Theorem 5 Datalog(≠) rewriting instead of the chase
   ladder (``fastpath="auto"``); the smoke gate asserts the fast path
   returns the ladder's answers *and* beats it on wall clock.
+* **storage backends** — the shared answer store behind ``AnswerCache``
+  is pluggable (:mod:`repro.storage`); the smoke gate bounds the
+  sqlite: and shard: warm-hit lookup at 25% over the dir: baseline,
+  so choosing a concurrency-safe backend stays cheap.
 * **serving daemon** — a warm ``repro serve`` process holds compiled
   plans and answer caches across requests; the smoke gate asserts a
   warm-server HTTP round trip beats a one-shot ``repro batch``
@@ -343,6 +347,64 @@ def fastpath_comparison(repeats: int = 9) -> dict:
     }
 
 
+def storage_comparison(repeats: int = 9) -> dict:
+    """Warm-hit lookup latency per storage backend (ISSUE 8 gate).
+
+    A warm hit — the durable tier serving an answer already stored — is
+    the operation a shared cache performs thousands of times per batch,
+    so it is the one whose cost decides backend choice.  Each backend is
+    pre-populated with the same entries; a pass reads them all back.
+    The dir: backend (today's DiskCache format) is the baseline; sqlite:
+    and shard: are each paired against it (:func:`_paired_best`, so
+    machine drift hits both sides equally) and gated at ≤25% overhead.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.serving.fingerprint import digest
+    from repro.storage import open_backend
+
+    tmpdir = tempfile.mkdtemp(prefix="bench-storage-")
+    keys = [digest(f"bench-{i}") for i in range(32)]
+    value = {"verdict": "yes", "answers": [["a"], ["b"]], "pad": "x" * 128}
+
+    uris = {
+        "dir": f"dir:{os.path.join(tmpdir, 'd')}",
+        "sqlite": f"sqlite:{os.path.join(tmpdir, 'c.db')}",
+        "shard": f"shard:{os.path.join(tmpdir, 's')}?shards=16",
+    }
+    backends = {name: open_backend(uri) for name, uri in uris.items()}
+    try:
+        for backend in backends.values():
+            for key in keys:
+                backend.put(key, value)
+
+        def reader(backend):
+            def run():
+                for key in keys:
+                    if backend.get(key) is None:
+                        raise RuntimeError("warm hit missed")
+            return run
+
+        report = {"entries": len(keys)}
+        read_dir = reader(backends["dir"])
+        for name in ("sqlite", "shard"):
+            dir_s, other_s = _paired_best(read_dir, reader(backends[name]),
+                                          max(repeats, 15))
+            report.setdefault("dir", {})["warm_hit_s"] = round(dir_s, 6)
+            report[name] = {
+                "warm_hit_s": round(other_s, 6),
+                "overhead_vs_dir": (round(other_s / dir_s, 4)
+                                    if dir_s else 1.0),
+            }
+        return report
+    finally:
+        for backend in backends.values():
+            backend.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def server_entries(n: int = 12) -> list:
     """The :func:`workload` jobs as inline-facts wire entries — the only
     job shape the daemon's submit API accepts."""
@@ -499,6 +561,7 @@ def measure(repeats: int = 7) -> dict:
     report["tracer"] = tracer_overhead(repeats)
     report["journal"] = journal_overhead(repeats)
     report["fastpath"] = fastpath_comparison(repeats)
+    report["storage"] = storage_comparison(repeats)
     report["server"] = server_comparison(repeats)
     return report
 
@@ -507,7 +570,8 @@ def smoke() -> int:
     """CI gate: warm beats cold, worker count cannot change results, the
     disabled tracer and the enabled journal each cost at most 5% over
     their baselines, the datalog fast path matches and beats the ladder,
-    and a warm serving daemon beats a one-shot batch subprocess."""
+    sqlite:/shard: warm hits stay within 25% of dir:, and a warm
+    serving daemon beats a one-shot batch subprocess."""
     report = measure(repeats=5)
     # Overhead gates, best-of-3: on a contended machine a single paired
     # measurement has noise tails well past 5% in either direction (the
@@ -555,6 +619,24 @@ def smoke() -> int:
         failures.append(
             f"fastpath ({fp['fastpath_s']:.6f}s) does not beat the "
             f"ladder ({fp['ladder_s']:.6f}s)")
+    for _ in range(2):
+        # storage gate, best-of-3 like the overhead gates: the sqlite and
+        # shard warm-hit paths must stay within 25% of the dir: baseline
+        worst = max(report["storage"][b]["overhead_vs_dir"]
+                    for b in ("sqlite", "shard"))
+        if worst <= 1.25:
+            break
+        retry = storage_comparison(repeats=5)
+        retry_worst = max(retry[b]["overhead_vs_dir"]
+                          for b in ("sqlite", "shard"))
+        if retry_worst < worst:
+            report["storage"] = retry
+    for name in ("sqlite", "shard"):
+        overhead = report["storage"][name]["overhead_vs_dir"]
+        if overhead > 1.25:
+            failures.append(
+                f"{name}: warm-hit lookup {overhead:.4f}x the dir: "
+                f"baseline exceeds the 25% budget")
     for _ in range(2):
         # warm-server gate, best-of-3: the one-shot side includes a full
         # interpreter start, so the margin is normally huge, but a loaded
@@ -606,6 +688,7 @@ def snapshot(path: str = "") -> int:
         "tracer_overhead_ratio": report["tracer"]["overhead_ratio"],
         "journal_overhead_ratio": report["journal"]["overhead_ratio"],
         "fastpath": report["fastpath"],
+        "storage": report["storage"],
         "server": report["server"],
     }
     out = path or os.path.join(root, "BENCH_serving.json")

@@ -35,6 +35,11 @@ Commands:
   admissibility verdict, for a program file or for the Theorem-5
   rewriting of an (ontology, query) pair; ``--emit`` prints the optimized
   program.
+* ``cache (stats | evict --older-than S | verify) BACKEND`` — inspect
+  and maintain a shared answer-cache backend named by URI (``dir:PATH``,
+  ``sqlite:PATH``, ``shard:PATH?shards=N``; see ``docs/storage.md``).
+  ``verify`` re-hashes every entry against its content-addressed key and
+  exits 1 when any entry is corrupt.
 * ``figure1`` — print the Figure-1 classification map.
 * ``bioportal`` — regenerate the corpus analysis.
 
@@ -295,14 +300,35 @@ def _evaluate_many(args, engine, data, query_texts, parsed, budget) -> int:
     return exit_code
 
 
+def _resolve_cache_backend(args: argparse.Namespace) -> str | None:
+    """The ``--cache-backend`` URI, falling back to ``REPRO_CACHE_BACKEND``.
+
+    ``--cache-dir`` keeps its historical meaning and takes the old code
+    path (``dir:`` semantics); giving both is an error.  The env default
+    applies only when neither flag is present, so an explicit flag always
+    wins over the environment.
+    """
+    from .storage import default_backend_uri
+
+    cache_backend = getattr(args, "cache_backend", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_backend is not None and cache_dir is not None:
+        raise CliInputError("give --cache-dir or --cache-backend, not both")
+    if cache_backend is None and cache_dir is None:
+        cache_backend = default_backend_uri()
+    return cache_backend
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from .resilience import RetryPolicy
     from .serving import evaluate_batch, load_workload
+    from .storage import StorageError
 
     if args.jobs < 1:
         raise CliInputError("--jobs must be at least 1")
     if args.resume and not args.journal:
         raise CliInputError("--resume requires --journal FILE")
+    cache_backend = _resolve_cache_backend(args)
     retry = None
     if args.retry is not None:
         try:
@@ -320,11 +346,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
         report = evaluate_batch(
             onto, jobs, workers=args.jobs, budget=budget,
             backend=args.backend, preflight=args.preflight,
-            cache_dir=args.cache_dir, tracer=tracer, retry=retry,
+            cache_dir=args.cache_dir, cache_backend=cache_backend,
+            tracer=tracer, retry=retry,
             journal=args.journal, resume=args.resume,
             fastpath=args.fastpath)
-    except ValueError as exc:
-        # Journal/ontology mismatch and friends: bad input, not a crash.
+    except (ValueError, StorageError) as exc:
+        # Journal/ontology mismatch, a bad backend URI and friends:
+        # bad input, not a crash.
         raise CliInputError(str(exc)) from exc
     _export_trace(args, tracer)
     if args.format == "json":
@@ -350,24 +378,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .resilience import RetryPolicy
     from .server import ReproServer
+    from .storage import StorageError
 
     if args.workers < 1:
         raise CliInputError("--workers must be at least 1")
     if args.resume and not args.journal:
         raise CliInputError("--resume requires --journal FILE")
+    cache_backend = _resolve_cache_backend(args)
     retry = None
     if args.retry is not None:
         try:
             retry = RetryPolicy.from_spec(args.retry)
         except ValueError as exc:
             raise CliInputError(f"--retry: {exc}") from exc
-    server = ReproServer(
-        host=args.host, port=args.port, workers=args.workers,
-        journal=args.journal, resume=args.resume, cache_dir=args.cache_dir,
-        backend=args.backend, fastpath=args.fastpath, retry=retry,
-        max_queued_jobs=args.max_queue, high_water=args.high_water,
-        rate=args.rate, burst=args.burst,
-        wedge_timeout=args.wedge_timeout)
+    try:
+        server = ReproServer(
+            host=args.host, port=args.port, workers=args.workers,
+            journal=args.journal, resume=args.resume,
+            cache_dir=args.cache_dir, cache_backend=cache_backend,
+            backend=args.backend, fastpath=args.fastpath, retry=retry,
+            max_queued_jobs=args.max_queue, high_water=args.high_water,
+            rate=args.rate, burst=args.burst,
+            wedge_timeout=args.wedge_timeout)
+    except StorageError as exc:
+        raise CliInputError(str(exc)) from exc
     try:
         server.start()
     except OSError as exc:
@@ -554,6 +588,57 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_stats_text(stats: dict, indent: str = "") -> list[str]:
+    lines: list[str] = []
+    for name in sorted(stats):
+        value = stats[name]
+        if isinstance(value, dict):
+            lines.append(f"{indent}{name}:")
+            lines.extend(_render_stats_text(value, indent + "  "))
+        else:
+            lines.append(f"{indent}{name:<14} {value}")
+    return lines
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache stats|evict|verify`` over one storage backend."""
+    from .storage import StorageError, open_backend
+
+    try:
+        backend = open_backend(args.backend_uri)
+    except StorageError as exc:
+        raise CliInputError(str(exc)) from exc
+    try:
+        if args.cache_command == "stats":
+            stats = backend.stats()
+            if args.format == "json":
+                import json
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                print("\n".join(_render_stats_text(stats)))
+            return 0
+        if args.cache_command == "evict":
+            if args.older_than < 0:
+                raise CliInputError("--older-than must be >= 0 seconds")
+            evicted = backend.evict_older_than(args.older_than)
+            print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'} "
+                  f"not used in {args.older_than:g}s")
+            return 0
+        # verify: re-hash every entry against its content-addressed key.
+        corrupt = backend.verify()
+        total = sum(1 for _ in backend.scan())
+        for key in corrupt:
+            print(f"corrupt: {key}")
+        if corrupt:
+            print(f"{len(corrupt)} of {total} entr"
+                  f"{'y is' if total == 1 else 'ies are'} corrupt")
+            return 1
+        print(f"ok: {total} entr{'y' if total == 1 else 'ies'} verified")
+        return 0
+    finally:
+        backend.close()
+
+
 def cmd_figure1(_args: argparse.Namespace) -> int:
     print(f"{'fragment':<18} {'band':<14} {'source':<22} note")
     for entry in FIGURE_1:
@@ -651,6 +736,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--cache-dir", metavar="DIR",
                          help="on-disk answer cache, shared across "
                               "invocations and workers")
+    p_batch.add_argument("--cache-backend", metavar="URI",
+                         help="durable answer-cache backend: dir:PATH, "
+                              "sqlite:PATH[?max_bytes=N&ttl=S] or "
+                              "shard:PATH[?shards=N] (see docs/storage.md; "
+                              "default: $REPRO_CACHE_BACKEND)")
     p_batch.add_argument("--fastpath", choices=["off", "auto", "force"],
                          default="off",
                          help="compile statically-verified datalog-fastpath "
@@ -680,6 +770,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "not recomputed")
     p_serve.add_argument("--cache-dir", metavar="DIR",
                          help="on-disk answer cache shared across requests")
+    p_serve.add_argument("--cache-backend", metavar="URI",
+                         help="durable answer-cache backend URI shared by "
+                              "the daemon and its workers (see "
+                              "docs/storage.md; default: "
+                              "$REPRO_CACHE_BACKEND)")
     p_serve.add_argument("--backend", choices=["auto", "chase", "sat"],
                          default="auto")
     p_serve.add_argument("--fastpath", choices=["off", "auto", "force"],
@@ -777,6 +872,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rows in the top-spans table (default 10)")
     p_tsum.add_argument("--format", choices=["text", "json"], default="text")
     p_tsum.set_defaults(func=cmd_trace_summarize)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect and maintain a shared answer-cache backend "
+                      "(see docs/storage.md)")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("backend_uri", metavar="BACKEND",
+                       help="backend URI: dir:PATH, sqlite:PATH, "
+                            "shard:PATH?shards=N (a bare path means dir:)")
+
+    p_cstats = cache_sub.add_parser(
+        "stats", help="entry count and hit/miss/error accounting")
+    add_backend_arg(p_cstats)
+    p_cstats.add_argument("--format", choices=["text", "json"],
+                          default="text")
+    p_cstats.set_defaults(func=cmd_cache)
+    p_cevict = cache_sub.add_parser(
+        "evict", help="drop entries not used recently")
+    add_backend_arg(p_cevict)
+    p_cevict.add_argument("--older-than", type=float, required=True,
+                          metavar="SECONDS",
+                          help="evict entries not used in this many seconds")
+    p_cevict.set_defaults(func=cmd_cache)
+    p_cverify = cache_sub.add_parser(
+        "verify", help="re-hash every entry against its content-addressed "
+                       "key; exit 1 when any entry is corrupt")
+    add_backend_arg(p_cverify)
+    p_cverify.set_defaults(func=cmd_cache)
 
     p_fig = sub.add_parser("figure1", help="print the Figure-1 map")
     p_fig.set_defaults(func=cmd_figure1)

@@ -49,7 +49,8 @@ from ..logic.parser import ParseError
 from ..resilience import Journal, RetryPolicy
 from ..runtime import Budget
 from ..serving.batch import evaluate_batch, job_key, jobs_from_entries, make_worker_pool
-from ..serving.cache import AnswerCache, DiskCache, conversion_cache_stats
+from ..serving.cache import AnswerCache, conversion_cache_stats
+from ..storage.base import open_backend
 from ..serving.fingerprint import fingerprint_ontology
 from ..serving.metrics import MetricsRegistry, render_prometheus
 from ..serving.plan import plan_cache_stats
@@ -92,6 +93,7 @@ class ReproServer:
         journal: str | None = None,
         resume: bool = False,
         cache_dir: str | None = None,
+        cache_backend: str | None = None,
         backend: str = "auto",
         fastpath: str = "auto",
         preflight: bool = False,
@@ -110,7 +112,12 @@ class ReproServer:
         self.workers = max(1, workers)
         self.journal_path = journal
         self.resume = resume
-        self.cache_dir = cache_dir
+        if cache_backend is not None and cache_dir is not None:
+            raise ValueError("pass cache_dir or cache_backend, not both")
+        # One durable-tier URI for both the daemon's own AnswerCache and
+        # the worker processes (each opens its own handle on it).
+        self.cache_uri = cache_backend or (
+            f"dir:{cache_dir}" if cache_dir else None)
         self.defaults = {"backend": backend, "fastpath": fastpath,
                          "preflight": preflight}
         self.retry = retry
@@ -125,7 +132,7 @@ class ReproServer:
             clock=clock)
         self.metrics = MetricsRegistry()
         self.answer_cache = AnswerCache(
-            disk=DiskCache(cache_dir) if cache_dir else None)
+            backend=open_backend(self.cache_uri) if self.cache_uri else None)
         self.pool = None  # built by start() when workers > 1
         self.journal: Journal | None = None
         self._journal_lock = threading.Lock()
@@ -204,6 +211,11 @@ class ReproServer:
         if self.journal is not None:
             self.journal.close()
             self.journal = None
+        backend = self.answer_cache.backend
+        if backend is not None:
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()  # flushes sqlite's batched hit accounting
 
     # -- journal -------------------------------------------------------------
 
@@ -428,7 +440,7 @@ class ReproServer:
                 preflight=bool(options.get("preflight", False)),
                 chase_depth=int(options.get("chase_depth", 6)),
                 sat_extra=int(options.get("sat_extra", 3)),
-                cache_dir=self.cache_dir,
+                cache_backend=self.cache_uri,
                 answer_cache=self.answer_cache,
                 retry=self.retry,
                 fastpath=options.get("fastpath", "auto"),
@@ -533,6 +545,21 @@ class ReproServer:
             gauges[f"server.shed.{kind}"] = count
         for name, value in self.answer_cache.stats().get("memory", {}).items():
             gauges[f"cache.answer.{name}"] = float(value)
+        backend = self.answer_cache.backend
+        if backend is not None and hasattr(backend, "stats"):
+            # The durable tier's accounting (hits/misses/entries/tripped,
+            # plus sqlite's persisted lifetime aggregates), flattened to
+            # numeric storage.* gauges; string fields like the scheme
+            # name have no Prometheus representation and are skipped.
+            for name, value in backend.stats().items():
+                if isinstance(value, bool):
+                    gauges[f"storage.{name}"] = 1.0 if value else 0.0
+                elif isinstance(value, (int, float)):
+                    gauges[f"storage.{name}"] = float(value)
+                elif isinstance(value, dict):
+                    for sub, sval in value.items():
+                        if isinstance(sval, (int, float)):
+                            gauges[f"storage.{name}.{sub}"] = float(sval)
         for name, value in plan_cache_stats().items():
             gauges[f"cache.plan.{name}"] = float(value)
         for name, value in conversion_cache_stats().items():

@@ -44,7 +44,8 @@ from ..resilience import (
     AttemptOutcome, Journal, PoolSupervisor, RetryPolicy, Supervisor, Task,
 )
 from ..runtime import Budget
-from .cache import AnswerCache, DiskCache, conversion_cache_stats
+from ..storage.base import open_backend
+from .cache import AnswerCache, conversion_cache_stats
 from .fingerprint import fingerprint_ontology
 from .metrics import Histogram, MetricsRegistry
 from .plan import compile_omq
@@ -326,15 +327,17 @@ def _execute_job(
 
 # Worker processes reuse one answer cache (and, transitively, the
 # per-process plan/conversion caches) across all jobs they execute.
+# Keyed by the storage-backend URI so one worker can serve batches with
+# different durable tiers without cross-pollination.
 _WORKER_CACHE: dict[str, AnswerCache] = {}
 
 
-def _worker_cache(cache_dir: str | None) -> AnswerCache:
-    key = cache_dir or ""
+def _worker_cache(cache_uri: str | None) -> AnswerCache:
+    key = cache_uri or ""
     cache = _WORKER_CACHE.get(key)
     if cache is None:
-        disk = DiskCache(cache_dir) if cache_dir else None
-        cache = AnswerCache(disk=disk)
+        cache = AnswerCache(
+            backend=open_backend(cache_uri) if cache_uri else None)
         _WORKER_CACHE[key] = cache
     return cache
 
@@ -349,7 +352,7 @@ def _run_job(payload: tuple) -> dict[str, Any]:
     """
     index, job, onto, budget_kwargs, options = payload
     budget = Budget(**budget_kwargs) if budget_kwargs is not None else None
-    cache = _worker_cache(options.get("cache_dir"))
+    cache = _worker_cache(options.get("cache_backend"))
     tracer = Tracer(enabled=bool(options.get("trace")))
     with tracer.activate():
         result, metrics_raw = _execute_job(
@@ -358,6 +361,9 @@ def _run_job(payload: tuple) -> dict[str, Any]:
         "result": result.to_dict(),
         "spans": tracer.to_dicts() if tracer.enabled else [],
         "metrics": metrics_raw,
+        # The durable tier's circuit breaker trips per *process*; ship the
+        # flag back so the driver can surface it in BatchReport.stats.
+        "cache_tripped": bool(getattr(cache.disk, "tripped", False)),
     }
 
 
@@ -438,6 +444,7 @@ class _BatchRunner:
         self.keys = keys  # index -> journal job key
         self.on_result = on_result  # callable(job_key, JobResult) | None
         self.results: dict[int, JobResult] = {}
+        self.cache_tripped = False  # any worker's write breaker tripped
 
     def _task_budget(self, task: Task) -> Budget | None:
         base = self.budgets.get(task.key)
@@ -502,6 +509,8 @@ class _BatchRunner:
                 self.tracer.merge(value["spans"])
             if value.get("metrics") is not None:
                 self.metrics.merge_raw(value["metrics"])
+            if value.get("cache_tripped"):
+                self.cache_tripped = True
             outs.append(AttemptOutcome(
                 task, result.status, result=result, reason=result.reason,
                 elapsed=result.elapsed))
@@ -557,6 +566,7 @@ def evaluate_batch(
     chase_depth: int = 6,
     sat_extra: int = 3,
     cache_dir: str | None = None,
+    cache_backend: str | None = None,
     answer_cache: AnswerCache | None = None,
     tracer: Tracer | None = None,
     retry: RetryPolicy | None = None,
@@ -590,6 +600,17 @@ def evaluate_batch(
     of recomputed, so a batch killed mid-run finishes with a report whose
     :func:`comparable_report` view equals an uninterrupted run's.
 
+    The durable answer tier is named by *cache_backend*, a
+    :func:`repro.storage.base.open_backend` URI (``dir:PATH``,
+    ``sqlite:PATH?max_bytes=N&ttl=S``, ``shard:PATH?shards=N``); worker
+    processes each open their own handle on it, which is what the sqlite
+    and sharded backends exist for.  *cache_dir* is the historical
+    spelling of ``dir:PATH`` (the two are mutually exclusive).  The
+    backend's own accounting lands in ``stats["cache"]["backend"]``, and
+    ``stats["cache"]["tripped"]`` reports whether any process's write
+    circuit breaker tripped during the batch (also logged once as a
+    ``storage.breaker`` span).
+
     *fastpath* (``off``/``auto``/``force``) is forwarded to
     :func:`~repro.serving.plan.compile_omq`; jobs whose plan upgraded to
     ``datalog-fastpath`` record ``path="fastpath"`` in their results and
@@ -617,11 +638,14 @@ def evaluate_batch(
         tracer = current_tracer()
     if not jobs:
         return BatchReport(results=[], stats={"jobs": 0, "workers": workers})
+    if cache_backend is not None and cache_dir is not None:
+        raise ValueError("pass cache_dir or cache_backend, not both")
+    cache_uri = cache_backend or (f"dir:{cache_dir}" if cache_dir else None)
     wall_start = time.perf_counter()
     options = {
         "backend": backend, "preflight": preflight,
         "chase_depth": chase_depth, "sat_extra": sat_extra,
-        "cache_dir": cache_dir, "trace": tracer.enabled,
+        "cache_backend": cache_uri, "trace": tracer.enabled,
         "fastpath": fastpath,
     }
 
@@ -680,6 +704,8 @@ def evaluate_batch(
     pool_supervisor: PoolSupervisor | None = None
     owns_pool = False
     cache: AnswerCache | None = None
+    storage: Any | None = None  # driver-side durable-tier handle (stats)
+    owns_storage = False
     if pool is not None:
         pool_supervisor = pool
         workers = pool.workers
@@ -687,11 +713,20 @@ def evaluate_batch(
         cache = answer_cache
         if cache is None:
             cache = AnswerCache(
-                disk=DiskCache(cache_dir) if cache_dir else None)
+                backend=open_backend(cache_uri) if cache_uri else None)
+            owns_storage = cache.disk is not None
+        storage = cache.disk
     else:
         pool_supervisor = PoolSupervisor(
             _run_job, workers, max_pool_deaths=max_pool_deaths)
         owns_pool = True
+    if pool_supervisor is not None and cache_uri is not None:
+        # Open the backend in the driver too: a bad URI fails fast here
+        # instead of crashing N workers, and the handle provides the
+        # end-of-run backend stats (concurrency-safe by construction —
+        # WAL for sqlite, atomic renames for the directory flavors).
+        storage = open_backend(cache_uri)
+        owns_storage = True
 
     runner = _BatchRunner(onto, jobs, options, budgets, tracer, metrics,
                           cache, pool_supervisor, retry, jrnl, keys,
@@ -728,6 +763,29 @@ def evaluate_batch(
     for r in results:
         paths[r.path] = paths.get(r.path, 0) + 1
     hits = sum(1 for r in results if r.cache_hit)
+    cache_stats: dict[str, Any] = {
+        "hits": hits,
+        "misses": len(results) - hits,
+        "hit_rate": round(hits / len(results), 4),
+    }
+    tripped = runner.cache_tripped or bool(
+        getattr(storage, "tripped", False))
+    if storage is not None:
+        try:
+            cache_stats["backend"] = storage.stats()
+        except Exception:
+            pass  # stats are best-effort, like the tier itself
+        if owns_storage:
+            close = getattr(storage, "close", None)
+            if close is not None:
+                close()
+    cache_stats["tripped"] = tripped
+    if tripped:
+        # The write breaker used to trip silently inside DiskCache; make
+        # it visible exactly once per batch in the trace as well.
+        with tracer.span("storage.breaker",
+                         backend=cache_uri or "memory") as span:
+            span.set(tripped=True)
     stats: dict[str, Any] = {
         "jobs": len(results),
         "workers": workers,
@@ -735,11 +793,7 @@ def evaluate_batch(
         "unknown": sum(1 for r in results if r.status == "unknown"),
         "error": sum(1 for r in results if r.status == "error"),
         "quarantined": sum(1 for r in results if r.status == "quarantined"),
-        "cache": {
-            "hits": hits,
-            "misses": len(results) - hits,
-            "hit_rate": round(hits / len(results), 4),
-        },
+        "cache": cache_stats,
         "engines": engines,
         "paths": paths,
         "escalation_rungs": sum(max(0, r.rungs - 1) for r in results),

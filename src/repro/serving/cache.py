@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any
 
 from ..logic.ontology import Ontology
+from ..obs import current_tracer
 from ..semantics.rules import DisjunctiveRule, convert_ontology
 from .fingerprint import combine, fingerprint_ontology
 
@@ -221,12 +222,21 @@ class AnswerCache:
     Keys are composite fingerprints (plan × instance × question); values
     are the JSON-able result dictionaries of
     :meth:`repro.serving.plan.CompiledOMQ.evaluate`.
+
+    The durable tier is pluggable: *disk* accepts the historical
+    :class:`DiskCache` or any :class:`repro.storage.base.StorageBackend`
+    (both answer ``get``/``put``/``stats``); *backend* is an explicit
+    alias for the latter and wins when both are given.  Durable-tier
+    traffic is traced as ``storage.get`` / ``storage.put`` spans on the
+    ambient tracer — memory hits stay span-free, so the disabled-tracer
+    overhead gate is untouched.
     """
 
     def __init__(self, maxsize: int = 1024,
-                 disk: DiskCache | None = None):
+                 disk: "DiskCache | Any | None" = None,
+                 backend: "Any | None" = None):
         self.memory = LRUCache(maxsize)
-        self.disk = disk
+        self.disk = backend if backend is not None else disk
         # The two layers are individually thread-safe; this lock makes
         # the *composite* get (memory miss -> disk read -> memory
         # promote) and put atomic, so the daemon's request threads never
@@ -237,13 +247,24 @@ class AnswerCache:
     def key(*fingerprints: str) -> str:
         return combine(*fingerprints)
 
+    @property
+    def backend(self) -> Any | None:
+        """The durable tier, whatever its flavor (None when memory-only)."""
+        return self.disk
+
+    def _tier_name(self) -> str:
+        return getattr(self.disk, "scheme", "dir")
+
     def get(self, key: str) -> dict[str, Any] | None:
         with self._lock:
             value = self.memory.get(key)
             if value is not None:
                 return value
             if self.disk is not None:
-                value = self.disk.get(key)
+                with current_tracer().span(
+                        "storage.get", backend=self._tier_name()) as span:
+                    value = self.disk.get(key)
+                    span.set(hit=value is not None)
                 if value is not None:
                     self.memory.put(key, value)
             return value
@@ -252,7 +273,9 @@ class AnswerCache:
         with self._lock:
             self.memory.put(key, value)
             if self.disk is not None:
-                self.disk.put(key, value)
+                with current_tracer().span(
+                        "storage.put", backend=self._tier_name()):
+                    self.disk.put(key, value)
 
     def stats(self) -> dict[str, Any]:
         with self._lock:

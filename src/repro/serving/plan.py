@@ -321,7 +321,7 @@ def compile_omq(
     classify: bool = False,
     chase_depth: int = 6,
     sat_extra: int = 3,
-    answer_cache: AnswerCache | None = None,
+    answer_cache: AnswerCache | str | None = None,
     fastpath: str = "off",
 ) -> CompiledOMQ:
     """Compile (or fetch the memoized plan for) one OMQ.
@@ -333,6 +333,10 @@ def compile_omq(
     registry (a shared plan must not leak one caller's latency histograms
     into another's report); likewise the *answer_cache* argument
     (including ``None``) replaces the memoized plan's cache handle.
+    *answer_cache* also accepts a storage-backend URI string
+    (``dir:PATH``, ``sqlite:PATH``, ``shard:PATH?shards=N``): it is
+    opened via :func:`repro.storage.base.open_backend` and wrapped in a
+    fresh :class:`AnswerCache`, which the returned plan then owns.
 
     *fastpath* gates the ``datalog-fastpath`` plan kind (see the module
     docstring): ``"off"`` (default — rewriting construction costs seconds
@@ -345,6 +349,10 @@ def compile_omq(
     """
     if fastpath not in ("off", "auto", "force"):
         raise ValueError(f"fastpath must be off/auto/force, got {fastpath!r}")
+    if isinstance(answer_cache, str):
+        from ..storage.base import open_backend
+
+        answer_cache = AnswerCache(backend=open_backend(answer_cache))
     with current_tracer().span("plan.compile", backend=str(backend)) as span:
         if isinstance(query, str):
             if preflight:

@@ -1,0 +1,266 @@
+"""The storage backend contract shared by every answer-cache tier.
+
+A *backend* is a durable key/value store for definitive OMQ evaluation
+results, keyed by the content-addressed fingerprints of
+:mod:`repro.serving.fingerprint` (a key *is* the identity of the
+(plan, instance) pair it answers).  The paper's dichotomy is what makes
+this tier worth having: coNP-band evaluations are the expensive traffic
+the serving stack sheds first under load, so a shared hit on one is worth
+orders of magnitude more than recomputation — the same cost asymmetry
+that drives materialization trade-offs for guarded TGDs.
+
+Contract (every backend, every method):
+
+* **get/put/delete are best-effort and never raise** on I/O trouble — a
+  broken cache volume must degrade a batch to cache-miss speed, never
+  abort it.  Failures are counted in :meth:`StorageBackend.stats`.
+* **Never store UNKNOWN.**  A non-definitive result is a budget artifact,
+  not a fact about the OMQ; caching it would make a starved run
+  infectious.  :meth:`StorageBackend.put` raises :class:`UnstorableValue`
+  on a result dict whose verdict is ``unknown`` — loudly, because a
+  caller that tries is a bug, not an I/O accident.
+* **Atomic entries.**  Readers never observe a torn write: directory
+  backends write via ``mkstemp`` + ``os.replace``, the sqlite backend via
+  transactions.  A corrupt entry (machine crash, bit rot) behaves as a
+  miss, is counted, and is evicted so it cannot keep failing.
+* **close() is idempotent** and flushes any buffered accounting.
+
+Backends are selected by URI (``dir:PATH``, ``sqlite:PATH``,
+``shard:PATH?shards=N``) via :func:`open_backend`; a bare path means
+``dir:``.  The ``REPRO_CACHE_BACKEND`` environment variable supplies a
+process-wide default (:func:`default_backend_uri`).  See
+``docs/storage.md`` for the decision guide.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+from urllib.parse import parse_qsl
+
+__all__ = [
+    "EntryInfo", "StorageBackend", "StorageError", "UnstorableValue",
+    "check_storable", "default_backend_uri", "open_backend",
+    "parse_backend_uri",
+]
+
+#: The environment variable naming the default shared cache backend.
+ENV_BACKEND = "REPRO_CACHE_BACKEND"
+
+_SCHEMES = ("dir", "sqlite", "shard")
+# What counts as "looks like a URI scheme" for the bare-path fallback:
+# a short lowercase word before the colon.  Anything longer or mixed
+# (an absolute path, a Windows drive, a path with a colon in it) is
+# treated as a plain directory path.
+_SCHEME_RE = re.compile(r"[a-z][a-z0-9+.-]{1,15}")
+
+
+class StorageError(Exception):
+    """A backend cannot be constructed (bad URI, unusable path)."""
+
+
+class UnstorableValue(ValueError):
+    """A caller tried to store a non-definitive (UNKNOWN) result."""
+
+
+def check_storable(value: Any) -> None:
+    """Enforce the never-store-UNKNOWN contract on a result value.
+
+    Raises :class:`UnstorableValue` when *value* is a result dict whose
+    verdict is ``unknown``.  Anything else passes — backends store plain
+    JSON-able values and do not interpret them further.
+    """
+    if isinstance(value, dict) and value.get("verdict") == "unknown":
+        raise UnstorableValue(
+            "refusing to cache a non-definitive (UNKNOWN) result: "
+            "it is a budget artifact, not a fact about the OMQ")
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """One stored entry as reported by :meth:`StorageBackend.scan`.
+
+    ``hits`` is ``None`` for backends that do not track per-entry hit
+    counts (the directory backends); ``last_used`` falls back to the
+    write time where reads do not touch metadata.
+    """
+
+    key: str
+    size: int
+    created: float
+    last_used: float
+    hits: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "key": self.key, "size": self.size,
+            "created": round(self.created, 3),
+            "last_used": round(self.last_used, 3),
+        }
+        if self.hits is not None:
+            out["hits"] = self.hits
+        return out
+
+
+class StorageBackend(abc.ABC):
+    """Abstract base for shared answer-cache backends (see module doc)."""
+
+    #: The URI scheme this backend answers to (``dir``/``sqlite``/``shard``).
+    scheme: str = "?"
+
+    # -- the data plane ------------------------------------------------------
+
+    @abc.abstractmethod
+    def get(self, key: str, default: Any = None) -> Any:
+        """The stored value, or *default* on a miss (or any failure)."""
+
+    @abc.abstractmethod
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* (best-effort; raises only :class:`UnstorableValue`)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove one entry; True when it existed."""
+
+    # -- the control plane ---------------------------------------------------
+
+    @abc.abstractmethod
+    def scan(self) -> Iterator[EntryInfo]:
+        """Iterate over the stored entries (metadata only, key order)."""
+
+    @abc.abstractmethod
+    def stats(self) -> dict[str, Any]:
+        """Accounting: hits/misses/errors plus backend-specific fields.
+
+        Always contains ``backend`` (the scheme), ``entries``, ``hits``,
+        ``misses`` and ``tripped`` so callers can report uniformly.
+        """
+
+    @abc.abstractmethod
+    def verify(self) -> list[str]:
+        """Re-check every entry against its content digest.
+
+        Returns the keys of corrupt entries (unparseable payloads, digest
+        mismatches, entries filed under the wrong key).  Never mutates the
+        store — eviction is the read path's job.
+        """
+
+    @abc.abstractmethod
+    def evict_older_than(self, seconds: float) -> int:
+        """Drop entries not used for *seconds*; returns how many."""
+
+    def close(self) -> None:
+        """Flush buffered accounting and release handles (idempotent)."""
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def tripped(self) -> bool:
+        """True when a write circuit breaker has disabled the backend."""
+        return False
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.scheme}>"
+
+
+# -- URI resolution ----------------------------------------------------------
+
+
+def parse_backend_uri(uri: str) -> tuple[str, str, dict[str, str]]:
+    """Split a backend URI into ``(scheme, path, query-args)``.
+
+    ``dir:PATH``, ``sqlite:PATH`` and ``shard:PATH?shards=N`` are the
+    recognized forms; a bare path (no scheme prefix) is a directory
+    backend, so every existing ``--cache-dir`` value is a valid URI.
+    Something that *looks* like a scheme but is not one — ``redis:x``,
+    ``sqllite:c.db`` — is an error, not a directory named after the
+    typo.
+    """
+    scheme, sep, rest = uri.partition(":")
+    if not sep or not _SCHEME_RE.fullmatch(scheme):
+        scheme, rest = "dir", uri
+    elif scheme not in _SCHEMES:
+        raise StorageError(
+            f"storage URI {uri!r}: unknown scheme {scheme!r} "
+            f"(expected one of {', '.join(_SCHEMES)}, or a bare path)")
+    path, qsep, query = rest.partition("?")
+    if not path:
+        raise StorageError(f"storage URI {uri!r} has an empty path")
+    args = dict(parse_qsl(query, keep_blank_values=True)) if qsep else {}
+    return scheme, path, args
+
+
+def _int_arg(uri: str, args: dict[str, str], name: str,
+             default: int | None) -> int | None:
+    raw = args.pop(name, None)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise StorageError(f"storage URI {uri!r}: {name} must be an integer")
+
+
+def _float_arg(uri: str, args: dict[str, str], name: str,
+               default: float | None) -> float | None:
+    raw = args.pop(name, None)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise StorageError(f"storage URI {uri!r}: {name} must be a number")
+
+
+def open_backend(uri: str) -> StorageBackend:
+    """Construct the backend a URI names (see :func:`parse_backend_uri`).
+
+    Recognized query arguments: ``sqlite:PATH?max_bytes=N&ttl=S`` (size
+    budget in bytes, time-to-live in seconds) and ``shard:PATH?shards=N``.
+    Unknown arguments are an error — a typo must not silently change the
+    eviction policy.
+    """
+    scheme, path, args = parse_backend_uri(uri)
+    try:
+        if scheme == "sqlite":
+            from .sqlite import SqliteBackend
+
+            backend: StorageBackend = SqliteBackend(
+                path,
+                max_bytes=_int_arg(uri, args, "max_bytes", None),
+                ttl=_float_arg(uri, args, "ttl", None),
+            )
+        elif scheme == "shard":
+            from .sharded import ShardedDirectoryBackend
+
+            # None defers to the tree's pinned shard count (or 16 fresh).
+            shards = _int_arg(uri, args, "shards", None)
+            backend = ShardedDirectoryBackend(path, shards=shards)
+        else:
+            from .directory import DirectoryBackend
+
+            backend = DirectoryBackend(path)
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"storage URI {uri!r}: {exc}") from exc
+    if args:
+        backend.close()
+        raise StorageError(
+            f"storage URI {uri!r}: unknown argument(s) "
+            f"{', '.join(sorted(args))}")
+    return backend
+
+
+def default_backend_uri() -> str | None:
+    """The process-wide default backend URI (``REPRO_CACHE_BACKEND``)."""
+    uri = os.environ.get(ENV_BACKEND, "").strip()
+    return uri or None

@@ -1,0 +1,112 @@
+"""The directory backend: today's ``DiskCache`` behind the storage protocol.
+
+One ``<key>.json`` file per entry, written atomically via ``mkstemp`` +
+``os.replace`` — byte-compatible with the flat cache directories written
+by every previous release (a ``--cache-dir`` populated before the storage
+layer existed is a valid ``dir:`` backend and vice versa).  All failure
+semantics are :class:`repro.serving.cache.DiskCache`'s, unchanged:
+corrupt entries read as misses, are counted in ``read_errors`` and
+evicted; ``max_consecutive_errors`` failed writes in a row trip the
+write circuit breaker for the rest of the process.
+
+Single-writer worldview: concurrent writers from *different processes*
+do not corrupt entries (the rename is atomic) but share no eviction or
+accounting; for many-writer shared storage use
+:class:`repro.storage.sharded.ShardedDirectoryBackend`, for real
+eviction/TTL/hit statistics use :class:`repro.storage.sqlite.SqliteBackend`
+(decision guide in ``docs/storage.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Iterator
+
+from ..serving.cache import DiskCache
+from .base import EntryInfo, StorageBackend, check_storable
+
+__all__ = ["DirectoryBackend"]
+
+
+class DirectoryBackend(StorageBackend):
+    """A flat directory of JSON entries (see module docstring)."""
+
+    scheme = "dir"
+
+    def __init__(self, directory: str | os.PathLike,
+                 max_consecutive_errors: int = 5):
+        self._disk = DiskCache(
+            directory, max_consecutive_errors=max_consecutive_errors)
+        self.directory = self._disk.directory
+
+    # -- data plane ----------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._disk.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        check_storable(value)
+        self._disk.put(key, value)
+
+    def delete(self, key: str) -> bool:
+        try:
+            os.unlink(self._disk._path(key))
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        return True
+
+    # -- control plane -------------------------------------------------------
+
+    def _entries(self) -> Iterator[tuple[str, os.stat_result]]:
+        try:
+            paths = sorted(self.directory.glob("*.json"))
+        except OSError:
+            return
+        for path in paths:
+            try:
+                yield path.stem, path.stat()
+            except OSError:
+                continue
+
+    def scan(self) -> Iterator[EntryInfo]:
+        for key, st in self._entries():
+            yield EntryInfo(key=key, size=st.st_size, created=st.st_mtime,
+                            last_used=st.st_mtime)
+
+    def stats(self) -> dict[str, Any]:
+        out = dict(self._disk.stats())
+        out["backend"] = self.scheme
+        return out
+
+    def verify(self) -> list[str]:
+        """Corrupt keys: entries whose payload is not parseable JSON.
+
+        Directory entries carry no embedded digest (the format predates
+        the storage layer and stays byte-compatible with it), so
+        verification is structural; the digest-checked formats are the
+        sqlite and sharded backends.
+        """
+        corrupt: list[str] = []
+        for key, _st in self._entries():
+            try:
+                with open(self._disk._path(key)) as fh:
+                    json.load(fh)
+            except (OSError, ValueError):
+                corrupt.append(key)
+        return corrupt
+
+    def evict_older_than(self, seconds: float) -> int:
+        cutoff = time.time() - seconds
+        evicted = 0
+        for key, st in list(self._entries()):
+            if st.st_mtime < cutoff and self.delete(key):
+                evicted += 1
+        return evicted
+
+    @property
+    def tripped(self) -> bool:
+        return self._disk.tripped
