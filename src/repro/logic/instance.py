@@ -6,14 +6,15 @@ of atoms over data constants and labelled nulls.  Both are represented by the
 :class:`Interpretation` class; :func:`is_instance` checks the constants-only
 condition.
 
-The class keeps per-predicate and per-element indexes so that guarded-
-quantifier model checking and homomorphism search are efficient.
+The class keeps per-predicate, per-element and per-``(pred, position,
+value)`` hash indexes, maintained incrementally on ``add``/``discard``, so
+that the Datalog engine's delta joins, guarded-quantifier model checking
+and homomorphism search never scan the full fact set to find candidates.
 """
 
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .syntax import Atom, Const, Element, Null, Term, Var, is_element
@@ -25,14 +26,22 @@ class Interpretation:
     The domain is the active domain: every element occurring in some fact.
     """
 
-    __slots__ = ("_facts", "_by_elem", "_arity")
+    __slots__ = ("_facts", "_by_elem", "_arity", "_index", "_size",
+                 "_iter_cache")
 
     def __init__(self, facts: Iterable[Atom] = ()):
         # predicate -> set of argument tuples
-        self._facts: dict[str, set[tuple[Element, ...]]] = defaultdict(set)
+        self._facts: dict[str, set[tuple[Element, ...]]] = {}
         # element -> set of (pred, tuple) facts it appears in
-        self._by_elem: dict[Element, set[tuple[str, tuple[Element, ...]]]] = defaultdict(set)
+        self._by_elem: dict[Element, set[tuple[str, tuple[Element, ...]]]] = {}
+        # (pred, position, value) -> set of argument tuples with that value
+        # at that position; the join index of the Datalog/chase matchers.
+        self._index: dict[tuple[str, int, Element], set[tuple[Element, ...]]] = {}
         self._arity: dict[str, int] = {}
+        self._size = 0
+        # Canonical iteration order, rebuilt lazily after mutations so
+        # fingerprinting/journaling of a stable instance sorts only once.
+        self._iter_cache: tuple[Atom, ...] | None = None
         for fact in facts:
             self.add(fact)
 
@@ -47,11 +56,29 @@ class Interpretation:
             raise ValueError(
                 f"arity clash for {fact.pred}: {known} vs {fact.arity}")
         args = tuple(fact.args)
-        if args in self._facts[fact.pred]:
+        bucket = self._facts.get(fact.pred)
+        if bucket is None:
+            bucket = self._facts[fact.pred] = set()
+        elif args in bucket:
             return
-        self._facts[fact.pred].add(args)
-        for a in args:
-            self._by_elem[a].add((fact.pred, args))
+        bucket.add(args)
+        self._size += 1
+        self._iter_cache = None
+        by_elem = self._by_elem
+        entry = (fact.pred, args)
+        index = self._index
+        for pos, a in enumerate(args):
+            occurrences = by_elem.get(a)
+            if occurrences is None:
+                by_elem[a] = {entry}
+            else:
+                occurrences.add(entry)
+            key = (fact.pred, pos, a)
+            slot = index.get(key)
+            if slot is None:
+                index[key] = {args}
+            else:
+                slot.add(args)
 
     def add_all(self, facts: Iterable[Atom]) -> None:
         for fact in facts:
@@ -60,35 +87,51 @@ class Interpretation:
     def discard(self, fact: Atom) -> None:
         """Remove a fact if present."""
         args = tuple(fact.args)
-        if args not in self._facts.get(fact.pred, ()):
+        bucket = self._facts.get(fact.pred)
+        if bucket is None or args not in bucket:
             return
-        self._facts[fact.pred].discard(args)
-        if not self._facts[fact.pred]:
+        bucket.discard(args)
+        self._size -= 1
+        self._iter_cache = None
+        if not bucket:
             del self._facts[fact.pred]
             del self._arity[fact.pred]
-        for a in args:
-            self._by_elem[a].discard((fact.pred, args))
-            if not self._by_elem[a]:
-                del self._by_elem[a]
+        entry = (fact.pred, args)
+        for pos, a in enumerate(args):
+            occurrences = self._by_elem.get(a)
+            if occurrences is not None:
+                occurrences.discard(entry)
+                if not occurrences:
+                    del self._by_elem[a]
+            key = (fact.pred, pos, a)
+            slot = self._index.get(key)
+            if slot is not None:
+                slot.discard(args)
+                if not slot:
+                    del self._index[key]
 
     # -- inspection ----------------------------------------------------------
 
     def __contains__(self, fact: Atom) -> bool:
-        return tuple(fact.args) in self._facts.get(fact.pred, set())
+        bucket = self._facts.get(fact.pred)
+        return bucket is not None and tuple(fact.args) in bucket
 
     def __len__(self) -> int:
-        return sum(len(ts) for ts in self._facts.values())
+        return self._size
 
     def __iter__(self) -> Iterator[Atom]:
-        for pred in sorted(self._facts):
-            for args in sorted(self._facts[pred], key=repr):
-                yield Atom(pred, args)
+        cache = self._iter_cache
+        if cache is None:
+            cache = self._iter_cache = tuple(
+                Atom(pred, args)
+                for pred in sorted(self._facts)
+                for args in sorted(self._facts[pred], key=repr))
+        return iter(cache)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Interpretation):
             return NotImplemented
-        return {p: s for p, s in self._facts.items()} == \
-            {p: s for p, s in other._facts.items()}
+        return self._facts == other._facts
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(f) for f in itertools.islice(self, 12))
@@ -96,7 +139,16 @@ class Interpretation:
         return f"Interpretation({{{inner}{suffix}}})"
 
     def copy(self) -> "Interpretation":
-        return Interpretation(self)
+        """An independent clone: O(n) set copies, indexes carried over,
+        no per-fact re-validation."""
+        new = Interpretation.__new__(Interpretation)
+        new._facts = {p: set(s) for p, s in self._facts.items()}
+        new._by_elem = {e: set(s) for e, s in self._by_elem.items()}
+        new._index = {k: set(s) for k, s in self._index.items()}
+        new._arity = dict(self._arity)
+        new._size = self._size
+        new._iter_cache = self._iter_cache
+        return new
 
     def dom(self) -> frozenset[Element]:
         """Active domain: all constants and nulls occurring in facts."""
@@ -158,12 +210,15 @@ class Interpretation:
         atom: Atom,
         assignment: Mapping[Var, Element],
     ) -> Iterable[tuple[Element, ...]]:
-        """Tuples possibly matching *atom*, narrowed via the element index."""
+        """Tuples possibly matching *atom*: the smallest ``(pred, position,
+        value)`` index bucket over the bound positions — one dict lookup
+        per bound position, never a scan."""
         all_tuples = self._facts.get(atom.pred)
         if not all_tuples:
             return ()
-        # Find the most selective bound position.
         best: Iterable[tuple[Element, ...]] = all_tuples
+        best_len = len(all_tuples)
+        index = self._index
         for pos, term in enumerate(atom.args):
             value: Element | None
             if isinstance(term, Var):
@@ -172,13 +227,50 @@ class Interpretation:
                 value = term  # constant/null in the atom itself
             if value is None:
                 continue
-            narrowed = [
-                args for (pred, args) in self._by_elem.get(value, ())
-                if pred == atom.pred and args[pos] == value
-            ]
-            if len(narrowed) < (len(best) if isinstance(best, (set, list)) else len(all_tuples)):
-                best = narrowed
+            bucket = index.get((atom.pred, pos, value))
+            if bucket is None:
+                return ()  # a bound position with no occurrences: no match
+            if len(bucket) < best_len:
+                best = bucket
+                best_len = len(bucket)
         return best
+
+    def candidate_tuples(
+        self,
+        pred: str,
+        bound: Iterable[tuple[int, Element]] = (),
+    ) -> Iterable[tuple[Element, ...]]:
+        """Argument tuples of *pred* compatible with the ``(position,
+        value)`` constraints in *bound* — the engine-facing form of
+        :meth:`_candidate_tuples` (smallest index bucket, or everything).
+
+        The returned collection is a live internal set; callers must not
+        mutate it or mutate the interpretation while iterating.
+        """
+        all_tuples = self._facts.get(pred)
+        if not all_tuples:
+            return ()
+        best: Iterable[tuple[Element, ...]] = all_tuples
+        best_len = len(all_tuples)
+        index = self._index
+        for pos, value in bound:
+            bucket = index.get((pred, pos, value))
+            if bucket is None:
+                return ()
+            if len(bucket) < best_len:
+                best = bucket
+                best_len = len(bucket)
+        return best
+
+    def has_tuple(self, pred: str, args: tuple[Element, ...]) -> bool:
+        """Membership test on raw ``(pred, argument-tuple)`` pairs."""
+        bucket = self._facts.get(pred)
+        return bucket is not None and args in bucket
+
+    def count(self, pred: str) -> int:
+        """Number of tuples of *pred* (0 if absent)."""
+        bucket = self._facts.get(pred)
+        return len(bucket) if bucket is not None else 0
 
     # -- structural notions ---------------------------------------------------
 
@@ -306,16 +398,31 @@ class Interpretation:
 def disjoint_union(parts: Sequence[Interpretation]) -> Interpretation:
     """Disjoint union; overlapping elements of later parts are renamed apart.
 
-    Renamed elements become fresh nulls tagged with the part index, so the
-    result's restriction to part *i* is isomorphic to ``parts[i]``.
+    Renamed elements become fresh nulls tagged with the part index, the
+    element kind and a uniqueness counter, so the result's restriction to
+    part *i* is isomorphic to ``parts[i]``.  (The kind tag + counter keep
+    a clashing ``Const("x")`` and ``Null("x")`` of the same part distinct
+    after renaming, and dodge any like-named null already in play.)
     """
     out = Interpretation()
     used: set[Element] = set()
+    fresh = 0
     for idx, part in enumerate(parts):
-        clash = part.dom() & used
-        mapping: dict[Element, Element] = {
-            e: Null(f"du{idx}_{getattr(e, 'name', e)}") for e in clash
-        }
+        dom = part.dom()
+        clash = dom & used
+        mapping: dict[Element, Element] = {}
+        if clash:
+            taken: set[Element] = set(used) | set(dom)
+            for e in sorted(clash, key=repr):
+                kind = "c" if isinstance(e, Const) else "n"
+                name = getattr(e, "name", e)
+                while True:
+                    candidate = Null(f"du{idx}_{kind}{fresh}_{name}")
+                    fresh += 1
+                    if candidate not in taken:
+                        break
+                mapping[e] = candidate
+                taken.add(candidate)
         renamed = part.rename(mapping) if mapping else part
         for fact in renamed:
             out.add(fact)

@@ -19,6 +19,7 @@ checks in :mod:`repro.guarded.fragments`.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Iterator, Mapping, Sequence, Union
@@ -27,33 +28,109 @@ from typing import Iterator, Mapping, Sequence, Union
 # ---------------------------------------------------------------------------
 # Terms
 # ---------------------------------------------------------------------------
+#
+# Terms are *interned*: at most one live object exists per (kind, name), so
+# the equality checks on the join inner loops of the Datalog engine, the
+# chase and the SAT grounder are pointer comparisons in the common case, and
+# every term carries its hash precomputed.  The intern tables hold weak
+# references — a server that mints millions of chase nulls does not leak
+# them once their branches are garbage.  Unpickling goes through
+# ``__reduce__`` and re-interns (hashes are per-process under string hash
+# randomization, so a cached hash must never cross a process boundary).
 
 
-@dataclass(frozen=True, order=True)
-class Var:
+class _NamedTerm:
+    """Base of the interned named terms (:class:`Var`/:class:`Const`/
+    :class:`Null`).  Subclasses set ``_kind`` and their own intern table."""
+
+    __slots__ = ("name", "_hash", "__weakref__")
+
+    _kind = ""
+    _interned: "weakref.WeakValueDictionary[str, _NamedTerm]"
+
+    def __new__(cls, name: str):
+        cached = cls._interned.get(name)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.name = name
+        self._hash = hash((cls._kind, name))
+        cls._interned[name] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is self.__class__:
+            return self.name == other.name
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Total order within one kind (matching the old dataclass order=True
+    # semantics: comparing different kinds is a TypeError).
+    def __lt__(self, other):
+        if other.__class__ is self.__class__:
+            return self.name < other.name
+        return NotImplemented
+
+    def __le__(self, other):
+        if other.__class__ is self.__class__:
+            return self.name <= other.name
+        return NotImplemented
+
+    def __gt__(self, other):
+        if other.__class__ is self.__class__:
+            return self.name > other.name
+        return NotImplemented
+
+    def __ge__(self, other):
+        if other.__class__ is self.__class__:
+            return self.name >= other.name
+        return NotImplemented
+
+    def __reduce__(self):
+        return (self.__class__, (self.name,))
+
+
+class Var(_NamedTerm):
     """A first-order variable."""
 
-    name: str
+    __slots__ = ()
+    _kind = "var"
+    _interned: "weakref.WeakValueDictionary[str, Var]" = \
+        weakref.WeakValueDictionary()
 
     def __repr__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, order=True)
-class Const:
+class Const(_NamedTerm):
     """A data constant from the universe of constants Delta_D."""
 
-    name: str
+    __slots__ = ()
+    _kind = "const"
+    _interned: "weakref.WeakValueDictionary[str, Const]" = \
+        weakref.WeakValueDictionary()
 
     def __repr__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, order=True)
-class Null:
+class Null(_NamedTerm):
     """A labelled null from Delta_N (disjoint from the data constants)."""
 
-    name: str
+    __slots__ = ()
+    _kind = "null"
+    _interned: "weakref.WeakValueDictionary[str, Null]" = \
+        weakref.WeakValueDictionary()
 
     def __repr__(self) -> str:
         return f"_:{self.name}"
@@ -114,16 +191,20 @@ class Bottom(Formula):
         return "false"
 
 
-@dataclass(frozen=True)
 class Atom(Formula):
-    """A relational atom ``R(t1, ..., tk)``."""
+    """A relational atom ``R(t1, ..., tk)``.
 
-    pred: str
-    args: tuple[Term, ...]
+    Immutable by convention; the hash is computed once and cached, so the
+    set/dict membership tests on the engine hot paths (delta joins, chase
+    head checks, SAT variable maps) never re-hash the argument tuple.
+    """
+
+    __slots__ = ("pred", "args", "_hash")
 
     def __init__(self, pred: str, args: Sequence[Term] = ()):
-        object.__setattr__(self, "pred", pred)
-        object.__setattr__(self, "args", tuple(args))
+        self.pred = pred
+        self.args = tuple(args)
+        self._hash = -1
 
     @property
     def arity(self) -> int:
@@ -134,6 +215,32 @@ class Atom(Formula):
 
     def substitute(self, sub: Mapping[Term, Term]) -> "Atom":
         return Atom(self.pred, tuple(sub.get(a, a) for a in self.args))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Atom:
+            return self.pred == other.pred and self.args == other.args
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h == -1:
+            h = hash((self.pred, self.args))
+            if h == -1:
+                h = -2
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        # Re-hash on unpickle: cached hashes are per-process.
+        return (Atom, (self.pred, self.args))
 
     def __repr__(self) -> str:
         return f"{self.pred}({', '.join(map(repr, self.args))})"

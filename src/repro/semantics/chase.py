@@ -104,21 +104,41 @@ def match_conjunction(
     interp: Interpretation,
     env: dict[Var, Element] | None = None,
 ) -> Iterator[dict[Var, Element]]:
-    """Enumerate assignments making all atoms true (backtracking join)."""
-    env = dict(env or {})
+    """Enumerate assignments making all atoms true (backtracking join).
 
-    def rec(idx: int) -> Iterator[dict[Var, Element]]:
-        if idx == len(atoms):
+    Atoms are ordered dynamically: each step continues with the pending
+    atom whose ``(pred, position, value)`` index bucket is smallest under
+    the bindings so far, so bound-variable-rich (and constant-rich) atoms
+    run first and the join fails fast on empty buckets.
+    """
+    env = dict(env or {})
+    pending = list(atoms)
+
+    def bucket_size(atom: Atom) -> int:
+        bound = []
+        for pos, term in enumerate(atom.args):
+            if isinstance(term, Var):
+                value = env.get(term)
+                if value is not None:
+                    bound.append((pos, value))
+            else:
+                bound.append((pos, term))
+        return len(interp.candidate_tuples(atom.pred, bound))
+
+    def rec() -> Iterator[dict[Var, Element]]:
+        if not pending:
             yield dict(env)
             return
-        for ext in interp.match_atom(atoms[idx], env):
+        best = min(range(len(pending)), key=lambda i: bucket_size(pending[i]))
+        atom = pending.pop(best)
+        for ext in interp.match_atom(atom, env):
             env.update(ext)
-            yield from rec(idx + 1)
+            yield from rec()
             for v in ext:
                 del env[v]
+        pending.insert(best, atom)
 
-    # Order atoms: bound-variable-rich atoms first for selectivity.
-    yield from rec(0)
+    yield from rec()
 
 
 def _head_satisfied(head: Head, interp: Interpretation, env: dict[Var, Element]) -> bool:

@@ -406,8 +406,22 @@ taut(x) <- start(x) & $a != $b
         assert all(d.code < "OMQ100" for d in diags)
 
     def test_unsafe_rule_skipped_by_analyzer_rules(self):
+        # OMQ101-106 (strict-parse analyses) skip unsafe text; OMQ107
+        # reports the unsafe inequality so the skip is not silent.
         diags = lint_datalog_text("goal(x) <- x != y")
-        assert all(d.code < "OMQ100" for d in diags)
+        codes = {d.code for d in diags if d.code >= "OMQ100"}
+        assert codes == {"OMQ107"}
+
+    def test_unsafe_inequality_flagged_omq107(self):
+        diags = lint_datalog_text(
+            "I(x) <- E(x)\ngoal(x) <- I(x) & x != y")
+        hits = [d for d in diags if d.code == "OMQ107"]
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "y" in hits[0].message
+        # Safe programs stay silent.
+        clean = lint_datalog_text("goal(x) <- E(x, y) & x != y")
+        assert not [d for d in clean if d.code == "OMQ107"]
 
     def test_example_program_file_expected_codes(self):
         from pathlib import Path
