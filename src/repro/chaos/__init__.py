@@ -1,0 +1,41 @@
+"""repro.chaos — seeded workload generation and invariant-checking chaos.
+
+The serving stack's robustness claims (crash-safe journals, gracefully
+degraded caches, resume equality) are only claims until something hostile
+and *reproducible* exercises them.  This package is that something:
+
+* :mod:`repro.chaos.generate` — a seeded generator of parameterized
+  workloads: query shapes (chains, stars, intersections-with-projection,
+  atoms, Boolean), ontology families spanning both sides of the Figure-1
+  dichotomy — **verified** through :func:`repro.core.classify.classify_ontology`,
+  never assumed — and instance generators with tunable size and
+  inconsistency, emitting ``repro batch``-compatible JSON.
+* :mod:`repro.chaos.invariants` — the checks every episode must pass:
+  job accounting (nothing lost, duplicated, or double-counted),
+  :func:`~repro.serving.batch.comparable_report` equality, UNKNOWN never
+  in any cache tier, backends verify clean.
+* :mod:`repro.chaos.driver` — ``repro chaos run --seed N --profile P``:
+  executes generated workloads through ``repro batch`` subprocesses and a
+  live ``repro serve`` daemon under seeded fault schedules (starvation,
+  worker kills, storage faults, torn writes, mid-run hard kill +
+  ``--resume``, concurrent drivers on one shared backend) and checks the
+  invariants per episode.
+
+Everything is a pure function of the seed: same seed ⇒ same workload,
+same fault schedule, same deterministic report section.  See
+``docs/robustness.md`` for the fault-kind table and the
+reproduce-from-seed recipe.
+"""
+
+from .driver import ChaosDriver, ChaosReport, EpisodeResult, PROFILES
+from .generate import (
+    FAMILIES, SHAPES, GeneratedWorkload, GenerationError, WorkloadSpec,
+    generate_workload,
+)
+from .invariants import Violation
+
+__all__ = [
+    "PROFILES", "ChaosDriver", "ChaosReport", "EpisodeResult",
+    "FAMILIES", "SHAPES", "GeneratedWorkload", "GenerationError",
+    "WorkloadSpec", "generate_workload", "Violation",
+]

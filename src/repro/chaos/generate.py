@@ -1,0 +1,287 @@
+"""Seeded generation of parameterized OMQ workloads.
+
+A :class:`WorkloadSpec` is a pure description — seed, ontology family,
+query shapes, instance knobs — and :func:`generate_workload` is a pure
+function of it: one ``random.Random(seed)`` drives every choice in a
+fixed order, so the same spec always yields byte-identical output.
+
+**Ontology families.**  Both sides of the Figure-1 dichotomy, built from
+a generic vocabulary of unary levels ``A0 ⊆ A1 ⊆ …`` and binary roles
+``Ri`` with domain/range axioms and existentials:
+
+* ``horn`` — no disjunction, no negation; classifies PTIME and
+  materializable, so it is eligible for the Datalog fastpath.
+* ``disjunctive`` — adds ``top-level -> D | N`` plus the disjointness
+  ``D -> ~N``; classifies coNP-hard, and the disjointness is the hook
+  the inconsistency injector uses (asserting both ``D(c)`` and ``N(c)``
+  makes an instance inconsistent).
+* ``mixed`` — the seed decides, per workload, which of the two to emit.
+
+The band is **verified**, not assumed: every generated ontology goes
+through :func:`repro.core.classify.classify_ontology`, and a family whose
+expected verdict does not match the classifier's is a
+:class:`GenerationError` — the generator must never mislabel a workload
+it hands to the fastpath gate or the chaos invariants.
+
+**Query shapes** (all validated through the real CQ parser):
+
+========  ==========================================================
+``atom``   ``q(x) <- A(x)``
+``chain``  ``q(x0) <- R(x0,x1) & R'(x1,x2)``
+``star``   ``q(x) <- R(x,y0) & R'(x,y1)``
+``ip``     intersection with projection: ``q(z) <- R(x,y0) & R'(x,y1)
+           & R''(x,z)`` — the join variable is projected away
+``bool``   Boolean: ``q() <- A(x) & R(x,y)``
+========  ==========================================================
+
+The emitted job list is ``repro batch``-compatible JSON (``id`` /
+``query`` / inline ``facts``), and :meth:`GeneratedWorkload.write` lays
+out an ``ontology.gf`` + ``workload.json`` + ``manifest.json`` triple a
+shell can feed straight to ``python -m repro batch``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.classify import classify_ontology
+from ..logic.ontology import Ontology, ontology
+from ..queries.cq import parse_cq, parse_ucq
+from ..serving.fingerprint import digest
+
+__all__ = [
+    "FAMILIES", "SHAPES", "GenerationError", "GeneratedWorkload",
+    "WorkloadSpec", "generate_workload",
+]
+
+FAMILIES = ("horn", "disjunctive", "mixed")
+SHAPES = ("atom", "chain", "star", "ip", "bool")
+
+#: family -> the classifier verdict its ontologies must receive.
+_EXPECTED_VERDICT = {"horn": "PTIME", "disjunctive": "CONP_HARD"}
+
+
+class GenerationError(ValueError):
+    """A spec is invalid, or a generated ontology failed band verification."""
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The knobs.  Everything downstream is a pure function of these."""
+
+    seed: int
+    family: str = "mixed"
+    shapes: tuple[str, ...] = SHAPES
+    jobs: int = 12
+    #: Facts per generated instance.
+    instance_size: int = 10
+    #: Distinct constants the fact generator draws from.
+    domain_size: int = 6
+    #: Probability that a job's instance is made inconsistent (requires a
+    #: disjointness axiom, i.e. the disjunctive family).
+    inconsistency_rate: float = 0.0
+
+    def validate(self) -> None:
+        if self.family not in FAMILIES:
+            raise GenerationError(
+                f"unknown family {self.family!r} "
+                f"(expected one of {', '.join(FAMILIES)})")
+        bad = [s for s in self.shapes if s not in SHAPES]
+        if bad or not self.shapes:
+            raise GenerationError(
+                f"unknown shape(s) {', '.join(map(repr, bad)) or '()'} "
+                f"(expected a non-empty subset of {', '.join(SHAPES)})")
+        if self.jobs < 1:
+            raise GenerationError("jobs must be >= 1")
+        if self.instance_size < 1:
+            raise GenerationError("instance_size must be >= 1")
+        if self.domain_size < 2:
+            raise GenerationError("domain_size must be >= 2")
+        if not 0.0 <= self.inconsistency_rate <= 1.0:
+            raise GenerationError("inconsistency_rate must be in [0, 1]")
+        if self.inconsistency_rate > 0 and self.family == "horn":
+            raise GenerationError(
+                "inconsistency_rate needs a disjointness axiom; the horn "
+                "family has none (use disjunctive or mixed)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed, "family": self.family,
+            "shapes": list(self.shapes), "jobs": self.jobs,
+            "instance_size": self.instance_size,
+            "domain_size": self.domain_size,
+            "inconsistency_rate": self.inconsistency_rate,
+        }
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """One generated (ontology, jobs) pair with its verified band."""
+
+    spec: WorkloadSpec
+    #: The family actually emitted ("horn" or "disjunctive" — ``mixed``
+    #: resolves to one of the two).
+    family: str
+    ontology_text: str
+    #: Figure-1 band name and classifier verdict, as verified.
+    band: str
+    verdict: str
+    jobs: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the (ontology, jobs) pair — two workloads
+        with the same fingerprint are the same workload."""
+        return digest(self.ontology_text
+                      + json.dumps(self.jobs, sort_keys=True))
+
+    def ontology(self) -> Ontology:
+        return ontology(self.ontology_text, name=f"chaos-{self.spec.seed}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(), "family": self.family,
+            "band": self.band, "verdict": self.verdict,
+            "fingerprint": self.fingerprint, "jobs": self.jobs,
+            "ontology": self.ontology_text,
+        }
+
+    def write(self, directory: str | Path) -> dict[str, str]:
+        """Write ``ontology.gf`` + ``workload.json`` + ``manifest.json``
+        under *directory*; returns the three paths (manifest last so a
+        complete manifest implies a complete workload)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        onto_path = directory / "ontology.gf"
+        jobs_path = directory / "workload.json"
+        manifest_path = directory / "manifest.json"
+        onto_path.write_text(self.ontology_text)
+        jobs_path.write_text(json.dumps(self.jobs, indent=2) + "\n")
+        manifest = {
+            "spec": self.spec.to_dict(), "family": self.family,
+            "band": self.band, "verdict": self.verdict,
+            "fingerprint": self.fingerprint,
+            "ontology": onto_path.name, "workload": jobs_path.name,
+        }
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        return {"ontology": str(onto_path), "workload": str(jobs_path),
+                "manifest": str(manifest_path)}
+
+
+# -- ontology families -------------------------------------------------------
+
+
+def _build_ontology(rng: random.Random, family: str) -> tuple[str, int, int]:
+    """The family's axioms over a seed-sized vocabulary.
+
+    Returns ``(text, levels, roles)`` so the query/instance generators
+    know which predicates exist.
+    """
+    levels = rng.randint(3, 4)
+    roles = levels - 1
+    lines = []
+    for i in range(levels - 1):
+        lines.append(f"forall x (A{i}(x) -> A{i + 1}(x))")
+    for i in range(roles):
+        lines.append(f"forall x,y (R{i}(x,y) -> A{i}(x))")
+        lines.append(f"forall x,y (R{i}(x,y) -> A{i + 1}(y))")
+    # Existentials on a seed-chosen subset of levels (always at least
+    # one, so the chase has real work to do).
+    for i in sorted(rng.sample(range(roles), rng.randint(1, roles))):
+        lines.append(f"forall x (A{i}(x) -> exists y (R{i}(x,y)))")
+    if family == "disjunctive":
+        top = levels - 1
+        lines.append(f"forall x (A{top}(x) -> D(x) | N(x))")
+        lines.append("forall x (D(x) -> ~N(x))")
+    return "\n".join(lines) + "\n", levels, roles
+
+
+def _verify_band(text: str, family: str, seed: int) -> tuple[str, str]:
+    """Classify the generated ontology and insist the family landed where
+    it claims to.  Returns ``(band-name, verdict-name)``."""
+    onto = ontology(text, name=f"chaos-{seed}")
+    classification = classify_ontology(onto, check_mat=True)
+    band = classification.band.name
+    verdict = classification.verdict.name
+    expected = _EXPECTED_VERDICT[family]
+    if verdict != expected:
+        raise GenerationError(
+            f"family {family!r} (seed {seed}) classified {verdict}, "
+            f"expected {expected} — the generator must not mislabel "
+            f"workloads:\n{text}")
+    return band, verdict
+
+
+# -- queries and instances ---------------------------------------------------
+
+
+def _make_query(rng: random.Random, shape: str,
+                levels: int, roles: int) -> str:
+    unary = lambda: f"A{rng.randrange(levels)}"  # noqa: E731
+    role = lambda: f"R{rng.randrange(roles)}"  # noqa: E731
+    if shape == "atom":
+        return f"q(x) <- {unary()}(x)"
+    if shape == "chain":
+        return f"q(x0) <- {role()}(x0,x1) & {role()}(x1,x2)"
+    if shape == "star":
+        return f"q(x) <- {role()}(x,y0) & {role()}(x,y1)"
+    if shape == "ip":
+        # Intersection with projection: the join variable x is projected
+        # away, only the tail z of the last role survives.
+        return (f"q(z) <- {role()}(x,y0) & {role()}(x,y1) "
+                f"& {role()}(x,z)")
+    if shape == "bool":
+        return f"q() <- {unary()}(x) & {role()}(x,y)"
+    raise GenerationError(f"unknown shape {shape!r}")
+
+
+def _make_facts(rng: random.Random, spec: WorkloadSpec,
+                levels: int, roles: int, inconsistent: bool) -> list[str]:
+    consts = [f"c{i}" for i in range(spec.domain_size)]
+    facts: set[str] = set()
+    while len(facts) < spec.instance_size:
+        if rng.random() < 0.5:
+            facts.add(f"A{rng.randrange(levels)}({rng.choice(consts)})")
+        else:
+            facts.add(f"R{rng.randrange(roles)}({rng.choice(consts)},"
+                      f"{rng.choice(consts)})")
+        if len(facts) >= spec.domain_size * 4:
+            break  # tiny domains saturate before instance_size
+    out = sorted(facts)
+    if inconsistent:
+        # Violate the disjunctive family's disjointness outright.
+        c = rng.choice(consts)
+        out += [f"D({c})", f"N({c})"]
+    return out
+
+
+def generate_workload(spec: WorkloadSpec) -> GeneratedWorkload:
+    """The generator: spec in, verified workload out (see module doc)."""
+    spec.validate()
+    rng = random.Random(spec.seed)
+    family = spec.family
+    if family == "mixed":
+        family = rng.choice(("horn", "disjunctive"))
+        if spec.inconsistency_rate > 0:
+            family = "disjunctive"  # inconsistency needs the disjointness
+    text, levels, roles = _build_ontology(rng, family)
+    band, verdict = _verify_band(text, family, spec.seed)
+    jobs: list[dict[str, Any]] = []
+    for index in range(spec.jobs):
+        shape = spec.shapes[index % len(spec.shapes)]
+        query = _make_query(rng, shape, levels, roles)
+        # Validate through the real parser: an unparseable generated
+        # query is a generator bug, caught here rather than mid-episode.
+        (parse_ucq if ";" in query else parse_cq)(query)
+        inconsistent = (family == "disjunctive"
+                        and rng.random() < spec.inconsistency_rate)
+        facts = _make_facts(rng, spec, levels, roles, inconsistent)
+        jobs.append({"id": f"{shape}-{index:03d}", "query": query,
+                     "facts": facts})
+    return GeneratedWorkload(spec=spec, family=family, ontology_text=text,
+                             band=band, verdict=verdict, jobs=jobs)

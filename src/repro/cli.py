@@ -40,6 +40,11 @@ Commands:
   ``sqlite:PATH``, ``shard:PATH?shards=N``; see ``docs/storage.md``).
   ``verify`` re-hashes every entry against its content-addressed key and
   exits 1 when any entry is corrupt.
+* ``chaos generate`` / ``chaos run`` — the seeded workload generator and
+  the invariant-checking chaos harness (``--seed N --profile
+  smoke|batch|serve|all``; see ``docs/robustness.md``): everything is a
+  pure function of the seed, so a CI failure replays locally from its
+  seed alone.  ``run`` exits 1 on any invariant violation.
 * ``figure1`` — print the Figure-1 classification map.
 * ``bioportal`` — regenerate the corpus analysis.
 
@@ -602,9 +607,33 @@ def _render_stats_text(stats: dict, indent: str = "") -> list[str]:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     """``repro cache stats|evict|verify`` over one storage backend."""
-    from .storage import StorageError, open_backend
+    from .storage import (
+        StorageError, backend_exists, open_backend, parse_backend_uri,
+    )
 
     try:
+        if not backend_exists(args.backend_uri):
+            # A store that was never created: report it empty instead of
+            # creating it as a side effect of asking (stats/evict/verify
+            # are read-only questions) or failing on the missing path.
+            scheme, path, _ = parse_backend_uri(args.backend_uri)
+            if args.cache_command == "stats":
+                empty = {"backend": scheme, "entries": 0, "hits": 0,
+                         "misses": 0, "tripped": False, "exists": False}
+                if args.format == "json":
+                    import json
+                    print(json.dumps(empty, indent=2, sort_keys=True))
+                else:
+                    print("\n".join(_render_stats_text(empty)))
+            elif args.cache_command == "evict":
+                if args.older_than < 0:
+                    raise CliInputError("--older-than must be >= 0 seconds")
+                print("evicted 0 entries (no store at "
+                      f"{path})")
+            else:
+                print("ok: 0 entries verified (no store at "
+                      f"{path})")
+            return 0
         backend = open_backend(args.backend_uri)
     except StorageError as exc:
         raise CliInputError(str(exc)) from exc
@@ -637,6 +666,48 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     finally:
         backend.close()
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos generate|run`` (see docs/robustness.md)."""
+    import json
+
+    from .chaos import ChaosDriver, WorkloadSpec, generate_workload
+    from .chaos.generate import GenerationError
+
+    if args.chaos_command == "generate":
+        try:
+            generated = generate_workload(WorkloadSpec(
+                seed=args.seed, family=args.family, jobs=args.jobs,
+                instance_size=args.instance_size,
+                domain_size=args.domain_size,
+                inconsistency_rate=args.inconsistency))
+        except GenerationError as exc:
+            raise CliInputError(str(exc)) from exc
+        if args.out:
+            paths = generated.write(args.out)
+            print(f"wrote {generated.family} workload "
+                  f"({generated.verdict}, {len(generated.jobs)} jobs, "
+                  f"fingerprint {generated.fingerprint[:12]}) to "
+                  f"{paths['manifest']}")
+        else:
+            print(json.dumps(generated.to_dict(), indent=2))
+        return 0
+    try:
+        driver = ChaosDriver(seed=args.seed, profile=args.profile,
+                             jobs=args.jobs, workdir=args.workdir,
+                             keep=args.keep)
+    except ValueError as exc:
+        raise CliInputError(str(exc)) from exc
+    log = None
+    if args.format == "text":
+        log = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    report = driver.run(log=log)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
 
 
 def cmd_figure1(_args: argparse.Namespace) -> int:
@@ -901,6 +972,58 @@ def build_parser() -> argparse.ArgumentParser:
                        "key; exit 1 when any entry is corrupt")
     add_backend_arg(p_cverify)
     p_cverify.set_defaults(func=cmd_cache)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded workload generation and invariant-checking "
+                      "chaos runs (see docs/robustness.md)")
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    p_cgen = chaos_sub.add_parser(
+        "generate", help="generate a seeded repro-batch workload (band "
+                         "verified through the classifier)")
+    p_cgen.add_argument("--seed", type=int, required=True,
+                        help="the seed; everything is a pure function of it")
+    p_cgen.add_argument("--family", choices=["horn", "disjunctive", "mixed"],
+                        default="mixed",
+                        help="ontology family: horn (PTIME, "
+                             "fastpath-eligible), disjunctive (coNP-hard, "
+                             "supports inconsistency injection), or mixed "
+                             "(the seed decides)")
+    p_cgen.add_argument("--jobs", type=int, default=12,
+                        help="jobs per workload (default 12)")
+    p_cgen.add_argument("--instance-size", type=int, default=10,
+                        metavar="FACTS", help="facts per instance")
+    p_cgen.add_argument("--domain-size", type=int, default=6,
+                        metavar="CONSTS", help="distinct constants")
+    p_cgen.add_argument("--inconsistency", type=float, default=0.0,
+                        metavar="RATE",
+                        help="probability a job's instance is made "
+                             "inconsistent (disjunctive family only)")
+    p_cgen.add_argument("--out", metavar="DIR",
+                        help="write ontology.gf + workload.json + "
+                             "manifest.json here instead of printing")
+    p_cgen.set_defaults(func=cmd_chaos)
+    p_crun = chaos_sub.add_parser(
+        "run", help="run a chaos profile: seeded workloads under seeded "
+                    "fault schedules, invariants checked per episode; "
+                    "exit 1 on any violation")
+    p_crun.add_argument("--seed", type=int, required=True,
+                        help="the seed; same seed, same workloads, same "
+                             "fault schedule, same deterministic report")
+    p_crun.add_argument("--profile", choices=["smoke", "batch", "serve",
+                                              "all"],
+                        default="smoke",
+                        help="episode set (default smoke; see "
+                             "docs/robustness.md for the episode table)")
+    p_crun.add_argument("--jobs", type=int, default=8,
+                        help="jobs per generated workload (default 8)")
+    p_crun.add_argument("--workdir", metavar="DIR",
+                        help="working directory (kept afterwards; default: "
+                             "a temp dir, removed unless --keep)")
+    p_crun.add_argument("--keep", action="store_true",
+                        help="keep the temp workdir for post-mortems")
+    p_crun.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    p_crun.set_defaults(func=cmd_chaos)
 
     p_fig = sub.add_parser("figure1", help="print the Figure-1 map")
     p_fig.set_defaults(func=cmd_figure1)

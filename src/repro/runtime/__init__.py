@@ -27,14 +27,15 @@ See ``docs/robustness.md`` for the user-facing guide.
 from .budget import Budget, BudgetExceeded, ResourceUsage
 from .escalate import chase_rungs, sat_rungs
 from .faults import (
-    KILL_EXIT_CODE, SITES, FaultPlan, FaultSpec, active_plan, parse_faults,
+    KILL_EXIT_CODE, SITES, STORAGE_SITES, FaultPlan, FaultSpec, active_plan,
+    parse_faults, storage_fault,
 )
 from .outcome import Attempt, Outcome, ResourceExhausted, Verdict
 
 __all__ = [
     "Budget", "BudgetExceeded", "ResourceUsage",
     "chase_rungs", "sat_rungs",
-    "KILL_EXIT_CODE", "SITES", "FaultPlan", "FaultSpec", "active_plan",
-    "parse_faults",
+    "KILL_EXIT_CODE", "SITES", "STORAGE_SITES", "FaultPlan", "FaultSpec",
+    "active_plan", "parse_faults", "storage_fault",
     "Attempt", "Outcome", "ResourceExhausted", "Verdict",
 ]

@@ -44,9 +44,42 @@ the process three checkpoints later.  Sites:
                     limit were hit
 ==================  =========================================================
 
-Faults only reach solvers that run under a :class:`repro.runtime.Budget`
-(every ``CertainEngine`` call does); bare solver invocations stay
-deterministic and fault-free.
+A ``storage:`` prefix targets the **storage backends** of
+:mod:`repro.storage` instead of a solver checkpoint: every
+``StorageBackend.get``/``put`` consults the plan (via
+:func:`storage_fault`) and injects a deterministic I/O failure when the
+matching spec fires.  ``storage:`` entries compose freely with ``limit``
+and ``kill:`` entries in one ``REPRO_FAULTS`` string, and
+``kill:storage:get`` / ``kill:storage:put`` hard-kill the process at the
+N-th storage operation (a writer dying mid-put)::
+
+    REPRO_FAULTS=storage:put:@3                    # 3rd put fails with EIO
+    REPRO_FAULTS=storage:get:0.5,storage:torn:@2   # mixed schedules compose
+    REPRO_FAULTS=kill:storage:put:@2               # die at the 2nd put
+
+Storage sites (each with its own independent counter):
+
+==================  =========================================================
+``storage:get``     the read fails as with EIO: counted as a read error plus
+                    a miss; the stored entry is left intact (transient fault)
+``storage:put``     the write fails as with EIO: counted as a write error and
+                    fed to the backend's circuit breaker; nothing is stored
+``storage:torn``    the write *lands* but is torn: a corrupt entry is stored,
+                    to be detected (and evicted) by a later read or
+                    ``verify()`` — the crash-mid-write simulation
+``storage:busy``    the operation hits transient contention
+                    (``SQLITE_BUSY``-style) absorbed by the backend's retry
+                    path; it ultimately succeeds
+==================  =========================================================
+
+When several storage specs fire on the same operation the strongest
+effect wins (EIO over torn over busy), but every consulted counter still
+advances, so mixed schedules stay deterministic.
+
+Solver faults only reach solvers that run under a
+:class:`repro.runtime.Budget` (every ``CertainEngine`` call does); bare
+solver invocations stay deterministic and fault-free.  Storage faults
+reach every backend constructed while the plan is active.
 """
 
 from __future__ import annotations
@@ -62,6 +95,16 @@ SITES = (
     "csp_backtracks",
     "rf_backtracks",
 )
+
+#: Sites of the ``storage:`` fault surface (see the module doc).
+STORAGE_SITES = ("get", "put", "torn", "busy")
+
+#: The storage operations backends consult; ``torn``/``busy`` piggyback
+#: on these (torn on puts only, busy on both).
+STORAGE_OPS = ("get", "put")
+
+#: Stronger effects shadow weaker ones when several specs fire at once.
+_STORAGE_PRIORITY = {"busy": 1, "torn": 2, "eio": 3}
 
 # The exit code of a kill-fault hard exit.  Distinctive on purpose: tests
 # and the CI crash-resume smoke assert on it to distinguish an injected
@@ -102,23 +145,30 @@ class FaultSpec:
 class FaultPlan:
     """A set of :class:`FaultSpec` with per-site deterministic hit counters.
 
-    Limit and kill specs for the same site coexist with independent
-    counters; a checkpoint hit consults the kill spec first (a process
-    that should die must not be saved by a limit firing at the same hit).
+    Limit, kill and storage specs for the same site coexist with
+    independent counters; a checkpoint hit consults the kill spec first
+    (a process that should die must not be saved by a limit firing at
+    the same hit).
     """
 
     def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...] = ()):
         self.specs: dict[str, FaultSpec] = {
-            s.site: s for s in specs if s.kind != "kill"}
+            s.site: s for s in specs if s.kind == "limit"}
         self.kills: dict[str, FaultSpec] = {
             s.site: s for s in specs if s.kind == "kill"}
+        self.storage: dict[str, FaultSpec] = {
+            s.site: s for s in specs if s.kind == "storage"}
         self.hits: dict[str, int] = {site: 0 for site in self.specs}
         self.fired: dict[str, int] = {site: 0 for site in self.specs}
         self.kill_hits: dict[str, int] = {site: 0 for site in self.kills}
+        self.storage_hits: dict[str, int] = {site: 0 for site in self.storage}
+        self.storage_fired: dict[str, int] = {site: 0 for site in self.storage}
 
     def all_specs(self) -> tuple[FaultSpec, ...]:
-        """Every spec (limit and kill) — for shipping across processes."""
-        return tuple(self.specs.values()) + tuple(self.kills.values())
+        """Every spec (limit, kill, storage) — for shipping across
+        processes."""
+        return (tuple(self.specs.values()) + tuple(self.kills.values())
+                + tuple(self.storage.values()))
 
     def hit(self, site: str) -> bool:
         """Record one checkpoint hit at *site*; True when the fault fires."""
@@ -136,12 +186,44 @@ class FaultPlan:
             return True
         return False
 
+    def storage_op(self, op: str) -> str | None:
+        """Record one storage operation (``"get"``/``"put"``); returns the
+        injected failure mode — ``"eio"``, ``"torn"``, ``"busy"`` — or
+        None when nothing fires.
+
+        Every spec watching this operation advances its counter even when
+        a stronger effect shadows it, so a mixed schedule stays
+        deterministic operation-by-operation.
+        """
+        if op not in STORAGE_OPS:
+            raise ValueError(f"unknown storage operation {op!r}")
+        kill = self.kills.get(f"storage:{op}")
+        if kill is not None:
+            self.kill_hits[f"storage:{op}"] += 1
+            if kill.fires(self.kill_hits[f"storage:{op}"]):
+                hard_kill(f"storage:{op}")
+        mode: str | None = None
+        sites = ("busy", "torn", op) if op == "put" else ("busy", op)
+        for site in sites:
+            spec = self.storage.get(site)
+            if spec is None:
+                continue
+            self.storage_hits[site] += 1
+            if spec.fires(self.storage_hits[site]):
+                self.storage_fired[site] += 1
+                effect = "eio" if site == op else site
+                if (mode is None
+                        or _STORAGE_PRIORITY[effect] > _STORAGE_PRIORITY[mode]):
+                    mode = effect
+        return mode
+
     def __bool__(self) -> bool:
-        return bool(self.specs) or bool(self.kills)
+        return bool(self.specs) or bool(self.kills) or bool(self.storage)
 
     def __repr__(self) -> str:
         parts = ", ".join(sorted(self.specs)
-                          + [f"kill:{s}" for s in sorted(self.kills)])
+                          + [f"kill:{s}" for s in sorted(self.kills)]
+                          + [f"storage:{s}" for s in sorted(self.storage)])
         return f"FaultPlan({parts})"
 
 
@@ -157,11 +239,29 @@ def parse_faults(text: str) -> FaultPlan | None:
         if body.startswith("kill:"):
             kind = "kill"
             body = body[len("kill:"):].strip()
-        site, _, arg = body.partition(":")
-        site = site.strip()
-        if site not in SITES:
-            raise ValueError(
-                f"unknown fault site {site!r} (expected one of {', '.join(SITES)})")
+        if body.startswith("storage:"):
+            body = body[len("storage:"):].strip()
+            site, _, arg = body.partition(":")
+            site = site.strip()
+            if site not in STORAGE_SITES:
+                raise ValueError(
+                    f"unknown storage fault site {site!r} (expected one of "
+                    f"{', '.join(STORAGE_SITES)})")
+            if kind == "kill":
+                if site not in STORAGE_OPS:
+                    raise ValueError(
+                        f"kill:storage: supports only "
+                        f"{', '.join(STORAGE_OPS)}, not {site!r}")
+                site = f"storage:{site}"
+            else:
+                kind = "storage"
+        else:
+            site, _, arg = body.partition(":")
+            site = site.strip()
+            if site not in SITES:
+                raise ValueError(
+                    f"unknown fault site {site!r} "
+                    f"(expected one of {', '.join(SITES)})")
         arg = arg.strip()
         if not arg:
             specs.append(FaultSpec(site, kind=kind))
@@ -196,3 +296,20 @@ def active_plan() -> FaultPlan | None:
     if _cache is None or _cache[0] != text:
         _cache = (text, parse_faults(text))
     return _cache[1]
+
+
+def storage_fault(op: str) -> str | None:
+    """The injected failure mode for one storage operation, or None.
+
+    The hook the storage backends call on every ``get``/``put``; consults
+    the process-wide plan (so ``REPRO_FAULTS`` set for a batch driver
+    reaches its pool workers, which inherit the environment).  Returns
+    ``"eio"``, ``"torn"``, ``"busy"`` or None — see the module doc for
+    the effect each backend gives these modes.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    if not plan.storage and f"storage:{op}" not in plan.kills:
+        return None
+    return plan.storage_op(op)

@@ -510,6 +510,39 @@ class ReproServer:
 
     # -- introspection -------------------------------------------------------
 
+    #: The sentinel key /healthz round-trips through the durable tier.
+    #: Not fingerprint hex on purpose: it can never collide with a real
+    #: cached answer (the sharded backend files it via its crc32
+    #: fallback, which handles non-hex keys by design).
+    PROBE_KEY = "healthz-probe"
+
+    def storage_health(self) -> str | None:
+        """Probe the durable tier: ``"ok"``, ``"degraded"``, or ``None``
+        when the daemon runs without one.
+
+        A sentinel write/read/delete round-trip through the configured
+        backend — the same code path every cached answer takes, so a
+        full volume, a tripped write breaker or a corrupting disk shows
+        up here before it shows up as silent cache misses.  Best-effort
+        like the tier itself: a failed probe degrades the report, never
+        the daemon.
+        """
+        backend = self.answer_cache.backend
+        if backend is None:
+            return None
+        if backend.tripped:
+            return "degraded"
+        token = {"verdict": "probe", "at": round(self._clock(), 6)}
+        try:
+            backend.put(self.PROBE_KEY, token)
+            value = backend.get(self.PROBE_KEY)
+            backend.delete(self.PROBE_KEY)
+        except Exception:
+            return "degraded"
+        if backend.tripped or value != token:
+            return "degraded"
+        return "ok"
+
     def jobset_status(self, jobset_id: str) -> tuple[int, dict]:
         jobset = self.store.get(jobset_id)
         if jobset is None:
@@ -560,6 +593,14 @@ class ReproServer:
                     for sub, sval in value.items():
                         if isinstance(sval, (int, float)):
                             gauges[f"storage.{name}.{sub}"] = float(sval)
+        if backend is not None:
+            # The same sentinel round-trip /healthz reports, as a gauge
+            # (repro_storage_healthy) so dashboards can alert on it.
+            # Probed AFTER the stats flatten above: the probe's own
+            # put/get/delete traffic must not leak into the accounting
+            # this very payload reports.
+            gauges["storage.healthy"] = (
+                1.0 if self.storage_health() == "ok" else 0.0)
         for name, value in plan_cache_stats().items():
             gauges[f"cache.plan.{name}"] = float(value)
         for name, value in conversion_cache_stats().items():
@@ -614,7 +655,14 @@ class _Handler(BaseHTTPRequestHandler):
         daemon.metrics.counter("server.http_requests").inc()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
-            self._send_json(200, {"status": "ok"})
+            body: dict[str, Any] = {"status": "ok"}
+            storage = daemon.storage_health()
+            if storage is not None:
+                # The daemon itself is healthy either way — the durable
+                # tier is best-effort — but a degraded tier is worth a
+                # probe's visibility before it becomes silent misses.
+                body["storage"] = storage
+            self._send_json(200, body)
         elif path == "/readyz":
             if daemon.draining:
                 self._send_json(503, {"status": "draining",

@@ -23,6 +23,7 @@ from .base import (
     StorageBackend,
     StorageError,
     UnstorableValue,
+    backend_exists,
     check_storable,
     default_backend_uri,
     open_backend,
@@ -41,6 +42,7 @@ __all__ = [
     "StorageBackend",
     "StorageError",
     "UnstorableValue",
+    "backend_exists",
     "check_storable",
     "default_backend_uri",
     "open_backend",

@@ -43,14 +43,23 @@ from urllib.parse import parse_qsl
 
 __all__ = [
     "EntryInfo", "StorageBackend", "StorageError", "UnstorableValue",
-    "check_storable", "default_backend_uri", "open_backend",
-    "parse_backend_uri",
+    "backend_exists", "check_storable", "default_backend_uri",
+    "open_backend", "parse_backend_uri",
 ]
 
 #: The environment variable naming the default shared cache backend.
 ENV_BACKEND = "REPRO_CACHE_BACKEND"
 
 _SCHEMES = ("dir", "sqlite", "shard")
+
+#: Query arguments each scheme understands; anything else is a typo and
+#: is rejected by :func:`parse_backend_uri` (a misspelled ``ttl`` must
+#: not silently disable the eviction policy).
+_KNOWN_ARGS: dict[str, tuple[str, ...]] = {
+    "dir": (),
+    "sqlite": ("max_bytes", "ttl"),
+    "shard": ("shards",),
+}
 # What counts as "looks like a URI scheme" for the bare-path fallback:
 # a short lowercase word before the colon.  Anything longer or mixed
 # (an absolute path, a Windows drive, a path with a colon in it) is
@@ -58,8 +67,12 @@ _SCHEMES = ("dir", "sqlite", "shard")
 _SCHEME_RE = re.compile(r"[a-z][a-z0-9+.-]{1,15}")
 
 
-class StorageError(Exception):
-    """A backend cannot be constructed (bad URI, unusable path)."""
+class StorageError(ValueError):
+    """A backend cannot be constructed (bad URI, unusable path).
+
+    A :class:`ValueError` subclass: a malformed URI is bad input, and
+    callers validating inputs with ``except ValueError`` must see it.
+    """
 
 
 class UnstorableValue(ValueError):
@@ -184,7 +197,10 @@ def parse_backend_uri(uri: str) -> tuple[str, str, dict[str, str]]:
     backend, so every existing ``--cache-dir`` value is a valid URI.
     Something that *looks* like a scheme but is not one — ``redis:x``,
     ``sqllite:c.db`` — is an error, not a directory named after the
-    typo.
+    typo.  Query arguments are validated here too: an unknown argument
+    (``sqlite:c.db?ttl_seconds=60``) raises a :class:`StorageError`
+    (a ``ValueError``) naming the offending argument instead of silently
+    dropping the eviction policy it was meant to configure.
     """
     scheme, sep, rest = uri.partition(":")
     if not sep or not _SCHEME_RE.fullmatch(scheme):
@@ -197,6 +213,21 @@ def parse_backend_uri(uri: str) -> tuple[str, str, dict[str, str]]:
     if not path:
         raise StorageError(f"storage URI {uri!r} has an empty path")
     args = dict(parse_qsl(query, keep_blank_values=True)) if qsep else {}
+    known = _KNOWN_ARGS[scheme]
+    unknown = sorted(set(args) - set(known))
+    if unknown:
+        import difflib
+
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, known, n=1)
+            hints.append(f"{name!r}" + (f" (did you mean {close[0]!r}?)"
+                                        if close else ""))
+        accepted = (f"accepted for {scheme}: {', '.join(known)}"
+                    if known else f"{scheme}: takes no arguments")
+        raise StorageError(
+            f"storage URI {uri!r}: unknown argument(s) "
+            f"{', '.join(hints)} — {accepted}")
     return scheme, path, args
 
 
@@ -258,6 +289,19 @@ def open_backend(uri: str) -> StorageBackend:
             f"storage URI {uri!r}: unknown argument(s) "
             f"{', '.join(sorted(args))}")
     return backend
+
+
+def backend_exists(uri: str) -> bool:
+    """True when the store a URI names already exists on disk.
+
+    Purely an ``os.path.exists`` on the parsed path — no backend is
+    constructed, so asking does not *create* the store (every backend's
+    constructor does, which is exactly what read-only commands like
+    ``repro cache stats`` must avoid on a mistyped path).  Raises
+    :class:`StorageError` on a malformed URI, like everything else here.
+    """
+    _scheme, path, _args = parse_backend_uri(uri)
+    return os.path.exists(path)
 
 
 def default_backend_uri() -> str | None:

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from typing import Any, Iterator
 
+from ..runtime.faults import storage_fault
 from ..serving.cache import DiskCache
 from .base import EntryInfo, StorageBackend, check_storable
 
@@ -40,15 +42,64 @@ class DirectoryBackend(StorageBackend):
         self._disk = DiskCache(
             directory, max_consecutive_errors=max_consecutive_errors)
         self.directory = self._disk.directory
+        # Injected-fault accounting (REPRO_FAULTS storage: schedules).
+        self.injected: dict[str, int] = {}
+
+    def _note_injected(self, mode: str) -> None:
+        with self._disk._lock:
+            self.injected[mode] = self.injected.get(mode, 0) + 1
 
     # -- data plane ----------------------------------------------------------
 
     def get(self, key: str, default: Any = None) -> Any:
+        mode = storage_fault("get")
+        if mode == "eio":
+            # A transient read failure: counted like a real one, but the
+            # entry stays on disk (only *corrupt* entries are evicted).
+            self._note_injected("get")
+            with self._disk._lock:
+                self._disk.read_errors += 1
+                self._disk.misses += 1
+            return default
+        if mode == "busy":
+            self._note_injected("busy")  # contention absorbed; read proceeds
         return self._disk.get(key, default)
 
     def put(self, key: str, value: Any) -> None:
         check_storable(value)
+        mode = storage_fault("put")
+        if mode == "eio":
+            self._note_injected("put")
+            self._disk._record_write_error()
+            return
+        if mode == "torn":
+            self._note_injected("torn")
+            self._write_torn(key, value)
+            return
+        if mode == "busy":
+            self._note_injected("busy")
         self._disk.put(key, value)
+
+    def _write_torn(self, key: str, value: Any) -> None:
+        """An injected torn write: the rename lands, the payload is a
+        truncated prefix — what a crash on a non-atomic filesystem leaves
+        behind.  The next read detects it, counts a read error and evicts."""
+        if self._disk.tripped:
+            return
+        tmp: str | None = None
+        try:
+            text = json.dumps(value)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text[:max(1, len(text) // 2)])
+            os.replace(tmp, self._disk._path(key))
+        except (OSError, TypeError, ValueError):
+            self._disk._record_write_error()
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def delete(self, key: str) -> bool:
         try:
@@ -80,6 +131,8 @@ class DirectoryBackend(StorageBackend):
     def stats(self) -> dict[str, Any]:
         out = dict(self._disk.stats())
         out["backend"] = self.scheme
+        if self.injected:
+            out["injected"] = dict(self.injected)
         return out
 
     def verify(self) -> list[str]:

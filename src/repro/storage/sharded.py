@@ -51,6 +51,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
+from ..runtime.faults import storage_fault
 from ..serving.fingerprint import digest
 from .base import EntryInfo, StorageBackend, check_storable
 
@@ -92,6 +93,12 @@ class ShardedDirectoryBackend(StorageBackend):
         self.write_errors = 0
         self.consecutive_errors = 0
         self._tripped = False
+        # Injected-fault accounting (REPRO_FAULTS storage: schedules).
+        self.injected: dict[str, int] = {}
+
+    def _note_injected(self, mode: str) -> None:
+        with self._lock:
+            self.injected[mode] = self.injected.get(mode, 0) + 1
 
     # -- layout --------------------------------------------------------------
 
@@ -186,6 +193,17 @@ class ShardedDirectoryBackend(StorageBackend):
             with self._lock:
                 self.misses += 1
             return default
+        mode = storage_fault("get")
+        if mode == "eio":
+            # A transient read failure: counted, but the entry is left in
+            # place — only corrupt entries are evicted.
+            self._note_injected("get")
+            with self._lock:
+                self.read_errors += 1
+                self.misses += 1
+            return default
+        if mode == "busy":
+            self._note_injected("busy")  # lock contention absorbed
         path = self._path(key)
         try:
             with open(path) as fh:
@@ -219,11 +237,24 @@ class ShardedDirectoryBackend(StorageBackend):
         check_storable(value)
         if self._tripped:
             return
+        mode = storage_fault("put")
+        if mode == "eio":
+            self._note_injected("put")
+            self._record_write_error()
+            return
+        if mode == "busy":
+            self._note_injected("busy")
         tmp: str | None = None
         try:
             value_text = json.dumps(value)
             envelope = json.dumps(
                 {"k": key, "d": digest(value_text), "v": value})
+            if mode == "torn":
+                # The rename lands but the envelope is a truncated prefix
+                # (crash mid-write on a non-atomic filesystem); the next
+                # read or verify() flags it corrupt and evicts.
+                self._note_injected("torn")
+                envelope = envelope[:max(1, len(envelope) // 2)]
             shard_dir = self._shard_dir(key)
             shard_dir.mkdir(parents=True, exist_ok=True)
             with self._shard_lock(shard_dir):
@@ -286,6 +317,8 @@ class ShardedDirectoryBackend(StorageBackend):
                 "read_errors": self.read_errors,
                 "write_errors": self.write_errors,
                 "tripped": self._tripped,
+                **({"injected": dict(self.injected)} if self.injected
+                   else {}),
             }
 
     def verify(self) -> list[str]:

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Any, Callable, Iterator
 
+from ..runtime.faults import storage_fault
 from ..serving.fingerprint import digest
 from .base import EntryInfo, StorageBackend, check_storable
 
@@ -116,6 +117,11 @@ class SqliteBackend(StorageBackend):
         self._pending_hits: dict[str, int] = {}
         self._pending_stats: dict[str, int] = {}
         self._unflushed_ops = 0
+        # Injected-fault accounting (REPRO_FAULTS storage: schedules).
+        self.injected: dict[str, int] = {}
+
+    def _note_injected(self, mode: str) -> None:
+        self.injected[mode] = self.injected.get(mode, 0) + 1
 
     # -- busy retry ----------------------------------------------------------
 
@@ -188,10 +194,28 @@ class SqliteBackend(StorageBackend):
         with self._lock:
             if self._closed:
                 return default
-            try:
-                row = self._retry(lambda: self._conn.execute(
+            mode = storage_fault("get")
+            if mode == "eio":
+                # A transient read failure — counted like a real
+                # sqlite3.Error on the SELECT; the row stays.
+                self._note_injected("get")
+                self.read_errors += 1
+                return default
+            injected_busy = {"left": 1 if mode == "busy" else 0}
+            if mode == "busy":
+                self._note_injected("busy")
+
+            def query():
+                if injected_busy["left"]:
+                    injected_busy["left"] -= 1
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected)")
+                return self._conn.execute(
                     "SELECT value, digest, created FROM entries "
-                    "WHERE key = ?", (key,)).fetchone())
+                    "WHERE key = ?", (key,)).fetchone()
+
+            try:
+                row = self._retry(query)
             except sqlite3.Error:
                 self.read_errors += 1
                 return default
@@ -242,9 +266,31 @@ class SqliteBackend(StorageBackend):
         with self._lock:
             if self._closed:
                 return
+            mode = storage_fault("put")
+            if mode == "eio":
+                # The write fails as with a real sqlite3.Error: counted,
+                # nothing stored.
+                self._note_injected("put")
+                self.write_errors += 1
+                return
+            if mode == "torn":
+                # The transaction "lands" carrying a truncated payload
+                # against the full-text digest — what bit rot or a torn
+                # page looks like; the next read (or verify) detects the
+                # mismatch and evicts.
+                self._note_injected("torn")
+                value_text = value_text[:max(1, len(value_text) // 2)]
+                size = len(value_text)
+            injected_busy = {"left": 1 if mode == "busy" else 0}
+            if mode == "busy":
+                self._note_injected("busy")
             now = self._clock()
 
             def write() -> None:
+                if injected_busy["left"]:
+                    injected_busy["left"] -= 1
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected)")
                 self._conn.execute("BEGIN IMMEDIATE")
                 try:
                     self._conn.execute(
@@ -355,6 +401,8 @@ class SqliteBackend(StorageBackend):
                 "tripped": False,
                 "lifetime": {name: lifetime.get(name, 0)
                              for name in _LIFETIME_KEYS},
+                **({"injected": dict(self.injected)} if self.injected
+                   else {}),
             }
 
     def verify(self) -> list[str]:

@@ -1,0 +1,129 @@
+"""The seeded workload generator (ISSUE 10): determinism, verified
+Figure-1 bands, spec validation, and the on-disk layout ``repro batch``
+consumes."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    FAMILIES, SHAPES, GenerationError, WorkloadSpec, generate_workload,
+)
+from repro.queries.cq import parse_cq
+from repro.serving import Job, clear_caches, evaluate_batch
+
+
+class TestSpecValidation:
+    def test_families_and_shapes_are_closed(self):
+        assert set(FAMILIES) == {"horn", "disjunctive", "mixed"}
+        assert set(SHAPES) == {"atom", "chain", "star", "ip", "bool"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(GenerationError, match="unknown family"):
+            generate_workload(WorkloadSpec(seed=1, family="datalog"))
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(GenerationError, match="unknown shape"):
+            generate_workload(WorkloadSpec(seed=1, shapes=("atom", "loop")))
+        with pytest.raises(GenerationError):
+            generate_workload(WorkloadSpec(seed=1, shapes=()))
+
+    def test_size_knobs_validated(self):
+        with pytest.raises(GenerationError):
+            generate_workload(WorkloadSpec(seed=1, jobs=0))
+        with pytest.raises(GenerationError):
+            generate_workload(WorkloadSpec(seed=1, instance_size=0))
+        with pytest.raises(GenerationError):
+            generate_workload(WorkloadSpec(seed=1, domain_size=1))
+        with pytest.raises(GenerationError):
+            generate_workload(WorkloadSpec(seed=1, inconsistency_rate=1.5))
+
+    def test_horn_cannot_be_inconsistent(self):
+        with pytest.raises(GenerationError, match="disjointness"):
+            generate_workload(WorkloadSpec(seed=1, family="horn",
+                                           inconsistency_rate=0.5))
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a = generate_workload(WorkloadSpec(seed=7))
+        b = generate_workload(WorkloadSpec(seed=7))
+        assert a.to_dict() == b.to_dict()
+        assert a.fingerprint == b.fingerprint
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadSpec(seed=7))
+        b = generate_workload(WorkloadSpec(seed=8))
+        assert a.fingerprint != b.fingerprint
+
+
+class TestBandVerification:
+    """The generator classifies every ontology; the band in the output is
+    the classifier's answer, not the family's claim."""
+
+    def test_horn_is_ptime(self):
+        wl = generate_workload(WorkloadSpec(seed=3, family="horn", jobs=2))
+        assert wl.family == "horn"
+        assert wl.verdict == "PTIME"
+
+    def test_disjunctive_is_conp_hard(self):
+        wl = generate_workload(
+            WorkloadSpec(seed=3, family="disjunctive", jobs=2))
+        assert wl.family == "disjunctive"
+        assert wl.verdict == "CONP_HARD"
+
+    def test_mixed_resolves_to_a_concrete_family(self):
+        wl = generate_workload(WorkloadSpec(seed=5, jobs=2))
+        assert wl.family in ("horn", "disjunctive")
+
+    def test_inconsistency_forces_disjunctive(self):
+        wl = generate_workload(
+            WorkloadSpec(seed=5, jobs=2, inconsistency_rate=0.5))
+        assert wl.family == "disjunctive"
+
+
+class TestEmittedJobs:
+    def test_job_shape_and_ids(self):
+        spec = WorkloadSpec(seed=11, family="horn", jobs=7,
+                            shapes=("atom", "chain"))
+        wl = generate_workload(spec)
+        assert len(wl.jobs) == 7
+        ids = [job["id"] for job in wl.jobs]
+        assert len(set(ids)) == 7
+        # Shapes round-robin through the requested tuple.
+        assert ids[0].startswith("atom-") and ids[1].startswith("chain-")
+        for job in wl.jobs:
+            parse_cq(job["query"])  # every emitted query re-parses
+            assert job["facts"]
+
+    def test_inconsistent_instances_violate_disjointness(self):
+        wl = generate_workload(
+            WorkloadSpec(seed=11, family="disjunctive", jobs=4,
+                         inconsistency_rate=1.0))
+        for job in wl.jobs:
+            d = {f[0] for f in job["facts"] if f.startswith(("D(", "N("))}
+            assert d == {"D", "N"}, job["facts"]
+
+    def test_generated_workload_evaluates(self):
+        wl = generate_workload(WorkloadSpec(seed=13, family="horn", jobs=3))
+        clear_caches()
+        jobs = [Job(query=j["query"], facts=tuple(j["facts"]),
+                    job_id=j["id"]) for j in wl.jobs]
+        report = evaluate_batch(wl.ontology(), jobs, workers=1)
+        assert report.stats["ok"] == 3
+
+
+class TestWrite:
+    def test_layout_and_manifest(self, tmp_path):
+        wl = generate_workload(WorkloadSpec(seed=17, family="horn", jobs=3))
+        paths = wl.write(tmp_path / "wl")
+        assert set(paths) == {"ontology", "workload", "manifest"}
+        assert (tmp_path / "wl" / "ontology.gf").read_text() \
+            == wl.ontology_text
+        assert json.loads((tmp_path / "wl" / "workload.json").read_text()) \
+            == wl.jobs
+        manifest = json.loads(
+            (tmp_path / "wl" / "manifest.json").read_text())
+        assert manifest["fingerprint"] == wl.fingerprint
+        assert manifest["spec"] == wl.spec.to_dict()
+        assert manifest["band"] == wl.band

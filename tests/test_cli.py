@@ -318,3 +318,62 @@ class TestParseErrorHandling:
                      "q() <- Thumb(y)", "--preflight"]) == 2
         err = capsys.readouterr().err
         assert "pre-flight" in err and "OMQ019" in err
+
+
+class TestCacheCliMissingStore:
+    """``repro cache`` against a backend path that was never created:
+    an empty report, exit 0, and the store must not be created as a side
+    effect of asking (ISSUE 10, satellite 2)."""
+
+    def test_stats_reports_empty(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "c.db"
+        assert main(["cache", "stats", f"sqlite:{path}",
+                     "--format", "json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["entries"] == 0 and out["exists"] is False
+        assert not path.exists()
+
+    def test_evict_is_a_no_op(self, tmp_path, capsys):
+        path = tmp_path / "s"
+        assert main(["cache", "evict", f"shard:{path}",
+                     "--older-than", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 0" in out and "no store" in out
+        assert not path.exists()
+
+    def test_verify_is_clean(self, tmp_path, capsys):
+        path = tmp_path / "d"
+        assert main(["cache", "verify", f"dir:{path}"]) == 0
+        out = capsys.readouterr().out
+        assert "ok: 0" in out and "no store" in out
+        assert not path.exists()
+
+    def test_bad_uri_still_exit_two(self, tmp_path, capsys):
+        assert main(["cache", "stats", "redis:nope"]) == 2
+        assert "unknown scheme" in capsys.readouterr().err
+
+
+class TestChaosCli:
+    def test_generate_prints_verified_workload(self, capsys):
+        import json
+        assert main(["chaos", "generate", "--seed", "3",
+                     "--family", "horn", "--jobs", "2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["family"] == "horn"
+        assert doc["verdict"] == "PTIME"
+        assert len(doc["jobs"]) == 2
+
+    def test_generate_writes_batch_ready_triple(self, tmp_path, capsys):
+        out_dir = tmp_path / "wl"
+        assert main(["chaos", "generate", "--seed", "3",
+                     "--family", "horn", "--jobs", "2",
+                     "--out", str(out_dir)]) == 0
+        assert "fingerprint" in capsys.readouterr().out
+        for name in ("ontology.gf", "workload.json", "manifest.json"):
+            assert (out_dir / name).exists()
+
+    def test_generate_invalid_spec_exit_two(self, capsys):
+        assert main(["chaos", "generate", "--seed", "1",
+                     "--family", "horn", "--inconsistency", "0.5"]) == 2
+        assert "disjointness" in capsys.readouterr().err

@@ -679,3 +679,54 @@ def test_hard_kill_then_resume_serves_identical_report(tmp_path):
         if proc.poll() is None:
             proc.kill()
             proc.communicate()
+
+
+# -- the storage health probe (ISSUE 10, satellite 3) -------------------------
+
+
+def test_healthz_without_backend_omits_storage(server):
+    srv = server()
+    assert srv.storage_health() is None
+    status, body, _ = api(srv, "GET", "/healthz")
+    assert status == 200 and "storage" not in body
+
+
+def test_healthz_storage_ok_and_probe_leaves_no_trace(server, tmp_path):
+    srv = server(cache_backend=f"sqlite:{tmp_path}/c.db")
+    status, body, _ = api(srv, "GET", "/healthz")
+    assert status == 200 and body["status"] == "ok"
+    assert body["storage"] == "ok"
+    backend = srv.answer_cache.backend
+    assert backend.get(srv.PROBE_KEY) is None  # sentinel cleaned up
+    _, text, _ = api(srv, "GET", "/metrics")
+    assert "repro_storage_healthy 1" in text
+
+
+def test_healthz_storage_degraded_on_bad_round_trip(
+        server, tmp_path, monkeypatch):
+    srv = server(cache_backend=f"shard:{tmp_path}/s?shards=4")
+    backend = srv.answer_cache.backend
+    # A backend that stores but reads back something else: the sentinel
+    # round-trip must notice, and the daemon must stay up (degraded is a
+    # report, not a failure).
+    monkeypatch.setattr(backend, "get",
+                        lambda key, default=None: {"verdict": "stale"})
+    assert srv.storage_health() == "degraded"
+    status, body, _ = api(srv, "GET", "/healthz")
+    assert status == 200 and body["storage"] == "degraded"
+    _, text, _ = api(srv, "GET", "/metrics")
+    assert "repro_storage_healthy 0" in text
+
+
+def test_healthz_storage_degraded_on_probe_error(
+        server, tmp_path, monkeypatch):
+    srv = server(cache_backend=f"sqlite:{tmp_path}/c.db")
+    backend = srv.answer_cache.backend
+
+    def boom(key, value):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(backend, "put", boom)
+    assert srv.storage_health() == "degraded"
+    status, body, _ = api(srv, "GET", "/healthz")
+    assert status == 200 and body["storage"] == "degraded"

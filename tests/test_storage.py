@@ -25,6 +25,7 @@ from repro.storage import (
     SqliteBackend,
     StorageError,
     UnstorableValue,
+    backend_exists,
     check_storable,
     default_backend_uri,
     open_backend,
@@ -101,11 +102,51 @@ class TestUri:
         with pytest.raises(StorageError, match="shards"):
             open_backend(f"shard:{tmp_path}/s?shards=many")
 
+    def test_unknown_arg_error_names_arg_and_accepted_set(self):
+        with pytest.raises(StorageError) as exc:
+            parse_backend_uri("sqlite:c.db?ttl=5&bogus=1")
+        msg = str(exc.value)
+        assert "'bogus'" in msg
+        assert "max_bytes" in msg and "ttl" in msg  # the accepted set
+
+    def test_unknown_arg_gets_a_spelling_hint(self):
+        with pytest.raises(StorageError, match="did you mean 'shards'"):
+            parse_backend_uri("shard:/t?shard=4")
+
+    def test_dir_takes_no_arguments(self):
+        with pytest.raises(StorageError, match="takes no arguments"):
+            parse_backend_uri("dir:/tmp/x?ttl=5")
+
     def test_env_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
         assert default_backend_uri() is None
         monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite:/tmp/x.db")
         assert default_backend_uri() == "sqlite:/tmp/x.db"
+
+
+class TestBackendExists:
+    """``backend_exists``: a read-only question that must never create
+    the store it asks about (ISSUE 10, satellite 2)."""
+
+    URIS = {"dir": "dir:{p}/d", "sqlite": "sqlite:{p}/c.db",
+            "shard": "shard:{p}/s?shards=4"}
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_false_before_creation_no_side_effect(self, kind, tmp_path):
+        uri = self.URIS[kind].format(p=tmp_path)
+        assert backend_exists(uri) is False
+        assert list(tmp_path.iterdir()) == []  # asking created nothing
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_true_after_creation(self, kind, tmp_path):
+        uri = self.URIS[kind].format(p=tmp_path)
+        with open_backend(uri) as backend:
+            backend.put(KEY, VALUE)
+        assert backend_exists(uri) is True
+
+    def test_bad_uri_still_raises(self):
+        with pytest.raises(StorageError):
+            backend_exists("redis:nope")
 
 
 # -- the backend contract, over all three implementations --------------------
